@@ -1,0 +1,34 @@
+// Command pegasus-bench regenerates the paper's evaluation tables and
+// figures on the synthetic substrate.
+//
+// Usage:
+//
+//	pegasus-bench -experiment all
+//	pegasus-bench -experiment table5 -flows 90 -epochs 1.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/pegasus-idp/pegasus/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("experiment", "all", "experiment to run: all, table2, table5, table6, fig7, fig8, fig9acc, fig9thr")
+	flows := flag.Int("flows", 60, "flows generated per traffic class")
+	epochs := flag.Float64("epochs", 1, "training budget multiplier")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	suite := experiments.NewSuite(experiments.Config{
+		FlowsPerClass: *flows,
+		Epochs:        *epochs,
+		Seed:          *seed,
+	})
+	if err := suite.Run(*exp, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pegasus-bench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,79 @@
+// Command pegasus-compile translates a Pegasus Syntax (.pgs) file into a
+// compiled switch pipeline and prints the resource report — the
+// translation tool of §6.2.
+//
+// Usage:
+//
+//	pegasus-compile -f program.pgs [-depth 4] [-calib 512]
+//
+// Without trained weights the kernel is seeded randomly: the output
+// reports the structural cost (stages, SRAM, TCAM, bus) that the real
+// table contents would occupy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"github.com/pegasus-idp/pegasus/internal/core"
+	"github.com/pegasus-idp/pegasus/internal/syntax"
+)
+
+func main() {
+	file := flag.String("f", "", "Pegasus Syntax source file")
+	depth := flag.Int("depth", 0, "override clustering depth (0 = from source)")
+	calib := flag.Int("calib", 512, "synthetic calibration samples")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+	if *file == "" {
+		fmt.Fprintln(os.Stderr, "usage: pegasus-compile -f program.pgs")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*file)
+	if err != nil {
+		fatal(err)
+	}
+	spec, err := syntax.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := syntax.Translate(spec, nil)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("parsed %d input fields; pipeline: %s\n", spec.InputDims(), prog)
+	fused := core.Fuse(prog)
+	fmt.Printf("after fusion: %s (%d lookups)\n", fused, fused.Lookups())
+
+	d := syntax.ClusteringDepth(spec)
+	if *depth > 0 {
+		d = *depth
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	samples := make([][]float64, *calib)
+	for i := range samples {
+		row := make([]float64, spec.InputDims())
+		for j := range row {
+			row[j] = float64(rng.Intn(1 << spec.InputFields[j].Bits))
+		}
+		samples[i] = row
+	}
+	comp, err := core.BuildTables(fused, samples, core.CompileConfig{
+		TreeDepth: d, InBits: uint(spec.InputFields[0].Bits),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	em, err := core.Emit(comp, core.EmitOptions{})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(em.Prog.Summary())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pegasus-compile:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,70 @@
+// Command pegasus-run is the end-to-end demo: synthesise traffic, train
+// a model, compile it to the switch, replay the test traffic through the
+// simulated pipeline, and report dataplane accuracy and resources.
+//
+// Usage:
+//
+//	pegasus-run -dataset PeerRush -model cnn-m -flows 60
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"github.com/pegasus-idp/pegasus/internal/datasets"
+	"github.com/pegasus-idp/pegasus/internal/models"
+)
+
+func main() {
+	dsName := flag.String("dataset", "PeerRush", "PeerRush, CICIOT or ISCXVPN")
+	model := flag.String("model", "cnn-m", "mlp-b, cnn-b or cnn-m")
+	flows := flag.Int("flows", 60, "flows per class")
+	epochs := flag.Int("epochs", 60, "training epochs")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	ds, ok := datasets.ByName(*dsName, datasets.Config{FlowsPerClass: *flows, Seed: *seed})
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *dsName)
+		os.Exit(2)
+	}
+	train, _, test := ds.Split(*seed + 7)
+	rng := rand.New(rand.NewSource(*seed))
+	var m *models.Feedforward
+	switch *model {
+	case "mlp-b":
+		m = models.NewMLPB(ds.NumClasses(), rng)
+	case "cnn-b":
+		m = models.NewCNNB(ds.NumClasses(), rng)
+	case "cnn-m":
+		m = models.NewCNNM(ds.NumClasses(), rng)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown model %q\n", *model)
+		os.Exit(2)
+	}
+	fmt.Printf("training %s on %s (%d train / %d test flows)...\n", m.Name, ds.Name, len(train), len(test))
+	m.Train(train, models.TrainOpts{Epochs: *epochs, Seed: *seed})
+	full, err := m.EvalFull(test, ds.NumClasses())
+	check(err)
+	fmt.Printf("full precision:  PR %.4f  RC %.4f  F1 %.4f\n", full.Precision, full.Recall, full.F1)
+
+	check(m.Compile(train))
+	peg, err := m.EvalPegasus(test, ds.NumClasses())
+	check(err)
+	fmt.Printf("pegasus (switch): PR %.4f  RC %.4f  F1 %.4f  (Δ %.4f)\n",
+		peg.Precision, peg.Recall, peg.F1, peg.F1-full.F1)
+
+	em, err := m.Emit(1 << 16)
+	check(err)
+	fmt.Println()
+	fmt.Print(em.Prog.Summary())
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pegasus-run:", err)
+		os.Exit(1)
+	}
+}

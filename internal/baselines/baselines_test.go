@@ -1,0 +1,131 @@
+// Package baselines_test exercises the three prior-work comparators
+// end to end on a shared synthetic dataset, asserting the qualitative
+// relationships Table 5 depends on.
+package baselines_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/pegasus-idp/pegasus/internal/baselines/bos"
+	"github.com/pegasus-idp/pegasus/internal/baselines/leo"
+	"github.com/pegasus-idp/pegasus/internal/baselines/n3ic"
+	"github.com/pegasus-idp/pegasus/internal/datasets"
+	"github.com/pegasus-idp/pegasus/internal/netsim"
+	"github.com/pegasus-idp/pegasus/internal/pisa"
+)
+
+func data(t *testing.T) (train, test []netsim.Flow, k int) {
+	t.Helper()
+	ds := datasets.PeerRush(datasets.Config{FlowsPerClass: 60, PacketsPerFlow: 24, Seed: 99})
+	tr, _, te := ds.Split(5)
+	return tr, te, ds.NumClasses()
+}
+
+func TestLeoTrainsAndDeploys(t *testing.T) {
+	train, test, k := data(t)
+	m := leo.New(k, 256, nil)
+	if m.InputScaleBits() != 128 || m.FlowStateBits() != 80 {
+		t.Fatal("Leo metadata")
+	}
+	if err := m.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Evaluate(test, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.F1 < 0.6 {
+		t.Fatalf("Leo F1 = %.3f, want >= 0.6", rep.F1)
+	}
+	prog, err := m.Emit(1 << 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := prog.Resources()
+	if res.TCAMBits == 0 {
+		t.Fatal("Leo should consume TCAM")
+	}
+	if res.RegBits != 80*(1<<12) {
+		t.Fatalf("Leo flow state = %d", res.RegBits)
+	}
+	if res.Stages > pisa.Tofino2.Stages {
+		t.Fatal("Leo stage overflow")
+	}
+}
+
+func TestLeoUntrainedErrors(t *testing.T) {
+	m := leo.New(3, 64, nil)
+	if _, err := m.Evaluate(nil, 3); err == nil {
+		t.Fatal("want error before training")
+	}
+	if _, err := m.Emit(16); err == nil {
+		t.Fatal("want error before training")
+	}
+}
+
+func TestN3ICTrainsButTrailsLeo(t *testing.T) {
+	train, test, k := data(t)
+	rng := rand.New(rand.NewSource(1))
+	m := n3ic.New(k, rng)
+	m.Train(train, 60, 1)
+	rep, err := m.Evaluate(test, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.F1 < 0.45 {
+		t.Fatalf("N3IC F1 = %.3f, want learnable (>= 0.45)", rep.F1)
+	}
+	// Binary weights: model size is bit-counted, far below a
+	// full-precision model of the same shape.
+	if m.ModelSizeBits() >= 128*48*32 {
+		t.Fatalf("N3IC size accounting looks full-precision: %d", m.ModelSizeBits())
+	}
+	if m.InputScaleBits() != 128 {
+		t.Fatal("N3IC input scale")
+	}
+}
+
+func TestN3ICFeaturesAreBits(t *testing.T) {
+	f := netsim.Flow{Packets: []netsim.Packet{{Time: 0, Len: 100}, {Time: 50, Len: 1400}}}
+	bits := n3ic.Features(&f)
+	if len(bits) != 128 {
+		t.Fatalf("feature width = %d", len(bits))
+	}
+	for _, b := range bits {
+		if b != 1 && b != -1 {
+			t.Fatalf("non-binary feature %g", b)
+		}
+	}
+}
+
+func TestBoSCompilesToExhaustiveTables(t *testing.T) {
+	train, test, k := data(t)
+	rng := rand.New(rand.NewSource(2))
+	m := bos.New(k, rng)
+	m.Train(train, 60, 2)
+	m.Compile()
+	rep, err := m.Evaluate(test, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.F1 < 0.4 {
+		t.Fatalf("BoS F1 = %.3f, want learnable (>= 0.4)", rep.F1)
+	}
+	// 18-bit input scale, 2^(3+8) entries per step.
+	if m.InputScaleBits() != 18 {
+		t.Fatalf("BoS input scale = %d", m.InputScaleBits())
+	}
+	want := 6*(1<<11) + 1<<8
+	if m.TableEntries() != want {
+		t.Fatalf("BoS table entries = %d, want %d", m.TableEntries(), want)
+	}
+}
+
+func TestBoSUncompiledErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := bos.New(3, rng)
+	if _, err := m.Evaluate(nil, 3); err == nil {
+		t.Fatal("want error before Compile")
+	}
+}

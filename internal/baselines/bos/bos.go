@@ -1,0 +1,238 @@
+// Package bos implements the BoS baseline (Yan et al., NSDI'24): a
+// windowed binary RNN whose computation is bypassed on the switch by
+// exhaustive input→output mapping tables. Each time step consumes only
+// 3 bits of features (18-bit total input scale in Table 5) because an
+// n-bit exhaustive table needs 2ⁿ entries — the scalability wall fuzzy
+// matching removes.
+package bos
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/pegasus-idp/pegasus/internal/metrics"
+	"github.com/pegasus-idp/pegasus/internal/netsim"
+	"github.com/pegasus-idp/pegasus/internal/nn"
+	"github.com/pegasus-idp/pegasus/internal/tensor"
+)
+
+// Steps and per-step bit budget: 6 steps × 3 bits = 18-bit input scale.
+const (
+	Steps    = 6
+	StepBits = 3
+)
+
+// Model is the windowed binary RNN.
+type Model struct {
+	Name   string
+	Hidden int
+	Emb    *nn.Embedding
+	Cell   *nn.RNN
+	Out    *nn.Linear
+	Net    *nn.Sequential
+
+	// Learned binarisation thresholds (quantiles of the training
+	// distribution): 3 length cut points (2 bits) and 1 IPD cut (1 bit).
+	lenT [3]int
+	ipdT int
+
+	// Deployment tables (computation bypassing): trans[x][h] → h', and
+	// logits[h]. Hidden states are binarised to Hidden bits.
+	trans  [][]uint32
+	logits [][]float64
+}
+
+// New builds the moderate configuration of §7.4 (hidden size 8).
+func New(nClasses int, rng *rand.Rand) *Model {
+	const hidden = 8
+	emb := nn.NewEmbedding(1<<StepBits, 2, Steps, rng)
+	cell := nn.NewRNN(Steps, 2, hidden, rng)
+	out := nn.NewLinear(hidden, nClasses, rng)
+	return &Model{
+		Name: "BoS", Hidden: hidden, Emb: emb, Cell: cell, Out: out,
+		Net: nn.NewSequential(emb, cell, out),
+	}
+}
+
+// InputScaleBits reports the 18-bit input of Table 5.
+func (m *Model) InputScaleBits() int { return Steps * StepBits }
+
+// FlowStateBits matches Table 6's 72 stateful bits/flow.
+func (m *Model) FlowStateBits() int { return 72 }
+
+// ModelSizeBits counts the full-precision parameters (BoS keeps weights
+// full precision inside the bypassed computation).
+func (m *Model) ModelSizeBits() int { return m.Net.SizeBits() }
+
+// Features reduces a window to Steps 3-bit symbols using the learned
+// binarisation thresholds: 2 bits of packet length, 1 bit of IPD — the
+// drastic input quantisation the exhaustive tables force.
+func (m *Model) Features(w *netsim.SeqWindow) []float64 {
+	out := make([]float64, Steps)
+	for i := 0; i < Steps; i++ {
+		lb := 0
+		for _, t := range m.lenT {
+			if w.LenB[i] > t {
+				lb++
+			}
+		}
+		ib := 0
+		if w.IPDB[i] > m.ipdT {
+			ib = 1
+		}
+		out[i] = float64(lb<<1 | ib)
+	}
+	return out
+}
+
+// calibrate fits the binarisation thresholds to training quantiles —
+// BoS learns its input binarisation rather than hard-coding cut points.
+func (m *Model) calibrate(flows []netsim.Flow) {
+	var lens, ipds []int
+	for i := range flows {
+		for _, w := range netsim.SeqWindows(&flows[i], models8) {
+			for t := 0; t < Steps; t++ {
+				lens = append(lens, w.LenB[t])
+				ipds = append(ipds, w.IPDB[t])
+			}
+		}
+	}
+	if len(lens) == 0 {
+		return
+	}
+	sort.Ints(lens)
+	sort.Ints(ipds)
+	q := func(xs []int, f float64) int { return xs[int(f*float64(len(xs)-1))] }
+	m.lenT = [3]int{q(lens, 0.25), q(lens, 0.5), q(lens, 0.75)}
+	m.ipdT = q(ipds, 0.5)
+}
+
+func (m *Model) extract(flows []netsim.Flow) (*tensor.Mat, []int) {
+	var rows [][]float64
+	var ys []int
+	for i := range flows {
+		for _, w := range netsim.SeqWindows(&flows[i], models8) {
+			rows = append(rows, m.Features(&w))
+			ys = append(ys, w.Class)
+		}
+	}
+	xs := tensor.New(len(rows), Steps)
+	for i, r := range rows {
+		copy(xs.Row(i), r)
+	}
+	return xs, ys
+}
+
+// models8 mirrors models.Window without importing it (BoS windows reuse
+// the same 8-packet windows, consuming the first Steps packets).
+const models8 = 8
+
+// Train calibrates the binarisation thresholds and fits the RNN at full
+// precision (training is off-switch).
+func (m *Model) Train(flows []netsim.Flow, epochs int, seed int64) []float64 {
+	m.calibrate(flows)
+	xs, ys := m.extract(flows)
+	return nn.Fit(m.Net, xs, nn.ClassTargets(ys), nn.SoftmaxCrossEntropy{},
+		nn.NewAdam(0.02), nn.TrainConfig{Epochs: epochs, BatchSize: 32, Seed: seed})
+}
+
+// Compile enumerates the exhaustive mapping tables: for every (3-bit
+// input, binary hidden state) pair, one full-precision cell step whose
+// result is binarised — input/output binarisation being BoS's accuracy
+// cost (§2).
+func (m *Model) Compile() {
+	nx := 1 << StepBits
+	nh := 1 << m.Hidden
+	m.trans = make([][]uint32, nx)
+	for x := 0; x < nx; x++ {
+		m.trans[x] = make([]uint32, nh)
+		for h := 0; h < nh; h++ {
+			hv := bitsToVec(uint32(h), m.Hidden)
+			next := m.step(float64(x), hv)
+			m.trans[x][h] = vecToBits(next)
+		}
+	}
+	m.logits = make([][]float64, nh)
+	for h := 0; h < nh; h++ {
+		hv := bitsToVec(uint32(h), m.Hidden)
+		hm := tensor.Vec(hv)
+		out := tensor.MatMulT(nil, hm, m.Out.Weight.W)
+		out.AddRowVec(m.Out.Bias.W)
+		m.logits[h] = append([]float64(nil), out.Row(0)...)
+	}
+}
+
+// step runs one full-precision cell step on a symbol and hidden vector.
+func (m *Model) step(sym float64, h []float64) []float64 {
+	idx := m.Emb.Lookup(sym)
+	e := m.Emb.Table.W.Row(idx)
+	em := tensor.Vec(append([]float64(nil), e...))
+	hm := tensor.Vec(h)
+	pre := tensor.MatMulT(nil, em, m.Cell.Wx.W)
+	pre.Add(tensor.MatMulT(nil, hm, m.Cell.Wh.W))
+	pre.AddRowVec(m.Cell.Bias.W)
+	return pre.Apply(math.Tanh).Row(0)
+}
+
+// bitsToVec expands a binary state to ±1 activations.
+func bitsToVec(bits uint32, n int) []float64 {
+	v := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if bits&(1<<i) != 0 {
+			v[i] = 1
+		} else {
+			v[i] = -1
+		}
+	}
+	return v
+}
+
+// vecToBits binarises activations by sign.
+func vecToBits(v []float64) uint32 {
+	var b uint32
+	for i, x := range v {
+		if x >= 0 {
+			b |= 1 << i
+		}
+	}
+	return b
+}
+
+// Classify runs the bypassed (table-driven) inference for one window.
+func (m *Model) Classify(x []float64) int {
+	var h uint32 // h₀ = all-zero binary state
+	for t := 0; t < Steps; t++ {
+		sym := int(x[t])
+		h = m.trans[sym][h]
+	}
+	logits := m.logits[h]
+	best, bi := math.Inf(-1), 0
+	for i, v := range logits {
+		if v >= best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}
+
+// Evaluate computes Table 5 metrics with the table-driven inference.
+func (m *Model) Evaluate(flows []netsim.Flow, nClasses int) (metrics.Report, error) {
+	if m.trans == nil {
+		return metrics.Report{}, fmt.Errorf("bos: not compiled")
+	}
+	xs, ys := m.extract(flows)
+	pred := make([]int, xs.R)
+	for i := 0; i < xs.R; i++ {
+		pred[i] = m.Classify(xs.Row(i))
+	}
+	return metrics.Evaluate(nClasses, ys, pred)
+}
+
+// TableEntries returns the exhaustive table size: Steps transition
+// tables of 2^(StepBits+Hidden) entries plus the logits table — the
+// exponential scaling of §2's motivation.
+func (m *Model) TableEntries() int {
+	return Steps*(1<<(StepBits+m.Hidden)) + 1<<m.Hidden
+}

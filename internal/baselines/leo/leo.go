@@ -1,0 +1,155 @@
+// Package leo implements the Leo baseline (Jafri et al., NSDI'24): a
+// CART decision tree over flow statistics, deployed on the dataplane as
+// ternary range rules. It is the strongest tree-based comparator in
+// Table 5 and the resource baseline of Table 6 (1024-node config).
+package leo
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/pegasus-idp/pegasus/internal/fuzzy"
+	"github.com/pegasus-idp/pegasus/internal/metrics"
+	"github.com/pegasus-idp/pegasus/internal/netsim"
+	"github.com/pegasus-idp/pegasus/internal/pisa"
+)
+
+// Model is a trained Leo decision tree.
+type Model struct {
+	Name      string
+	MaxLeaves int
+	NClasses  int
+	tree      *fuzzy.Tree
+	leafClass []int
+}
+
+// New constructs an untrained Leo with the given leaf budget (the paper
+// evaluates the 1024-node configuration for resources).
+func New(nClasses, maxLeaves int, _ *rand.Rand) *Model {
+	if maxLeaves == 0 {
+		maxLeaves = 512
+	}
+	return &Model{Name: "Leo", MaxLeaves: maxLeaves, NClasses: nClasses}
+}
+
+// InputScaleBits matches the 128-bit statistical input of Table 5.
+func (m *Model) InputScaleBits() int { return 128 }
+
+// FlowStateBits matches Table 6's 80 stateful bits/flow.
+func (m *Model) FlowStateBits() int { return 80 }
+
+// Train grows a CART tree with Gini-impurity splits. The split machinery
+// reuses the fuzzy package's threshold trees: CART impurity is emulated
+// by clustering on one-hot class targets, whose SSE objective is
+// equivalent to Gini gain up to a constant factor.
+func (m *Model) Train(flows []netsim.Flow) error {
+	xs, ys := stats(flows)
+	targets := make([][]float64, len(xs))
+	for i, y := range ys {
+		oh := make([]float64, m.NClasses)
+		oh[y] = 1
+		targets[i] = oh
+	}
+	tree, err := fuzzy.BuildTargets(xs, targets, m.MaxLeaves)
+	if err != nil {
+		return err
+	}
+	m.tree = tree
+	// Majority class per leaf.
+	counts := make([][]int, tree.NumLeaves())
+	for i := range counts {
+		counts[i] = make([]int, m.NClasses)
+	}
+	for i, x := range xs {
+		counts[tree.Assign(x)][ys[i]]++
+	}
+	m.leafClass = make([]int, tree.NumLeaves())
+	for li, c := range counts {
+		best, bi := -1, 0
+		for cls, n := range c {
+			if n > best {
+				best, bi = n, cls
+			}
+		}
+		m.leafClass[li] = bi
+	}
+	return nil
+}
+
+// Predict classifies one statistics vector.
+func (m *Model) Predict(x []float64) int {
+	return m.leafClass[m.tree.Assign(x)]
+}
+
+// Evaluate computes Table 5 metrics on flows.
+func (m *Model) Evaluate(flows []netsim.Flow, nClasses int) (metrics.Report, error) {
+	if m.tree == nil {
+		return metrics.Report{}, fmt.Errorf("leo: not trained")
+	}
+	xs, ys := stats(flows)
+	pred := make([]int, len(xs))
+	for i, x := range xs {
+		pred[i] = m.Predict(x)
+	}
+	return metrics.Evaluate(nClasses, ys, pred)
+}
+
+// Emit deploys the tree as a single ternary table (range rules via the
+// same priority CRC used by Pegasus) plus the per-flow statistic
+// registers, for Table 6 accounting.
+func (m *Model) Emit(flows int) (*pisa.Program, error) {
+	if m.tree == nil {
+		return nil, fmt.Errorf("leo: not trained")
+	}
+	layout := &pisa.Layout{}
+	in := make([]pisa.FieldID, 8)
+	for i := range in {
+		in[i] = layout.MustAdd(fmt.Sprintf("stat%d", i), 16)
+	}
+	classF := layout.MustAdd("class", 8)
+	prog := pisa.NewProgram(m.Name, layout, pisa.Tofino2)
+	chunks := (m.FlowStateBits() + 7) / 8
+	for i := 0; i < chunks; i++ {
+		r, err := pisa.NewRegister(fmt.Sprintf("flow%d", i), 8, flows)
+		if err != nil {
+			return nil, err
+		}
+		prog.AddRegister(r)
+	}
+	rules, err := m.tree.TernaryRules(16, true)
+	if err != nil {
+		return nil, err
+	}
+	entries := make([]pisa.Entry, len(rules))
+	for ri, r := range rules {
+		entries[ri] = pisa.Entry{
+			Key:  append([]uint32(nil), r.Val...),
+			Mask: append([]uint32(nil), r.Mask...),
+			Data: []int32{int32(m.leafClass[r.Leaf])},
+		}
+	}
+	kw := make([]int, 8)
+	for i := range kw {
+		kw[i] = 16
+	}
+	prog.Place(0, &pisa.Table{
+		Name: "tree", Kind: pisa.MatchTernary,
+		KeyFields: in, KeyWidths: kw, Entries: entries,
+		Action:        []pisa.Op{{Kind: pisa.OpSetData, Dst: classF, DataIdx: 0}},
+		DataWidthBits: 8,
+	})
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+func stats(flows []netsim.Flow) ([][]float64, []int) {
+	xs := make([][]float64, 0, len(flows))
+	ys := make([]int, 0, len(flows))
+	for i := range flows {
+		xs = append(xs, netsim.StatFeatures(&flows[i], 0))
+		ys = append(ys, flows[i].Class)
+	}
+	return xs, ys
+}

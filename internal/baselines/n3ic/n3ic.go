@@ -1,0 +1,185 @@
+// Package n3ic implements the N3IC baseline (Siracusano et al.,
+// NSDI'22): a fully binarised MLP whose MatMuls run as XNOR + popcount
+// on the dataplane. Binarising the entire model (weights, activations
+// and the 128-bit input bit-vector) is what costs it accuracy in
+// Table 5 — the limitation Pegasus's full-precision weights remove.
+package n3ic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/pegasus-idp/pegasus/internal/metrics"
+	"github.com/pegasus-idp/pegasus/internal/netsim"
+	"github.com/pegasus-idp/pegasus/internal/nn"
+	"github.com/pegasus-idp/pegasus/internal/tensor"
+)
+
+// BinLinear is a binary-weight linear layer trained with the straight-
+// through estimator: forward uses sign(W), backward updates the full-
+// precision shadow weights.
+type BinLinear struct {
+	In, Out int
+	Shadow  *nn.Param
+	lastX   *tensor.Mat
+}
+
+// NewBinLinear constructs the layer.
+func NewBinLinear(in, out int, rng *rand.Rand) *BinLinear {
+	p := &nn.Param{Name: fmt.Sprintf("bin%dx%d", out, in),
+		W: tensor.New(out, in), G: tensor.New(out, in)}
+	p.W.Randn(rng, math.Sqrt(2/float64(in)))
+	return &BinLinear{In: in, Out: out, Shadow: p}
+}
+
+func (l *BinLinear) Name() string        { return fmt.Sprintf("BinLinear(%d→%d)", l.In, l.Out) }
+func (l *BinLinear) OutDim(in int) int   { return l.Out }
+func (l *BinLinear) Params() []*nn.Param { return []*nn.Param{l.Shadow} }
+
+func sign(v float64) float64 {
+	if v >= 0 {
+		return 1
+	}
+	return -1
+}
+
+// binW materialises the ±1 weight matrix.
+func (l *BinLinear) binW() *tensor.Mat {
+	w := l.Shadow.W.Clone()
+	w.Apply(sign)
+	return w
+}
+
+// Forward computes x·sign(W)ᵀ — on hardware, popcount(XNOR) rescaled.
+func (l *BinLinear) Forward(x *tensor.Mat, train bool) *tensor.Mat {
+	if train {
+		l.lastX = x
+	}
+	return tensor.MatMulT(nil, x, l.binW())
+}
+
+// Backward applies the straight-through estimator: gradients flow as if
+// the weights were real-valued, clipped where |shadow| > 1.
+func (l *BinLinear) Backward(grad *tensor.Mat) *tensor.Mat {
+	gw := tensor.TMatMul(nil, grad, l.lastX)
+	for i := range gw.D {
+		if math.Abs(l.Shadow.W.D[i]) > 1 {
+			gw.D[i] = 0
+		}
+	}
+	l.Shadow.G.Add(gw)
+	return tensor.MatMul(nil, grad, l.binW())
+}
+
+// SignAct binarises activations to ±1 with an STE backward (hard tanh).
+type SignAct struct {
+	Dim   int
+	lastX *tensor.Mat
+}
+
+// NewSignAct constructs the activation.
+func NewSignAct(dim int) *SignAct { return &SignAct{Dim: dim} }
+
+func (a *SignAct) Name() string        { return fmt.Sprintf("Sign(%d)", a.Dim) }
+func (a *SignAct) OutDim(in int) int   { return in }
+func (a *SignAct) Params() []*nn.Param { return nil }
+
+func (a *SignAct) Forward(x *tensor.Mat, train bool) *tensor.Mat {
+	if train {
+		a.lastX = x
+	}
+	return x.Clone().Apply(sign)
+}
+
+func (a *SignAct) Backward(grad *tensor.Mat) *tensor.Mat {
+	out := tensor.New(grad.R, grad.C)
+	for i := range grad.D {
+		if math.Abs(a.lastX.D[i]) <= 1 {
+			out.D[i] = grad.D[i]
+		}
+	}
+	return out
+}
+
+// Model is the N3IC binary MLP over the 128-bit statistics bit-vector.
+type Model struct {
+	Name string
+	Net  *nn.Sequential
+}
+
+// New builds the paper-sized binary MLP: 128-bit input, two binary
+// hidden layers, full-precision classifier head (as in N3IC's SmartNIC
+// deployment).
+func New(nClasses int, rng *rand.Rand) *Model {
+	net := nn.NewSequential(
+		NewBinLinear(128, 48, rng), NewSignAct(48),
+		NewBinLinear(48, 24, rng), NewSignAct(24),
+		nn.NewLinear(24, nClasses, rng),
+	)
+	return &Model{Name: "N3IC", Net: net}
+}
+
+// InputScaleBits reports the 128-bit input of Table 5.
+func (m *Model) InputScaleBits() int { return 128 }
+
+// FlowStateBits matches Table 6's 80 stateful bits/flow (same flow
+// statistics as Leo/MLP-B).
+func (m *Model) FlowStateBits() int { return 80 }
+
+// ModelSizeBits counts binary weights at 1 bit each plus the
+// full-precision head — the Table 5 "Model Size" accounting N3IC uses.
+func (m *Model) ModelSizeBits() int {
+	bits := 0
+	for _, l := range m.Net.Layers {
+		switch v := l.(type) {
+		case *BinLinear:
+			bits += v.In * v.Out
+		case *nn.Linear:
+			bits += (v.In*v.Out + v.Out) * 32
+		}
+	}
+	return bits
+}
+
+// Features turns a flow into the ±1 bit-vector: the raw bits of the 8
+// 16-bit statistics.
+func Features(f *netsim.Flow) []float64 {
+	stats := netsim.StatFeatures(f, 0)
+	out := make([]float64, 0, 128)
+	for _, s := range stats {
+		v := int(s)
+		for b := 15; b >= 0; b-- {
+			if v&(1<<b) != 0 {
+				out = append(out, 1)
+			} else {
+				out = append(out, -1)
+			}
+		}
+	}
+	return out
+}
+
+func extract(flows []netsim.Flow) (*tensor.Mat, []int) {
+	xs := tensor.New(len(flows), 128)
+	ys := make([]int, len(flows))
+	for i := range flows {
+		copy(xs.Row(i), Features(&flows[i]))
+		ys[i] = flows[i].Class
+	}
+	return xs, ys
+}
+
+// Train fits the binary MLP with the straight-through estimator.
+func (m *Model) Train(flows []netsim.Flow, epochs int, seed int64) []float64 {
+	xs, ys := extract(flows)
+	return nn.Fit(m.Net, xs, nn.ClassTargets(ys), nn.SoftmaxCrossEntropy{},
+		nn.NewAdam(0.005), nn.TrainConfig{Epochs: epochs, BatchSize: 32, Seed: seed})
+}
+
+// Evaluate computes Table 5 metrics.
+func (m *Model) Evaluate(flows []netsim.Flow, nClasses int) (metrics.Report, error) {
+	xs, ys := extract(flows)
+	pred := m.Net.Predict(xs)
+	return metrics.Evaluate(nClasses, ys, pred)
+}

@@ -1,0 +1,487 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/pegasus-idp/pegasus/internal/fuzzy"
+	"github.com/pegasus-idp/pegasus/internal/pisa"
+)
+
+// EmitOptions controls PISA emission.
+type EmitOptions struct {
+	// Cap is the target capacity (defaults to Tofino 2).
+	Cap pisa.Capacity
+	// Argmax appends the class-selection ALU stage over the final
+	// outputs (classifiers set this; the AutoEncoder computes MAE
+	// instead).
+	Argmax bool
+	// FlowStateBits/Flows allocate per-flow register state for resource
+	// accounting (feature extraction state; see models package for the
+	// per-model footprints of Table 6).
+	FlowStateBits int
+	Flows         int
+}
+
+// Emitted is a compiled switch program plus the handles the replay
+// harness needs to feed packets through it.
+type Emitted struct {
+	Prog *pisa.Program
+	// InFields are the PHV fields carrying the model input vector.
+	InFields []pisa.FieldID
+	// OutFields carry the final group's outputs.
+	OutFields []pisa.FieldID
+	// ClassField carries the argmax result (valid when Argmax was set).
+	ClassField pisa.FieldID
+	// Stages used, for reporting.
+	Stages int
+}
+
+// Emit lowers the compiled tables onto a PISA pipeline, reproducing the
+// MAT correspondence of Figure 4: each fuzzy segment becomes one TCAM
+// range table (Partition + fuzzy index retrieval) and one SRAM mapping
+// table (Map), with SumReduce/MaxReduce as pairwise ALU reduction stages
+// and the final classification as a compare-select chain.
+func Emit(c *Compiled, opts EmitOptions) (*Emitted, error) {
+	if opts.Cap.Stages == 0 {
+		opts.Cap = pisa.Tofino2
+	}
+	layout := &pisa.Layout{}
+	em := &Emitted{}
+
+	// Boundary pools (ping-pong) sized to the widest INTER-group vector
+	// (the input boundary lives in the dedicated in-fields). Activations
+	// crossing boundaries are renormalised to ActBits, so the pools use
+	// that width.
+	accW := int(c.Cfg.AccBits)
+	actW := int(c.Cfg.ActBits)
+	boundaryWidths := []int{c.InDim}
+	for _, g := range c.Groups {
+		boundaryWidths = append(boundaryWidths, groupOutWidth(&g))
+	}
+	maxBoundary := 0
+	for _, w := range boundaryWidths[1:] {
+		if w > maxBoundary {
+			maxBoundary = w
+		}
+	}
+	// Input fields (first boundary) at the input key width.
+	inW := int(c.Cfg.InBits)
+	for j := 0; j < c.InDim; j++ {
+		f, err := layout.Add(fmt.Sprintf("in%d", j), inW)
+		if err != nil {
+			return nil, err
+		}
+		em.InFields = append(em.InFields, f)
+	}
+	valA := make([]pisa.FieldID, maxBoundary)
+	valB := make([]pisa.FieldID, maxBoundary)
+	for j := 0; j < maxBoundary; j++ {
+		valA[j] = layout.MustAdd(fmt.Sprintf("valA%d", j), actW)
+		valB[j] = layout.MustAdd(fmt.Sprintf("valB%d", j), actW)
+	}
+	// Scratch pools: interval codes (two-level CRC), fuzzy indices,
+	// reduce temporaries. No key scratch is needed: the signed→unsigned
+	// offset is folded into the TCAM rule values (FlipTop), so every
+	// range table keys directly on the source fields.
+	maxCodes, maxIdx, maxTmp := 0, 0, 0
+	for _, g := range c.Groups {
+		keys, idxs, tmp := 0, 0, 0
+		for _, s := range g.Segs {
+			if s.Mode == SegFuzzy {
+				keys += len(s.Cols)
+				idxs++
+			}
+			tmp += s.OutDim
+		}
+		if g.Reduce == ReduceNone {
+			tmp = 0 // written straight to the boundary
+		}
+		maxCodes = maxInt(maxCodes, keys)
+		maxIdx = maxInt(maxIdx, idxs)
+		maxTmp = maxInt(maxTmp, tmp)
+	}
+	codeF := make([]pisa.FieldID, maxCodes)
+	for j := range codeF {
+		codeF[j] = layout.MustAdd(fmt.Sprintf("code%d", j), 8)
+	}
+	idxF := make([]pisa.FieldID, maxIdx)
+	for j := range idxF {
+		idxF[j] = layout.MustAdd(fmt.Sprintf("fidx%d", j), 8)
+	}
+	tmpF := make([]pisa.FieldID, maxTmp)
+	for j := range tmpF {
+		tmpF[j] = layout.MustAdd(fmt.Sprintf("tmp%d", j), accW)
+	}
+
+	prog := pisa.NewProgram(c.Name, layout, opts.Cap)
+	if opts.FlowStateBits > 0 && opts.Flows > 0 {
+		if err := addFlowState(prog, opts.FlowStateBits, opts.Flows); err != nil {
+			return nil, err
+		}
+	}
+
+	stage := 0
+	src := em.InFields // current boundary fields
+	dstPool := valA
+	for gi := range c.Groups {
+		g := &c.Groups[gi]
+		dst := dstPool[:boundaryWidths[gi+1]]
+		var err error
+		stage, err = emitGroup(prog, c, gi, g, src, dst, codeF, idxF, tmpF, stage)
+		if err != nil {
+			return nil, err
+		}
+		src = dst
+		if &dstPool[0] == &valA[0] {
+			dstPool = valB
+		} else {
+			dstPool = valA
+		}
+	}
+	em.OutFields = src
+	if opts.Argmax {
+		best := layout.MustAdd("best", accW)
+		em.ClassField = layout.MustAdd("class", 8)
+		ops := []pisa.Op{
+			{Kind: pisa.OpMove, Dst: best, A: src[0]},
+			{Kind: pisa.OpSet, Dst: em.ClassField, Imm: 0},
+		}
+		for j := 1; j < len(src); j++ {
+			ops = append(ops,
+				pisa.Op{Kind: pisa.OpSelGE, Dst: em.ClassField, A: src[j], B: best, Imm: int32(j)},
+				pisa.Op{Kind: pisa.OpMax, Dst: best, A: best, B: src[j]},
+			)
+		}
+		prog.Place(stage, &pisa.Table{Name: "argmax", Kind: pisa.MatchNone,
+			DefaultData: []int32{}, Action: ops})
+		stage++
+	}
+	em.Prog = prog
+	em.Stages = stage
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return em, nil
+}
+
+func groupOutWidth(g *ExecGroup) int {
+	n := 0
+	for _, s := range g.Segs {
+		n += s.OutDim
+	}
+	if g.Reduce != ReduceNone && len(g.Segs) > 0 {
+		return g.Segs[0].OutDim
+	}
+	return n
+}
+
+// emitGroup lowers one exec group starting at the given stage, returning
+// the next free stage. Fuzzy segments with more than two dimensions use
+// the two-level CRC encoding (per-dimension code tables + a combo
+// table); narrow segments use the direct priority range encoding.
+func emitGroup(prog *pisa.Program, c *Compiled, gi int, g *ExecGroup,
+	src, dst, codeF, idxF, tmpF []pisa.FieldID, stage int) (int, error) {
+
+	var offset int32
+	if g.SignedIn {
+		offset = int32(1) << (g.KeyBits - 1)
+	}
+	ki := 0
+	keyBase := map[int]int{}
+	twoLevel := map[int]bool{}
+	for si, s := range g.Segs {
+		if s.Mode != SegFuzzy {
+			continue
+		}
+		keyBase[si] = ki
+		twoLevel[si] = len(s.Cols) > 2
+		ki += len(s.Cols)
+	}
+	// All range tables key directly on the source fields: rules are
+	// generated in the offset domain and FlipTop rewrites them for the
+	// raw two's-complement keys (zero ALU cost).
+	keyFieldOf := func(si int, s *ExecSeg, d int) pisa.FieldID {
+		return src[s.Cols[d]]
+	}
+
+	// Stage B1 (two-level segments): per-dimension interval-code tables.
+	anyTwo, anySingle := false, false
+	for si := range g.Segs {
+		s := &g.Segs[si]
+		if s.Mode != SegFuzzy || !twoLevel[si] {
+			continue
+		}
+		anyTwo = true
+		tl, err := s.Tree.TwoLevelRules(g.KeyBits, int64(offset))
+		if err != nil {
+			return stage, fmt.Errorf("core: group %d seg %d: %v", gi, si, err)
+		}
+		if offset != 0 {
+			for d := range tl.Dims {
+				fuzzy.FlipTopDim(&tl.Dims[d], g.KeyBits)
+			}
+		}
+		s.tl = tl
+		for d := range tl.Dims {
+			dc := &tl.Dims[d]
+			entries := make([]pisa.Entry, len(dc.Rules))
+			for ri, r := range dc.Rules {
+				entries[ri] = pisa.Entry{
+					Key:  []uint32{r.Val[0]},
+					Mask: []uint32{r.Mask[0]},
+					Data: []int32{int32(r.Leaf)},
+				}
+			}
+			prog.Place(stage, &pisa.Table{
+				Name: fmt.Sprintf("g%d_s%d_dim%d", gi, si, d), Kind: pisa.MatchTernary,
+				KeyFields:     []pisa.FieldID{keyFieldOf(si, s, d)},
+				KeyWidths:     []int{int(g.KeyBits)},
+				Entries:       entries,
+				Action:        []pisa.Op{{Kind: pisa.OpSetData, Dst: codeF[keyBase[si]+d], DataIdx: 0}},
+				DataWidthBits: int(dc.Bits),
+			})
+		}
+	}
+	if anyTwo {
+		stage++
+	}
+
+	// Stage B2: combo tables (two-level) and direct range tables
+	// (narrow segments) → fuzzy index.
+	idxOf := map[int]int{}
+	fi := 0
+	for si := range g.Segs {
+		s := &g.Segs[si]
+		if s.Mode != SegFuzzy {
+			continue
+		}
+		idxOf[si] = fi
+		width := idxBits(s.Tree.NumLeaves())
+		if twoLevel[si] {
+			tl := s.tl
+			kf := make([]pisa.FieldID, len(s.Cols))
+			kw := make([]int, len(s.Cols))
+			for d := range s.Cols {
+				kf[d] = codeF[keyBase[si]+d]
+				kw[d] = int(tl.Dims[d].Bits)
+			}
+			entries := make([]pisa.Entry, len(tl.Combo))
+			for ri, r := range tl.Combo {
+				entries[ri] = pisa.Entry{
+					Key:  append([]uint32(nil), r.Val...),
+					Mask: append([]uint32(nil), r.Mask...),
+					Data: []int32{int32(r.Leaf)},
+				}
+			}
+			prog.Place(stage, &pisa.Table{
+				Name: fmt.Sprintf("g%d_s%d_combo", gi, si), Kind: pisa.MatchTernary,
+				KeyFields: kf, KeyWidths: kw, Entries: entries,
+				Action:        []pisa.Op{{Kind: pisa.OpSetData, Dst: idxF[fi], DataIdx: 0}},
+				DataWidthBits: width,
+			})
+		} else {
+			anySingle = true
+			rules, err := s.Tree.TernaryRulesShifted(g.KeyBits, true, int64(offset))
+			if err != nil {
+				return stage, fmt.Errorf("core: group %d seg %d: %v", gi, si, err)
+			}
+			if offset != 0 {
+				fuzzy.FlipTop(rules, g.KeyBits)
+			}
+			entries := make([]pisa.Entry, len(rules))
+			for ri, r := range rules {
+				entries[ri] = pisa.Entry{
+					Key:  append([]uint32(nil), r.Val...),
+					Mask: append([]uint32(nil), r.Mask...),
+					Data: []int32{int32(r.Leaf)},
+				}
+			}
+			kf := make([]pisa.FieldID, len(s.Cols))
+			kw := make([]int, len(s.Cols))
+			for d := range s.Cols {
+				kf[d] = keyFieldOf(si, s, d)
+				kw[d] = int(g.KeyBits)
+			}
+			prog.Place(stage, &pisa.Table{
+				Name: fmt.Sprintf("g%d_s%d_fuzzy", gi, si), Kind: pisa.MatchTernary,
+				KeyFields: kf, KeyWidths: kw, Entries: entries,
+				Action:        []pisa.Op{{Kind: pisa.OpSetData, Dst: idxF[fi], DataIdx: 0}},
+				DataWidthBits: width,
+			})
+		}
+		fi++
+	}
+	if anyTwo || anySingle {
+		stage++
+	}
+
+	// Stage C: SRAM mapping tables and identity moves. Targets: the
+	// boundary directly for ReduceNone, the temp pool otherwise.
+	targets := dst
+	if g.Reduce != ReduceNone {
+		targets = tmpF
+	}
+	off := 0
+	for si := range g.Segs {
+		s := &g.Segs[si]
+		segDst := targets[off : off+s.OutDim]
+		switch s.Mode {
+		case SegFuzzy:
+			entries := make([]pisa.Entry, len(s.Table))
+			for li, row := range s.Table {
+				entries[li] = pisa.Entry{Key: []uint32{uint32(li)}, Data: append([]int32(nil), row...)}
+			}
+			ops := make([]pisa.Op, s.OutDim)
+			for j := 0; j < s.OutDim; j++ {
+				ops[j] = pisa.Op{Kind: pisa.OpSetData, Dst: segDst[j], DataIdx: j}
+			}
+			prog.Place(stage, &pisa.Table{
+				Name: fmt.Sprintf("g%d_s%d_map", gi, si), Kind: pisa.MatchExact,
+				KeyFields: []pisa.FieldID{idxF[idxOf[si]]}, KeyWidths: []int{idxBits(s.Tree.NumLeaves())},
+				Entries: entries, Action: ops,
+				DataWidthBits: s.OutDim * int(c.Cfg.OutBits),
+			})
+		case SegEmbed:
+			for t, col := range s.Cols {
+				vocab := len(s.EmbTab[t])
+				entries := make([]pisa.Entry, vocab)
+				for v := 0; v < vocab; v++ {
+					entries[v] = pisa.Entry{Key: []uint32{uint32(v)}, Data: append([]int32(nil), s.EmbTab[t][v]...)}
+				}
+				ops := make([]pisa.Op, s.EmbDim)
+				for j := 0; j < s.EmbDim; j++ {
+					ops[j] = pisa.Op{Kind: pisa.OpSetData, Dst: segDst[t*s.EmbDim+j], DataIdx: j}
+				}
+				prog.Place(stage, &pisa.Table{
+					Name: fmt.Sprintf("g%d_s%d_emb%d", gi, si, t), Kind: pisa.MatchExact,
+					KeyFields: []pisa.FieldID{src[col]}, KeyWidths: []int{int(g.KeyBits)},
+					Entries: entries, Action: ops,
+					DataWidthBits: s.EmbDim * int(c.Cfg.OutBits),
+				})
+			}
+		case SegIdentity:
+			ops := make([]pisa.Op, len(s.Cols))
+			for k, col := range s.Cols {
+				ops[k] = pisa.Op{Kind: pisa.OpMove, Dst: segDst[k], A: src[col]}
+			}
+			prog.Place(stage, &pisa.Table{
+				Name: fmt.Sprintf("g%d_s%d_route", gi, si), Kind: pisa.MatchNone,
+				DefaultData: []int32{}, Action: ops,
+			})
+		}
+		off += s.OutDim
+	}
+	stage++
+
+	// Stage D: reduction tree (pairwise) ending in the boundary fields,
+	// with the §4.4 renormalisation shift folded into the final round.
+	if g.Reduce != ReduceNone {
+		n := len(g.Segs)
+		w := g.Segs[0].OutDim
+		opKind := pisa.OpSatAdd
+		if g.Reduce == ReduceMax {
+			opKind = pisa.OpMax
+		}
+		blocks := make([]int, n)
+		for i := range blocks {
+			blocks[i] = i * w
+		}
+		round := 0
+		if n == 1 {
+			// Single segment: shift-or-move straight to the boundary.
+			var ops []pisa.Op
+			for j := 0; j < w; j++ {
+				if g.RShift > 0 {
+					ops = append(ops, pisa.Op{Kind: pisa.OpShr, Dst: dst[j], A: tmpF[j], Imm: int32(g.RShift)})
+				} else {
+					ops = append(ops, pisa.Op{Kind: pisa.OpMove, Dst: dst[j], A: tmpF[j]})
+				}
+			}
+			prog.Place(stage, &pisa.Table{
+				Name: fmt.Sprintf("g%d_move", gi), Kind: pisa.MatchNone,
+				DefaultData: []int32{}, Action: ops,
+			})
+			stage++
+		}
+		for n > 1 {
+			half := n / 2
+			last := n%2 == 1
+			final := half == 1 && !last
+			var ops []pisa.Op
+			for i := 0; i < half; i++ {
+				a, b := blocks[i], blocks[n-1-i]
+				for j := 0; j < w; j++ {
+					dstF := tmpF[a+j]
+					if final && g.RShift == 0 {
+						dstF = dst[j]
+					}
+					ops = append(ops, pisa.Op{Kind: opKind, Dst: dstF, A: tmpF[a+j], B: tmpF[b+j]})
+				}
+			}
+			if final && g.RShift > 0 {
+				// Fold the renormalisation into this stage: the sum
+				// lands in tmp, then shifts into the boundary.
+				for j := 0; j < w; j++ {
+					ops = append(ops, pisa.Op{Kind: pisa.OpShr, Dst: dst[j], A: tmpF[blocks[0]+j], Imm: int32(g.RShift)})
+				}
+			}
+			prog.Place(stage, &pisa.Table{
+				Name: fmt.Sprintf("g%d_reduce%d", gi, round), Kind: pisa.MatchNone,
+				DefaultData: []int32{}, Action: ops,
+			})
+			stage++
+			round++
+			n = (n + 1) / 2
+			blocks = blocks[:n]
+		}
+	}
+	return stage, nil
+}
+
+// RunSwitch pushes one input vector through the emitted program and
+// returns (class, outputs) — used by integration tests to prove the
+// switch pipeline is bit-identical to Compiled.Infer.
+func (em *Emitted) RunSwitch(x []int32) (int, []int32) {
+	phv := em.Prog.Layout.NewPHV()
+	for i, f := range em.InFields {
+		phv.Set(f, x[i])
+	}
+	em.Prog.Process(phv)
+	outs := make([]int32, len(em.OutFields))
+	for i, f := range em.OutFields {
+		outs[i] = phv.Get(f)
+	}
+	return int(phv.Get(em.ClassField)), outs
+}
+
+func idxBits(leaves int) int {
+	b := 1
+	for (1 << b) < leaves {
+		b++
+	}
+	if b < 4 {
+		return 4
+	}
+	return b
+}
+
+func addFlowState(prog *pisa.Program, bitsPerFlow, flows int) error {
+	// PISA registers are 8/16/32-bit; allocate 8-bit chunks (the paper's
+	// footnote: 4-bit state is padded to 8-bit registers).
+	chunks := (bitsPerFlow + 7) / 8
+	for i := 0; i < chunks; i++ {
+		r, err := pisa.NewRegister(fmt.Sprintf("flow_state%d", i), 8, flows)
+		if err != nil {
+			return err
+		}
+		prog.AddRegister(r)
+	}
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,387 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/pegasus-idp/pegasus/internal/nn"
+	"github.com/pegasus-idp/pegasus/internal/tensor"
+)
+
+func vecEq(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// --- Table 3: primitive semantics -----------------------------------------
+
+func TestPrimitiveSemanticsPartition(t *testing.T) {
+	p := &Partition{Groups: [][]int{{0, 1}, {2, 3}, {0, 2}}}
+	out := p.Apply([][]float64{{10, 20, 30, 40}})
+	if !vecEq(out[0], []float64{10, 20}, 0) || !vecEq(out[1], []float64{30, 40}, 0) || !vecEq(out[2], []float64{10, 30}, 0) {
+		t.Fatalf("Partition = %v", out)
+	}
+}
+
+func TestPrimitiveSemanticsMap(t *testing.T) {
+	m := &Map{Fns: []Fn{Diag([]float64{2}, []float64{1}), Diag([]float64{3}, []float64{0})}}
+	out := m.Apply([][]float64{{5}, {7}})
+	if out[0][0] != 11 || out[1][0] != 21 {
+		t.Fatalf("Map = %v", out)
+	}
+}
+
+func TestPrimitiveSemanticsSumReduce(t *testing.T) {
+	out := SumReduce{}.Apply([][]float64{{1, 2}, {10, 20}, {100, 200}})
+	if !vecEq(out[0], []float64{111, 222}, 0) {
+		t.Fatalf("SumReduce = %v", out)
+	}
+}
+
+func TestPrimitiveSemanticsMaxReduce(t *testing.T) {
+	out := MaxReduce{}.Apply([][]float64{{1, 9}, {5, 2}})
+	if !vecEq(out[0], []float64{5, 9}, 0) {
+		t.Fatalf("MaxReduce = %v", out)
+	}
+}
+
+func TestProgramEvalMatMulViaPrimitives(t *testing.T) {
+	// Figure 4 / §3.2: MatMul = Partition → Map(partials) → SumReduce.
+	w := tensor.FromSlice(2, 4, []float64{1, 2, 3, 4, 5, 6, 7, 8})
+	full := &AffineFn{W: w, B: []float64{0.5, -0.5}}
+	groups, _ := SeqGroups(4, 2)
+	prog := &Program{Name: "matmul", InDim: 4, Steps: []Step{
+		&Partition{Groups: groups},
+		&Map{Fns: []Fn{full.Restrict(groups[0], true), full.Restrict(groups[1], false)}},
+		SumReduce{},
+	}}
+	x := []float64{1, 1, 1, 1}
+	got := prog.Eval(x)
+	want := full.Eval(x)
+	if !vecEq(got, want, 1e-12) {
+		t.Fatalf("primitive MatMul %v != %v", got, want)
+	}
+	if prog.Lookups() != 2 {
+		t.Fatalf("Lookups = %d, want 2", prog.Lookups())
+	}
+}
+
+// --- Fn algebra -------------------------------------------------------------
+
+func TestAffineComposeExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := &AffineFn{W: tensor.New(3, 2).Randn(rng, 1), B: []float64{1, 2, 3}}
+	g := &AffineFn{W: tensor.New(2, 3).Randn(rng, 1), B: []float64{-1, 4}}
+	comp := Compose(g, f)
+	if _, ok := comp.(*AffineFn); !ok {
+		t.Fatal("affine∘affine must fold to affine")
+	}
+	x := []float64{0.3, -0.7}
+	if !vecEq(comp.Eval(x), g.Eval(f.Eval(x)), 1e-12) {
+		t.Fatal("composed affine disagrees")
+	}
+}
+
+func TestComposeNonAffine(t *testing.T) {
+	f := &AffineFn{W: tensor.FromSlice(2, 2, []float64{1, 0, 0, 1}), B: []float64{1, -1}}
+	a := &ActFn{Kind: nn.ReLU, Dim: 2}
+	comp := Compose(a, f)
+	got := comp.Eval([]float64{0.5, 0.5})
+	if !vecEq(got, []float64{1.5, 0}, 1e-12) {
+		t.Fatalf("relu∘affine = %v", got)
+	}
+	if comp.InDim() != 2 || comp.OutDim() != 2 || comp.Name() == "" {
+		t.Fatal("compose metadata")
+	}
+}
+
+func TestLinearPredicate(t *testing.T) {
+	if !Linear(&AffineFn{W: tensor.New(2, 2), B: []float64{0, 0}}) {
+		t.Fatal("zero-bias affine must be linear")
+	}
+	if Linear(&AffineFn{W: tensor.New(2, 2), B: []float64{1, 0}}) {
+		t.Fatal("biased affine is not additive")
+	}
+	if Linear(&ActFn{Kind: nn.ReLU, Dim: 2}) {
+		t.Fatal("ReLU is not linear")
+	}
+}
+
+func TestEmbedFnClampsAndConcats(t *testing.T) {
+	tab := tensor.FromSlice(3, 2, []float64{0, 0, 10, 11, 20, 21})
+	e := &EmbedFn{Table: tab, T: 2}
+	got := e.Eval([]float64{1, 99})
+	if !vecEq(got, []float64{10, 11, 20, 21}, 0) {
+		t.Fatalf("EmbedFn = %v", got)
+	}
+	if e.InDim() != 2 || e.OutDim() != 4 {
+		t.Fatal("EmbedFn dims")
+	}
+}
+
+func TestRestrictPartialSums(t *testing.T) {
+	w := tensor.FromSlice(1, 4, []float64{1, 2, 3, 4})
+	a := &AffineFn{W: w, B: []float64{10}}
+	p1 := a.Restrict([]int{0, 1}, true)
+	p2 := a.Restrict([]int{2, 3}, false)
+	x := []float64{1, 1, 1, 1}
+	sum := p1.Eval(x[:2])[0] + p2.Eval(x[2:])[0]
+	if sum != a.Eval(x)[0] {
+		t.Fatalf("restricted partials sum %g != %g", sum, a.Eval(x)[0])
+	}
+}
+
+// --- Lowering + fusion -----------------------------------------------------
+
+func buildMLP(t *testing.T, rng *rand.Rand, in int) *nn.Sequential {
+	t.Helper()
+	net := nn.NewSequential(
+		nn.NewBatchNorm(in),
+		nn.NewLinear(in, 8, rng), nn.NewActivation(nn.ReLU),
+		nn.NewBatchNorm(8),
+		nn.NewLinear(8, 8, rng), nn.NewActivation(nn.ReLU),
+		nn.NewLinear(8, 3, rng),
+	)
+	// Populate BN running stats.
+	net.Forward(tensor.New(64, in).Randn(rng, 2), true)
+	return net
+}
+
+func TestLowerMLPMatchesNetwork(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	net := buildMLP(t, rng, 8)
+	prog, err := Lower("mlp", net, 8, LowerConfig{MaxSegDim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		x := make([]float64, 8)
+		xm := tensor.New(1, 8)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 2
+			xm.Set(0, i, x[i])
+		}
+		want := net.Forward(xm, false).Row(0)
+		got := prog.Eval(x)
+		if !vecEq(got, want, 1e-9) {
+			t.Fatalf("lowered program %v != network %v", got, want)
+		}
+	}
+}
+
+func TestFuseMLPPreservesSemanticsAndShrinksLookups(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net := buildMLP(t, rng, 8)
+	prog, err := Lower("mlp", net, 8, LowerConfig{MaxSegDim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused := Fuse(prog)
+	if fused.Lookups() >= prog.Lookups() {
+		t.Fatalf("fusion did not reduce lookups: %d → %d", prog.Lookups(), fused.Lookups())
+	}
+	for trial := 0; trial < 50; trial++ {
+		x := make([]float64, 8)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 2
+		}
+		if !vecEq(fused.Eval(x), prog.Eval(x), 1e-9) {
+			t.Fatalf("fusion changed semantics at trial %d", trial)
+		}
+	}
+}
+
+func TestFusionFigure5BasicStructure(t *testing.T) {
+	// After basic fusion, a BN+FC+ReLU ×2 + FC network must have exactly
+	// one fused Map group per FC layer: [P, Map, SR] × 3 (Figure 5 ❶:
+	// "compress seven table lookups into just two" per hidden block).
+	rng := rand.New(rand.NewSource(4))
+	net := buildMLP(t, rng, 8)
+	prog, _ := Lower("mlp", net, 8, LowerConfig{MaxSegDim: 2})
+	fused := Fuse(prog)
+	plan, err := planOf(fused)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 3 {
+		t.Fatalf("fused plan has %d groups, want 3 (one per FC): %s", len(plan), fused)
+	}
+	for gi, g := range plan {
+		if g.reduce != ReduceSum {
+			t.Fatalf("group %d reduce = %d, want SumReduce", gi, g.reduce)
+		}
+	}
+}
+
+func TestFusionFigure5AdvancedLinearCollapsesToOneGroup(t *testing.T) {
+	// Advanced Fusion ❷: with nonlinearities removed, the entire model
+	// collapses to a single table group regardless of depth.
+	rng := rand.New(rand.NewSource(5))
+	net := buildMLP(t, rng, 8)
+	prog, _ := Lower("mlp", net, 8, LowerConfig{MaxSegDim: 2})
+	lin := DropNonlinear(prog)
+	plan, err := planOf(lin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 1 {
+		t.Fatalf("linearised plan has %d groups, want 1: %s", len(plan), lin)
+	}
+	// And it must equal the algebraic composition of the affine layers.
+	bn1 := net.Layers[0].(*nn.BatchNorm)
+	fc1 := net.Layers[1].(*nn.Linear)
+	bn2 := net.Layers[3].(*nn.BatchNorm)
+	fc2 := net.Layers[4].(*nn.Linear)
+	fc3 := net.Layers[6].(*nn.Linear)
+	s1, h1 := bn1.InferenceAffine()
+	s2, h2 := bn2.InferenceAffine()
+	ref := composeAffine(
+		&AffineFn{W: fc3.Weight.W, B: fc3.Bias.W.D},
+		composeAffine(
+			composeAffine(&AffineFn{W: fc2.Weight.W, B: fc2.Bias.W.D}, Diag(s2, h2)),
+			composeAffine(&AffineFn{W: fc1.Weight.W, B: fc1.Bias.W.D}, Diag(s1, h1)),
+		),
+	)
+	x := make([]float64, 8)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	if !vecEq(lin.Eval(x), ref.Eval(x), 1e-9) {
+		t.Fatal("linearised program disagrees with affine composition")
+	}
+}
+
+func TestFusionNAMAlreadyMinimal(t *testing.T) {
+	// Advanced Fusion ❸: a NAM-structured model lowers directly to one
+	// [P, Map(subnet), SR] group — one lookup per segment.
+	rng := rand.New(rand.NewSource(6))
+	inner := nn.NewSequential(nn.NewLinear(4, 6, rng), nn.NewActivation(nn.Tanh), nn.NewLinear(6, 3, rng))
+	net := nn.NewSequential(nn.NewSegmentsAsBatch(4, 4, inner), nn.NewSumSegments(4, 3))
+	prog, err := Lower("nam", net, 16, LowerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused := Fuse(prog)
+	plan, err := planOf(fused)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 1 || plan[0].reduce != ReduceSum || len(plan[0].fns) != 4 {
+		t.Fatalf("NAM plan unexpected: %d groups", len(plan))
+	}
+	// Semantics must match training-time forward.
+	x := tensor.New(1, 16).Randn(rng, 1)
+	want := net.Forward(x, false).Row(0)
+	got := fused.Eval(x.Row(0))
+	if !vecEq(got, want, 1e-9) {
+		t.Fatalf("NAM lowering %v != %v", got, want)
+	}
+}
+
+func TestLowerCNNMatchesNetwork(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	net := nn.NewSequential(
+		nn.NewConv1d(8, 2, 6, 2, 2, rng), nn.NewActivation(nn.ReLU),
+		nn.NewGlobalMaxPool(4, 6),
+		nn.NewLinear(6, 8, rng), nn.NewActivation(nn.ReLU),
+		nn.NewLinear(8, 3, rng),
+	)
+	prog, err := Lower("cnn", net, 16, LowerConfig{MaxSegDim: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused := Fuse(prog)
+	for trial := 0; trial < 30; trial++ {
+		x := tensor.New(1, 16).Randn(rng, 1)
+		want := net.Forward(x, false).Row(0)
+		if !vecEq(prog.Eval(x.Row(0)), want, 1e-9) {
+			t.Fatal("lowered CNN disagrees")
+		}
+		if !vecEq(fused.Eval(x.Row(0)), want, 1e-9) {
+			t.Fatal("fused CNN disagrees")
+		}
+	}
+}
+
+func TestLowerEmbeddingModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	net := nn.NewSequential(
+		nn.NewEmbedding(16, 3, 4, rng),
+		nn.NewLinear(12, 2, rng),
+	)
+	prog, err := Lower("emb", net, 4, LowerConfig{MaxSegDim: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.FromSlice(1, 4, []float64{3, 0, 15, 7})
+	want := net.Forward(x, false).Row(0)
+	if !vecEq(prog.Eval(x.Row(0)), want, 1e-9) {
+		t.Fatal("embedding lowering disagrees")
+	}
+}
+
+func TestLowerSoftmaxProgram(t *testing.T) {
+	prog := LowerSoftmax(4)
+	x := []float64{1, 2, 3, 4}
+	got := prog.Eval(x)
+	want := make([]float64, 4)
+	nn.SoftmaxRow(x, want)
+	if !vecEq(got, want, 1e-9) {
+		t.Fatalf("softmax lowering %v != %v", got, want)
+	}
+	sum := 0.0
+	for _, v := range got {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatal("softmax does not normalise")
+	}
+}
+
+func TestLowerRejectsUnknownShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	net := nn.NewSequential(nn.NewLinear(4, 2, rng))
+	if _, err := Lower("bad", net, 3, LowerConfig{}); err == nil {
+		t.Fatal("want dimension mismatch error")
+	}
+}
+
+func TestSeqGroupsAndWindowGroups(t *testing.T) {
+	g, err := SeqGroups(6, 2)
+	if err != nil || len(g) != 3 || g[2][1] != 5 {
+		t.Fatalf("SeqGroups = %v err %v", g, err)
+	}
+	if _, err := SeqGroups(5, 2); err == nil {
+		t.Fatal("want divisibility error")
+	}
+	wg, err := WindowGroups(4, 2, 2, 2)
+	if err != nil || len(wg) != 2 {
+		t.Fatalf("WindowGroups = %v err %v", wg, err)
+	}
+	if !equalInts(wg[1], []int{4, 5, 6, 7}) {
+		t.Fatalf("window 1 = %v", wg[1])
+	}
+	if _, err := WindowGroups(2, 1, 5, 1); err == nil {
+		t.Fatal("want window error")
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

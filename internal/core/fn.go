@@ -1,0 +1,222 @@
+// Package core implements the paper's primary contribution: the
+// translation of deep-learning models into the three dataplane-oriented
+// primitives — Partition, Map and SumReduce (§4.1, Table 3) — together
+// with Primitive Fusion (§4.3), fuzzy-matching mapping tables with
+// full-precision weights and fixed-point activations (§4.2, §4.4), and
+// compilation of the fused primitive program onto a PISA switch pipeline.
+package core
+
+import (
+	"fmt"
+
+	"github.com/pegasus-idp/pegasus/internal/nn"
+	"github.com/pegasus-idp/pegasus/internal/tensor"
+)
+
+// Fn is a function applied by a Map primitive to one Partition segment.
+type Fn interface {
+	// InDim / OutDim give the segment widths consumed and produced.
+	InDim() int
+	OutDim() int
+	// Eval applies the function at full precision.
+	Eval(x []float64) []float64
+	// Name is a short diagnostic label.
+	Name() string
+}
+
+// Linear reports whether f satisfies f(a+b) = f(a)+f(b) exactly — the
+// precondition of the Linear Reordering fusion rule. Affine functions
+// qualify only when their bias is zero; the rewrite handles nonzero bias
+// by assigning it to a single segment.
+func Linear(f Fn) bool {
+	a, ok := f.(*AffineFn)
+	if !ok {
+		return false
+	}
+	for _, b := range a.B {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// AffineFn is f(x) = W·x + B. It covers MatMul, bias addition, batch
+// normalisation (diagonal W) and any composition thereof.
+type AffineFn struct {
+	W *tensor.Mat // out×in
+	B []float64   // length out
+}
+
+// NewAffine constructs an affine function, validating shapes.
+func NewAffine(w *tensor.Mat, b []float64) (*AffineFn, error) {
+	if b != nil && len(b) != w.R {
+		return nil, fmt.Errorf("core: affine bias %d != rows %d", len(b), w.R)
+	}
+	if b == nil {
+		b = make([]float64, w.R)
+	}
+	return &AffineFn{W: w, B: b}, nil
+}
+
+// Diag constructs the diagonal affine f(x) = scale⊙x + shift (the
+// inference form of BatchNorm).
+func Diag(scale, shift []float64) *AffineFn {
+	n := len(scale)
+	w := tensor.New(n, n)
+	for i := 0; i < n; i++ {
+		w.Set(i, i, scale[i])
+	}
+	b := append([]float64(nil), shift...)
+	return &AffineFn{W: w, B: b}
+}
+
+// Identity returns the n-dimensional identity affine.
+func Identity(n int) *AffineFn {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = 1
+	}
+	return Diag(s, make([]float64, n))
+}
+
+func (a *AffineFn) InDim() int  { return a.W.C }
+func (a *AffineFn) OutDim() int { return a.W.R }
+func (a *AffineFn) Name() string {
+	return fmt.Sprintf("Affine(%d→%d)", a.W.C, a.W.R)
+}
+
+func (a *AffineFn) Eval(x []float64) []float64 {
+	if len(x) != a.W.C {
+		panic(fmt.Sprintf("core: affine input %d, want %d", len(x), a.W.C))
+	}
+	out := make([]float64, a.W.R)
+	for i := 0; i < a.W.R; i++ {
+		row := a.W.Row(i)
+		s := a.B[i]
+		for j, v := range x {
+			s += row[j] * v
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Restrict returns the affine restricted to input columns cols, i.e. the
+// per-segment partial of a weighted aggregation. The bias is included
+// only when withBias is set (exactly one segment should carry it so the
+// SumReduce total is correct).
+func (a *AffineFn) Restrict(cols []int, withBias bool) *AffineFn {
+	w := tensor.New(a.W.R, len(cols))
+	for i := 0; i < a.W.R; i++ {
+		src := a.W.Row(i)
+		dst := w.Row(i)
+		for k, c := range cols {
+			dst[k] = src[c]
+		}
+	}
+	b := make([]float64, a.W.R)
+	if withBias {
+		copy(b, a.B)
+	}
+	return &AffineFn{W: w, B: b}
+}
+
+// composeAffine returns g∘f as a single affine: g.W·f.W, g.W·f.B + g.B.
+func composeAffine(g, f *AffineFn) *AffineFn {
+	w := tensor.MatMul(nil, g.W, f.W)
+	b := g.Eval(f.B)
+	return &AffineFn{W: w, B: b}
+}
+
+// ActFn is an element-wise nonlinearity over a segment.
+type ActFn struct {
+	Kind nn.ActKind
+	Dim  int
+}
+
+func (a *ActFn) InDim() int   { return a.Dim }
+func (a *ActFn) OutDim() int  { return a.Dim }
+func (a *ActFn) Name() string { return fmt.Sprintf("%s(%d)", a.Kind, a.Dim) }
+
+func (a *ActFn) Eval(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = a.Kind.Eval(v)
+	}
+	return out
+}
+
+// EmbedFn is an embedding lookup over a segment of discrete indices:
+// each index is replaced by its Dim-wide embedding row (Table 4's
+// Embedding Lookup, a pure Map).
+type EmbedFn struct {
+	Table *tensor.Mat // vocab×dim
+	T     int         // indices per segment
+}
+
+func (e *EmbedFn) InDim() int   { return e.T }
+func (e *EmbedFn) OutDim() int  { return e.T * e.Table.C }
+func (e *EmbedFn) Name() string { return fmt.Sprintf("Embed(%d×%d)", e.T, e.Table.C) }
+
+func (e *EmbedFn) Eval(x []float64) []float64 {
+	out := make([]float64, 0, e.OutDim())
+	for _, v := range x {
+		idx := int(v)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= e.Table.R {
+			idx = e.Table.R - 1
+		}
+		out = append(out, e.Table.Row(idx)...)
+	}
+	return out
+}
+
+// ComposeFn is g∘f (merged consecutive Maps that could not be folded
+// algebraically).
+type ComposeFn struct {
+	First, Second Fn
+}
+
+// Compose merges two functions, folding affine∘affine algebraically.
+func Compose(second, first Fn) Fn {
+	if g, ok := second.(*AffineFn); ok {
+		if f, ok := first.(*AffineFn); ok {
+			return composeAffine(g, f)
+		}
+	}
+	return &ComposeFn{First: first, Second: second}
+}
+
+func (c *ComposeFn) InDim() int   { return c.First.InDim() }
+func (c *ComposeFn) OutDim() int  { return c.Second.OutDim() }
+func (c *ComposeFn) Name() string { return c.Second.Name() + "∘" + c.First.Name() }
+
+func (c *ComposeFn) Eval(x []float64) []float64 { return c.Second.Eval(c.First.Eval(x)) }
+
+// NetFn wraps a trained nn.Sequential as a segment function — the form
+// Advanced Fusion ❸ produces, where an entire per-segment sub-network
+// becomes one mapping table.
+type NetFn struct {
+	Net     *nn.Sequential
+	In, Out int
+	Label   string
+}
+
+// NewNetFn wraps net, recording its dimensions.
+func NewNetFn(net *nn.Sequential, inDim int, label string) *NetFn {
+	return &NetFn{Net: net, In: inDim, Out: net.OutDim(inDim), Label: label}
+}
+
+func (n *NetFn) InDim() int   { return n.In }
+func (n *NetFn) OutDim() int  { return n.Out }
+func (n *NetFn) Name() string { return fmt.Sprintf("Net[%s](%d→%d)", n.Label, n.In, n.Out) }
+
+func (n *NetFn) Eval(x []float64) []float64 {
+	m := tensor.New(1, len(x))
+	copy(m.Row(0), x)
+	out := n.Net.Forward(m, false)
+	return append([]float64(nil), out.Row(0)...)
+}

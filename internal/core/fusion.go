@@ -1,0 +1,350 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/pegasus-idp/pegasus/internal/tensor"
+)
+
+// Primitive Fusion (§4.3). Four semantics-preserving rewrites, applied
+// to a fixpoint:
+//
+//	A  Merge Consecutive Maps:        Map(f);Map(g)        → Map(g∘f)
+//	B  Elementwise Map ∘ Partition:   Map(e);Partition     → Partition;Map(e|group)
+//	C  Linear Reordering:             SumReduce;Map(aff g) → Map(g_i);SumReduce
+//	D  Affine aggregation collapse:   Partition;Map(all affine);SumReduce
+//	                                   → Map(ΣW_i·x[g_i]+b)   (single affine)
+//
+// Basic fusion (Figure 5 ❶) uses A and B: it compresses each
+// BN+FC+Activation block into one fused table group while keeping
+// Partition boundaries (and therefore small table keys) intact — an
+// L-layer MLP's 3L+1 lookups become L+1 fused groups. Rules C and D run
+// only in the advanced pass (Figure 5 ❷ via DropNonlinear), where they
+// legitimately collapse a purely linear model into a single lookup;
+// rule C places the bias on segment 0 only so the reduced sum is exact,
+// and rule D requires a single incoming segment.
+
+// Fuse applies basic primitive fusion (rules A and B) and returns a new
+// program. Rules C and D are reserved for the advanced pass: applied
+// unconditionally they would collapse any feed-forward model into one
+// whole-input table, destroying the small-key property Partition exists
+// to provide.
+func Fuse(p *Program) *Program {
+	return fuseWith(p, false, "+fused")
+}
+
+func fuseWith(p *Program, advanced bool, suffix string) *Program {
+	steps := append([]Step(nil), p.Steps...)
+	for iter := 0; iter < 200; iter++ {
+		var changed bool
+		steps, changed = fuseOnce(p.InDim, steps, advanced)
+		if !changed {
+			break
+		}
+	}
+	return &Program{Name: p.Name + suffix, InDim: p.InDim, Steps: steps}
+}
+
+// DropNonlinear implements Advanced Primitive Fusion ❷: it removes every
+// nonlinear element-wise Map (activations), leaving a purely linear
+// program that basic fusion then collapses into a single table lookup.
+// The paper notes this trades accuracy for maximal fusion; callers must
+// retrain/re-evaluate the linearised model.
+func DropNonlinear(p *Program) *Program {
+	var steps []Step
+	for _, s := range p.Steps {
+		if m, ok := s.(*Map); ok {
+			fns := make([]Fn, len(m.Fns))
+			drop := true
+			for i, f := range m.Fns {
+				if lin := stripNonlinear(f); lin != nil {
+					fns[i] = lin
+				} else {
+					drop = false
+					break
+				}
+			}
+			if drop {
+				allIdentity := true
+				for _, f := range fns {
+					if _, isID := f.(*identityFn); !isID {
+						allIdentity = false
+						break
+					}
+				}
+				if allIdentity {
+					continue // the whole Map was activations: remove it
+				}
+				steps = append(steps, &Map{Fns: fns})
+				continue
+			}
+		}
+		steps = append(steps, s)
+	}
+	out := &Program{Name: p.Name, InDim: p.InDim, Steps: steps}
+	return fuseWith(out, true, "+linear")
+}
+
+// identityFn marks a fully removed activation.
+type identityFn struct{ dim int }
+
+func (f *identityFn) InDim() int                 { return f.dim }
+func (f *identityFn) OutDim() int                { return f.dim }
+func (f *identityFn) Name() string               { return fmt.Sprintf("Id(%d)", f.dim) }
+func (f *identityFn) Eval(x []float64) []float64 { return append([]float64(nil), x...) }
+
+// stripNonlinear returns f with activations replaced by identity, or nil
+// when f contains a non-elementwise nonlinearity it cannot strip.
+func stripNonlinear(f Fn) Fn {
+	switch v := f.(type) {
+	case *ActFn:
+		return &identityFn{dim: v.Dim}
+	case *AffineFn:
+		return v
+	case *identityFn:
+		return v
+	case *ComposeFn:
+		a := stripNonlinear(v.First)
+		b := stripNonlinear(v.Second)
+		if a == nil || b == nil {
+			return nil
+		}
+		// Re-compose, folding out identities.
+		if _, ok := a.(*identityFn); ok {
+			return b
+		}
+		if _, ok := b.(*identityFn); ok {
+			return a
+		}
+		return Compose(b, a)
+	}
+	return nil
+}
+
+// bundleShape traces segment widths before each step (and after the
+// last).
+func bundleShape(inDim int, steps []Step) [][]int {
+	shapes := make([][]int, len(steps)+1)
+	cur := []int{inDim}
+	shapes[0] = cur
+	for i, s := range steps {
+		cur = applyShape(s, cur)
+		shapes[i+1] = cur
+	}
+	return shapes
+}
+
+func applyShape(s Step, in []int) []int {
+	switch v := s.(type) {
+	case *Partition:
+		out := make([]int, len(v.Groups))
+		for i, g := range v.Groups {
+			out[i] = len(g)
+		}
+		return out
+	case *Map:
+		out := make([]int, len(in))
+		for i := range in {
+			out[i] = v.Fns[i].OutDim()
+		}
+		return out
+	case SumReduce, MaxReduce:
+		if len(in) == 0 {
+			return in
+		}
+		return []int{in[0]}
+	}
+	panic("core: unknown step in shape trace")
+}
+
+func fuseOnce(inDim int, steps []Step, advanced bool) ([]Step, bool) {
+	shapes := bundleShape(inDim, steps)
+
+	for i := 0; i+1 < len(steps); i++ {
+		// Rule A: Map;Map → Map(g∘f). Embedding lookups are exempt: they
+		// compile to exact per-index tables, and composing them away
+		// would force a fuzzy approximation of an exact operator.
+		if m1, ok := steps[i].(*Map); ok {
+			hasEmbed := false
+			for _, f := range m1.Fns {
+				if _, isEmb := f.(*EmbedFn); isEmb {
+					hasEmbed = true
+				}
+			}
+			if m2, ok := steps[i+1].(*Map); ok && !hasEmbed && len(m1.Fns) == len(m2.Fns) {
+				fns := make([]Fn, len(m1.Fns))
+				for k := range fns {
+					fns[k] = Compose(m2.Fns[k], m1.Fns[k])
+				}
+				out := append([]Step(nil), steps[:i]...)
+				out = append(out, &Map{Fns: fns})
+				out = append(out, steps[i+2:]...)
+				return out, true
+			}
+		}
+		// Rule B: Map(elementwise);Partition → Partition;Map(restricted).
+		if m, ok := steps[i].(*Map); ok && len(m.Fns) == 1 {
+			if pt, ok := steps[i+1].(*Partition); ok {
+				if rs, ok := restrictPerGroup(m.Fns[0], pt.Groups); ok {
+					out := append([]Step(nil), steps[:i]...)
+					out = append(out, pt, &Map{Fns: rs})
+					out = append(out, steps[i+2:]...)
+					return out, true
+				}
+			}
+		}
+		// Rule C: SumReduce;Map(affine) → Map(affine_i);SumReduce.
+		if _, ok := steps[i].(SumReduce); ok && advanced {
+			if m, ok := steps[i+1].(*Map); ok && len(m.Fns) == 1 {
+				if g, ok := m.Fns[0].(*AffineFn); ok {
+					k := len(shapes[i]) // segments feeding the SumReduce
+					if k > 1 {
+						fns := make([]Fn, k)
+						for s := 0; s < k; s++ {
+							w := g.W.Clone()
+							b := make([]float64, g.W.R)
+							if s == 0 {
+								copy(b, g.B)
+							}
+							fns[s] = &AffineFn{W: w, B: b}
+						}
+						out := append([]Step(nil), steps[:i]...)
+						out = append(out, &Map{Fns: fns}, SumReduce{})
+						out = append(out, steps[i+2:]...)
+						return out, true
+					}
+				}
+			}
+		}
+		// Rule D: Partition;Map(all affine);SumReduce with single incoming
+		// segment → Map(combined affine).
+		if pt, ok := steps[i].(*Partition); ok && advanced && len(shapes[i]) == 1 && i+2 < len(steps) {
+			if m, ok := steps[i+1].(*Map); ok {
+				if _, ok := steps[i+2].(SumReduce); ok {
+					if comb := combineAffinePartition(shapes[i][0], pt, m); comb != nil {
+						out := append([]Step(nil), steps[:i]...)
+						out = append(out, &Map{Fns: []Fn{comb}})
+						out = append(out, steps[i+3:]...)
+						return out, true
+					}
+				}
+			}
+		}
+	}
+	return steps, false
+}
+
+// restrictPerGroup restricts an element-wise function to each index
+// group; returns ok=false when f is not element-wise.
+func restrictPerGroup(f Fn, groups [][]int) ([]Fn, bool) {
+	switch v := f.(type) {
+	case *ActFn:
+		out := make([]Fn, len(groups))
+		for i, g := range groups {
+			out[i] = &ActFn{Kind: v.Kind, Dim: len(g)}
+		}
+		return out, true
+	case *identityFn:
+		out := make([]Fn, len(groups))
+		for i, g := range groups {
+			out[i] = &identityFn{dim: len(g)}
+		}
+		return out, true
+	case *AffineFn:
+		scale, shift, ok := diagOf(v)
+		if !ok {
+			return nil, false
+		}
+		out := make([]Fn, len(groups))
+		for i, g := range groups {
+			s := make([]float64, len(g))
+			sh := make([]float64, len(g))
+			for k, idx := range g {
+				s[k] = scale[idx]
+				sh[k] = shift[idx]
+			}
+			out[i] = Diag(s, sh)
+		}
+		return out, true
+	case *ComposeFn:
+		fs, ok1 := restrictPerGroup(v.First, groups)
+		ss, ok2 := restrictPerGroup(v.Second, groups)
+		if !ok1 || !ok2 {
+			return nil, false
+		}
+		out := make([]Fn, len(groups))
+		for i := range groups {
+			out[i] = Compose(ss[i], fs[i])
+		}
+		return out, true
+	}
+	return nil, false
+}
+
+// diagOf extracts (scale, shift) when a is diagonal.
+func diagOf(a *AffineFn) (scale, shift []float64, ok bool) {
+	if a.W.R != a.W.C {
+		return nil, nil, false
+	}
+	n := a.W.R
+	scale = make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := a.W.Row(i)
+		for j, v := range row {
+			if i != j && v != 0 {
+				return nil, nil, false
+			}
+		}
+		scale[i] = row[i]
+	}
+	return scale, a.B, true
+}
+
+// combineAffinePartition folds Partition;Map(affine_i);SumReduce into a
+// single AffineFn over the un-partitioned input, or nil when any segment
+// function is not affine.
+func combineAffinePartition(inDim int, pt *Partition, m *Map) *AffineFn {
+	if len(m.Fns) != len(pt.Groups) {
+		return nil
+	}
+	var outDim int
+	affs := make([]*AffineFn, len(m.Fns))
+	for i, f := range m.Fns {
+		a, ok := f.(*AffineFn)
+		if !ok {
+			return nil
+		}
+		if i == 0 {
+			outDim = a.W.R
+		} else if a.W.R != outDim {
+			return nil
+		}
+		affs[i] = a
+	}
+	w := tensor.New(outDim, inDim)
+	b := make([]float64, outDim)
+	for i, a := range affs {
+		g := pt.Groups[i]
+		for r := 0; r < outDim; r++ {
+			row := a.W.Row(r)
+			dst := w.Row(r)
+			for k, idx := range g {
+				dst[idx] += row[k]
+			}
+			b[r] += a.B[r]
+		}
+	}
+	return &AffineFn{W: w, B: b}
+}
+
+// ActLike reports whether f ends in (or is) an activation — useful for
+// diagnostics on what blocked a fusion.
+func ActLike(f Fn) bool {
+	switch v := f.(type) {
+	case *ActFn:
+		return true
+	case *ComposeFn:
+		return ActLike(v.Second)
+	}
+	return false
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Step is one primitive of a Pegasus program. Exactly one of the three
+// paper primitives (Table 3), plus MaxReduce — syntactic sugar for the
+// iterated pairwise-max Map chain of Table 4's pooling operator, kept as
+// a single step because the dataplane implements it with ALU max
+// actions rather than table lookups.
+type Step interface {
+	// Apply transforms the segment bundle at full precision.
+	Apply(bundle [][]float64) [][]float64
+	// String renders the step for diagnostics.
+	String() string
+}
+
+// Partition flattens the incoming bundle and regroups it into segments
+// by index groups (indices refer to the flattened vector).
+type Partition struct {
+	Groups [][]int
+}
+
+// Apply implements Step.
+func (p *Partition) Apply(bundle [][]float64) [][]float64 {
+	flat := flatten(bundle)
+	out := make([][]float64, len(p.Groups))
+	for i, g := range p.Groups {
+		seg := make([]float64, len(g))
+		for k, idx := range g {
+			seg[k] = flat[idx]
+		}
+		out[i] = seg
+	}
+	return out
+}
+
+func (p *Partition) String() string {
+	return fmt.Sprintf("Partition(%d groups)", len(p.Groups))
+}
+
+// Map applies Fns[i] to segment i.
+type Map struct {
+	Fns []Fn
+}
+
+// Apply implements Step.
+func (m *Map) Apply(bundle [][]float64) [][]float64 {
+	if len(bundle) != len(m.Fns) {
+		panic(fmt.Sprintf("core: Map over %d segments with %d fns", len(bundle), len(m.Fns)))
+	}
+	out := make([][]float64, len(bundle))
+	for i, seg := range bundle {
+		out[i] = m.Fns[i].Eval(seg)
+	}
+	return out
+}
+
+func (m *Map) String() string {
+	names := make([]string, len(m.Fns))
+	for i, f := range m.Fns {
+		names[i] = f.Name()
+	}
+	return "Map[" + strings.Join(names, ", ") + "]"
+}
+
+// SumReduce element-wise sums all segments into one.
+type SumReduce struct{}
+
+// Apply implements Step.
+func (SumReduce) Apply(bundle [][]float64) [][]float64 {
+	if len(bundle) == 0 {
+		panic("core: SumReduce of empty bundle")
+	}
+	acc := append([]float64(nil), bundle[0]...)
+	for _, seg := range bundle[1:] {
+		if len(seg) != len(acc) {
+			panic(fmt.Sprintf("core: SumReduce segment dim %d != %d", len(seg), len(acc)))
+		}
+		for j, v := range seg {
+			acc[j] += v
+		}
+	}
+	return [][]float64{acc}
+}
+
+func (SumReduce) String() string { return "SumReduce" }
+
+// MaxReduce element-wise maximises across segments (pooling sugar).
+type MaxReduce struct{}
+
+// Apply implements Step.
+func (MaxReduce) Apply(bundle [][]float64) [][]float64 {
+	if len(bundle) == 0 {
+		panic("core: MaxReduce of empty bundle")
+	}
+	acc := append([]float64(nil), bundle[0]...)
+	for _, seg := range bundle[1:] {
+		if len(seg) != len(acc) {
+			panic(fmt.Sprintf("core: MaxReduce segment dim %d != %d", len(seg), len(acc)))
+		}
+		for j, v := range seg {
+			if v > acc[j] {
+				acc[j] = v
+			}
+		}
+	}
+	return [][]float64{acc}
+}
+
+func (MaxReduce) String() string { return "MaxReduce" }
+
+// Program is a sequence of primitive steps over an InDim-wide input.
+type Program struct {
+	Name  string
+	InDim int
+	Steps []Step
+}
+
+// Eval runs the program at full precision on one input vector.
+func (p *Program) Eval(x []float64) []float64 {
+	if len(x) != p.InDim {
+		panic(fmt.Sprintf("core: program %q input %d, want %d", p.Name, len(x), p.InDim))
+	}
+	bundle := [][]float64{append([]float64(nil), x...)}
+	for _, s := range p.Steps {
+		bundle = s.Apply(bundle)
+	}
+	return flatten(bundle)
+}
+
+// OutDim computes the output width by shape propagation on a zero
+// vector.
+func (p *Program) OutDim() int { return len(p.Eval(make([]float64, p.InDim))) }
+
+// Lookups counts the table lookups the program performs: one per Map
+// segment whose function is not ALU-implementable. Reductions are ALU
+// work, not lookups. This is the quantity Primitive Fusion minimises
+// (Figure 5's "seven table lookups into just two").
+func (p *Program) Lookups() int {
+	n := 0
+	for _, s := range p.Steps {
+		if m, ok := s.(*Map); ok {
+			n += len(m.Fns)
+		}
+	}
+	return n
+}
+
+// String renders the full step sequence.
+func (p *Program) String() string {
+	parts := make([]string, len(p.Steps))
+	for i, s := range p.Steps {
+		parts[i] = s.String()
+	}
+	return fmt.Sprintf("%s: %s", p.Name, strings.Join(parts, " → "))
+}
+
+// Validate shape-checks the program on a zero vector, returning an error
+// instead of panicking.
+func (p *Program) Validate() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: program %q invalid: %v", p.Name, r)
+		}
+	}()
+	p.Eval(make([]float64, p.InDim))
+	return nil
+}
+
+func flatten(bundle [][]float64) []float64 {
+	n := 0
+	for _, s := range bundle {
+		n += len(s)
+	}
+	out := make([]float64, 0, n)
+	for _, s := range bundle {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// SeqGroups builds contiguous index groups of segDim covering n inputs
+// (the common Partition pattern "dim = k, stride = k" of the Pegasus
+// Syntax). n must be divisible by segDim.
+func SeqGroups(n, segDim int) ([][]int, error) {
+	if segDim <= 0 || n%segDim != 0 {
+		return nil, fmt.Errorf("core: cannot partition %d inputs into segments of %d", n, segDim)
+	}
+	var groups [][]int
+	for start := 0; start < n; start += segDim {
+		g := make([]int, segDim)
+		for i := range g {
+			g[i] = start + i
+		}
+		groups = append(groups, g)
+	}
+	return groups, nil
+}
+
+// WindowGroups builds sliding-window index groups over a T×C flattened
+// sequence: one group per convolution position (window k, given stride),
+// matching how Partition feeds Conv operators.
+func WindowGroups(t, c, k, stride int) ([][]int, error) {
+	if k <= 0 || stride <= 0 || (t-k)/stride+1 <= 0 {
+		return nil, fmt.Errorf("core: bad window T=%d k=%d stride=%d", t, k, stride)
+	}
+	var groups [][]int
+	for pos := 0; pos+k <= t; pos += stride {
+		g := make([]int, 0, k*c)
+		for dt := 0; dt < k; dt++ {
+			for ch := 0; ch < c; ch++ {
+				g = append(g, (pos+dt)*c+ch)
+			}
+		}
+		groups = append(groups, g)
+	}
+	return groups, nil
+}

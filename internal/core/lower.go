@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/pegasus-idp/pegasus/internal/nn"
+)
+
+func mathExp(x float64) float64 { return math.Exp(x) }
+
+// LowerConfig controls how trained layers are translated to primitives.
+type LowerConfig struct {
+	// MaxSegDim caps the inputs per Partition segment for weighted
+	// aggregations (the table key width). The actual segment width is
+	// the largest divisor of the layer input ≤ MaxSegDim.
+	MaxSegDim int
+}
+
+func (c *LowerConfig) defaults() {
+	if c.MaxSegDim == 0 {
+		c.MaxSegDim = 4
+	}
+}
+
+// Lower translates a trained feed-forward network into the initial
+// (unfused) primitive program, implementing the operator table of §5:
+//
+//   - FC (Weighted Aggregation + Bias): Partition → Map(partial
+//     products) → SumReduce, bias assigned to segment 0;
+//   - BatchNorm (Element-wise Transformation): Map(diagonal affine from
+//     the layer's inference statistics);
+//   - Activations (Element-wise Transformation): Map(act);
+//   - Conv (Weighted Aggregation): Partition into sliding windows →
+//     Map(shared affine);
+//   - Pooling (Multi-Input Operation): MaxReduce across position
+//     segments (iterated pairwise-max Maps on hardware);
+//   - Embedding (Embedding Lookup): Map(index function);
+//   - SegmentsAsBatch/SumSegments (NAM architecture, Advanced Fusion ❸):
+//     Partition → Map(whole sub-network per segment) → SumReduce.
+//
+// RNNs take a dedicated path (CompileRNN): their per-time-step structure
+// maps to chained index tables rather than a feed-forward pipeline.
+func Lower(name string, net *nn.Sequential, inDim int, cfg LowerConfig) (*Program, error) {
+	cfg.defaults()
+	p := &Program{Name: name, InDim: inDim}
+	// seg tracks the current bundle widths so element-wise layers can be
+	// emitted per segment.
+	seg := []int{inDim}
+	flatDim := func() int {
+		n := 0
+		for _, w := range seg {
+			n += w
+		}
+		return n
+	}
+	for _, layer := range net.Layers {
+		switch l := layer.(type) {
+		case *nn.BatchNorm:
+			if len(seg) != 1 {
+				return nil, fmt.Errorf("core: BatchNorm over %d segments unsupported", len(seg))
+			}
+			scale, shift := l.InferenceAffine()
+			p.Steps = append(p.Steps, &Map{Fns: []Fn{Diag(scale, shift)}})
+		case *nn.Activation:
+			fns := make([]Fn, len(seg))
+			for i, w := range seg {
+				fns[i] = &ActFn{Kind: l.Kind, Dim: w}
+			}
+			p.Steps = append(p.Steps, &Map{Fns: fns})
+		case *nn.Linear:
+			d := flatDim()
+			if d != l.In {
+				return nil, fmt.Errorf("core: Linear expects %d inputs, bundle has %d", l.In, d)
+			}
+			segDim := pickSegDim(d, cfg.MaxSegDim)
+			groups, err := SeqGroups(d, segDim)
+			if err != nil {
+				return nil, err
+			}
+			full := &AffineFn{W: l.Weight.W.Clone(), B: append([]float64(nil), l.Bias.W.D...)}
+			fns := make([]Fn, len(groups))
+			for i, g := range groups {
+				fns[i] = full.Restrict(g, i == 0)
+			}
+			p.Steps = append(p.Steps, &Partition{Groups: groups}, &Map{Fns: fns}, SumReduce{})
+			seg = []int{l.Out}
+		case *nn.Conv1d:
+			if flatDim() != l.T*l.Cin {
+				return nil, fmt.Errorf("core: Conv1d expects %d inputs, bundle has %d", l.T*l.Cin, flatDim())
+			}
+			groups, err := WindowGroups(l.T, l.Cin, l.K, l.Stride)
+			if err != nil {
+				return nil, err
+			}
+			aff := &AffineFn{W: l.Kernels.W.Clone(), B: append([]float64(nil), l.Bias.W.D...)}
+			fns := make([]Fn, len(groups))
+			for i := range groups {
+				fns[i] = aff
+			}
+			p.Steps = append(p.Steps, &Partition{Groups: groups}, &Map{Fns: fns})
+			seg = make([]int, len(groups))
+			for i := range seg {
+				seg[i] = l.Cout
+			}
+		case *nn.GlobalMaxPool:
+			if len(seg) != l.T {
+				return nil, fmt.Errorf("core: GlobalMaxPool expects %d position segments, bundle has %d", l.T, len(seg))
+			}
+			p.Steps = append(p.Steps, MaxReduce{})
+			seg = []int{l.C}
+		case *nn.Embedding:
+			if len(seg) != 1 || seg[0] != l.T {
+				return nil, fmt.Errorf("core: Embedding expects a single %d-index segment", l.T)
+			}
+			p.Steps = append(p.Steps, &Map{Fns: []Fn{&EmbedFn{Table: l.Table.W.Clone(), T: l.T}}})
+			seg = []int{l.T * l.Dim}
+		case *nn.SegmentsAsBatch:
+			if flatDim() != l.NSeg*l.SegDim {
+				return nil, fmt.Errorf("core: SegmentsAsBatch expects %d inputs, bundle has %d", l.NSeg*l.SegDim, flatDim())
+			}
+			groups, err := SeqGroups(l.NSeg*l.SegDim, l.SegDim)
+			if err != nil {
+				return nil, err
+			}
+			od := l.Inner.OutDim(l.SegDim)
+			fns := make([]Fn, len(groups))
+			for i := range groups {
+				fns[i] = NewNetFn(l.Inner, l.SegDim, fmt.Sprintf("seg%d", i))
+			}
+			p.Steps = append(p.Steps, &Partition{Groups: groups}, &Map{Fns: fns})
+			seg = make([]int, l.NSeg)
+			for i := range seg {
+				seg[i] = od
+			}
+		case *nn.SumSegments:
+			if len(seg) != l.NSeg {
+				return nil, fmt.Errorf("core: SumSegments expects %d segments, bundle has %d", l.NSeg, len(seg))
+			}
+			p.Steps = append(p.Steps, SumReduce{})
+			seg = []int{l.Dim}
+		case *nn.Softmax:
+			// Monotone per row: argmax is unchanged, so the dataplane
+			// omits it (§5's Softmax lowering is exercised separately in
+			// operator tests).
+		default:
+			return nil, fmt.Errorf("core: cannot lower layer %s", layer.Name())
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// pickSegDim returns the largest divisor of d that is ≤ maxSeg.
+func pickSegDim(d, maxSeg int) int {
+	best := 1
+	for s := 1; s <= maxSeg && s <= d; s++ {
+		if d%s == 0 {
+			best = s
+		}
+	}
+	return best
+}
+
+// LowerSoftmax builds the §5 Softmax lowering as its own primitive
+// program, demonstrating the Multi-Input Operation pattern of Table 4:
+// a Map exponentiates each element, and a second Map normalises each
+// element by the sum — the division being precomputed into a mapping
+// table keyed on (e^xᵢ, Σe^x). Partition groups may duplicate indices,
+// which is how every normaliser sees both its own exponential and all
+// the others.
+func LowerSoftmax(dim int) *Program {
+	singles := make([][]int, dim)
+	for i := range singles {
+		singles[i] = []int{i}
+	}
+	expFns := make([]Fn, dim)
+	for i := range expFns {
+		expFns[i] = expFn{}
+	}
+	// Second partition: segment i = [e_i, e_0..e_{d-1}].
+	withSum := make([][]int, dim)
+	for i := range withSum {
+		g := []int{i}
+		for j := 0; j < dim; j++ {
+			g = append(g, j)
+		}
+		withSum[i] = g
+	}
+	normFns := make([]Fn, dim)
+	for i := range normFns {
+		normFns[i] = normFn{dim: dim}
+	}
+	return &Program{
+		Name:  "softmax",
+		InDim: dim,
+		Steps: []Step{
+			&Partition{Groups: singles},
+			&Map{Fns: expFns},
+			&Partition{Groups: withSum},
+			&Map{Fns: normFns},
+		},
+	}
+}
+
+// expFn is scalar e^x (a 1→1 nonlinear Map, precomputed into a table on
+// the dataplane).
+type expFn struct{}
+
+func (expFn) InDim() int                 { return 1 }
+func (expFn) OutDim() int                { return 1 }
+func (expFn) Name() string               { return "exp" }
+func (expFn) Eval(x []float64) []float64 { return []float64{mathExp(x[0])} }
+
+// normFn maps (e_i, e_0..e_{d-1}) to e_i / Σe_j.
+type normFn struct{ dim int }
+
+func (n normFn) InDim() int   { return n.dim + 1 }
+func (n normFn) OutDim() int  { return 1 }
+func (n normFn) Name() string { return "norm" }
+func (n normFn) Eval(x []float64) []float64 {
+	sum := 0.0
+	for _, v := range x[1:] {
+		sum += v
+	}
+	if sum == 0 {
+		return []float64{0}
+	}
+	return []float64{x[0] / sum}
+}

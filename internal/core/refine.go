@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/pegasus-idp/pegasus/internal/nn"
+)
+
+// RefineConfig controls the backpropagation refinement of §4.4: after
+// tables are built, the stored outputs are fine-tuned against the task
+// loss with fuzzy assignments frozen (the straight-through scheme of
+// Zhang [51]), "making the mapping table more accurately align with the
+// model's actual output".
+type RefineConfig struct {
+	Epochs int
+	LR     float64
+	// Seed orders the samples.
+	Seed int64
+}
+
+func (c *RefineConfig) defaults() {
+	if c.Epochs == 0 {
+		c.Epochs = 5
+	}
+	if c.LR == 0 {
+		c.LR = 0.05
+	}
+}
+
+// RefineClassifier fine-tunes the final table group of a classifier
+// against cross-entropy on (inputs, labels). The last group must be a
+// fuzzy SumReduce group producing the logits (the NAM shape of Advanced
+// Fusion ❸, and the final FC group of basic-fused models). With
+// assignments frozen the logits are exactly linear in the stored table
+// entries, so the gradient is exact rather than estimated.
+//
+// Returns the training accuracy after refinement.
+func RefineClassifier(c *Compiled, inputs [][]float64, labels []int, cfg RefineConfig) (float64, error) {
+	cfg.defaults()
+	if len(inputs) != len(labels) {
+		return 0, fmt.Errorf("core: %d inputs vs %d labels", len(inputs), len(labels))
+	}
+	last := &c.Groups[len(c.Groups)-1]
+	if last.Reduce != ReduceSum {
+		return 0, fmt.Errorf("core: final group must SumReduce to refine (got %v)", last.Reduce)
+	}
+	for _, s := range last.Segs {
+		if s.Mode != SegFuzzy {
+			return 0, fmt.Errorf("core: refinement requires fuzzy final segments")
+		}
+	}
+	nClasses := last.Segs[0].OutDim
+	// Table entries are stored pre-shift: their fixed-point position is
+	// OutFrac + RShift.
+	pos := int(c.OutFrac) + int(last.RShift)
+	scale := math.Ldexp(1, -pos)
+
+	// Shadow float tables (dequantised), updated by SGD and re-quantised
+	// on every epoch end.
+	shadow := make([][][]float64, len(last.Segs))
+	for si, s := range last.Segs {
+		shadow[si] = make([][]float64, len(s.Table))
+		for li, row := range s.Table {
+			fr := make([]float64, len(row))
+			for j, v := range row {
+				fr[j] = float64(v) * scale
+			}
+			shadow[si][li] = fr
+		}
+	}
+
+	// Precompute per-sample fuzzy assignments and any residual shift.
+	pre := make([][]int, len(inputs)) // sample → leaf per segment
+	for i, x := range inputs {
+		v := make([]int32, len(x))
+		for j, f := range x {
+			v[j] = int32(math.RoundToEven(f))
+		}
+		cur := v
+		for gi := 0; gi < len(c.Groups)-1; gi++ {
+			cur = c.Groups[gi].Eval(cur)
+		}
+		leaves := make([]int, len(last.Segs))
+		for si := range last.Segs {
+			s := &last.Segs[si]
+			seg := make([]float64, len(s.Cols))
+			for k, col := range s.Cols {
+				seg[k] = float64(cur[col])
+			}
+			leaves[si] = s.Tree.Assign(seg)
+		}
+		pre[i] = leaves
+	}
+
+	probs := make([]float64, nClasses)
+	logits := make([]float64, nClasses)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for i, leaves := range pre {
+			for j := range logits {
+				logits[j] = 0
+			}
+			for si, leaf := range leaves {
+				for j := 0; j < nClasses; j++ {
+					logits[j] += shadow[si][leaf][j]
+				}
+			}
+			nn.SoftmaxRow(logits, probs)
+			cls := labels[i]
+			for si, leaf := range leaves {
+				row := shadow[si][leaf]
+				for j := 0; j < nClasses; j++ {
+					g := probs[j]
+					if j == cls {
+						g -= 1
+					}
+					row[j] -= cfg.LR * g
+				}
+			}
+		}
+	}
+	// Re-quantise the refined tables in place with the existing position
+	// (keeping the fixed-point layout the switch already uses).
+	for si := range last.Segs {
+		s := &last.Segs[si]
+		for li, fr := range shadow[si] {
+			for j, f := range fr {
+				s.Table[li][j] = quantizeAt(f, int8(pos), c.Cfg.OutBits)
+			}
+		}
+	}
+
+	// Report resulting training accuracy.
+	hit := 0
+	for i, x := range inputs {
+		v := make([]int32, len(x))
+		for j, f := range x {
+			v[j] = int32(math.RoundToEven(f))
+		}
+		if c.Classify(v) == labels[i] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(inputs)), nil
+}
+
+// quantizeAt quantises x at the given fixed-point position, saturating
+// to the signed bit width.
+func quantizeAt(x float64, frac int8, bits uint8) int32 {
+	hi := int64(1)<<(bits-1) - 1
+	r := math.RoundToEven(math.Ldexp(x, int(frac)))
+	if r > float64(hi) {
+		return int32(hi)
+	}
+	if r < float64(-hi-1) {
+		return int32(-hi - 1)
+	}
+	return int32(r)
+}

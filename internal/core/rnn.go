@@ -1,0 +1,332 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/pegasus-idp/pegasus/internal/fixed"
+	"github.com/pegasus-idp/pegasus/internal/fuzzy"
+	"github.com/pegasus-idp/pegasus/internal/nn"
+	"github.com/pegasus-idp/pegasus/internal/pisa"
+	"github.com/pegasus-idp/pegasus/internal/tensor"
+)
+
+// RNNs cannot be lowered through the feed-forward pipeline: each time
+// step depends on the previous hidden state. Pegasus exploits fuzzy
+// matching's "flow scalability" property (§4.2) instead: the hidden
+// state is never materialised on the switch — only its fuzzy index is.
+// Each time step becomes two lookups:
+//
+//	(len_t, ipd_t)           --TCAM-->  x-index   (input clustering tree)
+//	(x-index, h-index_{t-1}) --SRAM-->  h-index_t (precomputed transition)
+//
+// and the final step's h-index keys a logits table. The transition
+// table is precomputed at full precision: h' = tanh(Wx·e(x̂) + Wh·ĥ + b)
+// evaluated on the centroids, then re-assigned to the hidden tree. This
+// is the windowed BoS-style design the paper's RNN-B builds on, with
+// fuzzy indices replacing BoS's exhaustive bit-string enumeration.
+
+// RNNSpec describes a trained windowed RNN classifier to compile.
+type RNNSpec struct {
+	// T is the window length (time steps); StepDims the features per
+	// step (2: length bucket, IPD bucket).
+	T, StepDims int
+	// Emb embeds each of the T×StepDims discrete features (shared table).
+	Emb *nn.Embedding
+	// Cell is the recurrent cell trained over embedded steps.
+	Cell *nn.RNN
+	// Out maps the final hidden state to class logits.
+	Out *nn.Linear
+	// InputDepth/HiddenDepth are the clustering-tree depths for the
+	// per-step input tree and the hidden-state tree.
+	InputDepth, HiddenDepth int
+	// OutBits is the logits quantisation width.
+	OutBits uint8
+}
+
+// CompiledRNN is the dataplane form of a windowed RNN.
+type CompiledRNN struct {
+	Name        string
+	T, StepDims int
+	XTree       *fuzzy.Tree
+	HTree       *fuzzy.Tree
+	HInit       int     // fuzzy index of the all-zero initial hidden state
+	Trans       [][]int // [xIdx][hIdx] → next hIdx
+	Logits      [][]int32
+	OutFrac     int8
+	OutBits     uint8
+}
+
+// CompileRNN builds the chained-index tables from calibration windows
+// (integer features, row layout = T × StepDims).
+func CompileRNN(name string, spec RNNSpec, calib [][]float64) (*CompiledRNN, error) {
+	if spec.T <= 0 || spec.StepDims <= 0 {
+		return nil, fmt.Errorf("core: bad RNN spec T=%d StepDims=%d", spec.T, spec.StepDims)
+	}
+	if len(calib) == 0 {
+		return nil, fmt.Errorf("core: no calibration windows")
+	}
+	if spec.InputDepth == 0 {
+		spec.InputDepth = 5
+	}
+	if spec.HiddenDepth == 0 {
+		spec.HiddenDepth = 6
+	}
+	if spec.OutBits == 0 {
+		spec.OutBits = 8
+	}
+	want := spec.T * spec.StepDims
+	for i, w := range calib {
+		if len(w) != want {
+			return nil, fmt.Errorf("core: calibration window %d has %d features, want %d", i, len(w), want)
+		}
+	}
+
+	// Gather per-step inputs and full-precision hidden trajectories.
+	var stepInputs [][]float64
+	var hiddens [][]float64
+	embDim := spec.Emb.Dim
+	stepEmb := spec.StepDims * embDim
+	for _, w := range calib {
+		h := make([]float64, spec.Cell.Hidden)
+		for t := 0; t < spec.T; t++ {
+			step := w[t*spec.StepDims : (t+1)*spec.StepDims]
+			stepInputs = append(stepInputs, append([]float64(nil), step...))
+			h = rnnStep(spec, step, h)
+			hiddens = append(hiddens, append([]float64(nil), h...))
+		}
+	}
+	hiddens = append(hiddens, make([]float64, spec.Cell.Hidden)) // ensure h₀ region exists
+
+	xTree, err := fuzzy.BuildDepth(stepInputs, spec.InputDepth)
+	if err != nil {
+		return nil, fmt.Errorf("core: input tree: %v", err)
+	}
+	hTree, err := fuzzy.BuildDepth(hiddens, spec.HiddenDepth)
+	if err != nil {
+		return nil, fmt.Errorf("core: hidden tree: %v", err)
+	}
+
+	c := &CompiledRNN{
+		Name: name, T: spec.T, StepDims: spec.StepDims,
+		XTree: xTree, HTree: hTree,
+		HInit:   hTree.Assign(make([]float64, spec.Cell.Hidden)),
+		OutBits: spec.OutBits,
+	}
+
+	// Precompute the transition: for every (x̂, ĥ) centroid pair run one
+	// full-precision cell step and re-assign the result.
+	nx, nh := xTree.NumLeaves(), hTree.NumLeaves()
+	c.Trans = make([][]int, nx)
+	for xi := 0; xi < nx; xi++ {
+		c.Trans[xi] = make([]int, nh)
+		xc := xTree.Centroid(xi)
+		for hi := 0; hi < nh; hi++ {
+			next := rnnStep(spec, xc, hTree.Centroid(hi))
+			c.Trans[xi][hi] = hTree.Assign(next)
+		}
+	}
+
+	// Logits table over hidden centroids.
+	outAff := &AffineFn{W: spec.Out.Weight.W, B: spec.Out.Bias.W.D}
+	var all []float64
+	raw := make([][]float64, nh)
+	for hi := 0; hi < nh; hi++ {
+		y := outAff.Eval(hTree.Centroid(hi))
+		raw[hi] = y
+		all = append(all, y...)
+	}
+	q, err := fixed.Fit(spec.OutBits, all)
+	if err != nil {
+		return nil, err
+	}
+	c.OutFrac = q.Frac
+	c.Logits = make([][]int32, nh)
+	for hi := 0; hi < nh; hi++ {
+		c.Logits[hi] = q.QuantizeVec(raw[hi], nil)
+	}
+	_ = stepEmb
+	return c, nil
+}
+
+// rnnStep runs one full-precision cell step on raw integer features.
+func rnnStep(spec RNNSpec, step []float64, h []float64) []float64 {
+	// Embed each discrete feature.
+	e := make([]float64, 0, spec.StepDims*spec.Emb.Dim)
+	for _, v := range step {
+		idx := spec.Emb.Lookup(v)
+		e = append(e, spec.Emb.Table.W.Row(idx)...)
+	}
+	hm := tensor.Vec(h)
+	em := tensor.Vec(e)
+	pre := tensor.MatMulT(nil, em, spec.Cell.Wx.W)
+	pre.Add(tensor.MatMulT(nil, hm, spec.Cell.Wh.W))
+	pre.AddRowVec(spec.Cell.Bias.W)
+	out := pre.Apply(math.Tanh)
+	return append([]float64(nil), out.Row(0)...)
+}
+
+// Infer returns the quantised logits for one window of integer features.
+func (c *CompiledRNN) Infer(x []int32) []int32 {
+	h := c.HInit
+	step := make([]float64, c.StepDims)
+	for t := 0; t < c.T; t++ {
+		for d := 0; d < c.StepDims; d++ {
+			step[d] = float64(x[t*c.StepDims+d])
+		}
+		xi := c.XTree.Assign(step)
+		h = c.Trans[xi][h]
+	}
+	return c.Logits[h]
+}
+
+// Classify returns the argmax class (later index wins ties, matching
+// the switch compare-select chain).
+func (c *CompiledRNN) Classify(x []int32) int {
+	out := c.Infer(x)
+	best, bi := out[0], 0
+	for i, v := range out[1:] {
+		if v >= best {
+			best, bi = v, i+1
+		}
+	}
+	return bi
+}
+
+// Lookups returns table lookups per window: 2 per time step plus the
+// logits table.
+func (c *CompiledRNN) Lookups() int { return 2*c.T + 1 }
+
+// Emit lowers the RNN onto a PISA pipeline: two stages per time step
+// (TCAM input tree + SRAM transition) chained through one hidden-index
+// field, then the logits table and argmax. For T=8 this occupies 18 of
+// Tofino 2's 20 stages — the sequential-execution pressure the paper
+// describes for RNNs on the switch.
+func (c *CompiledRNN) Emit(opts EmitOptions) (*Emitted, error) {
+	if opts.Cap.Stages == 0 {
+		opts.Cap = pisa.Tofino2
+	}
+	layout := &pisa.Layout{}
+	em := &Emitted{}
+	for t := 0; t < c.T; t++ {
+		for d := 0; d < c.StepDims; d++ {
+			em.InFields = append(em.InFields, layout.MustAdd(fmt.Sprintf("in%d_%d", t, d), 8))
+		}
+	}
+	xiF := layout.MustAdd("xi", 8)
+	hF := layout.MustAdd("h", 8)
+	nClasses := len(c.Logits[0])
+	outF := make([]pisa.FieldID, nClasses)
+	for j := range outF {
+		outF[j] = layout.MustAdd(fmt.Sprintf("logit%d", j), int(c.Cfg().AccBits))
+	}
+	em.OutFields = outF
+
+	prog := pisa.NewProgram(c.Name, layout, opts.Cap)
+	if opts.FlowStateBits > 0 && opts.Flows > 0 {
+		if err := addFlowState(prog, opts.FlowStateBits, opts.Flows); err != nil {
+			return nil, err
+		}
+	}
+
+	rules, err := c.XTree.TernaryRules(8, true)
+	if err != nil {
+		return nil, err
+	}
+	xiBits := idxBits(c.XTree.NumLeaves())
+	hBits := idxBits(c.HTree.NumLeaves())
+
+	// Initialise h to the h₀ index.
+	prog.Place(0, &pisa.Table{Name: "h_init", Kind: pisa.MatchNone, DefaultData: []int32{},
+		Action: []pisa.Op{{Kind: pisa.OpSet, Dst: hF, Imm: int32(c.HInit)}}})
+
+	stage := 1
+	for t := 0; t < c.T; t++ {
+		// TCAM: per-step input tree.
+		entries := make([]pisa.Entry, len(rules))
+		for ri, r := range rules {
+			entries[ri] = pisa.Entry{
+				Key:  append([]uint32(nil), r.Val...),
+				Mask: append([]uint32(nil), r.Mask...),
+				Data: []int32{int32(r.Leaf)},
+			}
+		}
+		kf := make([]pisa.FieldID, c.StepDims)
+		kw := make([]int, c.StepDims)
+		for d := 0; d < c.StepDims; d++ {
+			kf[d] = em.InFields[t*c.StepDims+d]
+			kw[d] = 8
+		}
+		prog.Place(stage, &pisa.Table{
+			Name: fmt.Sprintf("t%d_input", t), Kind: pisa.MatchTernary,
+			KeyFields: kf, KeyWidths: kw, Entries: entries,
+			Action:        []pisa.Op{{Kind: pisa.OpSetData, Dst: xiF, DataIdx: 0}},
+			DataWidthBits: xiBits,
+		})
+		stage++
+		// SRAM: transition (xi, h) → h'.
+		var tEntries []pisa.Entry
+		for xi := range c.Trans {
+			for hi, nh := range c.Trans[xi] {
+				tEntries = append(tEntries, pisa.Entry{
+					Key:  []uint32{uint32(xi), uint32(hi)},
+					Data: []int32{int32(nh)},
+				})
+			}
+		}
+		prog.Place(stage, &pisa.Table{
+			Name: fmt.Sprintf("t%d_trans", t), Kind: pisa.MatchExact,
+			KeyFields: []pisa.FieldID{xiF, hF}, KeyWidths: []int{xiBits, hBits},
+			Entries:       tEntries,
+			Action:        []pisa.Op{{Kind: pisa.OpSetData, Dst: hF, DataIdx: 0}},
+			DataWidthBits: hBits,
+		})
+		stage++
+	}
+	// Logits table.
+	lEntries := make([]pisa.Entry, len(c.Logits))
+	lOps := make([]pisa.Op, nClasses)
+	for j := 0; j < nClasses; j++ {
+		lOps[j] = pisa.Op{Kind: pisa.OpSetData, Dst: outF[j], DataIdx: j}
+	}
+	for hi, row := range c.Logits {
+		lEntries[hi] = pisa.Entry{Key: []uint32{uint32(hi)}, Data: append([]int32(nil), row...)}
+	}
+	prog.Place(stage, &pisa.Table{
+		Name: "logits", Kind: pisa.MatchExact,
+		KeyFields: []pisa.FieldID{hF}, KeyWidths: []int{hBits},
+		Entries: lEntries, Action: lOps,
+		DataWidthBits: nClasses * int(c.OutBits),
+	})
+	stage++
+	// Argmax.
+	best := layout.MustAdd("best", 16)
+	em.ClassField = layout.MustAdd("class", 8)
+	ops := []pisa.Op{
+		{Kind: pisa.OpMove, Dst: best, A: outF[0]},
+		{Kind: pisa.OpSet, Dst: em.ClassField, Imm: 0},
+	}
+	for j := 1; j < nClasses; j++ {
+		ops = append(ops,
+			pisa.Op{Kind: pisa.OpSelGE, Dst: em.ClassField, A: outF[j], B: best, Imm: int32(j)},
+			pisa.Op{Kind: pisa.OpMax, Dst: best, A: best, B: outF[j]},
+		)
+	}
+	prog.Place(stage, &pisa.Table{Name: "argmax", Kind: pisa.MatchNone,
+		DefaultData: []int32{}, Action: ops})
+	stage++
+
+	em.Prog = prog
+	em.Stages = stage
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return em, nil
+}
+
+// Cfg returns a default accumulator configuration for emission.
+func (c *CompiledRNN) Cfg() CompileConfig {
+	cfg := CompileConfig{}
+	cfg.defaults()
+	return cfg
+}

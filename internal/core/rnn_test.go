@@ -1,0 +1,209 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/pegasus-idp/pegasus/internal/nn"
+	"github.com/pegasus-idp/pegasus/internal/tensor"
+)
+
+// trainToyRNN builds a small windowed RNN classifier over T×2 integer
+// feature windows where class k has step values clustered around
+// distinct centres.
+func trainToyRNN(t *testing.T, rng *rand.Rand, T, classes int) (RNNSpec, *tensor.Mat, []int) {
+	t.Helper()
+	const stepDims = 2
+	emb := nn.NewEmbedding(64, 3, T*stepDims, rng)
+	cell := nn.NewRNN(T, stepDims*3, 8, rng)
+	out := nn.NewLinear(8, classes, rng)
+	net := nn.NewSequential(emb, cell, out)
+
+	n := 400
+	xs := tensor.New(n, T*stepDims)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		cls := i % classes
+		labels[i] = cls
+		row := xs.Row(i)
+		for st := 0; st < T; st++ {
+			row[st*stepDims] = float64(8 + 16*cls + rng.Intn(8))
+			row[st*stepDims+1] = float64(4 + 12*cls + rng.Intn(6))
+		}
+	}
+	nn.Fit(net, xs, nn.ClassTargets(labels), nn.SoftmaxCrossEntropy{}, nn.NewAdam(0.01),
+		nn.TrainConfig{Epochs: 40, BatchSize: 32, Seed: 2})
+	if acc := nn.Accuracy(net, xs, labels); acc < 0.9 {
+		t.Fatalf("toy RNN failed to train: %g", acc)
+	}
+	return RNNSpec{T: T, StepDims: stepDims, Emb: emb, Cell: cell, Out: out,
+		InputDepth: 5, HiddenDepth: 7}, xs, labels
+}
+
+func TestCompileRNNAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	spec, xs, labels := trainToyRNN(t, rng, 6, 3)
+	calib := make([][]float64, xs.R)
+	for i := range calib {
+		calib[i] = xs.Row(i)
+	}
+	c, err := CompileRNN("rnn", spec, calib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := 0
+	for i := range calib {
+		x := make([]int32, len(calib[i]))
+		for j, f := range calib[i] {
+			x[j] = int32(f)
+		}
+		if c.Classify(x) == labels[i] {
+			hit++
+		}
+	}
+	acc := float64(hit) / float64(len(calib))
+	if acc < 0.85 {
+		t.Fatalf("compiled RNN accuracy %g, want >= 0.85", acc)
+	}
+	if c.Lookups() != 2*6+1 {
+		t.Fatalf("Lookups = %d", c.Lookups())
+	}
+}
+
+func TestCompileRNNValidation(t *testing.T) {
+	if _, err := CompileRNN("bad", RNNSpec{}, nil); err == nil {
+		t.Fatal("want error for empty spec")
+	}
+	rng := rand.New(rand.NewSource(31))
+	spec := RNNSpec{T: 2, StepDims: 2,
+		Emb:  nn.NewEmbedding(8, 2, 4, rng),
+		Cell: nn.NewRNN(2, 4, 4, rng),
+		Out:  nn.NewLinear(4, 2, rng)}
+	if _, err := CompileRNN("bad", spec, [][]float64{{1, 2}}); err == nil {
+		t.Fatal("want error for wrong window width")
+	}
+}
+
+func TestRNNSwitchEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	spec, xs, _ := trainToyRNN(t, rng, 6, 3)
+	calib := make([][]float64, xs.R)
+	for i := range calib {
+		calib[i] = xs.Row(i)
+	}
+	c, err := CompileRNN("rnn", spec, calib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, err := c.Emit(EmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 200; trial++ {
+		x := make([]int32, 12)
+		for j := range x {
+			x[j] = int32(rng.Intn(64))
+		}
+		swClass, swOut := em.RunSwitch(x)
+		hostOut := c.Infer(x)
+		for j := range hostOut {
+			if hostOut[j] != swOut[j] {
+				t.Fatalf("trial %d: logits[%d] switch %d host %d", trial, j, swOut[j], hostOut[j])
+			}
+		}
+		if swClass != c.Classify(x) {
+			t.Fatalf("trial %d: class switch %d host %d", trial, swClass, c.Classify(x))
+		}
+	}
+}
+
+func TestRNNEmitStageBudget(t *testing.T) {
+	// T=8 must occupy 2T+3 = 19 stages ≤ 20 (the paper's sequential
+	// pressure), and T=10 must overflow Tofino 2.
+	rng := rand.New(rand.NewSource(33))
+	const stepDims = 2
+	build := func(T int) error {
+		emb := nn.NewEmbedding(64, 2, T*stepDims, rng)
+		cell := nn.NewRNN(T, stepDims*2, 4, rng)
+		out := nn.NewLinear(4, 2, rng)
+		spec := RNNSpec{T: T, StepDims: stepDims, Emb: emb, Cell: cell, Out: out,
+			InputDepth: 3, HiddenDepth: 3}
+		calib := make([][]float64, 64)
+		for i := range calib {
+			w := make([]float64, T*stepDims)
+			for j := range w {
+				w[j] = float64(rng.Intn(64))
+			}
+			calib[i] = w
+		}
+		c, err := CompileRNN("rnn", spec, calib)
+		if err != nil {
+			return err
+		}
+		_, err = c.Emit(EmitOptions{})
+		return err
+	}
+	if err := build(8); err != nil {
+		t.Fatalf("T=8 should fit: %v", err)
+	}
+	if err := build(10); err == nil {
+		t.Fatal("T=10 should overflow the 20-stage pipeline")
+	}
+}
+
+func TestRefineClassifierImprovesNAM(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	inner := nn.NewSequential(nn.NewLinear(4, 8, rng), nn.NewActivation(nn.Tanh), nn.NewLinear(8, 3, rng))
+	net := nn.NewSequential(nn.NewSegmentsAsBatch(4, 4, inner), nn.NewSumSegments(4, 3))
+	// Weak training on a separable task so refinement has headroom.
+	n := 500
+	xs := tensor.New(n, 16)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		cls := i % 3
+		labels[i] = cls
+		row := xs.Row(i)
+		for j := range row {
+			row[j] = float64(10 + 20*cls + rng.Intn(14))
+		}
+	}
+	nn.Fit(net, xs, nn.ClassTargets(labels), nn.SoftmaxCrossEntropy{}, nn.NewAdam(0.01),
+		nn.TrainConfig{Epochs: 3, BatchSize: 32, Seed: 3})
+	prog, err := Lower("nam", net, 16, LowerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calib := make([][]float64, n)
+	for i := range calib {
+		calib[i] = xs.Row(i)
+	}
+	comp, err := BuildTables(Fuse(prog), calib, CompileConfig{TreeDepth: 4, InBits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	accBefore := classifyAcc(comp, calib, labels)
+	accAfter, err := RefineClassifier(comp, calib, labels, RefineConfig{Epochs: 12, LR: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accAfter < accBefore-0.02 {
+		t.Fatalf("refinement hurt accuracy: %g → %g", accBefore, accAfter)
+	}
+	if accAfter < 0.8 {
+		t.Fatalf("refined accuracy %g too low", accAfter)
+	}
+}
+
+func classifyAcc(c *Compiled, xs [][]float64, labels []int) float64 {
+	hit := 0
+	for i, x := range xs {
+		v := make([]int32, len(x))
+		for j, f := range x {
+			v[j] = int32(f)
+		}
+		if c.Classify(v) == labels[i] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(xs))
+}

@@ -1,0 +1,554 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/pegasus-idp/pegasus/internal/fixed"
+	"github.com/pegasus-idp/pegasus/internal/fuzzy"
+)
+
+// ReduceKind is the aggregation applied after a plan group's Maps.
+type ReduceKind int
+
+// Reductions.
+const (
+	ReduceNone ReduceKind = iota
+	ReduceSum
+	ReduceMax
+)
+
+// planGroup is one Partition→Map→Reduce unit extracted from a fused
+// program: the compilation grain (each table group becomes one or two
+// pipeline stages).
+type planGroup struct {
+	groups [][]int
+	fns    []Fn
+	reduce ReduceKind
+}
+
+// planOf chunks a fused program into plan groups, validating that the
+// step sequence has the canonical [Partition?, Map?, Reduce?]+ shape.
+func planOf(p *Program) ([]planGroup, error) {
+	shapes := bundleShape(p.InDim, p.Steps)
+	var plan []planGroup
+	i := 0
+	for i < len(p.Steps) {
+		start := i
+		var part [][]int
+		if pt, ok := p.Steps[i].(*Partition); ok {
+			part = pt.Groups
+			i++
+		}
+		var fns []Fn
+		if i < len(p.Steps) {
+			if m, ok := p.Steps[i].(*Map); ok {
+				fns = m.Fns
+				i++
+			}
+		}
+		red := ReduceNone
+		if i < len(p.Steps) {
+			switch p.Steps[i].(type) {
+			case SumReduce:
+				red = ReduceSum
+				i++
+			case MaxReduce:
+				red = ReduceMax
+				i++
+			}
+		}
+		if i == start {
+			return nil, fmt.Errorf("core: cannot plan step %d (%s)", i, p.Steps[i])
+		}
+		if part == nil {
+			part = identityGroups(shapes[start])
+		}
+		if fns == nil {
+			fns = make([]Fn, len(part))
+			for k, g := range part {
+				fns[k] = &identityFn{dim: len(g)}
+			}
+		}
+		if len(fns) != len(part) {
+			return nil, fmt.Errorf("core: group at step %d has %d segments but %d fns", start, len(part), len(fns))
+		}
+		plan = append(plan, planGroup{groups: part, fns: fns, reduce: red})
+	}
+	return plan, nil
+}
+
+func identityGroups(widths []int) [][]int {
+	var groups [][]int
+	off := 0
+	for _, w := range widths {
+		g := make([]int, w)
+		for i := range g {
+			g[i] = off + i
+		}
+		groups = append(groups, g)
+		off += w
+	}
+	return groups
+}
+
+// SegMode is how one segment's Map executes on the dataplane.
+type SegMode int
+
+// Segment execution modes.
+const (
+	// SegFuzzy: TCAM range match → fuzzy index → SRAM mapping table.
+	SegFuzzy SegMode = iota
+	// SegEmbed: per-position exact-match SRAM tables (Embedding Lookup).
+	SegEmbed
+	// SegIdentity: pure field routing, no table.
+	SegIdentity
+)
+
+// ExecSeg is one compiled segment.
+type ExecSeg struct {
+	Mode SegMode
+	Cols []int // columns of the group input feeding this segment
+
+	// Fuzzy mode.
+	Tree  *fuzzy.Tree
+	Table [][]int32 // fuzzy index → quantised output vector
+	// tl caches the two-level CRC tables built at emission time.
+	tl *fuzzy.TwoLevel
+
+	// Embed mode: one table per position; EmbTab[t][v] is the quantised
+	// embedding row for index v at position t.
+	EmbTab [][][]int32
+	EmbDim int
+	OutDim int
+}
+
+// ExecGroup is one compiled plan group.
+type ExecGroup struct {
+	Segs    []ExecSeg
+	Reduce  ReduceKind
+	InFrac  int8
+	OutFrac int8
+	// KeyBits is the match width of this group's input fields.
+	KeyBits uint
+	// SignedIn records whether this group's inputs are signed (inner
+	// activations) or unsigned (raw features); it selects the TCAM
+	// offset domain.
+	SignedIn bool
+	// RShift is the arithmetic right-shift applied after the reduction,
+	// renormalising SumReduce accumulators back into the ActBits
+	// activation range (§4.4: quantisation happens at the SumReduce
+	// boundary). 0 when no renormalisation is needed.
+	RShift uint8
+}
+
+// Compiled is a Pegasus model lowered to mapping tables: it supports
+// host-side fixed-point inference (bit-identical to the emitted switch
+// program) and PISA emission.
+type Compiled struct {
+	Name    string
+	InDim   int
+	Groups  []ExecGroup
+	OutDim  int
+	OutFrac int8
+	Cfg     CompileConfig
+}
+
+// CompileConfig tunes table generation.
+type CompileConfig struct {
+	// TreeDepth is the fuzzy clustering depth (leaves = 2^depth).
+	TreeDepth int
+	// OutBits is the fixed-point activation width stored in tables.
+	OutBits uint8
+	// InBits is the input field width of the first group (8 for byte
+	// features, 16 for flow statistics).
+	InBits uint
+	// AccBits is the accumulator / intermediate field width.
+	AccBits uint
+	// InFrac is the fixed-point position of the raw inputs (0: integers).
+	InFrac int8
+	// ActBits is the activation key width between groups: accumulators
+	// are right-shifted until they fit this signed width, so inner TCAM
+	// keys stay narrow (the paper's 8-bit fixed-point activations).
+	ActBits uint
+	// FinalDepth, when non-zero, overrides TreeDepth for the program's
+	// last group. CNN-L uses it to force the per-packet index width
+	// (4-bit fuzzy indices stored per flow, Figure 7).
+	FinalDepth int
+	// MaxCalib caps the calibration points per tree.
+	MaxCalib int
+}
+
+func (c *CompileConfig) defaults() {
+	if c.TreeDepth == 0 {
+		c.TreeDepth = 5
+	}
+	if c.OutBits == 0 {
+		c.OutBits = 8
+	}
+	if c.InBits == 0 {
+		c.InBits = 8
+	}
+	if c.AccBits == 0 {
+		c.AccBits = 16
+	}
+	if c.ActBits == 0 {
+		c.ActBits = 8
+	}
+	if c.MaxCalib == 0 {
+		c.MaxCalib = 4096
+	}
+}
+
+// BuildTables compiles a fused program into mapping tables using the
+// calibration inputs (integer-valued feature vectors), implementing
+// §4.2's parameter learning and §4.4's adaptive fixed-point
+// quantisation: trees and centroids are learned from the training set,
+// each fused operator is evaluated at full precision on the centroids,
+// and only the outputs are quantised.
+func BuildTables(p *Program, calib [][]float64, cfg CompileConfig) (*Compiled, error) {
+	cfg.defaults()
+	if len(calib) == 0 {
+		return nil, fmt.Errorf("core: no calibration data for %q", p.Name)
+	}
+	plan, err := planOf(p)
+	if err != nil {
+		return nil, err
+	}
+	// Current per-sample integer vectors.
+	cur := make([][]int32, len(calib))
+	for i, x := range calib {
+		if len(x) != p.InDim {
+			return nil, fmt.Errorf("core: calibration sample %d has dim %d, want %d", i, len(x), p.InDim)
+		}
+		v := make([]int32, len(x))
+		for j, f := range x {
+			v[j] = int32(math.RoundToEven(f))
+		}
+		cur[i] = v
+	}
+	comp := &Compiled{Name: p.Name, InDim: p.InDim, Cfg: cfg}
+	inFrac := cfg.InFrac
+	keyBits := cfg.InBits
+	signed := false // raw features are unsigned integers
+	for gi, pg := range plan {
+		eg := ExecGroup{Reduce: pg.reduce, InFrac: inFrac, KeyBits: keyBits, SignedIn: signed}
+		// Classify segments.
+		identOnly := true
+		for _, fn := range pg.fns {
+			if _, ok := fn.(*identityFn); !ok {
+				identOnly = false
+			}
+		}
+		if identOnly {
+			// Pure routing / reduction group: no quantisation change.
+			for si, g := range pg.groups {
+				eg.Segs = append(eg.Segs, ExecSeg{Mode: SegIdentity, Cols: g, OutDim: pg.fns[si].OutDim()})
+			}
+			eg.OutFrac = inFrac
+			comp.Groups = append(comp.Groups, eg)
+			cur = evalGroupInt(&eg, cur)
+			continue
+		}
+		// Table segments: first gather all full-precision outputs to fit
+		// one shared output quantiser for the group (SumReduce needs a
+		// common fixed-point position).
+		scale := math.Ldexp(1, -int(inFrac))
+		var allOuts []float64
+		type segPrep struct {
+			tree *fuzzy.Tree
+			fn   Fn
+			emb  *EmbedFn
+			outs [][]float64 // per leaf (fuzzy) – full precision
+		}
+		preps := make([]segPrep, len(pg.groups))
+		for si, g := range pg.groups {
+			fn := pg.fns[si]
+			if _, ok := fn.(*identityFn); ok {
+				return nil, fmt.Errorf("core: group %d mixes identity and table segments", gi)
+			}
+			if emb, ok := fn.(*EmbedFn); ok {
+				preps[si] = segPrep{emb: emb, fn: fn}
+				for r := 0; r < emb.Table.R; r++ {
+					allOuts = append(allOuts, emb.Table.Row(r)...)
+				}
+				continue
+			}
+			// Fuzzy: cluster observed segment inputs, scoring splits by
+			// the SSE of the operator's full-precision outputs (the
+			// stability property of §4.2) and storing the leaf-mean
+			// output in the mapping table.
+			pts := make([][]float64, 0, min(len(cur), cfg.MaxCalib))
+			stride := max(1, len(cur)/cfg.MaxCalib)
+			for i := 0; i < len(cur); i += stride {
+				seg := make([]float64, len(g))
+				for k, c := range g {
+					seg[k] = float64(cur[i][c])
+				}
+				pts = append(pts, seg)
+			}
+			tgts := make([][]float64, len(pts))
+			for i, p := range pts {
+				xf := make([]float64, len(p))
+				for k, v := range p {
+					xf[k] = v * scale
+				}
+				tgts[i] = fn.Eval(xf)
+			}
+			depth := cfg.TreeDepth
+			if cfg.FinalDepth > 0 && gi == len(plan)-1 {
+				depth = cfg.FinalDepth
+			}
+			tree, err := fuzzy.BuildDepthTargets(pts, tgts, depth)
+			if err != nil {
+				return nil, fmt.Errorf("core: group %d seg %d: %v", gi, si, err)
+			}
+			// Leaf table entry: mean output over the leaf's calibration
+			// points (the L2-optimal representative); empty leaves fall
+			// back to evaluating the input centroid.
+			outDim := fn.OutDim()
+			outs := make([][]float64, tree.NumLeaves())
+			counts := make([]int, tree.NumLeaves())
+			for li := range outs {
+				outs[li] = make([]float64, outDim)
+			}
+			for i, p := range pts {
+				li := tree.Assign(p)
+				counts[li]++
+				for j, v := range tgts[i] {
+					outs[li][j] += v
+				}
+			}
+			for li := range outs {
+				if counts[li] > 0 {
+					for j := range outs[li] {
+						outs[li][j] /= float64(counts[li])
+					}
+				} else {
+					cent := tree.Centroid(li)
+					xf := make([]float64, len(cent))
+					for k, v := range cent {
+						xf[k] = v * scale
+					}
+					outs[li] = fn.Eval(xf)
+				}
+				allOuts = append(allOuts, outs[li]...)
+			}
+			preps[si] = segPrep{tree: tree, fn: fn, outs: outs}
+		}
+		outQ, err := fixed.Fit(cfg.OutBits, allOuts)
+		if err != nil {
+			return nil, fmt.Errorf("core: group %d output quantiser: %v", gi, err)
+		}
+		eg.OutFrac = outQ.Frac
+		for si, g := range pg.groups {
+			pr := preps[si]
+			if pr.emb != nil {
+				emb := pr.emb
+				tabs := make([][][]int32, emb.T)
+				rows := make([][]int32, emb.Table.R)
+				for r := 0; r < emb.Table.R; r++ {
+					rows[r] = outQ.QuantizeVec(emb.Table.Row(r), nil)
+				}
+				for t := 0; t < emb.T; t++ {
+					tabs[t] = rows // shared across positions
+				}
+				eg.Segs = append(eg.Segs, ExecSeg{Mode: SegEmbed, Cols: g, EmbTab: tabs,
+					EmbDim: emb.Table.C, OutDim: emb.OutDim()})
+				continue
+			}
+			tab := make([][]int32, len(pr.outs))
+			for li, y := range pr.outs {
+				tab[li] = outQ.QuantizeVec(y, nil)
+			}
+			eg.Segs = append(eg.Segs, ExecSeg{Mode: SegFuzzy, Cols: g, Tree: pr.tree,
+				Table: tab, OutDim: pr.fn.OutDim()})
+		}
+		if pg.reduce == ReduceSum {
+			// Renormalise the accumulated activations back into the
+			// ActBits range before they become the next group's key.
+			probe := evalGroupInt(&eg, cur)
+			maxAbs := int32(0)
+			for _, v := range probe {
+				for _, e := range v {
+					if e > maxAbs {
+						maxAbs = e
+					}
+					if -e > maxAbs {
+						maxAbs = -e
+					}
+				}
+			}
+			hi := int32(1)<<(cfg.ActBits-1) - 1
+			for maxAbs>>eg.RShift > hi {
+				eg.RShift++
+			}
+			eg.OutFrac -= int8(eg.RShift)
+		}
+		comp.Groups = append(comp.Groups, eg)
+		cur = evalGroupInt(&eg, cur)
+		inFrac = eg.OutFrac
+		keyBits = cfg.ActBits
+		signed = true // table outputs are signed fixed-point values
+	}
+	comp.OutFrac = comp.Groups[len(comp.Groups)-1].OutFrac
+	if len(cur) > 0 {
+		comp.OutDim = len(cur[0])
+	}
+	return comp, nil
+}
+
+// evalGroupInt runs every sample through one compiled group.
+func evalGroupInt(eg *ExecGroup, cur [][]int32) [][]int32 {
+	next := make([][]int32, len(cur))
+	for i, v := range cur {
+		next[i] = eg.Eval(v)
+	}
+	return next
+}
+
+// Eval runs one integer vector through the group, matching switch
+// semantics exactly (saturating adds, integer max).
+func (eg *ExecGroup) Eval(x []int32) []int32 {
+	outs := make([][]int32, len(eg.Segs))
+	for si := range eg.Segs {
+		outs[si] = eg.Segs[si].eval(x)
+	}
+	switch eg.Reduce {
+	case ReduceNone:
+		n := 0
+		for _, o := range outs {
+			n += len(o)
+		}
+		flat := make([]int32, 0, n)
+		for _, o := range outs {
+			flat = append(flat, o...)
+		}
+		return flat
+	case ReduceSum:
+		acc := append([]int32(nil), outs[0]...)
+		for _, o := range outs[1:] {
+			fixed.SatAddVec(acc, o)
+		}
+		if eg.RShift > 0 {
+			for j := range acc {
+				acc[j] >>= eg.RShift
+			}
+		}
+		return acc
+	case ReduceMax:
+		acc := append([]int32(nil), outs[0]...)
+		for _, o := range outs[1:] {
+			for j, v := range o {
+				if v > acc[j] {
+					acc[j] = v
+				}
+			}
+		}
+		return acc
+	}
+	panic("core: unknown reduce kind")
+}
+
+func (s *ExecSeg) eval(x []int32) []int32 {
+	switch s.Mode {
+	case SegIdentity:
+		out := make([]int32, len(s.Cols))
+		for k, c := range s.Cols {
+			out[k] = x[c]
+		}
+		return out
+	case SegEmbed:
+		out := make([]int32, 0, s.OutDim)
+		for t, c := range s.Cols {
+			idx := int(x[c])
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(s.EmbTab[t]) {
+				idx = len(s.EmbTab[t]) - 1
+			}
+			out = append(out, s.EmbTab[t][idx]...)
+		}
+		return out
+	case SegFuzzy:
+		seg := make([]float64, len(s.Cols))
+		for k, c := range s.Cols {
+			seg[k] = float64(x[c])
+		}
+		leaf := s.Tree.Assign(seg)
+		return s.Table[leaf]
+	}
+	panic("core: unknown segment mode")
+}
+
+// Infer runs fixed-point inference on an integer-valued input vector,
+// returning the final integer outputs (logits or reconstruction).
+func (c *Compiled) Infer(x []int32) []int32 {
+	cur := x
+	for gi := range c.Groups {
+		cur = c.Groups[gi].Eval(cur)
+	}
+	return cur
+}
+
+// InferFloats accepts float feature vectors (integer-valued) and returns
+// dequantised outputs.
+func (c *Compiled) InferFloats(x []float64) []float64 {
+	v := make([]int32, len(x))
+	for i, f := range x {
+		v[i] = int32(math.RoundToEven(f))
+	}
+	out := c.Infer(v)
+	scale := math.Ldexp(1, -int(c.OutFrac))
+	res := make([]float64, len(out))
+	for i, o := range out {
+		res[i] = float64(o) * scale
+	}
+	return res
+}
+
+// Classify returns the argmax of Infer — the class the switch would
+// write into its result field. Ties keep the later index, matching the
+// compare-select chain the emitter generates.
+func (c *Compiled) Classify(x []int32) int {
+	out := c.Infer(x)
+	best, bi := out[0], 0
+	for i, v := range out[1:] {
+		if v >= best {
+			best, bi = v, i+1
+		}
+	}
+	return bi
+}
+
+// Lookups returns table lookups per inference: the scalability metric
+// Primitive Fusion optimises.
+func (c *Compiled) Lookups() int {
+	n := 0
+	for _, g := range c.Groups {
+		for _, s := range g.Segs {
+			switch s.Mode {
+			case SegFuzzy:
+				n += 2 // TCAM fuzzy index + SRAM mapping table
+			case SegEmbed:
+				n += len(s.Cols)
+			}
+		}
+	}
+	return n
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

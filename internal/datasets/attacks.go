@@ -1,0 +1,141 @@
+package datasets
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/pegasus-idp/pegasus/internal/netsim"
+)
+
+// AttackKind identifies one malicious-traffic family of §7.4: five
+// malware families (stand-ins for USTC-TFC2016 captures) and the SSDP
+// reflection flood (stand-in for the Kitsune capture).
+type AttackKind int
+
+// Attack families, in the order of Figure 8's legend.
+const (
+	Htbot AttackKind = iota
+	Flood
+	Cridex
+	Virut
+	Neris
+	Geodo
+)
+
+// AttackNames maps AttackKind to its display name.
+var AttackNames = []string{"Htbot", "Flood", "Cridex", "Virut", "Neris", "Geodo"}
+
+func (k AttackKind) String() string { return AttackNames[k] }
+
+// AllAttacks lists every family.
+var AllAttacks = []AttackKind{Htbot, Flood, Cridex, Virut, Neris, Geodo}
+
+// attackProfile reuses the benign generator machinery with profiles
+// whose length/IPD rhythms are unlike any benign class. Families differ
+// in how benign-like they are: Htbot proxies ordinary HTTP traffic, so
+// its AUC is the lowest in the paper (0.856–0.993 across datasets),
+// while Flood and Cridex beacons are near-perfectly detectable.
+func attackProfile(k AttackKind) classProfile {
+	switch k {
+	case Htbot:
+		// HTTP-proxy botnet: browsing-like mixture, mildly periodic.
+		return classProfile{
+			name:  "Htbot",
+			lenMu: [2]float64{560, 480}, lenSigma: [2]float64{150, 140},
+			lenMu2: [2]float64{1250, 1050}, mode2P: 0.18,
+			ipdLogMu: 9.2, ipdLogSigma: 1.2,
+			motif: []float64{1, 1.4, 1.1, 0.9},
+			flipP: 0.40, magic: []byte{0x48, 0x54, 0x54, 0x50},
+			payloadCenter: 55, payloadSpread: 30, bgP: 0.30,
+		}
+	case Flood:
+		// SSDP reflection flood: constant-size packets at µs spacing.
+		return classProfile{
+			name:  "Flood",
+			lenMu: [2]float64{310, 310}, lenSigma: [2]float64{4, 4},
+			lenMu2: [2]float64{310, 310}, mode2P: 0,
+			ipdLogMu: 1.6, ipdLogSigma: 0.3,
+			motif: nil, flipP: 0.02,
+			magic:         []byte{0x4D, 0x2D, 0x53},
+			payloadCenter: 77, payloadSpread: 8, bgP: 0,
+		}
+	case Cridex:
+		// Banking trojan beacon: tiny fixed-size check-ins, metronomic.
+		return classProfile{
+			name:  "Cridex",
+			lenMu: [2]float64{122, 96}, lenSigma: [2]float64{6, 5},
+			lenMu2: [2]float64{122, 96}, mode2P: 0,
+			ipdLogMu: 12.4, ipdLogSigma: 0.15,
+			motif: nil, flipP: 0.50,
+			magic:         []byte{0xDE, 0xAD},
+			payloadCenter: 10, payloadSpread: 6, bgP: 0.02,
+		}
+	case Virut:
+		// IRC bot with spam bursts: bimodal small/huge lengths.
+		return classProfile{
+			name:  "Virut",
+			lenMu: [2]float64{90, 80}, lenSigma: [2]float64{14, 12},
+			lenMu2: [2]float64{1420, 1380}, mode2P: 0.35,
+			ipdLogMu: 6.0, ipdLogSigma: 1.8,
+			motif: []float64{1, 1, 1, 8, 8, 1},
+			flipP: 0.25, magic: []byte{0x49, 0x52, 0x43},
+			payloadCenter: 240, payloadSpread: 12, bgP: 0.12,
+		}
+	case Neris:
+		// Click-fraud botnet: rapid small requests, sub-second cadence.
+		return classProfile{
+			name:  "Neris",
+			lenMu: [2]float64{180, 520}, lenSigma: [2]float64{25, 70},
+			lenMu2: [2]float64{180, 520}, mode2P: 0,
+			ipdLogMu: 5.2, ipdLogSigma: 0.6,
+			motif: []float64{1, 1, 1.2, 1},
+			flipP: 0.60, magic: []byte{0x47, 0x45, 0x54},
+			payloadCenter: 30, payloadSpread: 15, bgP: 0.15,
+		}
+	case Geodo:
+		// Emotet-family spam bot: mid-size TLS records, fixed period.
+		return classProfile{
+			name:  "Geodo",
+			lenMu: [2]float64{283, 283}, lenSigma: [2]float64{10, 10},
+			lenMu2: [2]float64{560, 560}, mode2P: 0.10,
+			ipdLogMu: 11.0, ipdLogSigma: 0.35,
+			motif: []float64{1, 1, 2, 1},
+			flipP: 0.45, magic: []byte{0x16, 0x03, 0x03},
+			payloadCenter: 160, payloadSpread: 10, bgP: 0.10,
+		}
+	}
+	panic("datasets: unknown attack kind")
+}
+
+// AttackFlows synthesises n flows of the given family. Class is always 1
+// (anomalous); benign test flows use class 0 in detection experiments.
+func AttackFlows(k AttackKind, n int, meanPackets int, seed int64) []netsim.Flow {
+	if meanPackets <= 0 {
+		meanPackets = 32
+	}
+	rng := rand.New(rand.NewSource(seed ^ int64(k)<<32))
+	p := attackProfile(k)
+	flows := make([]netsim.Flow, 0, n)
+	for i := 0; i < n; i++ {
+		np := meanPackets + rng.Intn(meanPackets/2+1) - meanPackets/4
+		if np < 8 {
+			np = 8
+		}
+		f := genFlow(rng, &p, 1, np)
+		flows = append(flows, f)
+	}
+	return flows
+}
+
+// MixAttack builds the §7.4 test mixture: benign flows (class 0) plus
+// attack flows at a 1:4 attack-to-benign ratio (class 1).
+func MixAttack(benign []netsim.Flow, k AttackKind, seed int64) []netsim.Flow {
+	nAttack := int(math.Ceil(float64(len(benign)) / 4))
+	mixed := make([]netsim.Flow, 0, len(benign)+nAttack)
+	for _, f := range benign {
+		f.Class = 0
+		mixed = append(mixed, f)
+	}
+	mixed = append(mixed, AttackFlows(k, nAttack, 32, seed)...)
+	return mixed
+}

@@ -1,0 +1,235 @@
+package datasets
+
+import (
+	"math"
+	"testing"
+
+	"github.com/pegasus-idp/pegasus/internal/netsim"
+)
+
+func TestGeneratorsProduceLabelledFlows(t *testing.T) {
+	cfg := Config{FlowsPerClass: 10, PacketsPerFlow: 16, Seed: 1}
+	for _, name := range Names {
+		d, ok := ByName(name, cfg)
+		if !ok {
+			t.Fatalf("ByName(%q) failed", name)
+		}
+		if d.Name != name {
+			t.Fatalf("name = %q", d.Name)
+		}
+		if len(d.Flows) != d.NumClasses()*10 {
+			t.Fatalf("%s: flows = %d, want %d", name, len(d.Flows), d.NumClasses()*10)
+		}
+		counts := make([]int, d.NumClasses())
+		for _, f := range d.Flows {
+			if f.Class < 0 || f.Class >= d.NumClasses() {
+				t.Fatalf("%s: class %d out of range", name, f.Class)
+			}
+			counts[f.Class]++
+			if len(f.Packets) < 8 {
+				t.Fatalf("%s: flow with %d packets", name, len(f.Packets))
+			}
+			for i, p := range f.Packets {
+				if p.Len < 40 || p.Len > 1500 {
+					t.Fatalf("%s: packet len %d out of range", name, p.Len)
+				}
+				if i > 0 && p.Time < f.Packets[i-1].Time {
+					t.Fatalf("%s: timestamps not monotone", name)
+				}
+			}
+		}
+		for c, n := range counts {
+			if n != 10 {
+				t.Fatalf("%s: class %d has %d flows", name, c, n)
+			}
+		}
+	}
+	if _, ok := ByName("nope", cfg); ok {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestClassCounts(t *testing.T) {
+	cfg := Config{FlowsPerClass: 3, Seed: 2}
+	if n := PeerRush(cfg).NumClasses(); n != 3 {
+		t.Fatalf("PeerRush classes = %d", n)
+	}
+	if n := CICIOT(cfg).NumClasses(); n != 3 {
+		t.Fatalf("CICIOT classes = %d", n)
+	}
+	if n := ISCXVPN(cfg).NumClasses(); n != 7 {
+		t.Fatalf("ISCXVPN classes = %d", n)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	cfg := Config{FlowsPerClass: 5, Seed: 42}
+	a := PeerRush(cfg)
+	b := PeerRush(cfg)
+	if len(a.Flows) != len(b.Flows) {
+		t.Fatal("flow counts differ")
+	}
+	for i := range a.Flows {
+		fa, fb := a.Flows[i], b.Flows[i]
+		if fa.Tuple != fb.Tuple || len(fa.Packets) != len(fb.Packets) {
+			t.Fatalf("flow %d differs", i)
+		}
+		for j := range fa.Packets {
+			if fa.Packets[j] != fb.Packets[j] {
+				t.Fatalf("packet %d/%d differs", i, j)
+			}
+		}
+	}
+	c := PeerRush(Config{FlowsPerClass: 5, Seed: 43})
+	if a.Flows[0].Packets[0] == c.Flows[0].Packets[0] {
+		t.Fatal("different seeds produced identical first packet (suspicious)")
+	}
+}
+
+func TestSplitProportionsAndDisjoint(t *testing.T) {
+	d := PeerRush(Config{FlowsPerClass: 40, Seed: 3})
+	train, val, test := d.Split(7)
+	total := len(train) + len(val) + len(test)
+	if total != len(d.Flows) {
+		t.Fatalf("split loses flows: %d vs %d", total, len(d.Flows))
+	}
+	if math.Abs(float64(len(train))/float64(total)-0.75) > 0.02 {
+		t.Fatalf("train fraction = %g", float64(len(train))/float64(total))
+	}
+	seen := map[netsim.FiveTuple]bool{}
+	for _, f := range train {
+		seen[f.Tuple] = true
+	}
+	for _, f := range append(val, test...) {
+		if seen[f.Tuple] {
+			t.Fatal("flow appears in multiple splits")
+		}
+	}
+}
+
+func TestClassesAreStatisticallySeparable(t *testing.T) {
+	// Mean packet length must differ measurably between at least one
+	// pair of classes — otherwise no model can learn anything.
+	d := PeerRush(Config{FlowsPerClass: 30, Seed: 4})
+	mean := make([]float64, d.NumClasses())
+	count := make([]float64, d.NumClasses())
+	for _, f := range d.Flows {
+		for _, p := range f.Packets {
+			mean[f.Class] += float64(p.Len)
+			count[f.Class]++
+		}
+	}
+	for c := range mean {
+		mean[c] /= count[c]
+	}
+	spread := 0.0
+	for c := 1; c < len(mean); c++ {
+		spread = math.Max(spread, math.Abs(mean[c]-mean[0]))
+	}
+	if spread < 50 {
+		t.Fatalf("class mean lengths too close: %v", mean)
+	}
+}
+
+func TestPayloadCarriesClassSignal(t *testing.T) {
+	// Per-class payload byte means must separate — this is the CNN-L
+	// signal layer.
+	d := ISCXVPN(Config{FlowsPerClass: 10, Seed: 5})
+	mean := make([]float64, d.NumClasses())
+	count := make([]float64, d.NumClasses())
+	for _, f := range d.Flows {
+		for _, p := range f.Packets {
+			for _, b := range p.Payload[4:] { // skip magic
+				mean[f.Class] += float64(b)
+				count[f.Class]++
+			}
+		}
+	}
+	distinct := map[int]bool{}
+	for c := range mean {
+		mean[c] /= count[c]
+		distinct[int(mean[c]/20)] = true
+	}
+	if len(distinct) < 4 {
+		t.Fatalf("payload means not separable: %v", mean)
+	}
+}
+
+func TestAttackFlowsDistinctFromBenign(t *testing.T) {
+	benign := PeerRush(Config{FlowsPerClass: 10, Seed: 6})
+	for _, k := range AllAttacks {
+		flows := AttackFlows(k, 5, 32, 6)
+		if len(flows) != 5 {
+			t.Fatalf("%v: %d flows", k, len(flows))
+		}
+		for _, f := range flows {
+			if f.Class != 1 {
+				t.Fatalf("%v: class = %d, want 1", k, f.Class)
+			}
+			if len(f.Packets) < 8 {
+				t.Fatalf("%v: too few packets", k)
+			}
+		}
+	}
+	_ = benign
+	if AttackNames[Flood] != "Flood" || Flood.String() != "Flood" {
+		t.Fatal("attack naming")
+	}
+}
+
+func TestFloodSignature(t *testing.T) {
+	flows := AttackFlows(Flood, 8, 40, 9)
+	var lens []float64
+	var ipds []float64
+	for _, f := range flows {
+		for i, p := range f.Packets {
+			lens = append(lens, float64(p.Len))
+			if i > 0 {
+				ipds = append(ipds, float64(f.IPD(i)))
+			}
+		}
+	}
+	meanLen, varLen := meanVar(lens)
+	meanIPD, _ := meanVar(ipds)
+	if math.Abs(meanLen-310) > 20 {
+		t.Fatalf("flood mean len = %g, want ≈310", meanLen)
+	}
+	if varLen > 900 {
+		t.Fatalf("flood len variance = %g, want tiny", varLen)
+	}
+	if meanIPD > 50 {
+		t.Fatalf("flood mean IPD = %g µs, want tiny", meanIPD)
+	}
+}
+
+func TestMixAttackRatio(t *testing.T) {
+	benign := PeerRush(Config{FlowsPerClass: 20, Seed: 10}).Flows
+	mixed := MixAttack(benign, Cridex, 11)
+	nAtk := 0
+	for _, f := range mixed {
+		if f.Class == 1 {
+			nAtk++
+		}
+	}
+	if nAtk != (len(benign)+3)/4 {
+		t.Fatalf("attack count = %d for %d benign", nAtk, len(benign))
+	}
+	// Benign labels must be rewritten to 0.
+	for _, f := range mixed[:len(benign)] {
+		if f.Class != 0 {
+			t.Fatal("benign flow not relabelled to 0")
+		}
+	}
+}
+
+func meanVar(xs []float64) (mean, variance float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		variance += (x - mean) * (x - mean)
+	}
+	variance /= float64(len(xs))
+	return mean, variance
+}

@@ -1,0 +1,203 @@
+// Package fixed implements the fixed-point numeric substrate used by
+// Pegasus on the dataplane (§4.4 of the paper).
+//
+// PISA switches support only integer add/subtract/shift/compare, so all
+// activations crossing table boundaries are represented as fixed-point
+// integers. Weights stay full precision: they are baked into precomputed
+// mapping-table entries, and only the *outputs* of those tables are
+// quantised. Because input and output numeric ranges of a layer can
+// differ wildly (e.g. inputs in [-100,100], outputs in [0,5]), Pegasus
+// uses adaptive per-boundary fixed-point positions chosen from observed
+// ranges (post-training static quantisation).
+package fixed
+
+import (
+	"fmt"
+	"math"
+)
+
+// Q is a fixed-point value: the real number Raw × 2^-Frac. Frac may be
+// negative (coarser-than-integer resolution for wide ranges). It is a
+// carrier for debugging and tests; hot paths use raw int32.
+type Q struct {
+	Raw  int32
+	Frac int8
+}
+
+// Float returns the real value represented by q.
+func (q Q) Float() float64 { return math.Ldexp(float64(q.Raw), -int(q.Frac)) }
+
+// String implements fmt.Stringer.
+func (q Q) String() string { return fmt.Sprintf("%g(q%d)", q.Float(), q.Frac) }
+
+// Quantizer converts between float64 activations and fixed-point integers
+// with a given bit width and fractional position. The zero value is not
+// usable; construct with NewQuantizer or Fit.
+type Quantizer struct {
+	// Bits is the total signed bit width (including sign), 2..32.
+	Bits uint8
+	// Frac is the fixed-point position: value = raw × 2^−Frac. Negative
+	// positions give coarser-than-integer steps, which the adaptive
+	// fitting uses for wide numerical ranges.
+	Frac int8
+	// min/max representable raw values.
+	lo, hi int64
+}
+
+// NewQuantizer returns a quantizer with the given width and fixed-point
+// position. Bits must be in [2,32].
+func NewQuantizer(bits uint8, frac int8) (*Quantizer, error) {
+	if bits < 2 || bits > 32 {
+		return nil, fmt.Errorf("fixed: bit width %d out of range [2,32]", bits)
+	}
+	hi := int64(1)<<(bits-1) - 1
+	return &Quantizer{Bits: bits, Frac: frac, lo: -hi - 1, hi: hi}, nil
+}
+
+// MustQuantizer is NewQuantizer that panics on error, for static configs.
+func MustQuantizer(bits uint8, frac int8) *Quantizer {
+	q, err := NewQuantizer(bits, frac)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Fit chooses the largest fractional position such that every value in xs
+// is representable without saturation in the given bit width, mirroring
+// the paper's adaptive fixed-point quantisation: "pre-calculate the
+// fixed-point positions" from known numerical ranges to maximise register
+// bit-width utilisation. An empty slice yields frac = bits-1.
+func Fit(bits uint8, xs []float64) (*Quantizer, error) {
+	if bits < 2 || bits > 32 {
+		return nil, fmt.Errorf("fixed: bit width %d out of range [2,32]", bits)
+	}
+	maxAbs := 0.0
+	for _, x := range xs {
+		if a := math.Abs(x); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	hi := float64(int64(1)<<(bits-1) - 1)
+	frac := int(bits) - 1 // all-fractional when values are tiny
+	if maxAbs > 0 {
+		// Largest f with maxAbs * 2^f <= hi (possibly negative: coarse
+		// steps for wide ranges).
+		f := int(math.Floor(math.Log2(hi / maxAbs)))
+		if f < frac {
+			frac = f
+		}
+	}
+	if frac < -64 {
+		frac = -64
+	}
+	return NewQuantizer(bits, int8(frac))
+}
+
+// Quantize converts x to its raw fixed-point representation, saturating at
+// the representable range (the dataplane has no traps, only saturation).
+func (qz *Quantizer) Quantize(x float64) int32 {
+	r := math.RoundToEven(math.Ldexp(x, int(qz.Frac)))
+	if r > float64(qz.hi) {
+		return int32(qz.hi)
+	}
+	if r < float64(qz.lo) {
+		return int32(qz.lo)
+	}
+	return int32(r)
+}
+
+// Dequantize converts a raw value back to float64.
+func (qz *Quantizer) Dequantize(raw int32) float64 {
+	return math.Ldexp(float64(raw), -int(qz.Frac))
+}
+
+// RoundTrip quantises then dequantises, returning the representable value
+// nearest to x.
+func (qz *Quantizer) RoundTrip(x float64) float64 { return qz.Dequantize(qz.Quantize(x)) }
+
+// Step returns the quantisation step (resolution) of the quantizer.
+func (qz *Quantizer) Step() float64 { return math.Ldexp(1, -int(qz.Frac)) }
+
+// MaxVal returns the largest representable real value.
+func (qz *Quantizer) MaxVal() float64 { return math.Ldexp(float64(qz.hi), -int(qz.Frac)) }
+
+// MinVal returns the smallest (most negative) representable real value.
+func (qz *Quantizer) MinVal() float64 { return math.Ldexp(float64(qz.lo), -int(qz.Frac)) }
+
+// QuantizeVec quantises a vector into dst (allocated if nil) and returns it.
+func (qz *Quantizer) QuantizeVec(xs []float64, dst []int32) []int32 {
+	if dst == nil {
+		dst = make([]int32, len(xs))
+	}
+	for i, x := range xs {
+		dst[i] = qz.Quantize(x)
+	}
+	return dst
+}
+
+// DequantizeVec dequantises a vector into dst (allocated if nil).
+func (qz *Quantizer) DequantizeVec(raw []int32, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, len(raw))
+	}
+	for i, r := range raw {
+		dst[i] = qz.Dequantize(r)
+	}
+	return dst
+}
+
+// SatAdd32 adds two int32 values with saturation, matching the dataplane
+// ALU semantics used by SumReduce.
+func SatAdd32(a, b int32) int32 {
+	s := int64(a) + int64(b)
+	if s > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	if s < math.MinInt32 {
+		return math.MinInt32
+	}
+	return int32(s)
+}
+
+// SatAddVec element-wise saturating add of b into a (in place); the slices
+// must have equal length.
+func SatAddVec(a, b []int32) {
+	if len(a) != len(b) {
+		panic("fixed: SatAddVec length mismatch")
+	}
+	for i := range a {
+		a[i] = SatAdd32(a[i], b[i])
+	}
+}
+
+// Rescale converts a raw value from one fractional position to another,
+// rounding toward nearest when reducing precision. It implements the
+// boundary alignment needed when two table outputs with different
+// positions feed the same SumReduce.
+func Rescale(raw int32, from, to int8) int32 {
+	if from == to {
+		return raw
+	}
+	if to > from {
+		shift := uint(to - from)
+		v := int64(raw) << shift
+		if v > math.MaxInt32 {
+			return math.MaxInt32
+		}
+		if v < math.MinInt32 {
+			return math.MinInt32
+		}
+		return int32(v)
+	}
+	shift := uint(from - to)
+	// Round half away from zero via bias add.
+	bias := int64(1) << (shift - 1)
+	v := int64(raw)
+	if v >= 0 {
+		v = (v + bias) >> shift
+	} else {
+		v = -((-v + bias) >> shift)
+	}
+	return int32(v)
+}

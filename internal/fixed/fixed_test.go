@@ -1,0 +1,259 @@
+package fixed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewQuantizerValidation(t *testing.T) {
+	if _, err := NewQuantizer(1, 0); err == nil {
+		t.Fatal("want error for 1-bit quantizer")
+	}
+	if _, err := NewQuantizer(33, 0); err == nil {
+		t.Fatal("want error for 33-bit quantizer")
+	}
+	q, err := NewQuantizer(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.MaxVal() != 127.0/16 || q.MinVal() != -128.0/16 {
+		t.Fatalf("8.4 range = [%g,%g], want [-8, 7.9375]", q.MinVal(), q.MaxVal())
+	}
+}
+
+func TestQuantizeRoundTripExact(t *testing.T) {
+	q := MustQuantizer(8, 4)
+	// Multiples of the step must round-trip exactly.
+	for raw := -128; raw <= 127; raw++ {
+		x := float64(raw) / 16
+		if got := q.Quantize(x); got != int32(raw) {
+			t.Fatalf("Quantize(%g) = %d, want %d", x, got, raw)
+		}
+		if got := q.Dequantize(int32(raw)); got != x {
+			t.Fatalf("Dequantize(%d) = %g, want %g", raw, got, x)
+		}
+	}
+}
+
+func TestQuantizeSaturates(t *testing.T) {
+	q := MustQuantizer(8, 4)
+	if got := q.Quantize(1000); got != 127 {
+		t.Fatalf("Quantize(1000) = %d, want saturation at 127", got)
+	}
+	if got := q.Quantize(-1000); got != -128 {
+		t.Fatalf("Quantize(-1000) = %d, want saturation at -128", got)
+	}
+}
+
+func TestFitChoosesLargestSafePosition(t *testing.T) {
+	// Values in [0,5] with 8 bits: 5*2^4 = 80 <= 127, 5*2^5 = 160 > 127.
+	q, err := Fit(8, []float64{0, 1.5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Frac != 4 {
+		t.Fatalf("Fit frac = %d, want 4", q.Frac)
+	}
+	// Values in [-100,100] with 8 bits: 100*2^0 = 100 <= 127.
+	q, err = Fit(8, []float64{-100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Frac != 0 {
+		t.Fatalf("Fit frac = %d, want 0", q.Frac)
+	}
+}
+
+func TestFitEmptyAndTiny(t *testing.T) {
+	q, err := Fit(8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Frac != 7 {
+		t.Fatalf("Fit(nil) frac = %d, want 7", q.Frac)
+	}
+	// Tiny values should still cap at bits-1 fractional bits.
+	q, err = Fit(8, []float64{1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Frac != 7 {
+		t.Fatalf("Fit(tiny) frac = %d, want 7", q.Frac)
+	}
+}
+
+func TestFitWideRangeUsesNegativePosition(t *testing.T) {
+	q, err := Fit(8, []float64{350})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Frac >= 0 {
+		t.Fatalf("Fit(350, 8 bits) frac = %d, want negative", q.Frac)
+	}
+	// 350 must be representable within one step.
+	if math.Abs(q.RoundTrip(350)-350) > q.Step() {
+		t.Fatalf("roundtrip(350) = %g", q.RoundTrip(350))
+	}
+	// Huge values fall back to the clamp without error.
+	if _, err := Fit(8, []float64{1e30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitNeverSaturatesProperty(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		xs := []float64{math.Mod(a, 100), math.Mod(b, 100), math.Mod(c, 100)}
+		q, err := Fit(16, xs)
+		if err != nil {
+			return false
+		}
+		for _, x := range xs {
+			got := q.RoundTrip(x)
+			if math.Abs(got-x) > q.Step() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTripErrorBoundProperty(t *testing.T) {
+	q := MustQuantizer(16, 8)
+	f := func(x float64) bool {
+		x = math.Mod(x, 100) // keep in representable range
+		if math.IsNaN(x) {
+			return true
+		}
+		return math.Abs(q.RoundTrip(x)-x) <= q.Step()/2+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSatAdd32(t *testing.T) {
+	cases := []struct{ a, b, want int32 }{
+		{1, 2, 3},
+		{math.MaxInt32, 1, math.MaxInt32},
+		{math.MinInt32, -1, math.MinInt32},
+		{math.MaxInt32, math.MinInt32, -1},
+		{-5, 5, 0},
+	}
+	for _, c := range cases {
+		if got := SatAdd32(c.a, c.b); got != c.want {
+			t.Errorf("SatAdd32(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSatAddVec(t *testing.T) {
+	a := []int32{1, math.MaxInt32, -1}
+	b := []int32{2, 10, math.MinInt32}
+	SatAddVec(a, b)
+	want := []int32{3, math.MaxInt32, math.MinInt32}
+	for i := range a {
+		if a[i] != want[i] {
+			t.Fatalf("SatAddVec[%d] = %d, want %d", i, a[i], want[i])
+		}
+	}
+}
+
+func TestSatAddVecPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on length mismatch")
+		}
+	}()
+	SatAddVec([]int32{1}, []int32{1, 2})
+}
+
+func TestRescaleUpAndDown(t *testing.T) {
+	// 1.5 at q4 = 24 raw; at q6 = 96 raw; back down = 24.
+	if got := Rescale(24, 4, 6); got != 96 {
+		t.Fatalf("Rescale up = %d, want 96", got)
+	}
+	if got := Rescale(96, 6, 4); got != 24 {
+		t.Fatalf("Rescale down = %d, want 24", got)
+	}
+	if got := Rescale(24, 4, 4); got != 24 {
+		t.Fatalf("Rescale same = %d, want 24", got)
+	}
+}
+
+func TestRescaleRounding(t *testing.T) {
+	// 25 at q4 = 1.5625; at q2 that is 6.25 -> rounds to 6 (1.5).
+	if got := Rescale(25, 4, 2); got != 6 {
+		t.Fatalf("Rescale(25,4,2) = %d, want 6", got)
+	}
+	// Negative symmetric: -25 -> -6.
+	if got := Rescale(-25, 4, 2); got != -6 {
+		t.Fatalf("Rescale(-25,4,2) = %d, want -6", got)
+	}
+	// Half rounds away from zero: 24+4=28 -> 28/16 = 1.75 -> q2 7.
+	if got := Rescale(28, 4, 2); got != 7 {
+		t.Fatalf("Rescale(28,4,2) = %d, want 7", got)
+	}
+}
+
+func TestRescaleSaturatesOnUpshift(t *testing.T) {
+	if got := Rescale(math.MaxInt32/2+1, 0, 1); got != math.MaxInt32 {
+		t.Fatalf("Rescale overflow = %d, want MaxInt32", got)
+	}
+	if got := Rescale(math.MinInt32/2-1, 0, 1); got != math.MinInt32 {
+		t.Fatalf("Rescale underflow = %d, want MinInt32", got)
+	}
+}
+
+func TestRescaleRoundTripProperty(t *testing.T) {
+	f := func(raw int16, shift uint8) bool {
+		s := int8(shift % 8)
+		up := Rescale(int32(raw), 4, 4+s)
+		back := Rescale(up, 4+s, 4)
+		return back == int32(raw)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRescaleNegativePositions(t *testing.T) {
+	// 1.5 at q-1 (steps of 2): raw 1 means 2.0. Moving q4→q-1: 24 (=1.5)
+	// becomes round(1.5/2)=1.
+	if got := Rescale(24, 4, -1); got != 1 {
+		t.Fatalf("Rescale(24, 4, -1) = %d, want 1", got)
+	}
+	if got := Rescale(1, -1, 4); got != 32 { // 2.0 at q4
+		t.Fatalf("Rescale(1, -1, 4) = %d, want 32", got)
+	}
+}
+
+func TestQuantizeVecDequantizeVec(t *testing.T) {
+	q := MustQuantizer(8, 4)
+	xs := []float64{0, 1, -1, 3.0625}
+	raw := q.QuantizeVec(xs, nil)
+	back := q.DequantizeVec(raw, nil)
+	for i := range xs {
+		if math.Abs(back[i]-xs[i]) > q.Step()/2 {
+			t.Fatalf("vec roundtrip[%d]: %g -> %g", i, xs[i], back[i])
+		}
+	}
+	// In-place reuse path.
+	raw2 := q.QuantizeVec(xs, raw)
+	if &raw2[0] != &raw[0] {
+		t.Fatal("QuantizeVec should reuse dst")
+	}
+}
+
+func TestQString(t *testing.T) {
+	q := Q{Raw: 24, Frac: 4}
+	if q.Float() != 1.5 {
+		t.Fatalf("Q.Float = %g, want 1.5", q.Float())
+	}
+	if s := q.String(); s != "1.5(q4)" {
+		t.Fatalf("Q.String = %q", s)
+	}
+}

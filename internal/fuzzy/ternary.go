@@ -1,0 +1,295 @@
+package fuzzy
+
+import (
+	"fmt"
+	"math"
+)
+
+// TernaryRule is a priority-ordered TCAM entry over Dim unsigned fields
+// of Width bits each: field d matches when (x[d] & Mask[d]) == Val[d].
+// Rules are evaluated first-match.
+type TernaryRule struct {
+	Val  []uint32
+	Mask []uint32
+	Leaf int
+}
+
+// Matches reports whether x satisfies every field constraint of r.
+func (r *TernaryRule) Matches(x []uint32) bool {
+	for d := range r.Val {
+		if x[d]&r.Mask[d] != r.Val[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// FlipTop XORs the top bit of every rule value where the mask covers
+// it. Since (x + 2^(w−1)) mod 2^w equals x XOR 2^(w−1), rules generated
+// for the offset domain (shift = 2^(w−1)) can be rewritten to match the
+// RAW two's-complement key directly — the signed→unsigned conversion
+// costs zero ALU stages on the switch.
+func FlipTop(rules []TernaryRule, width uint) {
+	top := uint32(1) << (width - 1)
+	for i := range rules {
+		for d := range rules[i].Val {
+			rules[i].Val[d] ^= top & rules[i].Mask[d]
+		}
+	}
+}
+
+// FlipTopDim applies FlipTop to one dimension's code rules.
+func FlipTopDim(dc *DimCode, width uint) {
+	FlipTop(dc.Rules, width)
+}
+
+// MatchTernary returns the leaf of the first matching rule, or -1.
+func MatchTernary(rules []TernaryRule, x []uint32) int {
+	for i := range rules {
+		if rules[i].Matches(x) {
+			return rules[i].Leaf
+		}
+	}
+	return -1
+}
+
+// prefix is a single-dimension ternary constraint: the top (width-wild)
+// bits must equal val>>wild.
+type prefix struct {
+	val  uint32
+	wild uint // number of wildcarded low bits
+}
+
+// prefixesLE returns the minimal prefix cover of [0, b] in a width-bit
+// domain. A full-domain range yields one all-wildcard prefix. This is the
+// building block of consecutive range coding: priority ordering lets
+// every tree split be expressed as an upper bound only.
+func prefixesLE(b uint32, width uint) []prefix {
+	full := maxVal(width)
+	if b >= full {
+		return []prefix{{val: 0, wild: width}}
+	}
+	var out []prefix
+	n := uint64(b) + 1 // number of covered values
+	var base uint64
+	for i := int(width); i >= 0; i-- {
+		if n&(1<<uint(i)) != 0 {
+			out = append(out, prefix{val: uint32(base), wild: uint(i)})
+			base += 1 << uint(i)
+		}
+	}
+	return out
+}
+
+// prefixesGE returns the minimal prefix cover of [a, 2^width-1].
+func prefixesGE(a uint32, width uint) []prefix {
+	if a == 0 {
+		return []prefix{{val: 0, wild: width}}
+	}
+	// Mirror: x >= a  ⇔  ~x <= full-a ; complementing a prefix cover of
+	// the mirrored range flips the fixed bits.
+	full := maxVal(width)
+	mirrored := prefixesLE(full-a, width)
+	out := make([]prefix, len(mirrored))
+	for i, p := range mirrored {
+		fixedMask := (uint32(math.MaxUint32) >> (32 - width)) &^ (maxVal(p.wild))
+		out[i] = prefix{val: (^p.val) & fixedMask, wild: p.wild}
+	}
+	return out
+}
+
+// prefixesRange returns a prefix cover of [a, b] (inclusive) using the
+// classic split-at-common-prefix expansion (at most 2·width−2 prefixes).
+func prefixesRange(a, b uint32, width uint) []prefix {
+	if a > b {
+		return nil
+	}
+	if a == 0 {
+		return prefixesLE(b, width)
+	}
+	if b >= maxVal(width) {
+		return prefixesGE(a, width)
+	}
+	if a == b {
+		return []prefix{{val: a, wild: 0}}
+	}
+	// Find highest differing bit.
+	diff := a ^ b
+	hb := uint(31)
+	for diff&(1<<hb) == 0 {
+		hb--
+	}
+	// Subtree boundary: common prefix + 1 at hb + zeros.
+	m := (b >> hb) << hb
+	left := prefixesGE(a-(m-(1<<hb)), hb) // [a, m-1] within lower subtree
+	right := prefixesLE(b-m, hb)          // [m, b] within upper subtree
+	out := make([]prefix, 0, len(left)+len(right))
+	lowBase := m - (1 << hb)
+	for _, p := range left {
+		out = append(out, prefix{val: lowBase | p.val, wild: p.wild})
+	}
+	for _, p := range right {
+		out = append(out, prefix{val: m | p.val, wild: p.wild})
+	}
+	return out
+}
+
+func maxVal(width uint) uint32 {
+	if width >= 32 {
+		return math.MaxUint32
+	}
+	return uint32(1)<<width - 1
+}
+
+func (p prefix) mask(width uint) uint32 {
+	return (uint32(math.MaxUint32) >> (32 - width)) &^ maxVal(p.wild)
+}
+
+// TernaryRules converts the tree into priority-ordered TCAM entries for
+// unsigned integer inputs of width bits per dimension.
+//
+// With crc=true it uses the consecutive-range (priority) coding of §6.1:
+// leaves are emitted in DFS order, and because every right sibling is
+// shadowed by its left sibling's rules, only the "x ≤ t" upper bounds
+// accumulated on left turns need encoding — each as a prefix cover of
+// [0, t]. With crc=false every leaf's exact hyper-rectangle is expanded
+// independently (the classic, far more expensive encoding; kept for the
+// ablation in the evaluation).
+//
+// Inputs with fractional thresholds are handled by flooring: the
+// dataplane compares integers, so "x ≤ 3.5" becomes "x ≤ 3".
+func (t *Tree) TernaryRules(width uint, crc bool) ([]TernaryRule, error) {
+	return t.TernaryRulesShifted(width, crc, 0)
+}
+
+// TernaryRulesShifted generates rules for the domain shifted by +shift:
+// the match key is expected to hold x+shift. This is how signed
+// activations are matched on unsigned TCAM hardware — the compiler adds
+// 2^(width−1) to each field and to every threshold.
+func (t *Tree) TernaryRulesShifted(width uint, crc bool, shift int64) ([]TernaryRule, error) {
+	if width == 0 || width > 32 {
+		return nil, fmt.Errorf("fuzzy: ternary width %d out of range [1,32]", width)
+	}
+	full := maxVal(width)
+	var rules []TernaryRule
+
+	// Per-dimension bounds accumulated along the path (inclusive).
+	lo := make([]uint32, t.Dim)
+	hi := make([]uint32, t.Dim)
+	for d := range hi {
+		hi[d] = full
+	}
+
+	clampUB := func(thr float64) (uint32, bool) {
+		f := math.Floor(thr) + float64(shift)
+		if f < 0 {
+			return 0, false // nothing can match x <= negative in unsigned domain
+		}
+		if f >= float64(full) {
+			return full, true
+		}
+		return uint32(f), true
+	}
+
+	emit := func(leaf int) {
+		// Build per-dim prefix lists and take their cross product.
+		dims := make([][]prefix, t.Dim)
+		for d := 0; d < t.Dim; d++ {
+			if crc {
+				// Only upper bounds matter; lower bounds are shadowed.
+				if hi[d] >= full {
+					dims[d] = []prefix{{val: 0, wild: width}}
+				} else {
+					dims[d] = prefixesLE(hi[d], width)
+				}
+			} else {
+				dims[d] = prefixesRange(lo[d], hi[d], width)
+			}
+			if len(dims[d]) == 0 {
+				return // empty region: unreachable leaf at this width
+			}
+		}
+		idx := make([]int, t.Dim)
+		for {
+			r := TernaryRule{Val: make([]uint32, t.Dim), Mask: make([]uint32, t.Dim), Leaf: leaf}
+			for d, i := range idx {
+				p := dims[d][i]
+				r.Val[d] = p.val
+				r.Mask[d] = p.mask(width)
+			}
+			rules = append(rules, r)
+			// Odometer increment.
+			d := 0
+			for d < t.Dim {
+				idx[d]++
+				if idx[d] < len(dims[d]) {
+					break
+				}
+				idx[d] = 0
+				d++
+			}
+			if d == t.Dim {
+				break
+			}
+		}
+	}
+
+	var walk func(n *Node) error
+	walk = func(n *Node) error {
+		if n.IsLeaf() {
+			emit(n.Leaf)
+			return nil
+		}
+		f := n.Feature
+		ub, ok := clampUB(n.Threshold)
+		// Left: x[f] <= threshold.
+		if ok {
+			oldHi := hi[f]
+			if ub < hi[f] {
+				hi[f] = ub
+			}
+			if lo[f] <= hi[f] {
+				if err := walk(n.Left); err != nil {
+					return err
+				}
+			}
+			hi[f] = oldHi
+		}
+		// Right: x[f] > threshold, i.e. x[f] >= floor(threshold)+1.
+		lb := uint32(0)
+		if ok {
+			if ub == full {
+				// Right side is empty in this domain: skip subtree but
+				// its leaves keep indices (they simply never match).
+				return nil
+			}
+			lb = ub + 1
+		}
+		oldLo := lo[f]
+		if lb > lo[f] {
+			lo[f] = lb
+		}
+		if lo[f] <= hi[f] {
+			if err := walk(n.Right); err != nil {
+				return err
+			}
+		}
+		lo[f] = oldLo
+		return nil
+	}
+	if err := walk(t.Root); err != nil {
+		return nil, err
+	}
+	return rules, nil
+}
+
+// TCAMBits returns the total TCAM storage the rules occupy: each entry
+// stores value+mask for Dim fields of width bits, plus the fuzzy-index
+// action payload of idxBits.
+func TCAMBits(rules []TernaryRule, width uint, idxBits int) int {
+	if len(rules) == 0 {
+		return 0
+	}
+	perEntry := len(rules[0].Val)*int(width)*2 + idxBits
+	return len(rules) * perEntry
+}

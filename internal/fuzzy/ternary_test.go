@@ -1,0 +1,251 @@
+package fuzzy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// expandPrefix enumerates all values covered by a prefix (test helper).
+func expandPrefix(p prefix, width uint) []uint32 {
+	n := uint32(1) << p.wild
+	out := make([]uint32, 0, n)
+	for i := uint32(0); i < n; i++ {
+		out = append(out, p.val|i)
+	}
+	return out
+}
+
+func coversExactly(t *testing.T, ps []prefix, width uint, lo, hi uint32) {
+	t.Helper()
+	seen := map[uint32]int{}
+	for _, p := range ps {
+		for _, v := range expandPrefix(p, width) {
+			seen[v]++
+		}
+	}
+	for v := uint32(0); v <= maxVal(width); v++ {
+		want := 0
+		if v >= lo && v <= hi {
+			want = 1
+		}
+		if seen[v] != want {
+			t.Fatalf("value %d covered %d times, want %d (range [%d,%d] width %d, prefixes %v)",
+				v, seen[v], want, lo, hi, width, ps)
+		}
+		if v == maxVal(width) {
+			break
+		}
+	}
+}
+
+func TestPrefixesLE(t *testing.T) {
+	for _, c := range []struct {
+		b     uint32
+		width uint
+		n     int
+	}{
+		{5, 3, 2},   // [0,5] = 0xx + 10x
+		{7, 3, 1},   // full domain
+		{0, 3, 1},   // just 000
+		{3, 3, 1},   // 0xx
+		{6, 3, 3},   // 0xx + 10x + 110
+		{255, 8, 1}, // full byte
+	} {
+		ps := prefixesLE(c.b, c.width)
+		if len(ps) != c.n {
+			t.Errorf("prefixesLE(%d,%d) = %d prefixes, want %d: %v", c.b, c.width, len(ps), c.n, ps)
+		}
+		coversExactly(t, ps, c.width, 0, c.b)
+	}
+}
+
+func TestPrefixesGE(t *testing.T) {
+	for _, c := range []struct {
+		a     uint32
+		width uint
+	}{
+		{0, 3}, {1, 3}, {4, 3}, {6, 3}, {7, 3}, {200, 8},
+	} {
+		ps := prefixesGE(c.a, c.width)
+		coversExactly(t, ps, c.width, c.a, maxVal(c.width))
+	}
+}
+
+func TestPrefixesRangeBruteForce(t *testing.T) {
+	const width = 6
+	for lo := uint32(0); lo <= maxVal(width); lo++ {
+		for hi := lo; hi <= maxVal(width); hi++ {
+			ps := prefixesRange(lo, hi, width)
+			coversExactly(t, ps, width, lo, hi)
+			if len(ps) > 2*width-1 {
+				t.Fatalf("range [%d,%d]: %d prefixes exceeds bound", lo, hi, len(ps))
+			}
+		}
+	}
+}
+
+func TestPrefixesRangeEmpty(t *testing.T) {
+	if ps := prefixesRange(5, 3, 4); ps != nil {
+		t.Fatalf("inverted range gave %v", ps)
+	}
+}
+
+func buildIntTree(t *testing.T, rng *rand.Rand, n, dim, leaves int, width uint) (*Tree, [][]float64) {
+	t.Helper()
+	full := float64(maxVal(width))
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, dim)
+		for d := range p {
+			p[d] = float64(rng.Intn(int(full) + 1))
+		}
+		pts[i] = p
+	}
+	tr, err := Build(pts, leaves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, pts
+}
+
+func TestTernaryMatchesAssignCRC(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const width = 8
+	tr, _ := buildIntTree(t, rng, 300, 3, 16, width)
+	rules, err := tr.TernaryRules(width, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 2000; trial++ {
+		x := make([]uint32, 3)
+		xf := make([]float64, 3)
+		for d := range x {
+			x[d] = uint32(rng.Intn(256))
+			xf[d] = float64(x[d])
+		}
+		want := tr.Assign(xf)
+		got := MatchTernary(rules, x)
+		if got != want {
+			t.Fatalf("CRC ternary match = %d, Assign = %d for %v", got, want, x)
+		}
+	}
+}
+
+func TestTernaryMatchesAssignNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const width = 6
+	tr, _ := buildIntTree(t, rng, 200, 2, 8, width)
+	rules, err := tr.TernaryRules(width, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exhaustive over the 2-dim 6-bit domain.
+	for a := uint32(0); a < 64; a++ {
+		for b := uint32(0); b < 64; b++ {
+			want := tr.Assign([]float64{float64(a), float64(b)})
+			got := MatchTernary(rules, []uint32{a, b})
+			if got != want {
+				t.Fatalf("naive ternary match = %d, Assign = %d for (%d,%d)", got, want, a, b)
+			}
+		}
+	}
+}
+
+func TestCRCUsesFewerEntriesThanNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const width = 8
+	tr, _ := buildIntTree(t, rng, 500, 4, 32, width)
+	crc, err := tr.TernaryRules(width, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := tr.TernaryRules(width, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crc) >= len(naive) {
+		t.Fatalf("CRC %d entries not fewer than naive %d", len(crc), len(naive))
+	}
+}
+
+func TestTernaryEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const width = 5
+		// Build inline to avoid testing.T in quick.
+		pts := make([][]float64, 60)
+		for i := range pts {
+			pts[i] = []float64{float64(rng.Intn(32)), float64(rng.Intn(32))}
+		}
+		tree, err := Build(pts, 6)
+		if err != nil {
+			return false
+		}
+		crc, err := tree.TernaryRules(width, true)
+		if err != nil {
+			return false
+		}
+		naive, err := tree.TernaryRules(width, false)
+		if err != nil {
+			return false
+		}
+		for a := uint32(0); a < 32; a++ {
+			for b := uint32(0); b < 32; b++ {
+				x := []uint32{a, b}
+				want := tree.Assign([]float64{float64(a), float64(b)})
+				if MatchTernary(crc, x) != want || MatchTernary(naive, x) != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTernaryRulesWidthValidation(t *testing.T) {
+	tr, err := Build(figure3Points(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.TernaryRules(0, true); err == nil {
+		t.Fatal("want error for width 0")
+	}
+	if _, err := tr.TernaryRules(33, true); err == nil {
+		t.Fatal("want error for width 33")
+	}
+}
+
+func TestTCAMBits(t *testing.T) {
+	rules := []TernaryRule{
+		{Val: []uint32{0, 0}, Mask: []uint32{0, 0}, Leaf: 0},
+		{Val: []uint32{1, 1}, Mask: []uint32{3, 3}, Leaf: 1},
+	}
+	// 2 rules × (2 dims × 8 bits × 2 (val+mask) + 4 idx bits) = 2×36 = 72.
+	if got := TCAMBits(rules, 8, 4); got != 72 {
+		t.Fatalf("TCAMBits = %d, want 72", got)
+	}
+	if TCAMBits(nil, 8, 4) != 0 {
+		t.Fatal("TCAMBits(nil) != 0")
+	}
+}
+
+func TestSingleLeafTernaryIsDontCare(t *testing.T) {
+	tr, err := Build([][]float64{{3, 3}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, err := tr.TernaryRules(8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 1 {
+		t.Fatalf("rules = %d, want 1", len(rules))
+	}
+	if rules[0].Mask[0] != 0 || rules[0].Mask[1] != 0 {
+		t.Fatalf("single leaf rule not don't-care: %+v", rules[0])
+	}
+}

@@ -1,0 +1,412 @@
+// Package fuzzy implements Pegasus fuzzy matching (§4.2): a greedy
+// SSE-minimising clustering tree maps an input sub-vector to a leaf index
+// (the "fuzzy index") whose centroid stands in for the exact input when
+// retrieving precomputed operator results. The tree's comparisons become
+// dataplane range matches; TernaryRules converts leaf regions into
+// priority-ordered TCAM entries via consecutive-range coding (§6.1).
+package fuzzy
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Node is one node of the clustering tree. Internal nodes hold a split
+// (go left when x[Feature] <= Threshold); leaves hold the cluster
+// centroid and its dense leaf index.
+type Node struct {
+	Feature   int
+	Threshold float64
+	Left      *Node
+	Right     *Node
+	Leaf      int
+	Centroid  []float64
+	// SSE is the sum of squared errors of the training points that
+	// reached this node (diagnostic; used by greedy growth).
+	SSE float64
+}
+
+// IsLeaf reports whether n is a leaf.
+func (n *Node) IsLeaf() bool { return n.Left == nil }
+
+// Tree is a fuzzy-matching clustering tree over Dim-dimensional vectors.
+type Tree struct {
+	Dim    int
+	Root   *Node
+	leaves []*Node
+}
+
+// Build grows a clustering tree over points (each of equal dimension)
+// until it has maxLeaves leaves or no split reduces SSE. It follows the
+// paper's greedy strategy (Figure 3): repeatedly split the cluster whose
+// best (feature, threshold) split yields the largest total-SSE reduction;
+// thresholds are midpoints between adjacent observed values; centroids
+// are cluster means.
+func Build(points [][]float64, maxLeaves int) (*Tree, error) {
+	return BuildTargets(points, nil, maxLeaves)
+}
+
+// BuildTargets is Build with output-aware split scoring: splits compare
+// input dimensions but are chosen to minimise the SSE of the paired
+// target vectors (the operator outputs the mapping table will store).
+// targets may be nil for plain input clustering.
+func BuildTargets(points, targets [][]float64, maxLeaves int) (*Tree, error) {
+	if len(points) == 0 {
+		return nil, errors.New("fuzzy: Build needs at least one point")
+	}
+	dim := len(points[0])
+	if dim == 0 {
+		return nil, errors.New("fuzzy: zero-dimensional points")
+	}
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("fuzzy: point %d has dim %d, want %d", i, len(p), dim)
+		}
+	}
+	if maxLeaves < 1 {
+		return nil, fmt.Errorf("fuzzy: maxLeaves %d < 1", maxLeaves)
+	}
+
+	if targets != nil && len(targets) != len(points) {
+		return nil, fmt.Errorf("fuzzy: %d targets for %d points", len(targets), len(points))
+	}
+	root := &Node{}
+	rootPts := make([][]float64, len(points))
+	copy(rootPts, points)
+	rootTgt := targets
+	setLeafStats(root, rootPts, dim)
+
+	pq := &splitQueue{}
+	if cand, ok := bestSplit(rootPts, rootTgt, dim); ok {
+		heap.Push(pq, &pending{node: root, pts: rootPts, tgts: rootTgt, cand: cand})
+	}
+	numLeaves := 1
+	for numLeaves < maxLeaves && pq.Len() > 0 {
+		p := heap.Pop(pq).(*pending)
+		n, c := p.node, p.cand
+		n.Feature, n.Threshold = c.feature, c.threshold
+		left := &Node{}
+		right := &Node{}
+		n.Left, n.Right = left, right
+		n.Centroid = nil
+		var lp, rp [][]float64
+		var lt, rt [][]float64
+		for i, pt := range p.pts {
+			if pt[c.feature] <= c.threshold {
+				lp = append(lp, pt)
+				if p.tgts != nil {
+					lt = append(lt, p.tgts[i])
+				}
+			} else {
+				rp = append(rp, pt)
+				if p.tgts != nil {
+					rt = append(rt, p.tgts[i])
+				}
+			}
+		}
+		setLeafStats(left, lp, dim)
+		setLeafStats(right, rp, dim)
+		numLeaves++
+		if cand, ok := bestSplit(lp, lt, dim); ok {
+			heap.Push(pq, &pending{node: left, pts: lp, tgts: lt, cand: cand})
+		}
+		if cand, ok := bestSplit(rp, rt, dim); ok {
+			heap.Push(pq, &pending{node: right, pts: rp, tgts: rt, cand: cand})
+		}
+	}
+
+	t := &Tree{Dim: dim, Root: root}
+	t.indexLeaves()
+	return t, nil
+}
+
+// BuildDepth grows a complete clustering tree of the given depth (up to
+// 2^depth leaves), splitting every splittable leaf level by level. This
+// matches the paper's `clustering_depth` syntax parameter and the
+// balanced tree of Figure 3; leaves whose points are identical stop
+// early.
+func BuildDepth(points [][]float64, depth int) (*Tree, error) {
+	return BuildDepthTargets(points, nil, depth)
+}
+
+// BuildDepthTargets is BuildDepth with output-aware split scoring (see
+// BuildTargets).
+func BuildDepthTargets(points, targets [][]float64, depth int) (*Tree, error) {
+	if depth < 0 {
+		return nil, fmt.Errorf("fuzzy: negative depth %d", depth)
+	}
+	if len(points) == 0 {
+		return nil, errors.New("fuzzy: BuildDepth needs at least one point")
+	}
+	dim := len(points[0])
+	if dim == 0 {
+		return nil, errors.New("fuzzy: zero-dimensional points")
+	}
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("fuzzy: point %d has dim %d, want %d", i, len(p), dim)
+		}
+	}
+	if targets != nil && len(targets) != len(points) {
+		return nil, fmt.Errorf("fuzzy: %d targets for %d points", len(targets), len(points))
+	}
+	root := &Node{}
+	rootPts := make([][]float64, len(points))
+	copy(rootPts, points)
+	setLeafStats(root, rootPts, dim)
+
+	level := []*pending{{node: root, pts: rootPts, tgts: targets}}
+	for d := 0; d < depth; d++ {
+		var next []*pending
+		for _, p := range level {
+			cand, ok := bestSplit(p.pts, p.tgts, dim)
+			if !ok {
+				continue
+			}
+			n := p.node
+			n.Feature, n.Threshold = cand.feature, cand.threshold
+			left, right := &Node{}, &Node{}
+			n.Left, n.Right = left, right
+			n.Centroid = nil
+			var lp, rp [][]float64
+			var lt, rt [][]float64
+			for i, pt := range p.pts {
+				if pt[cand.feature] <= cand.threshold {
+					lp = append(lp, pt)
+					if p.tgts != nil {
+						lt = append(lt, p.tgts[i])
+					}
+				} else {
+					rp = append(rp, pt)
+					if p.tgts != nil {
+						rt = append(rt, p.tgts[i])
+					}
+				}
+			}
+			setLeafStats(left, lp, dim)
+			setLeafStats(right, rp, dim)
+			next = append(next, &pending{node: left, pts: lp, tgts: lt}, &pending{node: right, pts: rp, tgts: rt})
+		}
+		if len(next) == 0 {
+			break
+		}
+		level = next
+	}
+	t := &Tree{Dim: dim, Root: root}
+	t.indexLeaves()
+	return t, nil
+}
+
+func setLeafStats(n *Node, pts [][]float64, dim int) {
+	n.Centroid = make([]float64, dim)
+	for _, p := range pts {
+		for j, v := range p {
+			n.Centroid[j] += v
+		}
+	}
+	for j := range n.Centroid {
+		n.Centroid[j] /= float64(len(pts))
+	}
+	sse := 0.0
+	for _, p := range pts {
+		for j, v := range p {
+			d := v - n.Centroid[j]
+			sse += d * d
+		}
+	}
+	n.SSE = sse
+}
+
+// candidate is the best split found for one cluster.
+type candidate struct {
+	feature   int
+	threshold float64
+	gain      float64 // SSE reduction (parent − left − right)
+}
+
+// bestSplit scans every (feature, midpoint-threshold) pair and returns
+// the split with maximum SSE reduction. When targets is non-nil, the SSE
+// is computed over the target vectors (output-aware clustering: splits
+// still compare input dimensions — dataplane range matches — but are
+// scored by how uniform the operator's OUTPUT becomes within each
+// cluster, the property fuzzy matching actually relies on). ok is false
+// when the cluster cannot be usefully split.
+func bestSplit(pts, targets [][]float64, dim int) (candidate, bool) {
+	if len(pts) < 2 {
+		return candidate{}, false
+	}
+	objs := pts
+	if targets != nil {
+		objs = targets
+	}
+	odim := len(objs[0])
+	// Parent SSE over the objective vectors.
+	mean := make([]float64, odim)
+	for _, p := range objs {
+		for j, v := range p {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(len(objs))
+	}
+	parent := 0.0
+	for _, p := range objs {
+		for j, v := range p {
+			d := v - mean[j]
+			parent += d * d
+		}
+	}
+	best := candidate{gain: 0}
+	found := false
+	vals := make([]float64, len(pts))
+	idx := make([]int, len(pts))
+	totSum := make([]float64, odim)
+	totSq := make([]float64, odim)
+	for _, p := range objs {
+		for j, v := range p {
+			totSum[j] += v
+			totSq[j] += v * v
+		}
+	}
+	for f := 0; f < dim; f++ {
+		for i, p := range pts {
+			vals[i] = p[f]
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return vals[idx[a]] < vals[idx[b]] })
+		// Prefix sums over objective dims in sorted order of feature f.
+		leftSum := make([]float64, odim)
+		leftSq := make([]float64, odim)
+		n := len(pts)
+		for k := 0; k < n-1; k++ {
+			o := objs[idx[k]]
+			for j, v := range o {
+				leftSum[j] += v
+				leftSq[j] += v * v
+			}
+			v0, v1 := vals[idx[k]], vals[idx[k+1]]
+			if v0 == v1 {
+				continue
+			}
+			nl, nr := float64(k+1), float64(n-k-1)
+			sseL, sseR := 0.0, 0.0
+			for j := 0; j < odim; j++ {
+				sseL += leftSq[j] - leftSum[j]*leftSum[j]/nl
+				rs := totSum[j] - leftSum[j]
+				sseR += (totSq[j] - leftSq[j]) - rs*rs/nr
+			}
+			gain := parent - sseL - sseR
+			thr := (v0 + v1) / 2
+			if gain > best.gain+1e-12 ||
+				(math.Abs(gain-best.gain) <= 1e-12 && found &&
+					(f < best.feature || (f == best.feature && thr < best.threshold))) {
+				best = candidate{feature: f, threshold: thr, gain: gain}
+				found = true
+			}
+		}
+	}
+	return best, found && best.gain > 1e-12
+}
+
+type pending struct {
+	node *Node
+	pts  [][]float64
+	tgts [][]float64
+	cand candidate
+}
+
+type splitQueue []*pending
+
+func (q splitQueue) Len() int            { return len(q) }
+func (q splitQueue) Less(i, j int) bool  { return q[i].cand.gain > q[j].cand.gain }
+func (q splitQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *splitQueue) Push(x interface{}) { *q = append(*q, x.(*pending)) }
+func (q *splitQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// indexLeaves assigns dense leaf indices in DFS (left-first) order.
+func (t *Tree) indexLeaves() {
+	t.leaves = t.leaves[:0]
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.IsLeaf() {
+			n.Leaf = len(t.leaves)
+			t.leaves = append(t.leaves, n)
+			return
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(t.Root)
+}
+
+// NumLeaves returns the number of leaves (distinct fuzzy indices).
+func (t *Tree) NumLeaves() int { return len(t.leaves) }
+
+// Depth returns the maximum root-to-leaf comparison count.
+func (t *Tree) Depth() int {
+	var d func(n *Node) int
+	d = func(n *Node) int {
+		if n.IsLeaf() {
+			return 0
+		}
+		l, r := d(n.Left), d(n.Right)
+		if r > l {
+			l = r
+		}
+		return l + 1
+	}
+	return d(t.Root)
+}
+
+// Assign walks the comparison tree and returns the fuzzy index of x.
+func (t *Tree) Assign(x []float64) int {
+	if len(x) != t.Dim {
+		panic(fmt.Sprintf("fuzzy: Assign dim %d, want %d", len(x), t.Dim))
+	}
+	n := t.Root
+	for !n.IsLeaf() {
+		if x[n.Feature] <= n.Threshold {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return n.Leaf
+}
+
+// Centroid returns the centroid of leaf i (aliases internal storage).
+func (t *Tree) Centroid(i int) []float64 { return t.leaves[i].Centroid }
+
+// SetCentroid overwrites the centroid of leaf i; used by the
+// backpropagation refinement of §4.4.
+func (t *Tree) SetCentroid(i int, c []float64) {
+	if len(c) != t.Dim {
+		panic("fuzzy: SetCentroid dim mismatch")
+	}
+	t.leaves[i].Centroid = append([]float64(nil), c...)
+}
+
+// Centroids returns all leaf centroids indexed by fuzzy index.
+func (t *Tree) Centroids() [][]float64 {
+	out := make([][]float64, len(t.leaves))
+	for i, l := range t.leaves {
+		out[i] = l.Centroid
+	}
+	return out
+}
+
+// Quantise replaces x with the centroid of its assigned leaf — the
+// approximation the dataplane applies before a mapping-table lookup.
+func (t *Tree) Quantise(x []float64) []float64 {
+	return t.leaves[t.Assign(x)].Centroid
+}

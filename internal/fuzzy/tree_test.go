@@ -1,0 +1,225 @@
+package fuzzy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// figure3Points is the training set of the paper's Figure 3 example.
+func figure3Points() [][]float64 {
+	return [][]float64{
+		{1, 2}, {2, 2}, {2, 3}, // lower cluster
+		{1, 7}, {3, 8}, // middle cluster
+		{4, 9}, {5, 10}, // upper cluster
+	}
+}
+
+func TestFigure3Example(t *testing.T) {
+	tr, err := BuildDepth(figure3Points(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumLeaves() != 4 {
+		t.Fatalf("leaves = %d, want 4", tr.NumLeaves())
+	}
+	// Root split must be on x1 separating {y<=3} from {y>=7} (the paper
+	// draws the threshold at 5; any value in [3,7) is equivalent).
+	if tr.Root.Feature != 1 || tr.Root.Threshold < 3 || tr.Root.Threshold >= 7 {
+		t.Fatalf("root split = x%d <= %g, want x1 in [3,7)", tr.Root.Feature, tr.Root.Threshold)
+	}
+	// The four centroids of Figure 3 (leaf order may differ).
+	want := [][]float64{{1, 2}, {2, 2.5}, {2, 7.5}, {4.5, 9.5}}
+	for _, w := range want {
+		found := false
+		for _, c := range tr.Centroids() {
+			if math.Abs(c[0]-w[0]) < 1e-9 && math.Abs(c[1]-w[1]) < 1e-9 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("centroid %v missing from %v", w, tr.Centroids())
+		}
+	}
+}
+
+func TestFigure2Example(t *testing.T) {
+	// Input (3,7) must land in the cluster with centroid (2,7.5); applying
+	// the Map f(x) = 0.4x+1 to the centroid yields (1.8, 4).
+	tr, err := BuildDepth(figure3Points(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tr.Quantise([]float64{3, 7})
+	if math.Abs(c[0]-2) > 1e-9 || math.Abs(c[1]-7.5) > 1e-9 {
+		t.Fatalf("Quantise(3,7) = %v, want (2, 7.5)", c)
+	}
+	f := func(x float64) float64 { return 0.4*x + 1 }
+	got := []float64{f(c[0]), f(c[1])}
+	if math.Abs(got[0]-1.8) > 1e-9 || math.Abs(got[1]-4) > 1e-9 {
+		t.Fatalf("Map result = %v, want (1.8, 4)", got)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, 4); err == nil {
+		t.Fatal("want error for empty points")
+	}
+	if _, err := Build([][]float64{{}}, 4); err == nil {
+		t.Fatal("want error for zero-dim points")
+	}
+	if _, err := Build([][]float64{{1}, {1, 2}}, 4); err == nil {
+		t.Fatal("want error for ragged points")
+	}
+	if _, err := Build([][]float64{{1}}, 0); err == nil {
+		t.Fatal("want error for maxLeaves 0")
+	}
+}
+
+func TestBuildSingleLeaf(t *testing.T) {
+	tr, err := Build([][]float64{{1, 1}, {3, 3}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumLeaves() != 1 || tr.Depth() != 0 {
+		t.Fatalf("leaves=%d depth=%d, want 1/0", tr.NumLeaves(), tr.Depth())
+	}
+	c := tr.Centroid(0)
+	if c[0] != 2 || c[1] != 2 {
+		t.Fatalf("centroid = %v, want (2,2)", c)
+	}
+}
+
+func TestBuildIdenticalPointsCannotSplit(t *testing.T) {
+	pts := [][]float64{{5, 5}, {5, 5}, {5, 5}}
+	tr, err := Build(pts, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumLeaves() != 1 {
+		t.Fatalf("identical points split into %d leaves", tr.NumLeaves())
+	}
+}
+
+func TestBuildStopsAtMaxLeaves(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([][]float64, 200)
+	for i := range pts {
+		pts[i] = []float64{rng.Float64() * 100, rng.Float64() * 100}
+	}
+	tr, err := Build(pts, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumLeaves() != 16 {
+		t.Fatalf("leaves = %d, want 16", tr.NumLeaves())
+	}
+}
+
+func TestAssignReturnsNearestRegionCentroid(t *testing.T) {
+	// Two well-separated clusters: assignment must send each point to its
+	// own cluster's centroid.
+	pts := [][]float64{{0, 0}, {1, 1}, {0, 1}, {100, 100}, {101, 101}, {100, 101}}
+	tr, err := Build(pts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		c := tr.Quantise(p)
+		d := math.Hypot(c[0]-p[0], c[1]-p[1])
+		if d > 2 {
+			t.Fatalf("point %v assigned to far centroid %v", p, c)
+		}
+	}
+}
+
+func TestSetCentroid(t *testing.T) {
+	tr, err := Build(figure3Points(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.SetCentroid(2, []float64{9, 9})
+	if c := tr.Centroid(2); c[0] != 9 || c[1] != 9 {
+		t.Fatalf("SetCentroid not applied: %v", c)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on dim mismatch")
+		}
+	}()
+	tr.SetCentroid(0, []float64{1})
+}
+
+func TestSSEDecreasesWithMoreLeaves(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := make([][]float64, 300)
+	for i := range pts {
+		pts[i] = []float64{rng.NormFloat64() * 10, rng.NormFloat64() * 10}
+	}
+	sse := func(tr *Tree) float64 {
+		s := 0.0
+		for _, p := range pts {
+			c := tr.Quantise(p)
+			for j := range p {
+				d := p[j] - c[j]
+				s += d * d
+			}
+		}
+		return s
+	}
+	prev := math.Inf(1)
+	for _, leaves := range []int{1, 2, 4, 8, 16} {
+		tr, err := Build(pts, leaves)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur := sse(tr)
+		if cur > prev+1e-9 {
+			t.Fatalf("SSE increased at %d leaves: %g > %g", leaves, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestQuantisationErrorShrinksProperty(t *testing.T) {
+	// Quantising any point in the training set must never move it farther
+	// than the domain diameter, and assigning a centroid must return its
+	// own leaf (idempotence).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pts := make([][]float64, 50)
+		for i := range pts {
+			pts[i] = []float64{rng.Float64() * 16, rng.Float64() * 16}
+		}
+		tr, err := Build(pts, 8)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < tr.NumLeaves(); i++ {
+			c := tr.Centroid(i)
+			if tr.Assign(c) != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDepthAtMostLeavesMinusOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := make([][]float64, 100)
+	for i := range pts {
+		pts[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	tr, err := Build(pts, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Depth() > tr.NumLeaves()-1 {
+		t.Fatalf("depth %d with %d leaves", tr.Depth(), tr.NumLeaves())
+	}
+}

@@ -1,0 +1,194 @@
+package fuzzy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Two-level consecutive range coding (the full CRC construction of §6.1,
+// after NetBeacon [58]).
+//
+// Naive per-leaf expansion cross-products the per-dimension prefix
+// covers, which explodes for trees over many dimensions (a depth-6 tree
+// over 6 byte-wide features can need 10^5 TCAM entries). CRC instead
+// spends one small per-dimension table to translate each field into the
+// index of the interval it falls in (consecutive ranges ⇒ priority
+// ≤-encoding, linear in the number of thresholds), and then matches the
+// tuple of interval codes — a domain so small that leaf regions expand
+// to a handful of ternary entries.
+type TwoLevel struct {
+	// Dims[d] translates field d (already offset into the unsigned
+	// domain) into its interval code.
+	Dims []DimCode
+	// Combo matches the code tuple to the leaf index, priority ordered.
+	Combo []TernaryRule
+}
+
+// DimCode is one dimension's range→code table.
+type DimCode struct {
+	// Rules are priority-ordered single-field ternary entries; Leaf
+	// holds the interval code.
+	Rules []TernaryRule
+	// Bits is the code width.
+	Bits uint
+	// bounds are the sorted inclusive upper bounds (for Match).
+	bounds []uint32
+}
+
+// codeOf returns the interval code for value v.
+func (d *DimCode) codeOf(v uint32) int {
+	for i, b := range d.bounds {
+		if v <= b {
+			return i
+		}
+	}
+	return len(d.bounds)
+}
+
+// TwoLevelRules builds the CRC tables for the tree over width-bit
+// unsigned fields holding x+shift.
+func (t *Tree) TwoLevelRules(width uint, shift int64) (*TwoLevel, error) {
+	if width == 0 || width > 32 {
+		return nil, fmt.Errorf("fuzzy: ternary width %d out of range [1,32]", width)
+	}
+	full := maxVal(width)
+	// Collect per-dimension split bounds (shifted, clamped).
+	boundSet := make([]map[uint32]bool, t.Dim)
+	for d := range boundSet {
+		boundSet[d] = map[uint32]bool{}
+	}
+	var collect func(n *Node)
+	collect = func(n *Node) {
+		if n.IsLeaf() {
+			return
+		}
+		f := math.Floor(n.Threshold) + float64(shift)
+		if f >= 0 && f < float64(full) {
+			boundSet[n.Feature][uint32(f)] = true
+		}
+		collect(n.Left)
+		collect(n.Right)
+	}
+	collect(t.Root)
+
+	tl := &TwoLevel{Dims: make([]DimCode, t.Dim)}
+	for d := 0; d < t.Dim; d++ {
+		bounds := make([]uint32, 0, len(boundSet[d]))
+		for b := range boundSet[d] {
+			bounds = append(bounds, b)
+		}
+		sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+		dc := DimCode{bounds: bounds, Bits: codeBits(len(bounds) + 1)}
+		// Priority ≤-encoding: rule i matches x ≤ bounds[i] → code i;
+		// catch-all → code len(bounds).
+		for i, b := range bounds {
+			for _, p := range prefixesLE(b, width) {
+				dc.Rules = append(dc.Rules, TernaryRule{
+					Val: []uint32{p.val}, Mask: []uint32{p.mask(width)}, Leaf: i,
+				})
+			}
+		}
+		dc.Rules = append(dc.Rules, TernaryRule{Val: []uint32{0}, Mask: []uint32{0}, Leaf: len(bounds)})
+		tl.Dims[d] = dc
+	}
+
+	// Combo rules: DFS priority order with per-dimension upper bounds in
+	// CODE space (the same shadowing trick as the single-level encoding).
+	hi := make([]int, t.Dim)
+	for d := range hi {
+		hi[d] = len(tl.Dims[d].bounds) // max code
+	}
+	var walk func(n *Node)
+	var emit func(leaf int)
+	emit = func(leaf int) {
+		dims := make([][]prefix, t.Dim)
+		for d := 0; d < t.Dim; d++ {
+			bits := tl.Dims[d].Bits
+			if hi[d] >= len(tl.Dims[d].bounds) {
+				dims[d] = []prefix{{val: 0, wild: bits}}
+			} else {
+				dims[d] = prefixesLE(uint32(hi[d]), bits)
+			}
+		}
+		idx := make([]int, t.Dim)
+		for {
+			r := TernaryRule{Val: make([]uint32, t.Dim), Mask: make([]uint32, t.Dim), Leaf: leaf}
+			for d, i := range idx {
+				p := dims[d][i]
+				r.Val[d] = p.val
+				r.Mask[d] = p.mask(tl.Dims[d].Bits)
+			}
+			tl.Combo = append(tl.Combo, r)
+			d := 0
+			for d < t.Dim {
+				idx[d]++
+				if idx[d] < len(dims[d]) {
+					break
+				}
+				idx[d] = 0
+				d++
+			}
+			if d == t.Dim {
+				break
+			}
+		}
+	}
+	walk = func(n *Node) {
+		if n.IsLeaf() {
+			emit(n.Leaf)
+			return
+		}
+		f := math.Floor(n.Threshold) + float64(shift)
+		d := n.Feature
+		dc := &tl.Dims[d]
+		if f < 0 {
+			// Left side empty in this domain.
+			walk(n.Right)
+			return
+		}
+		if f >= float64(full) {
+			walk(n.Left)
+			return
+		}
+		// Code of the threshold bound.
+		code := sort.Search(len(dc.bounds), func(i int) bool { return dc.bounds[i] >= uint32(f) })
+		old := hi[d]
+		if code < hi[d] {
+			hi[d] = code
+		}
+		walk(n.Left)
+		hi[d] = old
+		walk(n.Right)
+	}
+	walk(t.Root)
+	return tl, nil
+}
+
+// Match evaluates the two-level tables on an (offset-domain) input,
+// returning the leaf index or -1. Used by tests and the host-side
+// reference; the switch implements the same two table lookups.
+func (tl *TwoLevel) Match(x []uint32) int {
+	codes := make([]uint32, len(tl.Dims))
+	for d := range tl.Dims {
+		codes[d] = uint32(tl.Dims[d].codeOf(x[d]))
+	}
+	return MatchTernary(tl.Combo, codes)
+}
+
+// Entries returns (per-dimension entry total, combo entries).
+func (tl *TwoLevel) Entries() (dimEntries, comboEntries int) {
+	for _, d := range tl.Dims {
+		dimEntries += len(d.Rules)
+	}
+	return dimEntries, len(tl.Combo)
+}
+
+// codeBits returns the bits needed for n codes (minimum 1).
+func codeBits(n int) uint {
+	b := uint(1)
+	for (1 << b) < n {
+		b++
+	}
+	return b
+}

@@ -1,0 +1,125 @@
+package fuzzy
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTwoLevelMatchesAssign(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const width = 8
+	for _, dim := range []int{2, 4, 6} {
+		pts := make([][]float64, 400)
+		for i := range pts {
+			p := make([]float64, dim)
+			for d := range p {
+				p[d] = float64(rng.Intn(256))
+			}
+			pts[i] = p
+		}
+		tr, err := BuildDepth(pts, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tl, err := tr.TwoLevelRules(width, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 1500; trial++ {
+			x := make([]uint32, dim)
+			xf := make([]float64, dim)
+			for d := range x {
+				x[d] = uint32(rng.Intn(256))
+				xf[d] = float64(x[d])
+			}
+			want := tr.Assign(xf)
+			got := tl.Match(x)
+			if got != want {
+				t.Fatalf("dim=%d: two-level %d, Assign %d for %v", dim, got, want, x)
+			}
+		}
+	}
+}
+
+func TestTwoLevelWithShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	// Signed domain: values in [-128, 127], shift 128.
+	pts := make([][]float64, 300)
+	for i := range pts {
+		pts[i] = []float64{float64(rng.Intn(256) - 128), float64(rng.Intn(256) - 128)}
+	}
+	tr, err := BuildDepth(pts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := tr.TwoLevelRules(8, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 1000; trial++ {
+		a, b := rng.Intn(256)-128, rng.Intn(256)-128
+		want := tr.Assign([]float64{float64(a), float64(b)})
+		got := tl.Match([]uint32{uint32(a + 128), uint32(b + 128)})
+		if got != want {
+			t.Fatalf("shifted two-level %d vs %d for (%d,%d)", got, want, a, b)
+		}
+	}
+}
+
+func TestTwoLevelFarSmallerThanNaiveForWideSegments(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	const dim = 6
+	pts := make([][]float64, 600)
+	for i := range pts {
+		p := make([]float64, dim)
+		for d := range p {
+			p[d] = float64(rng.Intn(256))
+		}
+		pts[i] = p
+	}
+	tr, err := BuildDepth(pts, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := tr.TwoLevelRules(8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := tr.TernaryRules(8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dimE, comboE := tl.Entries()
+	if dimE+comboE >= len(single) {
+		t.Fatalf("two-level %d+%d entries not smaller than single-level %d",
+			dimE, comboE, len(single))
+	}
+	// The headline: two-level stays in the hundreds where single-level
+	// explodes.
+	if dimE+comboE > 2000 {
+		t.Fatalf("two-level still too large: %d+%d", dimE, comboE)
+	}
+}
+
+func TestTwoLevelEmptyDim(t *testing.T) {
+	// A tree that never splits on dim 1 must give it a 1-bit wildcard
+	// code table.
+	pts := [][]float64{{0, 5}, {10, 5}, {20, 5}, {200, 5}}
+	tr, err := BuildDepth(pts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := tr.TwoLevelRules(8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.Dims[1].Rules) != 1 {
+		t.Fatalf("unsplit dim should have 1 catch-all rule, got %d", len(tl.Dims[1].Rules))
+	}
+	for trial := 0; trial < 256; trial++ {
+		x := []uint32{uint32(trial), 5}
+		if tl.Match(x) != tr.Assign([]float64{float64(trial), 5}) {
+			t.Fatalf("mismatch at %d", trial)
+		}
+	}
+}

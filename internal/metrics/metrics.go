@@ -1,0 +1,176 @@
+// Package metrics implements the evaluation metrics of §7.1: macro
+// accuracy (mean per-class F1), overall precision/recall, confusion
+// matrices, and ROC curves with AUC for the anomaly-detection
+// experiments.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Confusion is a square confusion matrix: C[i][j] counts samples of true
+// class i predicted as class j.
+type Confusion struct {
+	N int
+	C [][]int
+}
+
+// NewConfusion builds an n-class confusion matrix from parallel label
+// slices.
+func NewConfusion(n int, truth, pred []int) (*Confusion, error) {
+	if len(truth) != len(pred) {
+		return nil, fmt.Errorf("metrics: %d truths vs %d predictions", len(truth), len(pred))
+	}
+	m := &Confusion{N: n, C: make([][]int, n)}
+	for i := range m.C {
+		m.C[i] = make([]int, n)
+	}
+	for i := range truth {
+		t, p := truth[i], pred[i]
+		if t < 0 || t >= n || p < 0 || p >= n {
+			return nil, fmt.Errorf("metrics: label out of range at %d: truth %d pred %d", i, t, p)
+		}
+		m.C[t][p]++
+	}
+	return m, nil
+}
+
+// ClassPRF returns precision, recall and F1 of class k (0 when
+// undefined).
+func (m *Confusion) ClassPRF(k int) (precision, recall, f1 float64) {
+	tp := m.C[k][k]
+	fp, fn := 0, 0
+	for i := 0; i < m.N; i++ {
+		if i == k {
+			continue
+		}
+		fp += m.C[i][k]
+		fn += m.C[k][i]
+	}
+	if tp+fp > 0 {
+		precision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		recall = float64(tp) / float64(tp+fn)
+	}
+	if precision+recall > 0 {
+		f1 = 2 * precision * recall / (precision + recall)
+	}
+	return precision, recall, f1
+}
+
+// Macro returns macro-averaged precision, recall and F1 — the paper's
+// "macro-accuracy" is MacroF1.
+func (m *Confusion) Macro() (precision, recall, f1 float64) {
+	for k := 0; k < m.N; k++ {
+		p, r, f := m.ClassPRF(k)
+		precision += p
+		recall += r
+		f1 += f
+	}
+	n := float64(m.N)
+	return precision / n, recall / n, f1 / n
+}
+
+// Accuracy returns plain sample accuracy.
+func (m *Confusion) Accuracy() float64 {
+	hit, tot := 0, 0
+	for i := 0; i < m.N; i++ {
+		for j := 0; j < m.N; j++ {
+			tot += m.C[i][j]
+			if i == j {
+				hit += m.C[i][j]
+			}
+		}
+	}
+	if tot == 0 {
+		return 0
+	}
+	return float64(hit) / float64(tot)
+}
+
+// Report bundles the three Table 5 columns.
+type Report struct {
+	Precision, Recall, F1 float64
+}
+
+// Evaluate is the one-call helper producing a Table 5 row cell.
+func Evaluate(n int, truth, pred []int) (Report, error) {
+	m, err := NewConfusion(n, truth, pred)
+	if err != nil {
+		return Report{}, err
+	}
+	p, r, f := m.Macro()
+	return Report{Precision: p, Recall: r, F1: f}, nil
+}
+
+// ROCPoint is one point of a ROC curve.
+type ROCPoint struct {
+	FPR, TPR float64
+}
+
+// ROC computes the ROC curve for anomaly scores (higher = more
+// anomalous) against binary labels (true = anomalous). The curve starts
+// at (0,0) and ends at (1,1).
+func ROC(scores []float64, anomalous []bool) []ROCPoint {
+	if len(scores) != len(anomalous) {
+		panic("metrics: ROC length mismatch")
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	pos, neg := 0, 0
+	for _, a := range anomalous {
+		if a {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	curve := []ROCPoint{{0, 0}}
+	tp, fp := 0, 0
+	for i := 0; i < len(idx); {
+		j := i
+		// Handle score ties as one step.
+		for j < len(idx) && scores[idx[j]] == scores[idx[i]] {
+			if anomalous[idx[j]] {
+				tp++
+			} else {
+				fp++
+			}
+			j++
+		}
+		i = j
+		var fpr, tpr float64
+		if neg > 0 {
+			fpr = float64(fp) / float64(neg)
+		}
+		if pos > 0 {
+			tpr = float64(tp) / float64(pos)
+		}
+		curve = append(curve, ROCPoint{fpr, tpr})
+	}
+	last := curve[len(curve)-1]
+	if last.FPR != 1 || last.TPR != 1 {
+		curve = append(curve, ROCPoint{1, 1})
+	}
+	return curve
+}
+
+// AUC integrates a ROC curve with the trapezoid rule.
+func AUC(curve []ROCPoint) float64 {
+	a := 0.0
+	for i := 1; i < len(curve); i++ {
+		dx := curve[i].FPR - curve[i-1].FPR
+		a += dx * (curve[i].TPR + curve[i-1].TPR) / 2
+	}
+	return a
+}
+
+// AUCFromScores is ROC + AUC in one call.
+func AUCFromScores(scores []float64, anomalous []bool) float64 {
+	return AUC(ROC(scores, anomalous))
+}

@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestConfusionBasics(t *testing.T) {
+	truth := []int{0, 0, 1, 1, 2, 2}
+	pred := []int{0, 1, 1, 1, 2, 0}
+	m, err := NewConfusion(3, truth, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.C[0][0] != 1 || m.C[0][1] != 1 || m.C[1][1] != 2 || m.C[2][0] != 1 || m.C[2][2] != 1 {
+		t.Fatalf("confusion = %v", m.C)
+	}
+	if acc := m.Accuracy(); math.Abs(acc-4.0/6) > 1e-12 {
+		t.Fatalf("accuracy = %g", acc)
+	}
+	p, r, f := m.ClassPRF(1)
+	if math.Abs(p-2.0/3) > 1e-12 || r != 1 {
+		t.Fatalf("class1 P=%g R=%g F=%g", p, r, f)
+	}
+}
+
+func TestConfusionValidation(t *testing.T) {
+	if _, err := NewConfusion(2, []int{0}, []int{0, 1}); err == nil {
+		t.Fatal("want length error")
+	}
+	if _, err := NewConfusion(2, []int{5}, []int{0}); err == nil {
+		t.Fatal("want range error")
+	}
+}
+
+func TestMacroPerfect(t *testing.T) {
+	truth := []int{0, 1, 2, 0, 1, 2}
+	rep, err := Evaluate(3, truth, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Precision != 1 || rep.Recall != 1 || rep.F1 != 1 {
+		t.Fatalf("perfect = %+v", rep)
+	}
+}
+
+func TestMacroTreatsClassesEqually(t *testing.T) {
+	// 90 samples of class 0 all correct; 10 of class 1 all wrong:
+	// plain accuracy 0.9 but macro F1 must be ~0.487 (class1 F1=0,
+	// class0 P=0.9/R=1 → F1≈0.947).
+	var truth, pred []int
+	for i := 0; i < 90; i++ {
+		truth = append(truth, 0)
+		pred = append(pred, 0)
+	}
+	for i := 0; i < 10; i++ {
+		truth = append(truth, 1)
+		pred = append(pred, 0)
+	}
+	m, _ := NewConfusion(2, truth, pred)
+	_, _, f1 := m.Macro()
+	want := (2 * 0.9 * 1 / 1.9) / 2
+	if math.Abs(f1-want) > 1e-9 {
+		t.Fatalf("macro F1 = %g, want %g", f1, want)
+	}
+}
+
+func TestROCPerfectSeparation(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	anom := []bool{true, true, false, false}
+	if auc := AUCFromScores(scores, anom); auc != 1 {
+		t.Fatalf("AUC = %g, want 1", auc)
+	}
+}
+
+func TestROCInvertedScores(t *testing.T) {
+	scores := []float64{0.1, 0.2, 0.8, 0.9}
+	anom := []bool{true, true, false, false}
+	if auc := AUCFromScores(scores, anom); auc != 0 {
+		t.Fatalf("AUC = %g, want 0", auc)
+	}
+}
+
+func TestROCRandomScoresNearHalf(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 4000
+	scores := make([]float64, n)
+	anom := make([]bool, n)
+	for i := range scores {
+		scores[i] = rng.Float64()
+		anom[i] = rng.Intn(2) == 0
+	}
+	auc := AUCFromScores(scores, anom)
+	if math.Abs(auc-0.5) > 0.05 {
+		t.Fatalf("random AUC = %g, want ≈0.5", auc)
+	}
+}
+
+func TestROCHandlesTies(t *testing.T) {
+	scores := []float64{0.5, 0.5, 0.5, 0.5}
+	anom := []bool{true, false, true, false}
+	auc := AUCFromScores(scores, anom)
+	if math.Abs(auc-0.5) > 1e-12 {
+		t.Fatalf("tied AUC = %g, want 0.5", auc)
+	}
+}
+
+func TestROCEndpoints(t *testing.T) {
+	curve := ROC([]float64{0.3, 0.7}, []bool{false, true})
+	first, last := curve[0], curve[len(curve)-1]
+	if first.FPR != 0 || first.TPR != 0 || last.FPR != 1 || last.TPR != 1 {
+		t.Fatalf("curve endpoints: %+v ... %+v", first, last)
+	}
+}
+
+func TestAUCMonotoneInSeparation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	makeAUC := func(sep float64) float64 {
+		n := 1000
+		scores := make([]float64, n)
+		anom := make([]bool, n)
+		for i := range scores {
+			anom[i] = i%2 == 0
+			base := rng.NormFloat64()
+			if anom[i] {
+				base += sep
+			}
+			scores[i] = base
+		}
+		return AUCFromScores(scores, anom)
+	}
+	a1, a2, a3 := makeAUC(0.2), makeAUC(1), makeAUC(3)
+	if !(a1 < a2 && a2 < a3) {
+		t.Fatalf("AUC not monotone in separation: %g %g %g", a1, a2, a3)
+	}
+}

@@ -1,0 +1,494 @@
+package models
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/pegasus-idp/pegasus/internal/core"
+	"github.com/pegasus-idp/pegasus/internal/fixed"
+	"github.com/pegasus-idp/pegasus/internal/metrics"
+	"github.com/pegasus-idp/pegasus/internal/netsim"
+	"github.com/pegasus-idp/pegasus/internal/nn"
+	"github.com/pegasus-idp/pegasus/internal/pisa"
+	"github.com/pegasus-idp/pegasus/internal/tensor"
+)
+
+// CNNL is the paper's large CNN over raw payload bytes (3840-bit input
+// scale). Its dataplane form follows §7.3's two-phase design:
+//
+// Per-packet phase — the packet's 60 payload bytes (480 bits, the only
+// features in the PHV) run through the Pegasus-compiled encoder
+// pipeline (conv windows → pooling → FC groups, all fuzzy tables); the
+// final group fuzzy-matches the refined feature vector into a 4- or
+// 8-bit index whose SRAM row is the packet's precomputed class-logit
+// contribution. Only that index is stored in the flow's registers.
+//
+// Window phase — when the window completes, the stored indices key
+// per-position copies of the logits table; SumReduce and argmax follow.
+// This is Advanced Primitive Fusion ❸ end to end, and the reason the
+// per-flow footprint stays at 28–72 bits (Figure 7).
+type CNNL struct {
+	Name string
+	// UseIPD appends the per-packet IPD bucket to the encoder input
+	// (off in the 28-bit variant of Figure 7).
+	UseIPD bool
+	// IdxBits is the per-packet fuzzy index width.
+	IdxBits int
+
+	Net      *nn.Sequential // training-time NAM: SegmentsAsBatch(inner)+Sum
+	inner    *nn.Sequential // encoder+head per packet
+	encoder  *nn.Sequential // inner without the final head Linear
+	head     *nn.Linear
+	nClasses int
+	segDim   int
+	zDim     int
+
+	comp *core.Compiled // per-packet pipeline: payload → logits
+}
+
+// NewCNNL builds CNN-L with the given variant parameters.
+func NewCNNL(nClasses int, useIPD bool, idxBits int, rng *rand.Rand) *CNNL {
+	segDim := netsim.PayloadBytes
+	if useIPD {
+		segDim++
+	}
+	// Encoder: non-overlapping 10-byte conv windows (6 Partition
+	// segments), per-channel max pooling, one FC block down to the
+	// 16-dim refined feature vector. Three table groups — the deepest
+	// chain that fits the 20-stage pipeline together with the window
+	// phase.
+	const convK = 10
+	convT := segDim / convK // 6 windows
+	const cout, zDim = 12, 16
+	encLayers := []nn.Layer{
+		nn.NewConv1d(convT*convK, 1, cout, convK, convK, rng), nn.NewActivation(nn.ReLU),
+		nn.NewGlobalMaxPool(convT, cout),
+		nn.NewLinear(cout, zDim, rng), nn.NewActivation(nn.Tanh),
+	}
+	encoder := nn.NewSequential(encLayers...)
+	head := nn.NewLinear(zDim, nClasses, rng)
+	inner := nn.NewSequential(append(append([]nn.Layer{}, encLayers...), head)...)
+	net := nn.NewSequential(
+		nn.NewSegmentsAsBatch(Window, convT*convK, inner),
+		nn.NewSumSegments(Window, nClasses),
+	)
+	name := "CNN-L"
+	if !useIPD {
+		name = "CNN-L/28b"
+	} else if idxBits == 8 {
+		name = "CNN-L/72b"
+	}
+	return &CNNL{Name: name, UseIPD: useIPD, IdxBits: idxBits,
+		Net: net, inner: inner, encoder: encoder, head: head,
+		nClasses: nClasses, segDim: convT * convK, zDim: zDim}
+}
+
+// Extract returns the window samples for this variant, truncated to the
+// encoder's segment width.
+func (m *CNNL) Extract(flows []netsim.Flow) ([][]float64, []int) {
+	var raw [][]float64
+	var ys []int
+	if m.UseIPD {
+		raw, ys = ExtractPayloadIPD(flows)
+	} else {
+		raw, ys = ExtractPayload(flows)
+	}
+	full := netsim.PayloadBytes
+	if m.UseIPD {
+		full++
+	}
+	if m.segDim == full {
+		return raw, ys
+	}
+	xs := make([][]float64, len(raw))
+	for i, x := range raw {
+		t := make([]float64, 0, Window*m.segDim)
+		for p := 0; p < Window; p++ {
+			t = append(t, x[p*full:p*full+m.segDim]...)
+		}
+		xs[i] = t
+	}
+	return xs, ys
+}
+
+// InDim is the flattened window width.
+func (m *CNNL) InDim() int { return Window * m.segDim }
+
+// InputScaleBits reports Table 5's input scale: 8 packets × 480 payload
+// bits.
+func (m *CNNL) InputScaleBits() int { return Window * netsim.PayloadBytes * 8 }
+
+// ModelSizeBits reports the parameter footprint.
+func (m *CNNL) ModelSizeBits() int { return m.Net.SizeBits() }
+
+// FlowStateBits reports the per-flow register footprint of Figure 7:
+// (Window−1) stored indices plus a 16-bit previous-packet timestamp when
+// IPD is used.
+func (m *CNNL) FlowStateBits() int {
+	bits := (Window - 1) * m.IdxBits
+	if m.UseIPD {
+		bits += 16
+	}
+	return bits
+}
+
+// Train fits the end-to-end NAM network.
+func (m *CNNL) Train(flows []netsim.Flow, opts TrainOpts) []float64 {
+	opts.defaults()
+	xs, ys := m.Extract(flows)
+	mat := tensor.New(len(xs), m.InDim())
+	for i, x := range xs {
+		copy(mat.Row(i), x)
+	}
+	mat.Scale(1.0 / 128)
+	return nn.Fit(m.Net, mat, nn.ClassTargets(ys), nn.SoftmaxCrossEntropy{},
+		nn.NewAdam(opts.LR), nn.TrainConfig{Epochs: opts.Epochs, BatchSize: 32, Seed: opts.Seed})
+}
+
+// EvalFull computes full-precision metrics.
+func (m *CNNL) EvalFull(flows []netsim.Flow, nClasses int) (metrics.Report, error) {
+	xs, ys := m.Extract(flows)
+	mat := tensor.New(len(xs), m.InDim())
+	for i, x := range xs {
+		copy(mat.Row(i), x)
+	}
+	mat.Scale(1.0 / 128)
+	pred := m.Net.Predict(mat)
+	return metrics.Evaluate(nClasses, ys, pred)
+}
+
+// Compile lowers the shared per-packet network (encoder + head) through
+// the standard Pegasus pipeline. The head is forced into a single fuzzy
+// segment over the refined feature vector with FinalDepth = IdxBits, so
+// the final group's fuzzy index is exactly the per-packet state the
+// switch stores.
+func (m *CNNL) Compile(flows []netsim.Flow, maxCalib int) error {
+	if maxCalib == 0 {
+		maxCalib = 2500
+	}
+	xs, _ := m.Extract(flows)
+	if len(xs) == 0 {
+		return fmt.Errorf("models: no CNN-L calibration windows")
+	}
+	// Pool all packet segments — the encoder is shared across positions.
+	var segs [][]float64
+	for _, x := range xs {
+		for p := 0; p < Window; p++ {
+			segs = append(segs, x[p*m.segDim:(p+1)*m.segDim])
+		}
+	}
+	if len(segs) > maxCalib {
+		stride := len(segs) / maxCalib
+		sub := make([][]float64, 0, maxCalib)
+		for i := 0; i < len(segs); i += stride {
+			sub = append(sub, segs[i])
+		}
+		segs = sub
+	}
+	// Encoder program with the 1/128 training normalisation folded in.
+	prog, err := core.Lower(m.Name+"-packet", m.encoder, m.segDim, core.LowerConfig{MaxSegDim: 6})
+	if err != nil {
+		return err
+	}
+	scale := make([]float64, m.segDim)
+	for i := range scale {
+		scale[i] = 1.0 / 128
+	}
+	pre := &core.Map{Fns: []core.Fn{core.Diag(scale, make([]float64, m.segDim))}}
+	// Head: one fuzzy segment over the z vector.
+	zCols := make([]int, m.zDim)
+	for i := range zCols {
+		zCols[i] = i
+	}
+	headFn, err := core.NewAffine(m.head.Weight.W.Clone(), append([]float64(nil), m.head.Bias.W.D...))
+	if err != nil {
+		return err
+	}
+	steps := append([]core.Step{pre}, prog.Steps...)
+	steps = append(steps, &core.Partition{Groups: [][]int{zCols}}, &core.Map{Fns: []core.Fn{headFn}})
+	full := &core.Program{Name: prog.Name, InDim: m.segDim, Steps: steps}
+	fused := core.Fuse(full)
+	comp, err := core.BuildTables(fused, segs, core.CompileConfig{
+		TreeDepth: 6, FinalDepth: m.IdxBits, InBits: 8, MaxCalib: maxCalib,
+	})
+	if err != nil {
+		return err
+	}
+	// The final group must be a single fuzzy segment (the stored index).
+	lastG := comp.Groups[len(comp.Groups)-1]
+	if len(lastG.Segs) != 1 || lastG.Segs[0].Mode != core.SegFuzzy {
+		return fmt.Errorf("models: CNN-L final group is not a single fuzzy segment")
+	}
+	m.comp = comp
+	return nil
+}
+
+// Compiled exposes the per-packet pipeline.
+func (m *CNNL) Compiled() *core.Compiled { return m.comp }
+
+// PacketLogits runs one packet segment through the compiled pipeline,
+// returning its quantised logit contribution and the stored fuzzy index.
+func (m *CNNL) PacketLogits(seg []float64) ([]int32, int) {
+	v := make([]int32, len(seg))
+	for j, f := range seg {
+		v[j] = int32(math.RoundToEven(f))
+	}
+	cur := v
+	for gi := range m.comp.Groups {
+		if gi == len(m.comp.Groups)-1 {
+			s := &m.comp.Groups[gi].Segs[0]
+			segf := make([]float64, len(s.Cols))
+			for k, c := range s.Cols {
+				segf[k] = float64(cur[c])
+			}
+			idx := s.Tree.Assign(segf)
+			return s.Table[idx], idx
+		}
+		cur = m.comp.Groups[gi].Eval(cur)
+	}
+	panic("unreachable")
+}
+
+// ClassifyWindow sums the per-packet contributions for a window sample.
+func (m *CNNL) ClassifyWindow(x []float64) int {
+	logits := make([]int32, m.nClasses)
+	for p := 0; p < Window; p++ {
+		row, _ := m.PacketLogits(x[p*m.segDim : (p+1)*m.segDim])
+		fixed.SatAddVec(logits, row)
+	}
+	best, bi := logits[0], 0
+	for i, v := range logits[1:] {
+		if v >= best {
+			best, bi = v, i+1
+		}
+	}
+	return bi
+}
+
+// EvalPegasus computes compiled-path metrics.
+func (m *CNNL) EvalPegasus(flows []netsim.Flow, nClasses int) (metrics.Report, error) {
+	if m.comp == nil {
+		return metrics.Report{}, fmt.Errorf("models: %s not compiled", m.Name)
+	}
+	xs, ys := m.Extract(flows)
+	pred := make([]int, len(xs))
+	for i, x := range xs {
+		pred[i] = m.ClassifyWindow(x)
+	}
+	return metrics.Evaluate(nClasses, ys, pred)
+}
+
+// Refine backprop-tunes the shared per-packet logits table (§4.4).
+// Logits are linear in the entries, so gradients are exact.
+func (m *CNNL) Refine(flows []netsim.Flow, epochs int, lr float64) float64 {
+	xs, ys := m.Extract(flows)
+	last := &m.comp.Groups[len(m.comp.Groups)-1]
+	table := last.Segs[0].Table
+	pos := int(m.comp.OutFrac)
+	scale := math.Ldexp(1, -pos)
+	shadow := make([][]float64, len(table))
+	for li, row := range table {
+		fr := make([]float64, len(row))
+		for j, v := range row {
+			fr[j] = float64(v) * scale
+		}
+		shadow[li] = fr
+	}
+	assign := make([][]int, len(xs))
+	for i, x := range xs {
+		idxs := make([]int, Window)
+		for p := 0; p < Window; p++ {
+			_, idxs[p] = m.PacketLogits(x[p*m.segDim : (p+1)*m.segDim])
+		}
+		assign[i] = idxs
+	}
+	logits := make([]float64, m.nClasses)
+	probs := make([]float64, m.nClasses)
+	for e := 0; e < epochs; e++ {
+		for i, idxs := range assign {
+			for j := range logits {
+				logits[j] = 0
+			}
+			for _, idx := range idxs {
+				for j := range logits {
+					logits[j] += shadow[idx][j]
+				}
+			}
+			nn.SoftmaxRow(logits, probs)
+			for _, idx := range idxs {
+				for j := range probs {
+					g := probs[j]
+					if j == ys[i] {
+						g -= 1
+					}
+					shadow[idx][j] -= lr * g
+				}
+			}
+		}
+	}
+	hi := int64(1)<<7 - 1
+	for li, fr := range shadow {
+		for j, f := range fr {
+			r := math.RoundToEven(math.Ldexp(f, pos))
+			if r > float64(hi) {
+				r = float64(hi)
+			}
+			if r < float64(-hi-1) {
+				r = float64(-hi - 1)
+			}
+			table[li][j] = int32(r)
+		}
+	}
+	hit := 0
+	for i, x := range xs {
+		if m.ClassifyWindow(x) == ys[i] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(xs))
+}
+
+// Emit lowers CNN-L onto the pipeline: the per-packet encoder program
+// (emitted by the core compiler, ending in the index TCAM + the current
+// packet's logits table) plus Window−1 extra per-position logits table
+// copies, the SumReduce tree, argmax, and the per-flow index registers.
+func (m *CNNL) Emit(flows int) (*core.Emitted, error) {
+	if m.comp == nil {
+		return nil, fmt.Errorf("models: %s not compiled", m.Name)
+	}
+	em, err := core.Emit(m.comp, core.EmitOptions{
+		FlowStateBits: m.FlowStateBits(),
+		Flows:         flows,
+	})
+	if err != nil {
+		return nil, err
+	}
+	layout := em.Prog.Layout
+	// Window-phase: stored index fields + per-position logits tables.
+	last := &m.comp.Groups[len(m.comp.Groups)-1]
+	table := last.Segs[0].Table
+	idxFields := make([]pisa.FieldID, Window-1)
+	for p := range idxFields {
+		idxFields[p] = layout.MustAdd(fmt.Sprintf("pidx%d", p), 8)
+	}
+	tmpF := make([]pisa.FieldID, (Window-1)*m.nClasses)
+	for j := range tmpF {
+		tmpF[j] = layout.MustAdd(fmt.Sprintf("wtmp%d", j), 16)
+	}
+	outF := make([]pisa.FieldID, m.nClasses)
+	for j := range outF {
+		outF[j] = layout.MustAdd(fmt.Sprintf("wlogit%d", j), 16)
+	}
+	stage := len(em.Prog.Stages)
+	lw := m.nClasses * 8
+	// The current packet's contribution already sits in em.OutFields
+	// (block Window−1 of the sum tree); the Window−1 stored positions
+	// load theirs in parallel.
+	for p := 0; p < Window-1; p++ {
+		entries := make([]pisa.Entry, len(table))
+		ops := make([]pisa.Op, m.nClasses)
+		for j := 0; j < m.nClasses; j++ {
+			ops[j] = pisa.Op{Kind: pisa.OpSetData, Dst: tmpF[p*m.nClasses+j], DataIdx: j}
+		}
+		for li, row := range table {
+			entries[li] = pisa.Entry{Key: []uint32{uint32(li)}, Data: append([]int32(nil), row...)}
+		}
+		em.Prog.Place(stage, &pisa.Table{
+			Name: fmt.Sprintf("win%d_logits", p), Kind: pisa.MatchExact,
+			KeyFields: []pisa.FieldID{idxFields[p]}, KeyWidths: []int{m.IdxBits},
+			Entries: entries, Action: ops, DataWidthBits: lw,
+		})
+	}
+	stage++
+	// Pairwise SumReduce over the Window blocks (stored 0..Window−2 in
+	// tmpF, current packet in em.OutFields), ending in outF.
+	type blockRef struct {
+		fields []pisa.FieldID
+	}
+	blocks := make([]blockRef, 0, Window)
+	for p := 0; p < Window-1; p++ {
+		blocks = append(blocks, blockRef{fields: tmpF[p*m.nClasses : (p+1)*m.nClasses]})
+	}
+	blocks = append(blocks, blockRef{fields: em.OutFields})
+	round := 0
+	for len(blocks) > 1 {
+		n := len(blocks)
+		half := n / 2
+		final := half == 1 && n%2 == 0
+		var ops []pisa.Op
+		for i := 0; i < half; i++ {
+			a, b := blocks[i], blocks[n-1-i]
+			for j := 0; j < m.nClasses; j++ {
+				dst := a.fields[j]
+				if final {
+					dst = outF[j]
+				}
+				ops = append(ops, pisa.Op{Kind: pisa.OpSatAdd, Dst: dst, A: a.fields[j], B: b.fields[j]})
+			}
+		}
+		em.Prog.Place(stage, &pisa.Table{Name: fmt.Sprintf("win_sum%d", round), Kind: pisa.MatchNone,
+			DefaultData: []int32{}, Action: ops})
+		stage++
+		round++
+		blocks = blocks[:(n+1)/2]
+	}
+	// Argmax over the window logits.
+	best := layout.MustAdd("wbest", 16)
+	em.ClassField = layout.MustAdd("class", 8)
+	aOps := []pisa.Op{
+		{Kind: pisa.OpMove, Dst: best, A: outF[0]},
+		{Kind: pisa.OpSet, Dst: em.ClassField, Imm: 0},
+	}
+	for j := 1; j < m.nClasses; j++ {
+		aOps = append(aOps,
+			pisa.Op{Kind: pisa.OpSelGE, Dst: em.ClassField, A: outF[j], B: best, Imm: int32(j)},
+			pisa.Op{Kind: pisa.OpMax, Dst: best, A: best, B: outF[j]},
+		)
+	}
+	em.Prog.Place(stage, &pisa.Table{Name: "argmax", Kind: pisa.MatchNone,
+		DefaultData: []int32{}, Action: aOps})
+	stage++
+	em.OutFields = outF
+	em.Stages = stage
+	if err := em.Prog.Validate(); err != nil {
+		return nil, err
+	}
+	return em, nil
+}
+
+// RunSwitchWindow drives the emitted program the way the switch sees a
+// flow: each packet's pass computes its fuzzy index (banked in flow
+// registers); the final packet's pass restores the stored indices and
+// the window phase classifies.
+func RunSwitchWindow(m *CNNL, em *core.Emitted, x []float64) int {
+	phv := em.Prog.Layout.NewPHV()
+	// The per-packet index is the final group's fuzzy index; core.Emit
+	// reuses the fidx pool per group, and the last group's TCAM (the
+	// final one to run) has a single segment, so fidx0 holds the stored
+	// index after each pass.
+	idxField, ok := em.Prog.Layout.Lookup("fidx0")
+	if !ok {
+		panic("models: emitted CNN-L has no fuzzy index field")
+	}
+	stored := make([]int32, 0, Window-1)
+	for p := 0; p < Window; p++ {
+		phv.Reset()
+		seg := x[p*m.segDim : (p+1)*m.segDim]
+		for d, f := range em.InFields {
+			phv.Set(f, int32(math.RoundToEven(seg[d])))
+		}
+		if p == Window-1 {
+			// Final packet: restore the banked indices (flow registers).
+			for q, v := range stored {
+				id, _ := em.Prog.Layout.Lookup(fmt.Sprintf("pidx%d", q))
+				phv.Set(id, v)
+			}
+		}
+		em.Prog.Process(phv)
+		if p < Window-1 {
+			stored = append(stored, phv.Get(idxField))
+		}
+	}
+	return int(phv.Get(em.ClassField))
+}

@@ -1,0 +1,298 @@
+// Package models implements the paper's model zoo (§6.3): MLP-B, RNN-B,
+// CNN-B, CNN-M, CNN-L and the AutoEncoder, each with its feature
+// pipeline, training recipe, per-flow state footprint (Table 6) and
+// Pegasus compilation path. Feed-forward models share one generic
+// implementation; RNN-B and CNN-L use the dedicated compilation paths
+// the paper describes for them.
+package models
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/pegasus-idp/pegasus/internal/core"
+	"github.com/pegasus-idp/pegasus/internal/metrics"
+	"github.com/pegasus-idp/pegasus/internal/netsim"
+	"github.com/pegasus-idp/pegasus/internal/nn"
+	"github.com/pegasus-idp/pegasus/internal/tensor"
+)
+
+// Window is the packet window shared by all sequence models (the
+// paper's CNN-L stores 7 previous packets + the current one).
+const Window = 8
+
+// Extractor turns flows into (integer feature vectors, labels).
+type Extractor func(flows []netsim.Flow) ([][]float64, []int)
+
+// ExtractStats yields one 8-feature sample per flow: max/min packet
+// length and IPD per direction — the 128-bit statistical input of
+// MLP-B, N3IC and Leo (8 × 16 bits).
+func ExtractStats(flows []netsim.Flow) ([][]float64, []int) {
+	xs := make([][]float64, 0, len(flows))
+	ys := make([]int, 0, len(flows))
+	for i := range flows {
+		xs = append(xs, netsim.StatFeatures(&flows[i], 0))
+		ys = append(ys, flows[i].Class)
+	}
+	return xs, ys
+}
+
+// ExtractSeq yields one sample per window of Window packets: length and
+// IPD buckets interleaved — the 128-bit raw packet sequence input of
+// RNN-B, CNN-B and CNN-M (16 × 8 bits).
+func ExtractSeq(flows []netsim.Flow) ([][]float64, []int) {
+	var xs [][]float64
+	var ys []int
+	for i := range flows {
+		for _, w := range netsim.SeqWindows(&flows[i], Window) {
+			xs = append(xs, w.SeqFeatures())
+			ys = append(ys, w.Class)
+		}
+	}
+	return xs, ys
+}
+
+// ExtractPayload yields one sample per window with Window×60 raw
+// payload bytes — CNN-L's 3840-bit input scale.
+func ExtractPayload(flows []netsim.Flow) ([][]float64, []int) {
+	var xs [][]float64
+	var ys []int
+	for i := range flows {
+		for _, w := range netsim.SeqWindows(&flows[i], Window) {
+			xs = append(xs, w.PayloadFeatures())
+			ys = append(ys, w.Class)
+		}
+	}
+	return xs, ys
+}
+
+// ExtractPayloadIPD appends the per-packet IPD bucket to each packet's
+// payload bytes (61 features per packet) — the CNN-L variant with IPD of
+// Figure 7.
+func ExtractPayloadIPD(flows []netsim.Flow) ([][]float64, []int) {
+	var xs [][]float64
+	var ys []int
+	for i := range flows {
+		for _, w := range netsim.SeqWindows(&flows[i], Window) {
+			x := make([]float64, 0, Window*(netsim.PayloadBytes+1))
+			for p := 0; p < Window; p++ {
+				for _, b := range w.Payload[p] {
+					x = append(x, float64(b))
+				}
+				x = append(x, float64(w.IPDB[p]))
+			}
+			xs = append(xs, x)
+			ys = append(ys, w.Class)
+		}
+	}
+	return xs, ys
+}
+
+// TrainOpts scales the training budget.
+type TrainOpts struct {
+	Epochs int
+	LR     float64
+	Seed   int64
+}
+
+func (o *TrainOpts) defaults() {
+	if o.Epochs == 0 {
+		o.Epochs = 30
+	}
+	if o.LR == 0 {
+		o.LR = 0.005
+	}
+}
+
+// Feedforward is a generic Pegasus-compilable classifier: it owns the
+// trained network, the feature extractor and the compile configuration,
+// and exposes both full-precision and Pegasus (fuzzy fixed-point)
+// evaluation plus PISA emission.
+type Feedforward struct {
+	Name string
+	Net  *nn.Sequential
+	// Extract produces integer features; InDim is the sample width.
+	Extract Extractor
+	InDim   int
+	// InputScaleBits / FlowStateBits are the Table 5/6 metadata.
+	InputScaleBits int
+	FlowStateBits  int
+	LowerCfg       core.LowerConfig
+	CompileCfg     core.CompileConfig
+	// Normalize divides features by this before the net (the compiled
+	// path folds it into the first affine); 0 = off.
+	Normalize float64
+
+	compiled *core.Compiled
+}
+
+// scaleInputs optionally normalises a feature matrix for training.
+func (m *Feedforward) scaleInputs(xs [][]float64) *tensor.Mat {
+	mat := tensor.New(len(xs), m.InDim)
+	for i, x := range xs {
+		copy(mat.Row(i), x)
+	}
+	if m.Normalize > 0 {
+		mat.Scale(1 / m.Normalize)
+	}
+	return mat
+}
+
+// Train fits the network on the flows' features.
+func (m *Feedforward) Train(flows []netsim.Flow, opts TrainOpts) []float64 {
+	opts.defaults()
+	xs, ys := m.Extract(flows)
+	mat := m.scaleInputs(xs)
+	return nn.Fit(m.Net, mat, nn.ClassTargets(ys), nn.SoftmaxCrossEntropy{},
+		nn.NewAdam(opts.LR), nn.TrainConfig{Epochs: opts.Epochs, BatchSize: 32, Seed: opts.Seed})
+}
+
+// Compile lowers, fuses and builds mapping tables from calibration
+// flows. Normalisation is folded into the program by prepending a
+// diagonal affine, so the dataplane consumes raw integer features.
+func (m *Feedforward) Compile(flows []netsim.Flow) error {
+	xs, _ := m.Extract(flows)
+	prog, err := core.Lower(m.Name, m.Net, m.InDim, m.LowerCfg)
+	if err != nil {
+		return err
+	}
+	if m.Normalize > 0 {
+		scale := make([]float64, m.InDim)
+		shift := make([]float64, m.InDim)
+		for i := range scale {
+			scale[i] = 1 / m.Normalize
+		}
+		pre := &core.Map{Fns: []core.Fn{core.Diag(scale, shift)}}
+		prog = &core.Program{Name: prog.Name, InDim: m.InDim,
+			Steps: append([]core.Step{pre}, prog.Steps...)}
+	}
+	fused := core.Fuse(prog)
+	comp, err := core.BuildTables(fused, xs, m.CompileCfg)
+	if err != nil {
+		return err
+	}
+	m.compiled = comp
+	return nil
+}
+
+// Compiled returns the compiled tables (nil before Compile).
+func (m *Feedforward) Compiled() *core.Compiled { return m.compiled }
+
+// Refine backprop-tunes the final mapping tables (§4.4) on the flows.
+func (m *Feedforward) Refine(flows []netsim.Flow, cfg core.RefineConfig) (float64, error) {
+	if m.compiled == nil {
+		return 0, fmt.Errorf("models: %s not compiled", m.Name)
+	}
+	xs, ys := m.Extract(flows)
+	return core.RefineClassifier(m.compiled, xs, ys, cfg)
+}
+
+// EvalFull computes Table 5 metrics with full-precision inference.
+func (m *Feedforward) EvalFull(flows []netsim.Flow, nClasses int) (metrics.Report, error) {
+	xs, ys := m.Extract(flows)
+	mat := m.scaleInputs(xs)
+	pred := m.Net.Predict(mat)
+	return metrics.Evaluate(nClasses, ys, pred)
+}
+
+// EvalPegasus computes Table 5 metrics with compiled fuzzy fixed-point
+// inference — what the switch executes.
+func (m *Feedforward) EvalPegasus(flows []netsim.Flow, nClasses int) (metrics.Report, error) {
+	if m.compiled == nil {
+		return metrics.Report{}, fmt.Errorf("models: %s not compiled", m.Name)
+	}
+	xs, ys := m.Extract(flows)
+	pred := make([]int, len(xs))
+	for i, x := range xs {
+		v := make([]int32, len(x))
+		for j, f := range x {
+			v[j] = int32(math.RoundToEven(f))
+		}
+		pred[i] = m.compiled.Classify(v)
+	}
+	return metrics.Evaluate(nClasses, ys, pred)
+}
+
+// Emit lowers the compiled model onto the PISA pipeline with the
+// model's flow-state footprint, for Table 6 resource accounting.
+func (m *Feedforward) Emit(flows int) (*core.Emitted, error) {
+	if m.compiled == nil {
+		return nil, fmt.Errorf("models: %s not compiled", m.Name)
+	}
+	return core.Emit(m.compiled, core.EmitOptions{
+		Argmax:        true,
+		FlowStateBits: m.FlowStateBits,
+		Flows:         flows,
+	})
+}
+
+// ModelSizeBits reports the Table 5 model size (32-bit parameters).
+func (m *Feedforward) ModelSizeBits() int { return m.Net.SizeBits() }
+
+// NewMLPB builds the paper's MLP-B: three hidden blocks of
+// BatchNorm→FC→ReLU over the 8 statistical features (§6.3).
+func NewMLPB(nClasses int, rng *rand.Rand) *Feedforward {
+	net := nn.NewSequential(
+		nn.NewBatchNorm(8),
+		nn.NewLinear(8, 16, rng), nn.NewActivation(nn.ReLU),
+		nn.NewBatchNorm(16),
+		nn.NewLinear(16, 16, rng), nn.NewActivation(nn.ReLU),
+		nn.NewBatchNorm(16),
+		nn.NewLinear(16, 16, rng), nn.NewActivation(nn.ReLU),
+		nn.NewLinear(16, nClasses, rng),
+	)
+	return &Feedforward{
+		Name: "MLP-B", Net: net, Extract: ExtractStats, InDim: 8,
+		InputScaleBits: 128, // 8 × 16-bit register stats
+		// Table 6: 80 stateful bits/flow — 4×16b length/IPD trackers per
+		// direction packed into 8 8-bit registers plus timestamps.
+		FlowStateBits: 80,
+		LowerCfg:      core.LowerConfig{MaxSegDim: 2},
+		CompileCfg:    core.CompileConfig{TreeDepth: 7, InBits: 16, MaxCalib: 3000},
+		Normalize:     64,
+	}
+}
+
+// NewCNNB builds the paper's CNN-B: the textcnn baseline over the
+// length/IPD sequence, with Basic Primitive Fusion only.
+func NewCNNB(nClasses int, rng *rand.Rand) *Feedforward {
+	net := nn.NewSequential(
+		nn.NewConv1d(Window, 2, 8, 2, 2, rng), nn.NewActivation(nn.ReLU),
+		nn.NewGlobalMaxPool(Window/2, 8),
+		nn.NewLinear(8, 16, rng), nn.NewActivation(nn.ReLU),
+		nn.NewLinear(16, nClasses, rng),
+	)
+	return &Feedforward{
+		Name: "CNN-B", Net: net, Extract: ExtractSeq, InDim: Window * 2,
+		InputScaleBits: 128, // 16 × 8-bit buckets
+		FlowStateBits:  72,  // 16b timestamp + 7 × 8b packed buckets
+		LowerCfg:       core.LowerConfig{MaxSegDim: 4},
+		CompileCfg:     core.CompileConfig{TreeDepth: 5, InBits: 8, MaxCalib: 3000},
+		Normalize:      32,
+	}
+}
+
+// NewCNNM builds the paper's CNN-M: a larger model restructured for
+// Advanced Primitive Fusion ❸ (NAM): each 2-packet segment owns a
+// sub-network compiled into a single mapping table, so the bigger model
+// uses fewer tables than CNN-B (Table 6).
+func NewCNNM(nClasses int, rng *rand.Rand) *Feedforward {
+	inner := nn.NewSequential(
+		nn.NewLinear(4, 48, rng), nn.NewActivation(nn.ReLU),
+		nn.NewLinear(48, 48, rng), nn.NewActivation(nn.ReLU),
+		nn.NewLinear(48, nClasses, rng),
+	)
+	net := nn.NewSequential(
+		nn.NewSegmentsAsBatch(Window/2, 4, inner),
+		nn.NewSumSegments(Window/2, nClasses),
+	)
+	return &Feedforward{
+		Name: "CNN-M", Net: net, Extract: ExtractSeq, InDim: Window * 2,
+		InputScaleBits: 128,
+		FlowStateBits:  72,
+		LowerCfg:       core.LowerConfig{},
+		CompileCfg:     core.CompileConfig{TreeDepth: 7, InBits: 8, MaxCalib: 3000},
+		Normalize:      32,
+	}
+}

@@ -1,0 +1,118 @@
+package models
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/pegasus-idp/pegasus/internal/core"
+	"github.com/pegasus-idp/pegasus/internal/metrics"
+	"github.com/pegasus-idp/pegasus/internal/netsim"
+	"github.com/pegasus-idp/pegasus/internal/nn"
+	"github.com/pegasus-idp/pegasus/internal/tensor"
+)
+
+// RNNB is the paper's RNN-B: the windowed binary-RNN design of BoS
+// upgraded to fuzzy-indexed fixed-point states — an Emb layer, a tanh
+// recurrent cell over the window, and an FC classifier (§6.3). It
+// classifies windows of packet-length and IPD buckets.
+type RNNB struct {
+	Name string
+	Emb  *nn.Embedding
+	Cell *nn.RNN
+	Out  *nn.Linear
+	Net  *nn.Sequential
+
+	compiled *core.CompiledRNN
+}
+
+// NewRNNB builds RNN-B for nClasses.
+func NewRNNB(nClasses int, rng *rand.Rand) *RNNB {
+	const stepDims = 2
+	emb := nn.NewEmbedding(256, 2, Window*stepDims, rng)
+	cell := nn.NewRNN(Window, stepDims*2, 10, rng)
+	out := nn.NewLinear(10, nClasses, rng)
+	return &RNNB{
+		Name: "RNN-B", Emb: emb, Cell: cell, Out: out,
+		Net: nn.NewSequential(emb, cell, out),
+	}
+}
+
+// InputScaleBits reports the 128-bit sequence input (16 × 8-bit).
+func (m *RNNB) InputScaleBits() int { return Window * 2 * 8 }
+
+// ModelSizeBits reports the parameter footprint.
+func (m *RNNB) ModelSizeBits() int { return m.Net.SizeBits() }
+
+// FlowStateBits reports Table 6's 240 stateful bits/flow: the RNN keeps
+// the full window of raw buckets (15 × 8b) plus previous timestamp and
+// window bookkeeping, since every step's features feed the switch
+// tables.
+func (m *RNNB) FlowStateBits() int { return 240 }
+
+// Train fits the network on sequence windows.
+func (m *RNNB) Train(flows []netsim.Flow, opts TrainOpts) []float64 {
+	opts.defaults()
+	xs, ys := ExtractSeq(flows)
+	mat := tensor.New(len(xs), Window*2)
+	for i, x := range xs {
+		copy(mat.Row(i), x)
+	}
+	return nn.Fit(m.Net, mat, nn.ClassTargets(ys), nn.SoftmaxCrossEntropy{},
+		nn.NewAdam(opts.LR), nn.TrainConfig{Epochs: opts.Epochs, BatchSize: 32, Seed: opts.Seed})
+}
+
+// EvalFull computes full-precision metrics.
+func (m *RNNB) EvalFull(flows []netsim.Flow, nClasses int) (metrics.Report, error) {
+	xs, ys := ExtractSeq(flows)
+	mat := tensor.New(len(xs), Window*2)
+	for i, x := range xs {
+		copy(mat.Row(i), x)
+	}
+	pred := m.Net.Predict(mat)
+	return metrics.Evaluate(nClasses, ys, pred)
+}
+
+// Compile builds the chained-index dataplane form (core.CompileRNN).
+func (m *RNNB) Compile(flows []netsim.Flow) error {
+	xs, _ := ExtractSeq(flows)
+	spec := core.RNNSpec{
+		T: Window, StepDims: 2,
+		Emb: m.Emb, Cell: m.Cell, Out: m.Out,
+		InputDepth: 7, HiddenDepth: 8,
+	}
+	c, err := core.CompileRNN(m.Name, spec, xs)
+	if err != nil {
+		return err
+	}
+	m.compiled = c
+	return nil
+}
+
+// Compiled exposes the dataplane form (nil before Compile).
+func (m *RNNB) Compiled() *core.CompiledRNN { return m.compiled }
+
+// EvalPegasus computes compiled-path metrics.
+func (m *RNNB) EvalPegasus(flows []netsim.Flow, nClasses int) (metrics.Report, error) {
+	if m.compiled == nil {
+		return metrics.Report{}, fmt.Errorf("models: %s not compiled", m.Name)
+	}
+	xs, ys := ExtractSeq(flows)
+	pred := make([]int, len(xs))
+	for i, x := range xs {
+		v := make([]int32, len(x))
+		for j, f := range x {
+			v[j] = int32(math.RoundToEven(f))
+		}
+		pred[i] = m.compiled.Classify(v)
+	}
+	return metrics.Evaluate(nClasses, ys, pred)
+}
+
+// Emit lowers the compiled RNN onto the pipeline.
+func (m *RNNB) Emit(flows int) (*core.Emitted, error) {
+	if m.compiled == nil {
+		return nil, fmt.Errorf("models: %s not compiled", m.Name)
+	}
+	return m.compiled.Emit(core.EmitOptions{FlowStateBits: m.FlowStateBits(), Flows: flows})
+}

@@ -1,0 +1,150 @@
+package netsim
+
+import "math"
+
+// Feature extraction mirrors what the compiled dataplane programs
+// compute with registers and range tables; the host-side versions here
+// produce the training data, so they must stay bit-for-bit consistent
+// with the switch implementations (integer bucketing only).
+
+// LenBucket compresses a packet length (0..1500+) into an 8-bit bucket
+// (len/6, saturating), implementable on-switch with a shift-free range
+// table or multiply-free scaling.
+func LenBucket(length int) int {
+	b := length / 6
+	if b > 255 {
+		b = 255
+	}
+	if b < 0 {
+		b = 0
+	}
+	return b
+}
+
+// IPDBucket compresses an inter-packet delay in µs into an 8-bit bucket
+// using an integer log2 scale (16·log2(1+ipd), saturating). On the
+// switch this is a 256-entry range table — a Map primitive.
+func IPDBucket(ipd uint64) int {
+	b := int(16 * math.Log2(float64(1+ipd)))
+	if b > 255 {
+		b = 255
+	}
+	return b
+}
+
+// StatFeatureNames labels the 8 flow-level statistical features used by
+// MLP-B, N3IC and Leo: max/min length and max/min IPD per direction
+// (8 × 16 bits = the 128-bit input scale of Table 5).
+var StatFeatureNames = []string{
+	"fwd_max_len", "fwd_min_len", "rev_max_len", "rev_min_len",
+	"fwd_max_ipd", "fwd_min_ipd", "rev_max_ipd", "rev_min_ipd",
+}
+
+// StatFeatures computes the 8 flow statistics over the first n packets
+// of the flow (whole flow when n <= 0). IPD stats are bucketed with
+// IPDBucket to stay in 16-bit register range; length stats are raw
+// bytes. Missing directions yield zeros.
+func StatFeatures(f *Flow, n int) []float64 {
+	if n <= 0 || n > len(f.Packets) {
+		n = len(f.Packets)
+	}
+	const inf = math.MaxInt32
+	maxLen := [2]int{0, 0}
+	minLen := [2]int{inf, inf}
+	maxIPD := [2]int{0, 0}
+	minIPD := [2]int{inf, inf}
+	lastTime := [2]uint64{}
+	seen := [2]bool{}
+	for i := 0; i < n; i++ {
+		p := &f.Packets[i]
+		d := p.Dir
+		if p.Len > maxLen[d] {
+			maxLen[d] = p.Len
+		}
+		if p.Len < minLen[d] {
+			minLen[d] = p.Len
+		}
+		if seen[d] {
+			ipd := IPDBucket(p.Time - lastTime[d])
+			if ipd > maxIPD[d] {
+				maxIPD[d] = ipd
+			}
+			if ipd < minIPD[d] {
+				minIPD[d] = ipd
+			}
+		}
+		lastTime[d] = p.Time
+		seen[d] = true
+	}
+	out := make([]float64, 8)
+	for d := 0; d < 2; d++ {
+		if !seen[d] {
+			minLen[d] = 0
+		}
+		if minIPD[d] == inf {
+			minIPD[d] = 0
+		}
+		out[d*2] = float64(maxLen[d])
+		out[d*2+1] = float64(minLen[d])
+		out[4+d*2] = float64(maxIPD[d])
+		out[4+d*2+1] = float64(minIPD[d])
+	}
+	return out
+}
+
+// SeqWindow is one model input window extracted from a flow.
+type SeqWindow struct {
+	// LenB and IPDB are the 8-bit length and IPD buckets per step.
+	LenB, IPDB []int
+	// Payload holds the per-packet payload bytes (window × PayloadBytes).
+	Payload [][PayloadBytes]byte
+	Class   int
+}
+
+// SeqWindows slices a flow into consecutive non-overlapping windows of w
+// packets each (discarding the ragged tail), producing the raw packet
+// sequences consumed by RNN-B, CNN-B/M/L and the AutoEncoder.
+func SeqWindows(f *Flow, w int) []SeqWindow {
+	if w <= 0 {
+		panic("netsim: window must be positive")
+	}
+	var out []SeqWindow
+	for start := 0; start+w <= len(f.Packets); start += w {
+		win := SeqWindow{
+			LenB:    make([]int, w),
+			IPDB:    make([]int, w),
+			Payload: make([][PayloadBytes]byte, w),
+			Class:   f.Class,
+		}
+		for i := 0; i < w; i++ {
+			p := &f.Packets[start+i]
+			win.LenB[i] = LenBucket(p.Len)
+			win.IPDB[i] = IPDBucket(f.IPD(start + i))
+			win.Payload[i] = p.Payload
+		}
+		out = append(out, win)
+	}
+	return out
+}
+
+// SeqFeatures flattens a window into the 2-features-per-step layout
+// (len bucket, ipd bucket) used as RNN/CNN input: w×2 values.
+func (w *SeqWindow) SeqFeatures() []float64 {
+	out := make([]float64, 0, 2*len(w.LenB))
+	for i := range w.LenB {
+		out = append(out, float64(w.LenB[i]), float64(w.IPDB[i]))
+	}
+	return out
+}
+
+// PayloadFeatures flattens the window's raw payload bytes into
+// w×PayloadBytes values in [0,255] — CNN-L's 3840-bit input.
+func (w *SeqWindow) PayloadFeatures() []float64 {
+	out := make([]float64, 0, len(w.Payload)*PayloadBytes)
+	for i := range w.Payload {
+		for _, b := range w.Payload[i] {
+			out = append(out, float64(b))
+		}
+	}
+	return out
+}

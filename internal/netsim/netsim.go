@@ -1,0 +1,105 @@
+// Package netsim provides the traffic substrate: packets, five-tuple
+// flows, a replay engine that merges flows into a time-ordered packet
+// stream (the role tcpreplay plays in the paper's testbed), and the
+// feature extractors the models consume — flow-level statistics,
+// length/IPD sequences, and raw payload bytes.
+package netsim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PayloadBytes is the number of raw payload bytes CNN-L extracts per
+// packet (60 bytes × 8 packets = 3840-bit input scale, Table 5).
+const PayloadBytes = 60
+
+// FiveTuple identifies a flow.
+type FiveTuple struct {
+	SrcIP, DstIP     uint32
+	SrcPort, DstPort uint16
+	Proto            uint8
+}
+
+// String renders the tuple in the usual notation.
+func (t FiveTuple) String() string {
+	return fmt.Sprintf("%s:%d→%s:%d/%d", ipStr(t.SrcIP), t.SrcPort, ipStr(t.DstIP), t.DstPort, t.Proto)
+}
+
+func ipStr(ip uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+}
+
+// Hash returns a deterministic slot hash of the tuple (FNV-1a), used to
+// index per-flow register arrays on the switch.
+func (t FiveTuple) Hash() uint32 {
+	const (
+		offset = 2166136261
+		prime  = 16777619
+	)
+	h := uint32(offset)
+	mix := func(b byte) {
+		h ^= uint32(b)
+		h *= prime
+	}
+	for i := 0; i < 4; i++ {
+		mix(byte(t.SrcIP >> (8 * i)))
+		mix(byte(t.DstIP >> (8 * i)))
+	}
+	mix(byte(t.SrcPort))
+	mix(byte(t.SrcPort >> 8))
+	mix(byte(t.DstPort))
+	mix(byte(t.DstPort >> 8))
+	mix(t.Proto)
+	return h
+}
+
+// Packet is one observed packet of a flow.
+type Packet struct {
+	// Time is the arrival timestamp in microseconds.
+	Time uint64
+	// Len is the wire length in bytes.
+	Len int
+	// Dir is 0 for client→server, 1 for the reverse direction.
+	Dir int
+	// Payload holds the first PayloadBytes bytes of the payload.
+	Payload [PayloadBytes]byte
+}
+
+// Flow is a labelled sequence of packets sharing a five-tuple.
+type Flow struct {
+	Tuple   FiveTuple
+	Class   int
+	Packets []Packet
+}
+
+// IPD returns the inter-packet delay (µs) preceding packet i of the
+// flow; the first packet has IPD 0.
+func (f *Flow) IPD(i int) uint64 {
+	if i <= 0 || i >= len(f.Packets) {
+		return 0
+	}
+	return f.Packets[i].Time - f.Packets[i-1].Time
+}
+
+// StreamPacket is one packet within a merged replay stream, annotated
+// with its source flow.
+type StreamPacket struct {
+	Flow *Flow
+	Idx  int // index within Flow.Packets
+}
+
+// Merge interleaves all flows into one time-ordered packet stream. Ties
+// break on flow order then packet index, so replay is deterministic.
+func Merge(flows []Flow) []StreamPacket {
+	var stream []StreamPacket
+	for fi := range flows {
+		for pi := range flows[fi].Packets {
+			stream = append(stream, StreamPacket{Flow: &flows[fi], Idx: pi})
+		}
+	}
+	sort.SliceStable(stream, func(a, b int) bool {
+		return stream[a].Flow.Packets[stream[a].Idx].Time < stream[b].Flow.Packets[stream[b].Idx].Time
+	})
+	return stream
+}

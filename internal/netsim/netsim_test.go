@@ -1,0 +1,189 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFiveTupleHashDeterministicAndSpread(t *testing.T) {
+	a := FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 6}
+	if a.Hash() != a.Hash() {
+		t.Fatal("hash not deterministic")
+	}
+	b := a
+	b.SrcPort = 5
+	if a.Hash() == b.Hash() {
+		t.Fatal("hash collision on near tuples (suspicious)")
+	}
+	if a.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestFlowIPD(t *testing.T) {
+	f := Flow{Packets: []Packet{{Time: 100}, {Time: 150}, {Time: 400}}}
+	if f.IPD(0) != 0 || f.IPD(1) != 50 || f.IPD(2) != 250 {
+		t.Fatalf("IPD = %d %d %d", f.IPD(0), f.IPD(1), f.IPD(2))
+	}
+	if f.IPD(-1) != 0 || f.IPD(99) != 0 {
+		t.Fatal("IPD out of range should be 0")
+	}
+}
+
+func TestMergeOrdersByTime(t *testing.T) {
+	flows := []Flow{
+		{Packets: []Packet{{Time: 10}, {Time: 30}}},
+		{Packets: []Packet{{Time: 5}, {Time: 20}, {Time: 40}}},
+	}
+	stream := Merge(flows)
+	if len(stream) != 5 {
+		t.Fatalf("stream len = %d", len(stream))
+	}
+	prev := uint64(0)
+	for _, sp := range stream {
+		tm := sp.Flow.Packets[sp.Idx].Time
+		if tm < prev {
+			t.Fatalf("stream not time ordered: %d after %d", tm, prev)
+		}
+		prev = tm
+	}
+}
+
+func TestLenBucketRangesAndClamp(t *testing.T) {
+	if LenBucket(0) != 0 || LenBucket(-5) != 0 {
+		t.Fatal("low clamp")
+	}
+	if LenBucket(1500) != 250 {
+		t.Fatalf("LenBucket(1500) = %d", LenBucket(1500))
+	}
+	if LenBucket(100000) != 255 {
+		t.Fatal("high clamp")
+	}
+	if LenBucket(60) != 10 {
+		t.Fatalf("LenBucket(60) = %d", LenBucket(60))
+	}
+}
+
+func TestIPDBucketMonotone(t *testing.T) {
+	prev := -1
+	for _, ipd := range []uint64{0, 1, 10, 100, 1000, 1e6, 1e9} {
+		b := IPDBucket(ipd)
+		if b < prev {
+			t.Fatalf("IPDBucket not monotone at %d", ipd)
+		}
+		if b < 0 || b > 255 {
+			t.Fatalf("IPDBucket out of range: %d", b)
+		}
+		prev = b
+	}
+	if IPDBucket(0) != 0 {
+		t.Fatal("IPDBucket(0) != 0")
+	}
+}
+
+func TestBucketPropertyBounds(t *testing.T) {
+	f := func(length int, ipd uint64) bool {
+		lb := LenBucket(length % 100000)
+		ib := IPDBucket(ipd % (1 << 40))
+		return lb >= 0 && lb <= 255 && ib >= 0 && ib <= 255
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatFeatures(t *testing.T) {
+	f := Flow{Packets: []Packet{
+		{Time: 0, Len: 100, Dir: 0},
+		{Time: 50, Len: 300, Dir: 0},
+		{Time: 60, Len: 900, Dir: 1},
+		{Time: 200, Len: 50, Dir: 1},
+	}}
+	feats := StatFeatures(&f, 0)
+	if len(feats) != 8 {
+		t.Fatalf("len = %d", len(feats))
+	}
+	if feats[0] != 300 || feats[1] != 100 { // fwd max/min len
+		t.Fatalf("fwd len stats = %v", feats[:2])
+	}
+	if feats[2] != 900 || feats[3] != 50 { // rev max/min len
+		t.Fatalf("rev len stats = %v", feats[2:4])
+	}
+	// fwd IPD: 50µs bucketed; only one gap so max == min.
+	if feats[4] != feats[5] || feats[4] != float64(IPDBucket(50)) {
+		t.Fatalf("fwd ipd stats = %v", feats[4:6])
+	}
+	// rev IPD gap: 140µs.
+	if feats[6] != float64(IPDBucket(140)) {
+		t.Fatalf("rev ipd max = %v", feats[6])
+	}
+}
+
+func TestStatFeaturesMissingDirection(t *testing.T) {
+	f := Flow{Packets: []Packet{{Time: 0, Len: 100, Dir: 0}, {Time: 10, Len: 200, Dir: 0}}}
+	feats := StatFeatures(&f, 0)
+	if feats[2] != 0 || feats[3] != 0 || feats[6] != 0 || feats[7] != 0 {
+		t.Fatalf("missing direction should zero: %v", feats)
+	}
+}
+
+func TestStatFeaturesPrefix(t *testing.T) {
+	f := Flow{Packets: []Packet{
+		{Time: 0, Len: 100, Dir: 0},
+		{Time: 10, Len: 1400, Dir: 0},
+	}}
+	feats := StatFeatures(&f, 1) // only first packet
+	if feats[0] != 100 {
+		t.Fatalf("prefix max len = %v", feats[0])
+	}
+}
+
+func TestSeqWindows(t *testing.T) {
+	f := Flow{Class: 2}
+	for i := 0; i < 19; i++ {
+		var p Packet
+		p.Time = uint64(i * 100)
+		p.Len = 60 * (i + 1)
+		p.Payload[0] = byte(i)
+		f.Packets = append(f.Packets, p)
+	}
+	wins := SeqWindows(&f, 8)
+	if len(wins) != 2 { // 19/8 = 2 full windows
+		t.Fatalf("windows = %d, want 2", len(wins))
+	}
+	w := wins[0]
+	if w.Class != 2 || len(w.LenB) != 8 || len(w.Payload) != 8 {
+		t.Fatalf("window shape: %+v", w)
+	}
+	if w.LenB[0] != LenBucket(60) || w.IPDB[0] != 0 {
+		t.Fatalf("first step: len %d ipd %d", w.LenB[0], w.IPDB[0])
+	}
+	if w.IPDB[1] != IPDBucket(100) {
+		t.Fatal("second step ipd")
+	}
+	// Second window starts at packet 8.
+	if wins[1].Payload[0][0] != 8 {
+		t.Fatal("second window payload offset")
+	}
+	sf := w.SeqFeatures()
+	if len(sf) != 16 || sf[0] != float64(w.LenB[0]) || sf[1] != float64(w.IPDB[0]) {
+		t.Fatalf("SeqFeatures = %v", sf[:2])
+	}
+	pf := w.PayloadFeatures()
+	if len(pf) != 8*PayloadBytes {
+		t.Fatalf("PayloadFeatures len = %d", len(pf))
+	}
+	if pf[0] != 0 || pf[PayloadBytes] != 1 {
+		t.Fatal("payload layout")
+	}
+}
+
+func TestSeqWindowsPanicsOnBadWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	f := Flow{}
+	SeqWindows(&f, 0)
+}

@@ -1,0 +1,114 @@
+package nn
+
+import (
+	"fmt"
+
+	"github.com/pegasus-idp/pegasus/internal/tensor"
+)
+
+// SegmentsAsBatch applies a shared sub-network independently to NSeg
+// equal-width chunks of each input row, concatenating the per-chunk
+// outputs. It is the training-time counterpart of the paper's Advanced
+// Primitive Fusion ❸ (Neural Additive Model structure): each Partition
+// segment owns an independent sub-model that the compiler later folds
+// into a single mapping table.
+//
+// Implementation: the R×(NSeg·SegDim) batch is reshaped to
+// (R·NSeg)×SegDim, pushed through Inner once (so layer caches remain
+// valid for backprop), and reshaped back.
+type SegmentsAsBatch struct {
+	NSeg, SegDim int
+	Inner        *Sequential
+	outDim       int
+}
+
+// NewSegmentsAsBatch wraps inner to run per segment.
+func NewSegmentsAsBatch(nseg, segDim int, inner *Sequential) *SegmentsAsBatch {
+	return &SegmentsAsBatch{NSeg: nseg, SegDim: segDim, Inner: inner, outDim: inner.OutDim(segDim)}
+}
+
+func (s *SegmentsAsBatch) Name() string {
+	return fmt.Sprintf("Segments(%d×%d→%d,%s)", s.NSeg, s.SegDim, s.outDim, s.Inner)
+}
+func (s *SegmentsAsBatch) OutDim(in int) int { return s.NSeg * s.outDim }
+func (s *SegmentsAsBatch) Params() []*Param  { return s.Inner.Params() }
+
+func (s *SegmentsAsBatch) Forward(x *tensor.Mat, train bool) *tensor.Mat {
+	shapeCheck("SegmentsAsBatch", x, s.NSeg*s.SegDim)
+	big := tensor.New(x.R*s.NSeg, s.SegDim)
+	for i := 0; i < x.R; i++ {
+		row := x.Row(i)
+		for g := 0; g < s.NSeg; g++ {
+			copy(big.Row(i*s.NSeg+g), row[g*s.SegDim:(g+1)*s.SegDim])
+		}
+	}
+	out := s.Inner.Forward(big, train)
+	res := tensor.New(x.R, s.NSeg*s.outDim)
+	for i := 0; i < x.R; i++ {
+		row := res.Row(i)
+		for g := 0; g < s.NSeg; g++ {
+			copy(row[g*s.outDim:(g+1)*s.outDim], out.Row(i*s.NSeg+g))
+		}
+	}
+	return res
+}
+
+func (s *SegmentsAsBatch) Backward(grad *tensor.Mat) *tensor.Mat {
+	big := tensor.New(grad.R*s.NSeg, s.outDim)
+	for i := 0; i < grad.R; i++ {
+		row := grad.Row(i)
+		for g := 0; g < s.NSeg; g++ {
+			copy(big.Row(i*s.NSeg+g), row[g*s.outDim:(g+1)*s.outDim])
+		}
+	}
+	gin := s.Inner.Backward(big)
+	res := tensor.New(grad.R, s.NSeg*s.SegDim)
+	for i := 0; i < grad.R; i++ {
+		row := res.Row(i)
+		for g := 0; g < s.NSeg; g++ {
+			copy(row[g*s.SegDim:(g+1)*s.SegDim], gin.Row(i*s.NSeg+g))
+		}
+	}
+	return res
+}
+
+// SumSegments sums NSeg equal-width chunks of each row element-wise —
+// the training-time SumReduce. Combined with SegmentsAsBatch it builds
+// the "sum of per-segment sub-models" architecture of Advanced Fusion ❸.
+type SumSegments struct {
+	NSeg, Dim int
+}
+
+// NewSumSegments sums nseg chunks of width dim.
+func NewSumSegments(nseg, dim int) *SumSegments { return &SumSegments{NSeg: nseg, Dim: dim} }
+
+func (s *SumSegments) Name() string      { return fmt.Sprintf("SumSegments(%d×%d)", s.NSeg, s.Dim) }
+func (s *SumSegments) OutDim(in int) int { return s.Dim }
+func (s *SumSegments) Params() []*Param  { return nil }
+
+func (s *SumSegments) Forward(x *tensor.Mat, train bool) *tensor.Mat {
+	shapeCheck("SumSegments", x, s.NSeg*s.Dim)
+	out := tensor.New(x.R, s.Dim)
+	for i := 0; i < x.R; i++ {
+		row := x.Row(i)
+		orow := out.Row(i)
+		for g := 0; g < s.NSeg; g++ {
+			for j := 0; j < s.Dim; j++ {
+				orow[j] += row[g*s.Dim+j]
+			}
+		}
+	}
+	return out
+}
+
+func (s *SumSegments) Backward(grad *tensor.Mat) *tensor.Mat {
+	out := tensor.New(grad.R, s.NSeg*s.Dim)
+	for i := 0; i < grad.R; i++ {
+		grow := grad.Row(i)
+		orow := out.Row(i)
+		for g := 0; g < s.NSeg; g++ {
+			copy(orow[g*s.Dim:(g+1)*s.Dim], grow)
+		}
+	}
+	return out
+}

@@ -1,0 +1,216 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/pegasus-idp/pegasus/internal/tensor"
+)
+
+// Conv1d is a one-dimensional convolution over per-row flattened T×C
+// sequences — the building block of the paper's textcnn models (CNN-B/M/L
+// follow Zhang & Wallace's architecture). Each batch row is reshaped to
+// T×Cin, convolved, and the Tout×Cout result re-flattened.
+type Conv1d struct {
+	T, Cin, Cout, K, Stride int
+	Kernels                 *Param // Cout×(K*Cin)
+	Bias                    *Param // 1×Cout
+	lastX                   *tensor.Mat
+}
+
+// NewConv1d constructs a Conv1d layer for T×cin sequences.
+func NewConv1d(t, cin, cout, k, stride int, rng *rand.Rand) *Conv1d {
+	if (t-k)/stride+1 <= 0 {
+		panic(fmt.Sprintf("nn: Conv1d T=%d K=%d stride=%d yields empty output", t, k, stride))
+	}
+	c := &Conv1d{T: t, Cin: cin, Cout: cout, K: k, Stride: stride,
+		Kernels: newParam(fmt.Sprintf("conv%d.k", cout), cout, k*cin),
+		Bias:    newParam(fmt.Sprintf("conv%d.b", cout), 1, cout),
+	}
+	c.Kernels.W.Randn(rng, math.Sqrt(2/float64(k*cin)))
+	return c
+}
+
+// Tout returns the output sequence length.
+func (c *Conv1d) Tout() int { return (c.T-c.K)/c.Stride + 1 }
+
+func (c *Conv1d) Name() string {
+	return fmt.Sprintf("Conv1d(T=%d,%d→%d,k=%d,s=%d)", c.T, c.Cin, c.Cout, c.K, c.Stride)
+}
+func (c *Conv1d) OutDim(in int) int { return c.Tout() * c.Cout }
+func (c *Conv1d) Params() []*Param  { return []*Param{c.Kernels, c.Bias} }
+
+func (c *Conv1d) Forward(x *tensor.Mat, train bool) *tensor.Mat {
+	shapeCheck("Conv1d", x, c.T*c.Cin)
+	if train {
+		c.lastX = x
+	}
+	out := tensor.New(x.R, c.Tout()*c.Cout)
+	for i := 0; i < x.R; i++ {
+		seq := tensor.FromSlice(c.T, c.Cin, x.Row(i))
+		res := tensor.Conv1D(seq, c.Kernels.W, c.Bias.W, c.K, c.Stride)
+		copy(out.Row(i), res.D)
+	}
+	return out
+}
+
+func (c *Conv1d) Backward(grad *tensor.Mat) *tensor.Mat {
+	out := tensor.New(grad.R, c.T*c.Cin)
+	for i := 0; i < grad.R; i++ {
+		seq := tensor.FromSlice(c.T, c.Cin, c.lastX.Row(i))
+		g := tensor.FromSlice(c.Tout(), c.Cout, grad.Row(i))
+		gi, gk, gb := tensor.Conv1DBackward(seq, c.Kernels.W, g, c.K, c.Stride)
+		copy(out.Row(i), gi.D)
+		c.Kernels.G.Add(gk)
+		c.Bias.G.Add(gb)
+	}
+	return out
+}
+
+// MaxPool1d applies per-channel max pooling over per-row T×C sequences.
+type MaxPool1d struct {
+	T, C, W, S int
+	lastArg    [][][]int // per sample: pooled-row × channel → source row
+}
+
+// NewMaxPool1d constructs a pooling layer over T×c sequences.
+func NewMaxPool1d(t, c, w, s int) *MaxPool1d {
+	if (t-w)/s+1 <= 0 {
+		panic(fmt.Sprintf("nn: MaxPool1d T=%d W=%d S=%d yields empty output", t, w, s))
+	}
+	return &MaxPool1d{T: t, C: c, W: w, S: s}
+}
+
+// Tout returns the pooled sequence length.
+func (p *MaxPool1d) Tout() int { return (p.T-p.W)/p.S + 1 }
+
+func (p *MaxPool1d) Name() string      { return fmt.Sprintf("MaxPool1d(w=%d,s=%d)", p.W, p.S) }
+func (p *MaxPool1d) OutDim(in int) int { return p.Tout() * p.C }
+func (p *MaxPool1d) Params() []*Param  { return nil }
+
+func (p *MaxPool1d) Forward(x *tensor.Mat, train bool) *tensor.Mat {
+	shapeCheck("MaxPool1d", x, p.T*p.C)
+	out := tensor.New(x.R, p.Tout()*p.C)
+	if train {
+		p.lastArg = make([][][]int, x.R)
+	}
+	for i := 0; i < x.R; i++ {
+		seq := tensor.FromSlice(p.T, p.C, x.Row(i))
+		res, arg := tensor.MaxPool1D(seq, p.W, p.S)
+		copy(out.Row(i), res.D)
+		if train {
+			p.lastArg[i] = arg
+		}
+	}
+	return out
+}
+
+func (p *MaxPool1d) Backward(grad *tensor.Mat) *tensor.Mat {
+	out := tensor.New(grad.R, p.T*p.C)
+	for i := 0; i < grad.R; i++ {
+		g := tensor.FromSlice(p.Tout(), p.C, grad.Row(i))
+		orow := out.Row(i)
+		for t := 0; t < g.R; t++ {
+			for c := 0; c < p.C; c++ {
+				src := p.lastArg[i][t][c]
+				orow[src*p.C+c] += g.At(t, c)
+			}
+		}
+	}
+	return out
+}
+
+// GlobalMaxPool reduces each per-row T×C sequence to its per-channel
+// maximum (1×C), as used after the parallel convolution branches of the
+// textcnn architecture.
+type GlobalMaxPool struct {
+	T, C    int
+	lastArg [][]int
+}
+
+// NewGlobalMaxPool constructs the layer for T×c sequences.
+func NewGlobalMaxPool(t, c int) *GlobalMaxPool { return &GlobalMaxPool{T: t, C: c} }
+
+func (p *GlobalMaxPool) Name() string      { return fmt.Sprintf("GlobalMaxPool(T=%d,C=%d)", p.T, p.C) }
+func (p *GlobalMaxPool) OutDim(in int) int { return p.C }
+func (p *GlobalMaxPool) Params() []*Param  { return nil }
+
+func (p *GlobalMaxPool) Forward(x *tensor.Mat, train bool) *tensor.Mat {
+	shapeCheck("GlobalMaxPool", x, p.T*p.C)
+	out := tensor.New(x.R, p.C)
+	if train {
+		p.lastArg = make([][]int, x.R)
+	}
+	for i := 0; i < x.R; i++ {
+		seq := tensor.FromSlice(p.T, p.C, x.Row(i))
+		res, arg := tensor.GlobalMaxPool(seq)
+		copy(out.Row(i), res.D)
+		if train {
+			p.lastArg[i] = arg
+		}
+	}
+	return out
+}
+
+func (p *GlobalMaxPool) Backward(grad *tensor.Mat) *tensor.Mat {
+	out := tensor.New(grad.R, p.T*p.C)
+	for i := 0; i < grad.R; i++ {
+		orow := out.Row(i)
+		for c := 0; c < p.C; c++ {
+			src := p.lastArg[i][c]
+			orow[src*p.C+c] += grad.At(i, c)
+		}
+	}
+	return out
+}
+
+// AvgPool1d applies per-channel average pooling over per-row T×C
+// sequences (Table 4's Pool operator, Multi-Input Operation).
+type AvgPool1d struct {
+	T, C, W, S int
+}
+
+// NewAvgPool1d constructs the layer for T×c sequences.
+func NewAvgPool1d(t, c, w, s int) *AvgPool1d {
+	if (t-w)/s+1 <= 0 {
+		panic(fmt.Sprintf("nn: AvgPool1d T=%d W=%d S=%d yields empty output", t, w, s))
+	}
+	return &AvgPool1d{T: t, C: c, W: w, S: s}
+}
+
+// Tout returns the pooled sequence length.
+func (p *AvgPool1d) Tout() int { return (p.T-p.W)/p.S + 1 }
+
+func (p *AvgPool1d) Name() string      { return fmt.Sprintf("AvgPool1d(w=%d,s=%d)", p.W, p.S) }
+func (p *AvgPool1d) OutDim(in int) int { return p.Tout() * p.C }
+func (p *AvgPool1d) Params() []*Param  { return nil }
+
+func (p *AvgPool1d) Forward(x *tensor.Mat, train bool) *tensor.Mat {
+	shapeCheck("AvgPool1d", x, p.T*p.C)
+	out := tensor.New(x.R, p.Tout()*p.C)
+	for i := 0; i < x.R; i++ {
+		seq := tensor.FromSlice(p.T, p.C, x.Row(i))
+		res := tensor.AvgPool1D(seq, p.W, p.S)
+		copy(out.Row(i), res.D)
+	}
+	return out
+}
+
+func (p *AvgPool1d) Backward(grad *tensor.Mat) *tensor.Mat {
+	out := tensor.New(grad.R, p.T*p.C)
+	inv := 1 / float64(p.W)
+	for i := 0; i < grad.R; i++ {
+		g := tensor.FromSlice(p.Tout(), p.C, grad.Row(i))
+		orow := out.Row(i)
+		for t := 0; t < g.R; t++ {
+			start := t * p.S
+			for dt := 0; dt < p.W; dt++ {
+				for c := 0; c < p.C; c++ {
+					orow[(start+dt)*p.C+c] += g.At(t, c) * inv
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/pegasus-idp/pegasus/internal/tensor"
+)
+
+// Embedding maps T discrete indices per row to T concatenated dense
+// vectors — the paper's Emb layer ("Embedding Lookup... an indexing
+// function f(x) = E[x], efficiently implemented using the Map
+// primitive"). Inputs are float-encoded integer indices in [0,Vocab);
+// out-of-range indices are clamped, matching table-lookup semantics on
+// the dataplane where every key hits some entry.
+type Embedding struct {
+	Vocab, Dim, T int
+	Table         *Param // Vocab×Dim
+	lastIdx       [][]int
+}
+
+// NewEmbedding constructs an embedding of vocab entries of width dim,
+// applied to rows of t indices.
+func NewEmbedding(vocab, dim, t int, rng *rand.Rand) *Embedding {
+	e := &Embedding{Vocab: vocab, Dim: dim, T: t,
+		Table: newParam(fmt.Sprintf("emb%dx%d", vocab, dim), vocab, dim)}
+	e.Table.W.Randn(rng, 0.1)
+	return e
+}
+
+func (e *Embedding) Name() string      { return fmt.Sprintf("Embedding(%d,%d,T=%d)", e.Vocab, e.Dim, e.T) }
+func (e *Embedding) OutDim(in int) int { return e.T * e.Dim }
+func (e *Embedding) Params() []*Param  { return []*Param{e.Table} }
+
+// Lookup clamps and returns the integer index for a float-encoded input.
+func (e *Embedding) Lookup(v float64) int {
+	idx := int(v)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= e.Vocab {
+		idx = e.Vocab - 1
+	}
+	return idx
+}
+
+func (e *Embedding) Forward(x *tensor.Mat, train bool) *tensor.Mat {
+	shapeCheck("Embedding", x, e.T)
+	out := tensor.New(x.R, e.T*e.Dim)
+	if train {
+		e.lastIdx = make([][]int, x.R)
+	}
+	for i := 0; i < x.R; i++ {
+		row := x.Row(i)
+		orow := out.Row(i)
+		var idxs []int
+		if train {
+			idxs = make([]int, e.T)
+		}
+		for t, v := range row {
+			idx := e.Lookup(v)
+			if train {
+				idxs[t] = idx
+			}
+			copy(orow[t*e.Dim:(t+1)*e.Dim], e.Table.W.Row(idx))
+		}
+		if train {
+			e.lastIdx[i] = idxs
+		}
+	}
+	return out
+}
+
+func (e *Embedding) Backward(grad *tensor.Mat) *tensor.Mat {
+	for i := 0; i < grad.R; i++ {
+		grow := grad.Row(i)
+		for t, idx := range e.lastIdx[i] {
+			dst := e.Table.G.Row(idx)
+			src := grow[t*e.Dim : (t+1)*e.Dim]
+			for j, v := range src {
+				dst[j] += v
+			}
+		}
+	}
+	// Discrete inputs: no gradient flows to indices.
+	return tensor.New(grad.R, e.T)
+}

@@ -1,0 +1,104 @@
+package nn
+
+import (
+	"math"
+
+	"github.com/pegasus-idp/pegasus/internal/tensor"
+)
+
+// Loss computes a scalar objective and the gradient of that objective
+// with respect to the network output.
+type Loss interface {
+	// Eval returns (loss value, dL/dout) for predictions out and targets.
+	Eval(out *tensor.Mat, targets *tensor.Mat) (float64, *tensor.Mat)
+}
+
+// SoftmaxCrossEntropy fuses softmax with categorical cross-entropy for a
+// numerically stable gradient (probs − one-hot). Targets are class
+// indices stored in a R×1 matrix.
+type SoftmaxCrossEntropy struct{}
+
+// Eval implements Loss. targets must be R×1 class indices.
+func (SoftmaxCrossEntropy) Eval(out, targets *tensor.Mat) (float64, *tensor.Mat) {
+	if targets.R != out.R || targets.C != 1 {
+		panic("nn: SoftmaxCrossEntropy targets must be R×1 class indices")
+	}
+	grad := tensor.New(out.R, out.C)
+	loss := 0.0
+	probs := make([]float64, out.C)
+	inv := 1 / float64(out.R)
+	for i := 0; i < out.R; i++ {
+		SoftmaxRow(out.Row(i), probs)
+		cls := int(targets.At(i, 0))
+		loss += -math.Log(math.Max(probs[cls], 1e-12))
+		grow := grad.Row(i)
+		for j, p := range probs {
+			grow[j] = p * inv
+		}
+		grow[cls] -= inv
+	}
+	return loss * inv, grad
+}
+
+// MSE is mean squared error over all elements, used to train the
+// AutoEncoder reconstruction.
+type MSE struct{}
+
+// Eval implements Loss.
+func (MSE) Eval(out, targets *tensor.Mat) (float64, *tensor.Mat) {
+	if out.R != targets.R || out.C != targets.C {
+		panic("nn: MSE shape mismatch")
+	}
+	grad := tensor.New(out.R, out.C)
+	loss := 0.0
+	n := float64(len(out.D))
+	for i := range out.D {
+		d := out.D[i] - targets.D[i]
+		loss += d * d
+		grad.D[i] = 2 * d / n
+	}
+	return loss / n, grad
+}
+
+// MAE is mean absolute error; the paper uses MAE reconstruction error to
+// score anomalies on the dataplane (§6.3, §7.4).
+type MAE struct{}
+
+// Eval implements Loss.
+func (MAE) Eval(out, targets *tensor.Mat) (float64, *tensor.Mat) {
+	if out.R != targets.R || out.C != targets.C {
+		panic("nn: MAE shape mismatch")
+	}
+	grad := tensor.New(out.R, out.C)
+	loss := 0.0
+	n := float64(len(out.D))
+	for i := range out.D {
+		d := out.D[i] - targets.D[i]
+		loss += math.Abs(d)
+		switch {
+		case d > 0:
+			grad.D[i] = 1 / n
+		case d < 0:
+			grad.D[i] = -1 / n
+		}
+	}
+	return loss / n, grad
+}
+
+// MAEScore returns the per-row mean absolute reconstruction error — the
+// anomaly score computed on the switch.
+func MAEScore(out, targets *tensor.Mat) []float64 {
+	if out.R != targets.R || out.C != targets.C {
+		panic("nn: MAEScore shape mismatch")
+	}
+	scores := make([]float64, out.R)
+	for i := 0; i < out.R; i++ {
+		o, tg := out.Row(i), targets.Row(i)
+		s := 0.0
+		for j := range o {
+			s += math.Abs(o[j] - tg[j])
+		}
+		scores[i] = s / float64(out.C)
+	}
+	return scores
+}

@@ -1,0 +1,138 @@
+// Package nn is a from-scratch deep-learning framework: the training and
+// full-precision inference substrate beneath Pegasus.
+//
+// The paper trains its model zoo (MLP-B, RNN-B, CNN-B/M/L, AutoEncoder)
+// off-switch at full precision, then compiles the trained models into
+// dataplane primitives. This package supplies those training semantics:
+// every layer of Table 4 (FC, Conv, Act, Norm, Pool, Rec, Emb) with full
+// backpropagation, SGD/Adam optimisers and a deterministic training loop.
+//
+// All layers map a batch matrix (rows = samples) to a batch matrix;
+// sequence-aware layers (Conv1d, pooling, RNN) interpret each row as a
+// flattened T×C sequence. This keeps the full zoo on one code path.
+package nn
+
+import (
+	"fmt"
+
+	"github.com/pegasus-idp/pegasus/internal/tensor"
+)
+
+// Param is a trainable parameter with its gradient accumulator.
+type Param struct {
+	Name string
+	W    *tensor.Mat
+	G    *tensor.Mat
+}
+
+func newParam(name string, r, c int) *Param {
+	return &Param{Name: name, W: tensor.New(r, c), G: tensor.New(r, c)}
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() { p.G.Zero() }
+
+// Layer is one differentiable stage of a network.
+type Layer interface {
+	// Name returns a short identifier for diagnostics and compilation.
+	Name() string
+	// OutDim returns the per-sample output width given the input width.
+	OutDim(inDim int) int
+	// Forward maps a batch (rows = samples) to the layer output. train
+	// selects training semantics (e.g. batch statistics in BatchNorm).
+	Forward(x *tensor.Mat, train bool) *tensor.Mat
+	// Backward consumes dL/dout for the most recent Forward(train=true)
+	// call, accumulates parameter gradients, and returns dL/din.
+	Backward(grad *tensor.Mat) *tensor.Mat
+	// Params returns the trainable parameters (possibly empty).
+	Params() []*Param
+}
+
+// Sequential chains layers into a network.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a network from layers in order.
+func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
+
+// Forward runs all layers in order.
+func (s *Sequential) Forward(x *tensor.Mat, train bool) *tensor.Mat {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward propagates dL/dout back through all layers.
+func (s *Sequential) Backward(grad *tensor.Mat) *tensor.Mat {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params returns all trainable parameters of the network.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrad clears every parameter gradient.
+func (s *Sequential) ZeroGrad() {
+	for _, p := range s.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// OutDim computes the network's per-sample output width for inDim inputs.
+func (s *Sequential) OutDim(inDim int) int {
+	for _, l := range s.Layers {
+		inDim = l.OutDim(inDim)
+	}
+	return inDim
+}
+
+// NumParams returns the total scalar parameter count.
+func (s *Sequential) NumParams() int {
+	n := 0
+	for _, p := range s.Params() {
+		n += len(p.W.D)
+	}
+	return n
+}
+
+// SizeBits returns the model size in bits assuming 32-bit parameters,
+// matching the "Model Size (Kb)" accounting of Table 5.
+func (s *Sequential) SizeBits() int { return s.NumParams() * 32 }
+
+// Predict returns the argmax class per row of the network output.
+func (s *Sequential) Predict(x *tensor.Mat) []int {
+	out := s.Forward(x, false)
+	classes := make([]int, out.R)
+	for i := range classes {
+		classes[i] = out.ArgmaxRow(i)
+	}
+	return classes
+}
+
+// String summarises the architecture.
+func (s *Sequential) String() string {
+	str := "Sequential["
+	for i, l := range s.Layers {
+		if i > 0 {
+			str += " → "
+		}
+		str += l.Name()
+	}
+	return str + "]"
+}
+
+func shapeCheck(layer string, x *tensor.Mat, wantCols int) {
+	if x.C != wantCols {
+		panic(fmt.Sprintf("nn: %s expects %d input columns, got %dx%d", layer, wantCols, x.R, x.C))
+	}
+}

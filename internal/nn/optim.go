@@ -1,0 +1,77 @@
+package nn
+
+import "math"
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update to every parameter and zeroes gradients.
+	Step(params []*Param)
+}
+
+// SGD is stochastic gradient descent with classical momentum and optional
+// L2 weight decay.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	Decay    float64
+	vel      map[*Param][]float64
+}
+
+// NewSGD constructs an SGD optimizer.
+func NewSGD(lr, momentum, decay float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, Decay: decay, vel: map[*Param][]float64{}}
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step(params []*Param) {
+	for _, p := range params {
+		v, ok := s.vel[p]
+		if !ok {
+			v = make([]float64, len(p.W.D))
+			s.vel[p] = v
+		}
+		for i := range p.W.D {
+			g := p.G.D[i] + s.Decay*p.W.D[i]
+			v[i] = s.Momentum*v[i] - s.LR*g
+			p.W.D[i] += v[i]
+		}
+		p.ZeroGrad()
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba) with bias correction.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	t                     int
+	m, v                  map[*Param][]float64
+}
+
+// NewAdam constructs an Adam optimizer with the usual defaults for the
+// moment coefficients.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: map[*Param][]float64{}, v: map[*Param][]float64{}}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []*Param) {
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		m, ok := a.m[p]
+		if !ok {
+			m = make([]float64, len(p.W.D))
+			a.m[p] = m
+			a.v[p] = make([]float64, len(p.W.D))
+		}
+		v := a.v[p]
+		for i := range p.W.D {
+			g := p.G.D[i]
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
+			p.W.D[i] -= a.LR * (m[i] / c1) / (math.Sqrt(v[i]/c2) + a.Eps)
+		}
+		p.ZeroGrad()
+	}
+}

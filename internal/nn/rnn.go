@@ -1,0 +1,94 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/pegasus-idp/pegasus/internal/tensor"
+)
+
+// RNN is a windowed Elman recurrent layer following the BoS design the
+// paper's RNN-B builds on: the switch processes a fixed window of time
+// steps per inference, so there is no hidden-state write-back across
+// windows. Each batch row is a flattened T×Cin sequence; the layer
+// unrolls h_t = tanh(Wx·x_t + Wh·h_{t-1} + b) for t = 1..T with h_0 = 0
+// and outputs the final hidden state h_T (1×Hidden per row).
+type RNN struct {
+	T, Cin, Hidden int
+	Wx             *Param // Hidden×Cin
+	Wh             *Param // Hidden×Hidden
+	Bias           *Param // 1×Hidden
+
+	lastX *tensor.Mat
+	lastH []*tensor.Mat // per time step (including h_0), batch×Hidden
+}
+
+// NewRNN constructs a windowed RNN over T×cin sequences.
+func NewRNN(t, cin, hidden int, rng *rand.Rand) *RNN {
+	r := &RNN{T: t, Cin: cin, Hidden: hidden,
+		Wx:   newParam("rnn.wx", hidden, cin),
+		Wh:   newParam("rnn.wh", hidden, hidden),
+		Bias: newParam("rnn.b", 1, hidden),
+	}
+	r.Wx.W.Randn(rng, math.Sqrt(1/float64(cin)))
+	r.Wh.W.Randn(rng, math.Sqrt(1/float64(hidden)))
+	return r
+}
+
+func (r *RNN) Name() string      { return fmt.Sprintf("RNN(T=%d,%d→%d)", r.T, r.Cin, r.Hidden) }
+func (r *RNN) OutDim(in int) int { return r.Hidden }
+func (r *RNN) Params() []*Param  { return []*Param{r.Wx, r.Wh, r.Bias} }
+
+func (r *RNN) Forward(x *tensor.Mat, train bool) *tensor.Mat {
+	shapeCheck("RNN", x, r.T*r.Cin)
+	n := x.R
+	h := tensor.New(n, r.Hidden) // h_0 = 0
+	hs := []*tensor.Mat{h}
+	for t := 0; t < r.T; t++ {
+		xt := tensor.New(n, r.Cin)
+		for i := 0; i < n; i++ {
+			copy(xt.Row(i), x.Row(i)[t*r.Cin:(t+1)*r.Cin])
+		}
+		pre := tensor.MatMulT(nil, xt, r.Wx.W)
+		pre.Add(tensor.MatMulT(nil, h, r.Wh.W))
+		pre.AddRowVec(r.Bias.W)
+		h = pre.Apply(math.Tanh)
+		hs = append(hs, h)
+	}
+	if train {
+		r.lastX = x
+		r.lastH = hs
+	}
+	return h.Clone()
+}
+
+func (r *RNN) Backward(grad *tensor.Mat) *tensor.Mat {
+	n := grad.R
+	dx := tensor.New(n, r.T*r.Cin)
+	dh := grad.Clone()
+	for t := r.T - 1; t >= 0; t-- {
+		ht := r.lastH[t+1]
+		// dPre = dh ⊙ (1 - h²)
+		dpre := tensor.New(n, r.Hidden)
+		for i := range dpre.D {
+			dpre.D[i] = dh.D[i] * (1 - ht.D[i]*ht.D[i])
+		}
+		// Rebuild x_t view.
+		xt := tensor.New(n, r.Cin)
+		for i := 0; i < n; i++ {
+			copy(xt.Row(i), r.lastX.Row(i)[t*r.Cin:(t+1)*r.Cin])
+		}
+		r.Wx.G.Add(tensor.TMatMul(nil, dpre, xt))
+		r.Wh.G.Add(tensor.TMatMul(nil, dpre, r.lastH[t]))
+		r.Bias.G.Add(dpre.ColSums())
+		// dx_t = dpre · Wx
+		dxt := tensor.MatMul(nil, dpre, r.Wx.W)
+		for i := 0; i < n; i++ {
+			copy(dx.Row(i)[t*r.Cin:(t+1)*r.Cin], dxt.Row(i))
+		}
+		// dh_{t-1} = dpre · Wh
+		dh = tensor.MatMul(nil, dpre, r.Wh.W)
+	}
+	return dx
+}

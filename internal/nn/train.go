@@ -1,0 +1,100 @@
+package nn
+
+import (
+	"math/rand"
+
+	"github.com/pegasus-idp/pegasus/internal/tensor"
+)
+
+// TrainConfig controls a Fit run. Zero values get sensible defaults.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	// Seed drives mini-batch shuffling for deterministic runs.
+	Seed int64
+	// Verbose, when non-nil, is invoked with (epoch, loss) after each epoch.
+	Verbose func(epoch int, loss float64)
+}
+
+func (c *TrainConfig) defaults() {
+	if c.Epochs == 0 {
+		c.Epochs = 10
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 32
+	}
+}
+
+// Fit trains net to map xs rows to targets rows, returning the per-epoch
+// mean loss history. targets layout depends on the loss (class indices
+// for cross-entropy, dense rows for reconstruction losses).
+func Fit(net *Sequential, xs, targets *tensor.Mat, loss Loss, opt Optimizer, cfg TrainConfig) []float64 {
+	cfg.defaults()
+	if xs.R != targets.R {
+		panic("nn: Fit row count mismatch")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	order := make([]int, xs.R)
+	for i := range order {
+		order[i] = i
+	}
+	history := make([]float64, 0, cfg.Epochs)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		total, batches := 0.0, 0
+		for start := 0; start < len(order); start += cfg.BatchSize {
+			end := min(start+cfg.BatchSize, len(order))
+			bx := tensor.New(end-start, xs.C)
+			bt := tensor.New(end-start, targets.C)
+			for i, idx := range order[start:end] {
+				copy(bx.Row(i), xs.Row(idx))
+				copy(bt.Row(i), targets.Row(idx))
+			}
+			out := net.Forward(bx, true)
+			l, grad := loss.Eval(out, bt)
+			net.Backward(grad)
+			opt.Step(net.Params())
+			total += l
+			batches++
+		}
+		avg := total / float64(batches)
+		history = append(history, avg)
+		if cfg.Verbose != nil {
+			cfg.Verbose(epoch, avg)
+		}
+	}
+	return history
+}
+
+// ClassTargets packs integer class labels into the R×1 matrix layout
+// expected by SoftmaxCrossEntropy.
+func ClassTargets(labels []int) *tensor.Mat {
+	m := tensor.New(len(labels), 1)
+	for i, l := range labels {
+		m.D[i] = float64(l)
+	}
+	return m
+}
+
+// Accuracy returns the fraction of rows whose argmax prediction matches
+// labels.
+func Accuracy(net *Sequential, xs *tensor.Mat, labels []int) float64 {
+	if xs.R == 0 {
+		return 0
+	}
+	pred := net.Predict(xs)
+	hit := 0
+	for i, p := range pred {
+		if p == labels[i] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(labels))
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,128 @@
+// Package pisa simulates a PISA programmable switch pipeline — the
+// hardware substrate the paper deploys Pegasus on (Barefoot Tofino 2).
+//
+// The simulator implements exactly the mechanisms Pegasus relies on and
+// nothing the hardware does not offer: match-action tables with exact or
+// ternary (TCAM) matching, a restricted per-action ALU (set/move/add/
+// sub/shift/bit ops/compare-select — no multiply, no divide, no floats),
+// per-flow stateful register arrays with one read-modify-write per
+// packet, and hard per-stage resource budgets (SRAM, TCAM, action data
+// bus) plus pipeline-wide limits (stage count, PHV bits). Programs that
+// exceed a budget fail validation, which is how the paper's scalability
+// story becomes observable in this reproduction.
+package pisa
+
+import (
+	"fmt"
+)
+
+// Capacity describes the hardware limits of one switch pipeline.
+type Capacity struct {
+	Stages           int
+	SRAMBitsPerStage int
+	TCAMBitsPerStage int
+	BusBits          int
+	PHVBits          int
+}
+
+// Tofino2 mirrors the figures quoted in §2 of the paper: 20 MAT stages,
+// each with 10 Mb SRAM, 0.5 Mb TCAM and a 1024-bit action data bus, and a
+// 4096-bit packet header vector.
+var Tofino2 = Capacity{
+	Stages:           20,
+	SRAMBitsPerStage: 10 * 1024 * 1024,
+	TCAMBitsPerStage: 512 * 1024,
+	BusBits:          1024,
+	PHVBits:          4096,
+}
+
+// LineRatePPS is the packet throughput we attribute to the simulated
+// switch for Figure 9d. Tofino 2 forwards 12.8 Tb/s; at the ~850-byte
+// average packet of the evaluation traces that is ≈1.9e9 packets/s. Any
+// compiled program runs at line rate — model size does not change
+// dataplane throughput, which is the paper's point.
+const LineRatePPS = 1.9e9
+
+// FieldID names a PHV container allocated through a Layout.
+type FieldID int
+
+// Layout allocates named PHV fields and tracks their widths. The zero
+// value is ready to use.
+type Layout struct {
+	names  []string
+	widths []int
+	byName map[string]FieldID
+}
+
+// Add allocates a new field of the given bit width and returns its ID.
+// Duplicate names are rejected.
+func (l *Layout) Add(name string, width int) (FieldID, error) {
+	if width <= 0 || width > 32 {
+		return 0, fmt.Errorf("pisa: field %q width %d out of range [1,32]", name, width)
+	}
+	if l.byName == nil {
+		l.byName = map[string]FieldID{}
+	}
+	if _, dup := l.byName[name]; dup {
+		return 0, fmt.Errorf("pisa: duplicate field %q", name)
+	}
+	id := FieldID(len(l.names))
+	l.names = append(l.names, name)
+	l.widths = append(l.widths, width)
+	l.byName[name] = id
+	return id, nil
+}
+
+// MustAdd is Add that panics on error, for compiler-internal layouts.
+func (l *Layout) MustAdd(name string, width int) FieldID {
+	id, err := l.Add(name, width)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Lookup returns the field ID for name.
+func (l *Layout) Lookup(name string) (FieldID, bool) {
+	id, ok := l.byName[name]
+	return id, ok
+}
+
+// Name returns the name of field id.
+func (l *Layout) Name(id FieldID) string { return l.names[id] }
+
+// Width returns the bit width of field id.
+func (l *Layout) Width(id FieldID) int { return l.widths[id] }
+
+// NumFields returns the number of allocated fields.
+func (l *Layout) NumFields() int { return len(l.names) }
+
+// TotalBits returns the PHV bits consumed by all fields.
+func (l *Layout) TotalBits() int {
+	n := 0
+	for _, w := range l.widths {
+		n += w
+	}
+	return n
+}
+
+// PHV is one packet's header vector: the values of every layout field.
+type PHV struct {
+	Vals []int32
+}
+
+// NewPHV returns a zeroed PHV for the layout.
+func (l *Layout) NewPHV() *PHV { return &PHV{Vals: make([]int32, len(l.names))} }
+
+// Reset zeroes all fields for reuse across packets.
+func (p *PHV) Reset() {
+	for i := range p.Vals {
+		p.Vals[i] = 0
+	}
+}
+
+// Get returns the value of field id.
+func (p *PHV) Get(id FieldID) int32 { return p.Vals[id] }
+
+// Set assigns the value of field id.
+func (p *PHV) Set(id FieldID, v int32) { p.Vals[id] = v }

@@ -1,0 +1,199 @@
+package pisa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stage is one physical MAT stage holding the tables placed into it.
+type Stage struct {
+	Tables []*Table
+}
+
+// Program is a compiled pipeline: a PHV layout, stages of tables, and
+// stateful registers.
+type Program struct {
+	Name      string
+	Layout    *Layout
+	Stages    []*Stage
+	Registers []*Register
+	Cap       Capacity
+}
+
+// NewProgram creates an empty program against the given capacity.
+func NewProgram(name string, layout *Layout, cap Capacity) *Program {
+	return &Program{Name: name, Layout: layout, Cap: cap}
+}
+
+// AddRegister appends a stateful register and returns its index.
+func (p *Program) AddRegister(r *Register) int {
+	p.Registers = append(p.Registers, r)
+	return len(p.Registers) - 1
+}
+
+// Place appends table t to stage idx, growing the pipeline as needed.
+func (p *Program) Place(stage int, t *Table) {
+	for len(p.Stages) <= stage {
+		p.Stages = append(p.Stages, &Stage{})
+	}
+	p.Stages[stage].Tables = append(p.Stages[stage].Tables, t)
+}
+
+// Process runs one packet's PHV through every stage in order.
+func (p *Program) Process(phv *PHV) {
+	for _, st := range p.Stages {
+		for _, t := range st.Tables {
+			t.apply(phv, p.Registers)
+		}
+	}
+}
+
+// StageUsage is the resource consumption of one stage.
+type StageUsage struct {
+	SRAMBits int
+	TCAMBits int
+	BusBits  int
+	Tables   int
+}
+
+// Resources summarises a program's hardware consumption.
+type Resources struct {
+	Stages      int
+	PHVBits     int
+	PerStage    []StageUsage
+	SRAMBits    int // total, incl. registers
+	TCAMBits    int
+	RegBits     int // stateful SRAM subtotal
+	PeakBusBits int
+}
+
+// SRAMFrac returns total SRAM use as a fraction of pipeline capacity.
+func (r *Resources) SRAMFrac(c Capacity) float64 {
+	return float64(r.SRAMBits) / float64(c.SRAMBitsPerStage*c.Stages)
+}
+
+// TCAMFrac returns total TCAM use as a fraction of pipeline capacity.
+func (r *Resources) TCAMFrac(c Capacity) float64 {
+	return float64(r.TCAMBits) / float64(c.TCAMBitsPerStage*c.Stages)
+}
+
+// BusFrac returns the peak per-stage action-data-bus use as a fraction
+// of the bus width — the binding constraint on data transfer.
+func (r *Resources) BusFrac(c Capacity) float64 {
+	return float64(r.PeakBusBits) / float64(c.BusBits)
+}
+
+// Resources computes the program's consumption. Registers are charged to
+// stage 0's SRAM column conceptually but reported separately in RegBits
+// (and included in SRAMBits, as register arrays occupy stage SRAM).
+func (p *Program) Resources() Resources {
+	res := Resources{Stages: len(p.Stages), PHVBits: p.Layout.TotalBits()}
+	for _, st := range p.Stages {
+		u := StageUsage{Tables: len(st.Tables)}
+		for _, t := range st.Tables {
+			u.SRAMBits += t.SRAMBits()
+			u.TCAMBits += t.TCAMBits()
+			u.BusBits += t.DataWidthBits
+		}
+		res.PerStage = append(res.PerStage, u)
+		res.SRAMBits += u.SRAMBits
+		res.TCAMBits += u.TCAMBits
+		if u.BusBits > res.PeakBusBits {
+			res.PeakBusBits = u.BusBits
+		}
+	}
+	for _, r := range p.Registers {
+		res.RegBits += r.SRAMBits()
+		res.SRAMBits += r.SRAMBits()
+	}
+	return res
+}
+
+// Validate checks the program against its capacity: stage count, per-
+// stage SRAM/TCAM, bus width, PHV size, and intra-stage write hazards
+// (two tables in one stage writing the same field, or one reading a
+// field another writes — PISA stages execute in parallel).
+func (p *Program) Validate() error {
+	var errs []string
+	if len(p.Stages) > p.Cap.Stages {
+		errs = append(errs, fmt.Sprintf("uses %d stages, capacity %d", len(p.Stages), p.Cap.Stages))
+	}
+	if phv := p.Layout.TotalBits(); phv > p.Cap.PHVBits {
+		errs = append(errs, fmt.Sprintf("PHV %d bits exceeds %d", phv, p.Cap.PHVBits))
+	}
+	// Register SRAM is spread evenly across the pipeline stages, as the
+	// hardware allocator does with large stateful arrays.
+	regBits := 0
+	for _, r := range p.Registers {
+		regBits += r.SRAMBits()
+	}
+	regPerStage := 0
+	if p.Cap.Stages > 0 {
+		regPerStage = regBits / p.Cap.Stages
+	}
+	for i, st := range p.Stages {
+		var sram, tcam, bus int
+		writes := map[FieldID]string{}
+		reads := map[FieldID]string{}
+		for _, t := range st.Tables {
+			sram += t.SRAMBits()
+			tcam += t.TCAMBits()
+			bus += t.DataWidthBits
+			for _, op := range t.Action {
+				switch op.Kind {
+				case OpSet, OpSetData:
+					// pure writes
+				default:
+					reads[op.A] = t.Name
+					reads[op.B] = t.Name
+				}
+				if prev, dup := writes[op.Dst]; dup && prev != t.Name {
+					errs = append(errs, fmt.Sprintf("stage %d: tables %q and %q both write %s",
+						i, prev, t.Name, p.Layout.Name(op.Dst)))
+				}
+				writes[op.Dst] = t.Name
+			}
+			for _, f := range t.KeyFields {
+				reads[f] = t.Name
+			}
+		}
+		for f, wt := range writes {
+			if rt, ok := reads[f]; ok && rt != wt {
+				errs = append(errs, fmt.Sprintf("stage %d: table %q reads %s written by %q in same stage",
+					i, rt, p.Layout.Name(f), wt))
+			}
+		}
+		sram += regPerStage
+		if sram > p.Cap.SRAMBitsPerStage {
+			errs = append(errs, fmt.Sprintf("stage %d SRAM %d bits exceeds %d", i, sram, p.Cap.SRAMBitsPerStage))
+		}
+		if tcam > p.Cap.TCAMBitsPerStage {
+			errs = append(errs, fmt.Sprintf("stage %d TCAM %d bits exceeds %d", i, tcam, p.Cap.TCAMBitsPerStage))
+		}
+		if bus > p.Cap.BusBits {
+			errs = append(errs, fmt.Sprintf("stage %d action data bus %d bits exceeds %d", i, bus, p.Cap.BusBits))
+		}
+	}
+	if len(errs) > 0 {
+		sort.Strings(errs)
+		return fmt.Errorf("pisa: program %q invalid:\n  %s", p.Name, strings.Join(errs, "\n  "))
+	}
+	return nil
+}
+
+// Summary returns a human-readable resource report.
+func (p *Program) Summary() string {
+	r := p.Resources()
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %q: %d stages, PHV %d/%d bits\n", p.Name, r.Stages, r.PHVBits, p.Cap.PHVBits)
+	fmt.Fprintf(&b, "  SRAM %.2f%%  TCAM %.2f%%  bus(peak) %.2f%%  stateful %d bits\n",
+		100*r.SRAMFrac(p.Cap), 100*r.TCAMFrac(p.Cap), 100*r.BusFrac(p.Cap), r.RegBits)
+	for i, u := range r.PerStage {
+		if u.Tables == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  stage %2d: %d tables, SRAM %d, TCAM %d, bus %d\n", i, u.Tables, u.SRAMBits, u.TCAMBits, u.BusBits)
+	}
+	return b.String()
+}

@@ -1,0 +1,73 @@
+package pisa
+
+import "fmt"
+
+// Register is a stateful SRAM array: Size cells of Width bits each. On
+// Tofino a register supports one read-modify-write per packet; the
+// compiler is responsible for honouring that (the simulator executes
+// whatever ops it is given but Validate counts accesses).
+//
+// Values are stored sign-extended in int32 but clamped to the cell width
+// on write, mirroring the hardware truncation. The paper's footnote that
+// "PISA switches do not support 4-bit registers" is enforced: Width must
+// be 8, 16 or 32.
+type Register struct {
+	Name  string
+	Width int
+	Size  int
+	vals  []int32
+}
+
+// NewRegister allocates a register array.
+func NewRegister(name string, width, size int) (*Register, error) {
+	switch width {
+	case 8, 16, 32:
+	default:
+		return nil, fmt.Errorf("pisa: register %q width %d unsupported (PISA registers are 8/16/32-bit)", name, width)
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("pisa: register %q size %d", name, size)
+	}
+	return &Register{Name: name, Width: width, Size: size, vals: make([]int32, size)}, nil
+}
+
+// Get reads cell idx (0 when out of range, matching hardware OOB reads of
+// an unprogrammed cell).
+func (r *Register) Get(idx int) int32 {
+	if idx < 0 || idx >= r.Size {
+		return 0
+	}
+	return r.vals[idx]
+}
+
+// Set writes cell idx, truncating to the register width.
+func (r *Register) Set(idx int, v int32) {
+	if idx < 0 || idx >= r.Size {
+		return
+	}
+	switch r.Width {
+	case 8:
+		r.vals[idx] = int32(int8(v))
+	case 16:
+		r.vals[idx] = int32(int16(v))
+	default:
+		r.vals[idx] = v
+	}
+}
+
+// Fill sets every cell to v (used to initialise min-trackers to +max).
+func (r *Register) Fill(v int32) {
+	for i := range r.vals {
+		r.Set(i, v)
+	}
+}
+
+// Reset zeroes the array.
+func (r *Register) Reset() {
+	for i := range r.vals {
+		r.vals[i] = 0
+	}
+}
+
+// SRAMBits returns the stateful SRAM the register consumes.
+func (r *Register) SRAMBits() int { return r.Width * r.Size }

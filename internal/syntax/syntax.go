@@ -1,0 +1,335 @@
+// Package syntax implements Pegasus Syntax (§6.2, Figure 6): the
+// high-level language for declaring dataplane DL programs, and the
+// translator that turns it into a primitive program for the compiler.
+// The translator handles the dimensional bookkeeping ("the translator
+// automatically calculates the output dimensions") so developers only
+// declare the Partition/Map/SumReduce structure.
+//
+// Supported grammar (the Figure 6 subset):
+//
+//	struct InputVec_t { bit<8> input_dim0; ... };
+//	struct ig_metadata_t { InputVec_t input_vec; ... };
+//	ig_metadata_t meta;
+//	meta.output_vec = SumReduce(
+//	    Map(
+//	        Partition(meta.input_vec, dim = 2, stride = 2),
+//	        clustering_depth = 4,
+//	        CNN_dimension = 3,
+//	        CNN_kernel = cnn_kernel,
+//	        CNN_stride = cnn_stride
+//	    )
+//	);
+package syntax
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Spec is the parsed program.
+type Spec struct {
+	// InputFields are the declared input vector fields, in order.
+	InputFields []Field
+	// Pipeline is the primitive expression tree, outermost first.
+	Pipeline *Expr
+}
+
+// Field is one declared struct field.
+type Field struct {
+	Name string
+	Bits int
+}
+
+// Expr is one primitive call in the pipeline.
+type Expr struct {
+	// Kind is "SumReduce", "Map" or "Partition".
+	Kind string
+	// Arg is the nested primitive (nil for Partition).
+	Arg *Expr
+	// Input names the partitioned vector (Partition only).
+	Input string
+	// Params holds the keyword arguments (dim, stride,
+	// clustering_depth, CNN_dimension, CNN_stride, ...).
+	Params map[string]int
+	// Symbols holds keyword arguments that reference host-side symbols
+	// (e.g. CNN_kernel = cnn_kernel).
+	Symbols map[string]string
+}
+
+// InputDims returns the declared input width.
+func (s *Spec) InputDims() int { return len(s.InputFields) }
+
+// token kinds.
+type tok struct {
+	kind string // ident, num, punct
+	text string
+}
+
+func lex(src string) ([]tok, error) {
+	var toks []tok
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case unicode.IsSpace(rune(c)):
+			i++
+		case strings.HasPrefix(src[i:], "/*"):
+			end := strings.Index(src[i:], "*/")
+			if end < 0 {
+				return nil, fmt.Errorf("syntax: unterminated comment")
+			}
+			i += end + 2
+		case strings.HasPrefix(src[i:], "//"):
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			toks = append(toks, tok{"ident", src[i:j]})
+			i = j
+		case unicode.IsDigit(rune(c)):
+			j := i
+			for j < len(src) && unicode.IsDigit(rune(src[j])) {
+				j++
+			}
+			toks = append(toks, tok{"num", src[i:j]})
+			i = j
+		case strings.ContainsRune("{}()<>;,=.", rune(c)):
+			toks = append(toks, tok{"punct", string(c)})
+			i++
+		default:
+			return nil, fmt.Errorf("syntax: unexpected character %q", c)
+		}
+	}
+	return toks, nil
+}
+
+// parser holds the token stream.
+type parser struct {
+	toks []tok
+	pos  int
+}
+
+func (p *parser) peek() tok {
+	if p.pos >= len(p.toks) {
+		return tok{"eof", ""}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() tok {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) expect(kind, text string) (tok, error) {
+	t := p.next()
+	if t.kind != kind || (text != "" && t.text != text) {
+		return t, fmt.Errorf("syntax: expected %s %q, got %q", kind, text, t.text)
+	}
+	return t, nil
+}
+
+// Parse parses a Pegasus Syntax source into a Spec.
+func Parse(src string) (*Spec, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	spec := &Spec{}
+	for p.peek().kind != "eof" {
+		t := p.peek()
+		switch {
+		case t.kind == "ident" && t.text == "struct":
+			name, fields, err := p.parseStruct()
+			if err != nil {
+				return nil, err
+			}
+			if strings.HasPrefix(name, "InputVec") {
+				spec.InputFields = fields
+			}
+		case t.kind == "ident" && strings.Contains(t.text, "metadata") || t.kind == "ident" && t.text == "ig_metadata_t":
+			// "ig_metadata_t meta;" declaration: skip to semicolon.
+			p.skipStatement()
+		case t.kind == "ident" && t.text == "meta":
+			expr, err := p.parseAssignment()
+			if err != nil {
+				return nil, err
+			}
+			spec.Pipeline = expr
+		default:
+			p.skipStatement()
+		}
+	}
+	if spec.Pipeline == nil {
+		return nil, fmt.Errorf("syntax: no pipeline assignment (meta.output_vec = ...)")
+	}
+	if len(spec.InputFields) == 0 {
+		return nil, fmt.Errorf("syntax: no InputVec_t struct declared")
+	}
+	return spec, nil
+}
+
+func (p *parser) skipStatement() {
+	for {
+		t := p.next()
+		if t.kind == "eof" || (t.kind == "punct" && t.text == ";") {
+			return
+		}
+	}
+}
+
+func (p *parser) parseStruct() (string, []Field, error) {
+	if _, err := p.expect("ident", "struct"); err != nil {
+		return "", nil, err
+	}
+	nameTok, err := p.expect("ident", "")
+	if err != nil {
+		return "", nil, err
+	}
+	if _, err := p.expect("punct", "{"); err != nil {
+		return "", nil, err
+	}
+	var fields []Field
+	for {
+		t := p.peek()
+		if t.kind == "punct" && t.text == "}" {
+			p.next()
+			break
+		}
+		// bit<8> name; — non-bit fields (nested struct types) are
+		// skipped to the semicolon.
+		if t.kind == "ident" && t.text != "bit" {
+			p.skipStatement()
+			continue
+		}
+		if _, err := p.expect("ident", "bit"); err != nil {
+			return "", nil, err
+		}
+		if _, err := p.expect("punct", "<"); err != nil {
+			return "", nil, err
+		}
+		numTok, err := p.expect("num", "")
+		if err != nil {
+			return "", nil, err
+		}
+		bits, _ := strconv.Atoi(numTok.text)
+		if _, err := p.expect("punct", ">"); err != nil {
+			return "", nil, err
+		}
+		fieldTok, err := p.expect("ident", "")
+		if err != nil {
+			return "", nil, err
+		}
+		if _, err := p.expect("punct", ";"); err != nil {
+			return "", nil, err
+		}
+		fields = append(fields, Field{Name: fieldTok.text, Bits: bits})
+	}
+	// trailing semicolon after struct
+	if p.peek().kind == "punct" && p.peek().text == ";" {
+		p.next()
+	}
+	return nameTok.text, fields, nil
+}
+
+// parseAssignment parses "meta.output_vec = EXPR ;".
+func (p *parser) parseAssignment() (*Expr, error) {
+	if _, err := p.expect("ident", "meta"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("punct", "."); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("ident", ""); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("punct", "="); err != nil {
+		return nil, err
+	}
+	expr, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("punct", ";"); err != nil {
+		return nil, err
+	}
+	return expr, nil
+}
+
+func (p *parser) parseExpr() (*Expr, error) {
+	nameTok, err := p.expect("ident", "")
+	if err != nil {
+		return nil, err
+	}
+	kind := nameTok.text
+	switch kind {
+	case "SumReduce", "Map", "Partition":
+	default:
+		return nil, fmt.Errorf("syntax: unknown primitive %q", kind)
+	}
+	if _, err := p.expect("punct", "("); err != nil {
+		return nil, err
+	}
+	e := &Expr{Kind: kind, Params: map[string]int{}, Symbols: map[string]string{}}
+	first := true
+	for {
+		t := p.peek()
+		if t.kind == "punct" && t.text == ")" {
+			p.next()
+			break
+		}
+		if !first {
+			if _, err := p.expect("punct", ","); err != nil {
+				return nil, err
+			}
+		}
+		first = false
+		t = p.peek()
+		switch {
+		case t.kind == "ident" && (t.text == "SumReduce" || t.text == "Map" || t.text == "Partition"):
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			e.Arg = arg
+		case t.kind == "ident" && t.text == "meta":
+			// meta.input_vec positional input
+			p.next()
+			if _, err := p.expect("punct", "."); err != nil {
+				return nil, err
+			}
+			fieldTok, err := p.expect("ident", "")
+			if err != nil {
+				return nil, err
+			}
+			e.Input = fieldTok.text
+		case t.kind == "ident":
+			// keyword = value
+			key := p.next().text
+			if _, err := p.expect("punct", "="); err != nil {
+				return nil, err
+			}
+			val := p.next()
+			switch val.kind {
+			case "num":
+				n, _ := strconv.Atoi(val.text)
+				e.Params[key] = n
+			case "ident":
+				e.Symbols[key] = val.text
+			default:
+				return nil, fmt.Errorf("syntax: bad value for %s", key)
+			}
+		default:
+			return nil, fmt.Errorf("syntax: unexpected token %q in %s(...)", t.text, kind)
+		}
+	}
+	return e, nil
+}

@@ -1,0 +1,167 @@
+package syntax
+
+import (
+	"math/rand"
+
+	"testing"
+
+	"github.com/pegasus-idp/pegasus/internal/core"
+	"github.com/pegasus-idp/pegasus/internal/tensor"
+)
+
+// figure6 is the program of Figure 6 (with all 8 input fields written
+// out).
+const figure6 = `
+struct InputVec_t {
+    bit<8>  input_dim0;
+    bit<8>  input_dim1;
+    bit<8>  input_dim2;
+    bit<8>  input_dim3;
+    bit<8>  input_dim4;
+    bit<8>  input_dim5;
+    bit<8>  input_dim6;
+    bit<8>  input_dim7;
+}; /* Definition of OutputVec_t is eliminated. */
+struct ig_metadata_t {
+    InputVec_t input_vec;
+    OutputVec_t output_vec;
+};
+ig_metadata_t meta;
+meta.output_vec = SumReduce(
+    Map(
+        Partition(meta.input_vec, dim = 2, stride = 2),
+        clustering_depth = 4,
+        CNN_dimension = 3,
+        CNN_kernel = cnn_kernel,
+        CNN_stride = cnn_stride
+    )
+);
+`
+
+func TestFigure6Parses(t *testing.T) {
+	spec, err := Parse(figure6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.InputDims() != 8 {
+		t.Fatalf("input dims = %d, want 8", spec.InputDims())
+	}
+	if spec.InputFields[0].Bits != 8 || spec.InputFields[7].Name != "input_dim7" {
+		t.Fatalf("fields = %+v", spec.InputFields)
+	}
+	if spec.Pipeline.Kind != "SumReduce" || spec.Pipeline.Arg.Kind != "Map" ||
+		spec.Pipeline.Arg.Arg.Kind != "Partition" {
+		t.Fatal("pipeline nesting wrong")
+	}
+	if spec.Pipeline.Arg.Arg.Params["dim"] != 2 || spec.Pipeline.Arg.Arg.Params["stride"] != 2 {
+		t.Fatal("partition params")
+	}
+	if ClusteringDepth(spec) != 4 {
+		t.Fatalf("clustering depth = %d", ClusteringDepth(spec))
+	}
+	if spec.Pipeline.Arg.Symbols["CNN_kernel"] != "cnn_kernel" {
+		t.Fatal("kernel symbol")
+	}
+}
+
+func TestFigure6Translates(t *testing.T) {
+	spec, err := Parse(figure6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	kernel := tensor.New(3, 2).Randn(rng, 1)
+	prog, err := Translate(spec, map[string]*tensor.Mat{"cnn_kernel": kernel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.InDim != 8 {
+		t.Fatalf("program in dim = %d", prog.InDim)
+	}
+	// Output: 4 segments × affine(2→3) summed = 3 values.
+	out := prog.Eval([]float64{1, 2, 3, 4, 5, 6, 7, 8})
+	if len(out) != 3 {
+		t.Fatalf("out dims = %d, want 3", len(out))
+	}
+	// Semantics: sum over segments of kernel×segment.
+	want := make([]float64, 3)
+	x := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	for s := 0; s < 4; s++ {
+		for r := 0; r < 3; r++ {
+			want[r] += kernel.At(r, 0)*x[2*s] + kernel.At(r, 1)*x[2*s+1]
+		}
+	}
+	for j := range want {
+		if diff := out[j] - want[j]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("out[%d] = %g, want %g", j, out[j], want[j])
+		}
+	}
+}
+
+func TestTranslateBuildsTables(t *testing.T) {
+	spec, err := Parse(figure6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Translate(spec, nil) // random kernel
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	calib := make([][]float64, 200)
+	for i := range calib {
+		row := make([]float64, 8)
+		for j := range row {
+			row[j] = float64(rng.Intn(256))
+		}
+		calib[i] = row
+	}
+	comp, err := core.BuildTables(core.Fuse(prog), calib, core.CompileConfig{
+		TreeDepth: ClusteringDepth(spec), InBits: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, err := core.Emit(comp, core.EmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if em.Prog.Resources().TCAMBits == 0 {
+		t.Fatal("no TCAM emitted")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"struct InputVec_t { bit<8> a; };", // no pipeline
+		"meta.output_vec = Map(Partition(meta.input_vec));", // no struct
+		"meta.output_vec = Bogus(x);",
+		"struct InputVec_t { bit<8> a; }; meta.output_vec = SumReduce(Map(Partition(meta.input_vec, dim = 0)));",
+	}
+	for i, src := range cases {
+		spec, err := Parse(src)
+		if err == nil {
+			_, err = Translate(spec, nil)
+		}
+		if err == nil {
+			t.Fatalf("case %d: expected an error", i)
+		}
+	}
+}
+
+func TestLexerSkipsComments(t *testing.T) {
+	toks, err := lex("/* hi */ struct // line\n x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 2 || toks[0].text != "struct" || toks[1].text != "x" {
+		t.Fatalf("toks = %+v", toks)
+	}
+	if _, err := lex("/* unterminated"); err == nil {
+		t.Fatal("want unterminated comment error")
+	}
+	if _, err := lex("@"); err == nil {
+		t.Fatal("want bad character error")
+	}
+}

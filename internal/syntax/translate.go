@@ -1,0 +1,110 @@
+package syntax
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/pegasus-idp/pegasus/internal/core"
+	"github.com/pegasus-idp/pegasus/internal/tensor"
+)
+
+// Translate turns a parsed Spec into a primitive program. Symbolic
+// weights (e.g. CNN_kernel = cnn_kernel) are resolved from the symbols
+// map: each named symbol must supply an out×in weight matrix; missing
+// symbols are filled with seeded random weights so that structural
+// compilation (resource estimation, pipeline shape) works before a
+// trained model exists — exactly how the paper's workflow separates the
+// P4 skeleton from table population.
+func Translate(spec *Spec, symbols map[string]*tensor.Mat) (*core.Program, error) {
+	if spec.Pipeline == nil {
+		return nil, fmt.Errorf("syntax: empty pipeline")
+	}
+	inDim := spec.InputDims()
+	// Walk the expression inside-out: Partition → Map → SumReduce.
+	var partition, mapExpr, reduceExpr *Expr
+	cur := spec.Pipeline
+	for cur != nil {
+		switch cur.Kind {
+		case "SumReduce":
+			reduceExpr = cur
+		case "Map":
+			mapExpr = cur
+		case "Partition":
+			partition = cur
+		}
+		cur = cur.Arg
+	}
+	if partition == nil || mapExpr == nil {
+		return nil, fmt.Errorf("syntax: pipeline must contain Partition and Map")
+	}
+	dim := partition.Params["dim"]
+	stride := partition.Params["stride"]
+	if dim <= 0 {
+		return nil, fmt.Errorf("syntax: Partition needs dim > 0")
+	}
+	if stride <= 0 {
+		stride = dim
+	}
+	var groups [][]int
+	for start := 0; start+dim <= inDim; start += stride {
+		g := make([]int, dim)
+		for i := range g {
+			g[i] = start + i
+		}
+		groups = append(groups, g)
+	}
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("syntax: Partition(dim=%d, stride=%d) yields no segments over %d inputs", dim, stride, inDim)
+	}
+
+	// Map: the CNN parameters define the per-segment affine. The
+	// translator computes the output dimension (CNN_dimension) and the
+	// kernel shape automatically.
+	outDim := mapExpr.Params["CNN_dimension"]
+	if outDim == 0 {
+		outDim = 1
+	}
+	kernel := symbols[mapExpr.Symbols["CNN_kernel"]]
+	if kernel == nil {
+		rng := rand.New(rand.NewSource(42))
+		kernel = tensor.New(outDim, dim).Randn(rng, 0.5)
+	}
+	if kernel.R != outDim || kernel.C != dim {
+		return nil, fmt.Errorf("syntax: kernel is %dx%d, want %dx%d", kernel.R, kernel.C, outDim, dim)
+	}
+	fns := make([]core.Fn, len(groups))
+	for i := range groups {
+		aff, err := core.NewAffine(kernel.Clone(), nil)
+		if err != nil {
+			return nil, err
+		}
+		fns[i] = aff
+	}
+	steps := []core.Step{
+		&core.Partition{Groups: groups},
+		&core.Map{Fns: fns},
+	}
+	if reduceExpr != nil {
+		steps = append(steps, core.SumReduce{})
+	}
+	prog := &core.Program{Name: "pegasus-syntax", InDim: inDim, Steps: steps}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// ClusteringDepth returns the Map's clustering_depth parameter
+// (defaulting to 4, the Figure 6 value).
+func ClusteringDepth(spec *Spec) int {
+	cur := spec.Pipeline
+	for cur != nil {
+		if cur.Kind == "Map" {
+			if d, ok := cur.Params["clustering_depth"]; ok && d > 0 {
+				return d
+			}
+		}
+		cur = cur.Arg
+	}
+	return 4
+}

@@ -1,0 +1,161 @@
+package tensor
+
+import "fmt"
+
+// Conv1D performs a 1-D valid (no padding) cross-correlation over a
+// multi-channel sequence, the core of the paper's textcnn models.
+//
+//	in:      T×Cin      (time steps × input channels)
+//	kernels: Cout×(K*Cin)  row k = flattened kernel for output channel k,
+//	         laid out time-major: [t0c0, t0c1, ..., t1c0, ...]
+//	bias:    1×Cout (may be nil)
+//	stride:  >= 1
+//
+// Returns Tout×Cout where Tout = (T-K)/stride + 1.
+func Conv1D(in, kernels, bias *Mat, k, stride int) *Mat {
+	if k <= 0 || stride <= 0 {
+		panic(fmt.Sprintf("tensor: Conv1D kernel=%d stride=%d", k, stride))
+	}
+	cin := in.C
+	if kernels.C != k*cin {
+		panic(fmt.Sprintf("tensor: Conv1D kernels %dx%d want cols %d*%d", kernels.R, kernels.C, k, cin))
+	}
+	cout := kernels.R
+	tout := (in.R-k)/stride + 1
+	if tout < 0 {
+		tout = 0
+	}
+	out := New(tout, cout)
+	for t := 0; t < tout; t++ {
+		start := t * stride
+		orow := out.Row(t)
+		for oc := 0; oc < cout; oc++ {
+			krow := kernels.Row(oc)
+			s := 0.0
+			for dt := 0; dt < k; dt++ {
+				irow := in.Row(start + dt)
+				base := dt * cin
+				for c := 0; c < cin; c++ {
+					s += irow[c] * krow[base+c]
+				}
+			}
+			if bias != nil {
+				s += bias.D[oc]
+			}
+			orow[oc] = s
+		}
+	}
+	return out
+}
+
+// Conv1DBackward computes the gradients of a Conv1D call. gradOut is
+// Tout×Cout. It returns (gradIn T×Cin, gradKernels Cout×K*Cin,
+// gradBias 1×Cout).
+func Conv1DBackward(in, kernels, gradOut *Mat, k, stride int) (gradIn, gradK, gradB *Mat) {
+	cin := in.C
+	cout := kernels.R
+	gradIn = New(in.R, in.C)
+	gradK = New(kernels.R, kernels.C)
+	gradB = New(1, cout)
+	for t := 0; t < gradOut.R; t++ {
+		start := t * stride
+		grow := gradOut.Row(t)
+		for oc := 0; oc < cout; oc++ {
+			g := grow[oc]
+			if g == 0 {
+				continue
+			}
+			gradB.D[oc] += g
+			krow := kernels.Row(oc)
+			gkrow := gradK.Row(oc)
+			for dt := 0; dt < k; dt++ {
+				irow := in.Row(start + dt)
+				girow := gradIn.Row(start + dt)
+				base := dt * cin
+				for c := 0; c < cin; c++ {
+					gkrow[base+c] += g * irow[c]
+					girow[c] += g * krow[base+c]
+				}
+			}
+		}
+	}
+	return gradIn, gradK, gradB
+}
+
+// MaxPool1D applies per-channel max pooling with window w and stride s
+// over a T×C sequence, returning (pooled Tout×C, argmax indices Tout×C
+// holding the source row of each maximum, for backprop).
+func MaxPool1D(in *Mat, w, s int) (*Mat, [][]int) {
+	if w <= 0 || s <= 0 {
+		panic(fmt.Sprintf("tensor: MaxPool1D w=%d s=%d", w, s))
+	}
+	tout := (in.R-w)/s + 1
+	if tout < 0 {
+		tout = 0
+	}
+	out := New(tout, in.C)
+	arg := make([][]int, tout)
+	for t := 0; t < tout; t++ {
+		arg[t] = make([]int, in.C)
+		start := t * s
+		orow := out.Row(t)
+		for c := 0; c < in.C; c++ {
+			best := in.At(start, c)
+			bi := start
+			for dt := 1; dt < w; dt++ {
+				if v := in.At(start+dt, c); v > best {
+					best, bi = v, start+dt
+				}
+			}
+			orow[c] = best
+			arg[t][c] = bi
+		}
+	}
+	return out, arg
+}
+
+// GlobalMaxPool returns the per-channel maximum over all time steps of a
+// T×C sequence as a 1×C vector plus argmax rows.
+func GlobalMaxPool(in *Mat) (*Mat, []int) {
+	if in.R == 0 {
+		return New(1, in.C), make([]int, in.C)
+	}
+	out := New(1, in.C)
+	arg := make([]int, in.C)
+	copy(out.D, in.Row(0))
+	for t := 1; t < in.R; t++ {
+		row := in.Row(t)
+		for c, v := range row {
+			if v > out.D[c] {
+				out.D[c] = v
+				arg[c] = t
+			}
+		}
+	}
+	return out, arg
+}
+
+// AvgPool1D applies per-channel average pooling with window w and stride
+// s over a T×C sequence.
+func AvgPool1D(in *Mat, w, s int) *Mat {
+	if w <= 0 || s <= 0 {
+		panic(fmt.Sprintf("tensor: AvgPool1D w=%d s=%d", w, s))
+	}
+	tout := (in.R-w)/s + 1
+	if tout < 0 {
+		tout = 0
+	}
+	out := New(tout, in.C)
+	inv := 1 / float64(w)
+	for t := 0; t < tout; t++ {
+		start := t * s
+		orow := out.Row(t)
+		for dt := 0; dt < w; dt++ {
+			irow := in.Row(start + dt)
+			for c, v := range irow {
+				orow[c] += v * inv
+			}
+		}
+	}
+	return out
+}

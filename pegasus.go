@@ -1,0 +1,157 @@
+// Package pegasus is the public API of the Pegasus reproduction: a
+// framework that compiles deep-learning traffic classifiers into
+// dataplane primitives (Partition, Map, SumReduce) and deploys them on a
+// simulated PISA switch at line rate.
+//
+// The typical workflow mirrors the paper:
+//
+//	ds := pegasus.PeerRush(pegasus.DataConfig{Seed: 1})
+//	train, _, test := ds.Split(7)
+//	model := pegasus.NewCNNM(ds.NumClasses(), rand.New(rand.NewSource(1)))
+//	model.Train(train, pegasus.TrainOpts{Epochs: 60})
+//	model.Compile(train)                  // fuzzy tables, fusion, quantisation
+//	report, _ := model.EvalPegasus(test, ds.NumClasses())
+//	emitted, _ := model.Emit(1 << 20)     // PISA program + resource accounting
+//
+// Everything below re-exports the internal building blocks a downstream
+// user needs: dataset synthesis, the model zoo of §6.3, the baselines of
+// §7, the primitive compiler, and the switch simulator.
+package pegasus
+
+import (
+	"io"
+	"math/rand"
+
+	"github.com/pegasus-idp/pegasus/internal/core"
+	"github.com/pegasus-idp/pegasus/internal/datasets"
+	"github.com/pegasus-idp/pegasus/internal/experiments"
+	"github.com/pegasus-idp/pegasus/internal/metrics"
+	"github.com/pegasus-idp/pegasus/internal/models"
+	"github.com/pegasus-idp/pegasus/internal/netsim"
+	"github.com/pegasus-idp/pegasus/internal/pisa"
+)
+
+// Re-exported traffic types.
+type (
+	// Flow is a labelled packet flow.
+	Flow = netsim.Flow
+	// Packet is one packet of a flow.
+	Packet = netsim.Packet
+	// FiveTuple identifies a flow.
+	FiveTuple = netsim.FiveTuple
+	// Dataset is a labelled set of flows.
+	Dataset = datasets.Dataset
+	// DataConfig controls synthetic dataset generation.
+	DataConfig = datasets.Config
+	// AttackKind selects a §7.4 attack family.
+	AttackKind = datasets.AttackKind
+)
+
+// Dataset generators (synthetic stand-ins for the paper's datasets).
+var (
+	PeerRush = datasets.PeerRush
+	CICIOT   = datasets.CICIOT
+	ISCXVPN  = datasets.ISCXVPN
+)
+
+// Attack traffic constructors.
+var (
+	AttackFlows = datasets.AttackFlows
+	MixAttack   = datasets.MixAttack
+)
+
+// Attack families.
+const (
+	Htbot  = datasets.Htbot
+	Flood  = datasets.Flood
+	Cridex = datasets.Cridex
+	Virut  = datasets.Virut
+	Neris  = datasets.Neris
+	Geodo  = datasets.Geodo
+)
+
+// Model zoo types.
+type (
+	// Feedforward is the generic Pegasus-compilable classifier (MLP-B,
+	// CNN-B, CNN-M).
+	Feedforward = models.Feedforward
+	// RNNB is the windowed recurrent classifier.
+	RNNB = models.RNNB
+	// CNNL is the large raw-payload CNN with per-packet fuzzy indices.
+	CNNL = models.CNNL
+	// AutoEncoder is the unsupervised anomaly detector.
+	AutoEncoder = models.AutoEncoder
+	// TrainOpts scales model training.
+	TrainOpts = models.TrainOpts
+	// Report carries precision/recall/macro-F1.
+	Report = metrics.Report
+)
+
+// Model constructors (§6.3).
+var (
+	NewMLPB        = models.NewMLPB
+	NewCNNB        = models.NewCNNB
+	NewCNNM        = models.NewCNNM
+	NewRNNB        = models.NewRNNB
+	NewAutoEncoder = models.NewAutoEncoder
+)
+
+// NewCNNL builds the large CNN variant. useIPD and idxBits select the
+// Figure 7 per-flow storage variants (28/44/72 bits).
+func NewCNNL(nClasses int, useIPD bool, idxBits int, rng *rand.Rand) *CNNL {
+	return models.NewCNNL(nClasses, useIPD, idxBits, rng)
+}
+
+// Compiler types for users building custom models from primitives.
+type (
+	// Program is a primitive program (Partition/Map/SumReduce steps).
+	Program = core.Program
+	// Compiled holds a model's mapping tables and runs fixed-point
+	// inference bit-identical to the switch.
+	Compiled = core.Compiled
+	// Emitted is a compiled PISA pipeline with its I/O fields.
+	Emitted = core.Emitted
+	// CompileConfig tunes tree depth and quantisation.
+	CompileConfig = core.CompileConfig
+	// EmitOptions controls PISA emission (argmax stage, flow state).
+	EmitOptions = core.EmitOptions
+	// LowerConfig tunes partition widths.
+	LowerConfig = core.LowerConfig
+	// SwitchProgram is a raw PISA pipeline.
+	SwitchProgram = pisa.Program
+	// Capacity describes switch hardware limits.
+	Capacity = pisa.Capacity
+)
+
+// Compiler entry points.
+var (
+	// Lower translates a trained network into primitives (§5).
+	Lower = core.Lower
+	// Fuse applies Basic Primitive Fusion (§4.3).
+	Fuse = core.Fuse
+	// DropNonlinear applies Advanced Primitive Fusion ❷.
+	DropNonlinear = core.DropNonlinear
+	// BuildTables learns fuzzy trees and mapping tables (§4.2, §4.4).
+	BuildTables = core.BuildTables
+	// Emit lowers compiled tables onto a PISA pipeline.
+	Emit = core.Emit
+)
+
+// Tofino2 is the capacity model of the paper's testbed switch.
+var Tofino2 = pisa.Tofino2
+
+// Evaluate computes macro precision/recall/F1 from label slices.
+var Evaluate = metrics.Evaluate
+
+// AUCFromScores computes ROC-AUC for anomaly scores.
+var AUCFromScores = metrics.AUCFromScores
+
+// RunExperiment regenerates one of the paper's tables/figures ("all",
+// "table2", "table5", "table6", "fig7", "fig8", "fig9acc", "fig9thr"),
+// writing the report to w.
+func RunExperiment(name string, w io.Writer, cfg ExperimentConfig) error {
+	return experiments.NewSuite(cfg).Run(name, w)
+}
+
+// ExperimentConfig scales RunExperiment.
+type ExperimentConfig = experiments.Config

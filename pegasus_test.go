@@ -1,0 +1,61 @@
+package pegasus
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPublicAPIWorkflow exercises the README workflow end to end through
+// the public API only: synthesise → train → compile → evaluate → emit.
+func TestPublicAPIWorkflow(t *testing.T) {
+	ds := PeerRush(DataConfig{FlowsPerClass: 40, PacketsPerFlow: 24, Seed: 1})
+	if ds.NumClasses() != 3 {
+		t.Fatalf("classes = %d", ds.NumClasses())
+	}
+	train, val, test := ds.Split(7)
+	if len(train) == 0 || len(val) == 0 || len(test) == 0 {
+		t.Fatal("empty split")
+	}
+	rng := rand.New(rand.NewSource(1))
+	model := NewCNNM(ds.NumClasses(), rng)
+	model.Train(train, TrainOpts{Epochs: 20, Seed: 1})
+	if err := model.Compile(train); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := model.EvalPegasus(test, ds.NumClasses())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.F1 < 0.5 {
+		t.Fatalf("public API CNN-M F1 = %.3f", rep.F1)
+	}
+	em, err := model.Emit(1 << 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := em.Prog.Resources()
+	if res.Stages > Tofino2.Stages || res.SRAMBits == 0 {
+		t.Fatalf("emitted resources look wrong: %+v", res)
+	}
+}
+
+// TestPublicAPIAnomaly exercises the unsupervised path.
+func TestPublicAPIAnomaly(t *testing.T) {
+	ds := PeerRush(DataConfig{FlowsPerClass: 30, PacketsPerFlow: 24, Seed: 2})
+	train, _, test := ds.Split(3)
+	rng := rand.New(rand.NewSource(2))
+	ae := NewAutoEncoder(nil, rng)
+	ae.Train(train, TrainOpts{Epochs: 20, Seed: 2})
+	if err := ae.Compile(train); err != nil {
+		t.Fatal(err)
+	}
+	mixed := MixAttack(test, Flood, 5)
+	scores, anom, err := ae.ScorePegasus(mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auc := AUCFromScores(scores, anom)
+	if auc <= 0 || auc > 1 {
+		t.Fatalf("AUC out of range: %g", auc)
+	}
+}
