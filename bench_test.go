@@ -7,10 +7,12 @@
 package pegasus
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 	"testing"
 
+	"github.com/pegasus-idp/pegasus/internal/core"
 	"github.com/pegasus-idp/pegasus/internal/experiments"
 	"github.com/pegasus-idp/pegasus/internal/models"
 	"github.com/pegasus-idp/pegasus/internal/tensor"
@@ -105,6 +107,41 @@ func BenchmarkSwitchPipeline(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		em.RunSwitch(v)
+	}
+}
+
+// BenchmarkEngineBatch compares sequential RunSwitch replay against the
+// batched flow-sharded pisa.Engine across worker counts, on the emitted
+// CNN-M program. Per-op cost is one whole batch; throughput is reported
+// as pkts/s so future perf PRs have a trajectory to beat. The speedup
+// tracks available cores (shards run one goroutine each), so single-core
+// runners show only the sharding overhead.
+func BenchmarkEngineBatch(b *testing.B) {
+	m, xs := benchCompiled(b)
+	em, err := m.Emit(1 << 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs := core.BatchJobsFromFloats(xs)
+	pktPerOp := float64(len(jobs))
+
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, j := range jobs {
+				em.RunSwitch(j.In)
+			}
+		}
+		b.ReportMetric(pktPerOp*float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
+	})
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			eng := em.NewEngine(workers)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.RunBatch(jobs)
+			}
+			b.ReportMetric(pktPerOp*float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
+		})
 	}
 }
 

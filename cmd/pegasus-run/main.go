@@ -1,10 +1,11 @@
 // Command pegasus-run is the end-to-end demo: synthesise traffic, train
-// a model, compile it to the switch, replay the test traffic through the
-// simulated pipeline, and report dataplane accuracy and resources.
+// a model, compile it through the staged pass pipeline, replay the test
+// traffic through the simulated switch with the batched execution
+// engine, and report dataplane accuracy, throughput and resources.
 //
 // Usage:
 //
-//	pegasus-run -dataset PeerRush -model cnn-m -flows 60
+//	pegasus-run -dataset PeerRush -model cnn-m -flows 60 -workers 8
 package main
 
 import (
@@ -12,7 +13,10 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
+	"time"
 
+	"github.com/pegasus-idp/pegasus/internal/core"
 	"github.com/pegasus-idp/pegasus/internal/datasets"
 	"github.com/pegasus-idp/pegasus/internal/models"
 )
@@ -23,6 +27,7 @@ func main() {
 	flows := flag.Int("flows", 60, "flows per class")
 	epochs := flag.Int("epochs", 60, "training epochs")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", runtime.NumCPU(), "replay engine workers (flow-hash shards)")
 	flag.Parse()
 
 	ds, ok := datasets.ByName(*dsName, datasets.Config{FlowsPerClass: *flows, Seed: *seed})
@@ -53,11 +58,32 @@ func main() {
 	check(m.Compile(train))
 	peg, err := m.EvalPegasus(test, ds.NumClasses())
 	check(err)
-	fmt.Printf("pegasus (switch): PR %.4f  RC %.4f  F1 %.4f  (Δ %.4f)\n",
+	fmt.Printf("pegasus (tables): PR %.4f  RC %.4f  F1 %.4f  (Δ %.4f)\n",
 		peg.Precision, peg.Recall, peg.F1, peg.F1-full.F1)
 
 	em, err := m.Emit(1 << 16)
 	check(err)
+
+	// Replay the test set through the emitted program with the batched
+	// flow-sharded engine — what the switch dataplane would classify.
+	xs, ys := m.Extract(test)
+	jobs := core.BatchJobsFromFloats(xs)
+	eng := em.NewEngine(*workers)
+	start := time.Now()
+	res := eng.RunBatch(jobs)
+	elapsed := time.Since(start)
+	hit := 0
+	for i, r := range res {
+		if r.Class == ys[i] {
+			hit++
+		}
+	}
+	fmt.Printf("switch replay:    %d/%d correct (%.4f) over %d packets in %s (%.3g pkt/s, %d workers)\n",
+		hit, len(res), float64(hit)/float64(len(res)), len(res), elapsed.Round(time.Microsecond),
+		float64(len(res))/elapsed.Seconds(), eng.Workers())
+
+	fmt.Println()
+	fmt.Print(m.Pipeline().DiagString())
 	fmt.Println()
 	fmt.Print(em.Prog.Summary())
 }

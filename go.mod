@@ -1,0 +1,3 @@
+module github.com/pegasus-idp/pegasus
+
+go 1.24

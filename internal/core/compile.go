@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/pegasus-idp/pegasus/internal/fuzzy"
 	"github.com/pegasus-idp/pegasus/internal/pisa"
@@ -436,6 +437,43 @@ func emitGroup(prog *pisa.Program, c *Compiled, gi int, g *ExecGroup,
 		}
 	}
 	return stage, nil
+}
+
+// NewEngine returns a batched execution engine over the emitted program:
+// packets are sharded by flow hash onto workers (≤ 0 selects GOMAXPROCS)
+// and each shard replays its packets in order, so per-flow state stays
+// consistent while independent flows run concurrently. Classifications
+// are bit-identical to sequential RunSwitch.
+func (em *Emitted) NewEngine(workers int) *pisa.Engine {
+	return pisa.NewEngine(em.Prog, em.InFields, em.OutFields, em.ClassField, workers)
+}
+
+// BatchJobs packs integer input vectors into engine jobs. Hashes are
+// assigned round-robin over the batch — appropriate for stateless
+// programs where every packet is an independent flow; callers replaying
+// real flows should build jobs with the five-tuple hash instead.
+func BatchJobs(xs [][]int32) []pisa.Job {
+	jobs := make([]pisa.Job, len(xs))
+	for i, x := range xs {
+		jobs[i] = pisa.Job{Hash: uint32(i), In: x}
+	}
+	return jobs
+}
+
+// BatchJobsFromFloats packs float feature vectors into engine jobs,
+// rounding to integers with the same round-to-even policy the host
+// inference paths use (Compiled.InferFloats, EvalPegasus) so replay
+// harnesses classify exactly the inputs the host side does.
+func BatchJobsFromFloats(xs [][]float64) []pisa.Job {
+	ints := make([][]int32, len(xs))
+	for i, x := range xs {
+		v := make([]int32, len(x))
+		for j, f := range x {
+			v[j] = int32(math.RoundToEven(f))
+		}
+		ints[i] = v
+	}
+	return BatchJobs(ints)
 }
 
 // RunSwitch pushes one input vector through the emitted program and

@@ -1,0 +1,451 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/pegasus-idp/pegasus/internal/nn"
+)
+
+// This file is the staged pass manager that unifies every compilation
+// path in the repo. The paper's compiler is a sequence of phases — lower
+// to primitives (§5), fuse (§4.3), quantise into fuzzy tables (§4.2,
+// §4.4), refine (§4.4), emit onto PISA (§6.1) — and the Pipeline runs
+// them as named, instrumented passes over one shared PassState. Model
+// families customise the sequence (replace a pass, insert extra ones)
+// instead of re-stitching the phases by hand.
+
+// CompileOptions is the single configuration struct for a compilation
+// pipeline. It subsumes the per-phase configs: LowerConfig (lower pass),
+// CompileConfig (build-tables), RefineConfig (refine) and EmitOptions
+// (emit).
+type CompileOptions struct {
+	// Lower tunes network → primitive translation.
+	Lower LowerConfig
+	// Tables tunes fuzzy-tree learning and quantisation.
+	Tables CompileConfig
+	// Refine tunes the backprop table refinement.
+	Refine RefineConfig
+	// Emit controls PISA emission (argmax stage, flow-state registers).
+	Emit EmitOptions
+	// Normalize folds a 1/Normalize input scaling into the lowered
+	// program (the dataplane consumes raw integers); 0 = off.
+	Normalize float64
+	// DropNonlinear inserts the Advanced Primitive Fusion ❷ pass, which
+	// strips activations so basic fusion collapses the linearised model.
+	DropNonlinear bool
+}
+
+// PassState is the mutable compilation state threaded through every
+// pass. Standard passes read the inputs and populate the artefacts;
+// custom passes may touch anything.
+type PassState struct {
+	// Model is the name compiled artefacts inherit.
+	Model string
+	// Opts points at the owning Pipeline's options, so passes observe
+	// option updates made between runs (e.g. a Refine config set late).
+	Opts *CompileOptions
+
+	// Compile inputs.
+	Net   *nn.Sequential
+	InDim int
+	Calib [][]float64
+
+	// Refine inputs.
+	RefineInputs [][]float64
+	RefineLabels []int
+
+	// Emit inputs. Flows sizes the per-flow register arrays.
+	Flows int
+
+	// Artefacts.
+	Prog     *Program
+	Compiled *Compiled
+	RNN      *CompiledRNN
+	Emitted  *Emitted
+
+	// RefineAcc is the training accuracy reported by the refine pass.
+	RefineAcc float64
+}
+
+// Pass is one named pipeline stage.
+type Pass struct {
+	Name string
+	Run  func(*PassState) error
+}
+
+// PassDiag records one instrumented pass execution: wall time, the
+// artefact counts after the pass, and the deltas the pass caused.
+type PassDiag struct {
+	Pass string
+	Wall time.Duration
+
+	// Primitive-program counts (valid once a program exists).
+	Steps   int
+	Lookups int
+	// Compiled counts: plan groups and table lookups per inference.
+	Groups int
+	Tables int
+	// Emitted counts.
+	Stages   int
+	SRAMBits int
+	TCAMBits int
+
+	// Deltas relative to the state before the pass ran.
+	DSteps, DLookups int
+	DGroups, DTables int
+	DStages          int
+	DSRAMBits        int
+	DTCAMBits        int
+
+	// Err is set when the pass failed (the diag is still recorded).
+	Err string
+}
+
+// diagCounts snapshots the countable state for delta computation.
+func diagCounts(st *PassState) (steps, lookups, groups, tables, stages, sram, tcam int) {
+	if st.Prog != nil {
+		steps = len(st.Prog.Steps)
+		lookups = st.Prog.Lookups()
+	}
+	if st.Compiled != nil {
+		groups = len(st.Compiled.Groups)
+		tables = st.Compiled.Lookups()
+	}
+	if st.RNN != nil {
+		groups = st.RNN.T
+		tables = st.RNN.Lookups()
+	}
+	if st.Emitted != nil && st.Emitted.Prog != nil {
+		res := st.Emitted.Prog.Resources()
+		stages = st.Emitted.Stages
+		sram = res.SRAMBits
+		tcam = res.TCAMBits
+	}
+	return
+}
+
+// Pipeline is a staged pass manager: an ordered compile-pass list, an
+// emit-pass list (run per Emit call, since the flow count is an emit-time
+// input), and the diagnostics of every pass executed so far.
+type Pipeline struct {
+	Name string
+	Opts CompileOptions
+	// State is the shared pass state; custom passes and callers may
+	// inspect it between runs.
+	State PassState
+	// Diags accumulates one entry per executed pass, in order.
+	Diags []PassDiag
+
+	compile []Pass
+	emit    []Pass
+}
+
+// NewPipeline builds the standard feed-forward pipeline: lower → fuse
+// [→ drop-nonlinear] → build-tables, with a single emit pass. Models
+// customise it with Replace/InsertBefore/InsertAfter/Remove.
+func NewPipeline(name string, opts CompileOptions) *Pipeline {
+	p := &Pipeline{Name: name, Opts: opts}
+	p.compile = []Pass{LowerPass(), FusePass()}
+	if opts.DropNonlinear {
+		p.compile = append(p.compile, DropNonlinearPass())
+	}
+	p.compile = append(p.compile, BuildTablesPass())
+	p.emit = []Pass{EmitPass()}
+	return p
+}
+
+// NewRNNPipeline builds the recurrent pipeline (§4.2 flow scalability):
+// the lower pass traces full-precision hidden trajectories and learns
+// the input/hidden clustering trees; build-tables precomputes the
+// transition and logits tables. The standard emit pass lowers the
+// chained-index program.
+func NewRNNPipeline(name string, spec RNNSpec, opts CompileOptions) *Pipeline {
+	p := &Pipeline{Name: name, Opts: opts}
+	sp := spec
+	p.compile = []Pass{
+		{Name: "lower", Run: func(st *PassState) error {
+			c, err := rnnLower(st.Model, &sp, st.Calib)
+			if err != nil {
+				return err
+			}
+			st.RNN = c
+			return nil
+		}},
+		{Name: "build-tables", Run: func(st *PassState) error {
+			return rnnBuildTables(st.RNN, sp)
+		}},
+	}
+	p.emit = []Pass{EmitPass()}
+	return p
+}
+
+// ---- standard passes ----
+
+// LowerPass translates the trained network into the initial primitive
+// program, folding the input normalisation (Opts.Normalize) into a
+// prepended diagonal Map so later fusion absorbs it into the first
+// table group.
+func LowerPass() Pass {
+	return Pass{Name: "lower", Run: func(st *PassState) error {
+		if st.Net == nil {
+			return fmt.Errorf("lower: no network in pass state")
+		}
+		prog, err := Lower(st.Model, st.Net, st.InDim, st.Opts.Lower)
+		if err != nil {
+			return err
+		}
+		if n := st.Opts.Normalize; n > 0 {
+			scale := make([]float64, st.InDim)
+			for i := range scale {
+				scale[i] = 1 / n
+			}
+			pre := &Map{Fns: []Fn{Diag(scale, make([]float64, st.InDim))}}
+			prog = &Program{Name: prog.Name, InDim: st.InDim,
+				Steps: append([]Step{pre}, prog.Steps...)}
+		}
+		st.Prog = prog
+		return nil
+	}}
+}
+
+// FusePass applies Basic Primitive Fusion (§4.3, rules A and B).
+func FusePass() Pass {
+	return Pass{Name: "fuse", Run: func(st *PassState) error {
+		if st.Prog == nil {
+			return fmt.Errorf("fuse: no program in pass state")
+		}
+		st.Prog = Fuse(st.Prog)
+		return nil
+	}}
+}
+
+// DropNonlinearPass applies Advanced Primitive Fusion ❷ (activation
+// stripping + aggressive linear collapse).
+func DropNonlinearPass() Pass {
+	return Pass{Name: "drop-nonlinear", Run: func(st *PassState) error {
+		if st.Prog == nil {
+			return fmt.Errorf("drop-nonlinear: no program in pass state")
+		}
+		st.Prog = DropNonlinear(st.Prog)
+		return nil
+	}}
+}
+
+// BuildTablesPass learns fuzzy trees and quantised mapping tables from
+// the calibration set (§4.2, §4.4).
+func BuildTablesPass() Pass {
+	return Pass{Name: "build-tables", Run: func(st *PassState) error {
+		if st.Prog == nil {
+			return fmt.Errorf("build-tables: no program in pass state")
+		}
+		comp, err := BuildTables(st.Prog, st.Calib, st.Opts.Tables)
+		if err != nil {
+			return err
+		}
+		st.Compiled = comp
+		return nil
+	}}
+}
+
+// RefinePass backprop-tunes the final mapping tables against the task
+// loss (§4.4) using the refine inputs/labels in the state.
+func RefinePass() Pass {
+	return Pass{Name: "refine", Run: func(st *PassState) error {
+		if st.Compiled == nil {
+			return fmt.Errorf("refine: no compiled tables in pass state")
+		}
+		acc, err := RefineClassifier(st.Compiled, st.RefineInputs, st.RefineLabels, st.Opts.Refine)
+		if err != nil {
+			return err
+		}
+		st.RefineAcc = acc
+		return nil
+	}}
+}
+
+// EmitPass lowers the compiled artefact (feed-forward tables or the
+// chained-index RNN) onto the PISA pipeline. State.Flows overrides the
+// register sizing of Opts.Emit when set.
+func EmitPass() Pass {
+	return Pass{Name: "emit", Run: func(st *PassState) error {
+		opts := st.Opts.Emit
+		if st.Flows > 0 {
+			opts.Flows = st.Flows
+		}
+		var err error
+		switch {
+		case st.RNN != nil:
+			st.Emitted, err = st.RNN.Emit(opts)
+		case st.Compiled != nil:
+			st.Emitted, err = Emit(st.Compiled, opts)
+		default:
+			return fmt.Errorf("emit: nothing compiled in pass state")
+		}
+		return err
+	}}
+}
+
+// ---- pass-list customisation ----
+
+func (p *Pipeline) find(name string) (*[]Pass, int) {
+	for i := range p.compile {
+		if p.compile[i].Name == name {
+			return &p.compile, i
+		}
+	}
+	for i := range p.emit {
+		if p.emit[i].Name == name {
+			return &p.emit, i
+		}
+	}
+	return nil, -1
+}
+
+func (p *Pipeline) mustFind(name string) (*[]Pass, int) {
+	list, i := p.find(name)
+	if list == nil {
+		panic(fmt.Sprintf("core: pipeline %q has no pass %q (have %v)", p.Name, name, p.PassNames()))
+	}
+	return list, i
+}
+
+// PassNames lists the configured compile and emit passes in order.
+func (p *Pipeline) PassNames() []string {
+	var names []string
+	for _, ps := range p.compile {
+		names = append(names, ps.Name)
+	}
+	for _, ps := range p.emit {
+		names = append(names, ps.Name)
+	}
+	return names
+}
+
+// Replace swaps the pass with the given name for a custom one. Panics on
+// an unknown name (a compile-time wiring bug in the caller).
+func (p *Pipeline) Replace(name string, pass Pass) *Pipeline {
+	list, i := p.mustFind(name)
+	(*list)[i] = pass
+	return p
+}
+
+// InsertBefore places a custom pass immediately before the named one.
+func (p *Pipeline) InsertBefore(name string, pass Pass) *Pipeline {
+	list, i := p.mustFind(name)
+	*list = append((*list)[:i], append([]Pass{pass}, (*list)[i:]...)...)
+	return p
+}
+
+// InsertAfter places a custom pass immediately after the named one.
+func (p *Pipeline) InsertAfter(name string, pass Pass) *Pipeline {
+	list, i := p.mustFind(name)
+	*list = append((*list)[:i+1], append([]Pass{pass}, (*list)[i+1:]...)...)
+	return p
+}
+
+// Remove deletes the named pass.
+func (p *Pipeline) Remove(name string) *Pipeline {
+	list, i := p.mustFind(name)
+	*list = append((*list)[:i], (*list)[i+1:]...)
+	return p
+}
+
+// ---- execution ----
+
+// run executes passes against the shared state, recording one diag per
+// pass (including failing ones).
+func (p *Pipeline) run(passes []Pass) error {
+	for _, ps := range passes {
+		s0, l0, g0, t0, st0, sr0, tc0 := diagCounts(&p.State)
+		start := time.Now()
+		err := ps.Run(&p.State)
+		d := PassDiag{Pass: ps.Name, Wall: time.Since(start)}
+		d.Steps, d.Lookups, d.Groups, d.Tables, d.Stages, d.SRAMBits, d.TCAMBits = diagCounts(&p.State)
+		d.DSteps, d.DLookups = d.Steps-s0, d.Lookups-l0
+		d.DGroups, d.DTables = d.Groups-g0, d.Tables-t0
+		d.DStages = d.Stages - st0
+		d.DSRAMBits, d.DTCAMBits = d.SRAMBits-sr0, d.TCAMBits-tc0
+		if err != nil {
+			d.Err = err.Error()
+		}
+		p.Diags = append(p.Diags, d)
+		if err != nil {
+			return fmt.Errorf("core: pipeline %q pass %q: %w", p.Name, ps.Name, err)
+		}
+	}
+	return nil
+}
+
+// Compile runs the compile passes over a trained network and calibration
+// set, returning the feed-forward tables (nil for RNN pipelines, whose
+// artefact is State.RNN).
+func (p *Pipeline) Compile(net *nn.Sequential, inDim int, calib [][]float64) (*Compiled, error) {
+	p.State = PassState{Model: p.Name, Opts: &p.Opts, Net: net, InDim: inDim, Calib: calib}
+	p.Diags = p.Diags[:0]
+	if err := p.run(p.compile); err != nil {
+		return nil, err
+	}
+	if p.State.Compiled == nil && p.State.RNN == nil {
+		return nil, fmt.Errorf("core: pipeline %q produced no compiled artefact", p.Name)
+	}
+	return p.State.Compiled, nil
+}
+
+// CompileCalib runs the compile passes for pipelines whose lower pass
+// does not consume a Sequential (the RNN pipeline, or custom lower
+// passes that capture their model).
+func (p *Pipeline) CompileCalib(calib [][]float64) error {
+	p.State = PassState{Model: p.Name, Opts: &p.Opts, Calib: calib}
+	p.Diags = p.Diags[:0]
+	return p.run(p.compile)
+}
+
+// Refine runs the instrumented refine pass against the current compiled
+// state, returning the post-refinement training accuracy.
+func (p *Pipeline) Refine(inputs [][]float64, labels []int) (float64, error) {
+	p.State.RefineInputs, p.State.RefineLabels = inputs, labels
+	if err := p.run([]Pass{RefinePass()}); err != nil {
+		return 0, err
+	}
+	return p.State.RefineAcc, nil
+}
+
+// EmitProgram runs the emit passes with the given flow count and returns
+// the emitted switch program.
+func (p *Pipeline) EmitProgram(flows int) (*Emitted, error) {
+	p.State.Flows = flows
+	if err := p.run(p.emit); err != nil {
+		return nil, err
+	}
+	return p.State.Emitted, nil
+}
+
+// RunPass executes one ad-hoc pass against the current state with full
+// instrumentation — the hook model-specific phases (e.g. CNN-L's table
+// refinement) use to appear in the diagnostics alongside standard passes.
+func (p *Pipeline) RunPass(pass Pass) error {
+	return p.run([]Pass{pass})
+}
+
+// Diagnostics returns the accumulated per-pass diagnostics.
+func (p *Pipeline) Diagnostics() []PassDiag { return p.Diags }
+
+// DiagString renders the diagnostics as an aligned report.
+func (p *Pipeline) DiagString() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pipeline %q passes:\n", p.Name)
+	fmt.Fprintf(&b, "  %-16s %10s %6s %7s %6s %6s %6s %12s %12s\n",
+		"pass", "wall", "steps", "lookups", "groups", "tables", "stages", "ΔSRAM(b)", "ΔTCAM(b)")
+	for _, d := range p.Diags {
+		status := ""
+		if d.Err != "" {
+			status = "  ERR: " + d.Err
+		}
+		fmt.Fprintf(&b, "  %-16s %10s %6d %7d %6d %6d %6d %12d %12d%s\n",
+			d.Pass, d.Wall.Round(time.Microsecond), d.Steps, d.Lookups,
+			d.Groups, d.Tables, d.Stages, d.DSRAMBits, d.DTCAMBits, status)
+	}
+	return b.String()
+}

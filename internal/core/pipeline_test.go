@@ -1,0 +1,311 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/pegasus-idp/pegasus/internal/nn"
+)
+
+// compiledEqual checks two compiled models classify every calibration
+// point identically.
+func compiledEqual(t *testing.T, a, b *Compiled, calib [][]float64) {
+	t.Helper()
+	if len(a.Groups) != len(b.Groups) {
+		t.Fatalf("group counts differ: %d vs %d", len(a.Groups), len(b.Groups))
+	}
+	for i := range calib {
+		x := make([]int32, len(calib[i]))
+		for j, f := range calib[i] {
+			x[j] = int32(f)
+		}
+		if a.Classify(x) != b.Classify(x) {
+			t.Fatalf("sample %d: %d vs %d", i, a.Classify(x), b.Classify(x))
+		}
+	}
+}
+
+func TestPipelineMatchesManualPhases(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	net, xs, _ := trainToyNet(rng, 8, 3)
+	calib := make([][]float64, xs.R)
+	for i := range calib {
+		calib[i] = xs.Row(i)
+	}
+	cfg := CompileConfig{TreeDepth: 6, InBits: 16}
+
+	// Manual phase stitching (the pre-pass-manager flow).
+	prog, err := Lower("toy", net, 8, LowerConfig{MaxSegDim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := BuildTables(Fuse(prog), calib, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pipe := NewPipeline("toy", CompileOptions{
+		Lower:  LowerConfig{MaxSegDim: 2},
+		Tables: cfg,
+	})
+	got, err := pipe.Compile(net, 8, calib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiledEqual(t, got, want, calib)
+}
+
+func TestPipelineDiagnostics(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	net, xs, _ := trainToyNet(rng, 8, 3)
+	calib := make([][]float64, xs.R)
+	for i := range calib {
+		calib[i] = xs.Row(i)
+	}
+	pipe := NewPipeline("toy", CompileOptions{
+		Lower:  LowerConfig{MaxSegDim: 2},
+		Tables: CompileConfig{TreeDepth: 5, InBits: 16},
+		Emit:   EmitOptions{Argmax: true},
+	})
+	if _, err := pipe.Compile(net, 8, calib); err != nil {
+		t.Fatal(err)
+	}
+	diags := pipe.Diagnostics()
+	wantOrder := []string{"lower", "fuse", "build-tables"}
+	if len(diags) != len(wantOrder) {
+		t.Fatalf("diags = %d, want %d", len(diags), len(wantOrder))
+	}
+	for i, d := range diags {
+		if d.Pass != wantOrder[i] {
+			t.Fatalf("pass %d = %q, want %q", i, d.Pass, wantOrder[i])
+		}
+		if d.Err != "" {
+			t.Fatalf("pass %q failed: %s", d.Pass, d.Err)
+		}
+	}
+	if diags[0].Steps == 0 || diags[0].DSteps <= 0 {
+		t.Fatalf("lower diag records no steps: %+v", diags[0])
+	}
+	if diags[1].DLookups >= 0 {
+		t.Fatalf("fuse should shrink lookups, Δ = %d", diags[1].DLookups)
+	}
+	if diags[2].Groups == 0 || diags[2].Tables == 0 {
+		t.Fatalf("build-tables diag empty: %+v", diags[2])
+	}
+
+	if _, err := pipe.EmitProgram(1 << 10); err != nil {
+		t.Fatal(err)
+	}
+	diags = pipe.Diagnostics()
+	last := diags[len(diags)-1]
+	if last.Pass != "emit" || last.Stages == 0 || last.DSRAMBits <= 0 || last.DTCAMBits <= 0 {
+		t.Fatalf("emit diag wrong: %+v", last)
+	}
+	if !strings.Contains(pipe.DiagString(), "emit") {
+		t.Fatal("DiagString missing emit row")
+	}
+}
+
+func TestPipelineNormalizeFoldsIntoProgram(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	net, xs, _ := trainToyNet(rng, 8, 3)
+	calib := make([][]float64, xs.R)
+	for i := range calib {
+		calib[i] = xs.Row(i)
+	}
+	cfg := CompileConfig{TreeDepth: 6, InBits: 16}
+
+	// Manual: prepend the diagonal scaling Map, then fuse + build.
+	prog, err := Lower("toy", net, 8, LowerConfig{MaxSegDim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := make([]float64, 8)
+	for i := range scale {
+		scale[i] = 1.0 / 16
+	}
+	pre := &Map{Fns: []Fn{Diag(scale, make([]float64, 8))}}
+	manual := &Program{Name: prog.Name, InDim: 8, Steps: append([]Step{pre}, prog.Steps...)}
+	want, err := BuildTables(Fuse(manual), calib, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pipe := NewPipeline("toy", CompileOptions{
+		Lower:     LowerConfig{MaxSegDim: 2},
+		Tables:    cfg,
+		Normalize: 16,
+	})
+	got, err := pipe.Compile(net, 8, calib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiledEqual(t, got, want, calib)
+}
+
+func TestPipelineCustomisation(t *testing.T) {
+	pipe := NewPipeline("custom", CompileOptions{})
+	names := pipe.PassNames()
+	want := []string{"lower", "fuse", "build-tables", "emit"}
+	if len(names) != len(want) {
+		t.Fatalf("PassNames = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("PassNames = %v, want %v", names, want)
+		}
+	}
+	ran := []string{}
+	mark := func(name string) Pass {
+		return Pass{Name: name, Run: func(*PassState) error {
+			ran = append(ran, name)
+			return nil
+		}}
+	}
+	pipe.Replace("lower", mark("lower"))
+	pipe.Replace("fuse", mark("fuse"))
+	pipe.Replace("build-tables", mark("build-tables"))
+	pipe.InsertAfter("lower", mark("post-lower"))
+	pipe.InsertBefore("build-tables", mark("pre-build"))
+	pipe.Remove("fuse")
+	// The compile list is now lower, post-lower, pre-build, build-tables;
+	// Compile fails on the missing artefact but runs every pass.
+	if _, err := pipe.Compile(nil, 0, nil); err == nil {
+		t.Fatal("want artefact error from stub passes")
+	}
+	wantRan := []string{"lower", "post-lower", "pre-build", "build-tables"}
+	if len(ran) != len(wantRan) {
+		t.Fatalf("ran = %v", ran)
+	}
+	for i := range wantRan {
+		if ran[i] != wantRan[i] {
+			t.Fatalf("ran = %v, want %v", ran, wantRan)
+		}
+	}
+	if len(pipe.Diagnostics()) != len(wantRan) {
+		t.Fatalf("diags = %d, want %d", len(pipe.Diagnostics()), len(wantRan))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown pass name must panic")
+		}
+	}()
+	pipe.Remove("no-such-pass")
+}
+
+func TestPipelineRefinePass(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	net, xs, labels := trainToyNet(rng, 8, 3)
+	calib := make([][]float64, xs.R)
+	for i := range calib {
+		calib[i] = xs.Row(i)
+	}
+	pipe := NewPipeline("toy", CompileOptions{
+		Lower:  LowerConfig{MaxSegDim: 2},
+		Tables: CompileConfig{TreeDepth: 6, InBits: 16},
+		Refine: RefineConfig{Epochs: 3, LR: 0.05},
+	})
+	if _, err := pipe.Compile(net, 8, calib); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := pipe.Refine(calib, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc <= 0 || acc > 1 {
+		t.Fatalf("refine acc = %g", acc)
+	}
+	diags := pipe.Diagnostics()
+	if diags[len(diags)-1].Pass != "refine" {
+		t.Fatalf("last diag = %+v", diags[len(diags)-1])
+	}
+}
+
+func TestRNNPipelineMatchesCompileRNN(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	const T, stepDims = 4, 2
+	emb := nn.NewEmbedding(64, 2, T*stepDims, rng)
+	cell := nn.NewRNN(T, stepDims*2, 6, rng)
+	out := nn.NewLinear(6, 3, rng)
+	calib := calibData(rng, 200, T*stepDims, 64)
+	spec := RNNSpec{T: T, StepDims: stepDims, Emb: emb, Cell: cell, Out: out,
+		InputDepth: 4, HiddenDepth: 5}
+
+	want, err := CompileRNN("rnn", spec, calib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe := NewRNNPipeline("rnn", spec, CompileOptions{})
+	if err := pipe.CompileCalib(calib); err != nil {
+		t.Fatal(err)
+	}
+	got := pipe.State.RNN
+	if got == nil {
+		t.Fatal("RNN pipeline produced no artefact")
+	}
+	for i := range calib {
+		x := make([]int32, len(calib[i]))
+		for j, f := range calib[i] {
+			x[j] = int32(f)
+		}
+		if got.Classify(x) != want.Classify(x) {
+			t.Fatalf("sample %d: pipeline %d vs CompileRNN %d", i, got.Classify(x), want.Classify(x))
+		}
+	}
+	names := pipe.PassNames()
+	if names[0] != "lower" || names[1] != "build-tables" {
+		t.Fatalf("RNN pass names = %v", names)
+	}
+	if _, err := pipe.EmitProgram(1 << 8); err != nil {
+		t.Fatal(err)
+	}
+	if pipe.State.Emitted == nil || pipe.State.Emitted.Stages == 0 {
+		t.Fatal("RNN emit produced nothing")
+	}
+}
+
+func TestEngineBitIdenticalToRunSwitch(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	net, xs, _ := trainToyNet(rng, 8, 3)
+	calib := make([][]float64, xs.R)
+	for i := range calib {
+		calib[i] = xs.Row(i)
+	}
+	pipe := NewPipeline("toy", CompileOptions{
+		Lower:  LowerConfig{MaxSegDim: 2},
+		Tables: CompileConfig{TreeDepth: 6, InBits: 16},
+		Emit:   EmitOptions{Argmax: true},
+	})
+	if _, err := pipe.Compile(net, 8, calib); err != nil {
+		t.Fatal(err)
+	}
+	em, err := pipe.EmitProgram(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ints := make([][]int32, len(calib))
+	for i := range calib {
+		v := make([]int32, len(calib[i]))
+		for j, f := range calib[i] {
+			v[j] = int32(f)
+		}
+		ints[i] = v
+	}
+	jobs := BatchJobs(ints)
+	for _, workers := range []int{1, 4} {
+		eng := em.NewEngine(workers)
+		res := eng.RunBatch(jobs)
+		for i, x := range ints {
+			cls, outs := em.RunSwitch(x)
+			if res[i].Class != cls {
+				t.Fatalf("workers=%d sample %d: engine class %d, RunSwitch %d", workers, i, res[i].Class, cls)
+			}
+			for k := range outs {
+				if res[i].Outs[k] != outs[k] {
+					t.Fatalf("workers=%d sample %d out %d: %d vs %d", workers, i, k, res[i].Outs[k], outs[k])
+				}
+			}
+		}
+	}
+}

@@ -58,8 +58,25 @@ type CompiledRNN struct {
 }
 
 // CompileRNN builds the chained-index tables from calibration windows
-// (integer features, row layout = T × StepDims).
+// (integer features, row layout = T × StepDims). It is the monolithic
+// form of the two RNN pipeline passes (rnnLower + rnnBuildTables); model
+// code compiles through NewRNNPipeline instead.
 func CompileRNN(name string, spec RNNSpec, calib [][]float64) (*CompiledRNN, error) {
+	c, err := rnnLower(name, &spec, calib)
+	if err != nil {
+		return nil, err
+	}
+	if err := rnnBuildTables(c, spec); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// rnnLower is the RNN pipeline's "lower" stage: validate the spec,
+// trace full-precision hidden trajectories over the calibration windows,
+// and learn the input/hidden clustering trees. spec is taken by pointer
+// so its filled defaults carry into the build-tables stage.
+func rnnLower(name string, spec *RNNSpec, calib [][]float64) (*CompiledRNN, error) {
 	if spec.T <= 0 || spec.StepDims <= 0 {
 		return nil, fmt.Errorf("core: bad RNN spec T=%d StepDims=%d", spec.T, spec.StepDims)
 	}
@@ -85,14 +102,12 @@ func CompileRNN(name string, spec RNNSpec, calib [][]float64) (*CompiledRNN, err
 	// Gather per-step inputs and full-precision hidden trajectories.
 	var stepInputs [][]float64
 	var hiddens [][]float64
-	embDim := spec.Emb.Dim
-	stepEmb := spec.StepDims * embDim
 	for _, w := range calib {
 		h := make([]float64, spec.Cell.Hidden)
 		for t := 0; t < spec.T; t++ {
 			step := w[t*spec.StepDims : (t+1)*spec.StepDims]
 			stepInputs = append(stepInputs, append([]float64(nil), step...))
-			h = rnnStep(spec, step, h)
+			h = rnnStep(*spec, step, h)
 			hiddens = append(hiddens, append([]float64(nil), h...))
 		}
 	}
@@ -107,46 +122,50 @@ func CompileRNN(name string, spec RNNSpec, calib [][]float64) (*CompiledRNN, err
 		return nil, fmt.Errorf("core: hidden tree: %v", err)
 	}
 
-	c := &CompiledRNN{
+	return &CompiledRNN{
 		Name: name, T: spec.T, StepDims: spec.StepDims,
 		XTree: xTree, HTree: hTree,
 		HInit:   hTree.Assign(make([]float64, spec.Cell.Hidden)),
 		OutBits: spec.OutBits,
-	}
+	}, nil
+}
 
-	// Precompute the transition: for every (x̂, ĥ) centroid pair run one
-	// full-precision cell step and re-assign the result.
-	nx, nh := xTree.NumLeaves(), hTree.NumLeaves()
+// rnnBuildTables is the RNN pipeline's "build-tables" stage: precompute
+// the (x̂, ĥ) → ĥ' transition table and the quantised logits table over
+// hidden centroids.
+func rnnBuildTables(c *CompiledRNN, spec RNNSpec) error {
+	if c == nil {
+		return fmt.Errorf("core: rnn build-tables before lower")
+	}
+	nx, nh := c.XTree.NumLeaves(), c.HTree.NumLeaves()
 	c.Trans = make([][]int, nx)
 	for xi := 0; xi < nx; xi++ {
 		c.Trans[xi] = make([]int, nh)
-		xc := xTree.Centroid(xi)
+		xc := c.XTree.Centroid(xi)
 		for hi := 0; hi < nh; hi++ {
-			next := rnnStep(spec, xc, hTree.Centroid(hi))
-			c.Trans[xi][hi] = hTree.Assign(next)
+			next := rnnStep(spec, xc, c.HTree.Centroid(hi))
+			c.Trans[xi][hi] = c.HTree.Assign(next)
 		}
 	}
 
-	// Logits table over hidden centroids.
 	outAff := &AffineFn{W: spec.Out.Weight.W, B: spec.Out.Bias.W.D}
 	var all []float64
 	raw := make([][]float64, nh)
 	for hi := 0; hi < nh; hi++ {
-		y := outAff.Eval(hTree.Centroid(hi))
+		y := outAff.Eval(c.HTree.Centroid(hi))
 		raw[hi] = y
 		all = append(all, y...)
 	}
 	q, err := fixed.Fit(spec.OutBits, all)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	c.OutFrac = q.Frac
 	c.Logits = make([][]int32, nh)
 	for hi := 0; hi < nh; hi++ {
 		c.Logits[hi] = q.QuantizeVec(raw[hi], nil)
 	}
-	_ = stepEmb
-	return c, nil
+	return nil
 }
 
 // rnnStep runs one full-precision cell step on raw integer features.

@@ -454,6 +454,9 @@ func (s *Suite) Figure9Accuracy(w io.Writer) error {
 // Figure9Throughput compares inference throughput: the simulated switch
 // at line rate versus measured CPU full-precision inference and a
 // modelled multi-GPU deployment (DESIGN.md documents the substitution).
+// It also measures the switch *simulator* itself — sequential RunSwitch
+// versus the batched flow-sharded pisa.Engine — so the replay harness's
+// own scaling is visible.
 func (s *Suite) Figure9Throughput(w io.Writer) error {
 	b, err := s.Bundle("PeerRush")
 	if err != nil {
@@ -480,11 +483,35 @@ func (s *Suite) Figure9Throughput(w io.Writer) error {
 	// inference).
 	gpu := cpu * 6 * 4
 	sw := pisa.LineRatePPS
+
+	// Simulator throughput: replay the test windows through the emitted
+	// CNN-B program, batched, at 1 worker and at all cores.
+	em, err := b.cnnb.Emit(1 << 10)
+	if err != nil {
+		return err
+	}
+	jobs := core.BatchJobsFromFloats(xs)
+	measure := func(workers int) float64 {
+		eng := em.NewEngine(workers)
+		start := time.Now()
+		n := 0
+		for time.Since(start) < 300*time.Millisecond {
+			eng.RunBatch(jobs)
+			n += len(jobs)
+		}
+		return float64(n) / time.Since(start).Seconds()
+	}
+	sim1 := measure(1)
+	simN := measure(runtime.NumCPU())
+
 	fmt.Fprintf(w, "Figure 9d: throughput (samples/s)\n")
 	fmt.Fprintf(w, "%-22s %14.3g\n", "Pegasus (switch)", sw)
 	fmt.Fprintf(w, "%-22s %14.3g (modelled: %d cores × 24)\n", "GPU (4x, modelled)", gpu, runtime.NumCPU())
 	fmt.Fprintf(w, "%-22s %14.3g (measured, %d cores)\n", "CPU", cpu, runtime.NumCPU())
 	fmt.Fprintf(w, "switch/CPU = %.0fx   switch/GPU = %.0fx\n", sw/cpu, sw/gpu)
+	fmt.Fprintf(w, "%-22s %14.3g (measured, 1 worker)\n", "sim replay (seq)", sim1)
+	fmt.Fprintf(w, "%-22s %14.3g (measured, %d workers, %.1fx)\n",
+		"sim replay (engine)", simN, runtime.NumCPU(), simN/sim1)
 	return nil
 }
 

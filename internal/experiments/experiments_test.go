@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestSuiteRunsEveryArtefact smoke-tests Suite.Run for every named
+// artefact at a quick preset: the full model zoo trains, compiles
+// through the staged pipeline, and every table/figure renders without
+// error. Bundles are cached on the suite, so the zoo trains once per
+// dataset across all artefacts.
+func TestSuiteRunsEveryArtefact(t *testing.T) {
+	s := NewSuite(Config{FlowsPerClass: 14, Epochs: 0.05, Seed: 3})
+	for _, name := range Names {
+		var b strings.Builder
+		if err := s.Run(name, &b); err != nil {
+			t.Fatalf("Run(%q): %v", name, err)
+		}
+		if b.Len() == 0 {
+			t.Fatalf("Run(%q) produced no output", name)
+		}
+	}
+}
+
+// TestSuiteRunAll exercises the "all" dispatcher on an already-trained
+// suite (bundle reuse keeps this cheap).
+func TestSuiteRunAll(t *testing.T) {
+	s := NewSuite(Config{FlowsPerClass: 14, Epochs: 0.05, Seed: 3})
+	if err := s.Run("all", io.Discard); err != nil {
+		t.Fatalf("Run(all): %v", err)
+	}
+}
+
+// TestSuiteRejectsUnknownArtefact checks the error path names the
+// available experiments.
+func TestSuiteRejectsUnknownArtefact(t *testing.T) {
+	s := NewSuite(Config{FlowsPerClass: 14, Epochs: 0.05, Seed: 3})
+	err := s.Run("fig99", io.Discard)
+	if err == nil {
+		t.Fatal("want error for unknown experiment")
+	}
+	if !strings.Contains(err.Error(), "fig99") || !strings.Contains(err.Error(), "table5") {
+		t.Fatalf("error should name the unknown and the available experiments: %v", err)
+	}
+	if err := s.Run("fig8", io.Discard); err != nil {
+		t.Fatalf("suite unusable after rejection: %v", err)
+	}
+}
+
+// TestSuiteUnknownDataset checks Bundle propagates dataset errors.
+func TestSuiteUnknownDataset(t *testing.T) {
+	s := NewSuite(Config{FlowsPerClass: 14, Epochs: 0.05, Seed: 3})
+	if _, err := s.Bundle("NotADataset"); err == nil {
+		t.Fatal("want error for unknown dataset")
+	}
+}

@@ -24,6 +24,7 @@ type AutoEncoder struct {
 	// mirrored decode.
 	Body *nn.Sequential
 
+	pipe     *core.Pipeline
 	compiled *core.Compiled
 	embGroup int // index of the embedding group in the compiled plan
 }
@@ -129,19 +130,19 @@ func (m *AutoEncoder) ScoreFull(flows []netsim.Flow) ([]float64, []bool) {
 	return scores, anom
 }
 
-// Compile lowers Emb+Body into mapping tables. The embedding group's
+// Compile runs the staged pipeline over Emb+Body. The embedding group's
 // output doubles as the reconstruction target, so the switch computes
-// the MAE entirely from PHV fields.
+// the MAE entirely from PHV fields. No argmax pass is emitted: the MAE
+// is computed by sub/abs/add ALU stages.
 func (m *AutoEncoder) Compile(flows []netsim.Flow) error {
 	xs, _ := ExtractSeq(flows)
 	full := nn.NewSequential(append([]nn.Layer{m.Emb}, m.Body.Layers...)...)
-	prog, err := core.Lower(m.Name, full, Window*2, core.LowerConfig{MaxSegDim: 4})
-	if err != nil {
-		return err
-	}
-	comp, err := core.BuildTables(core.Fuse(prog), xs, core.CompileConfig{
-		TreeDepth: 6, InBits: 8, MaxCalib: 3000,
+	m.pipe = core.NewPipeline(m.Name, core.CompileOptions{
+		Lower:  core.LowerConfig{MaxSegDim: 4},
+		Tables: core.CompileConfig{TreeDepth: 6, InBits: 8, MaxCalib: 3000},
+		Emit:   core.EmitOptions{FlowStateBits: m.FlowStateBits()},
 	})
+	comp, err := m.pipe.Compile(full, Window*2, xs)
 	if err != nil {
 		return err
 	}
@@ -152,6 +153,14 @@ func (m *AutoEncoder) Compile(flows []netsim.Flow) error {
 
 // Compiled exposes the compiled tables.
 func (m *AutoEncoder) Compiled() *core.Compiled { return m.compiled }
+
+// Diagnostics returns the per-pass compilation diagnostics.
+func (m *AutoEncoder) Diagnostics() []core.PassDiag {
+	if m.pipe == nil {
+		return nil
+	}
+	return m.pipe.Diagnostics()
+}
 
 // ScorePegasus returns the per-flow fixed-point MAE scores the switch
 // computes: |recon − emb| summed in integer arithmetic with positions
@@ -225,15 +234,12 @@ func (m *AutoEncoder) scoreInts(x []int32) float64 {
 	return math.Ldexp(sum/float64(len(cur)), -int(frac))
 }
 
-// Emit lowers the AutoEncoder onto the pipeline (no argmax; the MAE is
-// computed by sub/abs/add ALU stages whose cost is included via the
-// final reduction stages).
+// Emit runs the pipeline's emit pass (no argmax; the MAE is computed by
+// sub/abs/add ALU stages whose cost is included via the final reduction
+// stages).
 func (m *AutoEncoder) Emit(flows int) (*core.Emitted, error) {
-	if m.compiled == nil {
+	if m.pipe == nil || m.compiled == nil {
 		return nil, fmt.Errorf("models: %s not compiled", m.Name)
 	}
-	return core.Emit(m.compiled, core.EmitOptions{
-		FlowStateBits: m.FlowStateBits(),
-		Flows:         flows,
-	})
+	return m.pipe.EmitProgram(flows)
 }

@@ -44,6 +44,7 @@ type CNNL struct {
 	segDim   int
 	zDim     int
 
+	pipe *core.Pipeline
 	comp *core.Compiled // per-packet pipeline: payload → logits
 }
 
@@ -159,10 +160,11 @@ func (m *CNNL) EvalFull(flows []netsim.Flow, nClasses int) (metrics.Report, erro
 }
 
 // Compile lowers the shared per-packet network (encoder + head) through
-// the standard Pegasus pipeline. The head is forced into a single fuzzy
-// segment over the refined feature vector with FinalDepth = IdxBits, so
-// the final group's fuzzy index is exactly the per-packet state the
-// switch stores.
+// the staged pipeline, customised with two extra passes: "attach-head"
+// appends the classification head as one fuzzy segment over the refined
+// feature vector (FinalDepth = IdxBits makes the final group's fuzzy
+// index exactly the per-packet state the switch stores), and
+// "check-final-group" asserts that shape after table building.
 func (m *CNNL) Compile(flows []netsim.Flow, maxCalib int) error {
 	if maxCalib == 0 {
 		maxCalib = 2500
@@ -186,39 +188,39 @@ func (m *CNNL) Compile(flows []netsim.Flow, maxCalib int) error {
 		}
 		segs = sub
 	}
-	// Encoder program with the 1/128 training normalisation folded in.
-	prog, err := core.Lower(m.Name+"-packet", m.encoder, m.segDim, core.LowerConfig{MaxSegDim: 6})
-	if err != nil {
-		return err
-	}
-	scale := make([]float64, m.segDim)
-	for i := range scale {
-		scale[i] = 1.0 / 128
-	}
-	pre := &core.Map{Fns: []core.Fn{core.Diag(scale, make([]float64, m.segDim))}}
-	// Head: one fuzzy segment over the z vector.
-	zCols := make([]int, m.zDim)
-	for i := range zCols {
-		zCols[i] = i
-	}
-	headFn, err := core.NewAffine(m.head.Weight.W.Clone(), append([]float64(nil), m.head.Bias.W.D...))
-	if err != nil {
-		return err
-	}
-	steps := append([]core.Step{pre}, prog.Steps...)
-	steps = append(steps, &core.Partition{Groups: [][]int{zCols}}, &core.Map{Fns: []core.Fn{headFn}})
-	full := &core.Program{Name: prog.Name, InDim: m.segDim, Steps: steps}
-	fused := core.Fuse(full)
-	comp, err := core.BuildTables(fused, segs, core.CompileConfig{
-		TreeDepth: 6, FinalDepth: m.IdxBits, InBits: 8, MaxCalib: maxCalib,
+	m.pipe = core.NewPipeline(m.Name+"-packet", core.CompileOptions{
+		Lower:     core.LowerConfig{MaxSegDim: 6},
+		Tables:    core.CompileConfig{TreeDepth: 6, FinalDepth: m.IdxBits, InBits: 8, MaxCalib: maxCalib},
+		Normalize: 128, // the 1/128 training normalisation, folded in
+		Emit:      core.EmitOptions{FlowStateBits: m.FlowStateBits()},
 	})
+	m.pipe.InsertAfter("lower", core.Pass{Name: "attach-head", Run: func(st *core.PassState) error {
+		zCols := make([]int, m.zDim)
+		for i := range zCols {
+			zCols[i] = i
+		}
+		headFn, err := core.NewAffine(m.head.Weight.W.Clone(), append([]float64(nil), m.head.Bias.W.D...))
+		if err != nil {
+			return err
+		}
+		st.Prog = &core.Program{Name: st.Prog.Name, InDim: st.Prog.InDim,
+			Steps: append(append([]core.Step(nil), st.Prog.Steps...),
+				&core.Partition{Groups: [][]int{zCols}}, &core.Map{Fns: []core.Fn{headFn}})}
+		return st.Prog.Validate()
+	}})
+	m.pipe.InsertAfter("build-tables", core.Pass{Name: "check-final-group", Run: func(st *core.PassState) error {
+		lastG := st.Compiled.Groups[len(st.Compiled.Groups)-1]
+		if len(lastG.Segs) != 1 || lastG.Segs[0].Mode != core.SegFuzzy {
+			return fmt.Errorf("models: CNN-L final group is not a single fuzzy segment")
+		}
+		return nil
+	}})
+	m.pipe.InsertAfter("emit", core.Pass{Name: "emit-window", Run: func(st *core.PassState) error {
+		return m.emitWindowPhase(st.Emitted)
+	}})
+	comp, err := m.pipe.Compile(m.encoder, m.segDim, segs)
 	if err != nil {
 		return err
-	}
-	// The final group must be a single fuzzy segment (the stored index).
-	lastG := comp.Groups[len(comp.Groups)-1]
-	if len(lastG.Segs) != 1 || lastG.Segs[0].Mode != core.SegFuzzy {
-		return fmt.Errorf("models: CNN-L final group is not a single fuzzy segment")
 	}
 	m.comp = comp
 	return nil
@@ -226,6 +228,14 @@ func (m *CNNL) Compile(flows []netsim.Flow, maxCalib int) error {
 
 // Compiled exposes the per-packet pipeline.
 func (m *CNNL) Compiled() *core.Compiled { return m.comp }
+
+// Diagnostics returns the per-pass compilation diagnostics.
+func (m *CNNL) Diagnostics() []core.PassDiag {
+	if m.pipe == nil {
+		return nil
+	}
+	return m.pipe.Diagnostics()
+}
 
 // PacketLogits runs one packet segment through the compiled pipeline,
 // returning its quantised logit contribution and the stored fuzzy index.
@@ -280,8 +290,24 @@ func (m *CNNL) EvalPegasus(flows []netsim.Flow, nClasses int) (metrics.Report, e
 }
 
 // Refine backprop-tunes the shared per-packet logits table (§4.4).
-// Logits are linear in the entries, so gradients are exact.
+// Logits are linear in the entries, so gradients are exact. The work
+// runs as an instrumented "refine" pass on the model's pipeline.
+// Returns 0 when the model has not been compiled.
 func (m *CNNL) Refine(flows []netsim.Flow, epochs int, lr float64) float64 {
+	if m.pipe == nil || m.comp == nil {
+		return 0
+	}
+	var acc float64
+	if err := m.pipe.RunPass(core.Pass{Name: "refine", Run: func(*core.PassState) error {
+		acc = m.refineTables(flows, epochs, lr)
+		return nil
+	}}); err != nil {
+		return 0
+	}
+	return acc
+}
+
+func (m *CNNL) refineTables(flows []netsim.Flow, epochs int, lr float64) float64 {
 	xs, ys := m.Extract(flows)
 	last := &m.comp.Groups[len(m.comp.Groups)-1]
 	table := last.Segs[0].Table
@@ -349,21 +375,21 @@ func (m *CNNL) Refine(flows []netsim.Flow, epochs int, lr float64) float64 {
 	return float64(hit) / float64(len(xs))
 }
 
-// Emit lowers CNN-L onto the pipeline: the per-packet encoder program
-// (emitted by the core compiler, ending in the index TCAM + the current
-// packet's logits table) plus Window−1 extra per-position logits table
-// copies, the SumReduce tree, argmax, and the per-flow index registers.
+// Emit lowers CNN-L onto the pipeline via two emit passes: the standard
+// "emit" pass lowers the per-packet encoder program (ending in the index
+// TCAM + the current packet's logits table), and "emit-window" appends
+// the Window−1 per-position logits table copies, the SumReduce tree,
+// argmax, and the per-flow index registers.
 func (m *CNNL) Emit(flows int) (*core.Emitted, error) {
-	if m.comp == nil {
+	if m.pipe == nil || m.comp == nil {
 		return nil, fmt.Errorf("models: %s not compiled", m.Name)
 	}
-	em, err := core.Emit(m.comp, core.EmitOptions{
-		FlowStateBits: m.FlowStateBits(),
-		Flows:         flows,
-	})
-	if err != nil {
-		return nil, err
-	}
+	return m.pipe.EmitProgram(flows)
+}
+
+// emitWindowPhase appends the §7.3 window phase to the emitted
+// per-packet program.
+func (m *CNNL) emitWindowPhase(em *core.Emitted) error {
 	layout := em.Prog.Layout
 	// Window-phase: stored index fields + per-position logits tables.
 	last := &m.comp.Groups[len(m.comp.Groups)-1]
@@ -451,10 +477,7 @@ func (m *CNNL) Emit(flows int) (*core.Emitted, error) {
 	stage++
 	em.OutFields = outF
 	em.Stages = stage
-	if err := em.Prog.Validate(); err != nil {
-		return nil, err
-	}
-	return em, nil
+	return em.Prog.Validate()
 }
 
 // RunSwitchWindow drives the emitted program the way the switch sees a

@@ -106,9 +106,10 @@ func (o *TrainOpts) defaults() {
 }
 
 // Feedforward is a generic Pegasus-compilable classifier: it owns the
-// trained network, the feature extractor and the compile configuration,
-// and exposes both full-precision and Pegasus (fuzzy fixed-point)
-// evaluation plus PISA emission.
+// trained network, the feature extractor and the compile options, and
+// exposes both full-precision and Pegasus (fuzzy fixed-point)
+// evaluation plus PISA emission. Compilation runs through the staged
+// core.Pipeline; the pass diagnostics are available after Compile.
 type Feedforward struct {
 	Name string
 	Net  *nn.Sequential
@@ -118,12 +119,11 @@ type Feedforward struct {
 	// InputScaleBits / FlowStateBits are the Table 5/6 metadata.
 	InputScaleBits int
 	FlowStateBits  int
-	LowerCfg       core.LowerConfig
-	CompileCfg     core.CompileConfig
-	// Normalize divides features by this before the net (the compiled
-	// path folds it into the first affine); 0 = off.
-	Normalize float64
+	// Opts is the unified pipeline configuration (lowering, table
+	// building, refinement, emission, input normalisation).
+	Opts core.CompileOptions
 
+	pipe     *core.Pipeline
 	compiled *core.Compiled
 }
 
@@ -133,8 +133,8 @@ func (m *Feedforward) scaleInputs(xs [][]float64) *tensor.Mat {
 	for i, x := range xs {
 		copy(mat.Row(i), x)
 	}
-	if m.Normalize > 0 {
-		mat.Scale(1 / m.Normalize)
+	if m.Opts.Normalize > 0 {
+		mat.Scale(1 / m.Opts.Normalize)
 	}
 	return mat
 }
@@ -148,27 +148,16 @@ func (m *Feedforward) Train(flows []netsim.Flow, opts TrainOpts) []float64 {
 		nn.NewAdam(opts.LR), nn.TrainConfig{Epochs: opts.Epochs, BatchSize: 32, Seed: opts.Seed})
 }
 
-// Compile lowers, fuses and builds mapping tables from calibration
-// flows. Normalisation is folded into the program by prepending a
-// diagonal affine, so the dataplane consumes raw integer features.
+// Compile runs the staged pipeline (lower → fuse → build-tables) on
+// calibration flows. Normalisation is folded into the program by the
+// lower pass, so the dataplane consumes raw integer features.
 func (m *Feedforward) Compile(flows []netsim.Flow) error {
 	xs, _ := m.Extract(flows)
-	prog, err := core.Lower(m.Name, m.Net, m.InDim, m.LowerCfg)
-	if err != nil {
-		return err
-	}
-	if m.Normalize > 0 {
-		scale := make([]float64, m.InDim)
-		shift := make([]float64, m.InDim)
-		for i := range scale {
-			scale[i] = 1 / m.Normalize
-		}
-		pre := &core.Map{Fns: []core.Fn{core.Diag(scale, shift)}}
-		prog = &core.Program{Name: prog.Name, InDim: m.InDim,
-			Steps: append([]core.Step{pre}, prog.Steps...)}
-	}
-	fused := core.Fuse(prog)
-	comp, err := core.BuildTables(fused, xs, m.CompileCfg)
+	opts := m.Opts
+	opts.Emit.Argmax = true
+	opts.Emit.FlowStateBits = m.FlowStateBits
+	m.pipe = core.NewPipeline(m.Name, opts)
+	comp, err := m.pipe.Compile(m.Net, m.InDim, xs)
 	if err != nil {
 		return err
 	}
@@ -179,13 +168,26 @@ func (m *Feedforward) Compile(flows []netsim.Flow) error {
 // Compiled returns the compiled tables (nil before Compile).
 func (m *Feedforward) Compiled() *core.Compiled { return m.compiled }
 
+// Pipeline returns the compilation pipeline (nil before Compile); its
+// Diagnostics record every executed pass.
+func (m *Feedforward) Pipeline() *core.Pipeline { return m.pipe }
+
+// Diagnostics returns the per-pass compilation diagnostics.
+func (m *Feedforward) Diagnostics() []core.PassDiag {
+	if m.pipe == nil {
+		return nil
+	}
+	return m.pipe.Diagnostics()
+}
+
 // Refine backprop-tunes the final mapping tables (§4.4) on the flows.
 func (m *Feedforward) Refine(flows []netsim.Flow, cfg core.RefineConfig) (float64, error) {
-	if m.compiled == nil {
+	if m.pipe == nil || m.compiled == nil {
 		return 0, fmt.Errorf("models: %s not compiled", m.Name)
 	}
+	m.pipe.Opts.Refine = cfg
 	xs, ys := m.Extract(flows)
-	return core.RefineClassifier(m.compiled, xs, ys, cfg)
+	return m.pipe.Refine(xs, ys)
 }
 
 // EvalFull computes Table 5 metrics with full-precision inference.
@@ -214,17 +216,14 @@ func (m *Feedforward) EvalPegasus(flows []netsim.Flow, nClasses int) (metrics.Re
 	return metrics.Evaluate(nClasses, ys, pred)
 }
 
-// Emit lowers the compiled model onto the PISA pipeline with the
-// model's flow-state footprint, for Table 6 resource accounting.
+// Emit runs the pipeline's emit pass: it lowers the compiled model onto
+// the PISA pipeline with the model's flow-state footprint, for Table 6
+// resource accounting.
 func (m *Feedforward) Emit(flows int) (*core.Emitted, error) {
-	if m.compiled == nil {
+	if m.pipe == nil || m.compiled == nil {
 		return nil, fmt.Errorf("models: %s not compiled", m.Name)
 	}
-	return core.Emit(m.compiled, core.EmitOptions{
-		Argmax:        true,
-		FlowStateBits: m.FlowStateBits,
-		Flows:         flows,
-	})
+	return m.pipe.EmitProgram(flows)
 }
 
 // ModelSizeBits reports the Table 5 model size (32-bit parameters).
@@ -248,9 +247,11 @@ func NewMLPB(nClasses int, rng *rand.Rand) *Feedforward {
 		// Table 6: 80 stateful bits/flow — 4×16b length/IPD trackers per
 		// direction packed into 8 8-bit registers plus timestamps.
 		FlowStateBits: 80,
-		LowerCfg:      core.LowerConfig{MaxSegDim: 2},
-		CompileCfg:    core.CompileConfig{TreeDepth: 7, InBits: 16, MaxCalib: 3000},
-		Normalize:     64,
+		Opts: core.CompileOptions{
+			Lower:     core.LowerConfig{MaxSegDim: 2},
+			Tables:    core.CompileConfig{TreeDepth: 7, InBits: 16, MaxCalib: 3000},
+			Normalize: 64,
+		},
 	}
 }
 
@@ -267,9 +268,11 @@ func NewCNNB(nClasses int, rng *rand.Rand) *Feedforward {
 		Name: "CNN-B", Net: net, Extract: ExtractSeq, InDim: Window * 2,
 		InputScaleBits: 128, // 16 × 8-bit buckets
 		FlowStateBits:  72,  // 16b timestamp + 7 × 8b packed buckets
-		LowerCfg:       core.LowerConfig{MaxSegDim: 4},
-		CompileCfg:     core.CompileConfig{TreeDepth: 5, InBits: 8, MaxCalib: 3000},
-		Normalize:      32,
+		Opts: core.CompileOptions{
+			Lower:     core.LowerConfig{MaxSegDim: 4},
+			Tables:    core.CompileConfig{TreeDepth: 5, InBits: 8, MaxCalib: 3000},
+			Normalize: 32,
+		},
 	}
 }
 
@@ -291,8 +294,9 @@ func NewCNNM(nClasses int, rng *rand.Rand) *Feedforward {
 		Name: "CNN-M", Net: net, Extract: ExtractSeq, InDim: Window * 2,
 		InputScaleBits: 128,
 		FlowStateBits:  72,
-		LowerCfg:       core.LowerConfig{},
-		CompileCfg:     core.CompileConfig{TreeDepth: 7, InBits: 8, MaxCalib: 3000},
-		Normalize:      32,
+		Opts: core.CompileOptions{
+			Tables:    core.CompileConfig{TreeDepth: 7, InBits: 8, MaxCalib: 3000},
+			Normalize: 32,
+		},
 	}
 }

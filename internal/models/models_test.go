@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"github.com/pegasus-idp/pegasus/internal/core"
 	"github.com/pegasus-idp/pegasus/internal/datasets"
 	"github.com/pegasus-idp/pegasus/internal/metrics"
 	"github.com/pegasus-idp/pegasus/internal/netsim"
@@ -234,6 +235,94 @@ func TestCNNLSwitchEquivalence(t *testing.T) {
 	res := em.Prog.Resources()
 	if res.TCAMBits == 0 || res.SRAMBits == 0 {
 		t.Fatal("CNN-L resources empty")
+	}
+}
+
+// hasPass reports whether a diagnostics slice contains a pass by name.
+func hasPass(diags []core.PassDiag, name string) bool {
+	for _, d := range diags {
+		if d.Pass == name {
+			return true
+		}
+	}
+	return false
+}
+
+// TestAllFamiliesCompileThroughPipeline checks that every model family
+// compiles via core.Pipeline with populated pass diagnostics, and that
+// the batched engine classifies bit-identically to sequential RunSwitch.
+func TestAllFamiliesCompileThroughPipeline(t *testing.T) {
+	train, test, k := smallDataset(t)
+	rng := rand.New(rand.NewSource(8))
+
+	mlp := NewMLPB(k, rng)
+	mlp.Train(train, TrainOpts{Epochs: 6, Seed: 8})
+	if err := mlp.Compile(train); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"lower", "fuse", "build-tables"} {
+		if !hasPass(mlp.Diagnostics(), p) {
+			t.Fatalf("MLP-B diagnostics missing %q: %+v", p, mlp.Diagnostics())
+		}
+	}
+	em, err := mlp.Emit(1 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasPass(mlp.Diagnostics(), "emit") {
+		t.Fatal("MLP-B diagnostics missing emit pass")
+	}
+	// Engine vs RunSwitch bit-identity on the emitted model.
+	xs, _ := mlp.Extract(test)
+	if len(xs) > 50 {
+		xs = xs[:50]
+	}
+	jobs := core.BatchJobsFromFloats(xs)
+	res := em.NewEngine(4).RunBatch(jobs)
+	for i, j := range jobs {
+		cls, _ := em.RunSwitch(j.In)
+		if res[i].Class != cls {
+			t.Fatalf("sample %d: engine %d, RunSwitch %d", i, res[i].Class, cls)
+		}
+	}
+
+	rnn := NewRNNB(k, rng)
+	rnn.Train(train, TrainOpts{Epochs: 4, LR: 0.02, Seed: 8})
+	if err := rnn.Compile(train); err != nil {
+		t.Fatal(err)
+	}
+	if !hasPass(rnn.Diagnostics(), "lower") || !hasPass(rnn.Diagnostics(), "build-tables") {
+		t.Fatalf("RNN-B diagnostics: %+v", rnn.Diagnostics())
+	}
+
+	cnnl := NewCNNL(k, false, 4, rng)
+	cnnl.Train(train, TrainOpts{Epochs: 2, LR: 0.01, Seed: 8})
+	if err := cnnl.Compile(train, 600); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"lower", "attach-head", "fuse", "build-tables", "check-final-group"} {
+		if !hasPass(cnnl.Diagnostics(), p) {
+			t.Fatalf("CNN-L diagnostics missing %q", p)
+		}
+	}
+	cnnl.Refine(train, 1, 0.05)
+	if !hasPass(cnnl.Diagnostics(), "refine") {
+		t.Fatal("CNN-L diagnostics missing refine pass")
+	}
+	if _, err := cnnl.Emit(1 << 10); err != nil {
+		t.Fatal(err)
+	}
+	if !hasPass(cnnl.Diagnostics(), "emit-window") {
+		t.Fatal("CNN-L diagnostics missing emit-window pass")
+	}
+
+	ae := NewAutoEncoder(nil, rng)
+	ae.Train(train, TrainOpts{Epochs: 4, Seed: 8})
+	if err := ae.Compile(train); err != nil {
+		t.Fatal(err)
+	}
+	if !hasPass(ae.Diagnostics(), "build-tables") {
+		t.Fatalf("AutoEncoder diagnostics: %+v", ae.Diagnostics())
 	}
 }
 

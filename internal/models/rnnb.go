@@ -23,6 +23,7 @@ type RNNB struct {
 	Out  *nn.Linear
 	Net  *nn.Sequential
 
+	pipe     *core.Pipeline
 	compiled *core.CompiledRNN
 }
 
@@ -73,7 +74,9 @@ func (m *RNNB) EvalFull(flows []netsim.Flow, nClasses int) (metrics.Report, erro
 	return metrics.Evaluate(nClasses, ys, pred)
 }
 
-// Compile builds the chained-index dataplane form (core.CompileRNN).
+// Compile builds the chained-index dataplane form through the staged
+// RNN pipeline (lower traces trajectories and learns the clustering
+// trees; build-tables precomputes the transition and logits tables).
 func (m *RNNB) Compile(flows []netsim.Flow) error {
 	xs, _ := ExtractSeq(flows)
 	spec := core.RNNSpec{
@@ -81,16 +84,26 @@ func (m *RNNB) Compile(flows []netsim.Flow) error {
 		Emb: m.Emb, Cell: m.Cell, Out: m.Out,
 		InputDepth: 7, HiddenDepth: 8,
 	}
-	c, err := core.CompileRNN(m.Name, spec, xs)
-	if err != nil {
+	m.pipe = core.NewRNNPipeline(m.Name, spec, core.CompileOptions{
+		Emit: core.EmitOptions{FlowStateBits: m.FlowStateBits()},
+	})
+	if err := m.pipe.CompileCalib(xs); err != nil {
 		return err
 	}
-	m.compiled = c
+	m.compiled = m.pipe.State.RNN
 	return nil
 }
 
 // Compiled exposes the dataplane form (nil before Compile).
 func (m *RNNB) Compiled() *core.CompiledRNN { return m.compiled }
+
+// Diagnostics returns the per-pass compilation diagnostics.
+func (m *RNNB) Diagnostics() []core.PassDiag {
+	if m.pipe == nil {
+		return nil
+	}
+	return m.pipe.Diagnostics()
+}
 
 // EvalPegasus computes compiled-path metrics.
 func (m *RNNB) EvalPegasus(flows []netsim.Flow, nClasses int) (metrics.Report, error) {
@@ -109,10 +122,10 @@ func (m *RNNB) EvalPegasus(flows []netsim.Flow, nClasses int) (metrics.Report, e
 	return metrics.Evaluate(nClasses, ys, pred)
 }
 
-// Emit lowers the compiled RNN onto the pipeline.
+// Emit runs the pipeline's emit pass over the chained-index program.
 func (m *RNNB) Emit(flows int) (*core.Emitted, error) {
-	if m.compiled == nil {
+	if m.pipe == nil || m.compiled == nil {
 		return nil, fmt.Errorf("models: %s not compiled", m.Name)
 	}
-	return m.compiled.Emit(core.EmitOptions{FlowStateBits: m.FlowStateBits(), Flows: flows})
+	return m.pipe.EmitProgram(flows)
 }

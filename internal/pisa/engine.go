@@ -1,0 +1,140 @@
+package pisa
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Engine executes a compiled program over batches of packets with a
+// worker pool sharded by flow hash. The real switch processes packets in
+// a hardware pipeline; the simulator's single-packet Process loop leaves
+// every other core idle, so replaying a trace is CPU-bound on one
+// goroutine. The engine restores the missing parallelism without
+// changing semantics: packets are partitioned by Job.Hash (the
+// five-tuple hash used to index per-flow register arrays), each shard is
+// processed in arrival order on its own worker with a private reusable
+// PHV, and all accesses to one flow's state stay on one shard — per-flow
+// read-modify-write ordering is exactly the sequential ordering.
+//
+// For that guarantee to extend to stateful programs, register cells
+// touched by different shards must be disjoint. Under the dataplane
+// convention that register indices are flow-hash derived
+// (cell = Hash % Size), NewEngine enforces it structurally: the worker
+// count is reduced until it divides every register array size, so
+// cell ≡ Hash (mod workers) and each shard owns the cells congruent to
+// its own index. Programs that compute register indices from anything
+// other than the sharding hash must run with workers = 1.
+type Engine struct {
+	prog    *Program
+	in      []FieldID
+	out     []FieldID
+	class   FieldID
+	workers int
+	phvs    []*PHV // one per shard, reused across batches
+}
+
+// Job is one packet of a batch: the input-field values and the flow hash
+// that selects its shard. Packets sharing a Hash are processed in batch
+// order relative to each other; for stateless programs any key
+// assignment works, and spreading keys evenly maximises parallelism.
+type Job struct {
+	Hash uint32
+	In   []int32
+}
+
+// Result is one packet's outputs: the class-field value and the
+// output-field vector, in the same order as the jobs.
+type Result struct {
+	Class int
+	Outs  []int32
+}
+
+// NewEngine builds an engine over prog with the given I/O fields.
+// workers ≤ 0 selects GOMAXPROCS. When prog has stateful registers, the
+// worker count is reduced to the largest value dividing every register
+// size (see the Engine contract above); register sizes are powers of
+// two in practice, so this keeps a power-of-two pool.
+func NewEngine(prog *Program, in, out []FieldID, class FieldID, workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	dividesAll := func(w int) bool {
+		for _, r := range prog.Registers {
+			if r.Size%w != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	for workers > 1 && !dividesAll(workers) {
+		workers--
+	}
+	e := &Engine{prog: prog, in: in, out: out, class: class, workers: workers}
+	e.phvs = make([]*PHV, workers)
+	for i := range e.phvs {
+		e.phvs[i] = prog.Layout.NewPHV()
+	}
+	return e
+}
+
+// Workers returns the shard count.
+func (e *Engine) Workers() int { return e.workers }
+
+// RunBatch pushes every job through the program concurrently and returns
+// the results in job order. Calls must not overlap: the engine owns one
+// PHV per shard and a second concurrent batch would race on them (one
+// engine per goroutine, or one RunBatch at a time).
+func (e *Engine) RunBatch(jobs []Job) []Result {
+	res := make([]Result, len(jobs))
+	if len(jobs) == 0 {
+		return res
+	}
+	if e.workers == 1 || len(jobs) == 1 {
+		e.runShard(0, jobs, res, sequentialIdx(len(jobs)))
+		return res
+	}
+	// Shard by flow hash, preserving batch order within each shard.
+	shards := make([][]int, e.workers)
+	for i := range jobs {
+		s := int(jobs[i].Hash % uint32(e.workers))
+		shards[s] = append(shards[s], i)
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < e.workers; s++ {
+		if len(shards[s]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			e.runShard(s, jobs, res, shards[s])
+		}(s)
+	}
+	wg.Wait()
+	return res
+}
+
+// runShard processes the given job indices in order on shard s's PHV.
+func (e *Engine) runShard(s int, jobs []Job, res []Result, idx []int) {
+	phv := e.phvs[s]
+	for _, i := range idx {
+		phv.Reset()
+		for d, f := range e.in {
+			phv.Set(f, jobs[i].In[d])
+		}
+		e.prog.Process(phv)
+		outs := make([]int32, len(e.out))
+		for k, f := range e.out {
+			outs[k] = phv.Get(f)
+		}
+		res[i] = Result{Class: int(phv.Get(e.class)), Outs: outs}
+	}
+}
+
+func sequentialIdx(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}

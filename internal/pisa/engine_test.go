@@ -1,0 +1,165 @@
+package pisa
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// engineTestProg builds a two-stage program: a ternary bucket classifier
+// into `class`, and a doubling ALU op into `out`.
+func engineTestProg(t *testing.T) (*Program, FieldID, FieldID, FieldID) {
+	t.Helper()
+	var l Layout
+	k := l.MustAdd("k", 8)
+	out := l.MustAdd("out", 32)
+	class := l.MustAdd("class", 8)
+	prog := NewProgram("engine-test", &l, Tofino2)
+	prog.Place(0, &Table{
+		Name: "range", Kind: MatchTernary,
+		KeyFields: []FieldID{k}, KeyWidths: []int{8},
+		Entries: []Entry{
+			{Key: []uint32{0x00}, Mask: []uint32{0x80}, Data: []int32{0}}, // [0,127]
+			{Key: []uint32{0x00}, Mask: []uint32{0x00}, Data: []int32{1}}, // rest
+		},
+		Action:        []Op{{Kind: OpSetData, Dst: class, DataIdx: 0}},
+		DataWidthBits: 8,
+	})
+	prog.Place(1, &Table{
+		Name: "double", Kind: MatchNone, DefaultData: []int32{},
+		Action: []Op{{Kind: OpAdd, Dst: out, A: k, B: k}},
+	})
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return prog, k, out, class
+}
+
+func TestEngineMatchesSequential(t *testing.T) {
+	prog, k, out, class := engineTestProg(t)
+	rng := rand.New(rand.NewSource(9))
+	jobs := make([]Job, 257)
+	for i := range jobs {
+		jobs[i] = Job{Hash: rng.Uint32(), In: []int32{int32(rng.Intn(256))}}
+	}
+	// Sequential reference.
+	want := make([]Result, len(jobs))
+	phv := prog.Layout.NewPHV()
+	for i, j := range jobs {
+		phv.Reset()
+		phv.Set(k, j.In[0])
+		prog.Process(phv)
+		want[i] = Result{Class: int(phv.Get(class)), Outs: []int32{phv.Get(out)}}
+	}
+	for _, workers := range []int{0, 1, 2, 3, 8} {
+		e := NewEngine(prog, []FieldID{k}, []FieldID{out}, class, workers)
+		if workers > 0 && e.Workers() != workers {
+			t.Fatalf("Workers() = %d, want %d", e.Workers(), workers)
+		}
+		got := e.RunBatch(jobs)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Class != want[i].Class || got[i].Outs[0] != want[i].Outs[0] {
+				t.Fatalf("workers=%d job %d: got %+v, want %+v", workers, i, got[i], want[i])
+			}
+		}
+		// Batches must be repeatable on the same engine (PHV reuse).
+		again := e.RunBatch(jobs)
+		for i := range again {
+			if again[i].Class != got[i].Class || again[i].Outs[0] != got[i].Outs[0] {
+				t.Fatalf("workers=%d: second batch diverged at %d", workers, i)
+			}
+		}
+	}
+}
+
+// TestEngineClampsWorkersToRegisterSizes checks the stateful-program
+// guard: the pool shrinks until it divides every register array size,
+// so shards own disjoint hash-congruent cell sets.
+func TestEngineClampsWorkersToRegisterSizes(t *testing.T) {
+	var l Layout
+	k := l.MustAdd("k", 8)
+	prog := NewProgram("regs", &l, Tofino2)
+	r6, err := NewRegister("r6", 8, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := NewRegister("r4", 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog.AddRegister(r6)
+	prog.AddRegister(r4)
+	// Largest w ≤ 8 dividing both 6 and 4 is 2.
+	if e := NewEngine(prog, []FieldID{k}, nil, k, 8); e.Workers() != 2 {
+		t.Fatalf("Workers() = %d, want 2", e.Workers())
+	}
+	// Register-free programs keep the requested pool.
+	free := NewProgram("stateless", &l, Tofino2)
+	if e := NewEngine(free, []FieldID{k}, nil, k, 8); e.Workers() != 8 {
+		t.Fatalf("stateless Workers() = %d, want 8", e.Workers())
+	}
+}
+
+func TestEngineEmptyBatch(t *testing.T) {
+	prog, k, out, class := engineTestProg(t)
+	e := NewEngine(prog, []FieldID{k}, []FieldID{out}, class, 4)
+	if res := e.RunBatch(nil); len(res) != 0 {
+		t.Fatalf("empty batch: %d results", len(res))
+	}
+}
+
+// TestEngineShardedRegisterConsistency checks the per-flow guarantee: a
+// program accumulating into a register cell indexed by the flow slot
+// produces the same final register state batched as sequentially,
+// because all packets of one flow land on one shard in order.
+func TestEngineShardedRegisterConsistency(t *testing.T) {
+	const workers = 4
+	const slots = workers // slot i is only touched by shard i%workers
+	var l Layout
+	slot := l.MustAdd("slot", 16)
+	v := l.MustAdd("v", 32)
+	acc := l.MustAdd("acc", 32)
+	prog := NewProgram("flows", &l, Tofino2)
+	reg, err := NewRegister("state", 32, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri := prog.AddRegister(reg)
+	prog.Place(0, &Table{
+		Name: "accumulate", Kind: MatchNone, DefaultData: []int32{},
+		Action: []Op{{Kind: OpRegAdd, Reg: ri, Dst: acc, A: slot, B: v}},
+	})
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	jobs := make([]Job, 400)
+	for i := range jobs {
+		s := uint32(rng.Intn(slots))
+		jobs[i] = Job{Hash: s, In: []int32{int32(s), int32(rng.Intn(100))}}
+	}
+	// Sequential reference register state.
+	phv := prog.Layout.NewPHV()
+	for _, j := range jobs {
+		phv.Reset()
+		phv.Set(slot, j.In[0])
+		phv.Set(v, j.In[1])
+		prog.Process(phv)
+	}
+	want := make([]int32, slots)
+	for s := 0; s < slots; s++ {
+		want[s] = reg.Get(s)
+	}
+	reg.Reset()
+
+	e := NewEngine(prog, []FieldID{slot, v}, []FieldID{acc}, acc, workers)
+	e.RunBatch(jobs)
+	for s := 0; s < slots; s++ {
+		if reg.Get(s) != want[s] {
+			t.Fatalf("slot %d: batched %d, sequential %d", s, reg.Get(s), want[s])
+		}
+	}
+}

@@ -13,9 +13,19 @@
 //	report, _ := model.EvalPegasus(test, ds.NumClasses())
 //	emitted, _ := model.Emit(1 << 20)     // PISA program + resource accounting
 //
+//	// batched flow-sharded replay through the simulated switch
+//	engine := emitted.NewEngine(8)
+//	results := engine.RunBatch(pegasus.BatchJobs(batch))
+//
+// Compilation runs through a staged pass manager (Pipeline): named,
+// instrumented passes (lower, fuse, drop-nonlinear, build-tables,
+// refine, emit) over one CompileOptions struct, with per-pass wall-time
+// and resource diagnostics (model.Diagnostics()).
+//
 // Everything below re-exports the internal building blocks a downstream
 // user needs: dataset synthesis, the model zoo of §6.3, the baselines of
-// §7, the primitive compiler, and the switch simulator.
+// §7, the primitive compiler, the pass manager, the switch simulator
+// and the batched execution engine.
 package pegasus
 
 import (
@@ -123,8 +133,47 @@ type (
 	Capacity = pisa.Capacity
 )
 
+// Pass-manager types: the staged compilation pipeline every model
+// family runs through, and its per-pass diagnostics.
+type (
+	// Pipeline is the staged pass manager (lower → fuse → build-tables
+	// → refine/emit) with per-pass instrumentation.
+	Pipeline = core.Pipeline
+	// CompileOptions is the unified pipeline configuration, subsuming
+	// LowerConfig/CompileConfig/RefineConfig/EmitOptions.
+	CompileOptions = core.CompileOptions
+	// Pass is one named pipeline stage.
+	Pass = core.Pass
+	// PassState is the mutable state threaded through passes.
+	PassState = core.PassState
+	// PassDiag is one pass's recorded diagnostics (wall time, step/
+	// group/table counts, stage and SRAM/TCAM deltas).
+	PassDiag = core.PassDiag
+)
+
+// Batched switch-execution engine types: concurrent replay of an
+// emitted program over packet batches, sharded by flow hash so per-flow
+// state stays consistent.
+type (
+	// Engine is the batched flow-sharded executor.
+	Engine = pisa.Engine
+	// EngineJob is one packet (input values + shard hash) of a batch.
+	EngineJob = pisa.Job
+	// EngineResult is one packet's classification and outputs.
+	EngineResult = pisa.Result
+)
+
 // Compiler entry points.
 var (
+	// NewPipeline builds the standard staged compilation pipeline.
+	NewPipeline = core.NewPipeline
+	// NewRNNPipeline builds the chained-index RNN pipeline.
+	NewRNNPipeline = core.NewRNNPipeline
+	// BatchJobs packs integer input vectors into engine jobs.
+	BatchJobs = core.BatchJobs
+	// BatchJobsFromFloats rounds float features into engine jobs with
+	// the host inference paths' round-to-even policy.
+	BatchJobsFromFloats = core.BatchJobsFromFloats
 	// Lower translates a trained network into primitives (§5).
 	Lower = core.Lower
 	// Fuse applies Basic Primitive Fusion (§4.3).
