@@ -5,6 +5,12 @@
 //
 //	pegasus-bench -experiment all
 //	pegasus-bench -experiment table5 -flows 90 -epochs 1.5
+//	pegasus-bench -experiment engine -smoke -engine-json BENCH_engine.json
+//
+// The "engine" experiment measures batched switch-replay throughput per
+// worker count; -engine-json additionally writes the machine-readable
+// report CI tracks. -smoke shrinks dataset, training and measurement
+// windows to a few seconds for CI.
 package main
 
 import (
@@ -16,17 +22,33 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "experiment to run: all, table2, table5, table6, fig7, fig8, fig9acc, fig9thr")
+	exp := flag.String("experiment", "all", "experiment to run: all, table2, table5, table6, fig7, fig8, fig9acc, fig9thr, engine")
 	flows := flag.Int("flows", 60, "flows generated per traffic class")
 	epochs := flag.Float64("epochs", 1, "training budget multiplier")
 	seed := flag.Int64("seed", 1, "random seed")
+	smoke := flag.Bool("smoke", false, "CI smoke mode: tiny dataset, minimal training, short measurements")
+	engineJSON := flag.String("engine-json", "", "write the engine experiment's machine-readable report to this path")
 	flag.Parse()
 
-	suite := experiments.NewSuite(experiments.Config{
+	cfg := experiments.Config{
 		FlowsPerClass: *flows,
 		Epochs:        *epochs,
 		Seed:          *seed,
-	})
+		EngineJSON:    *engineJSON,
+	}
+	if *smoke {
+		// Smoke defaults yield to explicitly passed flags.
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["flows"] {
+			cfg.FlowsPerClass = 12
+		}
+		if !set["epochs"] {
+			cfg.Epochs = 0.05
+		}
+		cfg.MeasureMS = 50
+	}
+	suite := experiments.NewSuite(cfg)
 	if err := suite.Run(*exp, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "pegasus-bench:", err)
 		os.Exit(1)

@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	pegasus-compile -f program.pgs [-depth 4] [-calib 512]
+//	pegasus-compile -f program.pgs [-depth 4] [-calib 512] [-target tofino]
+//
+// -target selects the emission backend from the registry (tofino,
+// tofino-multipipe, smartnic, p4, ...); the p4 target prints the
+// generated P4-16 source instead of the resource summary.
 //
 // Without trained weights the kernel is seeded randomly: the output
 // reports the structural cost (stages, SRAM, TCAM, bus) that the real
@@ -16,6 +20,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 
 	"github.com/pegasus-idp/pegasus/internal/core"
 	"github.com/pegasus-idp/pegasus/internal/syntax"
@@ -26,6 +31,8 @@ func main() {
 	depth := flag.Int("depth", 0, "override clustering depth (0 = from source)")
 	calib := flag.Int("calib", 512, "synthetic calibration samples")
 	seed := flag.Int64("seed", 1, "random seed")
+	target := flag.String("target", "tofino",
+		"emission target: "+strings.Join(core.TargetNames(), ", "))
 	flag.Parse()
 	if *file == "" {
 		fmt.Fprintln(os.Stderr, "usage: pegasus-compile -f program.pgs")
@@ -66,11 +73,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	em, err := core.Emit(comp, core.EmitOptions{})
+	tgt, ok := core.LookupTarget(*target)
+	if !ok {
+		fatal(fmt.Errorf("unknown target %q (have %s)", *target, strings.Join(core.TargetNames(), ", ")))
+	}
+	em, err := core.Emit(comp, core.EmitOptions{Target: tgt})
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Print(em.Prog.Summary())
+	if em.Source != "" {
+		fmt.Print(em.Source)
+		return
+	}
+	fmt.Print(em.Summary())
 }
 
 func fatal(err error) {

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	pegasus-run -dataset PeerRush -model cnn-m -flows 60 -workers 8
+//	pegasus-run -model mlp-b -target tofino-multipipe
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"github.com/pegasus-idp/pegasus/internal/core"
@@ -28,6 +30,7 @@ func main() {
 	epochs := flag.Int("epochs", 60, "training epochs")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", runtime.NumCPU(), "replay engine workers (flow-hash shards)")
+	target := flag.String("target", "", "emission target: "+strings.Join(core.TargetNames(), ", ")+" (default tofino)")
 	flag.Parse()
 
 	ds, ok := datasets.ByName(*dsName, datasets.Config{FlowsPerClass: *flows, Seed: *seed})
@@ -48,6 +51,14 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown model %q\n", *model)
 		os.Exit(2)
+	}
+	if *target != "" {
+		tgt, ok := core.LookupTarget(*target)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown target %q (have %s)\n", *target, strings.Join(core.TargetNames(), ", "))
+			os.Exit(2)
+		}
+		m.Opts.Emit.Target = tgt
 	}
 	fmt.Printf("training %s on %s (%d train / %d test flows)...\n", m.Name, ds.Name, len(train), len(test))
 	m.Train(train, models.TrainOpts{Epochs: *epochs, Seed: *seed})
@@ -85,7 +96,7 @@ func main() {
 	fmt.Println()
 	fmt.Print(m.Pipeline().DiagString())
 	fmt.Println()
-	fmt.Print(em.Prog.Summary())
+	fmt.Print(em.Summary())
 }
 
 func check(err error) {

@@ -49,8 +49,25 @@ func TestLeoTrainsAndDeploys(t *testing.T) {
 	if res.RegBits != 80*(1<<12) {
 		t.Fatalf("Leo flow state = %d", res.RegBits)
 	}
-	if res.Stages > pisa.Tofino2.Stages {
+	if res.Stages > prog.Cap.Stages {
 		t.Fatal("Leo stage overflow")
+	}
+}
+
+func TestLeoEmitsAgainstCustomCapacity(t *testing.T) {
+	train, _, k := data(t)
+	m := leo.New(k, 256, nil)
+	m.Cap = pisa.Tofino2
+	m.Cap.Stages = 10
+	if err := m.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := m.Emit(1 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Cap.Stages != 10 {
+		t.Fatalf("Leo program capacity = %+v, want 10-stage override", prog.Cap)
 	}
 }
 

@@ -19,6 +19,9 @@ type Model struct {
 	Name      string
 	MaxLeaves int
 	NClasses  int
+	// Cap is the capacity the emitted program validates against and is
+	// reported under (zero value = Tofino 2, the paper's testbed).
+	Cap       pisa.Capacity
 	tree      *fuzzy.Tree
 	leafClass []int
 }
@@ -107,7 +110,11 @@ func (m *Model) Emit(flows int) (*pisa.Program, error) {
 		in[i] = layout.MustAdd(fmt.Sprintf("stat%d", i), 16)
 	}
 	classF := layout.MustAdd("class", 8)
-	prog := pisa.NewProgram(m.Name, layout, pisa.Tofino2)
+	cap := m.Cap
+	if cap.Stages == 0 {
+		cap = pisa.Tofino2
+	}
+	prog := pisa.NewProgram(m.Name, layout, cap)
 	chunks := (m.FlowStateBits() + 7) / 8
 	for i := 0; i < chunks; i++ {
 		r, err := pisa.NewRegister(fmt.Sprintf("flow%d", i), 8, flows)

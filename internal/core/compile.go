@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math"
 
 	"github.com/pegasus-idp/pegasus/internal/fuzzy"
 	"github.com/pegasus-idp/pegasus/internal/pisa"
@@ -10,8 +9,9 @@ import (
 
 // EmitOptions controls PISA emission.
 type EmitOptions struct {
-	// Cap is the target capacity (defaults to Tofino 2).
-	Cap pisa.Capacity
+	// Target selects the emission backend (nil = DefaultTarget, the
+	// single-pipeline Tofino 2). See target.go for the registry.
+	Target Target
 	// Argmax appends the class-selection ALU stage over the final
 	// outputs (classifiers set this; the AutoEncoder computes MAE
 	// instead).
@@ -23,36 +23,39 @@ type EmitOptions struct {
 	Flows         int
 }
 
-// Emitted is a compiled switch program plus the handles the replay
-// harness needs to feed packets through it.
-type Emitted struct {
-	Prog *pisa.Program
-	// InFields are the PHV fields carrying the model input vector.
-	InFields []pisa.FieldID
-	// OutFields carry the final group's outputs.
-	OutFields []pisa.FieldID
-	// ClassField carries the argmax result (valid when Argmax was set).
-	ClassField pisa.FieldID
-	// Stages used, for reporting.
-	Stages int
+// Emit lowers the compiled tables onto the selected target's PISA
+// pipeline(s), reproducing the MAT correspondence of Figure 4: each
+// fuzzy segment becomes one TCAM range table (Partition + fuzzy index
+// retrieval) and one SRAM mapping table (Map), with SumReduce/MaxReduce
+// as pairwise ALU reduction stages and the final classification as a
+// compare-select chain.
+func Emit(c *Compiled, opts EmitOptions) (*Emitted, error) {
+	return resolveTarget(opts.Target).EmitCompiled(c, opts)
 }
 
-// Emit lowers the compiled tables onto a PISA pipeline, reproducing the
-// MAT correspondence of Figure 4: each fuzzy segment becomes one TCAM
-// range table (Partition + fuzzy index retrieval) and one SRAM mapping
-// table (Map), with SumReduce/MaxReduce as pairwise ALU reduction stages
-// and the final classification as a compare-select chain.
-func Emit(c *Compiled, opts EmitOptions) (*Emitted, error) {
-	if opts.Cap.Stages == 0 {
-		opts.Cap = pisa.Tofino2
+// emitFF lowers exec groups [lo, hi) onto one PISA program against cap.
+// For lo == 0 the program's inputs are the model in-fields at the input
+// key width (and the per-flow state registers are attached); for later
+// pipes of a multi-pipeline split the inputs are bridge fields at the
+// activation width, carrying boundary lo's vector from the previous
+// pipe. When hi reaches the last group and argmax is set, the class-
+// selection stage is appended (multi-pipe targets may spill it onto an
+// argmax-only pipe with lo == hi == len(Groups)). It returns the
+// per-group stage spans (stages consumed by each group in the range,
+// position independent) so multi-pipe targets can plan split points,
+// and validates the program only when validate is set — planning
+// dry-runs intentionally overflow the stage budget.
+func emitFF(c *Compiled, cap pisa.Capacity, opts EmitOptions, lo, hi int, argmax, validate bool) (*Emitted, []int, error) {
+	layout, prog, err := newEmitProgram(c.Name, cap, opts, lo == 0)
+	if err != nil {
+		return nil, nil, err
 	}
-	layout := &pisa.Layout{}
 	em := &Emitted{}
 
 	// Boundary pools (ping-pong) sized to the widest INTER-group vector
-	// (the input boundary lives in the dedicated in-fields). Activations
-	// crossing boundaries are renormalised to ActBits, so the pools use
-	// that width.
+	// produced within the range (the input boundary lives in the
+	// dedicated in-fields). Activations crossing boundaries are
+	// renormalised to ActBits, so the pools use that width.
 	accW := int(c.Cfg.AccBits)
 	actW := int(c.Cfg.ActBits)
 	boundaryWidths := []int{c.InDim}
@@ -60,19 +63,26 @@ func Emit(c *Compiled, opts EmitOptions) (*Emitted, error) {
 		boundaryWidths = append(boundaryWidths, groupOutWidth(&g))
 	}
 	maxBoundary := 0
-	for _, w := range boundaryWidths[1:] {
+	for _, w := range boundaryWidths[lo+1 : hi+1] {
 		if w > maxBoundary {
 			maxBoundary = w
 		}
 	}
-	// Input fields (first boundary) at the input key width.
-	inW := int(c.Cfg.InBits)
-	for j := 0; j < c.InDim; j++ {
-		f, err := layout.Add(fmt.Sprintf("in%d", j), inW)
-		if err != nil {
-			return nil, err
+	if lo == 0 {
+		// Input fields (first boundary) at the input key width.
+		inW := int(c.Cfg.InBits)
+		for j := 0; j < c.InDim; j++ {
+			f, err := layout.Add(fmt.Sprintf("in%d", j), inW)
+			if err != nil {
+				return nil, nil, err
+			}
+			em.InFields = append(em.InFields, f)
 		}
-		em.InFields = append(em.InFields, f)
+	} else {
+		// Bridge fields carrying boundary lo's activation vector.
+		for j := 0; j < boundaryWidths[lo]; j++ {
+			em.InFields = append(em.InFields, layout.MustAdd(fmt.Sprintf("br%d", j), actW))
+		}
 	}
 	valA := make([]pisa.FieldID, maxBoundary)
 	valB := make([]pisa.FieldID, maxBoundary)
@@ -85,7 +95,7 @@ func Emit(c *Compiled, opts EmitOptions) (*Emitted, error) {
 	// offset is folded into the TCAM rule values (FlipTop), so every
 	// range table keys directly on the source fields.
 	maxCodes, maxIdx, maxTmp := 0, 0, 0
-	for _, g := range c.Groups {
+	for _, g := range c.Groups[lo:hi] {
 		keys, idxs, tmp := 0, 0, 0
 		for _, s := range g.Segs {
 			if s.Mode == SegFuzzy {
@@ -114,24 +124,19 @@ func Emit(c *Compiled, opts EmitOptions) (*Emitted, error) {
 		tmpF[j] = layout.MustAdd(fmt.Sprintf("tmp%d", j), accW)
 	}
 
-	prog := pisa.NewProgram(c.Name, layout, opts.Cap)
-	if opts.FlowStateBits > 0 && opts.Flows > 0 {
-		if err := addFlowState(prog, opts.FlowStateBits, opts.Flows); err != nil {
-			return nil, err
-		}
-	}
-
 	stage := 0
+	var spans []int
 	src := em.InFields // current boundary fields
 	dstPool := valA
-	for gi := range c.Groups {
+	for gi := lo; gi < hi; gi++ {
 		g := &c.Groups[gi]
 		dst := dstPool[:boundaryWidths[gi+1]]
-		var err error
+		before := stage
 		stage, err = emitGroup(prog, c, gi, g, src, dst, codeF, idxF, tmpF, stage)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
+		spans = append(spans, stage-before)
 		src = dst
 		if &dstPool[0] == &valA[0] {
 			dstPool = valB
@@ -140,29 +145,17 @@ func Emit(c *Compiled, opts EmitOptions) (*Emitted, error) {
 		}
 	}
 	em.OutFields = src
-	if opts.Argmax {
-		best := layout.MustAdd("best", accW)
-		em.ClassField = layout.MustAdd("class", 8)
-		ops := []pisa.Op{
-			{Kind: pisa.OpMove, Dst: best, A: src[0]},
-			{Kind: pisa.OpSet, Dst: em.ClassField, Imm: 0},
-		}
-		for j := 1; j < len(src); j++ {
-			ops = append(ops,
-				pisa.Op{Kind: pisa.OpSelGE, Dst: em.ClassField, A: src[j], B: best, Imm: int32(j)},
-				pisa.Op{Kind: pisa.OpMax, Dst: best, A: best, B: src[j]},
-			)
-		}
-		prog.Place(stage, &pisa.Table{Name: "argmax", Kind: pisa.MatchNone,
-			DefaultData: []int32{}, Action: ops})
-		stage++
+	if hi == len(c.Groups) && argmax {
+		stage = emitArgmax(prog, layout, em, src, accW, stage)
 	}
 	em.Prog = prog
 	em.Stages = stage
-	if err := prog.Validate(); err != nil {
-		return nil, err
+	if validate {
+		if err := prog.Validate(); err != nil {
+			return nil, nil, err
+		}
 	}
-	return em, nil
+	return em, spans, nil
 }
 
 func groupOutWidth(g *ExecGroup) int {
@@ -439,59 +432,6 @@ func emitGroup(prog *pisa.Program, c *Compiled, gi int, g *ExecGroup,
 	return stage, nil
 }
 
-// NewEngine returns a batched execution engine over the emitted program:
-// packets are sharded by flow hash onto workers (≤ 0 selects GOMAXPROCS)
-// and each shard replays its packets in order, so per-flow state stays
-// consistent while independent flows run concurrently. Classifications
-// are bit-identical to sequential RunSwitch.
-func (em *Emitted) NewEngine(workers int) *pisa.Engine {
-	return pisa.NewEngine(em.Prog, em.InFields, em.OutFields, em.ClassField, workers)
-}
-
-// BatchJobs packs integer input vectors into engine jobs. Hashes are
-// assigned round-robin over the batch — appropriate for stateless
-// programs where every packet is an independent flow; callers replaying
-// real flows should build jobs with the five-tuple hash instead.
-func BatchJobs(xs [][]int32) []pisa.Job {
-	jobs := make([]pisa.Job, len(xs))
-	for i, x := range xs {
-		jobs[i] = pisa.Job{Hash: uint32(i), In: x}
-	}
-	return jobs
-}
-
-// BatchJobsFromFloats packs float feature vectors into engine jobs,
-// rounding to integers with the same round-to-even policy the host
-// inference paths use (Compiled.InferFloats, EvalPegasus) so replay
-// harnesses classify exactly the inputs the host side does.
-func BatchJobsFromFloats(xs [][]float64) []pisa.Job {
-	ints := make([][]int32, len(xs))
-	for i, x := range xs {
-		v := make([]int32, len(x))
-		for j, f := range x {
-			v[j] = int32(math.RoundToEven(f))
-		}
-		ints[i] = v
-	}
-	return BatchJobs(ints)
-}
-
-// RunSwitch pushes one input vector through the emitted program and
-// returns (class, outputs) — used by integration tests to prove the
-// switch pipeline is bit-identical to Compiled.Infer.
-func (em *Emitted) RunSwitch(x []int32) (int, []int32) {
-	phv := em.Prog.Layout.NewPHV()
-	for i, f := range em.InFields {
-		phv.Set(f, x[i])
-	}
-	em.Prog.Process(phv)
-	outs := make([]int32, len(em.OutFields))
-	for i, f := range em.OutFields {
-		outs[i] = phv.Get(f)
-	}
-	return int(phv.Get(em.ClassField)), outs
-}
-
 func idxBits(leaves int) int {
 	b := 1
 	for (1 << b) < leaves {
@@ -501,20 +441,6 @@ func idxBits(leaves int) int {
 		return 4
 	}
 	return b
-}
-
-func addFlowState(prog *pisa.Program, bitsPerFlow, flows int) error {
-	// PISA registers are 8/16/32-bit; allocate 8-bit chunks (the paper's
-	// footnote: 4-bit state is padded to 8-bit registers).
-	chunks := (bitsPerFlow + 7) / 8
-	for i := 0; i < chunks; i++ {
-		r, err := pisa.NewRegister(fmt.Sprintf("flow_state%d", i), 8, flows)
-		if err != nil {
-			return err
-		}
-		prog.AddRegister(r)
-	}
-	return nil
 }
 
 func maxInt(a, b int) int {

@@ -27,7 +27,8 @@ type CompileOptions struct {
 	Tables CompileConfig
 	// Refine tunes the backprop table refinement.
 	Refine RefineConfig
-	// Emit controls PISA emission (argmax stage, flow-state registers).
+	// Emit controls PISA emission: the backend (Emit.Target, nil =
+	// single-pipe Tofino 2), the argmax stage and flow-state registers.
 	Emit EmitOptions
 	// Normalize folds a 1/Normalize input scaling into the lowered
 	// program (the dataplane consumes raw integers); 0 = off.
@@ -118,7 +119,7 @@ func diagCounts(st *PassState) (steps, lookups, groups, tables, stages, sram, tc
 		tables = st.RNN.Lookups()
 	}
 	if st.Emitted != nil && st.Emitted.Prog != nil {
-		res := st.Emitted.Prog.Resources()
+		res := st.Emitted.Resources()
 		stages = st.Emitted.Stages
 		sram = res.SRAMBits
 		tcam = res.TCAMBits

@@ -216,51 +216,79 @@ func (c *CompiledRNN) Classify(x []int32) int {
 // logits table.
 func (c *CompiledRNN) Lookups() int { return 2*c.T + 1 }
 
-// Emit lowers the RNN onto a PISA pipeline: two stages per time step
-// (TCAM input tree + SRAM transition) chained through one hidden-index
-// field, then the logits table and argmax. For T=8 this occupies 18 of
-// Tofino 2's 20 stages — the sequential-execution pressure the paper
-// describes for RNNs on the switch.
+// Emit lowers the RNN onto the selected target's PISA pipeline(s): two
+// stages per time step (TCAM input tree + SRAM transition) chained
+// through one hidden-index field, then the logits table and argmax. For
+// T=8 this occupies 18 of Tofino 2's 20 stages — the sequential-
+// execution pressure the paper describes for RNNs on the switch (and
+// why the multi-pipe target splits RNNs at a time-step boundary).
 func (c *CompiledRNN) Emit(opts EmitOptions) (*Emitted, error) {
-	if opts.Cap.Stages == 0 {
-		opts.Cap = pisa.Tofino2
+	return resolveTarget(opts.Target).EmitRNN(c, opts)
+}
+
+// rnnPipe is one emitted pipe of a (possibly split) RNN program, with
+// the handles multi-pipe assembly needs: the hidden-index field and the
+// bridge-source fields (h plus the in-fields of unconsumed steps) the
+// next pipe must receive.
+type rnnPipe struct {
+	em    *Emitted
+	hF    pisa.FieldID
+	carry []pisa.FieldID
+}
+
+// emitRNNRange lowers time steps [t0, t1) onto one PISA program. The
+// layout allocates in-fields for every step ≥ t0 — later pipes receive
+// the unconsumed tail over the bridge, exactly as the real hardware
+// carries packet headers from ingress to egress. Pipe 0 initialises the
+// hidden index to h₀; later pipes receive it over the bridge. The last
+// pipe appends the logits table and argmax chain.
+func emitRNNRange(c *CompiledRNN, cap pisa.Capacity, opts EmitOptions, t0, t1 int, last bool) (*rnnPipe, error) {
+	layout, prog, err := newEmitProgram(c.Name, cap, opts, t0 == 0)
+	if err != nil {
+		return nil, err
 	}
-	layout := &pisa.Layout{}
 	em := &Emitted{}
-	for t := 0; t < c.T; t++ {
+	for t := t0; t < c.T; t++ {
 		for d := 0; d < c.StepDims; d++ {
 			em.InFields = append(em.InFields, layout.MustAdd(fmt.Sprintf("in%d_%d", t, d), 8))
 		}
 	}
-	xiF := layout.MustAdd("xi", 8)
+	var xiF pisa.FieldID
+	if t1 > t0 {
+		xiF = layout.MustAdd("xi", 8)
+	}
 	hF := layout.MustAdd("h", 8)
 	nClasses := len(c.Logits[0])
-	outF := make([]pisa.FieldID, nClasses)
-	for j := range outF {
-		outF[j] = layout.MustAdd(fmt.Sprintf("logit%d", j), int(c.Cfg().AccBits))
+	var outF []pisa.FieldID
+	if last {
+		outF = make([]pisa.FieldID, nClasses)
+		for j := range outF {
+			outF[j] = layout.MustAdd(fmt.Sprintf("logit%d", j), int(c.Cfg().AccBits))
+		}
+		em.OutFields = outF
 	}
-	em.OutFields = outF
 
-	prog := pisa.NewProgram(c.Name, layout, opts.Cap)
-	if opts.FlowStateBits > 0 && opts.Flows > 0 {
-		if err := addFlowState(prog, opts.FlowStateBits, opts.Flows); err != nil {
+	// The input-tree TCAM rules are only needed by pipes that execute
+	// steps (an argmax/logits spill pipe has t0 == t1).
+	var rules []fuzzy.TernaryRule
+	if t1 > t0 {
+		var err error
+		rules, err = c.XTree.TernaryRules(8, true)
+		if err != nil {
 			return nil, err
 		}
-	}
-
-	rules, err := c.XTree.TernaryRules(8, true)
-	if err != nil {
-		return nil, err
 	}
 	xiBits := idxBits(c.XTree.NumLeaves())
 	hBits := idxBits(c.HTree.NumLeaves())
 
-	// Initialise h to the h₀ index.
-	prog.Place(0, &pisa.Table{Name: "h_init", Kind: pisa.MatchNone, DefaultData: []int32{},
-		Action: []pisa.Op{{Kind: pisa.OpSet, Dst: hF, Imm: int32(c.HInit)}}})
-
-	stage := 1
-	for t := 0; t < c.T; t++ {
+	stage := 0
+	if t0 == 0 {
+		// Initialise h to the h₀ index.
+		prog.Place(0, &pisa.Table{Name: "h_init", Kind: pisa.MatchNone, DefaultData: []int32{},
+			Action: []pisa.Op{{Kind: pisa.OpSet, Dst: hF, Imm: int32(c.HInit)}}})
+		stage = 1
+	}
+	for t := t0; t < t1; t++ {
 		// TCAM: per-step input tree.
 		entries := make([]pisa.Entry, len(rules))
 		for ri, r := range rules {
@@ -273,7 +301,7 @@ func (c *CompiledRNN) Emit(opts EmitOptions) (*Emitted, error) {
 		kf := make([]pisa.FieldID, c.StepDims)
 		kw := make([]int, c.StepDims)
 		for d := 0; d < c.StepDims; d++ {
-			kf[d] = em.InFields[t*c.StepDims+d]
+			kf[d] = em.InFields[(t-t0)*c.StepDims+d]
 			kw[d] = 8
 		}
 		prog.Place(stage, &pisa.Table{
@@ -302,45 +330,34 @@ func (c *CompiledRNN) Emit(opts EmitOptions) (*Emitted, error) {
 		})
 		stage++
 	}
-	// Logits table.
-	lEntries := make([]pisa.Entry, len(c.Logits))
-	lOps := make([]pisa.Op, nClasses)
-	for j := 0; j < nClasses; j++ {
-		lOps[j] = pisa.Op{Kind: pisa.OpSetData, Dst: outF[j], DataIdx: j}
+	if last {
+		// Logits table.
+		lEntries := make([]pisa.Entry, len(c.Logits))
+		lOps := make([]pisa.Op, nClasses)
+		for j := 0; j < nClasses; j++ {
+			lOps[j] = pisa.Op{Kind: pisa.OpSetData, Dst: outF[j], DataIdx: j}
+		}
+		for hi, row := range c.Logits {
+			lEntries[hi] = pisa.Entry{Key: []uint32{uint32(hi)}, Data: append([]int32(nil), row...)}
+		}
+		prog.Place(stage, &pisa.Table{
+			Name: "logits", Kind: pisa.MatchExact,
+			KeyFields: []pisa.FieldID{hF}, KeyWidths: []int{hBits},
+			Entries: lEntries, Action: lOps,
+			DataWidthBits: nClasses * int(c.OutBits),
+		})
+		stage++
+		stage = emitArgmax(prog, layout, em, outF, 16, stage)
 	}
-	for hi, row := range c.Logits {
-		lEntries[hi] = pisa.Entry{Key: []uint32{uint32(hi)}, Data: append([]int32(nil), row...)}
-	}
-	prog.Place(stage, &pisa.Table{
-		Name: "logits", Kind: pisa.MatchExact,
-		KeyFields: []pisa.FieldID{hF}, KeyWidths: []int{hBits},
-		Entries: lEntries, Action: lOps,
-		DataWidthBits: nClasses * int(c.OutBits),
-	})
-	stage++
-	// Argmax.
-	best := layout.MustAdd("best", 16)
-	em.ClassField = layout.MustAdd("class", 8)
-	ops := []pisa.Op{
-		{Kind: pisa.OpMove, Dst: best, A: outF[0]},
-		{Kind: pisa.OpSet, Dst: em.ClassField, Imm: 0},
-	}
-	for j := 1; j < nClasses; j++ {
-		ops = append(ops,
-			pisa.Op{Kind: pisa.OpSelGE, Dst: em.ClassField, A: outF[j], B: best, Imm: int32(j)},
-			pisa.Op{Kind: pisa.OpMax, Dst: best, A: best, B: outF[j]},
-		)
-	}
-	prog.Place(stage, &pisa.Table{Name: "argmax", Kind: pisa.MatchNone,
-		DefaultData: []int32{}, Action: ops})
-	stage++
 
 	em.Prog = prog
 	em.Stages = stage
-	if err := prog.Validate(); err != nil {
-		return nil, err
-	}
-	return em, nil
+	// Bridge sources for the next pipe: the hidden index plus the
+	// in-fields of every step the next pipe (and its successors) still
+	// has to consume.
+	carry := []pisa.FieldID{hF}
+	carry = append(carry, em.InFields[(t1-t0)*c.StepDims:]...)
+	return &rnnPipe{em: em, hF: hF, carry: carry}, nil
 }
 
 // Cfg returns a default accumulator configuration for emission.

@@ -1,0 +1,368 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/pegasus-idp/pegasus/internal/pisa"
+)
+
+// Target is a pluggable emission backend: the seam that makes the
+// compiler universal. A target owns a hardware capacity profile and
+// knows how to turn a compiled artefact (feed-forward tables or the
+// chained-index RNN) into one or more pisa.Programs plus the I/O field
+// maps the replay harness needs. Everything upstream of emission —
+// lowering, fusion, table building, refinement — is target independent;
+// new dataplanes (a second switch pipe, a SmartNIC, an FPGA offload)
+// plug in here without touching the rest of the compiler.
+type Target interface {
+	// Name is the registry key (`-target` flag value).
+	Name() string
+	// Capacity is the per-pipeline hardware budget programs are
+	// validated against.
+	Capacity() pisa.Capacity
+	// EmitCompiled lowers feed-forward tables onto the target.
+	EmitCompiled(c *Compiled, opts EmitOptions) (*Emitted, error)
+	// EmitRNN lowers a chained-index RNN onto the target.
+	EmitRNN(c *CompiledRNN, opts EmitOptions) (*Emitted, error)
+}
+
+// ---- registry ----
+
+var (
+	targetMu  sync.RWMutex
+	targetReg = map[string]Target{}
+)
+
+// RegisterTarget adds a target under its Name; later registrations with
+// the same name win, so callers can override the built-ins.
+func RegisterTarget(t Target) {
+	targetMu.Lock()
+	defer targetMu.Unlock()
+	targetReg[t.Name()] = t
+}
+
+// LookupTarget returns the registered target with the given name.
+func LookupTarget(name string) (Target, bool) {
+	targetMu.RLock()
+	defer targetMu.RUnlock()
+	t, ok := targetReg[name]
+	return t, ok
+}
+
+// TargetNames lists the registered target names, sorted.
+func TargetNames() []string {
+	targetMu.RLock()
+	defer targetMu.RUnlock()
+	names := make([]string, 0, len(targetReg))
+	for n := range targetReg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DefaultTarget is the backend used when EmitOptions.Target is nil: the
+// single-pipeline Tofino 2 of the paper's testbed.
+func DefaultTarget() Target { return TofinoSingle() }
+
+func resolveTarget(t Target) Target {
+	if t != nil {
+		return t
+	}
+	return DefaultTarget()
+}
+
+func init() {
+	RegisterTarget(TofinoSingle())
+	RegisterTarget(TofinoMultiPipe())
+	RegisterTarget(SmartNICTarget())
+	RegisterTarget(NewP4Printer(nil))
+}
+
+// ---- single-pipeline backend ----
+
+// SinglePipe emits onto one pipeline of the given capacity. It is the
+// universal single-program backend: TofinoSingle and SmartNICTarget are
+// instances with different capacity profiles, and any new fixed-budget
+// dataplane is a one-struct registration away.
+type SinglePipe struct {
+	Label string
+	Cap   pisa.Capacity
+}
+
+// TofinoSingle is the paper's testbed: one Tofino 2 pipeline.
+func TofinoSingle() *SinglePipe { return &SinglePipe{Label: "tofino", Cap: pisa.Tofino2} }
+
+// SmartNICTarget emits against the SmartNIC capacity profile (long
+// pipeline, small per-stage memory, near-zero TCAM).
+func SmartNICTarget() *SinglePipe { return &SinglePipe{Label: "smartnic", Cap: pisa.SmartNIC} }
+
+// Name implements Target.
+func (t *SinglePipe) Name() string { return t.Label }
+
+// Capacity implements Target.
+func (t *SinglePipe) Capacity() pisa.Capacity { return t.Cap }
+
+// EmitCompiled lowers all exec groups onto one program.
+func (t *SinglePipe) EmitCompiled(c *Compiled, opts EmitOptions) (*Emitted, error) {
+	em, _, err := emitFF(c, t.Cap, opts, 0, len(c.Groups), opts.Argmax, true)
+	if err != nil {
+		return nil, err
+	}
+	em.Target = t.Name()
+	return em, nil
+}
+
+// EmitRNN lowers all time steps onto one program.
+func (t *SinglePipe) EmitRNN(c *CompiledRNN, opts EmitOptions) (*Emitted, error) {
+	pipe, err := emitRNNRange(c, t.Cap, opts, 0, c.T, true)
+	if err != nil {
+		return nil, err
+	}
+	if err := pipe.em.Prog.Validate(); err != nil {
+		return nil, err
+	}
+	pipe.em.Target = t.Name()
+	return pipe.em, nil
+}
+
+// ---- multi-pipeline backend ----
+
+// MultiPipe splits a program that overflows one pipe's stage budget
+// across several chained pipes (ingress/egress on one switch, or pipes
+// of adjacent devices), bridging the inter-pipe vector through PHV
+// fields. Feed-forward programs split at an exec-group boundary; RNNs
+// split at a time-step boundary, carrying the hidden index and the
+// unconsumed input tail across the bridge. Programs that already fit
+// one pipe emit identically to SinglePipe.
+type MultiPipe struct {
+	Label string
+	// Cap is the per-pipe capacity.
+	Cap pisa.Capacity
+	// Pipes bounds the chain length; 0 means 2 (ingress + egress).
+	Pipes int
+}
+
+// TofinoMultiPipe is the two-pipe Tofino 2 deployment: ingress and
+// egress pipelines chained through bridged metadata.
+func TofinoMultiPipe() *MultiPipe { return &MultiPipe{Label: "tofino-multipipe", Cap: pisa.Tofino2} }
+
+// Name implements Target.
+func (t *MultiPipe) Name() string { return t.Label }
+
+// Capacity implements Target.
+func (t *MultiPipe) Capacity() pisa.Capacity { return t.Cap }
+
+func (t *MultiPipe) maxPipes() int {
+	if t.Pipes > 0 {
+		return t.Pipes
+	}
+	return 2
+}
+
+// EmitCompiled plans split points from a dry-run emission's per-group
+// stage spans, then emits one program per pipe and wires the bridges.
+func (t *MultiPipe) EmitCompiled(c *Compiled, opts EmitOptions) (*Emitted, error) {
+	n := len(c.Groups)
+	full, spans, err := emitFF(c, t.Cap, opts, 0, n, opts.Argmax, false)
+	if err != nil {
+		return nil, err
+	}
+	if full.Stages <= t.Cap.Stages {
+		// Fits one pipe: bit-identical to the single-pipe emission.
+		if err := full.Prog.Validate(); err != nil {
+			return nil, err
+		}
+		full.Target = t.Name()
+		return full, nil
+	}
+
+	// Greedy packing of groups into pipes. The argmax stage rides with
+	// the last group when its pipe has room, and spills onto an
+	// argmax-only pipe (lo == hi == n) otherwise.
+	budget := t.Cap.Stages
+	var cuts [][2]int
+	lo, cur := 0, 0
+	for gi := 0; gi < n; gi++ {
+		cost := spans[gi]
+		if cost > budget {
+			return nil, fmt.Errorf("core: %s: group %d alone needs %d stages, pipe budget is %d",
+				t.Name(), gi, cost, budget)
+		}
+		if cur+cost > budget {
+			cuts = append(cuts, [2]int{lo, gi})
+			lo, cur = gi, 0
+		}
+		cur += cost
+	}
+	cuts = append(cuts, [2]int{lo, n})
+	if opts.Argmax && cur+1 > budget {
+		cuts = append(cuts, [2]int{n, n})
+	}
+	if len(cuts) > t.maxPipes() {
+		return nil, fmt.Errorf("core: %s: program needs %d pipes, target allows %d",
+			t.Name(), len(cuts), t.maxPipes())
+	}
+
+	em := &Emitted{Target: t.Name()}
+	var prev *Emitted
+	for k, cut := range cuts {
+		pipe, _, err := emitFF(c, t.Cap, opts, cut[0], cut[1], opts.Argmax && k == len(cuts)-1, true)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s pipe %d (groups %d..%d): %w", t.Name(), k, cut[0], cut[1]-1, err)
+		}
+		if k == 0 {
+			em.Prog = pipe.Prog
+			em.InFields = pipe.InFields
+		} else {
+			em.More = append(em.More, pipe.Prog)
+			em.Bridges = append(em.Bridges, pisa.Bridge{
+				From: append([]pisa.FieldID(nil), prev.OutFields...),
+				To:   append([]pisa.FieldID(nil), pipe.InFields...),
+			})
+		}
+		em.Stages += pipe.Stages
+		em.OutFields = pipe.OutFields
+		em.ClassField = pipe.ClassField
+		prev = pipe
+	}
+	return em, nil
+}
+
+// EmitRNN splits the step chain across pipes: pipe 0 pays one stage for
+// h-init, every step costs two stages, and the last pipe pays two for
+// logits + argmax (spilling them onto an extra pipe when the final
+// steps fill their budget).
+func (t *MultiPipe) EmitRNN(c *CompiledRNN, opts EmitOptions) (*Emitted, error) {
+	budget := t.Cap.Stages
+	if budget < 3 {
+		return nil, fmt.Errorf("core: %s: pipe budget %d too small for an RNN step", t.Name(), budget)
+	}
+	var cuts [][2]int
+	t0, cur := 0, 1 // h-init on pipe 0
+	for step := 0; step < c.T; step++ {
+		if cur+2 > budget {
+			cuts = append(cuts, [2]int{t0, step})
+			t0, cur = step, 0
+		}
+		cur += 2
+	}
+	if cur+2 > budget {
+		cuts = append(cuts, [2]int{t0, c.T})
+		t0 = c.T
+	}
+	cuts = append(cuts, [2]int{t0, c.T})
+	if len(cuts) == 1 {
+		// Fits one pipe: identical to the single-pipe emission.
+		pipe, err := emitRNNRange(c, t.Cap, opts, 0, c.T, true)
+		if err != nil {
+			return nil, err
+		}
+		if err := pipe.em.Prog.Validate(); err != nil {
+			return nil, err
+		}
+		pipe.em.Target = t.Name()
+		return pipe.em, nil
+	}
+	if len(cuts) > t.maxPipes() {
+		return nil, fmt.Errorf("core: %s: RNN needs %d pipes, target allows %d",
+			t.Name(), len(cuts), t.maxPipes())
+	}
+
+	em := &Emitted{Target: t.Name()}
+	var prev *rnnPipe
+	for k, cut := range cuts {
+		pipe, err := emitRNNRange(c, t.Cap, opts, cut[0], cut[1], k == len(cuts)-1)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s pipe %d (steps %d..%d): %w", t.Name(), k, cut[0], cut[1], err)
+		}
+		if err := pipe.em.Prog.Validate(); err != nil {
+			return nil, err
+		}
+		if k == 0 {
+			em.Prog = pipe.em.Prog
+			em.InFields = pipe.em.InFields
+		} else {
+			// The bridge receives the hidden index and the unconsumed
+			// input tail; the pipe's own in-fields cover exactly the
+			// steps the previous pipe carried forward.
+			em.More = append(em.More, pipe.em.Prog)
+			em.Bridges = append(em.Bridges, pisa.Bridge{
+				From: append([]pisa.FieldID(nil), prev.carry...),
+				To:   append([]pisa.FieldID{pipe.hF}, pipe.em.InFields...),
+			})
+		}
+		em.Stages += pipe.em.Stages
+		em.OutFields = pipe.em.OutFields
+		em.ClassField = pipe.em.ClassField
+		prev = pipe
+	}
+	return em, nil
+}
+
+// ---- P4 source backend ----
+
+// P4Printer wraps another target and renders each emitted program as
+// readable P4-16 source into Emitted.Source, for inspection and
+// diffing. A nil Base prints the default single-pipe Tofino emission.
+type P4Printer struct {
+	Base Target
+}
+
+// NewP4Printer builds a printing backend over base (nil = TofinoSingle).
+func NewP4Printer(base Target) *P4Printer { return &P4Printer{Base: base} }
+
+func (t *P4Printer) base() Target {
+	if t.Base != nil {
+		return t.Base
+	}
+	return TofinoSingle()
+}
+
+// Name implements Target: "p4" over the default base, "p4:<base>"
+// otherwise.
+func (t *P4Printer) Name() string {
+	if t.Base == nil {
+		return "p4"
+	}
+	return "p4:" + t.Base.Name()
+}
+
+// Capacity implements Target.
+func (t *P4Printer) Capacity() pisa.Capacity { return t.base().Capacity() }
+
+// EmitCompiled emits through the base target and attaches the source.
+func (t *P4Printer) EmitCompiled(c *Compiled, opts EmitOptions) (*Emitted, error) {
+	em, err := t.base().EmitCompiled(c, opts)
+	if err != nil {
+		return nil, err
+	}
+	em.Source = renderP4(em)
+	em.Target = t.Name()
+	return em, nil
+}
+
+// EmitRNN emits through the base target and attaches the source.
+func (t *P4Printer) EmitRNN(c *CompiledRNN, opts EmitOptions) (*Emitted, error) {
+	em, err := t.base().EmitRNN(c, opts)
+	if err != nil {
+		return nil, err
+	}
+	em.Source = renderP4(em)
+	em.Target = t.Name()
+	return em, nil
+}
+
+func renderP4(em *Emitted) string {
+	var b strings.Builder
+	for i, p := range em.Programs() {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		b.WriteString(pisa.P4Source(p))
+	}
+	return b.String()
+}

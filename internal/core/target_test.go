@@ -1,0 +1,336 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/pegasus-idp/pegasus/internal/pisa"
+)
+
+// compileToy builds a compiled feed-forward artefact for target tests.
+func compileToy(t *testing.T, seed int64) (*Compiled, *rand.Rand) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	net, xs, _ := trainToyNet(rng, 8, 3)
+	prog, err := Lower("toy", net, 8, LowerConfig{MaxSegDim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused := Fuse(prog)
+	calib := make([][]float64, xs.R)
+	for i := range calib {
+		calib[i] = xs.Row(i)
+	}
+	comp, err := BuildTables(fused, calib, CompileConfig{TreeDepth: 5, InBits: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return comp, rng
+}
+
+func TestTargetRegistryBuiltins(t *testing.T) {
+	for _, name := range []string{"tofino", "tofino-multipipe", "smartnic", "p4"} {
+		tgt, ok := LookupTarget(name)
+		if !ok {
+			t.Fatalf("built-in target %q not registered (have %v)", name, TargetNames())
+		}
+		if tgt.Name() != name {
+			t.Fatalf("target %q reports name %q", name, tgt.Name())
+		}
+		if tgt.Capacity().Stages == 0 {
+			t.Fatalf("target %q has zero capacity", name)
+		}
+	}
+	// A SmartNIC-style profile is a one-struct addition.
+	RegisterTarget(&SinglePipe{Label: "test-fpga", Cap: pisa.Capacity{
+		Stages: 64, SRAMBitsPerStage: 1 << 20, TCAMBitsPerStage: 1 << 16,
+		BusBits: 512, PHVBits: 4096}})
+	if _, ok := LookupTarget("test-fpga"); !ok {
+		t.Fatal("custom target not registered")
+	}
+}
+
+func TestDefaultTargetIsTofinoSingle(t *testing.T) {
+	d := DefaultTarget()
+	if d.Name() != "tofino" || d.Capacity() != pisa.Tofino2 {
+		t.Fatalf("default target = %q %+v", d.Name(), d.Capacity())
+	}
+}
+
+// TestTofinoSingleMatchesDefaultEmit proves the Target API did not
+// change the default emission: nil-target Emit and the explicit
+// TofinoSingle backend produce identical programs.
+func TestTofinoSingleMatchesDefaultEmit(t *testing.T) {
+	comp, rng := compileToy(t, 40)
+	emDefault, err := Emit(comp, EmitOptions{Argmax: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emSingle, err := Emit(comp, EmitOptions{Argmax: true, Target: TofinoSingle()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emDefault.Target != "tofino" || emSingle.Target != "tofino" {
+		t.Fatalf("targets = %q / %q", emDefault.Target, emSingle.Target)
+	}
+	if len(emDefault.More) != 0 || len(emSingle.More) != 0 {
+		t.Fatal("single-pipe emissions must not chain pipes")
+	}
+	if emDefault.Prog.Summary() != emSingle.Prog.Summary() {
+		t.Fatal("default and TofinoSingle emissions differ")
+	}
+	for trial := 0; trial < 100; trial++ {
+		x := make([]int32, 8)
+		for j := range x {
+			x[j] = int32(rng.Intn(40))
+		}
+		c1, _ := emDefault.RunSwitch(x)
+		c2, _ := emSingle.RunSwitch(x)
+		if c1 != c2 {
+			t.Fatalf("trial %d: class %d vs %d", trial, c1, c2)
+		}
+	}
+}
+
+// TestMultiPipeSplitsAndMatchesHost forces a feed-forward program over
+// the per-pipe stage budget, asserts it splits at a group boundary
+// across bridged pipes, and proves both sequential RunSwitch and the
+// batched Engine replay classify bit-identically to host fixed-point
+// inference.
+func TestMultiPipeSplitsAndMatchesHost(t *testing.T) {
+	comp, rng := compileToy(t, 41)
+	single, err := Emit(comp, EmitOptions{Argmax: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shrink the per-pipe budget below the single-pipe footprint so the
+	// program must overflow and split.
+	cap := pisa.Tofino2
+	cap.Stages = single.Stages - 1
+	mp := &MultiPipe{Label: "tofino-multipipe", Cap: cap, Pipes: 4}
+	em, err := mp.EmitCompiled(comp, EmitOptions{Argmax: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(em.More) == 0 {
+		t.Fatalf("expected a multi-pipe split (single needs %d stages, budget %d)", single.Stages, cap.Stages)
+	}
+	if len(em.Bridges) != len(em.More) {
+		t.Fatalf("bridges = %d, pipes = %d", len(em.Bridges), 1+len(em.More))
+	}
+	for _, p := range em.Programs() {
+		if len(p.Stages) > cap.Stages {
+			t.Fatalf("pipe %q exceeds budget: %d > %d", p.Name, len(p.Stages), cap.Stages)
+		}
+	}
+	if err := em.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if em.Stages <= single.Stages-1 {
+		t.Fatalf("split emission reports %d stages, single was %d", em.Stages, single.Stages)
+	}
+
+	var batch [][]int32
+	for trial := 0; trial < 200; trial++ {
+		x := make([]int32, 8)
+		for j := range x {
+			x[j] = int32(rng.Intn(40))
+		}
+		batch = append(batch, x)
+		hostClass := comp.Classify(x)
+		hostOut := comp.Infer(x)
+		swClass, swOut := em.RunSwitch(x)
+		for j := range hostOut {
+			if hostOut[j] != swOut[j] {
+				t.Fatalf("trial %d: out[%d] switch %d host %d", trial, j, swOut[j], hostOut[j])
+			}
+		}
+		if swClass != hostClass {
+			t.Fatalf("trial %d: class switch %d host %d", trial, swClass, hostClass)
+		}
+	}
+	// Batched chain replay must agree too.
+	res := em.NewEngine(4).RunBatch(BatchJobs(batch))
+	for i, r := range res {
+		if r.Class != comp.Classify(batch[i]) {
+			t.Fatalf("engine packet %d: class %d host %d", i, r.Class, comp.Classify(batch[i]))
+		}
+	}
+}
+
+// TestMultiPipeFitsStaysSingle: a program inside the budget emits one
+// pipe, identical to the single-pipe backend.
+func TestMultiPipeFitsStaysSingle(t *testing.T) {
+	comp, _ := compileToy(t, 42)
+	em, err := Emit(comp, EmitOptions{Argmax: true, Target: TofinoMultiPipe()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(em.More) != 0 {
+		t.Fatalf("fitting program split into %d pipes", 1+len(em.More))
+	}
+	single, err := Emit(comp, EmitOptions{Argmax: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if em.Prog.Summary() != single.Prog.Summary() {
+		t.Fatal("multi-pipe emission of a fitting program differs from single-pipe")
+	}
+}
+
+// TestMultiPipeBudgetSweep emits the same program under every per-pipe
+// stage budget from just-below-single down to tiny. Every budget that
+// emits must stay within its per-pipe bound and classify bit-identically
+// to host inference — this sweeps across split positions, including the
+// case where the last group exactly fills a pipe and the argmax stage
+// spills onto its own pipe.
+func TestMultiPipeBudgetSweep(t *testing.T) {
+	comp, rng := compileToy(t, 47)
+	single, err := Emit(comp, EmitOptions{Argmax: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inputs [][]int32
+	for i := 0; i < 30; i++ {
+		x := make([]int32, 8)
+		for j := range x {
+			x[j] = int32(rng.Intn(40))
+		}
+		inputs = append(inputs, x)
+	}
+	emitted := 0
+	for budget := single.Stages - 1; budget >= 1; budget-- {
+		cap := pisa.Tofino2
+		cap.Stages = budget
+		mp := &MultiPipe{Label: "sweep", Cap: cap, Pipes: 32}
+		em, err := mp.EmitCompiled(comp, EmitOptions{Argmax: true})
+		if err != nil {
+			continue // budget below a single group's span: correctly refused
+		}
+		emitted++
+		for _, p := range em.Programs() {
+			if len(p.Stages) > budget {
+				t.Fatalf("budget %d: pipe %q uses %d stages", budget, p.Name, len(p.Stages))
+			}
+		}
+		for _, x := range inputs {
+			if cls, _ := em.RunSwitch(x); cls != comp.Classify(x) {
+				t.Fatalf("budget %d (%d pipes): class mismatch", budget, len(em.Programs()))
+			}
+		}
+	}
+	if emitted == 0 {
+		t.Fatal("no budget in the sweep produced an emission")
+	}
+}
+
+func TestMultiPipeRejectsOverflow(t *testing.T) {
+	comp, _ := compileToy(t, 43)
+	cap := pisa.Tofino2
+	cap.Stages = 2 // every pipe can hold at most a sliver
+	mp := &MultiPipe{Label: "tiny", Cap: cap, Pipes: 2}
+	if _, err := mp.EmitCompiled(comp, EmitOptions{Argmax: true}); err == nil {
+		t.Fatal("want error when the program cannot fit the pipe limit")
+	}
+}
+
+// TestMultiPipeRNNSplitsAndMatchesHost splits the chained-index RNN at
+// a time-step boundary, bridging the hidden index and the unconsumed
+// input tail, and checks bit-identical classification.
+func TestMultiPipeRNNSplitsAndMatchesHost(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	spec, xs, _ := trainToyRNN(t, rng, 6, 3)
+	calib := make([][]float64, xs.R)
+	for i := range calib {
+		calib[i] = xs.Row(i)
+	}
+	c, err := CompileRNN("rnn", spec, calib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := pisa.Tofino2
+	cap.Stages = 8 // single-pipe needs 1 + 2T + 2 = 15
+	mp := &MultiPipe{Label: "tofino-multipipe", Cap: cap, Pipes: 4}
+	em, err := mp.EmitRNN(c, EmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(em.More) == 0 {
+		t.Fatal("expected the RNN to split across pipes")
+	}
+	for _, p := range em.Programs() {
+		if len(p.Stages) > cap.Stages {
+			t.Fatalf("pipe %q exceeds budget: %d > %d", p.Name, len(p.Stages), cap.Stages)
+		}
+	}
+	var batch [][]int32
+	for trial := 0; trial < 200; trial++ {
+		x := make([]int32, 12)
+		for j := range x {
+			x[j] = int32(rng.Intn(64))
+		}
+		batch = append(batch, x)
+		swClass, swOut := em.RunSwitch(x)
+		hostOut := c.Infer(x)
+		for j := range hostOut {
+			if hostOut[j] != swOut[j] {
+				t.Fatalf("trial %d: logits[%d] switch %d host %d", trial, j, swOut[j], hostOut[j])
+			}
+		}
+		if swClass != c.Classify(x) {
+			t.Fatalf("trial %d: class switch %d host %d", trial, swClass, c.Classify(x))
+		}
+	}
+	res := em.NewEngine(3).RunBatch(BatchJobs(batch))
+	for i, r := range res {
+		if r.Class != c.Classify(batch[i]) {
+			t.Fatalf("engine packet %d: class %d host %d", i, r.Class, c.Classify(batch[i]))
+		}
+	}
+}
+
+func TestSmartNICTargetEmits(t *testing.T) {
+	comp, rng := compileToy(t, 45)
+	em, err := Emit(comp, EmitOptions{Argmax: true, Target: SmartNICTarget()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if em.Target != "smartnic" || em.Prog.Cap != pisa.SmartNIC {
+		t.Fatalf("emitted target %q cap %+v", em.Target, em.Prog.Cap)
+	}
+	// Equivalence is target independent: the same tables run anywhere.
+	for trial := 0; trial < 50; trial++ {
+		x := make([]int32, 8)
+		for j := range x {
+			x[j] = int32(rng.Intn(40))
+		}
+		if cls, _ := em.RunSwitch(x); cls != comp.Classify(x) {
+			t.Fatalf("trial %d: smartnic class mismatch", trial)
+		}
+	}
+}
+
+func TestP4PrinterAttachesSource(t *testing.T) {
+	comp, _ := compileToy(t, 46)
+	em, err := Emit(comp, EmitOptions{Argmax: true, Target: NewP4Printer(nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if em.Target != "p4" {
+		t.Fatalf("target = %q", em.Target)
+	}
+	for _, want := range []string{"#include <tna.p4>", "struct metadata_t", "table argmax", "apply {"} {
+		if !strings.Contains(em.Source, want) {
+			t.Fatalf("P4 source missing %q:\n%s", want, em.Source[:min(len(em.Source), 600)])
+		}
+	}
+	// Printing must not change the program itself.
+	plain, err := Emit(comp, EmitOptions{Argmax: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if em.Prog.Summary() != plain.Prog.Summary() {
+		t.Fatal("P4 printer altered the emitted program")
+	}
+}

@@ -7,11 +7,12 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
 	"runtime"
-	"sort"
 	"time"
 
 	"github.com/pegasus-idp/pegasus/internal/baselines/bos"
@@ -34,6 +35,12 @@ type Config struct {
 	// Epochs scales every model's training budget (1.0 = default).
 	Epochs float64
 	Seed   int64
+	// MeasureMS is the wall-time window per throughput measurement
+	// (default 300; CI smoke mode shrinks it).
+	MeasureMS int
+	// EngineJSON, when set, is where the "engine" experiment writes its
+	// machine-readable report (BENCH_engine.json).
+	EngineJSON string
 }
 
 func (c *Config) defaults() {
@@ -42,6 +49,9 @@ func (c *Config) defaults() {
 	}
 	if c.Epochs == 0 {
 		c.Epochs = 1
+	}
+	if c.MeasureMS == 0 {
+		c.MeasureMS = 300
 	}
 }
 
@@ -278,22 +288,25 @@ func (s *Suite) Table6(w io.Writer) error {
 		name string
 		bits int
 		res  pisa.Resources
+		cap  pisa.Capacity // the emitting program's own capacity
 	}
 	var rows []rowT
 	if prog, err := b.leo.Emit(flows); err == nil {
-		rows = append(rows, rowT{"Leo", b.leo.FlowStateBits(), prog.Resources()})
+		rows = append(rows, rowT{"Leo", b.leo.FlowStateBits(), prog.Resources(), prog.Cap})
 	} else {
 		return fmt.Errorf("leo emit: %v", err)
 	}
-	// BoS: exhaustive tables, SRAM only (no TCAM).
+	// BoS: exhaustive tables, SRAM only (no TCAM). There is no emitted
+	// program, so utilisation is reported against the default target.
 	bosSRAM := b.bosM.TableEntries() * (11 + 8) // key+state bits per entry
 	rows = append(rows, rowT{"BoS", b.bosM.FlowStateBits(),
-		pisa.Resources{SRAMBits: bosSRAM, RegBits: b.bosM.FlowStateBits() * flows, PeakBusBits: 8}})
+		pisa.Resources{SRAMBits: bosSRAM, RegBits: b.bosM.FlowStateBits() * flows, PeakBusBits: 8},
+		core.DefaultTarget().Capacity()})
 	emit := func(name string, em *core.Emitted, errE error, bits int) error {
 		if errE != nil {
 			return fmt.Errorf("%s emit: %v", name, errE)
 		}
-		rows = append(rows, rowT{name, bits, em.Prog.Resources()})
+		rows = append(rows, rowT{name, bits, em.Resources(), em.Capacity()})
 		return nil
 	}
 	em, errE := b.mlp.Emit(flows)
@@ -324,8 +337,8 @@ func (s *Suite) Table6(w io.Writer) error {
 	fmt.Fprintf(w, "%-12s %14s %8s %8s %8s\n", "Model", "Stateful b/flow", "SRAM%", "TCAM%", "Bus%")
 	for _, r := range rows {
 		fmt.Fprintf(w, "%-12s %14d %7.2f%% %7.2f%% %7.2f%%\n", r.name, r.bits,
-			100*r.res.SRAMFrac(pisa.Tofino2), 100*r.res.TCAMFrac(pisa.Tofino2),
-			100*r.res.BusFrac(pisa.Tofino2))
+			100*r.res.SRAMFrac(r.cap), 100*r.res.TCAMFrac(r.cap),
+			100*r.res.BusFrac(r.cap))
 	}
 	return nil
 }
@@ -369,9 +382,11 @@ func (s *Suite) Figure7(w io.Writer) error {
 			f1s = append(f1s, rep.F1)
 			bitsPerFlow = m.FlowStateBits()
 		}
-		// Register bytes for 1M flows: bits padded to 8-bit registers.
+		// Register bytes for 1M flows: bits padded to 8-bit registers,
+		// reported against the default emission target's SRAM budget.
+		cap := core.DefaultTarget().Capacity()
 		sramPct := 100 * float64(((bitsPerFlow+7)/8)*8*1_000_000) /
-			float64(pisa.Tofino2.SRAMBitsPerStage*pisa.Tofino2.Stages)
+			float64(cap.SRAMBitsPerStage*cap.Stages)
 		fmt.Fprintf(w, "%-10d %9.1f%%", bitsPerFlow, sramPct)
 		for _, f1 := range f1s {
 			fmt.Fprintf(w, " %10.4f", f1)
@@ -468,10 +483,11 @@ func (s *Suite) Figure9Throughput(w io.Writer) error {
 		copy(mat.Row(i), x)
 	}
 	mat.Scale(1.0 / 32)
+	window := time.Duration(s.Cfg.MeasureMS) * time.Millisecond
 	// Measure single-thread CPU samples/s on CNN-B full precision.
 	start := time.Now()
 	iters := 0
-	for time.Since(start) < 300*time.Millisecond {
+	for time.Since(start) < window {
 		b.cnnb.Net.Predict(mat)
 		iters++
 	}
@@ -491,18 +507,18 @@ func (s *Suite) Figure9Throughput(w io.Writer) error {
 		return err
 	}
 	jobs := core.BatchJobsFromFloats(xs)
-	measure := func(workers int) float64 {
+	measure := func(workers int) (float64, int) {
 		eng := em.NewEngine(workers)
 		start := time.Now()
 		n := 0
-		for time.Since(start) < 300*time.Millisecond {
+		for time.Since(start) < window {
 			eng.RunBatch(jobs)
 			n += len(jobs)
 		}
-		return float64(n) / time.Since(start).Seconds()
+		return float64(n) / time.Since(start).Seconds(), eng.Workers()
 	}
-	sim1 := measure(1)
-	simN := measure(runtime.NumCPU())
+	sim1, _ := measure(1)
+	simN, workersN := measure(runtime.NumCPU())
 
 	fmt.Fprintf(w, "Figure 9d: throughput (samples/s)\n")
 	fmt.Fprintf(w, "%-22s %14.3g\n", "Pegasus (switch)", sw)
@@ -511,12 +527,127 @@ func (s *Suite) Figure9Throughput(w io.Writer) error {
 	fmt.Fprintf(w, "switch/CPU = %.0fx   switch/GPU = %.0fx\n", sw/cpu, sw/gpu)
 	fmt.Fprintf(w, "%-22s %14.3g (measured, 1 worker)\n", "sim replay (seq)", sim1)
 	fmt.Fprintf(w, "%-22s %14.3g (measured, %d workers, %.1fx)\n",
-		"sim replay (engine)", simN, runtime.NumCPU(), simN/sim1)
+		"sim replay (engine)", simN, workersN, simN/sim1)
+	return nil
+}
+
+// EngineBenchPoint is one worker count's measured replay throughput.
+type EngineBenchPoint struct {
+	Workers       int     `json:"workers"`
+	PacketsPerSec float64 `json:"packets_per_sec"`
+	Speedup       float64 `json:"speedup"` // vs 1 worker
+}
+
+// EngineBenchReport is the machine-readable BENCH_engine.json payload:
+// batched switch-replay throughput of pisa.Engine per worker count.
+type EngineBenchReport struct {
+	Model     string             `json:"model"`
+	Target    string             `json:"target"`
+	BatchSize int                `json:"batch_size"`
+	MeasureMS int                `json:"measure_ms"`
+	Points    []EngineBenchPoint `json:"points"`
+}
+
+// engineModel returns a compiled CNN-B and test flows for the engine
+// benchmark. It reuses an already-trained bundle when one exists (the
+// "all" run), but when the experiment runs standalone it trains only
+// CNN-B instead of paying for the whole zoo.
+func (s *Suite) engineModel() (*models.Feedforward, []netsim.Flow, error) {
+	if b, ok := s.bundles["PeerRush"]; ok {
+		return b.cnnb, b.test, nil
+	}
+	ds, ok := datasets.ByName("PeerRush", datasets.Config{
+		FlowsPerClass: s.Cfg.FlowsPerClass, PacketsPerFlow: 28, Seed: s.Cfg.Seed + 101,
+	})
+	if !ok {
+		return nil, nil, fmt.Errorf("experiments: unknown dataset %q", "PeerRush")
+	}
+	train, _, test := ds.Split(s.Cfg.Seed + 7)
+	rng := rand.New(rand.NewSource(s.Cfg.Seed + 13))
+	m := models.NewCNNB(ds.NumClasses(), rng)
+	m.Train(train, models.TrainOpts{Epochs: s.Cfg.ep(80), Seed: s.Cfg.Seed})
+	if err := m.Compile(train); err != nil {
+		return nil, nil, err
+	}
+	return m, test, nil
+}
+
+// EngineBench measures pisa.Engine batch-replay throughput over the
+// emitted CNN-B program for a sweep of worker counts, printing a table
+// and (when Config.EngineJSON is set) writing the JSON report CI
+// tracks across commits.
+func (s *Suite) EngineBench(w io.Writer) error {
+	cnnb, test, err := s.engineModel()
+	if err != nil {
+		return err
+	}
+	em, err := cnnb.Emit(1 << 10)
+	if err != nil {
+		return err
+	}
+	xs, _ := models.ExtractSeq(test)
+	jobs := core.BatchJobsFromFloats(xs)
+	window := time.Duration(s.Cfg.MeasureMS) * time.Millisecond
+
+	// Powers of two up to at least 4 workers (goroutine shards are
+	// meaningful even on small runners), plus the full core count.
+	limit := runtime.NumCPU()
+	if limit < 4 {
+		limit = 4
+	}
+	var counts []int
+	for c := 1; c <= limit; c *= 2 {
+		counts = append(counts, c)
+	}
+	if counts[len(counts)-1] < runtime.NumCPU() {
+		counts = append(counts, runtime.NumCPU())
+	}
+
+	rep := EngineBenchReport{Model: cnnb.Name, Target: em.Target,
+		BatchSize: len(jobs), MeasureMS: s.Cfg.MeasureMS}
+	fmt.Fprintf(w, "Engine bench: batched replay throughput (%s, batch %d, %v/point)\n",
+		cnnb.Name, len(jobs), window)
+	fmt.Fprintf(w, "%8s %14s %8s\n", "workers", "pkt/s", "speedup")
+	base := 0.0
+	measured := map[int]bool{}
+	for _, c := range counts {
+		eng := em.NewEngine(c)
+		// Register-size clamping can map distinct requested counts to
+		// the same effective pool; skip duplicates so the JSON trend
+		// stays one point per worker count.
+		if measured[eng.Workers()] {
+			continue
+		}
+		measured[eng.Workers()] = true
+		start := time.Now()
+		n := 0
+		for time.Since(start) < window {
+			eng.RunBatch(jobs)
+			n += len(jobs)
+		}
+		pps := float64(n) / time.Since(start).Seconds()
+		if base == 0 {
+			base = pps
+		}
+		p := EngineBenchPoint{Workers: eng.Workers(), PacketsPerSec: pps, Speedup: pps / base}
+		rep.Points = append(rep.Points, p)
+		fmt.Fprintf(w, "%8d %14.3g %7.2fx\n", p.Workers, p.PacketsPerSec, p.Speedup)
+	}
+	if s.Cfg.EngineJSON != "" {
+		data, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(s.Cfg.EngineJSON, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", s.Cfg.EngineJSON)
+	}
 	return nil
 }
 
 // Names lists the runnable experiments.
-var Names = []string{"table2", "table5", "table6", "fig7", "fig8", "fig9acc", "fig9thr"}
+var Names = []string{"table2", "table5", "table6", "fig7", "fig8", "fig9acc", "fig9thr", "engine"}
 
 // Run executes one experiment by name ("all" runs everything).
 func (s *Suite) Run(name string, w io.Writer) error {
@@ -535,9 +666,9 @@ func (s *Suite) Run(name string, w io.Writer) error {
 		return s.Figure9Accuracy(w)
 	case "fig9thr":
 		return s.Figure9Throughput(w)
+	case "engine":
+		return s.EngineBench(w)
 	case "all":
-		names := append([]string(nil), Names...)
-		sort.Strings(names)
 		for _, n := range Names {
 			if err := s.Run(n, w); err != nil {
 				return fmt.Errorf("%s: %v", n, err)

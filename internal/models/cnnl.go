@@ -388,8 +388,15 @@ func (m *CNNL) Emit(flows int) (*core.Emitted, error) {
 }
 
 // emitWindowPhase appends the §7.3 window phase to the emitted
-// per-packet program.
+// per-packet program. It mutates the emission in place, so it requires
+// a single-pipe target: the window tables reference em.OutFields in
+// the same program, which a multi-pipe split would scatter across
+// layouts.
 func (m *CNNL) emitWindowPhase(em *core.Emitted) error {
+	if len(em.More) > 0 {
+		return fmt.Errorf("models: %s window phase needs a single-pipe emission, target %q produced %d pipes",
+			m.Name, em.Target, 1+len(em.More))
+	}
 	layout := em.Prog.Layout
 	// Window-phase: stored index fields + per-position logits tables.
 	last := &m.comp.Groups[len(m.comp.Groups)-1]
@@ -477,7 +484,15 @@ func (m *CNNL) emitWindowPhase(em *core.Emitted) error {
 	stage++
 	em.OutFields = outF
 	em.Stages = stage
-	return em.Prog.Validate()
+	if err := em.Prog.Validate(); err != nil {
+		return err
+	}
+	if em.Source != "" {
+		// A printing target rendered the program before this phase
+		// extended it; refresh so the source matches what runs.
+		em.Source = pisa.P4Source(em.Prog)
+	}
+	return nil
 }
 
 // RunSwitchWindow drives the emitted program the way the switch sees a

@@ -24,13 +24,29 @@ import (
 // cell ≡ Hash (mod workers) and each shard owns the cells congruent to
 // its own index. Programs that compute register indices from anything
 // other than the sharding hash must run with workers = 1.
+// Multi-pipeline emissions (e.g. the Tofino multi-pipe target) are a
+// chain of programs connected by Bridges: the engine processes each
+// packet through every program in order, copying the bridged PHV fields
+// between consecutive pipes, so batched replay over a split program
+// classifies bit-identically to the single-pipe emission.
 type Engine struct {
-	prog    *Program
-	in      []FieldID
-	out     []FieldID
-	class   FieldID
+	progs   []*Program
+	bridges []Bridge
+	in      []FieldID // input fields, in progs[0]'s layout
+	out     []FieldID // output fields, in the final program's layout
+	class   FieldID   // class field, in the final program's layout
 	workers int
-	phvs    []*PHV // one per shard, reused across batches
+	phvs    [][]*PHV // [shard][pipe], reused across batches
+}
+
+// Bridge carries PHV values between two chained pipeline programs: the
+// value of From[i] in the upstream program's PHV is written to To[i] in
+// the downstream program's PHV before it processes the packet. On real
+// hardware this is bridged metadata travelling with the packet from
+// ingress to egress (or over a recirculation/inter-pipe link).
+type Bridge struct {
+	From []FieldID
+	To   []FieldID
 }
 
 // Job is one packet of a batch: the input-field values and the flow hash
@@ -49,19 +65,35 @@ type Result struct {
 	Outs  []int32
 }
 
-// NewEngine builds an engine over prog with the given I/O fields.
-// workers ≤ 0 selects GOMAXPROCS. When prog has stateful registers, the
-// worker count is reduced to the largest value dividing every register
-// size (see the Engine contract above); register sizes are powers of
-// two in practice, so this keeps a power-of-two pool.
+// NewEngine builds an engine over a single program with the given I/O
+// fields. workers ≤ 0 selects GOMAXPROCS. When prog has stateful
+// registers, the worker count is reduced to the largest value dividing
+// every register size (see the Engine contract above); register sizes
+// are powers of two in practice, so this keeps a power-of-two pool.
 func NewEngine(prog *Program, in, out []FieldID, class FieldID, workers int) *Engine {
+	return NewChainEngine([]*Program{prog}, nil, in, out, class, workers)
+}
+
+// NewChainEngine builds an engine over a chain of programs connected by
+// bridges (len(bridges) == len(progs)-1). The in fields live in the
+// first program's layout; out and class in the last one's. Worker-count
+// reduction considers the registers of every program in the chain.
+func NewChainEngine(progs []*Program, bridges []Bridge, in, out []FieldID, class FieldID, workers int) *Engine {
+	if len(progs) == 0 {
+		panic("pisa: chain engine needs at least one program")
+	}
+	if len(bridges) != len(progs)-1 {
+		panic("pisa: chain engine needs one bridge per consecutive program pair")
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	dividesAll := func(w int) bool {
-		for _, r := range prog.Registers {
-			if r.Size%w != 0 {
-				return false
+		for _, p := range progs {
+			for _, r := range p.Registers {
+				if r.Size%w != 0 {
+					return false
+				}
 			}
 		}
 		return true
@@ -69,10 +101,13 @@ func NewEngine(prog *Program, in, out []FieldID, class FieldID, workers int) *En
 	for workers > 1 && !dividesAll(workers) {
 		workers--
 	}
-	e := &Engine{prog: prog, in: in, out: out, class: class, workers: workers}
-	e.phvs = make([]*PHV, workers)
+	e := &Engine{progs: progs, bridges: bridges, in: in, out: out, class: class, workers: workers}
+	e.phvs = make([][]*PHV, workers)
 	for i := range e.phvs {
-		e.phvs[i] = prog.Layout.NewPHV()
+		e.phvs[i] = make([]*PHV, len(progs))
+		for k, p := range progs {
+			e.phvs[i][k] = p.Layout.NewPHV()
+		}
 	}
 	return e
 }
@@ -89,8 +124,12 @@ func (e *Engine) RunBatch(jobs []Job) []Result {
 	if len(jobs) == 0 {
 		return res
 	}
+	// One flat output buffer per batch, subsliced per packet: shards
+	// write disjoint job indices, so the backing array is race free and
+	// the hot loop stays allocation free.
+	outs := make([]int32, len(jobs)*len(e.out))
 	if e.workers == 1 || len(jobs) == 1 {
-		e.runShard(0, jobs, res, sequentialIdx(len(jobs)))
+		e.runShard(0, jobs, res, outs, sequentialIdx(len(jobs)))
 		return res
 	}
 	// Shard by flow hash, preserving batch order within each shard.
@@ -107,27 +146,41 @@ func (e *Engine) RunBatch(jobs []Job) []Result {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			e.runShard(s, jobs, res, shards[s])
+			e.runShard(s, jobs, res, outs, shards[s])
 		}(s)
 	}
 	wg.Wait()
 	return res
 }
 
-// runShard processes the given job indices in order on shard s's PHV.
-func (e *Engine) runShard(s int, jobs []Job, res []Result, idx []int) {
-	phv := e.phvs[s]
+// runShard processes the given job indices in order on shard s's PHVs,
+// chaining each packet through every program of the pipeline. outs is
+// the batch-wide flat output buffer (len(jobs) × len(e.out)).
+func (e *Engine) runShard(s int, jobs []Job, res []Result, outs []int32, idx []int) {
+	phvs := e.phvs[s]
+	w := len(e.out)
 	for _, i := range idx {
+		phv := phvs[0]
 		phv.Reset()
 		for d, f := range e.in {
 			phv.Set(f, jobs[i].In[d])
 		}
-		e.prog.Process(phv)
-		outs := make([]int32, len(e.out))
-		for k, f := range e.out {
-			outs[k] = phv.Get(f)
+		e.progs[0].Process(phv)
+		for k := 1; k < len(e.progs); k++ {
+			next := phvs[k]
+			next.Reset()
+			br := &e.bridges[k-1]
+			for b, from := range br.From {
+				next.Set(br.To[b], phv.Get(from))
+			}
+			e.progs[k].Process(next)
+			phv = next
 		}
-		res[i] = Result{Class: int(phv.Get(e.class)), Outs: outs}
+		out := outs[i*w : (i+1)*w : (i+1)*w]
+		for k, f := range e.out {
+			out[k] = phv.Get(f)
+		}
+		res[i] = Result{Class: int(phv.Get(e.class)), Outs: out}
 	}
 }
 

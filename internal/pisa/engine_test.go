@@ -102,6 +102,73 @@ func TestEngineClampsWorkersToRegisterSizes(t *testing.T) {
 	}
 }
 
+// TestChainEngineMatchesSingle runs a computation split across two
+// bridged programs and checks the chain engine agrees with the same
+// computation emitted as one program, across worker counts.
+func TestChainEngineMatchesSingle(t *testing.T) {
+	// Single program: out = (a + b) << 1, class = 1 when out >= 16.
+	var ls Layout
+	a := ls.MustAdd("a", 8)
+	b := ls.MustAdd("b", 8)
+	sum := ls.MustAdd("sum", 16)
+	out := ls.MustAdd("out", 16)
+	class := ls.MustAdd("class", 8)
+	sixteen := ls.MustAdd("sixteen", 16)
+	single := NewProgram("single", &ls, Tofino2)
+	single.Place(0, &Table{Name: "add", Kind: MatchNone, DefaultData: []int32{},
+		Action: []Op{{Kind: OpAdd, Dst: sum, A: a, B: b}, {Kind: OpSet, Dst: sixteen, Imm: 16}}})
+	single.Place(1, &Table{Name: "shift", Kind: MatchNone, DefaultData: []int32{},
+		Action: []Op{{Kind: OpShl, Dst: out, A: sum, Imm: 1}}})
+	single.Place(2, &Table{Name: "cls", Kind: MatchNone, DefaultData: []int32{},
+		Action: []Op{{Kind: OpSelGE, Dst: class, A: out, B: sixteen, Imm: 1}}})
+	if err := single.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Chain: pipe 0 computes the sum, pipe 1 receives it over a bridge
+	// and finishes.
+	var l0 Layout
+	a0 := l0.MustAdd("a", 8)
+	b0 := l0.MustAdd("b", 8)
+	sum0 := l0.MustAdd("sum", 16)
+	p0 := NewProgram("pipe0", &l0, Tofino2)
+	p0.Place(0, &Table{Name: "add", Kind: MatchNone, DefaultData: []int32{},
+		Action: []Op{{Kind: OpAdd, Dst: sum0, A: a0, B: b0}}})
+	var l1 Layout
+	br := l1.MustAdd("br", 16)
+	out1 := l1.MustAdd("out", 16)
+	class1 := l1.MustAdd("class", 8)
+	sixteen1 := l1.MustAdd("sixteen", 16)
+	p1 := NewProgram("pipe1", &l1, Tofino2)
+	p1.Place(0, &Table{Name: "shift", Kind: MatchNone, DefaultData: []int32{},
+		Action: []Op{{Kind: OpShl, Dst: out1, A: br, Imm: 1}, {Kind: OpSet, Dst: sixteen1, Imm: 16}}})
+	p1.Place(1, &Table{Name: "cls", Kind: MatchNone, DefaultData: []int32{},
+		Action: []Op{{Kind: OpSelGE, Dst: class1, A: out1, B: sixteen1, Imm: 1}}})
+	for _, p := range []*Program{p0, p1} {
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(17))
+	jobs := make([]Job, 301)
+	for i := range jobs {
+		jobs[i] = Job{Hash: rng.Uint32(), In: []int32{int32(rng.Intn(32)), int32(rng.Intn(32))}}
+	}
+	ref := NewEngine(single, []FieldID{a, b}, []FieldID{out}, class, 1).RunBatch(jobs)
+	for _, workers := range []int{1, 2, 4, 8} {
+		chain := NewChainEngine([]*Program{p0, p1},
+			[]Bridge{{From: []FieldID{sum0}, To: []FieldID{br}}},
+			[]FieldID{a0, b0}, []FieldID{out1}, class1, workers)
+		got := chain.RunBatch(jobs)
+		for i := range got {
+			if got[i].Class != ref[i].Class || got[i].Outs[0] != ref[i].Outs[0] {
+				t.Fatalf("workers=%d job %d: chain %+v, single %+v", workers, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
 func TestEngineEmptyBatch(t *testing.T) {
 	prog, k, out, class := engineTestProg(t)
 	e := NewEngine(prog, []FieldID{k}, []FieldID{out}, class, 4)

@@ -1,0 +1,85 @@
+package pisa
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files from the current output")
+
+// miniProgram builds a small deterministic program exercising every
+// rendered construct: ternary and exact tables, a keyless action stage,
+// data parameters, a gateway, a register and entry elision.
+func miniProgram() *Program {
+	l := &Layout{}
+	a := l.MustAdd("a", 8)
+	b := l.MustAdd("b", 8)
+	idx := l.MustAdd("idx", 4)
+	acc := l.MustAdd("acc", 16)
+	cls := l.MustAdd("class", 8)
+	p := NewProgram("mini", l, Tofino2)
+	reg, err := NewRegister("flow_state0", 8, 16)
+	if err != nil {
+		panic(err)
+	}
+	p.AddRegister(reg)
+
+	p.Place(0, &Table{
+		Name: "range_ab", Kind: MatchTernary,
+		KeyFields: []FieldID{a, b}, KeyWidths: []int{8, 8},
+		Entries: []Entry{
+			{Key: []uint32{0x10, 0x00}, Mask: []uint32{0xf0, 0x00}, Data: []int32{1}},
+			{Key: []uint32{0x20, 0x40}, Mask: []uint32{0xf0, 0xc0}, Data: []int32{2}},
+		},
+		Action:        []Op{{Kind: OpSetData, Dst: idx, DataIdx: 0}},
+		DataWidthBits: 4,
+	})
+	// An exact table with more entries than the render limit, to pin the
+	// elision behaviour.
+	var entries []Entry
+	for v := 0; v < p4MaxEntries+3; v++ {
+		entries = append(entries, Entry{Key: []uint32{uint32(v)}, Data: []int32{int32(2 * v)}})
+	}
+	p.Place(1, &Table{
+		Name: "map_idx", Kind: MatchExact,
+		KeyFields: []FieldID{idx}, KeyWidths: []int{4},
+		Entries:       entries,
+		Action:        []Op{{Kind: OpSetData, Dst: acc, DataIdx: 0}},
+		DefaultData:   []int32{0},
+		DataWidthBits: 16,
+	})
+	p.Place(2, &Table{
+		Name: "finish", Kind: MatchNone, DefaultData: []int32{},
+		Gate: &Gate{Field: acc, Op: ">=", Value: 1},
+		Action: []Op{
+			{Kind: OpShr, Dst: acc, A: acc, Imm: 2},
+			{Kind: OpSelGE, Dst: cls, A: acc, B: b, Imm: 1},
+		},
+	})
+	return p
+}
+
+// TestP4SourceGolden pins the rendered P4-16 output to a golden file so
+// backend changes show up as reviewable diffs. Regenerate with
+// `go test ./internal/pisa/ -run TestP4SourceGolden -update-golden`.
+func TestP4SourceGolden(t *testing.T) {
+	got := P4Source(miniProgram())
+	path := filepath.Join("testdata", "mini.golden.p4")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden: %v (run with -update-golden to create)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("P4 output drifted from golden file %s.\n--- got ---\n%s", path, got)
+	}
+}

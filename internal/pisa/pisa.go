@@ -36,6 +36,21 @@ var Tofino2 = Capacity{
 	PHVBits:          4096,
 }
 
+// SmartNIC is a SmartNIC-style capacity profile (an NFP/BlueField-class
+// match-action pipeline like the one N3IC targets): microengine stages
+// are cheap so the pipeline is long, but per-stage memory is small and
+// TCAM nearly absent — the opposite trade-off from Tofino. Registering
+// it as an emission target is what makes the compiler's universality
+// claim concrete: the same compiled tables validate against a different
+// budget.
+var SmartNIC = Capacity{
+	Stages:           40,
+	SRAMBitsPerStage: 2 * 1024 * 1024,
+	TCAMBitsPerStage: 64 * 1024,
+	BusBits:          512,
+	PHVBits:          2048,
+}
+
 // LineRatePPS is the packet throughput we attribute to the simulated
 // switch for Figure 9d. Tofino 2 forwards 12.8 Tb/s; at the ~850-byte
 // average packet of the evaluation traces that is ≈1.9e9 packets/s. Any

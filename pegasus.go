@@ -22,10 +22,38 @@
 // refine, emit) over one CompileOptions struct, with per-pass wall-time
 // and resource diagnostics (model.Diagnostics()).
 //
+// # Targets and backends
+//
+// Emission is pluggable: a Target (name + capacity profile + emit
+// hooks) turns a compiled artefact into one or more PISA programs plus
+// the I/O field maps the replay harness needs. Built-in backends,
+// selectable by name through the registry (LookupTarget/TargetNames) or
+// the CLIs' -target flag:
+//
+//   - "tofino" — the default single-pipeline Tofino 2 of the paper.
+//   - "tofino-multipipe" — splits a program that overflows one pipe's
+//     stage budget at a group boundary across chained ingress/egress
+//     pipes, bridging the inter-pipe vector through PHV fields; the
+//     Engine replays the chain bit-identically to host inference.
+//   - "smartnic" — a SmartNIC-style capacity profile (long pipeline,
+//     small per-stage memory, near-zero TCAM).
+//   - "p4" — renders the emission as readable P4-16 source in
+//     Emitted.Source for inspection and diffing.
+//
+// Select a backend per compilation via CompileOptions.Emit.Target:
+//
+//	model.Opts.Emit.Target = pegasus.TofinoMultiPipe()
+//	emitted, _ := model.Emit(1 << 20) // may span several bridged pipes
+//
+// A new fixed-budget dataplane is a one-struct addition:
+//
+//	pegasus.RegisterTarget(&pegasus.SinglePipeTarget{
+//	    Label: "fpga", Cap: pegasus.Capacity{Stages: 64 /* ... */}})
+//
 // Everything below re-exports the internal building blocks a downstream
 // user needs: dataset synthesis, the model zoo of §6.3, the baselines of
-// §7, the primitive compiler, the pass manager, the switch simulator
-// and the batched execution engine.
+// §7, the primitive compiler, the pass manager, the emission targets,
+// the switch simulator and the batched execution engine.
 package pegasus
 
 import (
@@ -119,11 +147,13 @@ type (
 	// Compiled holds a model's mapping tables and runs fixed-point
 	// inference bit-identical to the switch.
 	Compiled = core.Compiled
-	// Emitted is a compiled PISA pipeline with its I/O fields.
+	// Emitted is a compiled PISA deployment (one or more bridged
+	// pipeline programs) with its I/O fields.
 	Emitted = core.Emitted
 	// CompileConfig tunes tree depth and quantisation.
 	CompileConfig = core.CompileConfig
-	// EmitOptions controls PISA emission (argmax stage, flow state).
+	// EmitOptions controls PISA emission (target backend, argmax stage,
+	// flow state).
 	EmitOptions = core.EmitOptions
 	// LowerConfig tunes partition widths.
 	LowerConfig = core.LowerConfig
@@ -131,6 +161,42 @@ type (
 	SwitchProgram = pisa.Program
 	// Capacity describes switch hardware limits.
 	Capacity = pisa.Capacity
+)
+
+// Emission-target types: the pluggable backend seam.
+type (
+	// Target is an emission backend (name, capacity, emit hooks).
+	Target = core.Target
+	// SinglePipeTarget emits onto one pipeline of a given capacity.
+	SinglePipeTarget = core.SinglePipe
+	// MultiPipeTarget splits overflowing programs across chained pipes.
+	MultiPipeTarget = core.MultiPipe
+	// P4PrinterTarget renders emissions as P4-16 source.
+	P4PrinterTarget = core.P4Printer
+	// PipeBridge carries PHV values between chained pipeline programs.
+	PipeBridge = pisa.Bridge
+)
+
+// Emission-target constructors and registry.
+var (
+	// TofinoSingle is the default single-pipeline Tofino 2 backend.
+	TofinoSingle = core.TofinoSingle
+	// TofinoMultiPipe chains ingress/egress Tofino 2 pipes.
+	TofinoMultiPipe = core.TofinoMultiPipe
+	// SmartNICTarget emits against the SmartNIC capacity profile.
+	SmartNICTarget = core.SmartNICTarget
+	// NewP4Printer wraps a target with a P4-16 source renderer.
+	NewP4Printer = core.NewP4Printer
+	// RegisterTarget adds a backend to the registry.
+	RegisterTarget = core.RegisterTarget
+	// LookupTarget resolves a backend by name.
+	LookupTarget = core.LookupTarget
+	// TargetNames lists the registered backends.
+	TargetNames = core.TargetNames
+	// DefaultTarget is the backend used when none is selected.
+	DefaultTarget = core.DefaultTarget
+	// P4Source renders one PISA program as P4-16 source.
+	P4Source = pisa.P4Source
 )
 
 // Pass-manager types: the staged compilation pipeline every model
@@ -155,7 +221,8 @@ type (
 // emitted program over packet batches, sharded by flow hash so per-flow
 // state stays consistent.
 type (
-	// Engine is the batched flow-sharded executor.
+	// Engine is the batched flow-sharded executor (chains the pipes of
+	// multi-pipeline emissions).
 	Engine = pisa.Engine
 	// EngineJob is one packet (input values + shard hash) of a batch.
 	EngineJob = pisa.Job
@@ -188,6 +255,10 @@ var (
 
 // Tofino2 is the capacity model of the paper's testbed switch.
 var Tofino2 = pisa.Tofino2
+
+// SmartNIC is the SmartNIC-style capacity profile (long pipeline, small
+// per-stage memory, near-zero TCAM).
+var SmartNIC = pisa.SmartNIC
 
 // Evaluate computes macro precision/recall/F1 from label slices.
 var Evaluate = metrics.Evaluate

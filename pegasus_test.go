@@ -2,6 +2,7 @@ package pegasus
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 )
 
@@ -36,6 +37,37 @@ func TestPublicAPIWorkflow(t *testing.T) {
 	res := em.Prog.Resources()
 	if res.Stages > Tofino2.Stages || res.SRAMBits == 0 {
 		t.Fatalf("emitted resources look wrong: %+v", res)
+	}
+	// The same compiled tables re-emit through a printing backend.
+	p4em, err := Emit(model.Compiled(), EmitOptions{Argmax: true, Target: NewP4Printer(nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p4em.Source, "table") || !strings.Contains(p4em.Source, "apply {") {
+		t.Fatal("P4 printer produced no source through the public API")
+	}
+}
+
+// TestPublicAPITargets pins the emission-backend surface: the built-in
+// registry and the capacity profiles.
+func TestPublicAPITargets(t *testing.T) {
+	names := TargetNames()
+	for _, want := range []string{"tofino", "tofino-multipipe", "smartnic", "p4"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("registry missing %q (have %v)", want, names)
+		}
+	}
+	if tgt, ok := LookupTarget("smartnic"); !ok || tgt.Capacity() != SmartNIC {
+		t.Fatal("smartnic target should carry the SmartNIC capacity profile")
+	}
+	if DefaultTarget().Capacity() != Tofino2 {
+		t.Fatal("default target should be the Tofino 2 single pipe")
 	}
 }
 
