@@ -15,6 +15,7 @@ import (
 	"github.com/pegasus-idp/pegasus/internal/core"
 	"github.com/pegasus-idp/pegasus/internal/experiments"
 	"github.com/pegasus-idp/pegasus/internal/models"
+	"github.com/pegasus-idp/pegasus/internal/pisa"
 	"github.com/pegasus-idp/pegasus/internal/tensor"
 )
 
@@ -111,11 +112,14 @@ func BenchmarkSwitchPipeline(b *testing.B) {
 }
 
 // BenchmarkEngineBatch compares sequential RunSwitch replay against the
-// batched flow-sharded pisa.Engine across worker counts, on the emitted
-// CNN-M program. Per-op cost is one whole batch; throughput is reported
-// as pkts/s so future perf PRs have a trajectory to beat. The speedup
-// tracks available cores (shards run one goroutine each), so single-core
-// runners show only the sharding overhead.
+// batched flow-sharded pisa.Engine, on the emitted CNN-M program, in
+// both execution modes: the reference table interpreter and the
+// compiled zero-allocation execution plan. Per-op cost is one whole
+// batch; throughput is reported as pkts/s so future perf PRs have a
+// trajectory to beat. The interpreted/workers=1 vs compiled/workers=1
+// pair isolates the compile-to-plan gain; higher worker counts add the
+// sharding gain on top (shards run one goroutine each, so single-core
+// runners show only the sharding overhead).
 func BenchmarkEngineBatch(b *testing.B) {
 	m, xs := benchCompiled(b)
 	em, err := m.Emit(1 << 10)
@@ -133,15 +137,18 @@ func BenchmarkEngineBatch(b *testing.B) {
 		}
 		b.ReportMetric(pktPerOp*float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
 	})
-	for _, workers := range []int{1, 2, 4, 8} {
-		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			eng := em.NewEngine(workers)
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				eng.RunBatch(jobs)
-			}
-			b.ReportMetric(pktPerOp*float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
-		})
+	for _, mode := range []pisa.ExecMode{pisa.ExecInterpret, pisa.ExecCompiled} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/workers=%d", mode, workers), func(b *testing.B) {
+				eng := em.NewEngineMode(workers, mode)
+				defer eng.Close()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					eng.RunBatch(jobs)
+				}
+				b.ReportMetric(pktPerOp*float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
+			})
+		}
 	}
 }
 

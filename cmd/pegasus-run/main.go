@@ -7,6 +7,8 @@
 //
 //	pegasus-run -dataset PeerRush -model cnn-m -flows 60 -workers 8
 //	pegasus-run -model mlp-b -target tofino-multipipe
+//	pegasus-run -model cnn-b -stream            # streaming replay (RunStream)
+//	pegasus-run -model cnn-b -mode interpret    # reference interpreter baseline
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"github.com/pegasus-idp/pegasus/internal/core"
 	"github.com/pegasus-idp/pegasus/internal/datasets"
 	"github.com/pegasus-idp/pegasus/internal/models"
+	"github.com/pegasus-idp/pegasus/internal/pisa"
 )
 
 func main() {
@@ -31,7 +34,20 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", runtime.NumCPU(), "replay engine workers (flow-hash shards)")
 	target := flag.String("target", "", "emission target: "+strings.Join(core.TargetNames(), ", ")+" (default tofino)")
+	mode := flag.String("mode", "compiled", "engine execution mode: compiled (zero-alloc plans) or interpret (reference tables)")
+	stream := flag.Bool("stream", false, "replay through the streaming entry point (RunStream) instead of one batch")
 	flag.Parse()
+
+	var execMode pisa.ExecMode
+	switch *mode {
+	case "compiled":
+		execMode = pisa.ExecCompiled
+	case "interpret", "interpreted":
+		execMode = pisa.ExecInterpret
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q (compiled or interpret)\n", *mode)
+		os.Exit(2)
+	}
 
 	ds, ok := datasets.ByName(*dsName, datasets.Config{FlowsPerClass: *flows, Seed: *seed})
 	if !ok {
@@ -75,13 +91,32 @@ func main() {
 	em, err := m.Emit(1 << 16)
 	check(err)
 
-	// Replay the test set through the emitted program with the batched
-	// flow-sharded engine — what the switch dataplane would classify.
+	// Replay the test set through the emitted program with the
+	// persistent flow-sharded engine — what the switch dataplane would
+	// classify. -stream drives the same pool through RunStream, feeding
+	// packets over a channel instead of one pre-built batch.
 	xs, ys := m.Extract(test)
 	jobs := core.BatchJobsFromFloats(xs)
-	eng := em.NewEngine(*workers)
+	eng := em.NewEngineMode(*workers, execMode)
+	defer eng.Close()
 	start := time.Now()
-	res := eng.RunBatch(jobs)
+	var res []pisa.Result
+	if *stream {
+		in := make(chan pisa.Job, 256)
+		out := make(chan pisa.Result, 256)
+		go func() {
+			for _, j := range jobs {
+				in <- j
+			}
+			close(in)
+		}()
+		go eng.RunStream(in, out)
+		for r := range out {
+			res = append(res, r)
+		}
+	} else {
+		res = eng.RunBatch(jobs)
+	}
 	elapsed := time.Since(start)
 	hit := 0
 	for i, r := range res {
@@ -89,9 +124,13 @@ func main() {
 			hit++
 		}
 	}
-	fmt.Printf("switch replay:    %d/%d correct (%.4f) over %d packets in %s (%.3g pkt/s, %d workers)\n",
+	how := "batch"
+	if *stream {
+		how = "stream"
+	}
+	fmt.Printf("switch replay:    %d/%d correct (%.4f) over %d packets in %s (%.3g pkt/s, %d workers, %s, %s)\n",
 		hit, len(res), float64(hit)/float64(len(res)), len(res), elapsed.Round(time.Microsecond),
-		float64(len(res))/elapsed.Seconds(), eng.Workers())
+		float64(len(res))/elapsed.Seconds(), eng.Workers(), execMode, how)
 
 	fmt.Println()
 	fmt.Print(m.Pipeline().DiagString())

@@ -108,14 +108,25 @@ func (em *Emitted) Validate() error {
 }
 
 // NewEngine returns a batched execution engine over the emitted
-// program chain: packets are sharded by flow hash onto workers (≤ 0
-// selects GOMAXPROCS) and each shard replays its packets in order, so
-// per-flow state stays consistent while independent flows run
-// concurrently. Multi-pipeline emissions process each packet through
-// every pipe, copying the bridged fields between consecutive pipes.
-// Classifications are bit-identical to sequential RunSwitch.
+// program chain: packets are sharded by flow hash onto a persistent
+// pool of workers (≤ 0 selects GOMAXPROCS) and each shard replays its
+// packets in order, so per-flow state stays consistent while
+// independent flows run concurrently. Each pipe is compiled into a
+// zero-allocation execution plan (pisa.CompileProgram); multi-pipeline
+// emissions process each packet through every pipe, copying the
+// bridged fields between consecutive pipes. Classifications are
+// bit-identical to sequential RunSwitch. Call Close when done to stop
+// the worker pool.
 func (em *Emitted) NewEngine(workers int) *pisa.Engine {
-	return pisa.NewChainEngine(em.Programs(), em.Bridges, em.InFields, em.OutFields, em.ClassField, workers)
+	return em.NewEngineMode(workers, pisa.ExecCompiled)
+}
+
+// NewEngineMode is NewEngine with an explicit execution mode:
+// pisa.ExecCompiled replays compiled plans (the default),
+// pisa.ExecInterpret replays the reference table interpreter — kept
+// for differential testing and benchmark baselines.
+func (em *Emitted) NewEngineMode(workers int, mode pisa.ExecMode) *pisa.Engine {
+	return pisa.NewChainEngineMode(em.Programs(), em.Bridges, em.InFields, em.OutFields, em.ClassField, workers, mode)
 }
 
 // RunSwitch pushes one input vector through the emitted pipeline chain

@@ -150,12 +150,23 @@ func TestMultiPipeSplitsAndMatchesHost(t *testing.T) {
 			t.Fatalf("trial %d: class switch %d host %d", trial, swClass, hostClass)
 		}
 	}
-	// Batched chain replay must agree too.
-	res := em.NewEngine(4).RunBatch(BatchJobs(batch))
-	for i, r := range res {
-		if r.Class != comp.Classify(batch[i]) {
-			t.Fatalf("engine packet %d: class %d host %d", i, r.Class, comp.Classify(batch[i]))
+	// Batched chain replay must agree too, in both execution modes, and
+	// the compiled plan must match the interpreter output-for-output.
+	jobs := BatchJobs(batch)
+	for _, mode := range []pisa.ExecMode{pisa.ExecCompiled, pisa.ExecInterpret} {
+		eng := em.NewEngineMode(4, mode)
+		res := eng.RunBatch(jobs)
+		for i, r := range res {
+			if r.Class != comp.Classify(batch[i]) {
+				t.Fatalf("%v engine packet %d: class %d host %d", mode, i, r.Class, comp.Classify(batch[i]))
+			}
+			for j, o := range comp.Infer(batch[i]) {
+				if r.Outs[j] != o {
+					t.Fatalf("%v engine packet %d: out[%d] %d host %d", mode, i, j, r.Outs[j], o)
+				}
+			}
 		}
+		eng.Close()
 	}
 }
 

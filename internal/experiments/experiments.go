@@ -501,14 +501,17 @@ func (s *Suite) Figure9Throughput(w io.Writer) error {
 	sw := pisa.LineRatePPS
 
 	// Simulator throughput: replay the test windows through the emitted
-	// CNN-B program, batched, at 1 worker and at all cores.
+	// CNN-B program — the table interpreter at 1 worker (the historical
+	// baseline), the compiled execution plan at 1 worker and at all
+	// cores, and the streaming entry point feeding the same pool.
 	em, err := b.cnnb.Emit(1 << 10)
 	if err != nil {
 		return err
 	}
 	jobs := core.BatchJobsFromFloats(xs)
-	measure := func(workers int) (float64, int) {
-		eng := em.NewEngine(workers)
+	measure := func(workers int, mode pisa.ExecMode) (float64, int) {
+		eng := em.NewEngineMode(workers, mode)
+		defer eng.Close()
 		start := time.Now()
 		n := 0
 		for time.Since(start) < window {
@@ -517,29 +520,62 @@ func (s *Suite) Figure9Throughput(w io.Writer) error {
 		}
 		return float64(n) / time.Since(start).Seconds(), eng.Workers()
 	}
-	sim1, _ := measure(1)
-	simN, workersN := measure(runtime.NumCPU())
+	measureStream := func(workers int) float64 {
+		eng := em.NewEngine(workers)
+		defer eng.Close()
+		in := make(chan pisa.Job, 1024)
+		out := make(chan pisa.Result, 1024)
+		start := time.Now()
+		go func() {
+			for time.Since(start) < window {
+				for _, j := range jobs {
+					in <- j
+				}
+			}
+			close(in)
+		}()
+		go eng.RunStream(in, out)
+		n := 0
+		for range out {
+			n++
+		}
+		return float64(n) / time.Since(start).Seconds()
+	}
+	interp1, _ := measure(1, pisa.ExecInterpret)
+	sim1, _ := measure(1, pisa.ExecCompiled)
+	simN, workersN := measure(runtime.NumCPU(), pisa.ExecCompiled)
+	streamN := measureStream(runtime.NumCPU())
 
 	fmt.Fprintf(w, "Figure 9d: throughput (samples/s)\n")
 	fmt.Fprintf(w, "%-22s %14.3g\n", "Pegasus (switch)", sw)
 	fmt.Fprintf(w, "%-22s %14.3g (modelled: %d cores × 24)\n", "GPU (4x, modelled)", gpu, runtime.NumCPU())
 	fmt.Fprintf(w, "%-22s %14.3g (measured, %d cores)\n", "CPU", cpu, runtime.NumCPU())
 	fmt.Fprintf(w, "switch/CPU = %.0fx   switch/GPU = %.0fx\n", sw/cpu, sw/gpu)
-	fmt.Fprintf(w, "%-22s %14.3g (measured, 1 worker)\n", "sim replay (seq)", sim1)
+	fmt.Fprintf(w, "%-22s %14.3g (measured, 1 worker)\n", "sim replay (interp)", interp1)
+	fmt.Fprintf(w, "%-22s %14.3g (measured, 1 worker, %.1fx over interp)\n",
+		"sim replay (compiled)", sim1, sim1/interp1)
 	fmt.Fprintf(w, "%-22s %14.3g (measured, %d workers, %.1fx)\n",
 		"sim replay (engine)", simN, workersN, simN/sim1)
+	fmt.Fprintf(w, "%-22s %14.3g (measured, %d workers, streaming)\n",
+		"sim replay (stream)", streamN, workersN)
 	return nil
 }
 
-// EngineBenchPoint is one worker count's measured replay throughput.
+// EngineBenchPoint is one (mode, worker count) cell's measured replay
+// throughput. Speedup is relative to the interpreted 1-worker baseline,
+// so the compiled-plan gain and the sharding gain are both visible in
+// one trend.
 type EngineBenchPoint struct {
+	Mode          string  `json:"mode"` // "interpreted" or "compiled"
 	Workers       int     `json:"workers"`
 	PacketsPerSec float64 `json:"packets_per_sec"`
-	Speedup       float64 `json:"speedup"` // vs 1 worker
+	Speedup       float64 `json:"speedup"` // vs interpreted, 1 worker
 }
 
 // EngineBenchReport is the machine-readable BENCH_engine.json payload:
-// batched switch-replay throughput of pisa.Engine per worker count.
+// batched switch-replay throughput of pisa.Engine per execution mode
+// and worker count (the before/after evidence for the compile-to-plan
+// optimisation).
 type EngineBenchReport struct {
 	Model     string             `json:"model"`
 	Target    string             `json:"target"`
@@ -548,13 +584,15 @@ type EngineBenchReport struct {
 	Points    []EngineBenchPoint `json:"points"`
 }
 
-// engineModel returns a compiled CNN-B and test flows for the engine
-// benchmark. It reuses an already-trained bundle when one exists (the
-// "all" run), but when the experiment runs standalone it trains only
-// CNN-B instead of paying for the whole zoo.
+// engineModel returns a compiled CNN-M and test flows for the engine
+// benchmark — the same model BenchmarkEngineBatch replays, so the JSON
+// report and the Go benchmark track the same trajectory. It reuses an
+// already-trained bundle when one exists (the "all" run), but when the
+// experiment runs standalone it trains only CNN-M instead of paying
+// for the whole zoo.
 func (s *Suite) engineModel() (*models.Feedforward, []netsim.Flow, error) {
 	if b, ok := s.bundles["PeerRush"]; ok {
-		return b.cnnb, b.test, nil
+		return b.cnnm, b.test, nil
 	}
 	ds, ok := datasets.ByName("PeerRush", datasets.Config{
 		FlowsPerClass: s.Cfg.FlowsPerClass, PacketsPerFlow: 28, Seed: s.Cfg.Seed + 101,
@@ -564,7 +602,7 @@ func (s *Suite) engineModel() (*models.Feedforward, []netsim.Flow, error) {
 	}
 	train, _, test := ds.Split(s.Cfg.Seed + 7)
 	rng := rand.New(rand.NewSource(s.Cfg.Seed + 13))
-	m := models.NewCNNB(ds.NumClasses(), rng)
+	m := models.NewCNNM(ds.NumClasses(), rng)
 	m.Train(train, models.TrainOpts{Epochs: s.Cfg.ep(80), Seed: s.Cfg.Seed})
 	if err := m.Compile(train); err != nil {
 		return nil, nil, err
@@ -607,31 +645,36 @@ func (s *Suite) EngineBench(w io.Writer) error {
 		BatchSize: len(jobs), MeasureMS: s.Cfg.MeasureMS}
 	fmt.Fprintf(w, "Engine bench: batched replay throughput (%s, batch %d, %v/point)\n",
 		cnnb.Name, len(jobs), window)
-	fmt.Fprintf(w, "%8s %14s %8s\n", "workers", "pkt/s", "speedup")
-	base := 0.0
-	measured := map[int]bool{}
-	for _, c := range counts {
-		eng := em.NewEngine(c)
-		// Register-size clamping can map distinct requested counts to
-		// the same effective pool; skip duplicates so the JSON trend
-		// stays one point per worker count.
-		if measured[eng.Workers()] {
-			continue
+	fmt.Fprintf(w, "%12s %8s %14s %8s\n", "mode", "workers", "pkt/s", "speedup")
+	base := 0.0 // interpreted 1-worker baseline
+	for _, mode := range []pisa.ExecMode{pisa.ExecInterpret, pisa.ExecCompiled} {
+		measured := map[int]bool{}
+		for _, c := range counts {
+			eng := em.NewEngineMode(c, mode)
+			// Register-size clamping can map distinct requested counts
+			// to the same effective pool; skip duplicates so the JSON
+			// trend stays one point per worker count.
+			if measured[eng.Workers()] {
+				eng.Close()
+				continue
+			}
+			measured[eng.Workers()] = true
+			start := time.Now()
+			n := 0
+			for time.Since(start) < window {
+				eng.RunBatch(jobs)
+				n += len(jobs)
+			}
+			pps := float64(n) / time.Since(start).Seconds()
+			eng.Close()
+			if base == 0 {
+				base = pps
+			}
+			p := EngineBenchPoint{Mode: mode.String(), Workers: eng.Workers(),
+				PacketsPerSec: pps, Speedup: pps / base}
+			rep.Points = append(rep.Points, p)
+			fmt.Fprintf(w, "%12s %8d %14.3g %7.2fx\n", p.Mode, p.Workers, p.PacketsPerSec, p.Speedup)
 		}
-		measured[eng.Workers()] = true
-		start := time.Now()
-		n := 0
-		for time.Since(start) < window {
-			eng.RunBatch(jobs)
-			n += len(jobs)
-		}
-		pps := float64(n) / time.Since(start).Seconds()
-		if base == 0 {
-			base = pps
-		}
-		p := EngineBenchPoint{Workers: eng.Workers(), PacketsPerSec: pps, Speedup: pps / base}
-		rep.Points = append(rep.Points, p)
-		fmt.Fprintf(w, "%8d %14.3g %7.2fx\n", p.Workers, p.PacketsPerSec, p.Speedup)
 	}
 	if s.Cfg.EngineJSON != "" {
 		data, err := json.MarshalIndent(&rep, "", "  ")

@@ -1,0 +1,124 @@
+package models
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/pegasus-idp/pegasus/internal/core"
+	"github.com/pegasus-idp/pegasus/internal/pisa"
+)
+
+// TestCompiledPlanMatchesInterpreterAllFamilies is the differential
+// equivalence test over real emissions: every model family's emitted
+// program is replayed over the same packets in both engine modes —
+// compiled execution plans versus the reference table interpreter —
+// and must agree bit-for-bit on class and every output field. The
+// forced tofino-multipipe chain is covered by the core package's
+// TestMultiPipeSplitsAndMatchesHost, which runs both modes over a
+// bridged split emission.
+func TestCompiledPlanMatchesInterpreterAllFamilies(t *testing.T) {
+	train, _, k := smallDataset(t)
+	rng := rand.New(rand.NewSource(99))
+
+	var cases []struct {
+		name string
+		em   *core.Emitted
+	}
+	add := func(name string, em *core.Emitted, err error) {
+		if err != nil {
+			t.Fatalf("%s: emit: %v", name, err)
+		}
+		cases = append(cases, struct {
+			name string
+			em   *core.Emitted
+		}{name, em})
+	}
+
+	mlp := NewMLPB(k, rng)
+	mlp.Train(train, TrainOpts{Epochs: 6, Seed: 99})
+	if err := mlp.Compile(train); err != nil {
+		t.Fatal(err)
+	}
+	em, err := mlp.Emit(1 << 10)
+	add("MLP-B", em, err)
+
+	rnn := NewRNNB(k, rng)
+	rnn.Train(train, TrainOpts{Epochs: 4, LR: 0.02, Seed: 99})
+	if err := rnn.Compile(train); err != nil {
+		t.Fatal(err)
+	}
+	em, err = rnn.Emit(1 << 10)
+	add("RNN-B", em, err)
+
+	cnnl := NewCNNL(k, false, 4, rng)
+	cnnl.Train(train, TrainOpts{Epochs: 2, LR: 0.01, Seed: 99})
+	if err := cnnl.Compile(train, 600); err != nil {
+		t.Fatal(err)
+	}
+	em, err = cnnl.Emit(1 << 10)
+	add("CNN-L", em, err)
+
+	ae := NewAutoEncoder(nil, rng)
+	ae.Train(train, TrainOpts{Epochs: 4, Seed: 99})
+	if err := ae.Compile(train); err != nil {
+		t.Fatal(err)
+	}
+	em, err = ae.Emit(1 << 10)
+	add("AutoEncoder", em, err)
+
+	// Emitted programs carry per-flow registers but do not yet execute
+	// register RMWs (see ROADMAP); reset state between runs anyway so a
+	// future stateful emission cannot silently leak state across modes.
+	resetState := func(em *core.Emitted) {
+		for _, p := range em.Programs() {
+			for _, r := range p.Registers {
+				r.Reset()
+			}
+		}
+	}
+	for _, c := range cases {
+		// Fuzz packets over the emitted input fields: uniform positives
+		// plus negatives to cross the signed range-coding flip.
+		jobs := make([]pisa.Job, 200)
+		for i := range jobs {
+			in := make([]int32, len(c.em.InFields))
+			for j := range in {
+				in[j] = int32(rng.Intn(512) - 128)
+			}
+			jobs[i] = pisa.Job{Hash: rng.Uint32(), In: in}
+		}
+		compiled := c.em.NewEngineMode(4, pisa.ExecCompiled)
+		interp := c.em.NewEngineMode(4, pisa.ExecInterpret)
+		resetState(c.em)
+		got := compiled.RunBatch(jobs)
+		resetState(c.em)
+		want := interp.RunBatch(jobs)
+		for i := range got {
+			if got[i].Class != want[i].Class {
+				t.Fatalf("%s packet %d: compiled class %d, interpreted %d",
+					c.name, i, got[i].Class, want[i].Class)
+			}
+			for j := range got[i].Outs {
+				if got[i].Outs[j] != want[i].Outs[j] {
+					t.Fatalf("%s packet %d: out[%d] compiled %d, interpreted %d",
+						c.name, i, j, got[i].Outs[j], want[i].Outs[j])
+				}
+			}
+		}
+		// Spot-check against the sequential reference too.
+		for i := 0; i < 20; i++ {
+			cls, outs := c.em.RunSwitch(jobs[i].In)
+			if got[i].Class != cls {
+				t.Fatalf("%s packet %d: engine class %d, RunSwitch %d", c.name, i, got[i].Class, cls)
+			}
+			for j := range outs {
+				if got[i].Outs[j] != outs[j] {
+					t.Fatalf("%s packet %d: engine out[%d] %d, RunSwitch %d",
+						c.name, i, j, got[i].Outs[j], outs[j])
+				}
+			}
+		}
+		compiled.Close()
+		interp.Close()
+	}
+}

@@ -278,7 +278,9 @@ func TestAllFamiliesCompileThroughPipeline(t *testing.T) {
 		xs = xs[:50]
 	}
 	jobs := core.BatchJobsFromFloats(xs)
-	res := em.NewEngine(4).RunBatch(jobs)
+	eng := em.NewEngine(4)
+	res := eng.RunBatch(jobs)
+	eng.Close()
 	for i, j := range jobs {
 		cls, _ := em.RunSwitch(j.In)
 		if res[i].Class != cls {

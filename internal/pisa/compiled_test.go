@@ -1,0 +1,295 @@
+package pisa
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randProgram generates a random program exercising every compiled
+// specialisation: merged always-runs, gated tables, direct-indexed and
+// hashed exact tables, interval-coded and generic ternary tables, and
+// register read-modify-writes.
+func randProgram(t *testing.T, rng *rand.Rand) (*Program, []FieldID) {
+	t.Helper()
+	var l Layout
+	fields := make([]FieldID, 8)
+	for i := range fields {
+		fields[i] = l.MustAdd(fieldName(i), 16)
+	}
+	prog := NewProgram("fuzz", &l, Tofino2)
+	reg, err := NewRegister("r", 32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri := prog.AddRegister(reg)
+
+	f := func() FieldID { return fields[rng.Intn(len(fields))] }
+	randOps := func(n, dataLen int) []Op {
+		ops := make([]Op, n)
+		for i := range ops {
+			switch rng.Intn(8) {
+			case 0:
+				ops[i] = Op{Kind: OpSet, Dst: f(), Imm: int32(rng.Intn(100))}
+			case 1:
+				ops[i] = Op{Kind: OpAdd, Dst: f(), A: f(), B: f()}
+			case 2:
+				ops[i] = Op{Kind: OpMax, Dst: f(), A: f(), B: f()}
+			case 3:
+				ops[i] = Op{Kind: OpAndImm, Dst: f(), A: f(), Imm: 0xff}
+			case 4:
+				ops[i] = Op{Kind: OpSelGE, Dst: f(), A: f(), B: f(), Imm: int32(rng.Intn(10))}
+			case 5:
+				if dataLen > 0 {
+					ops[i] = Op{Kind: OpSetData, Dst: f(), DataIdx: rng.Intn(dataLen)}
+				} else {
+					ops[i] = Op{Kind: OpMove, Dst: f(), A: f()}
+				}
+			case 6:
+				if dataLen > 0 {
+					ops[i] = Op{Kind: OpAddData, Dst: f(), A: f(), DataIdx: rng.Intn(dataLen)}
+				} else {
+					ops[i] = Op{Kind: OpSub, Dst: f(), A: f(), B: f()}
+				}
+			default:
+				// Register RMW on a cell derived from a field value.
+				idx := f()
+				ops[i] = Op{Kind: OpAndImm, Dst: idx, A: idx, Imm: 7}
+				if i+1 < len(ops) {
+					i++
+					ops[i] = Op{Kind: OpRegAdd, Reg: ri, Dst: f(), A: idx, B: f()}
+				}
+			}
+		}
+		return ops
+	}
+	randGate := func() *Gate {
+		if rng.Intn(3) != 0 {
+			return nil
+		}
+		return &Gate{Field: f(), Op: GateOp(1 + rng.Intn(4)), Value: int32(rng.Intn(4))}
+	}
+	randData := func(n int) []int32 {
+		d := make([]int32, n)
+		for i := range d {
+			d[i] = int32(rng.Intn(200) - 100)
+		}
+		return d
+	}
+
+	stage := 0
+	addTable := func(tbl *Table) {
+		prog.Place(stage, tbl)
+		stage++
+	}
+
+	for n := 0; n < 6+rng.Intn(6); n++ {
+		dataLen := 1 + rng.Intn(3)
+		switch rng.Intn(6) {
+		case 0: // always-run (merge candidates: often ungated, back to back)
+			addTable(&Table{Name: nm("always", n), Kind: MatchNone,
+				DefaultData: randData(dataLen), Action: randOps(3, dataLen), Gate: randGate()})
+		case 1: // narrow single-field exact -> direct index
+			w := 4 + rng.Intn(5)
+			entries := make([]Entry, 1+rng.Intn(10))
+			for i := range entries {
+				entries[i] = Entry{Key: []uint32{uint32(rng.Intn(1 << w))}, Data: randData(dataLen)}
+			}
+			var def []int32
+			if rng.Intn(2) == 0 {
+				def = randData(dataLen)
+			}
+			addTable(&Table{Name: nm("direct", n), Kind: MatchExact,
+				KeyFields: []FieldID{f()}, KeyWidths: []int{w}, Entries: entries,
+				Action: randOps(2, dataLen), DefaultData: def, Gate: randGate()})
+		case 2: // multi-field exact -> hash
+			entries := make([]Entry, 1+rng.Intn(12))
+			for i := range entries {
+				entries[i] = Entry{Key: []uint32{uint32(rng.Intn(1 << 10)), uint32(rng.Intn(1 << 12))},
+					Data: randData(dataLen)}
+			}
+			addTable(&Table{Name: nm("hash", n), Kind: MatchExact,
+				KeyFields: []FieldID{f(), f()}, KeyWidths: []int{10, 12}, Entries: entries,
+				Action: randOps(2, dataLen), Gate: randGate()})
+		case 3: // single-field prefix ternary -> dense (w<=12) or interval search
+			w := 8 + rng.Intn(9)
+			entries := make([]Entry, 1+rng.Intn(10))
+			for i := range entries {
+				plen := rng.Intn(w + 1)
+				mask := widthMask(w) &^ widthMask(w-plen)
+				entries[i] = Entry{Key: []uint32{uint32(rng.Intn(1<<w)) & mask},
+					Mask: []uint32{mask}, Data: randData(dataLen)}
+			}
+			var def []int32
+			if rng.Intn(2) == 0 {
+				def = randData(dataLen)
+			}
+			addTable(&Table{Name: nm("interval", n), Kind: MatchTernary,
+				KeyFields: []FieldID{f()}, KeyWidths: []int{w}, Entries: entries,
+				Action: randOps(2, dataLen), DefaultData: def, Gate: randGate()})
+		case 4: // multi-field ternary -> bitmap (prefix masks) or generic scan
+			prefix := rng.Intn(2) == 0
+			// One narrow and one wide dimension, so the bitmap path
+			// exercises both dense rows and interval binary search.
+			w0, w1 := 8, 10+rng.Intn(6)
+			entries := make([]Entry, 1+rng.Intn(10))
+			for i := range entries {
+				var m0, m1 uint32
+				if prefix {
+					m0 = widthMask(w0) &^ widthMask(w0-rng.Intn(w0+1))
+					m1 = widthMask(w1) &^ widthMask(w1-rng.Intn(w1+1))
+				} else {
+					m0, m1 = rng.Uint32()&widthMask(w0), rng.Uint32()&widthMask(w1)
+				}
+				entries[i] = Entry{
+					Key:  []uint32{rng.Uint32() & m0, rng.Uint32() & m1},
+					Mask: []uint32{m0, m1}, Data: randData(dataLen)}
+			}
+			addTable(&Table{Name: nm("multi", n), Kind: MatchTernary,
+				KeyFields: []FieldID{f(), f()}, KeyWidths: []int{w0, w1}, Entries: entries,
+				Action: randOps(2, dataLen), Gate: randGate()})
+		default: // wide single-field exact -> hashed, not direct
+			entries := make([]Entry, 1+rng.Intn(8))
+			for i := range entries {
+				entries[i] = Entry{Key: []uint32{rng.Uint32() & widthMask(16)}, Data: randData(dataLen)}
+			}
+			// Duplicate a key occasionally to test first-match priority.
+			if len(entries) > 2 {
+				entries[len(entries)-1].Key[0] = entries[0].Key[0]
+			}
+			addTable(&Table{Name: nm("exact16", n), Kind: MatchExact,
+				KeyFields: []FieldID{f()}, KeyWidths: []int{16}, Entries: entries,
+				Action: randOps(2, dataLen), Gate: randGate()})
+		}
+	}
+	return prog, fields
+}
+
+func fieldName(i int) string { return string(rune('a' + i)) }
+
+func nm(base string, n int) string { return base + string(rune('0'+n)) }
+
+// TestCompiledMatchesInterpreterFuzz is the differential equivalence
+// test at the pisa level: random programs covering every execUnit kind,
+// random packets, full-PHV and register-state bit-identity between
+// Program.Process and CompiledProgram.Process.
+func TestCompiledMatchesInterpreterFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 40; trial++ {
+		prog, fields := randProgram(t, rng)
+		plan := CompileProgram(prog)
+		ipv := prog.Layout.NewPHV()
+		cpv := prog.Layout.NewPHV()
+		for pkt := 0; pkt < 50; pkt++ {
+			in := make([]int32, len(fields))
+			for i := range in {
+				in[i] = int32(rng.Intn(1 << 16))
+			}
+			// Interpreted pass.
+			ipv.Reset()
+			for i, f := range fields {
+				ipv.Set(f, in[i])
+			}
+			prog.Process(ipv)
+			iregs := snapshotRegs(prog)
+			resetRegs(prog)
+			// Compiled pass on the same register baseline.
+			cpv.Reset()
+			for i, f := range fields {
+				cpv.Set(f, in[i])
+			}
+			plan.Process(cpv)
+			cregs := snapshotRegs(prog)
+			resetRegs(prog)
+
+			for i := range ipv.Vals {
+				if ipv.Vals[i] != cpv.Vals[i] {
+					t.Fatalf("trial %d pkt %d: field %s interp %d compiled %d",
+						trial, pkt, prog.Layout.Name(FieldID(i)), ipv.Vals[i], cpv.Vals[i])
+				}
+			}
+			for r := range iregs {
+				for c := range iregs[r] {
+					if iregs[r][c] != cregs[r][c] {
+						t.Fatalf("trial %d pkt %d: reg %d cell %d interp %d compiled %d",
+							trial, pkt, r, c, iregs[r][c], cregs[r][c])
+					}
+				}
+			}
+		}
+	}
+}
+
+func snapshotRegs(p *Program) [][]int32 {
+	out := make([][]int32, len(p.Registers))
+	for i, r := range p.Registers {
+		out[i] = make([]int32, r.Size)
+		for c := 0; c < r.Size; c++ {
+			out[i][c] = r.Get(c)
+		}
+	}
+	return out
+}
+
+func resetRegs(p *Program) {
+	for _, r := range p.Registers {
+		r.Reset()
+	}
+}
+
+// TestCompiledAlwaysMerge checks that runs of ungated MatchNone tables
+// collapse into one unit with correctly rebased action-data indices.
+func TestCompiledAlwaysMerge(t *testing.T) {
+	var l Layout
+	a := l.MustAdd("a", 32)
+	b := l.MustAdd("b", 32)
+	prog := NewProgram("merge", &l, Tofino2)
+	prog.Place(0, &Table{Name: "t0", Kind: MatchNone, DefaultData: []int32{7},
+		Action: []Op{{Kind: OpSetData, Dst: a, DataIdx: 0}}})
+	prog.Place(1, &Table{Name: "t1", Kind: MatchNone, DefaultData: []int32{0, 35},
+		Action: []Op{{Kind: OpSetData, Dst: b, DataIdx: 1}}})
+	prog.Place(2, &Table{Name: "t2", Kind: MatchNone, DefaultData: []int32{},
+		Action: []Op{{Kind: OpAdd, Dst: a, A: a, B: b}}})
+	plan := CompileProgram(prog)
+	if len(plan.units) != 1 {
+		t.Fatalf("always-run not merged: %d units", len(plan.units))
+	}
+	phv := l.NewPHV()
+	plan.Process(phv)
+	if phv.Get(a) != 42 || phv.Get(b) != 35 {
+		t.Fatalf("merged run: a=%d b=%d, want 42/35", phv.Get(a), phv.Get(b))
+	}
+	// Source table actions must be untouched by the merge's rebasing.
+	if op := prog.Stages[1].Tables[0].Action[0]; op.DataIdx != 1 {
+		t.Fatalf("merge mutated source table op: DataIdx=%d", op.DataIdx)
+	}
+}
+
+// TestCompiledIntervalPriority pins first-match-wins on overlapping
+// range-coded entries (the two-level tables append a catch-all last).
+func TestCompiledIntervalPriority(t *testing.T) {
+	var l Layout
+	k := l.MustAdd("k", 8)
+	out := l.MustAdd("out", 8)
+	prog := NewProgram("prio", &l, Tofino2)
+	prog.Place(0, &Table{Name: "t", Kind: MatchTernary,
+		KeyFields: []FieldID{k}, KeyWidths: []int{8},
+		Entries: []Entry{
+			{Key: []uint32{0x40}, Mask: []uint32{0xc0}, Data: []int32{1}}, // [64,127]
+			{Key: []uint32{0x00}, Mask: []uint32{0x80}, Data: []int32{2}}, // [0,127], shadowed above
+			{Key: []uint32{0x00}, Mask: []uint32{0x00}, Data: []int32{3}}, // catch-all
+		},
+		Action: []Op{{Kind: OpSetData, Dst: out, DataIdx: 0}}, DataWidthBits: 8})
+	plan := CompileProgram(prog)
+	ipv, cpv := l.NewPHV(), l.NewPHV()
+	for v := 0; v < 256; v++ {
+		ipv.Reset()
+		ipv.Set(k, int32(v))
+		prog.Process(ipv)
+		cpv.Reset()
+		cpv.Set(k, int32(v))
+		plan.Process(cpv)
+		if ipv.Get(out) != cpv.Get(out) {
+			t.Fatalf("k=%d: interp %d compiled %d", v, ipv.Get(out), cpv.Get(out))
+		}
+	}
+}

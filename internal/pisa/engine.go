@@ -5,20 +5,47 @@ import (
 	"sync"
 )
 
+// ExecMode selects how the engine executes each pipeline program.
+type ExecMode int
+
+const (
+	// ExecCompiled replays packets over CompiledProgram plans — the
+	// default: zero-allocation specialised lookups, bit-identical to
+	// the interpreter.
+	ExecCompiled ExecMode = iota
+	// ExecInterpret replays packets through Program.Process, the
+	// reference interpreter. Kept for differential testing and as the
+	// baseline the benchmark reports compare against.
+	ExecInterpret
+)
+
+func (m ExecMode) String() string {
+	if m == ExecInterpret {
+		return "interpreted"
+	}
+	return "compiled"
+}
+
 // Engine executes a compiled program over batches of packets with a
-// worker pool sharded by flow hash. The real switch processes packets in
-// a hardware pipeline; the simulator's single-packet Process loop leaves
-// every other core idle, so replaying a trace is CPU-bound on one
-// goroutine. The engine restores the missing parallelism without
-// changing semantics: packets are partitioned by Job.Hash (the
-// five-tuple hash used to index per-flow register arrays), each shard is
-// processed in arrival order on its own worker with a private reusable
-// PHV, and all accesses to one flow's state stay on one shard — per-flow
-// read-modify-write ordering is exactly the sequential ordering.
+// persistent worker pool sharded by flow hash. The real switch
+// processes packets in a hardware pipeline; the simulator's
+// single-packet Process loop leaves every other core idle, so replaying
+// a trace is CPU-bound on one goroutine. The engine restores the
+// missing parallelism without changing semantics: packets are
+// partitioned by Job.Hash (the five-tuple hash used to index per-flow
+// register arrays), each shard is processed in arrival order on its own
+// worker with a private reusable PHV, and all accesses to one flow's
+// state stay on one shard — per-flow read-modify-write ordering is
+// exactly the sequential ordering.
 //
-// For that guarantee to extend to stateful programs, register cells
-// touched by different shards must be disjoint. Under the dataplane
-// convention that register indices are flow-hash derived
+// The pool is persistent: workers start once at construction and are
+// fed shard chunks over channels, so RunBatch spawns no goroutines and
+// reuses its shard index buffers across calls. Close stops the pool;
+// an engine must not be used after Close.
+//
+// For the per-flow guarantee to extend to stateful programs, register
+// cells touched by different shards must be disjoint. Under the
+// dataplane convention that register indices are flow-hash derived
 // (cell = Hash % Size), NewEngine enforces it structurally: the worker
 // count is reduced until it divides every register array size, so
 // cell ≡ Hash (mod workers) and each shard owns the cells congruent to
@@ -31,12 +58,30 @@ import (
 // classifies bit-identically to the single-pipe emission.
 type Engine struct {
 	progs   []*Program
+	plans   []*CompiledProgram // one per pipe, shared read-only by shards
 	bridges []Bridge
 	in      []FieldID // input fields, in progs[0]'s layout
 	out     []FieldID // output fields, in the final program's layout
 	class   FieldID   // class field, in the final program's layout
 	workers int
+	mode    ExecMode
 	phvs    [][]*PHV // [shard][pipe], reused across batches
+
+	feed      []chan shardTask // one channel per worker
+	batchWG   sync.WaitGroup   // outstanding shard tasks of one batch
+	workerWG  sync.WaitGroup   // worker goroutine lifetimes
+	seq       []int            // reused sequential index for 1-shard batches
+	shards    [][]int          // reused per-shard job index buffers
+	closeOnce sync.Once
+}
+
+// shardTask is one batch's work for one shard: the job indices the
+// shard owns plus the batch-wide result and output buffers.
+type shardTask struct {
+	jobs []Job
+	res  []Result
+	outs []int32
+	idx  []int
 }
 
 // Bridge carries PHV values between two chained pipeline programs: the
@@ -74,11 +119,17 @@ func NewEngine(prog *Program, in, out []FieldID, class FieldID, workers int) *En
 	return NewChainEngine([]*Program{prog}, nil, in, out, class, workers)
 }
 
-// NewChainEngine builds an engine over a chain of programs connected by
-// bridges (len(bridges) == len(progs)-1). The in fields live in the
-// first program's layout; out and class in the last one's. Worker-count
-// reduction considers the registers of every program in the chain.
+// NewChainEngine builds a compiled-plan engine over a chain of programs
+// connected by bridges (len(bridges) == len(progs)-1). The in fields
+// live in the first program's layout; out and class in the last one's.
+// Worker-count reduction considers the registers of every program in
+// the chain.
 func NewChainEngine(progs []*Program, bridges []Bridge, in, out []FieldID, class FieldID, workers int) *Engine {
+	return NewChainEngineMode(progs, bridges, in, out, class, workers, ExecCompiled)
+}
+
+// NewChainEngineMode is NewChainEngine with an explicit execution mode.
+func NewChainEngineMode(progs []*Program, bridges []Bridge, in, out []FieldID, class FieldID, workers int, mode ExecMode) *Engine {
 	if len(progs) == 0 {
 		panic("pisa: chain engine needs at least one program")
 	}
@@ -101,19 +152,55 @@ func NewChainEngine(progs []*Program, bridges []Bridge, in, out []FieldID, class
 	for workers > 1 && !dividesAll(workers) {
 		workers--
 	}
-	e := &Engine{progs: progs, bridges: bridges, in: in, out: out, class: class, workers: workers}
-	e.phvs = make([][]*PHV, workers)
-	for i := range e.phvs {
-		e.phvs[i] = make([]*PHV, len(progs))
+	e := &Engine{progs: progs, bridges: bridges, in: in, out: out, class: class,
+		workers: workers, mode: mode}
+	if mode == ExecCompiled {
+		e.plans = make([]*CompiledProgram, len(progs))
 		for k, p := range progs {
-			e.phvs[i][k] = p.Layout.NewPHV()
+			e.plans[k] = CompileProgram(p)
 		}
+	}
+	e.phvs = make([][]*PHV, workers)
+	e.shards = make([][]int, workers)
+	e.feed = make([]chan shardTask, workers)
+	for s := range e.phvs {
+		e.phvs[s] = make([]*PHV, len(progs))
+		for k, p := range progs {
+			e.phvs[s][k] = p.Layout.NewPHV()
+		}
+		e.feed[s] = make(chan shardTask, 1)
+		e.workerWG.Add(1)
+		go e.workerLoop(s)
 	}
 	return e
 }
 
+// workerLoop is shard s's persistent goroutine: it drains shard tasks
+// until Close closes the feed channel.
+func (e *Engine) workerLoop(s int) {
+	defer e.workerWG.Done()
+	for t := range e.feed[s] {
+		e.runShard(s, t.jobs, t.res, t.outs, t.idx)
+		e.batchWG.Done()
+	}
+}
+
+// Close stops the worker pool and waits for the workers to exit. The
+// engine must not be used after Close. Close is idempotent.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() {
+		for _, c := range e.feed {
+			close(c)
+		}
+		e.workerWG.Wait()
+	})
+}
+
 // Workers returns the shard count.
 func (e *Engine) Workers() int { return e.workers }
+
+// Mode returns the engine's execution mode.
+func (e *Engine) Mode() ExecMode { return e.mode }
 
 // RunBatch pushes every job through the program concurrently and returns
 // the results in job order. Calls must not overlap: the engine owns one
@@ -129,28 +216,71 @@ func (e *Engine) RunBatch(jobs []Job) []Result {
 	// the hot loop stays allocation free.
 	outs := make([]int32, len(jobs)*len(e.out))
 	if e.workers == 1 || len(jobs) == 1 {
-		e.runShard(0, jobs, res, outs, sequentialIdx(len(jobs)))
+		e.runShard(0, jobs, res, outs, e.seqIdx(len(jobs)))
 		return res
 	}
-	// Shard by flow hash, preserving batch order within each shard.
-	shards := make([][]int, e.workers)
+	// Shard by flow hash, preserving batch order within each shard. The
+	// per-shard index buffers persist across batches.
+	for s := range e.shards {
+		e.shards[s] = e.shards[s][:0]
+	}
 	for i := range jobs {
 		s := int(jobs[i].Hash % uint32(e.workers))
-		shards[s] = append(shards[s], i)
+		e.shards[s] = append(e.shards[s], i)
 	}
-	var wg sync.WaitGroup
 	for s := 0; s < e.workers; s++ {
-		if len(shards[s]) == 0 {
+		if len(e.shards[s]) == 0 {
 			continue
 		}
-		wg.Add(1)
-		go func(s int) {
-			defer wg.Done()
-			e.runShard(s, jobs, res, outs, shards[s])
-		}(s)
+		e.batchWG.Add(1)
+		e.feed[s] <- shardTask{jobs: jobs, res: res, outs: outs, idx: e.shards[s]}
 	}
-	wg.Wait()
+	e.batchWG.Wait()
 	return res
+}
+
+// streamChunk bounds the micro-batches RunStream forms from the input
+// channel: big enough to amortise sharding, small enough to keep
+// latency low when the stream trickles.
+const streamChunk = 1024
+
+// RunStream replays a stream of jobs: packets are drained from in into
+// adaptive micro-batches (up to streamChunk, or whatever is immediately
+// available) and pushed through the worker pool, with results emitted
+// on out in arrival order. RunStream blocks until in is closed and all
+// results are emitted, then closes out and returns the packet count.
+// Like RunBatch, calls must not overlap with other runs on the same
+// engine.
+func (e *Engine) RunStream(in <-chan Job, out chan<- Result) int {
+	buf := make([]Job, 0, streamChunk)
+	total := 0
+	open := true
+	for open {
+		j, ok := <-in
+		if !ok {
+			break
+		}
+		buf = append(buf[:0], j)
+	fill:
+		for len(buf) < streamChunk {
+			select {
+			case j2, ok2 := <-in:
+				if !ok2 {
+					open = false
+					break fill
+				}
+				buf = append(buf, j2)
+			default:
+				break fill
+			}
+		}
+		for _, r := range e.RunBatch(buf) {
+			out <- r
+		}
+		total += len(buf)
+	}
+	close(out)
+	return total
 }
 
 // runShard processes the given job indices in order on shard s's PHVs,
@@ -159,13 +289,18 @@ func (e *Engine) RunBatch(jobs []Job) []Result {
 func (e *Engine) runShard(s int, jobs []Job, res []Result, outs []int32, idx []int) {
 	phvs := e.phvs[s]
 	w := len(e.out)
+	interp := e.mode == ExecInterpret
 	for _, i := range idx {
 		phv := phvs[0]
 		phv.Reset()
 		for d, f := range e.in {
 			phv.Set(f, jobs[i].In[d])
 		}
-		e.progs[0].Process(phv)
+		if interp {
+			e.progs[0].Process(phv)
+		} else {
+			e.plans[0].Process(phv)
+		}
 		for k := 1; k < len(e.progs); k++ {
 			next := phvs[k]
 			next.Reset()
@@ -173,7 +308,11 @@ func (e *Engine) runShard(s int, jobs []Job, res []Result, outs []int32, idx []i
 			for b, from := range br.From {
 				next.Set(br.To[b], phv.Get(from))
 			}
-			e.progs[k].Process(next)
+			if interp {
+				e.progs[k].Process(next)
+			} else {
+				e.plans[k].Process(next)
+			}
 			phv = next
 		}
 		out := outs[i*w : (i+1)*w : (i+1)*w]
@@ -184,10 +323,10 @@ func (e *Engine) runShard(s int, jobs []Job, res []Result, outs []int32, idx []i
 	}
 }
 
-func sequentialIdx(n int) []int {
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
+// seqIdx returns the reused [0..n) index slice for single-shard batches.
+func (e *Engine) seqIdx(n int) []int {
+	for len(e.seq) < n {
+		e.seq = append(e.seq, len(e.seq))
 	}
-	return idx
+	return e.seq[:n]
 }

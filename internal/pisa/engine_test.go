@@ -50,27 +50,78 @@ func TestEngineMatchesSequential(t *testing.T) {
 		prog.Process(phv)
 		want[i] = Result{Class: int(phv.Get(class)), Outs: []int32{phv.Get(out)}}
 	}
-	for _, workers := range []int{0, 1, 2, 3, 8} {
-		e := NewEngine(prog, []FieldID{k}, []FieldID{out}, class, workers)
-		if workers > 0 && e.Workers() != workers {
-			t.Fatalf("Workers() = %d, want %d", e.Workers(), workers)
+	for _, mode := range []ExecMode{ExecCompiled, ExecInterpret} {
+		for _, workers := range []int{0, 1, 2, 3, 8} {
+			e := NewChainEngineMode([]*Program{prog}, nil, []FieldID{k}, []FieldID{out}, class, workers, mode)
+			if workers > 0 && e.Workers() != workers {
+				t.Fatalf("Workers() = %d, want %d", e.Workers(), workers)
+			}
+			if e.Mode() != mode {
+				t.Fatalf("Mode() = %v, want %v", e.Mode(), mode)
+			}
+			got := e.RunBatch(jobs)
+			if len(got) != len(want) {
+				t.Fatalf("mode=%v workers=%d: %d results, want %d", mode, workers, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].Class != want[i].Class || got[i].Outs[0] != want[i].Outs[0] {
+					t.Fatalf("mode=%v workers=%d job %d: got %+v, want %+v", mode, workers, i, got[i], want[i])
+				}
+			}
+			// Batches must be repeatable on the same engine (PHV and
+			// shard-buffer reuse across RunBatch calls).
+			again := e.RunBatch(jobs)
+			for i := range again {
+				if again[i].Class != got[i].Class || again[i].Outs[0] != got[i].Outs[0] {
+					t.Fatalf("mode=%v workers=%d: second batch diverged at %d", mode, workers, i)
+				}
+			}
+			e.Close()
+			e.Close() // idempotent
 		}
-		got := e.RunBatch(jobs)
+	}
+}
+
+// TestEngineRunStream checks the streaming entry point: results arrive
+// in submission order and match the batched replay, across chunk
+// boundaries and worker counts.
+func TestEngineRunStream(t *testing.T) {
+	prog, k, out, class := engineTestProg(t)
+	rng := rand.New(rand.NewSource(23))
+	// More jobs than one stream chunk, to cross a micro-batch boundary.
+	jobs := make([]Job, streamChunk+513)
+	for i := range jobs {
+		jobs[i] = Job{Hash: rng.Uint32(), In: []int32{int32(rng.Intn(256))}}
+	}
+	for _, workers := range []int{1, 4} {
+		e := NewEngine(prog, []FieldID{k}, []FieldID{out}, class, workers)
+		want := e.RunBatch(jobs)
+		in := make(chan Job)
+		outc := make(chan Result, 64)
+		go func() {
+			for _, j := range jobs {
+				in <- j
+			}
+			close(in)
+		}()
+		var got []Result
+		done := make(chan int)
+		go func() { done <- e.RunStream(in, outc) }()
+		for r := range outc {
+			got = append(got, r)
+		}
+		if n := <-done; n != len(jobs) {
+			t.Fatalf("workers=%d: RunStream count %d, want %d", workers, n, len(jobs))
+		}
 		if len(got) != len(want) {
-			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(want))
+			t.Fatalf("workers=%d: stream %d results, want %d", workers, len(got), len(want))
 		}
 		for i := range got {
 			if got[i].Class != want[i].Class || got[i].Outs[0] != want[i].Outs[0] {
-				t.Fatalf("workers=%d job %d: got %+v, want %+v", workers, i, got[i], want[i])
+				t.Fatalf("workers=%d stream result %d: got %+v, want %+v", workers, i, got[i], want[i])
 			}
 		}
-		// Batches must be repeatable on the same engine (PHV reuse).
-		again := e.RunBatch(jobs)
-		for i := range again {
-			if again[i].Class != got[i].Class || again[i].Outs[0] != got[i].Outs[0] {
-				t.Fatalf("workers=%d: second batch diverged at %d", workers, i)
-			}
-		}
+		e.Close()
 	}
 }
 
@@ -92,14 +143,18 @@ func TestEngineClampsWorkersToRegisterSizes(t *testing.T) {
 	prog.AddRegister(r6)
 	prog.AddRegister(r4)
 	// Largest w ≤ 8 dividing both 6 and 4 is 2.
-	if e := NewEngine(prog, []FieldID{k}, nil, k, 8); e.Workers() != 2 {
+	e := NewEngine(prog, []FieldID{k}, nil, k, 8)
+	if e.Workers() != 2 {
 		t.Fatalf("Workers() = %d, want 2", e.Workers())
 	}
+	e.Close()
 	// Register-free programs keep the requested pool.
 	free := NewProgram("stateless", &l, Tofino2)
-	if e := NewEngine(free, []FieldID{k}, nil, k, 8); e.Workers() != 8 {
+	e = NewEngine(free, []FieldID{k}, nil, k, 8)
+	if e.Workers() != 8 {
 		t.Fatalf("stateless Workers() = %d, want 8", e.Workers())
 	}
+	e.Close()
 }
 
 // TestChainEngineMatchesSingle runs a computation split across two
@@ -155,16 +210,21 @@ func TestChainEngineMatchesSingle(t *testing.T) {
 	for i := range jobs {
 		jobs[i] = Job{Hash: rng.Uint32(), In: []int32{int32(rng.Intn(32)), int32(rng.Intn(32))}}
 	}
-	ref := NewEngine(single, []FieldID{a, b}, []FieldID{out}, class, 1).RunBatch(jobs)
-	for _, workers := range []int{1, 2, 4, 8} {
-		chain := NewChainEngine([]*Program{p0, p1},
-			[]Bridge{{From: []FieldID{sum0}, To: []FieldID{br}}},
-			[]FieldID{a0, b0}, []FieldID{out1}, class1, workers)
-		got := chain.RunBatch(jobs)
-		for i := range got {
-			if got[i].Class != ref[i].Class || got[i].Outs[0] != ref[i].Outs[0] {
-				t.Fatalf("workers=%d job %d: chain %+v, single %+v", workers, i, got[i], ref[i])
+	refEng := NewEngine(single, []FieldID{a, b}, []FieldID{out}, class, 1)
+	ref := refEng.RunBatch(jobs)
+	refEng.Close()
+	for _, mode := range []ExecMode{ExecCompiled, ExecInterpret} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			chain := NewChainEngineMode([]*Program{p0, p1},
+				[]Bridge{{From: []FieldID{sum0}, To: []FieldID{br}}},
+				[]FieldID{a0, b0}, []FieldID{out1}, class1, workers, mode)
+			got := chain.RunBatch(jobs)
+			for i := range got {
+				if got[i].Class != ref[i].Class || got[i].Outs[0] != ref[i].Outs[0] {
+					t.Fatalf("mode=%v workers=%d job %d: chain %+v, single %+v", mode, workers, i, got[i], ref[i])
+				}
 			}
+			chain.Close()
 		}
 	}
 }
@@ -172,6 +232,7 @@ func TestChainEngineMatchesSingle(t *testing.T) {
 func TestEngineEmptyBatch(t *testing.T) {
 	prog, k, out, class := engineTestProg(t)
 	e := NewEngine(prog, []FieldID{k}, []FieldID{out}, class, 4)
+	defer e.Close()
 	if res := e.RunBatch(nil); len(res) != 0 {
 		t.Fatalf("empty batch: %d results", len(res))
 	}
@@ -223,6 +284,7 @@ func TestEngineShardedRegisterConsistency(t *testing.T) {
 	reg.Reset()
 
 	e := NewEngine(prog, []FieldID{slot, v}, []FieldID{acc}, acc, workers)
+	defer e.Close()
 	e.RunBatch(jobs)
 	for s := 0; s < slots; s++ {
 		if reg.Get(s) != want[s] {

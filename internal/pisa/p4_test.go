@@ -52,7 +52,7 @@ func miniProgram() *Program {
 	})
 	p.Place(2, &Table{
 		Name: "finish", Kind: MatchNone, DefaultData: []int32{},
-		Gate: &Gate{Field: acc, Op: ">=", Value: 1},
+		Gate: &Gate{Field: acc, Op: GateGE, Value: 1},
 		Action: []Op{
 			{Kind: OpShr, Dst: acc, A: acc, Imm: 2},
 			{Kind: OpSelGE, Dst: cls, A: acc, B: b, Imm: 1},

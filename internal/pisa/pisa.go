@@ -10,6 +10,15 @@
 // bus) plus pipeline-wide limits (stage count, PHV bits). Programs that
 // exceed a budget fail validation, which is how the paper's scalability
 // story becomes observable in this reproduction.
+//
+// Programs execute in one of two modes. Program.Process interprets the
+// tables directly — the reference semantics, used by RunSwitch and the
+// resource/validation paths. CompileProgram lowers a validated program
+// into a CompiledProgram, a zero-allocation execution plan that
+// specialises every table by match kind (dense direct indexing, hashed
+// exact matching, interval binary search for range-coded ternary
+// rules, inlined always-tables); the Engine replays traces over
+// compiled plans by default and is bit-identical to the interpreter.
 package pisa
 
 import (
@@ -122,8 +131,20 @@ func (l *Layout) TotalBits() int {
 }
 
 // PHV is one packet's header vector: the values of every layout field.
+// A PHV also carries a small reusable key scratch buffer so table
+// lookups allocate nothing per packet; PHVs are therefore cheap to keep
+// per goroutine but must not be shared between concurrent goroutines.
 type PHV struct {
 	Vals []int32
+	key  []uint32 // lookup scratch, grown on demand
+}
+
+// keyBuf returns an n-element scratch slice for assembling a match key.
+func (p *PHV) keyBuf(n int) []uint32 {
+	if cap(p.key) < n {
+		p.key = make([]uint32, n)
+	}
+	return p.key[:n]
 }
 
 // NewPHV returns a zeroed PHV for the layout.

@@ -132,7 +132,7 @@ func TestGate(t *testing.T) {
 		Name: "t", Kind: MatchNone,
 		DefaultData: []int32{7},
 		Action:      []Op{{Kind: OpSetData, Dst: out, DataIdx: 0}},
-		Gate:        &Gate{Field: en, Op: "==", Value: 1},
+		Gate:        &Gate{Field: en, Op: GateEQ, Value: 1},
 	}
 	phv := l.NewPHV()
 	if tbl.apply(phv, nil) {
@@ -142,9 +142,19 @@ func TestGate(t *testing.T) {
 	if !tbl.apply(phv, nil) || phv.Get(out) != 7 {
 		t.Fatal("gate should pass")
 	}
-	for _, op := range []string{"!=", ">=", "<="} {
+	for _, s := range []string{"!=", ">=", "<="} {
+		op, err := ParseGateOp(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if op.String() != s {
+			t.Fatalf("GateOp round-trip: %q -> %q", s, op.String())
+		}
 		g := &Gate{Field: en, Op: op, Value: 1}
 		g.pass(phv) // must not panic
+	}
+	if _, err := ParseGateOp("<"); err == nil {
+		t.Fatal("ParseGateOp accepted unknown op")
 	}
 }
 

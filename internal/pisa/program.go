@@ -33,10 +33,13 @@ func (p *Program) AddRegister(r *Register) int {
 }
 
 // Place appends table t to stage idx, growing the pipeline as needed.
+// Placement also precomputes the table's per-field width masks so the
+// per-packet lookup path never recomputes them.
 func (p *Program) Place(stage int, t *Table) {
 	for len(p.Stages) <= stage {
 		p.Stages = append(p.Stages, &Stage{})
 	}
+	t.prepare()
 	p.Stages[stage].Tables = append(p.Stages[stage].Tables, t)
 }
 

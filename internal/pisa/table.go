@@ -81,27 +81,72 @@ type Entry struct {
 	Data []int32
 }
 
+// GateOp is a gateway comparison, parsed once at construction so the
+// per-packet check is a typed switch instead of a string compare.
+type GateOp uint8
+
+// Gateway comparisons. The zero value is deliberately not a valid op,
+// preserving the old fail-fast behaviour: a Gate built without setting
+// Op panics on first use instead of silently comparing.
+const (
+	GateEQ GateOp = iota + 1 // ==
+	GateNE                   // !=
+	GateGE                   // >=
+	GateLE                   // <=
+)
+
+// ParseGateOp converts the builder-facing string form ("==", "!=",
+// ">=", "<=") into the typed op.
+func ParseGateOp(s string) (GateOp, error) {
+	switch s {
+	case "==":
+		return GateEQ, nil
+	case "!=":
+		return GateNE, nil
+	case ">=":
+		return GateGE, nil
+	case "<=":
+		return GateLE, nil
+	}
+	return 0, fmt.Errorf("pisa: unknown gate op %q", s)
+}
+
+// String returns the source form of the comparison, used by the P4
+// renderer and builders.
+func (op GateOp) String() string {
+	switch op {
+	case GateEQ:
+		return "=="
+	case GateNE:
+		return "!="
+	case GateGE:
+		return ">="
+	case GateLE:
+		return "<="
+	}
+	return fmt.Sprintf("GateOp(%d)", int(op))
+}
+
 // Gate optionally predicates a table on a PHV field (PISA gateway).
 type Gate struct {
 	Field FieldID
-	// Op is one of "==", "!=", ">=", "<=".
-	Op    string
+	Op    GateOp
 	Value int32
 }
 
 func (g *Gate) pass(phv *PHV) bool {
 	v := phv.Get(g.Field)
 	switch g.Op {
-	case "==":
+	case GateEQ:
 		return v == g.Value
-	case "!=":
+	case GateNE:
 		return v != g.Value
-	case ">=":
+	case GateGE:
 		return v >= g.Value
-	case "<=":
+	case GateLE:
 		return v <= g.Value
 	}
-	panic(fmt.Sprintf("pisa: unknown gate op %q", g.Op))
+	panic(fmt.Sprintf("pisa: unknown gate op %d", g.Op))
 }
 
 // Table is one match-action table.
@@ -125,19 +170,50 @@ type Table struct {
 	// DataWidthBits is the action-data width fetched per hit; it is
 	// charged against the stage's action data bus.
 	DataWidthBits int
+
+	// masks caches the per-field width masks (prepare); lookup falls
+	// back to computing them inline for tables that never went through
+	// Program.Place, so construction-by-literal keeps working.
+	masks []uint32
+}
+
+// prepare precomputes the per-field width masks. Program.Place calls it
+// for every placed table; it is idempotent.
+func (t *Table) prepare() {
+	if t.masks != nil || len(t.KeyWidths) == 0 {
+		return
+	}
+	masks := make([]uint32, len(t.KeyWidths))
+	for i, w := range t.KeyWidths {
+		masks[i] = widthMask(w)
+	}
+	t.masks = masks
+}
+
+// loadKey fills key (caller scratch, len(t.KeyFields)) with the masked
+// PHV values of the table's key fields.
+func (t *Table) loadKey(phv *PHV, key []uint32) {
+	if t.masks != nil {
+		for i, f := range t.KeyFields {
+			key[i] = uint32(phv.Get(f)) & t.masks[i]
+		}
+		return
+	}
+	for i, f := range t.KeyFields {
+		key[i] = uint32(phv.Get(f)) & widthMask(t.KeyWidths[i])
+	}
 }
 
 // lookup returns the action data for phv, or nil when the table misses
-// and has no default.
+// and has no default. The key is assembled in the PHV's scratch buffer,
+// so steady-state lookups perform no heap allocation.
 func (t *Table) lookup(phv *PHV) ([]int32, bool) {
 	switch t.Kind {
 	case MatchNone:
 		return t.DefaultData, t.DefaultData != nil
 	case MatchExact:
-		key := make([]uint32, len(t.KeyFields))
-		for i, f := range t.KeyFields {
-			key[i] = uint32(phv.Get(f)) & widthMask(t.KeyWidths[i])
-		}
+		key := phv.keyBuf(len(t.KeyFields))
+		t.loadKey(phv, key)
 		for ei := range t.Entries {
 			e := &t.Entries[ei]
 			hit := true
@@ -152,10 +228,8 @@ func (t *Table) lookup(phv *PHV) ([]int32, bool) {
 			}
 		}
 	case MatchTernary:
-		key := make([]uint32, len(t.KeyFields))
-		for i, f := range t.KeyFields {
-			key[i] = uint32(phv.Get(f)) & widthMask(t.KeyWidths[i])
-		}
+		key := phv.keyBuf(len(t.KeyFields))
+		t.loadKey(phv, key)
 		for ei := range t.Entries {
 			e := &t.Entries[ei]
 			hit := true

@@ -15,7 +15,31 @@
 //
 //	// batched flow-sharded replay through the simulated switch
 //	engine := emitted.NewEngine(8)
+//	defer engine.Close()
 //	results := engine.RunBatch(pegasus.BatchJobs(batch))
+//
+// # Execution modes
+//
+// Emitted programs execute in one of two modes. The interpreter
+// (Program.Process, RunSwitch, ExecInterpret) evaluates every table
+// directly against its entry list — the reference semantics. The
+// compiled plan (CompileProgram, ExecCompiled — the engine's default)
+// lowers the program once into a zero-allocation execution schedule
+// specialised per table: always-tables inline into straight-line op
+// streams, exact tables become dense direct-index arrays or hashed
+// lookups on a packed key, and range-coded ternary tables become
+// interval lookups and per-dimension rule-bitset intersections.
+// Compiled execution is bit-identical to the interpreter (differential
+// fuzz tests enforce it across every model family and the multi-pipe
+// chain) and is what throughput-bearing replay should use; the
+// interpreter remains the baseline for debugging table semantics and
+// validating new emitters. Select per engine with
+// Emitted.NewEngineMode(workers, mode).
+//
+// The engine itself is a persistent streaming pool: workers start once
+// and are fed shard chunks over channels, either from pre-built
+// batches (RunBatch) or from a channel of packets drained into
+// adaptive micro-batches (RunStream). Close stops the pool.
 //
 // Compilation runs through a staged pass manager (Pipeline): named,
 // instrumented passes (lower, fuse, drop-nonlinear, build-tables,
@@ -218,17 +242,34 @@ type (
 )
 
 // Batched switch-execution engine types: concurrent replay of an
-// emitted program over packet batches, sharded by flow hash so per-flow
-// state stays consistent.
+// emitted program over packet batches or streams, sharded by flow hash
+// so per-flow state stays consistent.
 type (
-	// Engine is the batched flow-sharded executor (chains the pipes of
-	// multi-pipeline emissions).
+	// Engine is the persistent flow-sharded executor pool (chains the
+	// pipes of multi-pipeline emissions; RunBatch for batches,
+	// RunStream for channels of packets; Close stops the pool).
 	Engine = pisa.Engine
 	// EngineJob is one packet (input values + shard hash) of a batch.
 	EngineJob = pisa.Job
 	// EngineResult is one packet's classification and outputs.
 	EngineResult = pisa.Result
+	// ExecMode selects interpreted tables or compiled execution plans.
+	ExecMode = pisa.ExecMode
+	// CompiledProgram is a switch program lowered into a
+	// zero-allocation execution plan, bit-identical to the interpreter.
+	CompiledProgram = pisa.CompiledProgram
 )
+
+// Engine execution modes.
+const (
+	// ExecCompiled replays compiled zero-allocation plans (default).
+	ExecCompiled = pisa.ExecCompiled
+	// ExecInterpret replays the reference table interpreter.
+	ExecInterpret = pisa.ExecInterpret
+)
+
+// CompileProgram lowers a PISA program into its execution plan.
+var CompileProgram = pisa.CompileProgram
 
 // Compiler entry points.
 var (
