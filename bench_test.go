@@ -15,6 +15,7 @@ import (
 	"github.com/pegasus-idp/pegasus/internal/core"
 	"github.com/pegasus-idp/pegasus/internal/experiments"
 	"github.com/pegasus-idp/pegasus/internal/models"
+	"github.com/pegasus-idp/pegasus/internal/netsim"
 	"github.com/pegasus-idp/pegasus/internal/pisa"
 	"github.com/pegasus-idp/pegasus/internal/tensor"
 )
@@ -145,6 +146,48 @@ func BenchmarkEngineBatch(b *testing.B) {
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					eng.RunBatch(jobs)
+				}
+				b.ReportMetric(pktPerOp*float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
+			})
+		}
+	}
+}
+
+// BenchmarkEnginePackets measures the raw-trace per-packet path: the
+// merged test trace replayed through the extraction emission, so every
+// packet pays the flow-state register RMWs (window banking, counters)
+// and inference fires only on window boundaries. ReportAllocs pins the
+// zero-per-packet-allocation property of the compiled stateful path:
+// allocs/op is per whole-trace replay (result-slice assembly only), so
+// allocations per packet are allocs/op divided by pkts — effectively
+// zero.
+func BenchmarkEnginePackets(b *testing.B) {
+	ds := PeerRush(DataConfig{FlowsPerClass: 40, Seed: 2})
+	train, _, test := ds.Split(3)
+	rng := rand.New(rand.NewSource(2))
+	m := NewCNNM(ds.NumClasses(), rng)
+	m.Train(train, TrainOpts{Epochs: 10, Seed: 2})
+	if err := m.Compile(train); err != nil {
+		b.Fatal(err)
+	}
+	em, err := m.EmitPackets(1 << 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs := models.PacketJobs(em, netsim.Merge(test))
+	pktPerOp := float64(len(jobs))
+
+	for _, mode := range []pisa.ExecMode{pisa.ExecInterpret, pisa.ExecCompiled} {
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/workers=%d", mode, workers), func(b *testing.B) {
+				eng := em.NewPacketEngine(workers, mode)
+				defer eng.Close()
+				eng.ResetState()
+				eng.RunPackets(jobs) // warm the reusable buffers
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					eng.RunPackets(jobs)
 				}
 				b.ReportMetric(pktPerOp*float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
 			})

@@ -7,8 +7,16 @@
 //
 //	pegasus-run -dataset PeerRush -model cnn-m -flows 60 -workers 8
 //	pegasus-run -model mlp-b -target tofino-multipipe
-//	pegasus-run -model cnn-b -stream            # streaming replay (RunStream)
+//	pegasus-run -model cnn-b -stream            # stream pre-extracted windows (RunStream)
+//	pegasus-run -model cnn-b -packets           # raw-trace replay: per-packet extraction on the switch
 //	pegasus-run -model cnn-b -mode interpret    # reference interpreter baseline
+//
+// Two replay granularities exist. The default (and -stream, its
+// streaming variant) feeds pre-extracted feature windows to the engine
+// — the extraction happened on the host. -packets instead feeds the
+// raw merged packet trace: the emitted program's own flow-state
+// registers perform the Table-6 feature extraction per packet and
+// inference fires only on window boundaries.
 package main
 
 import (
@@ -23,6 +31,7 @@ import (
 	"github.com/pegasus-idp/pegasus/internal/core"
 	"github.com/pegasus-idp/pegasus/internal/datasets"
 	"github.com/pegasus-idp/pegasus/internal/models"
+	"github.com/pegasus-idp/pegasus/internal/netsim"
 	"github.com/pegasus-idp/pegasus/internal/pisa"
 )
 
@@ -35,7 +44,8 @@ func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "replay engine workers (flow-hash shards)")
 	target := flag.String("target", "", "emission target: "+strings.Join(core.TargetNames(), ", ")+" (default tofino)")
 	mode := flag.String("mode", "compiled", "engine execution mode: compiled (zero-alloc plans) or interpret (reference tables)")
-	stream := flag.Bool("stream", false, "replay through the streaming entry point (RunStream) instead of one batch")
+	stream := flag.Bool("stream", false, "stream PRE-EXTRACTED feature windows through RunStream instead of one batch (host-side extraction; see -packets for the raw-trace path)")
+	packets := flag.Bool("packets", false, "replay the RAW merged packet trace: the emitted program's registers extract features per packet and fire inference on window boundaries")
 	flag.Parse()
 
 	var execMode pisa.ExecMode
@@ -88,6 +98,13 @@ func main() {
 	fmt.Printf("pegasus (tables): PR %.4f  RC %.4f  F1 %.4f  (Δ %.4f)\n",
 		peg.Precision, peg.Recall, peg.F1, peg.F1-full.F1)
 
+	if *packets {
+		runPackets(m, test, *workers, execMode)
+		fmt.Println()
+		fmt.Print(m.Pipeline().DiagString())
+		return
+	}
+
 	em, err := m.Emit(1 << 16)
 	check(err)
 
@@ -136,6 +153,64 @@ func main() {
 	fmt.Print(m.Pipeline().DiagString())
 	fmt.Println()
 	fmt.Print(em.Summary())
+}
+
+// runPackets replays the raw merged test trace through the per-packet
+// engine path: the emitted extraction machine updates flow-state
+// registers on every packet and classification fires on window
+// boundaries. Models whose inference already fills the single pipe
+// (MLP-B) fall back to the two-pipe Tofino split automatically.
+func runPackets(m *models.Feedforward, test []netsim.Flow, workers int, execMode pisa.ExecMode) {
+	emp, err := m.EmitPackets(1 << 16)
+	if err != nil && m.Pipeline().Opts.Emit.Target == nil {
+		tgt, _ := core.LookupTarget("tofino-multipipe")
+		m.Pipeline().Opts.Emit.Target = tgt
+		fmt.Println("single pipe too small for extraction + inference; using tofino-multipipe")
+		emp, err = m.EmitPackets(1 << 16)
+	}
+	check(err)
+
+	stream := netsim.Merge(test)
+	jobs := models.PacketJobs(emp, stream)
+	labels := make([]int, len(stream))
+	for i, sp := range stream {
+		labels[i] = sp.Flow.Class
+	}
+
+	eng := emp.NewPacketEngine(workers, execMode)
+	defer eng.Close()
+	in := make(chan pisa.PacketIn, 1024)
+	out := make(chan pisa.PacketResult, 1024)
+	go func() {
+		for _, j := range jobs {
+			in <- j
+		}
+		close(in)
+	}()
+	hit := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for r := range out {
+			if r.Class == labels[r.Pkt] {
+				hit++
+			}
+		}
+	}()
+	start := time.Now()
+	total, fires := eng.RunPacketStream(in, out)
+	<-done
+	elapsed := time.Since(start)
+	acc := 0.0
+	if fires > 0 {
+		acc = float64(hit) / float64(fires)
+	}
+	fmt.Printf("packet replay:    %d raw packets in %s (%.3g pkt/s, %d workers, %s)\n",
+		total, elapsed.Round(time.Microsecond), float64(total)/elapsed.Seconds(), eng.Workers(), execMode)
+	fmt.Printf("                  %d windows fired, %d/%d correct (%.4f) — per-packet register extraction on-switch\n",
+		fires, hit, fires, acc)
+	fmt.Println()
+	fmt.Print(emp.Summary())
 }
 
 func check(err error) {

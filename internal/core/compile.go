@@ -18,9 +18,17 @@ type EmitOptions struct {
 	Argmax bool
 	// FlowStateBits/Flows allocate per-flow register state for resource
 	// accounting (feature extraction state; see models package for the
-	// per-model footprints of Table 6).
+	// per-model footprints of Table 6). When Extract is nil the
+	// registers are sized but never touched by the program.
 	FlowStateBits int
 	Flows         int
+	// Extract, when set, replaces the accounting-only registers with an
+	// executable feature-extraction state machine prepended to pipe 0:
+	// the emitted program consumes raw packets (hash + per-packet
+	// fields), updates its flow-state registers once per packet, and
+	// assembles the model input vector itself on window boundaries.
+	// See ExtractSpec and Emitted.Extract.
+	Extract *ExtractSpec
 }
 
 // Emit lowers the compiled tables onto the selected target's PISA
@@ -46,7 +54,7 @@ func Emit(c *Compiled, opts EmitOptions) (*Emitted, error) {
 // and validates the program only when validate is set — planning
 // dry-runs intentionally overflow the stage budget.
 func emitFF(c *Compiled, cap pisa.Capacity, opts EmitOptions, lo, hi int, argmax, validate bool) (*Emitted, []int, error) {
-	layout, prog, err := newEmitProgram(c.Name, cap, opts, lo == 0)
+	layout, prog, err := newEmitProgram(c.Name, cap, opts, lo == 0 && opts.Extract == nil)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -125,6 +133,15 @@ func emitFF(c *Compiled, cap pisa.Capacity, opts EmitOptions, lo, hi int, argmax
 	}
 
 	stage := 0
+	if lo == 0 && opts.Extract != nil {
+		// Prepend the executable feature-extraction machine: it writes
+		// the in-fields on window boundaries, so the group tables below
+		// read extracted state instead of engine-fed vectors.
+		stage, err = emitExtraction(prog, layout, em, *opts.Extract, opts.Flows)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
 	var spans []int
 	src := em.InFields // current boundary fields
 	dstPool := valA

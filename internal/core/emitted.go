@@ -37,6 +37,12 @@ type Emitted struct {
 	// Source is the rendered program text for printing backends (the
 	// P4Printer target); empty otherwise.
 	Source string
+	// Extract describes the per-packet feature-extraction machine when
+	// the emission was produced with EmitOptions.Extract: the engine's
+	// raw-packet handles (all in Prog's layout — extraction always runs
+	// in pipe 0) plus the prelude fields custom window phases build on.
+	// Nil for window-replay emissions.
+	Extract *Extraction
 }
 
 // Programs returns every pipe in execution order.
@@ -127,6 +133,21 @@ func (em *Emitted) NewEngine(workers int) *pisa.Engine {
 // for differential testing and benchmark baselines.
 func (em *Emitted) NewEngineMode(workers int, mode pisa.ExecMode) *pisa.Engine {
 	return pisa.NewChainEngineMode(em.Programs(), em.Bridges, em.InFields, em.OutFields, em.ClassField, workers, mode)
+}
+
+// NewPacketEngine returns an engine configured for raw-packet replay
+// over an extraction emission: RunPackets/RunPacketStream feed packets
+// into the extraction machine's PHV handles, every packet updates the
+// per-flow registers, and an inference result is collected whenever a
+// feature window completes. Panics if the emission has no extraction
+// machine (emit with EmitOptions.Extract set).
+func (em *Emitted) NewPacketEngine(workers int, mode pisa.ExecMode) *pisa.Engine {
+	if em.Extract == nil {
+		panic("core: NewPacketEngine on an emission without an extraction machine")
+	}
+	eng := em.NewEngineMode(workers, mode)
+	eng.ConfigurePackets(em.Extract.Meta)
+	return eng
 }
 
 // RunSwitch pushes one input vector through the emitted pipeline chain

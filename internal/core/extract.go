@@ -1,0 +1,593 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/pegasus-idp/pegasus/internal/netsim"
+	"github.com/pegasus-idp/pegasus/internal/pisa"
+)
+
+// This file emits the Table-6 feature-extraction state machines as
+// executable PISA tables: per-flow registers updated by one
+// read-modify-write each per packet, bucket range tables (consecutive
+// range coding of netsim.LenBucket/IPDBucket), and a window-boundary
+// trigger that assembles the model's input vector and raises the fire
+// field. The emitted machines are bit-identical to the host-side
+// extractors (netsim.StatFeatures / netsim.SeqWindows), which is what
+// lets the per-packet engine path classify raw traces exactly like
+// host-side extraction followed by RunSwitch.
+
+// ExtractKind selects the feature-extraction state machine prepended to
+// an emitted program.
+type ExtractKind int
+
+const (
+	// ExtractStats maintains per-direction max/min length and max/min
+	// IPD-bucket trackers (the stat-feature models: MLP-B, N3IC, Leo).
+	// Engine packet fields: direction (0/1), length, timestamp (µs,
+	// low 32 bits). Fires every Window packets with the cumulative
+	// flow statistics, matching netsim.StatFeatures(f, k*Window).
+	ExtractStats ExtractKind = iota
+	// ExtractSeq banks per-packet length/IPD buckets into windowed
+	// sequence buffers (RNN-B, CNN-B/M, AutoEncoder). Engine packet
+	// fields: length, timestamp. Fires on every Window-th packet of a
+	// flow with the interleaved len/IPD bucket window, matching
+	// netsim.SeqWindows.
+	ExtractSeq
+	// ExtractPayload counts window positions for payload models
+	// (CNN-L): the payload bytes are per-packet PHV inputs, and the
+	// model's own window phase banks its per-packet index registers
+	// keyed on the prelude's Pos/Slot fields. Engine packet fields:
+	// the payload-byte in-fields themselves.
+	ExtractPayload
+	// ExtractPayloadIPD is ExtractPayload plus a per-packet IPD bucket
+	// computed into the final in-field (the CNN-L +IPD variant).
+	// Engine packet fields: payload bytes, timestamp.
+	ExtractPayloadIPD
+)
+
+func (k ExtractKind) String() string {
+	switch k {
+	case ExtractStats:
+		return "stats"
+	case ExtractSeq:
+		return "seq"
+	case ExtractPayload:
+		return "payload"
+	case ExtractPayloadIPD:
+		return "payload+ipd"
+	}
+	return fmt.Sprintf("ExtractKind(%d)", int(k))
+}
+
+// ExtractSpec configures the extraction machine of an emission.
+type ExtractSpec struct {
+	// Kind selects the state machine.
+	Kind ExtractKind
+	// Window is the firing interval in packets (must be a power of
+	// two; 0 = 8, the model zoo's shared window).
+	Window int
+	// Flows sizes the per-flow register arrays (rounded up to a power
+	// of two; 0 inherits EmitOptions.Flows, then defaults to 1024).
+	Flows int
+}
+
+// statMinInit is the +max sentinel min-tracker registers initialise to;
+// the fire stage maps a still-initial tracker to 0, mirroring the
+// host extractor's unseen-direction semantics. Packet lengths must stay
+// below it (true for any wire format).
+const statMinInit = 32767
+
+func (s *ExtractSpec) window() int {
+	if s.Window <= 0 {
+		return 8
+	}
+	return s.Window
+}
+
+func (s *ExtractSpec) flows(def int) int {
+	n := s.Flows
+	if n <= 0 {
+		n = def
+	}
+	if n <= 0 {
+		n = 1 << 10
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// PreludeStages returns the pipeline stages the extraction machine
+// occupies before the first inference table may be placed. Multi-pipe
+// targets use it to budget pipe 0 without a dry-run emission.
+func (s *ExtractSpec) PreludeStages() int {
+	switch s.Kind {
+	case ExtractStats:
+		return 5
+	case ExtractSeq:
+		return 3
+	case ExtractPayload:
+		return 0 // bookkeeping overlaps the encoder's own stages
+	case ExtractPayloadIPD:
+		return 2
+	}
+	return 0
+}
+
+// Extraction is the emitted form of an ExtractSpec: the engine-facing
+// packet handles plus the prelude fields model-specific phases (CNN-L's
+// window banking) build on. All fields live in pipe 0's layout.
+type Extraction struct {
+	// Spec echoes the emission's configuration with Window/Flows
+	// resolved to their effective values.
+	Spec ExtractSpec
+	// Meta holds the engine handles: the flow-hash input, the raw
+	// per-packet field inputs, and the window-fire output.
+	Meta pisa.PacketMeta
+	// Slot is the register index of the packet's flow
+	// (hash & (Flows-1)); Pos is its window position
+	// ((count-1) mod Window). Custom phases gate their banking tables
+	// on Pos and index their registers with Slot.
+	Slot, Pos pisa.FieldID
+}
+
+// BankPair is one value banked per window position: Src is the field
+// stored by each non-final packet, Dst[p] the field position p is
+// restored into on the window-completing packet.
+type BankPair struct {
+	Src pisa.FieldID
+	Dst []pisa.FieldID
+}
+
+// EmitWindowBank emits the per-position register banking shared by the
+// windowed machines: for every position p < Window−1 it allocates one
+// 8-bit register array per pair (named prefix + pair/position), places
+// a banking table at bankStage gated on Pos == p that stores each
+// pair's source field, and returns the restore ops — RegLoads masked
+// back to unsigned 8-bit (the registers sign-extend on store) into
+// each pair's position destinations — for the caller to run on the
+// window-completing packet. The gate shapes keep every register at one
+// RMW per packet: position p's bank and the caller's pos==Window−1
+// restore are provably exclusive.
+func (x *Extraction) EmitWindowBank(prog *pisa.Program, prefix string, pairs []BankPair, bankStage int) ([]pisa.Op, error) {
+	w := x.Spec.Window
+	var restore []pisa.Op
+	for p := 0; p < w-1; p++ {
+		var ops []pisa.Op
+		for pi, pair := range pairs {
+			reg, err := pisa.NewRegister(fmt.Sprintf("%s%d_q%d", prefix, pi, p), 8, x.Spec.Flows)
+			if err != nil {
+				return nil, err
+			}
+			ri := prog.AddRegister(reg)
+			ops = append(ops, pisa.Op{Kind: pisa.OpRegStore, Reg: ri, A: x.Slot, B: pair.Src})
+			restore = append(restore,
+				pisa.Op{Kind: pisa.OpRegLoad, Reg: ri, Dst: pair.Dst[p], A: x.Slot},
+				pisa.Op{Kind: pisa.OpAndImm, Dst: pair.Dst[p], A: pair.Dst[p], Imm: 0xff},
+			)
+		}
+		prog.Place(bankStage, &pisa.Table{
+			Name: fmt.Sprintf("%s_bank%d", prefix, p), Kind: pisa.MatchNone, DefaultData: []int32{},
+			Gate:   &pisa.Gate{Field: x.Pos, Op: pisa.GateEQ, Value: int32(p)},
+			Action: ops,
+		})
+	}
+	return restore, nil
+}
+
+// extractEmitter accumulates the shared prelude state while building
+// one machine.
+type extractEmitter struct {
+	prog   *pisa.Program
+	layout *pisa.Layout
+	spec   ExtractSpec
+	ext    *Extraction
+
+	slot, cnt, pos, one, zero, fire pisa.FieldID
+}
+
+// emitExtraction prepends spec's state machine to prog, writing the
+// extracted feature vector into em.InFields on firing packets and
+// recording the engine handles in em.Extract. It returns the first
+// stage available to inference tables (== spec.PreludeStages()).
+func emitExtraction(prog *pisa.Program, layout *pisa.Layout, em *Emitted, spec ExtractSpec, defFlows int) (int, error) {
+	w := spec.window()
+	if w&(w-1) != 0 {
+		return 0, fmt.Errorf("core: extraction window %d is not a power of two", w)
+	}
+	spec.Window = w
+	spec.Flows = spec.flows(defFlows)
+
+	e := &extractEmitter{prog: prog, layout: layout, spec: spec,
+		ext: &Extraction{Spec: spec}}
+	e.ext.Meta.Hash = layout.MustAdd("px_hash", 32)
+	e.slot = layout.MustAdd("px_slot", 32)
+	e.cnt = layout.MustAdd("px_cnt", 32)
+	e.pos = layout.MustAdd("px_pos", 8)
+	e.one = layout.MustAdd("px_one", 8)
+	e.zero = layout.MustAdd("px_zero", 8) // never written: constant 0
+	e.fire = layout.MustAdd("px_fire", 8)
+	e.ext.Meta.Fire = e.fire
+	e.ext.Slot, e.ext.Pos = e.slot, e.pos
+
+	var stages int
+	var err error
+	switch spec.Kind {
+	case ExtractStats:
+		stages, err = e.emitStats(em)
+	case ExtractSeq:
+		stages, err = e.emitSeq(em)
+	case ExtractPayload, ExtractPayloadIPD:
+		stages, err = e.emitPayload(em)
+	default:
+		return 0, fmt.Errorf("core: unknown extraction kind %d", int(spec.Kind))
+	}
+	if err != nil {
+		return 0, err
+	}
+	if stages != spec.PreludeStages() {
+		panic(fmt.Sprintf("core: %s extraction emitted %d prelude stages, PreludeStages says %d",
+			spec.Kind, stages, spec.PreludeStages()))
+	}
+	em.Extract = e.ext
+	return stages, nil
+}
+
+// register allocates a per-flow register array sized to the spec.
+func (e *extractEmitter) register(name string, width int, init int32) (int, error) {
+	r, err := pisa.NewRegisterInit(name, width, e.spec.Flows, init)
+	if err != nil {
+		return 0, err
+	}
+	return e.prog.AddRegister(r), nil
+}
+
+// prelude emits the stage-0 bookkeeping shared by every machine: the
+// per-flow packet counter RMW and the slot/position derivation. Extra
+// ops (the sequence machines' timestamp exchange) run in the same
+// always-table, after the bookkeeping.
+func (e *extractEmitter) prelude(extra []pisa.Op) error {
+	cntReg, err := e.register("px_count", 32, 0)
+	if err != nil {
+		return err
+	}
+	ops := []pisa.Op{
+		{Kind: pisa.OpSet, Dst: e.one, Imm: 1},
+		{Kind: pisa.OpAndImm, Dst: e.slot, A: e.ext.Meta.Hash, Imm: int32(e.spec.Flows - 1)},
+		{Kind: pisa.OpRegAdd, Reg: cntReg, Dst: e.cnt, A: e.slot, B: e.one},
+		{Kind: pisa.OpAddImm, Dst: e.pos, A: e.cnt, Imm: -1},
+		{Kind: pisa.OpAndImm, Dst: e.pos, A: e.pos, Imm: int32(e.spec.Window - 1)},
+	}
+	e.prog.Place(0, &pisa.Table{Name: "px_prelude", Kind: pisa.MatchNone,
+		DefaultData: []int32{}, Action: append(ops, extra...)})
+	return nil
+}
+
+// ipdPrelude returns the prelude extra ops for flow-level IPD tracking:
+// exchange the previous timestamp, subtract, and zero the delta on the
+// flow's first packet (the host extractor defines the first IPD as 0).
+// It allocates the last-timestamp register and the last/delta fields.
+func (e *extractEmitter) ipdPrelude(ts pisa.FieldID) (delta pisa.FieldID, _ error) {
+	lastReg, err := e.register("px_last_ts", 32, 0)
+	if err != nil {
+		return 0, err
+	}
+	last := e.layout.MustAdd("px_last", 32)
+	delta = e.layout.MustAdd("px_delta", 32)
+	return delta, e.prelude([]pisa.Op{
+		{Kind: pisa.OpRegExch, Reg: lastReg, Dst: last, A: e.slot, B: ts},
+		{Kind: pisa.OpSub, Dst: delta, A: ts, B: last},
+		{Kind: pisa.OpSelEQI, Dst: delta, A: e.cnt, Imm: 1, B: e.zero},
+	})
+}
+
+// bucketTable places a ternary range table mapping the key field
+// through buckets (prefix-expanded consecutive range coding) into dst.
+// Extra ops run after the bucket assignment in the same action.
+func (e *extractEmitter) bucketTable(name string, stage int, key pisa.FieldID, keyBits int,
+	f func(uint64) int, gate *pisa.Gate, dst pisa.FieldID, extra ...pisa.Op) {
+	entries := bucketEntries(keyBits, f)
+	e.prog.Place(stage, &pisa.Table{
+		Name: name, Kind: pisa.MatchTernary,
+		KeyFields: []pisa.FieldID{key}, KeyWidths: []int{keyBits},
+		Entries: entries, Gate: gate,
+		Action:        append([]pisa.Op{{Kind: pisa.OpSetData, Dst: dst, DataIdx: 0}}, extra...),
+		DataWidthBits: 8,
+	})
+}
+
+// emitSeq builds the sequence machine: stage 0 prelude (+timestamp
+// exchange), stage 1 len/IPD bucket range tables, stage 2 per-position
+// banking plus the window-boundary readback that interleaves the
+// len/IPD window into the in-fields.
+func (e *extractEmitter) emitSeq(em *Emitted) (int, error) {
+	w := e.spec.Window
+	if len(em.InFields) != 2*w {
+		return 0, fmt.Errorf("core: seq extraction needs %d in-fields (len/IPD interleaved), emission has %d",
+			2*w, len(em.InFields))
+	}
+	lenF := e.layout.MustAdd("px_len", 16)
+	ts := e.layout.MustAdd("px_ts", 32)
+	e.ext.Meta.Fields = []pisa.FieldID{lenF, ts}
+	delta, err := e.ipdPrelude(ts)
+	if err != nil {
+		return 0, err
+	}
+	lenb := e.layout.MustAdd("px_lenb", 8)
+	ipdb := e.layout.MustAdd("px_ipdb", 8)
+	e.bucketTable("px_len_bucket", 1, lenF, 16,
+		func(v uint64) int { return netsim.LenBucket(int(v)) }, nil, lenb)
+	e.bucketTable("px_ipd_bucket", 1, delta, 32,
+		func(v uint64) int { return netsim.IPDBucket(v) }, nil, ipdb)
+
+	lenDst := make([]pisa.FieldID, w-1)
+	ipdDst := make([]pisa.FieldID, w-1)
+	for p := 0; p < w-1; p++ {
+		lenDst[p], ipdDst[p] = em.InFields[2*p], em.InFields[2*p+1]
+	}
+	ops, err := e.ext.EmitWindowBank(e.prog, "px_seq", []BankPair{
+		{Src: lenb, Dst: lenDst},
+		{Src: ipdb, Dst: ipdDst},
+	}, 2)
+	if err != nil {
+		return 0, err
+	}
+	// Window boundary: restore the banked positions, append the
+	// current packet's buckets, fire.
+	ops = append(ops,
+		pisa.Op{Kind: pisa.OpMove, Dst: em.InFields[2*(w-1)], A: lenb},
+		pisa.Op{Kind: pisa.OpMove, Dst: em.InFields[2*w-1], A: ipdb},
+		pisa.Op{Kind: pisa.OpSet, Dst: e.fire, Imm: 1},
+	)
+	e.prog.Place(2, &pisa.Table{
+		Name: "px_window_fire", Kind: pisa.MatchNone, DefaultData: []int32{},
+		Gate:   &pisa.Gate{Field: e.pos, Op: pisa.GateEQ, Value: int32(w - 1)},
+		Action: ops,
+	})
+	return 3, nil
+}
+
+// emitStats builds the per-direction statistics machine of the
+// stat-feature models. Per direction d it keeps max/min length, the
+// previous timestamp, a packet count and max/min IPD-bucket trackers;
+// every register sees exactly one RMW per packet, with direction- and
+// position-gated tables sharing registers only under provably
+// exclusive gates:
+//
+//	stage 1: d-gated tracker updates (max/min len RMW, timestamp
+//	         exchange, per-direction count) + delta computation
+//	stage 2: loads of the OTHER direction's trackers (the direction
+//	         not updating this packet) + the d-gated IPD range table,
+//	         whose action also neutralises the bucket on the
+//	         direction's first packet (max sees 0, min the sentinel)
+//	stage 3: d-gated max/min IPD RMW
+//	stage 4: window-boundary readout with unseen-direction fixups
+func (e *extractEmitter) emitStats(em *Emitted) (int, error) {
+	if len(em.InFields) != 8 {
+		return 0, fmt.Errorf("core: stats extraction needs 8 in-fields, emission has %d", len(em.InFields))
+	}
+	dir := e.layout.MustAdd("px_dir", 8)
+	lenF := e.layout.MustAdd("px_len", 16)
+	ts := e.layout.MustAdd("px_ts", 32)
+	e.ext.Meta.Fields = []pisa.FieldID{dir, lenF, ts}
+	if err := e.prelude(nil); err != nil {
+		return 0, err
+	}
+	init := e.layout.MustAdd("px_init", 16)
+	// The sentinel constant rides in the prelude table.
+	pre := e.prog.Stages[0].Tables[0]
+	pre.Action = append(pre.Action, pisa.Op{Kind: pisa.OpSet, Dst: init, Imm: statMinInit})
+
+	names := [2]string{"fwd", "rev"}
+	var maxLen, minLen, maxIPD, minIPD [2]pisa.FieldID
+	for d := 0; d < 2; d++ {
+		n := names[d]
+		maxLen[d] = e.layout.MustAdd("px_maxlen_"+n, 16)
+		minLen[d] = e.layout.MustAdd("px_minlen_"+n, 16)
+		maxIPD[d] = e.layout.MustAdd("px_maxipd_"+n, 16)
+		minIPD[d] = e.layout.MustAdd("px_minipd_"+n, 16)
+	}
+
+	for d := 0; d < 2; d++ {
+		n := names[d]
+		maxLenR, err := e.register("px_maxlen_"+n, 16, 0)
+		if err != nil {
+			return 0, err
+		}
+		minLenR, err := e.register("px_minlen_"+n, 16, statMinInit)
+		if err != nil {
+			return 0, err
+		}
+		lastR, err := e.register("px_last_"+n, 32, 0)
+		if err != nil {
+			return 0, err
+		}
+		cntR, err := e.register("px_cnt_"+n, 32, 0)
+		if err != nil {
+			return 0, err
+		}
+		maxIPDR, err := e.register("px_maxipd_"+n, 16, 0)
+		if err != nil {
+			return 0, err
+		}
+		minIPDR, err := e.register("px_minipd_"+n, 16, statMinInit)
+		if err != nil {
+			return 0, err
+		}
+		last := e.layout.MustAdd("px_last_"+n, 32)
+		cntd := e.layout.MustAdd("px_cntd_"+n, 32)
+		delta := e.layout.MustAdd("px_delta_"+n, 32)
+		bkt := e.layout.MustAdd("px_bkt_"+n, 8)
+		bktMax := e.layout.MustAdd("px_bktmax_"+n, 16)
+		bktMin := e.layout.MustAdd("px_bktmin_"+n, 16)
+
+		mine := &pisa.Gate{Field: dir, Op: pisa.GateEQ, Value: int32(d)}
+		other := &pisa.Gate{Field: dir, Op: pisa.GateEQ, Value: int32(1 - d)}
+
+		// Stage 1: this direction's per-packet tracker RMWs. The RMW
+		// results are the post-update running stats, exactly what the
+		// window readout must report for the updating direction.
+		e.prog.Place(1, &pisa.Table{
+			Name: "px_upd_len_" + n, Kind: pisa.MatchNone, DefaultData: []int32{}, Gate: mine,
+			Action: []pisa.Op{
+				{Kind: pisa.OpRegMax, Reg: maxLenR, Dst: maxLen[d], A: e.slot, B: lenF},
+				{Kind: pisa.OpRegMin, Reg: minLenR, Dst: minLen[d], A: e.slot, B: lenF},
+				{Kind: pisa.OpRegExch, Reg: lastR, Dst: last, A: e.slot, B: ts},
+				{Kind: pisa.OpRegAdd, Reg: cntR, Dst: cntd, A: e.slot, B: e.one},
+				{Kind: pisa.OpSub, Dst: delta, A: ts, B: last},
+			},
+		})
+		// Stage 2: the opposite direction loads this direction's
+		// trackers (its only access this packet), so the readout sees
+		// both directions regardless of the firing packet's direction.
+		e.prog.Place(2, &pisa.Table{
+			Name: "px_load_" + n, Kind: pisa.MatchNone, DefaultData: []int32{}, Gate: other,
+			Action: []pisa.Op{
+				{Kind: pisa.OpRegLoad, Reg: maxLenR, Dst: maxLen[d], A: e.slot},
+				{Kind: pisa.OpRegLoad, Reg: minLenR, Dst: minLen[d], A: e.slot},
+				{Kind: pisa.OpRegLoad, Reg: maxIPDR, Dst: maxIPD[d], A: e.slot},
+				{Kind: pisa.OpRegLoad, Reg: minIPDR, Dst: minIPD[d], A: e.slot},
+			},
+		})
+		// Stage 2 (parallel): IPD range table for this direction. Its
+		// action also neutralises the bucket on the direction's first
+		// packet — max sees 0, min sees the sentinel, so neither RMW
+		// moves its tracker (the host computes no IPD for it either).
+		e.bucketTable("px_ipd_bucket_"+n, 2, delta, 32,
+			func(v uint64) int { return netsim.IPDBucket(v) }, mine, bkt,
+			pisa.Op{Kind: pisa.OpMove, Dst: bktMax, A: bkt},
+			pisa.Op{Kind: pisa.OpMove, Dst: bktMin, A: bkt},
+			pisa.Op{Kind: pisa.OpSelEQI, Dst: bktMax, A: cntd, Imm: 1, B: e.zero},
+			pisa.Op{Kind: pisa.OpSelEQI, Dst: bktMin, A: cntd, Imm: 1, B: init},
+		)
+		// Stage 3: IPD tracker RMWs.
+		e.prog.Place(3, &pisa.Table{
+			Name: "px_upd_ipd_" + n, Kind: pisa.MatchNone, DefaultData: []int32{}, Gate: mine,
+			Action: []pisa.Op{
+				{Kind: pisa.OpRegMax, Reg: maxIPDR, Dst: maxIPD[d], A: e.slot, B: bktMax},
+				{Kind: pisa.OpRegMin, Reg: minIPDR, Dst: minIPD[d], A: e.slot, B: bktMin},
+			},
+		})
+	}
+
+	// Stage 4: window-boundary readout in netsim.StatFeatureNames
+	// order, mapping still-initial min trackers to 0 (unseen
+	// direction / no IPD yet), then fire.
+	src := []pisa.FieldID{maxLen[0], minLen[0], maxLen[1], minLen[1],
+		maxIPD[0], minIPD[0], maxIPD[1], minIPD[1]}
+	fixup := map[int]bool{1: true, 3: true, 5: true, 7: true}
+	var ops []pisa.Op
+	for j, f := range src {
+		ops = append(ops, pisa.Op{Kind: pisa.OpMove, Dst: em.InFields[j], A: f})
+		if fixup[j] {
+			ops = append(ops, pisa.Op{Kind: pisa.OpSelEQI,
+				Dst: em.InFields[j], A: em.InFields[j], Imm: statMinInit, B: e.zero})
+		}
+	}
+	ops = append(ops, pisa.Op{Kind: pisa.OpSet, Dst: e.fire, Imm: 1})
+	e.prog.Place(4, &pisa.Table{
+		Name: "px_window_fire", Kind: pisa.MatchNone, DefaultData: []int32{},
+		Gate:   &pisa.Gate{Field: e.pos, Op: pisa.GateEQ, Value: int32(e.spec.Window - 1)},
+		Action: ops,
+	})
+	return 5, nil
+}
+
+// emitPayload builds the payload-model prelude: position bookkeeping,
+// the fire trigger, and (for the +IPD variant) the per-packet IPD
+// bucket written into the final in-field. The payload bytes themselves
+// are engine-written PHV inputs, and the per-packet index banking is
+// appended by the model's window phase via the Extraction handles.
+// The bookkeeping tables touch no in-fields, so the plain payload
+// machine overlaps the encoder's own stages and costs none: the
+// prelude shares stage 0, the fire trigger stage 1.
+func (e *extractEmitter) emitPayload(em *Emitted) (int, error) {
+	stages := 0
+	if e.spec.Kind == ExtractPayloadIPD {
+		if len(em.InFields) < 2 {
+			return 0, fmt.Errorf("core: payload+ipd extraction needs at least 2 in-fields")
+		}
+		ts := e.layout.MustAdd("px_ts", 32)
+		e.ext.Meta.Fields = append(append([]pisa.FieldID{}, em.InFields[:len(em.InFields)-1]...), ts)
+		delta, err := e.ipdPrelude(ts)
+		if err != nil {
+			return 0, err
+		}
+		// The IPD bucket lands in the last in-field, so the encoder's
+		// tables must wait for it: this variant does shift the groups.
+		e.bucketTable("px_ipd_bucket", 1, delta, 32,
+			func(v uint64) int { return netsim.IPDBucket(v) }, nil, em.InFields[len(em.InFields)-1])
+		stages = 2
+	} else {
+		e.ext.Meta.Fields = append([]pisa.FieldID{}, em.InFields...)
+		if err := e.prelude(nil); err != nil {
+			return 0, err
+		}
+	}
+	e.prog.Place(1, &pisa.Table{
+		Name: "px_window_fire", Kind: pisa.MatchNone, DefaultData: []int32{},
+		Gate:   &pisa.Gate{Field: e.pos, Op: pisa.GateEQ, Value: int32(e.spec.Window - 1)},
+		Action: []pisa.Op{{Kind: pisa.OpSet, Dst: e.fire, Imm: 1}},
+	})
+	return stages, nil
+}
+
+// bucketEntries prefix-expands a monotone saturating bucket function
+// into ternary entries over a width-bit key: consecutive range coding,
+// exactly what the hardware's range tables store. The function is
+// probed value by value until it reaches its saturated maximum (both
+// netsim bucket scales saturate within 17 bits), so the rules are
+// bit-identical to the host extractor by construction.
+func bucketEntries(width int, f func(uint64) int) []pisa.Entry {
+	domainTop := uint64(1)<<width - 1
+	var entries []pisa.Entry
+	lo := uint64(0)
+	cur := f(0)
+	for v := uint64(1); ; v++ {
+		if v > domainTop {
+			entries = appendPrefixCover(entries, lo, domainTop, width, int32(cur))
+			return entries
+		}
+		b := f(v)
+		if b == cur {
+			continue
+		}
+		entries = appendPrefixCover(entries, lo, v-1, width, int32(cur))
+		lo, cur = v, b
+		if b >= 255 {
+			// Saturated: one final run to the top of the domain.
+			entries = appendPrefixCover(entries, lo, domainTop, width, int32(cur))
+			return entries
+		}
+	}
+}
+
+// appendPrefixCover appends prefix-mask ternary entries covering the
+// inclusive key range [lo, hi].
+func appendPrefixCover(entries []pisa.Entry, lo, hi uint64, width int, data int32) []pisa.Entry {
+	wm := uint64(1)<<width - 1
+	for lo <= hi {
+		// Largest power-of-two block aligned at lo that fits in the
+		// remaining range.
+		sz := lo & -lo
+		if lo == 0 {
+			sz = wm + 1
+		}
+		for sz > hi-lo+1 {
+			sz >>= 1
+		}
+		entries = append(entries, pisa.Entry{
+			Key:  []uint32{uint32(lo)},
+			Mask: []uint32{uint32(wm &^ (sz - 1))},
+			Data: []int32{data},
+		})
+		lo += sz
+		if lo == 0 {
+			break // wrapped past the top of the domain
+		}
+	}
+	return entries
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/pegasus-idp/pegasus/internal/netsim"
+	"github.com/pegasus-idp/pegasus/internal/pisa"
+)
+
+// matchBuckets simulates a first-match ternary scan over the prefix
+// entries, the reference semantics of the emitted range tables.
+func matchBuckets(entries []pisa.Entry, key uint32, width int) (int32, bool) {
+	wm := uint32(1)<<width - 1
+	if width >= 32 {
+		wm = ^uint32(0)
+	}
+	k := key & wm
+	for i := range entries {
+		if k&entries[i].Mask[0] == entries[i].Key[0] {
+			return entries[i].Data[0], true
+		}
+	}
+	return 0, false
+}
+
+// TestBucketEntriesMatchHost checks the prefix-expanded range tables
+// against the host bucket functions over boundaries and random keys —
+// the bit-identity the whole per-packet path rests on.
+func TestBucketEntriesMatchHost(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+
+	lenEntries := bucketEntries(16, func(v uint64) int { return netsim.LenBucket(int(v)) })
+	for _, k := range []uint32{0, 1, 5, 6, 7, 1499, 1500, 1529, 1530, 1531, 40000, 65535} {
+		got, ok := matchBuckets(lenEntries, k, 16)
+		if !ok || got != int32(netsim.LenBucket(int(k))) {
+			t.Fatalf("len bucket(%d) = %d (hit %v), host %d", k, got, ok, netsim.LenBucket(int(k)))
+		}
+	}
+	for i := 0; i < 5000; i++ {
+		k := uint32(rng.Intn(1 << 16))
+		got, ok := matchBuckets(lenEntries, k, 16)
+		if !ok || got != int32(netsim.LenBucket(int(k))) {
+			t.Fatalf("len bucket(%d) = %d (hit %v), host %d", k, got, ok, netsim.LenBucket(int(k)))
+		}
+	}
+
+	ipdEntries := bucketEntries(32, func(v uint64) int { return netsim.IPDBucket(v) })
+	checks := []uint32{0, 1, 2, 3, 100, 62000, 63000, 70000, 1 << 20, 1 << 31, ^uint32(0)}
+	for i := 0; i < 5000; i++ {
+		checks = append(checks, rng.Uint32()>>uint(rng.Intn(20)))
+	}
+	for _, k := range checks {
+		got, ok := matchBuckets(ipdEntries, k, 32)
+		if !ok || got != int32(netsim.IPDBucket(uint64(k))) {
+			t.Fatalf("ipd bucket(%d) = %d (hit %v), host %d", k, got, ok, netsim.IPDBucket(uint64(k)))
+		}
+	}
+}
+
+// TestExtractPayloadIPDMachine drives the payload+IPD machine directly:
+// a toy program whose in-fields are two payload bytes plus the
+// extraction-computed IPD bucket, fired every packet (window 1), must
+// report exactly the host's flow-level IPD buckets — including the
+// first-packet-of-flow zero and state shared per register slot.
+func TestExtractPayloadIPDMachine(t *testing.T) {
+	layout := &pisa.Layout{}
+	prog := pisa.NewProgram("toy", layout, pisa.Tofino2)
+	em := &Emitted{}
+	for _, n := range []string{"in0", "in1", "in_ipd"} {
+		em.InFields = append(em.InFields, layout.MustAdd(n, 8))
+	}
+	spec := ExtractSpec{Kind: ExtractPayloadIPD, Window: 1, Flows: 16}
+	if _, err := emitExtraction(prog, layout, em, spec, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(em.Extract.Meta.Fields); got != 3 {
+		t.Fatalf("meta fields = %d, want 3 (2 payload + ts)", got)
+	}
+
+	for _, mode := range []pisa.ExecMode{pisa.ExecInterpret, pisa.ExecCompiled} {
+		eng := pisa.NewChainEngineMode([]*pisa.Program{prog}, nil, nil, em.InFields, em.InFields[2], 2, mode)
+		eng.ConfigurePackets(em.Extract.Meta)
+		prog.ResetState()
+
+		// Two interleaved flows (distinct slots) with known timestamps.
+		type pkt struct {
+			hash    uint32
+			ts      uint32
+			p0, p1  int32
+			wantBkt int32
+		}
+		var pkts []pkt
+		last := map[uint32]uint32{}
+		seen := map[uint32]bool{}
+		rng := rand.New(rand.NewSource(9))
+		for i := 0; i < 64; i++ {
+			hash := uint32(1 + rng.Intn(2)) // slots 1 and 2
+			ts := uint32(i * 137)
+			want := int32(0)
+			if seen[hash] {
+				want = int32(netsim.IPDBucket(uint64(ts - last[hash])))
+			}
+			last[hash], seen[hash] = ts, true
+			pkts = append(pkts, pkt{hash: hash, ts: ts,
+				p0: int32(rng.Intn(256)), p1: int32(rng.Intn(256)), wantBkt: want})
+		}
+		jobs := make([]pisa.PacketIn, len(pkts))
+		for i, p := range pkts {
+			jobs[i] = pisa.PacketIn{Hash: p.hash, Fields: []int32{p.p0, p.p1, int32(p.ts)}}
+		}
+		res := eng.RunPackets(jobs)
+		eng.Close()
+		if len(res) != len(pkts) {
+			t.Fatalf("[%v] window 1 should fire every packet: %d fires for %d packets", mode, len(res), len(pkts))
+		}
+		for i, r := range res {
+			if r.Outs[0] != pkts[i].p0 || r.Outs[1] != pkts[i].p1 {
+				t.Fatalf("[%v] packet %d payload (%d,%d), want (%d,%d)",
+					mode, i, r.Outs[0], r.Outs[1], pkts[i].p0, pkts[i].p1)
+			}
+			if r.Outs[2] != pkts[i].wantBkt {
+				t.Fatalf("[%v] packet %d ipd bucket %d, want %d", mode, i, r.Outs[2], pkts[i].wantBkt)
+			}
+		}
+	}
+}
+
+// TestExtractSpecValidation pins the spec guards: non-power-of-two
+// windows are rejected, flow counts round up to powers of two, and the
+// in-field arity is checked per machine.
+func TestExtractSpecValidation(t *testing.T) {
+	layout := &pisa.Layout{}
+	prog := pisa.NewProgram("bad", layout, pisa.Tofino2)
+	em := &Emitted{InFields: []pisa.FieldID{layout.MustAdd("x", 8)}}
+	if _, err := emitExtraction(prog, layout, em, ExtractSpec{Kind: ExtractSeq, Window: 6}, 0); err == nil {
+		t.Fatal("window 6 accepted")
+	}
+	if _, err := emitExtraction(prog, layout, em, ExtractSpec{Kind: ExtractSeq, Window: 8}, 0); err == nil {
+		t.Fatal("seq machine with 1 in-field accepted")
+	}
+
+	layout2 := &pisa.Layout{}
+	prog2 := pisa.NewProgram("ok", layout2, pisa.Tofino2)
+	em2 := &Emitted{}
+	for i := 0; i < 16; i++ {
+		em2.InFields = append(em2.InFields, layout2.MustAdd(fieldName16(i), 8))
+	}
+	if _, err := emitExtraction(prog2, layout2, em2, ExtractSpec{Kind: ExtractSeq, Window: 8, Flows: 100}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := em2.Extract.Spec.Flows; got != 128 {
+		t.Fatalf("flows rounded to %d, want 128", got)
+	}
+	for _, r := range prog2.Registers {
+		if r.Size != 128 {
+			t.Fatalf("register %q sized %d, want 128", r.Name, r.Size)
+		}
+	}
+	if err := prog2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func fieldName16(i int) string {
+	return "f" + string(rune('a'+i))
+}

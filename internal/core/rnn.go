@@ -243,7 +243,7 @@ type rnnPipe struct {
 // hidden index to h₀; later pipes receive it over the bridge. The last
 // pipe appends the logits table and argmax chain.
 func emitRNNRange(c *CompiledRNN, cap pisa.Capacity, opts EmitOptions, t0, t1 int, last bool) (*rnnPipe, error) {
-	layout, prog, err := newEmitProgram(c.Name, cap, opts, t0 == 0)
+	layout, prog, err := newEmitProgram(c.Name, cap, opts, t0 == 0 && opts.Extract == nil)
 	if err != nil {
 		return nil, err
 	}
@@ -287,6 +287,18 @@ func emitRNNRange(c *CompiledRNN, cap pisa.Capacity, opts EmitOptions, t0, t1 in
 		prog.Place(0, &pisa.Table{Name: "h_init", Kind: pisa.MatchNone, DefaultData: []int32{},
 			Action: []pisa.Op{{Kind: pisa.OpSet, Dst: hF, Imm: int32(c.HInit)}}})
 		stage = 1
+		if opts.Extract != nil {
+			// The sequence machine banks len/IPD buckets per packet and
+			// restores the whole window into the step in-fields on the
+			// firing packet; h-init shares stage 0 with its prelude.
+			if opts.Extract.Kind != ExtractSeq {
+				return nil, fmt.Errorf("core: RNN emission supports only the seq extraction machine, got %s", opts.Extract.Kind)
+			}
+			stage, err = emitExtraction(prog, layout, em, *opts.Extract, opts.Flows)
+			if err != nil {
+				return nil, err
+			}
+		}
 	}
 	for t := t0; t < t1; t++ {
 		// TCAM: per-step input tree.

@@ -182,15 +182,24 @@ func (t *MultiPipe) EmitCompiled(c *Compiled, opts EmitOptions) (*Emitted, error
 
 	// Greedy packing of groups into pipes. The argmax stage rides with
 	// the last group when its pipe has room, and spills onto an
-	// argmax-only pipe (lo == hi == n) otherwise.
+	// argmax-only pipe (lo == hi == n) otherwise. The extraction
+	// prelude (when configured) always stays on pipe 0 and charges its
+	// stage budget.
 	budget := t.Cap.Stages
 	var cuts [][2]int
 	lo, cur := 0, 0
+	if opts.Extract != nil {
+		cur = opts.Extract.PreludeStages()
+	}
 	for gi := 0; gi < n; gi++ {
 		cost := spans[gi]
 		if cost > budget {
 			return nil, fmt.Errorf("core: %s: group %d alone needs %d stages, pipe budget is %d",
 				t.Name(), gi, cost, budget)
+		}
+		if gi == 0 && cur+cost > budget {
+			return nil, fmt.Errorf("core: %s: extraction prelude (%d stages) plus group 0 (%d) exceed the pipe budget %d",
+				t.Name(), cur, cost, budget)
 		}
 		if cur+cost > budget {
 			cuts = append(cuts, [2]int{lo, gi})
@@ -217,6 +226,7 @@ func (t *MultiPipe) EmitCompiled(c *Compiled, opts EmitOptions) (*Emitted, error
 		if k == 0 {
 			em.Prog = pipe.Prog
 			em.InFields = pipe.InFields
+			em.Extract = pipe.Extract
 		} else {
 			em.More = append(em.More, pipe.Prog)
 			em.Bridges = append(em.Bridges, pisa.Bridge{
@@ -243,6 +253,11 @@ func (t *MultiPipe) EmitRNN(c *CompiledRNN, opts EmitOptions) (*Emitted, error) 
 	}
 	var cuts [][2]int
 	t0, cur := 0, 1 // h-init on pipe 0
+	if opts.Extract != nil {
+		// The extraction prelude owns pipe 0's leading stages; h-init
+		// shares its first stage.
+		cur = opts.Extract.PreludeStages()
+	}
 	for step := 0; step < c.T; step++ {
 		if cur+2 > budget {
 			cuts = append(cuts, [2]int{t0, step})
@@ -285,6 +300,7 @@ func (t *MultiPipe) EmitRNN(c *CompiledRNN, opts EmitOptions) (*Emitted, error) 
 		if k == 0 {
 			em.Prog = pipe.em.Prog
 			em.InFields = pipe.em.InFields
+			em.Extract = pipe.em.Extract
 		} else {
 			// The bridge receives the hidden index and the unconsumed
 			// input tail; the pipe's own in-fields cover exactly the

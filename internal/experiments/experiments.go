@@ -582,6 +582,15 @@ type EngineBenchReport struct {
 	BatchSize int                `json:"batch_size"`
 	MeasureMS int                `json:"measure_ms"`
 	Points    []EngineBenchPoint `json:"points"`
+	// PacketPoints measures the raw-trace per-packet path: the merged
+	// packet trace replayed through the extraction emission
+	// (RunPackets, compiled plans), in raw packets/s — every packet
+	// pays the flow-state register RMWs, and inference fires only on
+	// window boundaries. Speedup is relative to the 1-worker packet
+	// baseline.
+	PacketPoints []EngineBenchPoint `json:"packet_points,omitempty"`
+	// TracePackets is the raw trace length behind PacketPoints.
+	TracePackets int `json:"trace_packets,omitempty"`
 }
 
 // engineModel returns a compiled CNN-M and test flows for the engine
@@ -646,14 +655,18 @@ func (s *Suite) EngineBench(w io.Writer) error {
 	fmt.Fprintf(w, "Engine bench: batched replay throughput (%s, batch %d, %v/point)\n",
 		cnnb.Name, len(jobs), window)
 	fmt.Fprintf(w, "%12s %8s %14s %8s\n", "mode", "workers", "pkt/s", "speedup")
-	base := 0.0 // interpreted 1-worker baseline
-	for _, mode := range []pisa.ExecMode{pisa.ExecInterpret, pisa.ExecCompiled} {
+	// sweep measures one replay mode across the worker counts. Register
+	// -size clamping can map distinct requested counts to the same
+	// effective pool, so duplicates are skipped to keep the JSON trend
+	// one point per worker count. base seeds (on the first point) and
+	// scales the speedup column, shared across sweeps that compare
+	// against one baseline.
+	sweep := func(modeName string, base *float64, perRep int,
+		mk func(c int) *pisa.Engine, replay func(*pisa.Engine)) []EngineBenchPoint {
+		var pts []EngineBenchPoint
 		measured := map[int]bool{}
 		for _, c := range counts {
-			eng := em.NewEngineMode(c, mode)
-			// Register-size clamping can map distinct requested counts
-			// to the same effective pool; skip duplicates so the JSON
-			// trend stays one point per worker count.
+			eng := mk(c)
 			if measured[eng.Workers()] {
 				eng.Close()
 				continue
@@ -662,20 +675,48 @@ func (s *Suite) EngineBench(w io.Writer) error {
 			start := time.Now()
 			n := 0
 			for time.Since(start) < window {
-				eng.RunBatch(jobs)
-				n += len(jobs)
+				replay(eng)
+				n += perRep
 			}
 			pps := float64(n) / time.Since(start).Seconds()
 			eng.Close()
-			if base == 0 {
-				base = pps
+			if *base == 0 {
+				*base = pps
 			}
-			p := EngineBenchPoint{Mode: mode.String(), Workers: eng.Workers(),
-				PacketsPerSec: pps, Speedup: pps / base}
-			rep.Points = append(rep.Points, p)
+			p := EngineBenchPoint{Mode: modeName, Workers: eng.Workers(),
+				PacketsPerSec: pps, Speedup: pps / *base}
+			pts = append(pts, p)
 			fmt.Fprintf(w, "%12s %8d %14.3g %7.2fx\n", p.Mode, p.Workers, p.PacketsPerSec, p.Speedup)
 		}
+		return pts
 	}
+
+	base := 0.0 // interpreted 1-worker baseline
+	for _, mode := range []pisa.ExecMode{pisa.ExecInterpret, pisa.ExecCompiled} {
+		rep.Points = append(rep.Points, sweep(mode.String(), &base, len(jobs),
+			func(c int) *pisa.Engine { return em.NewEngineMode(c, mode) },
+			func(e *pisa.Engine) { e.RunBatch(jobs) })...)
+	}
+
+	// Per-packet smoke point: the same model emitted with its
+	// extraction machine, fed the raw merged trace. Raw packets/s is
+	// the dataplane-facing figure — every packet performs its register
+	// RMWs and only window boundaries run inference.
+	emp, err := cnnb.EmitPackets(1 << 10)
+	if err != nil {
+		return err
+	}
+	pjobs := models.PacketJobs(emp, netsim.Merge(test))
+	rep.TracePackets = len(pjobs)
+	fmt.Fprintf(w, "Per-packet replay (raw trace, %d packets, compiled plans):\n", len(pjobs))
+	pbase := 0.0
+	rep.PacketPoints = sweep("packets", &pbase, len(pjobs),
+		func(c int) *pisa.Engine {
+			eng := emp.NewPacketEngine(c, pisa.ExecCompiled)
+			eng.ResetState()
+			return eng
+		},
+		func(e *pisa.Engine) { e.RunPackets(pjobs) })
 	if s.Cfg.EngineJSON != "" {
 		data, err := json.MarshalIndent(&rep, "", "  ")
 		if err != nil {

@@ -243,3 +243,13 @@ func (m *AutoEncoder) Emit(flows int) (*core.Emitted, error) {
 	}
 	return m.pipe.EmitProgram(flows)
 }
+
+// EmitPackets emits the detector with the sequence extraction machine
+// compiled in; the per-packet engine path scores raw traces window by
+// window through the emitted reconstruction pipeline.
+func (m *AutoEncoder) EmitPackets(flows int) (*core.Emitted, error) {
+	if m.pipe == nil || m.compiled == nil {
+		return nil, fmt.Errorf("models: %s not compiled", m.Name)
+	}
+	return emitPacketsVia(m.pipe, core.ExtractSeq, flows)
+}

@@ -387,6 +387,28 @@ func (m *CNNL) Emit(flows int) (*core.Emitted, error) {
 	return m.pipe.EmitProgram(flows)
 }
 
+// EmitPackets emits CNN-L with the §7.3 state machine executable: the
+// payload prelude counts window positions, the window phase banks each
+// packet's fuzzy index into the per-flow position registers, and the
+// window-completing packet restores the stored indices and classifies —
+// the paper's per-packet phase / window phase split, end to end.
+func (m *CNNL) EmitPackets(flows int) (*core.Emitted, error) {
+	if m.pipe == nil || m.comp == nil {
+		return nil, fmt.Errorf("models: %s not compiled", m.Name)
+	}
+	// The +IPD machine feeds the last in-field from the IPD-bucket
+	// registers — only correct when the encoder's segment width
+	// actually retains the appended IPD column. The conv front end
+	// truncates the segment to whole conv windows, which drops the IPD
+	// column for the current architectures; those variants extract
+	// payload bytes only, exactly what their encoder consumes.
+	kind := core.ExtractPayload
+	if m.UseIPD && m.segDim > netsim.PayloadBytes {
+		kind = core.ExtractPayloadIPD
+	}
+	return emitPacketsVia(m.pipe, kind, flows)
+}
+
 // emitWindowPhase appends the §7.3 window phase to the emitted
 // per-packet program. It mutates the emission in place, so it requires
 // a single-pipe target: the window tables reference em.OutFields in
@@ -414,6 +436,30 @@ func (m *CNNL) emitWindowPhase(em *core.Emitted) error {
 		outF[j] = layout.MustAdd(fmt.Sprintf("wlogit%d", j), 16)
 	}
 	stage := len(em.Prog.Stages)
+	if ext := em.Extract; ext != nil {
+		// Per-packet banking: store this packet's fuzzy index into its
+		// window-position register, and restore the Window−1 banked
+		// indices into the pidx fields on the window-completing packet.
+		// RunSwitchWindow does exactly this from the host side. Neither
+		// side costs a stage: the restore reads only previous packets'
+		// state, so it runs right after the prelude (stage 1), and the
+		// bank tables write no PHV fields, so they share the
+		// window-logits stage after the index is computed.
+		idxField, ok := layout.Lookup("fidx0")
+		if !ok {
+			return fmt.Errorf("models: %s extraction emission has no fuzzy index field", m.Name)
+		}
+		restore, err := ext.EmitWindowBank(em.Prog, "px_pidx",
+			[]core.BankPair{{Src: idxField, Dst: idxFields}}, stage)
+		if err != nil {
+			return err
+		}
+		em.Prog.Place(1, &pisa.Table{
+			Name: "px_restore", Kind: pisa.MatchNone, DefaultData: []int32{},
+			Gate:   &pisa.Gate{Field: ext.Pos, Op: pisa.GateEQ, Value: int32(Window - 1)},
+			Action: restore,
+		})
+	}
 	lw := m.nClasses * 8
 	// The current packet's contribution already sits in em.OutFields
 	// (block Window−1 of the sum tree); the Window−1 stored positions

@@ -66,14 +66,13 @@ func TestCompiledPlanMatchesInterpreterAllFamilies(t *testing.T) {
 	em, err = ae.Emit(1 << 10)
 	add("AutoEncoder", em, err)
 
-	// Emitted programs carry per-flow registers but do not yet execute
-	// register RMWs (see ROADMAP); reset state between runs anyway so a
-	// future stateful emission cannot silently leak state across modes.
+	// These window-replay emissions carry accounting-only registers
+	// (the executable extraction machines are covered by
+	// packets_test.go); reset state between runs anyway so a stateful
+	// emission cannot silently leak state across modes.
 	resetState := func(em *core.Emitted) {
 		for _, p := range em.Programs() {
-			for _, r := range p.Registers {
-				r.Reset()
-			}
+			p.ResetState()
 		}
 	}
 	for _, c := range cases {

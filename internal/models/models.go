@@ -15,6 +15,7 @@ import (
 	"github.com/pegasus-idp/pegasus/internal/metrics"
 	"github.com/pegasus-idp/pegasus/internal/netsim"
 	"github.com/pegasus-idp/pegasus/internal/nn"
+	"github.com/pegasus-idp/pegasus/internal/pisa"
 	"github.com/pegasus-idp/pegasus/internal/tensor"
 )
 
@@ -119,6 +120,10 @@ type Feedforward struct {
 	// InputScaleBits / FlowStateBits are the Table 5/6 metadata.
 	InputScaleBits int
 	FlowStateBits  int
+	// PacketExtract is the feature-extraction state machine EmitPackets
+	// compiles in front of the inference program (stats for MLP-B, the
+	// len/IPD sequence machine for the window models).
+	PacketExtract core.ExtractKind
 	// Opts is the unified pipeline configuration (lowering, table
 	// building, refinement, emission, input normalisation).
 	Opts core.CompileOptions
@@ -226,6 +231,28 @@ func (m *Feedforward) Emit(flows int) (*core.Emitted, error) {
 	return m.pipe.EmitProgram(flows)
 }
 
+// EmitPackets emits the model with its per-packet extraction machine
+// compiled in: the returned program consumes raw packets (via
+// Emitted.NewPacketEngine), updates its flow-state registers once per
+// packet and classifies on window boundaries, bit-identical to
+// host-side extraction followed by RunSwitch.
+func (m *Feedforward) EmitPackets(flows int) (*core.Emitted, error) {
+	if m.pipe == nil || m.compiled == nil {
+		return nil, fmt.Errorf("models: %s not compiled", m.Name)
+	}
+	return emitPacketsVia(m.pipe, m.PacketExtract, flows)
+}
+
+// emitPacketsVia runs a pipeline's emit passes with the given
+// extraction machine temporarily installed, over the zoo's shared
+// packet window.
+func emitPacketsVia(pipe *core.Pipeline, kind core.ExtractKind, flows int) (*core.Emitted, error) {
+	saved := pipe.Opts.Emit.Extract
+	pipe.Opts.Emit.Extract = &core.ExtractSpec{Kind: kind, Window: Window}
+	defer func() { pipe.Opts.Emit.Extract = saved }()
+	return pipe.EmitProgram(flows)
+}
+
 // ModelSizeBits reports the Table 5 model size (32-bit parameters).
 func (m *Feedforward) ModelSizeBits() int { return m.Net.SizeBits() }
 
@@ -243,6 +270,7 @@ func NewMLPB(nClasses int, rng *rand.Rand) *Feedforward {
 	)
 	return &Feedforward{
 		Name: "MLP-B", Net: net, Extract: ExtractStats, InDim: 8,
+		PacketExtract:  core.ExtractStats,
 		InputScaleBits: 128, // 8 × 16-bit register stats
 		// Table 6: 80 stateful bits/flow — 4×16b length/IPD trackers per
 		// direction packed into 8 8-bit registers plus timestamps.
@@ -253,6 +281,44 @@ func NewMLPB(nClasses int, rng *rand.Rand) *Feedforward {
 			Normalize: 64,
 		},
 	}
+}
+
+// PacketJobs marshals a merged packet trace (netsim.Merge) into engine
+// packet jobs for an extraction emission: each packet carries its flow
+// hash (register slot + engine shard) and the raw field values the
+// emission's extraction machine consumes. Timestamps are truncated to
+// their low 32 bits; inter-packet deltas survive the truncation
+// unchanged for any gap below ~71 minutes.
+func PacketJobs(em *core.Emitted, stream []netsim.StreamPacket) []pisa.PacketIn {
+	if em.Extract == nil {
+		panic("models: PacketJobs on an emission without an extraction machine")
+	}
+	jobs := make([]pisa.PacketIn, len(stream))
+	nf := len(em.Extract.Meta.Fields)
+	for i, sp := range stream {
+		p := &sp.Flow.Packets[sp.Idx]
+		fields := make([]int32, nf)
+		switch em.Extract.Spec.Kind {
+		case core.ExtractStats:
+			fields[0] = int32(p.Dir)
+			fields[1] = int32(p.Len)
+			fields[2] = int32(uint32(p.Time))
+		case core.ExtractSeq:
+			fields[0] = int32(p.Len)
+			fields[1] = int32(uint32(p.Time))
+		case core.ExtractPayload:
+			for j := 0; j < nf; j++ {
+				fields[j] = int32(p.Payload[j])
+			}
+		case core.ExtractPayloadIPD:
+			for j := 0; j < nf-1; j++ {
+				fields[j] = int32(p.Payload[j])
+			}
+			fields[nf-1] = int32(uint32(p.Time))
+		}
+		jobs[i] = pisa.PacketIn{Hash: sp.Flow.Tuple.Hash(), Fields: fields}
+	}
+	return jobs
 }
 
 // NewCNNB builds the paper's CNN-B: the textcnn baseline over the
@@ -266,6 +332,7 @@ func NewCNNB(nClasses int, rng *rand.Rand) *Feedforward {
 	)
 	return &Feedforward{
 		Name: "CNN-B", Net: net, Extract: ExtractSeq, InDim: Window * 2,
+		PacketExtract:  core.ExtractSeq,
 		InputScaleBits: 128, // 16 × 8-bit buckets
 		FlowStateBits:  72,  // 16b timestamp + 7 × 8b packed buckets
 		Opts: core.CompileOptions{
@@ -292,6 +359,7 @@ func NewCNNM(nClasses int, rng *rand.Rand) *Feedforward {
 	)
 	return &Feedforward{
 		Name: "CNN-M", Net: net, Extract: ExtractSeq, InDim: Window * 2,
+		PacketExtract:  core.ExtractSeq,
 		InputScaleBits: 128,
 		FlowStateBits:  72,
 		Opts: core.CompileOptions{

@@ -1,0 +1,431 @@
+package models
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/pegasus-idp/pegasus/internal/core"
+	"github.com/pegasus-idp/pegasus/internal/netsim"
+	"github.com/pegasus-idp/pegasus/internal/pisa"
+)
+
+// packetFlows returns test flows whose register slots are collision
+// free for the given flow-table size, so host-side per-flow extraction
+// and the shared-slot dataplane state agree exactly.
+func packetFlows(t *testing.T, flows []netsim.Flow, slots uint32) []netsim.Flow {
+	t.Helper()
+	seen := map[uint32]bool{}
+	var out []netsim.Flow
+	for _, f := range flows {
+		s := f.Tuple.Hash() & (slots - 1)
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		out = append(out, f)
+	}
+	if len(out) < 8 {
+		t.Fatalf("only %d collision-free flows", len(out))
+	}
+	return out
+}
+
+// fireExpectation is one expected inference: the packet index in the
+// merged stream that completes a window, and the class (or output
+// vector) host-side extraction + RunSwitch computes for it.
+type fireExpectation struct {
+	pkt   int
+	class int
+	outs  []int32
+}
+
+func roundInts(x []float64) []int32 {
+	v := make([]int32, len(x))
+	for j, f := range x {
+		v[j] = int32(math.RoundToEven(f))
+	}
+	return v
+}
+
+// expectStats builds the expected fires of the stats machine: every
+// Window-th packet of a flow fires with the cumulative flow statistics
+// over the packets so far.
+func expectStats(em *core.Emitted, stream []netsim.StreamPacket) []fireExpectation {
+	counts := map[*netsim.Flow]int{}
+	var exp []fireExpectation
+	for i, sp := range stream {
+		counts[sp.Flow]++
+		n := counts[sp.Flow]
+		if n%Window != 0 {
+			continue
+		}
+		cls, outs := em.RunSwitch(roundInts(netsim.StatFeatures(sp.Flow, n)))
+		exp = append(exp, fireExpectation{pkt: i, class: cls, outs: outs})
+	}
+	return exp
+}
+
+// expectSeq builds the expected fires of the sequence machine: window k
+// of a flow fires on its Window·(k+1)-th packet with that window's
+// interleaved len/IPD buckets.
+func expectSeq(em *core.Emitted, stream []netsim.StreamPacket) []fireExpectation {
+	counts := map[*netsim.Flow]int{}
+	wins := map[*netsim.Flow][]netsim.SeqWindow{}
+	var exp []fireExpectation
+	for i, sp := range stream {
+		counts[sp.Flow]++
+		n := counts[sp.Flow]
+		if n%Window != 0 {
+			continue
+		}
+		w, ok := wins[sp.Flow]
+		if !ok {
+			w = netsim.SeqWindows(sp.Flow, Window)
+			wins[sp.Flow] = w
+		}
+		cls, outs := em.RunSwitch(roundInts(w[n/Window-1].SeqFeatures()))
+		exp = append(exp, fireExpectation{pkt: i, class: cls, outs: outs})
+	}
+	return exp
+}
+
+// checkFires replays the merged trace through the packet engine in both
+// execution modes and requires the fired packets and their results to
+// match the host-side expectation bit for bit.
+func checkFires(t *testing.T, name string, em *core.Emitted, stream []netsim.StreamPacket,
+	exp []fireExpectation, checkClass bool) {
+	t.Helper()
+	jobs := PacketJobs(em, stream)
+	for _, mode := range []pisa.ExecMode{pisa.ExecInterpret, pisa.ExecCompiled} {
+		eng := em.NewPacketEngine(4, mode)
+		eng.ResetState()
+		res := eng.RunPackets(jobs)
+		eng.Close()
+		if len(res) != len(exp) {
+			t.Fatalf("%s [%v]: %d fires, host expects %d", name, mode, len(res), len(exp))
+		}
+		for i, r := range res {
+			e := exp[i]
+			if r.Pkt != e.pkt {
+				t.Fatalf("%s [%v]: fire %d at packet %d, host expects packet %d", name, mode, i, r.Pkt, e.pkt)
+			}
+			if checkClass && r.Class != e.class {
+				t.Fatalf("%s [%v]: packet %d class %d, host expects %d", name, mode, r.Pkt, r.Class, e.class)
+			}
+			if e.outs != nil {
+				for j := range e.outs {
+					if r.Outs[j] != e.outs[j] {
+						t.Fatalf("%s [%v]: packet %d out[%d] = %d, host expects %d",
+							name, mode, r.Pkt, j, r.Outs[j], e.outs[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPacketPathMatchesHostExtraction is the end-to-end acceptance test
+// of the per-packet engine path: for every model family, feeding the
+// raw merged trace through the extraction emission yields exactly the
+// classifications of host-side StatFeatures/SeqWindows extraction
+// followed by RunSwitch, in both execution modes.
+func TestPacketPathMatchesHostExtraction(t *testing.T) {
+	train, test, k := smallDataset(t)
+	rng := rand.New(rand.NewSource(41))
+	const flowTable = 1 << 16
+	flows := packetFlows(t, test, flowTable)
+	stream := netsim.Merge(flows)
+
+	// MLP-B: the stats machine. The plain emission already fills the
+	// 20-stage pipe, so the packet emission splits across the two-pipe
+	// target with extraction staying in pipe 0.
+	mlp := NewMLPB(k, rng)
+	mlp.Train(train, TrainOpts{Epochs: 4, Seed: 41})
+	if err := mlp.Compile(train); err != nil {
+		t.Fatal(err)
+	}
+	plain, err := mlp.Emit(flowTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, _ := core.LookupTarget("tofino-multipipe")
+	mlp.pipe.Opts.Emit.Target = tgt
+	emp, err := mlp.EmitPackets(flowTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(emp.More) == 0 {
+		t.Fatalf("MLP-B packet emission fit one pipe (%d stages); expected a split", emp.Stages)
+	}
+	checkFires(t, "MLP-B", emp, stream, expectStats(plain, stream), true)
+
+	// CNN-B and CNN-M: the sequence machine through the generic
+	// feed-forward emission.
+	for _, mk := range []func(int, *rand.Rand) *Feedforward{NewCNNB, NewCNNM} {
+		m := mk(k, rng)
+		m.Train(train, TrainOpts{Epochs: 3, Seed: 41})
+		if err := m.Compile(train); err != nil {
+			t.Fatal(err)
+		}
+		plain, err := m.Emit(flowTable)
+		if err != nil {
+			t.Fatal(err)
+		}
+		emp, err := m.EmitPackets(flowTable)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkFires(t, m.Name, emp, stream, expectSeq(plain, stream), true)
+	}
+}
+
+// TestPacketPathRNNMultiPipe runs RNN-B's packet path on the two-pipe
+// Tofino target: the extraction machine plus eight RNN steps overflow
+// one pipe, so the emission splits with extraction staying in pipe 0
+// and the engine reading the fire flag there while classifying in the
+// final pipe.
+func TestPacketPathRNNMultiPipe(t *testing.T) {
+	train, test, k := smallDataset(t)
+	rng := rand.New(rand.NewSource(43))
+	const flowTable = 1 << 16
+	flows := packetFlows(t, test, flowTable)
+	stream := netsim.Merge(flows)
+
+	rnn := NewRNNB(k, rng)
+	rnn.Train(train, TrainOpts{Epochs: 2, LR: 0.02, Seed: 43})
+	if err := rnn.Compile(train); err != nil {
+		t.Fatal(err)
+	}
+	plain, err := rnn.Emit(flowTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, _ := core.LookupTarget("tofino-multipipe")
+	rnn.pipe.Opts.Emit.Target = tgt
+	emp, err := rnn.EmitPackets(flowTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(emp.More) == 0 {
+		t.Fatalf("RNN-B packet emission fit one pipe (%d stages); expected a multi-pipe split", emp.Stages)
+	}
+	if len(emp.Prog.Registers) == 0 {
+		t.Fatal("extraction registers not in pipe 0")
+	}
+	for _, p := range emp.More {
+		if len(p.Registers) != 0 {
+			t.Fatal("extraction registers leaked into a later pipe")
+		}
+	}
+	checkFires(t, "RNN-B", emp, stream, expectSeq(plain, stream), true)
+}
+
+// TestPacketPathCNNL runs the payload family end to end: the per-packet
+// phase computes each packet's fuzzy index, the window phase banks it
+// in the per-flow position registers, and the window-completing packet
+// restores the bank and classifies — matching RunSwitchWindow's
+// host-driven banking over the plain emission.
+func TestPacketPathCNNL(t *testing.T) {
+	train, test, k := smallDataset(t)
+	rng := rand.New(rand.NewSource(47))
+	const flowTable = 1 << 16
+	flows := packetFlows(t, test, flowTable)
+	stream := netsim.Merge(flows)
+
+	for _, useIPD := range []bool{false, true} {
+		m := NewCNNL(k, useIPD, 4, rng)
+		m.Train(train, TrainOpts{Epochs: 1, LR: 0.01, Seed: 47})
+		if err := m.Compile(train, 400); err != nil {
+			t.Fatal(err)
+		}
+		plain, err := m.Emit(flowTable)
+		if err != nil {
+			t.Fatal(err)
+		}
+		emp, err := m.EmitPackets(flowTable)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Host expectation: RunSwitchWindow over per-flow windows.
+		counts := map[*netsim.Flow]int{}
+		wins := map[*netsim.Flow][][]float64{}
+		var exp []fireExpectation
+		for i, sp := range stream {
+			counts[sp.Flow]++
+			n := counts[sp.Flow]
+			if n%Window != 0 {
+				continue
+			}
+			w, ok := wins[sp.Flow]
+			if !ok {
+				xs, _ := m.Extract([]netsim.Flow{*sp.Flow})
+				w = xs
+				wins[sp.Flow] = w
+			}
+			exp = append(exp, fireExpectation{pkt: i, class: RunSwitchWindow(m, plain, w[n/Window-1])})
+		}
+		checkFires(t, m.Name, emp, stream, exp, true)
+	}
+}
+
+// TestPacketPathAutoEncoder checks the anomaly family: no argmax, so
+// the equivalence target is the emitted reconstruction-error outputs.
+func TestPacketPathAutoEncoder(t *testing.T) {
+	train, test, _ := smallDataset(t)
+	rng := rand.New(rand.NewSource(53))
+	const flowTable = 1 << 16
+	flows := packetFlows(t, test, flowTable)
+	stream := netsim.Merge(flows)
+
+	ae := NewAutoEncoder(nil, rng)
+	ae.Train(train, TrainOpts{Epochs: 2, Seed: 53})
+	if err := ae.Compile(train); err != nil {
+		t.Fatal(err)
+	}
+	plain, err := ae.Emit(flowTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emp, err := ae.EmitPackets(flowTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFires(t, "AutoEncoder", emp, stream, expectSeq(plain, stream), false)
+}
+
+// TestPacketPathHashCollisions pins the shared-slot semantics: flows
+// whose five-tuples hash to the same register slot share extraction
+// state, so the dataplane sees their interleaved packets as one logical
+// flow — and both execution modes must agree bit for bit on that
+// behaviour.
+func TestPacketPathHashCollisions(t *testing.T) {
+	train, test, k := smallDataset(t)
+	rng := rand.New(rand.NewSource(59))
+
+	m := NewCNNB(k, rng)
+	m.Train(train, TrainOpts{Epochs: 2, Seed: 59})
+	if err := m.Compile(train); err != nil {
+		t.Fatal(err)
+	}
+	plain, err := m.Emit(1 << 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two flows with identical tuples: guaranteed slot collision.
+	a, b := test[0], test[1]
+	b.Tuple = a.Tuple
+	stream := netsim.Merge([]netsim.Flow{a, b})
+	emp, err := m.EmitPackets(1 << 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The dataplane's view: one merged flow in arrival order.
+	merged := netsim.Flow{Tuple: a.Tuple}
+	for _, sp := range stream {
+		merged.Packets = append(merged.Packets, sp.Flow.Packets[sp.Idx])
+	}
+	mergedStream := netsim.Merge([]netsim.Flow{merged})
+	exp := expectSeq(plain, mergedStream)
+	checkFires(t, "CNN-B/collision", emp, stream, exp, true)
+}
+
+// TestPacketPathZeroAllocs pins the zero-per-packet-heap-allocation
+// property of the compiled stateful path: a whole-trace RunPackets call
+// may allocate only the returned result slice, so allocations per
+// packet must be (far) below one hundredth.
+func TestPacketPathZeroAllocs(t *testing.T) {
+	train, test, k := smallDataset(t)
+	rng := rand.New(rand.NewSource(67))
+	m := NewCNNM(k, rng)
+	m.Train(train, TrainOpts{Epochs: 1, Seed: 67})
+	if err := m.Compile(train); err != nil {
+		t.Fatal(err)
+	}
+	emp, err := m.EmitPackets(1 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := PacketJobs(emp, netsim.Merge(test))
+	eng := emp.NewPacketEngine(1, pisa.ExecCompiled)
+	defer eng.Close()
+	eng.ResetState()
+	eng.RunPackets(jobs) // warm the reusable buffers
+	perCall := testing.AllocsPerRun(10, func() {
+		eng.RunPackets(jobs)
+	})
+	if perPkt := perCall / float64(len(jobs)); perPkt > 0.01 {
+		t.Fatalf("compiled stateful path allocates %.4f heap objects per packet (%.1f per %d-packet trace)",
+			perPkt, perCall, len(jobs))
+	}
+}
+
+// TestPacketStreamMatchesBatch drives the same trace through
+// RunPacketStream and requires the fired results to match RunPackets.
+func TestPacketStreamMatchesBatch(t *testing.T) {
+	train, test, k := smallDataset(t)
+	rng := rand.New(rand.NewSource(61))
+	flows := packetFlows(t, test, 1<<16)
+	stream := netsim.Merge(flows)
+
+	m := NewCNNB(k, rng)
+	m.Train(train, TrainOpts{Epochs: 2, Seed: 61})
+	if err := m.Compile(train); err != nil {
+		t.Fatal(err)
+	}
+	emp, err := m.EmitPackets(1 << 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := PacketJobs(emp, stream)
+
+	eng := emp.NewPacketEngine(4, pisa.ExecCompiled)
+	defer eng.Close()
+	eng.ResetState()
+	want := eng.RunPackets(jobs)
+	// RunPackets results alias the engine's reused output buffer;
+	// detach before the stream path's internal batches overwrite it.
+	wantOuts := make([][]int32, len(want))
+	for i, r := range want {
+		wantOuts[i] = append([]int32(nil), r.Outs...)
+	}
+
+	eng.ResetState()
+	in := make(chan pisa.PacketIn, 64)
+	out := make(chan pisa.PacketResult, 64)
+	go func() {
+		for _, j := range jobs {
+			in <- j
+		}
+		close(in)
+	}()
+	var got []pisa.PacketResult
+	done := make(chan struct{})
+	go func() {
+		for r := range out {
+			got = append(got, r)
+		}
+		close(done)
+	}()
+	pkts, fires := eng.RunPacketStream(in, out)
+	<-done
+	if pkts != len(jobs) || fires != len(want) {
+		t.Fatalf("stream replayed %d packets / %d fires, want %d / %d", pkts, fires, len(jobs), len(want))
+	}
+	for i := range want {
+		if got[i].Pkt != want[i].Pkt || got[i].Class != want[i].Class {
+			t.Fatalf("stream fire %d = (pkt %d, class %d), batch (pkt %d, class %d)",
+				i, got[i].Pkt, got[i].Class, want[i].Pkt, want[i].Class)
+		}
+		// Streamed Outs are detached copies: they must survive all the
+		// micro-batches that ran after they were emitted.
+		for j := range wantOuts[i] {
+			if got[i].Outs[j] != wantOuts[i][j] {
+				t.Fatalf("stream fire %d out[%d] = %d, batch %d (stale buffer aliasing?)",
+					i, j, got[i].Outs[j], wantOuts[i][j])
+			}
+		}
+	}
+}

@@ -129,3 +129,14 @@ func (m *RNNB) Emit(flows int) (*core.Emitted, error) {
 	}
 	return m.pipe.EmitProgram(flows)
 }
+
+// EmitPackets emits the RNN with the sequence extraction machine
+// compiled into pipe 0: banked len/IPD buckets feed the step in-fields
+// on window boundaries. The single-pipe Tofino budget cannot hold the
+// prelude plus all eight steps, so use a multi-pipe or SmartNIC target.
+func (m *RNNB) EmitPackets(flows int) (*core.Emitted, error) {
+	if m.pipe == nil || m.compiled == nil {
+		return nil, fmt.Errorf("models: %s not compiled", m.Name)
+	}
+	return emitPacketsVia(m.pipe, core.ExtractSeq, flows)
+}

@@ -73,15 +73,28 @@ type Engine struct {
 	seq       []int            // reused sequential index for 1-shard batches
 	shards    [][]int          // reused per-shard job index buffers
 	closeOnce sync.Once
+
+	// Per-packet replay state (ConfigurePackets).
+	meta     *PacketMeta
+	skipTail bool    // later pipes are stateless: skip them on non-fire packets
+	fired    []bool  // reused per-batch fire flags
+	pktOuts  []int32 // reused flat output buffer for packet batches
+	pktClass []int32 // reused per-packet class buffer
 }
 
-// shardTask is one batch's work for one shard: the job indices the
-// shard owns plus the batch-wide result and output buffers.
+// shardTask is one batch's work for one shard: the job (or raw-packet)
+// indices the shard owns plus the batch-wide result and output buffers.
 type shardTask struct {
 	jobs []Job
 	res  []Result
 	outs []int32
 	idx  []int
+
+	// Per-packet replay (RunPackets): pkts is non-nil, results land in
+	// fired/class/outs instead of res.
+	pkts  []PacketIn
+	fired []bool
+	class []int32
 }
 
 // Bridge carries PHV values between two chained pipeline programs: the
@@ -101,6 +114,42 @@ type Bridge struct {
 type Job struct {
 	Hash uint32
 	In   []int32
+}
+
+// PacketMeta names the PHV handles of a program whose inputs are raw
+// packets rather than pre-extracted feature windows. All fields live in
+// the first (ingress) pipe's layout: the extraction state machines run
+// there, banking per-flow state in registers and raising Fire on the
+// packet that completes a window.
+type PacketMeta struct {
+	// Hash receives the packet's flow hash; the program derives the
+	// register slot from it (slot = hash & (flows-1)).
+	Hash FieldID
+	// Fields receive the raw per-packet values, in the order the
+	// emission documents (direction/length/timestamp for stat
+	// extraction, length/timestamp for sequences, payload bytes for
+	// payload models).
+	Fields []FieldID
+	// Fire is set non-zero by the program when this packet completed a
+	// feature window and the inference result is valid.
+	Fire FieldID
+}
+
+// PacketIn is one raw packet of a trace replay: the flow hash that
+// selects its shard and register slot, and the per-packet field values
+// in PacketMeta.Fields order.
+type PacketIn struct {
+	Hash   uint32
+	Fields []int32
+}
+
+// PacketResult is one fired inference: the index of the packet that
+// completed the window, plus the class and output vector the pipeline
+// produced for it.
+type PacketResult struct {
+	Pkt   int
+	Class int
+	Outs  []int32
 }
 
 // Result is one packet's outputs: the class-field value and the
@@ -180,7 +229,11 @@ func NewChainEngineMode(progs []*Program, bridges []Bridge, in, out []FieldID, c
 func (e *Engine) workerLoop(s int) {
 	defer e.workerWG.Done()
 	for t := range e.feed[s] {
-		e.runShard(s, t.jobs, t.res, t.outs, t.idx)
+		if t.pkts != nil {
+			e.runPacketShard(s, t.pkts, t.fired, t.class, t.outs, t.idx)
+		} else {
+			e.runShard(s, t.jobs, t.res, t.outs, t.idx)
+		}
 		e.batchWG.Done()
 	}
 }
@@ -198,6 +251,15 @@ func (e *Engine) Close() {
 
 // Workers returns the shard count.
 func (e *Engine) Workers() int { return e.workers }
+
+// ResetState restores every register of every chained program to its
+// initial value — a fresh flow table for the next trace replay. Must
+// not overlap with a running batch.
+func (e *Engine) ResetState() {
+	for _, p := range e.progs {
+		p.ResetState()
+	}
+}
 
 // Mode returns the engine's execution mode.
 func (e *Engine) Mode() ExecMode { return e.mode }
@@ -244,15 +306,11 @@ func (e *Engine) RunBatch(jobs []Job) []Result {
 // latency low when the stream trickles.
 const streamChunk = 1024
 
-// RunStream replays a stream of jobs: packets are drained from in into
-// adaptive micro-batches (up to streamChunk, or whatever is immediately
-// available) and pushed through the worker pool, with results emitted
-// on out in arrival order. RunStream blocks until in is closed and all
-// results are emitted, then closes out and returns the packet count.
-// Like RunBatch, calls must not overlap with other runs on the same
-// engine.
-func (e *Engine) RunStream(in <-chan Job, out chan<- Result) int {
-	buf := make([]Job, 0, streamChunk)
+// drainStream drains in into adaptive micro-batches (up to
+// streamChunk, or whatever is immediately available) and hands each to
+// flush, stopping when in is closed. It returns the total item count.
+func drainStream[T any](in <-chan T, flush func([]T)) int {
+	buf := make([]T, 0, streamChunk)
 	total := 0
 	open := true
 	for open {
@@ -274,13 +332,186 @@ func (e *Engine) RunStream(in <-chan Job, out chan<- Result) int {
 				break fill
 			}
 		}
+		flush(buf)
+		total += len(buf)
+	}
+	return total
+}
+
+// RunStream replays a stream of jobs: packets are drained from in into
+// adaptive micro-batches and pushed through the worker pool, with
+// results emitted on out in arrival order. RunStream blocks until in
+// is closed and all results are emitted, then closes out and returns
+// the packet count. Like RunBatch, calls must not overlap with other
+// runs on the same engine.
+func (e *Engine) RunStream(in <-chan Job, out chan<- Result) int {
+	total := drainStream(in, func(buf []Job) {
 		for _, r := range e.RunBatch(buf) {
 			out <- r
 		}
-		total += len(buf)
-	}
+	})
 	close(out)
 	return total
+}
+
+// ConfigurePackets enables the per-packet replay path: RunPackets and
+// RunPacketStream feed raw packets into meta's fields and collect an
+// inference result whenever the program raises meta.Fire. The meta
+// fields must live in the first pipe's layout (the extraction state
+// machines of a multi-pipe emission always run in pipe 0).
+func (e *Engine) ConfigurePackets(meta PacketMeta) {
+	m := meta
+	e.meta = &m
+	// When every later pipe is stateless (the emitted shape: extraction
+	// registers live in pipe 0 only), non-firing packets need not run
+	// the downstream inference chain at all — Window−1 of every Window
+	// packets skip it. A stateful later pipe forces the full chain so
+	// its registers still see every packet.
+	e.skipTail = true
+	for _, p := range e.progs[1:] {
+		if len(p.Registers) > 0 {
+			e.skipTail = false
+			break
+		}
+	}
+}
+
+// RunPackets pushes a trace of raw packets through the program chain:
+// every packet updates the flow-state registers; packets that complete
+// a feature window additionally produce an inference result. Results
+// are returned in packet order, one per fired packet. Packets are
+// sharded by flow hash exactly like RunBatch jobs, so all state of one
+// flow is touched by one worker in arrival order; state persists across
+// calls (use the programs' ResetState to start a fresh trace). Calls
+// must not overlap with other runs on the same engine, and the
+// returned Outs slices alias a per-engine buffer that the NEXT
+// RunPackets call overwrites — copy them to retain results across
+// calls. The engine must have been configured with ConfigurePackets.
+func (e *Engine) RunPackets(pkts []PacketIn) []PacketResult {
+	if e.meta == nil {
+		panic("pisa: RunPackets on an engine without ConfigurePackets")
+	}
+	if len(pkts) == 0 {
+		return nil
+	}
+	w := len(e.out)
+	if cap(e.fired) < len(pkts) {
+		e.fired = make([]bool, len(pkts))
+		e.pktClass = make([]int32, len(pkts))
+		e.pktOuts = make([]int32, len(pkts)*w)
+	}
+	fired := e.fired[:len(pkts)]
+	class := e.pktClass[:len(pkts)]
+	outs := e.pktOuts[:len(pkts)*w]
+	for i := range fired {
+		fired[i] = false
+	}
+	if e.workers == 1 || len(pkts) == 1 {
+		e.runPacketShard(0, pkts, fired, class, outs, e.seqIdx(len(pkts)))
+	} else {
+		for s := range e.shards {
+			e.shards[s] = e.shards[s][:0]
+		}
+		for i := range pkts {
+			s := int(pkts[i].Hash % uint32(e.workers))
+			e.shards[s] = append(e.shards[s], i)
+		}
+		for s := 0; s < e.workers; s++ {
+			if len(e.shards[s]) == 0 {
+				continue
+			}
+			e.batchWG.Add(1)
+			e.feed[s] <- shardTask{pkts: pkts, fired: fired, class: class, outs: outs, idx: e.shards[s]}
+		}
+		e.batchWG.Wait()
+	}
+	n := 0
+	for i := range fired {
+		if fired[i] {
+			n++
+		}
+	}
+	res := make([]PacketResult, 0, n)
+	for i := range fired {
+		if fired[i] {
+			res = append(res, PacketResult{Pkt: i, Class: int(class[i]), Outs: outs[i*w : (i+1)*w : (i+1)*w]})
+		}
+	}
+	return res
+}
+
+// RunPacketStream replays a stream of raw packets: packets are drained
+// from in into adaptive micro-batches and pushed through RunPackets,
+// with every fired inference emitted on out in arrival order
+// (PacketResult.Pkt numbers packets over the whole stream). Emitted
+// Outs are copies, safe to retain while later micro-batches run. It
+// blocks until in is closed and all results are emitted, then closes
+// out and returns the packet and fired-window counts.
+func (e *Engine) RunPacketStream(in <-chan PacketIn, out chan<- PacketResult) (packets, fires int) {
+	done := 0
+	packets = drainStream(in, func(buf []PacketIn) {
+		for _, r := range e.RunPackets(buf) {
+			// The engine's output buffer is reused by the next
+			// micro-batch while the consumer still holds r; detach.
+			r.Pkt += done
+			r.Outs = append([]int32(nil), r.Outs...)
+			out <- r
+			fires++
+		}
+		done += len(buf)
+	})
+	close(out)
+	return packets, fires
+}
+
+// runPacketShard replays the given packet indices in order on shard s's
+// PHVs, recording an inference result for every packet whose fire field
+// is raised by pipe 0.
+func (e *Engine) runPacketShard(s int, pkts []PacketIn, fired []bool, class []int32, outs []int32, idx []int) {
+	phvs := e.phvs[s]
+	w := len(e.out)
+	interp := e.mode == ExecInterpret
+	meta := e.meta
+	for _, i := range idx {
+		phv := phvs[0]
+		phv.Reset()
+		phv.Set(meta.Hash, int32(pkts[i].Hash))
+		for d, f := range meta.Fields {
+			phv.Set(f, pkts[i].Fields[d])
+		}
+		if interp {
+			e.progs[0].Process(phv)
+		} else {
+			e.plans[0].Process(phv)
+		}
+		fire := phv.Get(meta.Fire) != 0
+		if !fire && e.skipTail {
+			continue
+		}
+		for k := 1; k < len(e.progs); k++ {
+			next := phvs[k]
+			next.Reset()
+			br := &e.bridges[k-1]
+			for b, from := range br.From {
+				next.Set(br.To[b], phv.Get(from))
+			}
+			if interp {
+				e.progs[k].Process(next)
+			} else {
+				e.plans[k].Process(next)
+			}
+			phv = next
+		}
+		if !fire {
+			continue
+		}
+		fired[i] = true
+		class[i] = phv.Get(e.class)
+		out := outs[i*w : (i+1)*w : (i+1)*w]
+		for k, f := range e.out {
+			out[k] = phv.Get(f)
+		}
+	}
 }
 
 // runShard processes the given job indices in order on shard s's PHVs,

@@ -58,6 +58,23 @@ func miniProgram() *Program {
 			{Kind: OpSelGE, Dst: cls, A: acc, B: b, Imm: 1},
 		},
 	})
+	// Stateful RMWs against the flow-state register, pinning the
+	// RegisterAction extern rendering: a max tracker and a
+	// read-and-replace on exclusive direction gates, and a plain read.
+	p.Place(3, &Table{
+		Name: "track", Kind: MatchNone, DefaultData: []int32{},
+		Gate: &Gate{Field: a, Op: GateEQ, Value: 0},
+		Action: []Op{
+			{Kind: OpRegMax, Reg: 0, Dst: acc, A: idx, B: b},
+		},
+	})
+	p.Place(3, &Table{
+		Name: "swap", Kind: MatchNone, DefaultData: []int32{},
+		Gate: &Gate{Field: a, Op: GateEQ, Value: 1},
+		Action: []Op{
+			{Kind: OpRegExch, Reg: 0, Dst: cls, A: idx, B: b},
+		},
+	})
 	return p
 }
 

@@ -113,12 +113,24 @@ func (p *Program) Resources() Resources {
 	return res
 }
 
+// ResetState restores every stateful register to its initial value —
+// used between replay runs so a program can be re-executed from a clean
+// flow table. Compiled plans alias the same registers, so resetting the
+// program resets them too.
+func (p *Program) ResetState() {
+	for _, r := range p.Registers {
+		r.Reset()
+	}
+}
+
 // Validate checks the program against its capacity: stage count, per-
-// stage SRAM/TCAM, bus width, PHV size, and intra-stage write hazards
+// stage SRAM/TCAM, bus width, PHV size, intra-stage write hazards
 // (two tables in one stage writing the same field, or one reading a
-// field another writes — PISA stages execute in parallel).
+// field another writes — PISA stages execute in parallel), and the
+// one-read-modify-write-per-register-per-packet rule.
 func (p *Program) Validate() error {
 	var errs []string
+	errs = append(errs, p.validateRMW()...)
 	if len(p.Stages) > p.Cap.Stages {
 		errs = append(errs, fmt.Sprintf("uses %d stages, capacity %d", len(p.Stages), p.Cap.Stages))
 	}
@@ -150,6 +162,9 @@ func (p *Program) Validate() error {
 				default:
 					reads[op.A] = t.Name
 					reads[op.B] = t.Name
+				}
+				if !op.writesDst() {
+					continue
 				}
 				if prev, dup := writes[op.Dst]; dup && prev != t.Name {
 					errs = append(errs, fmt.Sprintf("stage %d: tables %q and %q both write %s",
@@ -183,6 +198,116 @@ func (p *Program) Validate() error {
 		return fmt.Errorf("pisa: program %q invalid:\n  %s", p.Name, strings.Join(errs, "\n  "))
 	}
 	return nil
+}
+
+// regUser is one table's claim on a register's per-packet RMW slot.
+type regUser struct {
+	table string
+	gate  *Gate
+	stage int
+}
+
+// validateRMW enforces the hardware's one-read-modify-write-per-
+// register-per-packet rule statically. Every register op (including
+// pure loads) occupies the register's single stateful-ALU access for
+// the packet, so:
+//
+//   - within one table's action, a register may appear in at most one
+//     op (the simulator would happily run two, the hardware cannot);
+//   - across tables, a register may be shared only when every accessing
+//     table is predicated by gateways the validator can prove mutually
+//     exclusive: equality gates on one common field with pairwise
+//     distinct values (the shape the extraction compiler emits — window
+//     positions and packet directions), where the gate field is not
+//     rewritten once the first sharing table's stage is reached (a
+//     rewrite between the gated stages could satisfy both gates for
+//     one packet).
+func (p *Program) validateRMW() []string {
+	var errs []string
+	users := map[int][]regUser{}
+	for si, st := range p.Stages {
+		for _, t := range st.Tables {
+			seen := map[int]bool{}
+			for i := range t.Action {
+				r := t.Action[i].regAccess()
+				if r < 0 {
+					continue
+				}
+				if r >= len(p.Registers) {
+					errs = append(errs, fmt.Sprintf("table %q references register %d, program has %d", t.Name, r, len(p.Registers)))
+					continue
+				}
+				if seen[r] {
+					errs = append(errs, fmt.Sprintf("table %q accesses register %q twice in one action (one RMW per register per packet)",
+						t.Name, p.Registers[r].Name))
+					continue
+				}
+				seen[r] = true
+				users[r] = append(users[r], regUser{table: t.Name, gate: t.Gate, stage: si})
+			}
+		}
+	}
+	for r, us := range users {
+		if len(us) < 2 {
+			continue
+		}
+		exclusive := true
+		field := FieldID(-1)
+		vals := map[int32]bool{}
+		minStage, maxStage := len(p.Stages), 0
+		for _, u := range us {
+			if u.gate == nil || u.gate.Op != GateEQ {
+				exclusive = false
+				break
+			}
+			if field < 0 {
+				field = u.gate.Field
+			} else if u.gate.Field != field {
+				exclusive = false
+				break
+			}
+			if vals[u.gate.Value] {
+				exclusive = false
+				break
+			}
+			vals[u.gate.Value] = true
+			if u.stage < minStage {
+				minStage = u.stage
+			}
+			if u.stage > maxStage {
+				maxStage = u.stage
+			}
+		}
+		// The equality gates are only provably exclusive if the gate
+		// field keeps one value across the sharing span: a write in
+		// [first sharing stage, last sharing stage) could satisfy a
+		// second gate for the same packet. Writes before the span
+		// rewrite the value every gate sees, writes at or after the
+		// last sharing stage can no longer enable another access
+		// (gateways evaluate at stage entry).
+		if exclusive {
+			for si := minStage; si < maxStage && exclusive; si++ {
+				for _, t := range p.Stages[si].Tables {
+					for i := range t.Action {
+						if t.Action[i].writesDst() && t.Action[i].Dst == field {
+							exclusive = false
+							break
+						}
+					}
+				}
+			}
+		}
+		if !exclusive {
+			names := make([]string, len(us))
+			for i, u := range us {
+				names[i] = u.table
+			}
+			sort.Strings(names)
+			errs = append(errs, fmt.Sprintf("register %q accessed by tables %s without mutually exclusive equality gates (one RMW per register per packet)",
+				p.Registers[r].Name, strings.Join(names, ", ")))
+		}
+	}
+	return errs
 }
 
 // Summary returns a human-readable resource report.

@@ -3,9 +3,10 @@ package pisa
 import "fmt"
 
 // Register is a stateful SRAM array: Size cells of Width bits each. On
-// Tofino a register supports one read-modify-write per packet; the
-// compiler is responsible for honouring that (the simulator executes
-// whatever ops it is given but Validate counts accesses).
+// Tofino a register supports one read-modify-write per packet;
+// Program.Validate enforces that statically (each register may be
+// accessed by at most one op per table, and by several tables only when
+// their gateways are provably mutually exclusive).
 //
 // Values are stored sign-extended in int32 but clamped to the cell width
 // on write, mirroring the hardware truncation. The paper's footnote that
@@ -15,11 +16,20 @@ type Register struct {
 	Name  string
 	Width int
 	Size  int
-	vals  []int32
+	// Init is the value every cell holds before the first packet (and
+	// after ResetState) — min-trackers initialise to a +max sentinel.
+	Init int32
+	vals []int32
 }
 
-// NewRegister allocates a register array.
+// NewRegister allocates a zero-initialised register array.
 func NewRegister(name string, width, size int) (*Register, error) {
+	return NewRegisterInit(name, width, size, 0)
+}
+
+// NewRegisterInit allocates a register array whose cells start at (and
+// reset to) init, truncated to the cell width.
+func NewRegisterInit(name string, width, size int, init int32) (*Register, error) {
 	switch width {
 	case 8, 16, 32:
 	default:
@@ -28,7 +38,11 @@ func NewRegister(name string, width, size int) (*Register, error) {
 	if size <= 0 {
 		return nil, fmt.Errorf("pisa: register %q size %d", name, size)
 	}
-	return &Register{Name: name, Width: width, Size: size, vals: make([]int32, size)}, nil
+	r := &Register{Name: name, Width: width, Size: size, Init: init, vals: make([]int32, size)}
+	if init != 0 {
+		r.Reset()
+	}
+	return r, nil
 }
 
 // Get reads cell idx (0 when out of range, matching hardware OOB reads of
@@ -55,18 +69,16 @@ func (r *Register) Set(idx int, v int32) {
 	}
 }
 
-// Fill sets every cell to v (used to initialise min-trackers to +max).
+// Fill sets every cell to v, truncating to the register width.
 func (r *Register) Fill(v int32) {
 	for i := range r.vals {
 		r.Set(i, v)
 	}
 }
 
-// Reset zeroes the array.
+// Reset restores every cell to the register's initial value.
 func (r *Register) Reset() {
-	for i := range r.vals {
-		r.vals[i] = 0
-	}
+	r.Fill(r.Init)
 }
 
 // SRAMBits returns the stateful SRAM the register consumes.

@@ -1,0 +1,329 @@
+package pisa
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// randStatefulProgram builds a random extraction-shaped program: a
+// prelude deriving the register slot from the hash field, a run of
+// selector-gated tables performing one register RMW each (sharing
+// registers only under exclusive equality gates, as the one-RMW rule
+// demands), and an always-firing readout. Register sizes are powers of
+// two and slots are hash-derived, so the program is engine-shardable.
+func randStatefulProgram(t *testing.T, rng *rand.Rand, slots int) (*Program, PacketMeta, []FieldID) {
+	t.Helper()
+	var l Layout
+	hash := l.MustAdd("hash", 32)
+	slot := l.MustAdd("slot", 32)
+	sel := l.MustAdd("sel", 8)
+	val := l.MustAdd("val", 16)
+	fire := l.MustAdd("fire", 8)
+	outs := []FieldID{
+		l.MustAdd("out0", 32), l.MustAdd("out1", 32), l.MustAdd("out2", 32), l.MustAdd("out3", 32),
+	}
+	prog := NewProgram("stateful-fuzz", &l, Tofino2)
+
+	prog.Place(0, &Table{Name: "prelude", Kind: MatchNone, DefaultData: []int32{},
+		Action: []Op{
+			{Kind: OpAndImm, Dst: slot, A: hash, Imm: int32(slots - 1)},
+			{Kind: OpSet, Dst: fire, Imm: 1},
+		}})
+
+	kinds := []OpKind{OpRegAdd, OpRegMax, OpRegMin, OpRegExch, OpRegStore, OpRegLoad}
+	numRegs := 2 + rng.Intn(4)
+	stage := 1
+	for r := 0; r < numRegs; r++ {
+		init := int32(0)
+		if rng.Intn(3) == 0 {
+			init = int32(rng.Intn(1000) - 500)
+		}
+		reg, err := NewRegisterInit("r"+string(rune('a'+r)), []int{8, 16, 32}[rng.Intn(3)], slots, init)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ri := prog.AddRegister(reg)
+		// One to three tables share this register under exclusive
+		// equality gates on the selector; each table gets its own stage
+		// so the intra-stage write-hazard check stays out of the way.
+		users := 1 + rng.Intn(3)
+		for u := 0; u < users; u++ {
+			k := kinds[rng.Intn(len(kinds))]
+			dst := outs[rng.Intn(len(outs))]
+			prog.Place(stage, &Table{
+				Name: "rmw_" + string(rune('a'+r)) + string(rune('0'+u)),
+				Kind: MatchNone, DefaultData: []int32{},
+				Gate:   &Gate{Field: sel, Op: GateEQ, Value: int32(u)},
+				Action: []Op{{Kind: k, Reg: ri, Dst: dst, A: slot, B: val}},
+			})
+			stage++
+		}
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatalf("random stateful program invalid: %v", err)
+	}
+	return prog, PacketMeta{Hash: hash, Fields: []FieldID{sel, val}, Fire: fire}, outs
+}
+
+// TestStatefulDifferential fuzzes register programs through every
+// execution route: the table interpreter, the compiled plan, and the
+// packet engine at several worker counts, all of which must agree on
+// every fired output and on the final register state.
+func TestStatefulDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		slots := 1 << (2 + rng.Intn(3)) // 4..16
+		prog, meta, outs := randStatefulProgram(t, rng, slots)
+
+		npkts := 200 + rng.Intn(200)
+		pkts := make([]PacketIn, npkts)
+		for i := range pkts {
+			pkts[i] = PacketIn{
+				Hash:   rng.Uint32(),
+				Fields: []int32{int32(rng.Intn(3)), int32(rng.Intn(2000) - 1000)},
+			}
+		}
+
+		// Reference: sequential interpreter via a 1-worker engine.
+		ref := newPacketEngine(prog, meta, outs, outs[0], 1, ExecInterpret)
+		prog.ResetState()
+		want := ref.RunPackets(pkts)
+		wantRegs := snapshotRegs(prog)
+		ref.Close()
+
+		for _, workers := range []int{1, 2, 4} {
+			for _, mode := range []ExecMode{ExecInterpret, ExecCompiled} {
+				eng := newPacketEngine(prog, meta, outs, outs[0], workers, mode)
+				prog.ResetState()
+				got := eng.RunPackets(pkts)
+				gotRegs := snapshotRegs(prog)
+				eng.Close()
+				if len(got) != len(want) {
+					t.Fatalf("trial %d [%v w%d]: %d fires, want %d", trial, mode, workers, len(got), len(want))
+				}
+				for i := range got {
+					if got[i].Pkt != want[i].Pkt || got[i].Class != want[i].Class {
+						t.Fatalf("trial %d [%v w%d] fire %d: (pkt %d class %d), want (pkt %d class %d)",
+							trial, mode, workers, i, got[i].Pkt, got[i].Class, want[i].Pkt, want[i].Class)
+					}
+					for j := range got[i].Outs {
+						if got[i].Outs[j] != want[i].Outs[j] {
+							t.Fatalf("trial %d [%v w%d] pkt %d out[%d]: %d want %d",
+								trial, mode, workers, got[i].Pkt, j, got[i].Outs[j], want[i].Outs[j])
+						}
+					}
+				}
+				for r := range wantRegs {
+					for c := range wantRegs[r] {
+						if gotRegs[r][c] != wantRegs[r][c] {
+							t.Fatalf("trial %d [%v w%d]: register %d cell %d = %d, want %d",
+								trial, mode, workers, r, c, gotRegs[r][c], wantRegs[r][c])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// newPacketEngine is a test convenience: a single-program packet engine.
+func newPacketEngine(prog *Program, meta PacketMeta, out []FieldID, class FieldID, workers int, mode ExecMode) *Engine {
+	e := NewChainEngineMode([]*Program{prog}, nil, nil, out, class, workers, mode)
+	e.ConfigurePackets(meta)
+	return e
+}
+
+// TestValidateOneRMWPerPacket pins the static one-RMW rule: two ops on
+// one register in one action, or two tables sharing a register without
+// provably exclusive gates, must fail validation; exclusive equality
+// gates must pass.
+func TestValidateOneRMWPerPacket(t *testing.T) {
+	build := func() (*Program, FieldID, FieldID, int) {
+		var l Layout
+		sel := l.MustAdd("sel", 8)
+		v := l.MustAdd("v", 16)
+		p := NewProgram("rmw", &l, Tofino2)
+		reg, err := NewRegister("r", 16, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ri := p.AddRegister(reg)
+		return p, sel, v, ri
+	}
+
+	// Two RMWs in one action: invalid.
+	p, _, v, ri := build()
+	p.Place(0, &Table{Name: "twice", Kind: MatchNone, DefaultData: []int32{},
+		Action: []Op{
+			{Kind: OpRegAdd, Reg: ri, Dst: v, A: v, B: v},
+			{Kind: OpRegMax, Reg: ri, Dst: v, A: v, B: v},
+		}})
+	if err := p.Validate(); err == nil {
+		t.Fatal("double RMW in one action validated")
+	}
+
+	// Two ungated tables sharing a register: invalid.
+	p, _, v, ri = build()
+	p.Place(0, &Table{Name: "a", Kind: MatchNone, DefaultData: []int32{},
+		Action: []Op{{Kind: OpRegAdd, Reg: ri, Dst: v, A: v, B: v}}})
+	p.Place(1, &Table{Name: "b", Kind: MatchNone, DefaultData: []int32{},
+		Action: []Op{{Kind: OpRegLoad, Reg: ri, Dst: v, A: v}}})
+	if err := p.Validate(); err == nil {
+		t.Fatal("unguarded register sharing validated")
+	}
+
+	// Same-value equality gates: still overlapping, invalid.
+	p, sel, v, ri := build()
+	p.Place(0, &Table{Name: "a", Kind: MatchNone, DefaultData: []int32{},
+		Gate:   &Gate{Field: sel, Op: GateEQ, Value: 1},
+		Action: []Op{{Kind: OpRegAdd, Reg: ri, Dst: v, A: v, B: v}}})
+	p.Place(1, &Table{Name: "b", Kind: MatchNone, DefaultData: []int32{},
+		Gate:   &Gate{Field: sel, Op: GateEQ, Value: 1},
+		Action: []Op{{Kind: OpRegLoad, Reg: ri, Dst: v, A: v}}})
+	if err := p.Validate(); err == nil {
+		t.Fatal("overlapping equality gates validated")
+	}
+
+	// Distinct equality gates on one field: provably exclusive, valid.
+	p, sel, v, ri = build()
+	p.Place(0, &Table{Name: "a", Kind: MatchNone, DefaultData: []int32{},
+		Gate:   &Gate{Field: sel, Op: GateEQ, Value: 0},
+		Action: []Op{{Kind: OpRegAdd, Reg: ri, Dst: v, A: v, B: v}}})
+	p.Place(1, &Table{Name: "b", Kind: MatchNone, DefaultData: []int32{},
+		Gate:   &Gate{Field: sel, Op: GateEQ, Value: 1},
+		Action: []Op{{Kind: OpRegLoad, Reg: ri, Dst: v, A: v}}})
+	if err := p.Validate(); err != nil {
+		t.Fatalf("exclusive equality gates rejected: %v", err)
+	}
+
+	// Distinct equality gates whose field is REWRITTEN between the
+	// sharing stages: a packet arriving with sel=0 passes the first
+	// gate, the rewrite flips sel to 1, and the second gate passes too
+	// — two RMWs for one packet, so validation must reject it.
+	p, sel, v, ri = build()
+	p.Place(0, &Table{Name: "a", Kind: MatchNone, DefaultData: []int32{},
+		Gate:   &Gate{Field: sel, Op: GateEQ, Value: 0},
+		Action: []Op{{Kind: OpRegAdd, Reg: ri, Dst: v, A: v, B: v}}})
+	p.Place(1, &Table{Name: "flip", Kind: MatchNone, DefaultData: []int32{},
+		Action: []Op{{Kind: OpSet, Dst: sel, Imm: 1}}})
+	p.Place(2, &Table{Name: "b", Kind: MatchNone, DefaultData: []int32{},
+		Gate:   &Gate{Field: sel, Op: GateEQ, Value: 1},
+		Action: []Op{{Kind: OpRegLoad, Reg: ri, Dst: v, A: v}}})
+	if err := p.Validate(); err == nil {
+		t.Fatal("gate field rewritten between sharing stages validated")
+	}
+}
+
+// TestRegExchSemantics pins the read-and-replace op in both execution
+// modes: the destination receives the previous cell value, the cell the
+// operand.
+func TestRegExchSemantics(t *testing.T) {
+	var l Layout
+	slotF := l.MustAdd("slot", 8)
+	in := l.MustAdd("in", 16)
+	old := l.MustAdd("old", 16)
+	prog := NewProgram("exch", &l, Tofino2)
+	reg, err := NewRegisterInit("last", 16, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri := prog.AddRegister(reg)
+	prog.Place(0, &Table{Name: "x", Kind: MatchNone, DefaultData: []int32{},
+		Action: []Op{{Kind: OpRegExch, Reg: ri, Dst: old, A: slotF, B: in}}})
+	plan := CompileProgram(prog)
+
+	for _, run := range []struct {
+		name string
+		proc func(*PHV)
+	}{
+		{"interp", prog.Process},
+		{"compiled", plan.Process},
+	} {
+		prog.ResetState()
+		phv := l.NewPHV()
+		seq := []int32{3, 11, 5}
+		wantOld := []int32{7, 3, 11} // init 7, then previous writes
+		for i, v := range seq {
+			phv.Reset()
+			phv.Set(slotF, 2)
+			phv.Set(in, v)
+			run.proc(phv)
+			if got := phv.Get(old); got != wantOld[i] {
+				t.Fatalf("%s step %d: old = %d, want %d", run.name, i, got, wantOld[i])
+			}
+		}
+		if got := reg.Get(2); got != 5 {
+			t.Fatalf("%s: final cell = %d, want 5", run.name, got)
+		}
+	}
+}
+
+// TestRunPacketStreamConcurrent drives the per-packet streaming path
+// with concurrent producer/consumer goroutines (the CI race target) and
+// checks the fired results stay in arrival order.
+func TestRunPacketStreamConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	prog, meta, outs := randStatefulProgram(t, rng, 8)
+	eng := newPacketEngine(prog, meta, outs, outs[0], 4, ExecCompiled)
+	defer eng.Close()
+	prog.ResetState()
+
+	pkts := make([]PacketIn, 5000)
+	for i := range pkts {
+		pkts[i] = PacketIn{Hash: rng.Uint32(), Fields: []int32{int32(rng.Intn(3)), int32(rng.Intn(100))}}
+	}
+	in := make(chan PacketIn, 128)
+	out := make(chan PacketResult, 128)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, p := range pkts {
+			in <- p
+		}
+		close(in)
+	}()
+	var got []PacketResult
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := range out {
+			got = append(got, r)
+		}
+	}()
+	packets, fires := eng.RunPacketStream(in, out)
+	wg.Wait()
+	if packets != len(pkts) {
+		t.Fatalf("streamed %d packets, want %d", packets, len(pkts))
+	}
+	if fires != len(got) {
+		t.Fatalf("reported %d fires, collected %d", fires, len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Pkt <= got[i-1].Pkt {
+			t.Fatalf("fires out of order: %d after %d", got[i].Pkt, got[i-1].Pkt)
+		}
+	}
+	// The 5000-packet trace spans several micro-batches; streamed Outs
+	// are detached copies, so every retained result must match a fresh
+	// whole-trace batch replay (stale-buffer aliasing would show the
+	// last micro-batch's values here).
+	prog.ResetState()
+	want := eng.RunPackets(pkts)
+	if len(want) != len(got) {
+		t.Fatalf("batch replay fired %d, stream %d", len(want), len(got))
+	}
+	for i := range want {
+		if got[i].Pkt != want[i].Pkt || got[i].Class != want[i].Class {
+			t.Fatalf("fire %d: stream (pkt %d class %d), batch (pkt %d class %d)",
+				i, got[i].Pkt, got[i].Class, want[i].Pkt, want[i].Class)
+		}
+		for j := range want[i].Outs {
+			if got[i].Outs[j] != want[i].Outs[j] {
+				t.Fatalf("fire %d out[%d]: stream %d, batch %d (stale buffer aliasing?)",
+					i, j, got[i].Outs[j], want[i].Outs[j])
+			}
+		}
+	}
+}

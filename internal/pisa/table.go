@@ -60,6 +60,7 @@ const (
 	OpRegMax                 // reg[Reg][phv[A]] = max(reg, phv[B]); dst = new value
 	OpRegMin                 // reg[Reg][phv[A]] = min(reg, phv[B]); dst = new value
 	OpRegAdd                 // reg[Reg][phv[A]] += phv[B]; dst = new value
+	OpRegExch                // dst = old reg[Reg][phv[A]]; reg[Reg][phv[A]] = phv[B] (last-timestamp tracker)
 )
 
 // Op is one micro-operation of an action program.
@@ -71,6 +72,21 @@ type Op struct {
 	DataIdx int
 	Reg     int // register index within Program.Registers
 }
+
+// regAccess returns the register index the op reads or modifies, or -1
+// for stateless ops. Every register op — including the pure load —
+// occupies the register's one read-modify-write slot for the packet.
+func (op *Op) regAccess() int {
+	switch op.Kind {
+	case OpRegLoad, OpRegStore, OpRegMax, OpRegMin, OpRegAdd, OpRegExch:
+		return op.Reg
+	}
+	return -1
+}
+
+// writesDst reports whether the op writes its Dst field (OpRegStore is
+// the only op without a PHV destination).
+func (op *Op) writesDst() bool { return op.Kind != OpRegStore }
 
 // Entry is one table entry. For exact matching Mask must be nil and Key
 // compared verbatim; for ternary matching Mask selects the cared bits.
@@ -347,6 +363,12 @@ func runOps(ops []Op, phv *PHV, data []int32, regs []*Register) {
 			v := r.Get(idx) + phv.Get(op.B)
 			r.Set(idx, v)
 			phv.Set(op.Dst, v)
+		case OpRegExch:
+			r := regs[op.Reg]
+			idx := int(phv.Get(op.A))
+			old := r.Get(idx)
+			r.Set(idx, phv.Get(op.B))
+			phv.Set(op.Dst, old)
 		default:
 			panic(fmt.Sprintf("pisa: unknown op kind %d", op.Kind))
 		}

@@ -41,6 +41,29 @@
 // batches (RunBatch) or from a channel of packets drained into
 // adaptive micro-batches (RunStream). Close stops the pool.
 //
+// # Per-packet execution
+//
+// RunBatch/RunStream replay pre-extracted feature windows. The
+// per-packet path instead consumes raw traces: EmitPackets compiles
+// the model's Table-6 feature-extraction state machine in front of the
+// inference program — flow hash → register slot, one register
+// read-modify-write per packet (max/min trackers, timestamp exchange,
+// windowed sequence banking), bucket range tables bit-identical to the
+// host extractors, and a window-boundary fire trigger — and
+// Emitted.NewPacketEngine drives it from a netsim.Merge trace
+// (PacketJobs marshals the packets):
+//
+//	emitted, _ := model.EmitPackets(1 << 20)
+//	engine := emitted.NewPacketEngine(8, pegasus.ExecCompiled)
+//	defer engine.Close()
+//	fires := engine.RunPackets(pegasus.PacketJobs(emitted, pegasus.Merge(test)))
+//
+// Every packet updates the flow's registers; a result is produced only
+// for packets that complete a feature window, bit-identical to
+// host-side extraction followed by RunSwitch. Program.Validate
+// enforces the hardware's one-RMW-per-register-per-packet rule on the
+// emitted machines.
+//
 // Compilation runs through a staged pass manager (Pipeline): named,
 // instrumented passes (lower, fuse, drop-nonlinear, build-tables,
 // refine, emit) over one CompileOptions struct, with per-pass wall-time
@@ -258,6 +281,16 @@ type (
 	// CompiledProgram is a switch program lowered into a
 	// zero-allocation execution plan, bit-identical to the interpreter.
 	CompiledProgram = pisa.CompiledProgram
+	// PacketIn is one raw packet of a per-packet trace replay.
+	PacketIn = pisa.PacketIn
+	// PacketResult is one fired window inference of a packet replay.
+	PacketResult = pisa.PacketResult
+	// ExtractSpec configures the per-packet extraction machine an
+	// emission compiles in front of the inference program.
+	ExtractSpec = core.ExtractSpec
+	// ExtractKind selects the extraction state machine (stats,
+	// sequence, payload).
+	ExtractKind = core.ExtractKind
 )
 
 // Engine execution modes.
@@ -282,6 +315,11 @@ var (
 	// BatchJobsFromFloats rounds float features into engine jobs with
 	// the host inference paths' round-to-even policy.
 	BatchJobsFromFloats = core.BatchJobsFromFloats
+	// PacketJobs marshals a merged raw-packet trace (Merge) into
+	// per-packet engine jobs for an extraction emission (EmitPackets).
+	PacketJobs = models.PacketJobs
+	// Merge interleaves flows into one time-ordered packet stream.
+	Merge = netsim.Merge
 	// Lower translates a trained network into primitives (§5).
 	Lower = core.Lower
 	// Fuse applies Basic Primitive Fusion (§4.3).
