@@ -6,11 +6,14 @@
 //	pegasus-bench -experiment all
 //	pegasus-bench -experiment table5 -flows 90 -epochs 1.5
 //	pegasus-bench -experiment engine -smoke -engine-json BENCH_engine.json
+//	pegasus-bench -experiment multimodel -smoke -engine-json BENCH_engine.json
 //
 // The "engine" experiment measures batched switch-replay throughput per
-// worker count; -engine-json additionally writes the machine-readable
-// report CI tracks. -smoke shrinks dataset, training and measurement
-// windows to a few seconds for CI.
+// worker count; "multimodel" measures concurrent multi-model serving on
+// one shared-budget scheduler (solo vs shared per-model throughput);
+// -engine-json additionally writes (or, for multimodel, merges into)
+// the machine-readable report CI tracks. -smoke shrinks dataset,
+// training and measurement windows to a few seconds for CI.
 package main
 
 import (
@@ -22,7 +25,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "experiment to run: all, table2, table5, table6, fig7, fig8, fig9acc, fig9thr, engine")
+	exp := flag.String("experiment", "all", "experiment to run: all, table2, table5, table6, fig7, fig8, fig9acc, fig9thr, engine, multimodel")
 	flows := flag.Int("flows", 60, "flows generated per traffic class")
 	epochs := flag.Float64("epochs", 1, "training budget multiplier")
 	seed := flag.Int64("seed", 1, "random seed")

@@ -10,6 +10,7 @@
 //	pegasus-run -model cnn-b -stream            # stream pre-extracted windows (RunStream)
 //	pegasus-run -model cnn-b -packets           # raw-trace replay: per-packet extraction on the switch
 //	pegasus-run -model cnn-b -mode interpret    # reference interpreter baseline
+//	pegasus-run -models mlp-b,rnn-b             # multi-model serving: one shared-budget scheduler
 //
 // Two replay granularities exist. The default (and -stream, its
 // streaming variant) feeds pre-extracted feature windows to the engine
@@ -26,6 +27,7 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/pegasus-idp/pegasus/internal/core"
@@ -46,6 +48,7 @@ func main() {
 	mode := flag.String("mode", "compiled", "engine execution mode: compiled (zero-alloc plans) or interpret (reference tables)")
 	stream := flag.Bool("stream", false, "stream PRE-EXTRACTED feature windows through RunStream instead of one batch (host-side extraction; see -packets for the raw-trace path)")
 	packets := flag.Bool("packets", false, "replay the RAW merged packet trace: the emitted program's registers extract features per packet and fire inference on window boundaries")
+	multi := flag.String("models", "", "comma-separated models (mlp-b,cnn-b,cnn-m,rnn-b) served CONCURRENTLY from one shared-budget scheduler, with per-model packets/s")
 	flag.Parse()
 
 	var execMode pisa.ExecMode
@@ -66,6 +69,12 @@ func main() {
 	}
 	train, _, test := ds.Split(*seed + 7)
 	rng := rand.New(rand.NewSource(*seed))
+
+	if *multi != "" {
+		runMultiModels(strings.Split(*multi, ","), ds.NumClasses(), train, test,
+			*epochs, *seed, *workers, execMode, rng)
+		return
+	}
 	var m *models.Feedforward
 	switch *model {
 	case "mlp-b":
@@ -211,6 +220,121 @@ func runPackets(m *models.Feedforward, test []netsim.Flow, workers int, execMode
 		fires, hit, fires, acc)
 	fmt.Println()
 	fmt.Print(emp.Summary())
+}
+
+// servedModel is one model of a multi-model run: its window-replay
+// emission, pre-extracted test jobs and ground-truth labels.
+type servedModel struct {
+	name string
+	em   *core.Emitted
+	jobs []pisa.Job
+	ys   []int
+}
+
+// buildServed trains, compiles and emits one model of the -models list.
+func buildServed(name string, k int, train, test []netsim.Flow, epochs int, seed int64, rng *rand.Rand) (servedModel, error) {
+	var em *core.Emitted
+	var xs [][]float64
+	var ys []int
+	var err error
+	switch name {
+	case "mlp-b", "cnn-b", "cnn-m":
+		var m *models.Feedforward
+		switch name {
+		case "mlp-b":
+			m = models.NewMLPB(k, rng)
+		case "cnn-b":
+			m = models.NewCNNB(k, rng)
+		case "cnn-m":
+			m = models.NewCNNM(k, rng)
+		}
+		m.Train(train, models.TrainOpts{Epochs: epochs, Seed: seed})
+		if err = m.Compile(train); err != nil {
+			return servedModel{}, err
+		}
+		if em, err = m.Emit(1 << 16); err != nil {
+			return servedModel{}, err
+		}
+		xs, ys = m.Extract(test)
+	case "rnn-b":
+		m := models.NewRNNB(k, rng)
+		m.Train(train, models.TrainOpts{Epochs: epochs, LR: 0.02, Seed: seed})
+		if err = m.Compile(train); err != nil {
+			return servedModel{}, err
+		}
+		if em, err = m.Emit(1 << 16); err != nil {
+			return servedModel{}, err
+		}
+		xs, ys = models.ExtractSeq(test)
+	default:
+		return servedModel{}, fmt.Errorf("unknown model %q in -models (mlp-b, cnn-b, cnn-m, rnn-b)", name)
+	}
+	return servedModel{name: name, em: em, jobs: core.BatchJobsFromFloats(xs), ys: ys}, nil
+}
+
+// runMultiModels is the -models path: every named model is trained,
+// compiled and emitted, all are registered on ONE shared-budget
+// scheduler, and their test sets replay concurrently — per-model
+// packets/s, accuracy and pool occupancy come from the scheduler's
+// serving stats.
+func runMultiModels(names []string, k int, train, test []netsim.Flow, epochs int, seed int64, workers int, execMode pisa.ExecMode, rng *rand.Rand) {
+	var served []servedModel
+	for _, raw := range names {
+		name := strings.TrimSpace(raw)
+		if name == "" {
+			continue
+		}
+		fmt.Printf("training %s (%d train / %d test flows)...\n", name, len(train), len(test))
+		sm, err := buildServed(name, k, train, test, epochs, seed, rng)
+		check(err)
+		served = append(served, sm)
+	}
+	if len(served) == 0 {
+		check(fmt.Errorf("-models selected no models"))
+	}
+
+	sched := pisa.NewScheduler(workers)
+	defer sched.Close()
+	engines := make([]*pisa.Engine, len(served))
+	for i, sm := range served {
+		engines[i] = sm.em.NewEngineOn(sched, sm.name, 1, execMode)
+		defer engines[i].Close()
+	}
+
+	// Replay every model's test set concurrently for a fixed wall
+	// window; the shared pool drains the per-model queues fairly.
+	const measure = 2 * time.Second
+	hits := make([]int, len(served))
+	last := make([][]pisa.Result, len(served))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range served {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for time.Since(start) < measure {
+				last[i] = engines[i].RunBatch(served[i].jobs)
+			}
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	fmt.Printf("\nmulti-model serving: %d models, %d-worker shared budget, %s wall (%s)\n",
+		len(served), sched.Budget(), wall.Round(time.Millisecond), execMode)
+	fmt.Printf("%-8s %8s %14s %10s %8s %10s\n", "model", "shards", "pkt/s", "accuracy", "occ", "batches")
+	for i, st := range sched.Stats() {
+		for j, r := range last[i] {
+			if r.Class == served[i].ys[j] {
+				hits[i]++
+			}
+		}
+		acc := float64(hits[i]) / float64(len(served[i].jobs))
+		occ := st.Busy.Seconds() / (wall.Seconds() * float64(sched.Budget()))
+		fmt.Printf("%-8s %8d %14.3g %10.4f %7.1f%% %10d\n",
+			st.Name, engines[i].Workers(), float64(st.Packets)/wall.Seconds(), acc,
+			100*occ, st.Tasks)
+	}
 }
 
 func check(err error) {

@@ -29,6 +29,15 @@ type EmitOptions struct {
 	// assembles the model input vector itself on window boundaries.
 	// See ExtractSpec and Emitted.Extract.
 	Extract *ExtractSpec
+	// Gate, when set, appends the §7.4 reconstruction-error gate: the
+	// KeepGroup's output is preserved as the reconstruction target and
+	// a final stage computes the shift-aligned |target − output| sum,
+	// raising the anomaly flag when it reaches the threshold. The
+	// emission's outputs become [anom, score, window...] with the flag
+	// as its class field. Mutually exclusive with Argmax; the gated
+	// program must fit one pipe (the keep copy cannot cross a
+	// multi-pipe bridge).
+	Gate *GateSpec
 }
 
 // Emit lowers the compiled tables onto the selected target's PISA
@@ -132,6 +141,27 @@ func emitFF(c *Compiled, cap pisa.Capacity, opts EmitOptions, lo, hi int, argmax
 		tmpF[j] = layout.MustAdd(fmt.Sprintf("tmp%d", j), accW)
 	}
 
+	var keepF []pisa.FieldID
+	if opts.Gate != nil {
+		if lo != 0 || hi != len(c.Groups) {
+			return nil, nil, fmt.Errorf("core: gate emission cannot span a multi-pipe split")
+		}
+		if argmax {
+			return nil, nil, fmt.Errorf("core: gate emission and argmax are mutually exclusive")
+		}
+		kg := opts.Gate.KeepGroup
+		if kg < 0 || kg >= len(c.Groups)-1 {
+			return nil, nil, fmt.Errorf("core: gate keep group %d out of range [0,%d)", kg, len(c.Groups)-1)
+		}
+		if kw, ow := boundaryWidths[kg+1], boundaryWidths[len(c.Groups)]; kw != ow {
+			return nil, nil, fmt.Errorf("core: gate keep group width %d != output width %d (the gate compares a reconstruction against its target)", kw, ow)
+		}
+		keepF = make([]pisa.FieldID, boundaryWidths[kg+1])
+		for j := range keepF {
+			keepF[j] = layout.MustAdd(fmt.Sprintf("keep%d", j), actW)
+		}
+	}
+
 	stage := 0
 	if lo == 0 && opts.Extract != nil {
 		// Prepend the executable feature-extraction machine: it writes
@@ -155,6 +185,12 @@ func emitFF(c *Compiled, cap pisa.Capacity, opts EmitOptions, lo, hi int, argmax
 		}
 		spans = append(spans, stage-before)
 		src = dst
+		if opts.Gate != nil && gi == opts.Gate.KeepGroup {
+			// Preserve the reconstruction target before the boundary
+			// pools recycle it; the copy shares the next group's first
+			// stage, so it costs none.
+			emitGateKeep(prog, keepF, src, stage)
+		}
 		if &dstPool[0] == &valA[0] {
 			dstPool = valB
 		} else {
@@ -164,6 +200,9 @@ func emitFF(c *Compiled, cap pisa.Capacity, opts EmitOptions, lo, hi int, argmax
 	em.OutFields = src
 	if hi == len(c.Groups) && argmax {
 		stage = emitArgmax(prog, layout, em, src, accW, stage)
+	}
+	if opts.Gate != nil {
+		stage = emitGateStage(prog, layout, c, em, opts.Gate, keepF, stage)
 	}
 	em.Prog = prog
 	em.Stages = stage

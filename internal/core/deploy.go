@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/pegasus-idp/pegasus/internal/pisa"
+)
+
+// Deployment is a multi-model switch deployment: several emitted
+// programs co-resident on one combined hardware budget (§7.4 deploys
+// the unknown-attack AutoEncoder next to a classifier on one switch).
+// The deployment sums each model's stage/SRAM/TCAM consumption into one
+// capacity report — with one reduction: models whose emissions carry an
+// identical feature-extraction spec share the extraction machine, so
+// its prelude stages, bucket tables and per-flow registers are charged
+// once (on hardware a single extraction pipeline in pipe 0 feeds every
+// co-resident model the same window). Validate enforces that the
+// combined report fits the budget; Engines built over the member
+// emissions (Emitted.NewEngineOn / NewPacketEngineOn) then serve the
+// deployment from one shared-budget pisa.Scheduler.
+type Deployment struct {
+	Name string
+	// Cap is the combined budget — e.g. pisa.Tofino2.Pipes(2) for a
+	// deployment spanning one switch's ingress and egress pipelines.
+	Cap pisa.Capacity
+	// Models holds the member emissions in deployment order.
+	Models []*Emitted
+}
+
+// NewDeployment assembles and validates a multi-model deployment
+// against the combined capacity.
+func NewDeployment(name string, cap pisa.Capacity, ems ...*Emitted) (*Deployment, error) {
+	if len(ems) == 0 {
+		return nil, fmt.Errorf("core: deployment %q has no models", name)
+	}
+	d := &Deployment{Name: name, Cap: cap, Models: ems}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// extractOverhead measures the extraction machine's footprint within an
+// emission: the prelude stages plus the SRAM/TCAM of the px_-prefixed
+// tables and the stateful bits of the px_-prefixed registers (the
+// naming convention of the extraction emitter — see extract.go). All of
+// it lives in pipe 0.
+func extractOverhead(em *Emitted) (stages, sram, tcam, reg int) {
+	if em.Extract == nil {
+		return
+	}
+	stages = em.Extract.Spec.PreludeStages()
+	for _, st := range em.Prog.Stages {
+		for _, t := range st.Tables {
+			if strings.HasPrefix(t.Name, "px_") {
+				sram += t.SRAMBits()
+				tcam += t.TCAMBits()
+			}
+		}
+	}
+	for _, r := range em.Prog.Registers {
+		if strings.HasPrefix(r.Name, "px_") {
+			reg += r.SRAMBits()
+		}
+	}
+	return
+}
+
+// Resources sums the members' hardware consumption, charging each
+// distinct extraction spec once: later emissions with a spec already
+// accounted contribute their footprint minus the shared machine.
+func (d *Deployment) Resources() pisa.Resources {
+	var total pisa.Resources
+	seen := map[ExtractSpec]bool{}
+	for _, em := range d.Models {
+		r := em.Resources()
+		if em.Extract != nil {
+			if seen[em.Extract.Spec] {
+				stages, sram, tcam, reg := extractOverhead(em)
+				r.Stages -= stages
+				r.SRAMBits -= sram + reg
+				r.TCAMBits -= tcam
+				r.RegBits -= reg
+			}
+			seen[em.Extract.Spec] = true
+		}
+		total.Stages += r.Stages
+		total.SRAMBits += r.SRAMBits
+		total.TCAMBits += r.TCAMBits
+		total.RegBits += r.RegBits
+		total.PerStage = append(total.PerStage, r.PerStage...)
+		if r.PHVBits > total.PHVBits {
+			total.PHVBits = r.PHVBits
+		}
+		if r.PeakBusBits > total.PeakBusBits {
+			total.PeakBusBits = r.PeakBusBits
+		}
+	}
+	return total
+}
+
+// Validate checks every member against its own per-pipe capacity and
+// the combined consumption against the deployment budget.
+func (d *Deployment) Validate() error {
+	var errs []string
+	for _, em := range d.Models {
+		if err := em.Validate(); err != nil {
+			errs = append(errs, err.Error())
+		}
+	}
+	res := d.Resources()
+	if res.Stages > d.Cap.Stages {
+		errs = append(errs, fmt.Sprintf("combined %d stages exceed the deployment budget %d", res.Stages, d.Cap.Stages))
+	}
+	if lim := d.Cap.SRAMBitsPerStage * d.Cap.Stages; res.SRAMBits > lim {
+		errs = append(errs, fmt.Sprintf("combined SRAM %d bits exceeds %d", res.SRAMBits, lim))
+	}
+	if lim := d.Cap.TCAMBitsPerStage * d.Cap.Stages; res.TCAMBits > lim {
+		errs = append(errs, fmt.Sprintf("combined TCAM %d bits exceeds %d", res.TCAMBits, lim))
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("core: deployment %q over budget:\n  %s", d.Name, strings.Join(errs, "\n  "))
+	}
+	return nil
+}
+
+// Summary renders the combined capacity report: one line per model and
+// the deployment totals against the budget.
+func (d *Deployment) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "deployment %q: %d models, budget %d stages\n", d.Name, len(d.Models), d.Cap.Stages)
+	seen := map[ExtractSpec]bool{}
+	for _, em := range d.Models {
+		r := em.Resources()
+		shared := ""
+		if em.Extract != nil {
+			if seen[em.Extract.Spec] {
+				shared = "  (shares extraction)"
+			}
+			seen[em.Extract.Spec] = true
+		}
+		fmt.Fprintf(&b, "  %-16s %2d stages  SRAM %9d  TCAM %8d  reg %9d%s\n",
+			em.Prog.Name, r.Stages, r.SRAMBits, r.TCAMBits, r.RegBits, shared)
+	}
+	res := d.Resources()
+	fmt.Fprintf(&b, "  %-16s %2d/%d stages  SRAM %.2f%%  TCAM %.2f%%  reg %d bits\n",
+		"combined", res.Stages, d.Cap.Stages,
+		100*res.SRAMFrac(d.Cap), 100*res.TCAMFrac(d.Cap), res.RegBits)
+	return b.String()
+}

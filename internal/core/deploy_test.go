@@ -1,0 +1,103 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/pegasus-idp/pegasus/internal/pisa"
+)
+
+// deployTestEmission builds a small emission with an extraction-style
+// prelude (px_-named table + register) and one model table, matching
+// the naming convention the extraction emitter uses.
+func deployTestEmission(t *testing.T, name string, spec ExtractSpec, modelStages int) *Emitted {
+	t.Helper()
+	layout := &pisa.Layout{}
+	hash := layout.MustAdd("px_hash", 32)
+	slot := layout.MustAdd("px_slot", 32)
+	fire := layout.MustAdd("px_fire", 8)
+	in := layout.MustAdd("in0", 8)
+	out := layout.MustAdd("out0", 16)
+	prog := pisa.NewProgram(name, layout, pisa.Tofino2)
+	reg, err := pisa.NewRegister("px_count", 32, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri := prog.AddRegister(reg)
+	prog.Place(0, &pisa.Table{Name: "px_prelude", Kind: pisa.MatchNone, DefaultData: []int32{},
+		Action: []pisa.Op{
+			{Kind: pisa.OpAndImm, Dst: slot, A: hash, Imm: 1023},
+			{Kind: pisa.OpRegAdd, Reg: ri, Dst: slot, A: slot, B: slot},
+		}})
+	for s := 0; s < modelStages; s++ {
+		prog.Place(spec.PreludeStages()+s, &pisa.Table{
+			Name: "model", Kind: pisa.MatchExact,
+			KeyFields: []pisa.FieldID{in}, KeyWidths: []int{8},
+			Entries:       []pisa.Entry{{Key: []uint32{0}, Data: []int32{1}}},
+			Action:        []pisa.Op{{Kind: pisa.OpSetData, Dst: out, DataIdx: 0}},
+			DataWidthBits: 16,
+		})
+	}
+	em := &Emitted{Target: "tofino", Prog: prog, InFields: []pisa.FieldID{in},
+		OutFields: []pisa.FieldID{out}, Stages: len(prog.Stages)}
+	em.Extract = &Extraction{Spec: spec,
+		Meta: pisa.PacketMeta{Hash: hash, Fields: []pisa.FieldID{in}, Fire: fire}}
+	return em
+}
+
+// TestDeploymentSharesExtraction pins the combined-budget accounting:
+// two co-resident models with the same extraction spec are charged one
+// extraction machine (prelude stages + px_ tables + px_ registers),
+// while differing specs are summed in full.
+func TestDeploymentSharesExtraction(t *testing.T) {
+	spec := ExtractSpec{Kind: ExtractSeq, Window: 8, Flows: 1024}
+	a := deployTestEmission(t, "model-a", spec, 2)
+	b := deployTestEmission(t, "model-b", spec, 3)
+
+	d, err := NewDeployment("pair", pisa.Tofino2.Pipes(2), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := d.Resources()
+	ra, rb := a.Resources(), b.Resources()
+	naiveStages := ra.Stages + rb.Stages
+	_, sram, _, reg := extractOverhead(b)
+	if res.Stages != naiveStages-spec.PreludeStages() {
+		t.Fatalf("combined stages %d, want %d (naive %d minus one shared prelude %d)",
+			res.Stages, naiveStages-spec.PreludeStages(), naiveStages, spec.PreludeStages())
+	}
+	if want := ra.SRAMBits + rb.SRAMBits - sram - reg; res.SRAMBits != want {
+		t.Fatalf("combined SRAM %d, want %d (one shared extraction)", res.SRAMBits, want)
+	}
+	if want := ra.RegBits + rb.RegBits - reg; res.RegBits != want {
+		t.Fatalf("combined RegBits %d, want %d", res.RegBits, want)
+	}
+	if !strings.Contains(d.Summary(), "(shares extraction)") {
+		t.Fatalf("summary does not mark the shared machine:\n%s", d.Summary())
+	}
+
+	// A differing spec (another window) shares nothing.
+	spec2 := spec
+	spec2.Window = 16
+	c := deployTestEmission(t, "model-c", spec2, 1)
+	d2, err := NewDeployment("mixed", pisa.Tofino2.Pipes(2), a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := d2.Resources().Stages, a.Resources().Stages+c.Resources().Stages; got != want {
+		t.Fatalf("differing specs deduplicated: %d stages, want %d", got, want)
+	}
+}
+
+// TestDeploymentOverBudget checks that an overfull deployment is
+// rejected with the combined-stage diagnosis.
+func TestDeploymentOverBudget(t *testing.T) {
+	spec := ExtractSpec{Kind: ExtractSeq, Window: 8, Flows: 1024}
+	a := deployTestEmission(t, "model-a", spec, 15)
+	b := deployTestEmission(t, "model-b", ExtractSpec{Kind: ExtractSeq, Window: 16, Flows: 1024}, 15)
+	if _, err := NewDeployment("overfull", pisa.Tofino2, a, b); err == nil {
+		t.Fatal("36-stage deployment accepted on a 20-stage budget")
+	} else if !strings.Contains(err.Error(), "exceed the deployment budget") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

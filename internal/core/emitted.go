@@ -135,6 +135,27 @@ func (em *Emitted) NewEngineMode(workers int, mode pisa.ExecMode) *pisa.Engine {
 	return pisa.NewChainEngineMode(em.Programs(), em.Bridges, em.InFields, em.OutFields, em.ClassField, workers, mode)
 }
 
+// NewEngineOn registers an engine for this emission as a session on a
+// shared pisa.Scheduler — the multi-model serving path: several
+// emissions served concurrently from one fixed worker budget with
+// weighted fair draining and per-model stats. name labels the session
+// in Scheduler.Stats; weight scales its fair share. Close the engine to
+// release the session (the scheduler stays up for its other models).
+func (em *Emitted) NewEngineOn(s *pisa.Scheduler, name string, weight int, mode pisa.ExecMode) *pisa.Engine {
+	return s.NewChainEngine(name, em.Programs(), em.Bridges, em.InFields, em.OutFields, em.ClassField, weight, mode)
+}
+
+// NewPacketEngineOn is NewEngineOn for raw-packet replay over an
+// extraction emission (see NewPacketEngine).
+func (em *Emitted) NewPacketEngineOn(s *pisa.Scheduler, name string, weight int, mode pisa.ExecMode) *pisa.Engine {
+	if em.Extract == nil {
+		panic("core: NewPacketEngineOn on an emission without an extraction machine")
+	}
+	eng := em.NewEngineOn(s, name, weight, mode)
+	eng.ConfigurePackets(em.Extract.Meta)
+	return eng
+}
+
 // NewPacketEngine returns an engine configured for raw-packet replay
 // over an extraction emission: RunPackets/RunPacketStream feed packets
 // into the extraction machine's PHV handles, every packet updates the

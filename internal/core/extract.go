@@ -70,6 +70,19 @@ type ExtractSpec struct {
 	// Flows sizes the per-flow register arrays (rounded up to a power
 	// of two; 0 inherits EmitOptions.Flows, then defaults to 1024).
 	Flows int
+	// IdleTimeout, when positive, evicts stale flow state on slot
+	// recycling: the prelude's last-seen timestamp exchange flags a
+	// packet whose inter-arrival gap reaches the timeout (in the trace
+	// timestamp unit, µs) as the start of a fresh flow, and the window
+	// counter restarts at 1 through a predicated RMW on the existing
+	// counter register (pisa.OpRegCntRestart) — no extra register
+	// access, no extra stage. A new flow colliding into a long-idle
+	// slot therefore no longer inherits the previous flow's half-built
+	// window. Only the timestamp-bearing machines (ExtractSeq,
+	// ExtractPayloadIPD) support eviction: the stats machine's
+	// cumulative trackers would each need their own predicated reset,
+	// and the plain payload machine consumes no timestamp at all.
+	IdleTimeout int
 }
 
 // statMinInit is the +max sentinel min-tracker registers initialise to;
@@ -198,6 +211,9 @@ func emitExtraction(prog *pisa.Program, layout *pisa.Layout, em *Emitted, spec E
 	if w&(w-1) != 0 {
 		return 0, fmt.Errorf("core: extraction window %d is not a power of two", w)
 	}
+	if spec.IdleTimeout > 0 && spec.Kind != ExtractSeq && spec.Kind != ExtractPayloadIPD {
+		return 0, fmt.Errorf("core: %s extraction does not support idle-timeout eviction (needs the per-flow timestamp exchange of the seq/payload+ipd preludes)", spec.Kind)
+	}
 	spec.Window = w
 	spec.Flows = spec.flows(defFlows)
 
@@ -245,31 +261,47 @@ func (e *extractEmitter) register(name string, width int, init int32) (int, erro
 	return e.prog.AddRegister(r), nil
 }
 
-// prelude emits the stage-0 bookkeeping shared by every machine: the
-// per-flow packet counter RMW and the slot/position derivation. Extra
-// ops (the sequence machines' timestamp exchange) run in the same
-// always-table, after the bookkeeping.
-func (e *extractEmitter) prelude(extra []pisa.Op) error {
+// preludeOps emits the stage-0 bookkeeping shared by every machine:
+// slot derivation, the per-flow packet counter RMW and the window
+// position. pre ops run before the counter access (the eviction path's
+// staleness check must precede its predicated restart), post ops after
+// it; cnt is the counter RMW with Reg/Dst/A filled in here.
+func (e *extractEmitter) preludeOps(pre []pisa.Op, cnt pisa.Op, post []pisa.Op) error {
 	cntReg, err := e.register("px_count", 32, 0)
 	if err != nil {
 		return err
 	}
+	cnt.Reg, cnt.Dst, cnt.A = cntReg, e.cnt, e.slot
 	ops := []pisa.Op{
 		{Kind: pisa.OpSet, Dst: e.one, Imm: 1},
 		{Kind: pisa.OpAndImm, Dst: e.slot, A: e.ext.Meta.Hash, Imm: int32(e.spec.Flows - 1)},
-		{Kind: pisa.OpRegAdd, Reg: cntReg, Dst: e.cnt, A: e.slot, B: e.one},
-		{Kind: pisa.OpAddImm, Dst: e.pos, A: e.cnt, Imm: -1},
-		{Kind: pisa.OpAndImm, Dst: e.pos, A: e.pos, Imm: int32(e.spec.Window - 1)},
 	}
+	ops = append(ops, pre...)
+	ops = append(ops, cnt,
+		pisa.Op{Kind: pisa.OpAddImm, Dst: e.pos, A: e.cnt, Imm: -1},
+		pisa.Op{Kind: pisa.OpAndImm, Dst: e.pos, A: e.pos, Imm: int32(e.spec.Window - 1)})
+	ops = append(ops, post...)
 	e.prog.Place(0, &pisa.Table{Name: "px_prelude", Kind: pisa.MatchNone,
-		DefaultData: []int32{}, Action: append(ops, extra...)})
+		DefaultData: []int32{}, Action: ops})
 	return nil
 }
 
-// ipdPrelude returns the prelude extra ops for flow-level IPD tracking:
-// exchange the previous timestamp, subtract, and zero the delta on the
-// flow's first packet (the host extractor defines the first IPD as 0).
-// It allocates the last-timestamp register and the last/delta fields.
+// prelude is preludeOps with a plain incrementing counter and the extra
+// ops appended after the bookkeeping.
+func (e *extractEmitter) prelude(extra []pisa.Op) error {
+	return e.preludeOps(nil, pisa.Op{Kind: pisa.OpRegAdd, B: e.one}, extra)
+}
+
+// ipdPrelude emits the prelude for flow-level IPD tracking: exchange
+// the previous timestamp, subtract, and zero the delta on the flow's
+// first packet (the host extractor defines the first IPD as 0). When
+// the spec carries an idle timeout, the timestamp exchange doubles as
+// the last-seen check: a delta reaching the timeout raises the stale
+// flag, and the counter RMW becomes a predicated restart — the fresh
+// flow starts a clean window (and, since every banked position is
+// rewritten before the next fire, no stale banked state can leak into
+// its feature vectors). It allocates the last-timestamp register and
+// the last/delta fields.
 func (e *extractEmitter) ipdPrelude(ts pisa.FieldID) (delta pisa.FieldID, _ error) {
 	lastReg, err := e.register("px_last_ts", 32, 0)
 	if err != nil {
@@ -277,6 +309,30 @@ func (e *extractEmitter) ipdPrelude(ts pisa.FieldID) (delta pisa.FieldID, _ erro
 	}
 	last := e.layout.MustAdd("px_last", 32)
 	delta = e.layout.MustAdd("px_delta", 32)
+	if e.spec.IdleTimeout > 0 {
+		stale := e.layout.MustAdd("px_stale", 8)
+		tmo := e.layout.MustAdd("px_tmo", 32)
+		negOne := e.layout.MustAdd("px_neg1", 32)
+		return delta, e.preludeOps(
+			[]pisa.Op{
+				{Kind: pisa.OpRegExch, Reg: lastReg, Dst: last, A: e.slot, B: ts},
+				{Kind: pisa.OpSub, Dst: delta, A: ts, B: last},
+				{Kind: pisa.OpSet, Dst: tmo, Imm: int32(e.spec.IdleTimeout)},
+				{Kind: pisa.OpSet, Dst: negOne, Imm: -1},
+				{Kind: pisa.OpSet, Dst: stale, Imm: 0},
+				{Kind: pisa.OpSelGE, Dst: stale, A: delta, B: tmo, Imm: 1},
+				// Gaps of 2^31..2^32 µs (~36..72 min) wrap delta negative
+				// under the signed compare; any such gap exceeds every
+				// representable timeout, so a negative delta is stale too.
+				{Kind: pisa.OpSelGE, Dst: stale, A: negOne, B: delta, Imm: 1},
+			},
+			pisa.Op{Kind: pisa.OpRegCntRestart, B: stale, Imm: 1},
+			[]pisa.Op{
+				// cnt == 1 covers both a genuinely fresh slot and an
+				// evicted one: either way the window's first IPD is 0.
+				{Kind: pisa.OpSelEQI, Dst: delta, A: e.cnt, Imm: 1, B: e.zero},
+			})
+	}
 	return delta, e.prelude([]pisa.Op{
 		{Kind: pisa.OpRegExch, Reg: lastReg, Dst: last, A: e.slot, B: ts},
 		{Kind: pisa.OpSub, Dst: delta, A: ts, B: last},

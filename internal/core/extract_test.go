@@ -142,6 +142,14 @@ func TestExtractSpecValidation(t *testing.T) {
 	if _, err := emitExtraction(prog, layout, em, ExtractSpec{Kind: ExtractSeq, Window: 8}, 0); err == nil {
 		t.Fatal("seq machine with 1 in-field accepted")
 	}
+	// Idle-timeout eviction needs the timestamp-exchanging preludes:
+	// the stats machine's cumulative trackers cannot restart within one
+	// RMW, and the plain payload machine consumes no timestamp.
+	for _, kind := range []ExtractKind{ExtractStats, ExtractPayload} {
+		if _, err := emitExtraction(prog, layout, em, ExtractSpec{Kind: kind, Window: 8, IdleTimeout: 1000}, 0); err == nil {
+			t.Fatalf("%s machine with idle timeout accepted", kind)
+		}
+	}
 
 	layout2 := &pisa.Layout{}
 	prog2 := pisa.NewProgram("ok", layout2, pisa.Tofino2)

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"github.com/pegasus-idp/pegasus/internal/pisa"
+)
+
+// This file emits the §7.4 reconstruction-error gate: the on-switch
+// anomaly decision of the AutoEncoder-gated deployment. The emitted
+// inference program reconstructs the embedded window; the gate stage
+// computes the integer sum of absolute differences between the
+// reconstruction and the (preserved) embedding-group output, aligns the
+// two fixed-point positions by left-shifting the coarser side, and
+// compares the score against a compile-time threshold. Packets whose
+// windows reconstruct poorly (score ≥ threshold) are flagged anomalous
+// — unknown-attack traffic the downstream classifier must not label;
+// everything else is forwarded, window attached, into the co-resident
+// classifier program.
+
+// GateSpec configures the reconstruction-error gate appended to an
+// anomaly emission (EmitOptions.Gate).
+type GateSpec struct {
+	// KeepGroup is the exec group whose output is the reconstruction
+	// target — the embedding group of the AutoEncoder. Its boundary
+	// vector is copied into dedicated PHV fields before later groups
+	// recycle the boundary pools.
+	KeepGroup int
+	// Threshold is the anomaly cut in the gate's integer domain: the
+	// shift-aligned sum of absolute differences (see
+	// models.AutoEncoder.GateThreshold for the conversion from a float
+	// MAE threshold). A score ≥ Threshold marks the window anomalous.
+	Threshold int32
+}
+
+// emitGateKeep places the boundary-preservation table for the keep
+// group: an identity-move of the group's output vector into the
+// dedicated keep fields, run in parallel with the next group's first
+// stage (the boundary pool is not recycled until the group after that,
+// so the copy costs no extra stage).
+func emitGateKeep(prog *pisa.Program, keep, src []pisa.FieldID, stage int) {
+	ops := make([]pisa.Op, len(keep))
+	for j := range keep {
+		ops[j] = pisa.Op{Kind: pisa.OpMove, Dst: keep[j], A: src[j]}
+	}
+	prog.Place(stage, &pisa.Table{Name: "gate_keep", Kind: pisa.MatchNone,
+		DefaultData: []int32{}, Action: ops})
+}
+
+// emitGateStage appends the MAE + threshold stage: one always-table
+// whose action computes the shift-aligned |keep − recon| sum into the
+// score field (a sequential compare/accumulate chain, like the argmax
+// stage) and raises the anomaly flag when the score reaches the
+// threshold. The emission's outputs become [anom, score, window...]:
+// the gate verdict, the raw score, and the model input vector — what a
+// deployment harness needs to forward fire-packets into a co-resident
+// classifier. ClassField carries the anomaly flag. Returns the next
+// free stage.
+func emitGateStage(prog *pisa.Program, layout *pisa.Layout, c *Compiled, em *Emitted, gs *GateSpec, keep []pisa.FieldID, stage int) int {
+	score := layout.MustAdd("gate_score", 32)
+	thrF := layout.MustAdd("gate_thr", 32)
+	anom := layout.MustAdd("gate_anom", 8)
+	sh := layout.MustAdd("gate_sh", 32)
+	d := layout.MustAdd("gate_d", 32)
+	nd := layout.MustAdd("gate_nd", 32)
+
+	// Align fixed-point positions by left-shifting the COARSER side up —
+	// exact in integer arithmetic, mirroring the host scorer
+	// (models.AutoEncoder.scoreInts).
+	shift := int(c.Groups[gs.KeepGroup].OutFrac) - int(c.OutFrac)
+	var ops []pisa.Op
+	for j, rf := range em.OutFields {
+		a, b := keep[j], rf
+		if shift > 0 {
+			ops = append(ops, pisa.Op{Kind: pisa.OpShl, Dst: sh, A: rf, Imm: int32(shift)})
+			b = sh
+		} else if shift < 0 {
+			ops = append(ops, pisa.Op{Kind: pisa.OpShl, Dst: sh, A: keep[j], Imm: int32(-shift)})
+			a = sh
+		}
+		ops = append(ops,
+			pisa.Op{Kind: pisa.OpSub, Dst: d, A: a, B: b},
+			pisa.Op{Kind: pisa.OpSub, Dst: nd, A: b, B: a},
+			pisa.Op{Kind: pisa.OpMax, Dst: d, A: d, B: nd},
+		)
+		if j == 0 {
+			ops = append(ops, pisa.Op{Kind: pisa.OpMove, Dst: score, A: d})
+		} else {
+			ops = append(ops, pisa.Op{Kind: pisa.OpSatAdd, Dst: score, A: score, B: d})
+		}
+	}
+	ops = append(ops,
+		pisa.Op{Kind: pisa.OpSet, Dst: thrF, Imm: gs.Threshold},
+		pisa.Op{Kind: pisa.OpSet, Dst: anom, Imm: 0},
+		pisa.Op{Kind: pisa.OpSelGE, Dst: anom, A: score, B: thrF, Imm: 1},
+	)
+	prog.Place(stage, &pisa.Table{Name: "gate_mae", Kind: pisa.MatchNone,
+		DefaultData: []int32{}, Action: ops})
+
+	em.OutFields = append([]pisa.FieldID{anom, score}, em.InFields...)
+	em.ClassField = anom
+	return stage + 1
+}

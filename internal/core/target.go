@@ -118,6 +118,9 @@ func (t *SinglePipe) EmitCompiled(c *Compiled, opts EmitOptions) (*Emitted, erro
 
 // EmitRNN lowers all time steps onto one program.
 func (t *SinglePipe) EmitRNN(c *CompiledRNN, opts EmitOptions) (*Emitted, error) {
+	if opts.Gate != nil {
+		return nil, fmt.Errorf("core: %s: gate emission requires a feed-forward reconstruction model", t.Name())
+	}
 	pipe, err := emitRNNRange(c, t.Cap, opts, 0, c.T, true)
 	if err != nil {
 		return nil, err
@@ -178,6 +181,10 @@ func (t *MultiPipe) EmitCompiled(c *Compiled, opts EmitOptions) (*Emitted, error
 		}
 		full.Target = t.Name()
 		return full, nil
+	}
+	if opts.Gate != nil {
+		return nil, fmt.Errorf("core: %s: gated program needs %d stages and cannot split (the keep copy would cross a pipe bridge)",
+			t.Name(), full.Stages)
 	}
 
 	// Greedy packing of groups into pipes. The argmax stage rides with
@@ -247,6 +254,9 @@ func (t *MultiPipe) EmitCompiled(c *Compiled, opts EmitOptions) (*Emitted, error
 // logits + argmax (spilling them onto an extra pipe when the final
 // steps fill their budget).
 func (t *MultiPipe) EmitRNN(c *CompiledRNN, opts EmitOptions) (*Emitted, error) {
+	if opts.Gate != nil {
+		return nil, fmt.Errorf("core: %s: gate emission requires a feed-forward reconstruction model", t.Name())
+	}
 	budget := t.Cap.Stages
 	if budget < 3 {
 		return nil, fmt.Errorf("core: %s: pipe budget %d too small for an RNN step", t.Name(), budget)

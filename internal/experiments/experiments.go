@@ -13,6 +13,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sync"
 	"time"
 
 	"github.com/pegasus-idp/pegasus/internal/baselines/bos"
@@ -591,6 +592,26 @@ type EngineBenchReport struct {
 	PacketPoints []EngineBenchPoint `json:"packet_points,omitempty"`
 	// TracePackets is the raw trace length behind PacketPoints.
 	TracePackets int `json:"trace_packets,omitempty"`
+	// MultiModelPoints measures concurrent multi-model serving: every
+	// model replayed solo on its own pool, then all models co-resident
+	// on one shared-budget pisa.Scheduler (the "multimodel"
+	// experiment). Share is shared/solo throughput; Occupancy the
+	// model's fraction of the shared pool's worker time.
+	MultiModelPoints []MultiModelPoint `json:"multimodel_points,omitempty"`
+	// MultiModelBudget is the shared scheduler's worker budget behind
+	// MultiModelPoints.
+	MultiModelBudget int `json:"multimodel_budget,omitempty"`
+}
+
+// MultiModelPoint is one model's throughput in one serving mode of the
+// multimodel experiment.
+type MultiModelPoint struct {
+	Model         string  `json:"model"`
+	Mode          string  `json:"mode"` // "solo" or "shared"
+	Workers       int     `json:"workers"`
+	PacketsPerSec float64 `json:"packets_per_sec"`
+	Share         float64 `json:"share,omitempty"`     // shared pps / solo pps
+	Occupancy     float64 `json:"occupancy,omitempty"` // busy / (wall × budget)
 }
 
 // engineModel returns a compiled CNN-M and test flows for the engine
@@ -730,8 +751,142 @@ func (s *Suite) EngineBench(w io.Writer) error {
 	return nil
 }
 
+// multiModels returns several compiled window classifiers and their
+// test flows for the multimodel experiment, reusing an already-trained
+// bundle when one exists.
+func (s *Suite) multiModels() ([]*models.Feedforward, []netsim.Flow, error) {
+	if b, ok := s.bundles["PeerRush"]; ok {
+		return []*models.Feedforward{b.mlp, b.cnnb, b.cnnm}, b.test, nil
+	}
+	ds, ok := datasets.ByName("PeerRush", datasets.Config{
+		FlowsPerClass: s.Cfg.FlowsPerClass, PacketsPerFlow: 28, Seed: s.Cfg.Seed + 101,
+	})
+	if !ok {
+		return nil, nil, fmt.Errorf("experiments: unknown dataset %q", "PeerRush")
+	}
+	train, _, test := ds.Split(s.Cfg.Seed + 7)
+	rng := rand.New(rand.NewSource(s.Cfg.Seed + 13))
+	ms := []*models.Feedforward{
+		models.NewMLPB(ds.NumClasses(), rng),
+		models.NewCNNB(ds.NumClasses(), rng),
+		models.NewCNNM(ds.NumClasses(), rng),
+	}
+	for _, m := range ms {
+		m.Train(train, models.TrainOpts{Epochs: s.Cfg.ep(20), Seed: s.Cfg.Seed})
+		if err := m.Compile(train); err != nil {
+			return nil, nil, err
+		}
+	}
+	return ms, test, nil
+}
+
+// MultiModelBench measures concurrent multi-model serving: each model
+// replayed solo on its own engine pool, then all models registered on
+// one shared-budget pisa.Scheduler and replayed concurrently, with
+// per-model throughput, shared/solo ratio and pool occupancy. The
+// points land in BENCH_engine.json (merged with the engine
+// experiment's report) when Config.EngineJSON is set.
+func (s *Suite) MultiModelBench(w io.Writer) error {
+	ms, test, err := s.multiModels()
+	if err != nil {
+		return err
+	}
+	budget := runtime.NumCPU()
+	window := time.Duration(s.Cfg.MeasureMS) * time.Millisecond
+
+	type served struct {
+		m    *models.Feedforward
+		em   *core.Emitted
+		jobs []pisa.Job
+		solo float64
+	}
+	var sv []served
+	for _, m := range ms {
+		em, err := m.Emit(1 << 10)
+		if err != nil {
+			return fmt.Errorf("%s emit: %w", m.Name, err)
+		}
+		xs, _ := m.Extract(test)
+		sv = append(sv, served{m: m, em: em, jobs: core.BatchJobsFromFloats(xs)})
+	}
+
+	fmt.Fprintf(w, "Multi-model bench: %d models on one %d-worker budget (%v/point)\n",
+		len(sv), budget, window)
+	fmt.Fprintf(w, "%-8s %-8s %8s %14s %8s %8s\n", "model", "mode", "workers", "pkt/s", "share", "occ")
+	rep := EngineBenchReport{MultiModelBudget: budget}
+
+	// Solo baselines: each model alone on a full-budget pool.
+	for i := range sv {
+		eng := sv[i].em.NewEngine(budget)
+		start := time.Now()
+		n := 0
+		for time.Since(start) < window {
+			eng.RunBatch(sv[i].jobs)
+			n += len(sv[i].jobs)
+		}
+		sv[i].solo = float64(n) / time.Since(start).Seconds()
+		eng.Close()
+		p := MultiModelPoint{Model: sv[i].m.Name, Mode: "solo", Workers: budget, PacketsPerSec: sv[i].solo}
+		rep.MultiModelPoints = append(rep.MultiModelPoints, p)
+		fmt.Fprintf(w, "%-8s %-8s %8d %14.3g %8s %8s\n", p.Model, p.Mode, p.Workers, p.PacketsPerSec, "-", "-")
+	}
+
+	// Shared: all models co-resident on one scheduler, replaying
+	// concurrently for the measurement window.
+	sched := pisa.NewScheduler(budget)
+	engines := make([]*pisa.Engine, len(sv))
+	for i := range sv {
+		engines[i] = sv[i].em.NewEngineOn(sched, sv[i].m.Name, 1, pisa.ExecCompiled)
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range sv {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for time.Since(start) < window {
+				engines[i].RunBatch(sv[i].jobs)
+			}
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for i, st := range sched.Stats() {
+		pps := float64(st.Packets) / wall.Seconds()
+		p := MultiModelPoint{Model: st.Name, Mode: "shared", Workers: budget,
+			PacketsPerSec: pps, Share: pps / sv[i].solo,
+			Occupancy: st.Busy.Seconds() / (wall.Seconds() * float64(budget))}
+		rep.MultiModelPoints = append(rep.MultiModelPoints, p)
+		fmt.Fprintf(w, "%-8s %-8s %8d %14.3g %7.2fx %7.1f%%\n",
+			p.Model, p.Mode, p.Workers, p.PacketsPerSec, p.Share, 100*p.Occupancy)
+	}
+	for _, e := range engines {
+		e.Close()
+	}
+	sched.Close()
+
+	if s.Cfg.EngineJSON != "" {
+		// Merge into the engine experiment's report when one exists.
+		full := EngineBenchReport{}
+		if data, err := os.ReadFile(s.Cfg.EngineJSON); err == nil {
+			_ = json.Unmarshal(data, &full)
+		}
+		full.MultiModelPoints = rep.MultiModelPoints
+		full.MultiModelBudget = rep.MultiModelBudget
+		data, err := json.MarshalIndent(&full, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(s.Cfg.EngineJSON, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", s.Cfg.EngineJSON)
+	}
+	return nil
+}
+
 // Names lists the runnable experiments.
-var Names = []string{"table2", "table5", "table6", "fig7", "fig8", "fig9acc", "fig9thr", "engine"}
+var Names = []string{"table2", "table5", "table6", "fig7", "fig8", "fig9acc", "fig9thr", "engine", "multimodel"}
 
 // Run executes one experiment by name ("all" runs everything).
 func (s *Suite) Run(name string, w io.Writer) error {
@@ -752,6 +907,8 @@ func (s *Suite) Run(name string, w io.Writer) error {
 		return s.Figure9Throughput(w)
 	case "engine":
 		return s.EngineBench(w)
+	case "multimodel":
+		return s.MultiModelBench(w)
 	case "all":
 		for _, n := range Names {
 			if err := s.Run(n, w); err != nil {

@@ -1,0 +1,196 @@
+package models
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/pegasus-idp/pegasus/internal/core"
+	"github.com/pegasus-idp/pegasus/internal/netsim"
+	"github.com/pegasus-idp/pegasus/internal/pisa"
+)
+
+// roundWindow quantises a float feature window with the host inference
+// paths' round-to-even policy.
+func roundWindow(x []float64) []int32 {
+	v := make([]int32, len(x))
+	for j, f := range x {
+		v[j] = int32(math.RoundToEven(f))
+	}
+	return v
+}
+
+// GatedPipeline is the §7.4 two-program deployment: an unknown-attack
+// AutoEncoder whose reconstruction-error gate screens every feature
+// window, co-resident with a classifier that labels only the windows
+// the gate passes. Both programs are compiled against one combined
+// switch budget (core.Deployment, extraction prelude shared) and served
+// from one shared-budget pisa.Scheduler: raw netsim.Merge traces go in,
+// gated classifications come out, bit-identical to running the two
+// emitted programs sequentially on the host.
+type GatedPipeline struct {
+	AE  *AutoEncoder
+	Cls *Feedforward
+	// Threshold is the anomaly cut in the ScorePegasus MAE domain;
+	// windows scoring ≥ Threshold are flagged unknown-attack and never
+	// reach the classifier.
+	Threshold float64
+
+	// EmAE is the gated packet emission ([anom, score, window...] out);
+	// EmAEHost its extraction-free window-replay twin (the host-side
+	// sequential reference — per-window RunSwitch calls on the packet
+	// emission would advance its own flow-state registers); EmCls the
+	// classifier's window emission. Dep is the combined capacity
+	// report of the deployed pair. All set by Emit.
+	EmAE     *core.Emitted
+	EmAEHost *core.Emitted
+	EmCls    *core.Emitted
+	Dep      *core.Deployment
+}
+
+// GatedResult is one window verdict of the deployment: the stream index
+// of the packet that completed the window, the gate's decision and raw
+// score, and — for windows the gate passed — the classifier's label
+// (Class is -1 for anomalous windows).
+type GatedResult struct {
+	Pkt       int
+	Anomalous bool
+	Score     int32
+	Class     int
+}
+
+// NewGatedPipeline pairs a compiled AutoEncoder with a compiled
+// sequence classifier (CNN-B/CNN-M class models: same Window·2 bucket
+// window the detector scores, so the gate can forward its extracted
+// window verbatim).
+func NewGatedPipeline(ae *AutoEncoder, cls *Feedforward, thr float64) (*GatedPipeline, error) {
+	if cls.PacketExtract != core.ExtractSeq || cls.InDim != Window*2 {
+		return nil, fmt.Errorf("models: gated pipeline needs a seq-window classifier (%s extracts %v over %d inputs)",
+			cls.Name, cls.PacketExtract, cls.InDim)
+	}
+	return &GatedPipeline{AE: ae, Cls: cls, Threshold: thr}, nil
+}
+
+// CalibrateGate returns the q-quantile (0..1) of the detector's
+// per-flow Pegasus MAE scores over flows — the usual way to place the
+// unknown-attack threshold above benign traffic's reconstruction error.
+func CalibrateGate(ae *AutoEncoder, flows []netsim.Flow, q float64) (float64, error) {
+	scores, _, err := ae.ScorePegasus(flows)
+	if err != nil {
+		return 0, err
+	}
+	if len(scores) == 0 {
+		return 0, fmt.Errorf("models: no windows to calibrate the gate on")
+	}
+	sort.Float64s(scores)
+	i := int(q * float64(len(scores)))
+	if i >= len(scores) {
+		i = len(scores) - 1
+	}
+	if i < 0 {
+		i = 0
+	}
+	return scores[i], nil
+}
+
+// Emit compiles both programs for flows concurrent flows and validates
+// the pair against the combined capacity (e.g. pisa.Tofino2.Pipes(2),
+// the ingress+egress silicon of one switch).
+func (g *GatedPipeline) Emit(flows int, cap pisa.Capacity) error {
+	emAE, err := g.AE.EmitGatedPackets(flows, g.Threshold)
+	if err != nil {
+		return fmt.Errorf("models: gated %s emission: %w", g.AE.Name, err)
+	}
+	emAEHost, err := g.AE.EmitGated(flows, g.Threshold)
+	if err != nil {
+		return fmt.Errorf("models: gated %s host emission: %w", g.AE.Name, err)
+	}
+	emCls, err := g.Cls.Emit(flows)
+	if err != nil {
+		return fmt.Errorf("models: %s emission: %w", g.Cls.Name, err)
+	}
+	dep, err := core.NewDeployment(fmt.Sprintf("%s-gated-%s", g.AE.Name, g.Cls.Name), cap, emAE, emCls)
+	if err != nil {
+		return err
+	}
+	g.EmAE, g.EmAEHost, g.EmCls, g.Dep = emAE, emAEHost, emCls, dep
+	return nil
+}
+
+// Run replays a raw merged trace through the deployment on a shared
+// scheduler: every packet drives the AutoEncoder's extraction
+// registers; each completed window yields the gate verdict, and benign
+// windows are forwarded — window vector attached — into the classifier
+// engine registered on the same scheduler. Results arrive in stream
+// order. A nil sched runs the deployment on a private pool sized to
+// GOMAXPROCS.
+func (g *GatedPipeline) Run(stream []netsim.StreamPacket, sched *pisa.Scheduler, mode pisa.ExecMode) ([]GatedResult, error) {
+	if g.EmAE == nil || g.EmCls == nil {
+		return nil, fmt.Errorf("models: gated pipeline not emitted")
+	}
+	if sched == nil {
+		sched = pisa.NewScheduler(0)
+		defer sched.Close()
+	}
+	aeEng := g.EmAE.NewPacketEngineOn(sched, g.AE.Name, 1, mode)
+	defer aeEng.Close()
+	clsEng := g.EmCls.NewEngineOn(sched, g.Cls.Name, 1, mode)
+	defer clsEng.Close()
+
+	aeEng.ResetState()
+	fires := aeEng.RunPackets(PacketJobs(g.EmAE, stream))
+	out := make([]GatedResult, 0, len(fires))
+	var fwd []pisa.Job
+	var fwdAt []int
+	for _, r := range fires {
+		gr := GatedResult{Pkt: r.Pkt, Anomalous: r.Outs[0] != 0, Score: r.Outs[1], Class: -1}
+		if !gr.Anomalous {
+			fwdAt = append(fwdAt, len(out))
+			// r.Outs aliases the AE engine's reused buffer; the window
+			// must be detached before the classifier batch runs.
+			fwd = append(fwd, pisa.Job{
+				Hash: stream[r.Pkt].Flow.Tuple.Hash(),
+				In:   append([]int32(nil), r.Outs[2:]...),
+			})
+		}
+		out = append(out, gr)
+	}
+	for i, cr := range clsEng.RunBatch(fwd) {
+		out[fwdAt[i]].Class = cr.Class
+	}
+	return out, nil
+}
+
+// HostSequential computes the deployment's reference output: host-side
+// window extraction followed by sequentially running the two emitted
+// programs (RunSwitch) per window — the bit-exact target Run must
+// reproduce from raw packets.
+func (g *GatedPipeline) HostSequential(stream []netsim.StreamPacket) ([]GatedResult, error) {
+	if g.EmAE == nil || g.EmCls == nil {
+		return nil, fmt.Errorf("models: gated pipeline not emitted")
+	}
+	counts := map[*netsim.Flow]int{}
+	wins := map[*netsim.Flow][]netsim.SeqWindow{}
+	var out []GatedResult
+	for i, sp := range stream {
+		counts[sp.Flow]++
+		n := counts[sp.Flow]
+		if n%Window != 0 {
+			continue
+		}
+		w, ok := wins[sp.Flow]
+		if !ok {
+			w = netsim.SeqWindows(sp.Flow, Window)
+			wins[sp.Flow] = w
+		}
+		x := roundWindow(w[n/Window-1].SeqFeatures())
+		_, outs := g.EmAEHost.RunSwitch(x)
+		gr := GatedResult{Pkt: i, Anomalous: outs[0] != 0, Score: outs[1], Class: -1}
+		if !gr.Anomalous {
+			cls, _ := g.EmCls.RunSwitch(x)
+			gr.Class = cls
+		}
+		out = append(out, gr)
+	}
+	return out, nil
+}

@@ -1,0 +1,146 @@
+package models
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/pegasus-idp/pegasus/internal/netsim"
+	"github.com/pegasus-idp/pegasus/internal/pisa"
+)
+
+// buildGated trains and emits a small §7.4 deployment whose threshold
+// sits at the median benign score, so both gate branches are exercised.
+func buildGated(t *testing.T) (*GatedPipeline, []netsim.Flow) {
+	t.Helper()
+	train, test, k := smallDataset(t)
+	rng := rand.New(rand.NewSource(71))
+
+	ae := NewAutoEncoder(nil, rng)
+	ae.Train(train, TrainOpts{Epochs: 2, Seed: 71})
+	if err := ae.Compile(train); err != nil {
+		t.Fatal(err)
+	}
+	cls := NewCNNB(k, rng)
+	cls.Train(train, TrainOpts{Epochs: 2, Seed: 71})
+	if err := cls.Compile(train); err != nil {
+		t.Fatal(err)
+	}
+	thr, err := CalibrateGate(ae, test, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGatedPipeline(ae, cls, thr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const flowTable = 1 << 16
+	if err := g.Emit(flowTable, pisa.Tofino2.Pipes(2)); err != nil {
+		t.Fatal(err)
+	}
+	return g, packetFlows(t, test, flowTable)
+}
+
+// TestGatedPipelineMatchesHostSequential is the §7.4 acceptance test:
+// raw merged traces through the AutoEncoder-gated classifier — two
+// engines on one shared-budget scheduler — produce exactly the verdicts
+// and labels of host-side window extraction followed by sequentially
+// running the two emitted programs, in both execution modes.
+func TestGatedPipelineMatchesHostSequential(t *testing.T) {
+	g, flows := buildGated(t)
+	stream := netsim.Merge(flows)
+	want, err := g.HostSequential(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("no windows fired")
+	}
+	nAnom := 0
+	for _, w := range want {
+		if w.Anomalous {
+			nAnom++
+		}
+	}
+	if nAnom == 0 || nAnom == len(want) {
+		t.Fatalf("gate exercised one branch only (%d/%d anomalous) — threshold calibration broken", nAnom, len(want))
+	}
+
+	for _, mode := range []pisa.ExecMode{pisa.ExecInterpret, pisa.ExecCompiled} {
+		sched := pisa.NewScheduler(4)
+		got, err := g.Run(stream, sched, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("[%v] %d gated results, host expects %d", mode, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("[%v] window %d: deployment %+v, host sequential %+v", mode, i, got[i], want[i])
+			}
+		}
+		// Both models must have been served by the shared pool.
+		for _, st := range sched.Stats() {
+			if st.Packets == 0 {
+				t.Fatalf("[%v] model %q served no packets on the shared scheduler", mode, st.Name)
+			}
+		}
+		sched.Close()
+	}
+}
+
+// TestGatedDeploymentFitsCombinedCapacity checks the §7.4 budget claim:
+// both emitted programs individually validate, and the combined
+// deployment — extraction prelude shared — fits one Tofino
+// ingress+egress capacity report.
+func TestGatedDeploymentFitsCombinedCapacity(t *testing.T) {
+	g, _ := buildGated(t)
+	if err := g.Dep.Validate(); err != nil {
+		t.Fatalf("combined deployment over budget: %v", err)
+	}
+	res := g.Dep.Resources()
+	cap := g.Dep.Cap
+	if res.Stages > cap.Stages {
+		t.Fatalf("combined %d stages exceed %d", res.Stages, cap.Stages)
+	}
+	// The shared-extraction reduction must actually reduce: the
+	// combined report is cheaper than the naive per-model sum when the
+	// specs match, never more expensive.
+	naive := 0
+	for _, em := range g.Dep.Models {
+		naive += em.Resources().Stages
+	}
+	aeSpec := g.EmAE.Extract.Spec
+	if g.EmCls.Extract != nil && g.EmCls.Extract.Spec == aeSpec && res.Stages >= naive {
+		t.Fatalf("shared extraction not deduplicated: combined %d stages, naive sum %d", res.Stages, naive)
+	}
+	t.Logf("deployment report:\n%s", g.Dep.Summary())
+}
+
+// TestGateThresholdMonotone pins the gate's score semantics: emitted
+// windows score anomalous exactly when their host-side fixed-point MAE
+// reaches the threshold (the integer conversion inverts scoreInts'
+// normalisation).
+func TestGateThresholdMonotone(t *testing.T) {
+	g, flows := buildGated(t)
+	stream := netsim.Merge(flows)
+	res, err := g.HostSequential(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thrInt, err := g.AE.GateThreshold(g.Threshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r.Anomalous != (r.Score >= thrInt) {
+			t.Fatalf("window %d: anom=%v but score %d vs threshold %d", i, r.Anomalous, r.Score, thrInt)
+		}
+		if r.Anomalous && r.Class != -1 {
+			t.Fatalf("window %d: anomalous window was classified (class %d)", i, r.Class)
+		}
+		if !r.Anomalous && r.Class < 0 {
+			t.Fatalf("window %d: benign window missing classification", i)
+		}
+	}
+}

@@ -429,3 +429,105 @@ func TestPacketStreamMatchesBatch(t *testing.T) {
 		}
 	}
 }
+
+// TestPacketPathIdleEviction pins the idle-timeout flow-eviction
+// semantics: a new flow colliding into a register slot whose previous
+// flow went idle past the timeout starts a clean window — the stale
+// half-built state no longer leaks into its feature vectors. The check
+// runs the classic blind-spot scenario: flow A banks half a window,
+// then flow B (same five-tuple, so a guaranteed slot collision) starts
+// after a long gap. Without eviction B's fourth packet completes a
+// mixed A+B window; with eviction the first fire is B's own eighth
+// packet, bit-identical to replaying B alone — in both exec modes.
+func TestPacketPathIdleEviction(t *testing.T) {
+	train, test, k := smallDataset(t)
+	rng := rand.New(rand.NewSource(73))
+
+	m := NewCNNB(k, rng)
+	m.Train(train, TrainOpts{Epochs: 2, Seed: 73})
+	if err := m.Compile(train); err != nil {
+		t.Fatal(err)
+	}
+	plain, err := m.Emit(1 << 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flow A: half a window. Flow B: same tuple, 8 packets, shifted to
+	// start several timeouts after A's last packet. The timeout must
+	// exceed every intra-flow gap so eviction triggers only at the
+	// A→B boundary.
+	a := test[0]
+	a.Packets = append([]netsim.Packet(nil), a.Packets[:Window/2]...)
+	b := test[1]
+	b.Tuple = a.Tuple
+	b.Packets = append([]netsim.Packet(nil), b.Packets[:Window]...)
+	maxGap := uint64(0)
+	for _, f := range []netsim.Flow{a, b} {
+		for i := 1; i < len(f.Packets); i++ {
+			if d := f.Packets[i].Time - f.Packets[i-1].Time; d > maxGap {
+				maxGap = d
+			}
+		}
+	}
+	timeout := maxGap + 1
+	empOld, err := m.EmitPackets(1 << 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With eviction: emit the same model with the timeout folded into
+	// the extraction prelude.
+	saved := m.pipe.Opts.Emit.Extract
+	m.pipe.Opts.Emit.Extract = &core.ExtractSpec{Kind: core.ExtractSeq, Window: Window, IdleTimeout: int(timeout)}
+	emp, err := m.pipe.EmitProgram(1 << 8)
+	m.pipe.Opts.Emit.Extract = saved
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two idle gaps: a plain one, and one inside 2^31..2^32 µs where
+	// the 32-bit timestamp delta wraps negative under signed compares —
+	// both must evict.
+	for _, gap := range []uint64{3 * timeout, 2_400_000_000} {
+		base := a.Packets[len(a.Packets)-1].Time + gap
+		bs := b
+		bs.Packets = append([]netsim.Packet(nil), b.Packets...)
+		shift := int64(base) - int64(bs.Packets[0].Time)
+		for i := range bs.Packets {
+			bs.Packets[i].Time = uint64(int64(bs.Packets[i].Time) + shift)
+		}
+		stream := netsim.Merge([]netsim.Flow{a, bs})
+
+		// Control: without eviction the collision semantics stand — the
+		// first fire completes the mixed A+B window at stream index 7.
+		eng := empOld.NewPacketEngine(1, pisa.ExecCompiled)
+		eng.ResetState()
+		old := eng.RunPackets(PacketJobs(empOld, stream))
+		eng.Close()
+		if len(old) == 0 || old[0].Pkt != Window-1 {
+			t.Fatalf("gap %d control without eviction: fires %v, want first fire at packet %d (mixed window)",
+				gap, old, Window-1)
+		}
+
+		// Expected: exactly the fires of B replayed alone, offset by
+		// A's packets in the merged stream.
+		exp := expectSeq(plain, netsim.Merge([]netsim.Flow{bs}))
+		for i := range exp {
+			exp[i].pkt += len(a.Packets)
+		}
+		if len(exp) == 0 {
+			t.Fatal("B alone fired no windows")
+		}
+		checkFires(t, "CNN-B/evict", emp, stream, exp, true)
+	}
+
+	// The prelude must not have grown: eviction rides the existing
+	// counter RMW, so stage count and register count match the
+	// timeout-free emission.
+	if emp.Stages != empOld.Stages {
+		t.Fatalf("eviction added stages: %d vs %d", emp.Stages, empOld.Stages)
+	}
+	if len(emp.Prog.Registers) != len(empOld.Prog.Registers) {
+		t.Fatalf("eviction added registers: %d vs %d", len(emp.Prog.Registers), len(empOld.Prog.Registers))
+	}
+}

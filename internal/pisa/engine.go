@@ -3,6 +3,8 @@ package pisa
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // ExecMode selects how the engine executes each pipeline program.
@@ -26,53 +28,75 @@ func (m ExecMode) String() string {
 	return "compiled"
 }
 
-// Engine executes a compiled program over batches of packets with a
-// persistent worker pool sharded by flow hash. The real switch
-// processes packets in a hardware pipeline; the simulator's
-// single-packet Process loop leaves every other core idle, so replaying
-// a trace is CPU-bound on one goroutine. The engine restores the
-// missing parallelism without changing semantics: packets are
-// partitioned by Job.Hash (the five-tuple hash used to index per-flow
-// register arrays), each shard is processed in arrival order on its own
-// worker with a private reusable PHV, and all accesses to one flow's
-// state stay on one shard — per-flow read-modify-write ordering is
-// exactly the sequential ordering.
+// Engine executes a compiled program over batches of packets, sharded
+// by flow hash. The real switch processes packets in a hardware
+// pipeline; the simulator's single-packet Process loop leaves every
+// other core idle, so replaying a trace is CPU-bound on one goroutine.
+// The engine restores the missing parallelism without changing
+// semantics: packets are partitioned by Job.Hash (the five-tuple hash
+// used to index per-flow register arrays), each shard is processed in
+// arrival order with a private reusable PHV, and all accesses to one
+// flow's state stay on one shard — per-flow read-modify-write ordering
+// is exactly the sequential ordering.
 //
-// The pool is persistent: workers start once at construction and are
-// fed shard chunks over channels, so RunBatch spawns no goroutines and
-// reuses its shard index buffers across calls. Close stops the pool;
-// an engine must not be used after Close.
+// An Engine is a session handle over a Scheduler: the scheduler owns
+// the worker pool, the engine owns the program chain, the per-shard
+// PHVs and the shard queues. NewEngine/NewChainEngineMode construct a
+// private solo scheduler whose budget equals the shard count — the
+// historical one-engine-one-pool behaviour, bit for bit. Registering
+// several engines on one shared Scheduler instead serves all of them
+// from a single fixed worker budget with weighted fair draining and
+// per-model stats — concurrent multi-model serving. Close releases the
+// session (and stops the pool when the engine owns it); an engine must
+// not be used after Close.
 //
 // For the per-flow guarantee to extend to stateful programs, register
 // cells touched by different shards must be disjoint. Under the
 // dataplane convention that register indices are flow-hash derived
-// (cell = Hash % Size), NewEngine enforces it structurally: the worker
-// count is reduced until it divides every register array size, so
-// cell ≡ Hash (mod workers) and each shard owns the cells congruent to
+// (cell = Hash % Size), construction enforces it structurally: the
+// shard count is reduced until it divides every register array size, so
+// cell ≡ Hash (mod shards) and each shard owns the cells congruent to
 // its own index. Programs that compute register indices from anything
-// other than the sharding hash must run with workers = 1.
+// other than the sharding hash must run with one shard.
 // Multi-pipeline emissions (e.g. the Tofino multi-pipe target) are a
 // chain of programs connected by Bridges: the engine processes each
 // packet through every program in order, copying the bridged PHV fields
 // between consecutive pipes, so batched replay over a split program
 // classifies bit-identically to the single-pipe emission.
 type Engine struct {
+	name    string
 	progs   []*Program
 	plans   []*CompiledProgram // one per pipe, shared read-only by shards
 	bridges []Bridge
 	in      []FieldID // input fields, in progs[0]'s layout
 	out     []FieldID // output fields, in the final program's layout
 	class   FieldID   // class field, in the final program's layout
-	workers int
+	shards  int
 	mode    ExecMode
 	phvs    [][]*PHV // [shard][pipe], reused across batches
 
-	feed      []chan shardTask // one channel per worker
-	batchWG   sync.WaitGroup   // outstanding shard tasks of one batch
-	workerWG  sync.WaitGroup   // worker goroutine lifetimes
-	seq       []int            // reused sequential index for 1-shard batches
-	shards    [][]int          // reused per-shard job index buffers
+	sched    *Scheduler
+	ownSched bool // solo scheduler, closed with the engine
+	weight   int
+
+	// Session state guarded by sched.mu: the per-model task queue
+	// (reused backing array, one outstanding batch ⇒ at most one task
+	// per shard queued) and the stride-scheduling virtual pass.
+	queue []shardTask
+	qhead int
+	pass  float64
+
+	batchWG   sync.WaitGroup // outstanding shard tasks of one batch
+	seq       []int          // reused sequential index for 1-shard batches
+	shardIdx  [][]int        // reused per-shard job index buffers
+	tasks     []shardTask    // reused enqueue staging buffer
 	closeOnce sync.Once
+
+	// Per-model serving stats, updated by workers.
+	stTasks   atomic.Uint64
+	stPackets atomic.Uint64
+	stFires   atomic.Uint64
+	stBusy    atomic.Int64
 
 	// Per-packet replay state (ConfigurePackets).
 	meta     *PacketMeta
@@ -85,10 +109,11 @@ type Engine struct {
 // shardTask is one batch's work for one shard: the job (or raw-packet)
 // indices the shard owns plus the batch-wide result and output buffers.
 type shardTask struct {
-	jobs []Job
-	res  []Result
-	outs []int32
-	idx  []int
+	shard int
+	jobs  []Job
+	res   []Result
+	outs  []int32
+	idx   []int
 
 	// Per-packet replay (RunPackets): pkts is non-nil, results land in
 	// fired/class/outs instead of res.
@@ -161,7 +186,7 @@ type Result struct {
 
 // NewEngine builds an engine over a single program with the given I/O
 // fields. workers ≤ 0 selects GOMAXPROCS. When prog has stateful
-// registers, the worker count is reduced to the largest value dividing
+// registers, the shard count is reduced to the largest value dividing
 // every register size (see the Engine contract above); register sizes
 // are powers of two in practice, so this keeps a power-of-two pool.
 func NewEngine(prog *Program, in, out []FieldID, class FieldID, workers int) *Engine {
@@ -171,86 +196,100 @@ func NewEngine(prog *Program, in, out []FieldID, class FieldID, workers int) *En
 // NewChainEngine builds a compiled-plan engine over a chain of programs
 // connected by bridges (len(bridges) == len(progs)-1). The in fields
 // live in the first program's layout; out and class in the last one's.
-// Worker-count reduction considers the registers of every program in
+// Shard-count reduction considers the registers of every program in
 // the chain.
 func NewChainEngine(progs []*Program, bridges []Bridge, in, out []FieldID, class FieldID, workers int) *Engine {
 	return NewChainEngineMode(progs, bridges, in, out, class, workers, ExecCompiled)
 }
 
 // NewChainEngineMode is NewChainEngine with an explicit execution mode.
+// The engine owns a private solo scheduler sized to its shard count, so
+// behaviour (and results) are identical to the historical per-engine
+// worker pool.
 func NewChainEngineMode(progs []*Program, bridges []Bridge, in, out []FieldID, class FieldID, workers int, mode ExecMode) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	shards := reduceShards(workers, progs)
+	s := NewScheduler(shards)
+	e := s.newSession("", 1, progs, bridges, in, out, class, shards, mode)
+	e.ownSched = true
+	return e
+}
+
+// newSession builds and registers an engine session on the scheduler.
+func (s *Scheduler) newSession(name string, weight int, progs []*Program, bridges []Bridge, in, out []FieldID, class FieldID, shards int, mode ExecMode) *Engine {
 	if len(progs) == 0 {
 		panic("pisa: chain engine needs at least one program")
 	}
 	if len(bridges) != len(progs)-1 {
 		panic("pisa: chain engine needs one bridge per consecutive program pair")
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	if weight < 1 {
+		weight = 1
 	}
-	dividesAll := func(w int) bool {
-		for _, p := range progs {
-			for _, r := range p.Registers {
-				if r.Size%w != 0 {
-					return false
-				}
-			}
-		}
-		return true
-	}
-	for workers > 1 && !dividesAll(workers) {
-		workers--
-	}
-	e := &Engine{progs: progs, bridges: bridges, in: in, out: out, class: class,
-		workers: workers, mode: mode}
+	e := &Engine{name: name, progs: progs, bridges: bridges, in: in, out: out, class: class,
+		shards: shards, mode: mode, sched: s, weight: weight}
 	if mode == ExecCompiled {
 		e.plans = make([]*CompiledProgram, len(progs))
 		for k, p := range progs {
 			e.plans[k] = CompileProgram(p)
 		}
 	}
-	e.phvs = make([][]*PHV, workers)
-	e.shards = make([][]int, workers)
-	e.feed = make([]chan shardTask, workers)
-	for s := range e.phvs {
-		e.phvs[s] = make([]*PHV, len(progs))
+	e.phvs = make([][]*PHV, shards)
+	e.shardIdx = make([][]int, shards)
+	for sh := range e.phvs {
+		e.phvs[sh] = make([]*PHV, len(progs))
 		for k, p := range progs {
-			e.phvs[s][k] = p.Layout.NewPHV()
+			e.phvs[sh][k] = p.Layout.NewPHV()
 		}
-		e.feed[s] = make(chan shardTask, 1)
-		e.workerWG.Add(1)
-		go e.workerLoop(s)
 	}
+	s.register(e)
 	return e
 }
 
-// workerLoop is shard s's persistent goroutine: it drains shard tasks
-// until Close closes the feed channel.
-func (e *Engine) workerLoop(s int) {
-	defer e.workerWG.Done()
-	for t := range e.feed[s] {
-		if t.pkts != nil {
-			e.runPacketShard(s, t.pkts, t.fired, t.class, t.outs, t.idx)
-		} else {
-			e.runShard(s, t.jobs, t.res, t.outs, t.idx)
-		}
-		e.batchWG.Done()
-	}
-}
-
-// Close stops the worker pool and waits for the workers to exit. The
-// engine must not be used after Close. Close is idempotent.
+// Close releases the engine's scheduler session; when the engine owns a
+// solo scheduler the pool is stopped and waited for. The engine must
+// not be used after Close. Close is idempotent.
 func (e *Engine) Close() {
 	e.closeOnce.Do(func() {
-		for _, c := range e.feed {
-			close(c)
+		e.sched.unregister(e)
+		if e.ownSched {
+			e.sched.Close()
 		}
-		e.workerWG.Wait()
 	})
 }
 
-// Workers returns the shard count.
-func (e *Engine) Workers() int { return e.workers }
+// Workers returns the shard count (the engine's maximum intra-batch
+// parallelism; the serving parallelism is bounded by the scheduler
+// budget).
+func (e *Engine) Workers() int { return e.shards }
+
+// Name returns the session label given at registration (empty for solo
+// engines).
+func (e *Engine) Name() string { return e.name }
+
+// Scheduler returns the scheduler serving this engine.
+func (e *Engine) Scheduler() *Scheduler { return e.sched }
+
+// Stats snapshots the session's cumulative serving counters.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{
+		Name:    e.name,
+		Weight:  e.weight,
+		Tasks:   e.stTasks.Load(),
+		Packets: e.stPackets.Load(),
+		Fires:   e.stFires.Load(),
+		Busy:    time.Duration(e.stBusy.Load()),
+	}
+}
+
+// note accounts one executed shard task.
+func (e *Engine) note(packets int, busy time.Duration) {
+	e.stTasks.Add(1)
+	e.stPackets.Add(uint64(packets))
+	e.stBusy.Add(int64(busy))
+}
 
 // ResetState restores every register of every chained program to its
 // initial value — a fresh flow table for the next trace replay. Must
@@ -263,6 +302,37 @@ func (e *Engine) ResetState() {
 
 // Mode returns the engine's execution mode.
 func (e *Engine) Mode() ExecMode { return e.mode }
+
+// inline reports whether a batch of n packets should run on the caller
+// goroutine: solo engines keep the historical fast path for one-shard
+// pools and single-packet batches. Engines on a shared scheduler always
+// queue, so the worker budget and the fairness policy apply.
+func (e *Engine) inline(n int) bool {
+	return e.ownSched && (e.shards == 1 || n == 1)
+}
+
+// dispatch shards the given item count by hash onto the engine's task
+// staging buffer and blocks until the scheduler has drained them. mk
+// builds the task for one shard's index list.
+func (e *Engine) dispatch(n int, hash func(int) uint32, mk func(shard int, idx []int) shardTask) {
+	for s := range e.shardIdx {
+		e.shardIdx[s] = e.shardIdx[s][:0]
+	}
+	for i := 0; i < n; i++ {
+		s := int(hash(i) % uint32(e.shards))
+		e.shardIdx[s] = append(e.shardIdx[s], i)
+	}
+	e.tasks = e.tasks[:0]
+	for s := 0; s < e.shards; s++ {
+		if len(e.shardIdx[s]) == 0 {
+			continue
+		}
+		e.tasks = append(e.tasks, mk(s, e.shardIdx[s]))
+	}
+	e.batchWG.Add(len(e.tasks))
+	e.sched.enqueue(e, e.tasks)
+	e.batchWG.Wait()
+}
 
 // RunBatch pushes every job through the program concurrently and returns
 // the results in job order. Calls must not overlap: the engine owns one
@@ -277,27 +347,16 @@ func (e *Engine) RunBatch(jobs []Job) []Result {
 	// write disjoint job indices, so the backing array is race free and
 	// the hot loop stays allocation free.
 	outs := make([]int32, len(jobs)*len(e.out))
-	if e.workers == 1 || len(jobs) == 1 {
+	if e.inline(len(jobs)) {
+		start := time.Now()
 		e.runShard(0, jobs, res, outs, e.seqIdx(len(jobs)))
+		e.note(len(jobs), time.Since(start))
 		return res
 	}
-	// Shard by flow hash, preserving batch order within each shard. The
-	// per-shard index buffers persist across batches.
-	for s := range e.shards {
-		e.shards[s] = e.shards[s][:0]
-	}
-	for i := range jobs {
-		s := int(jobs[i].Hash % uint32(e.workers))
-		e.shards[s] = append(e.shards[s], i)
-	}
-	for s := 0; s < e.workers; s++ {
-		if len(e.shards[s]) == 0 {
-			continue
-		}
-		e.batchWG.Add(1)
-		e.feed[s] <- shardTask{jobs: jobs, res: res, outs: outs, idx: e.shards[s]}
-	}
-	e.batchWG.Wait()
+	e.dispatch(len(jobs), func(i int) uint32 { return jobs[i].Hash },
+		func(shard int, idx []int) shardTask {
+			return shardTask{shard: shard, jobs: jobs, res: res, outs: outs, idx: idx}
+		})
 	return res
 }
 
@@ -406,24 +465,15 @@ func (e *Engine) RunPackets(pkts []PacketIn) []PacketResult {
 	for i := range fired {
 		fired[i] = false
 	}
-	if e.workers == 1 || len(pkts) == 1 {
+	if e.inline(len(pkts)) {
+		start := time.Now()
 		e.runPacketShard(0, pkts, fired, class, outs, e.seqIdx(len(pkts)))
+		e.note(len(pkts), time.Since(start))
 	} else {
-		for s := range e.shards {
-			e.shards[s] = e.shards[s][:0]
-		}
-		for i := range pkts {
-			s := int(pkts[i].Hash % uint32(e.workers))
-			e.shards[s] = append(e.shards[s], i)
-		}
-		for s := 0; s < e.workers; s++ {
-			if len(e.shards[s]) == 0 {
-				continue
-			}
-			e.batchWG.Add(1)
-			e.feed[s] <- shardTask{pkts: pkts, fired: fired, class: class, outs: outs, idx: e.shards[s]}
-		}
-		e.batchWG.Wait()
+		e.dispatch(len(pkts), func(i int) uint32 { return pkts[i].Hash },
+			func(shard int, idx []int) shardTask {
+				return shardTask{shard: shard, pkts: pkts, fired: fired, class: class, outs: outs, idx: idx}
+			})
 	}
 	n := 0
 	for i := range fired {
@@ -431,6 +481,7 @@ func (e *Engine) RunPackets(pkts []PacketIn) []PacketResult {
 			n++
 		}
 	}
+	e.stFires.Add(uint64(n))
 	res := make([]PacketResult, 0, n)
 	for i := range fired {
 		if fired[i] {

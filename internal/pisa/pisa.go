@@ -60,6 +60,15 @@ var SmartNIC = Capacity{
 	PHVBits:          2048,
 }
 
+// Pipes returns the combined budget of n chained pipelines of this
+// capacity — the silicon a deployment spanning e.g. the ingress and
+// egress pipes of one switch may occupy. Per-stage limits are
+// unchanged; only the stage count multiplies.
+func (c Capacity) Pipes(n int) Capacity {
+	c.Stages *= n
+	return c
+}
+
 // LineRatePPS is the packet throughput we attribute to the simulated
 // switch for Figure 9d. Tofino 2 forwards 12.8 Tb/s; at the ~850-byte
 // average packet of the evaluation traces that is ≈1.9e9 packets/s. Any

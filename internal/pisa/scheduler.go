@@ -1,0 +1,232 @@
+package pisa
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Scheduler is a shared worker pool with a fixed budget that serves any
+// number of registered engines — the execution substrate for multi-model
+// serving. Each registered Engine (one per emitted program) shards its
+// batches by flow hash exactly as before, but instead of owning a
+// private pool it enqueues its shard tasks on its own per-model queue;
+// the scheduler's workers drain the queues with weighted fair scheduling
+// (stride scheduling: the session with the smallest virtual pass is
+// served next, and serving advances its pass by 1/weight), so a model
+// replaying a 100× larger trace cannot starve its co-resident models.
+//
+// Correctness is inherited from the engine's sharding contract: one
+// batch produces at most one task per shard, an engine runs one batch at
+// a time, and a shard's task is executed by exactly one worker — so all
+// accesses to one flow's registers still happen in arrival order on a
+// single goroutine, and results are bit-identical to a solo engine.
+//
+// A solo scheduler (what NewEngine/NewChainEngineMode construct
+// internally) serves exactly one session and preserves the historical
+// Engine API and behaviour.
+type Scheduler struct {
+	budget int
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	sessions []*Engine
+	vtime    float64 // virtual pass of the most recently served session
+	closed   bool
+
+	workerWG  sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// NewScheduler starts a shared pool of budget workers (≤ 0 selects
+// GOMAXPROCS). Engines register onto it via Scheduler.NewChainEngine
+// (or core's Emitted.NewEngineOn); Close stops the pool.
+func NewScheduler(budget int) *Scheduler {
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	s := &Scheduler{budget: budget}
+	s.cond = sync.NewCond(&s.mu)
+	for i := 0; i < budget; i++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Budget returns the worker-pool size shared by every registered engine.
+func (s *Scheduler) Budget() int { return s.budget }
+
+// NewChainEngine registers a new engine session over a chain of
+// programs (see NewChainEngineMode for the chain contract). name labels
+// the session in Stats; weight scales its fair share of the pool (< 1
+// is clamped to 1). The engine's shard count is the largest value ≤ the
+// scheduler budget that divides every register array size of the chain.
+func (s *Scheduler) NewChainEngine(name string, progs []*Program, bridges []Bridge, in, out []FieldID, class FieldID, weight int, mode ExecMode) *Engine {
+	shards := reduceShards(s.budget, progs)
+	return s.newSession(name, weight, progs, bridges, in, out, class, shards, mode)
+}
+
+// Close stops the worker pool and waits for the workers to exit. All
+// registered engines must have finished their runs; Close is idempotent.
+func (s *Scheduler) Close() {
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		s.cond.Broadcast()
+		s.workerWG.Wait()
+	})
+}
+
+// Stats snapshots the per-model counters of every registered session,
+// in registration order.
+func (s *Scheduler) Stats() []EngineStats {
+	s.mu.Lock()
+	sessions := append([]*Engine(nil), s.sessions...)
+	s.mu.Unlock()
+	stats := make([]EngineStats, len(sessions))
+	for i, e := range sessions {
+		stats[i] = e.Stats()
+	}
+	return stats
+}
+
+// register adds a session; its virtual pass starts at the pool's
+// current virtual time so a late-registered model cannot monopolise the
+// workers while it catches up.
+func (s *Scheduler) register(e *Engine) {
+	s.mu.Lock()
+	e.pass = s.vtime
+	s.sessions = append(s.sessions, e)
+	s.mu.Unlock()
+}
+
+func (s *Scheduler) unregister(e *Engine) {
+	s.mu.Lock()
+	for i, se := range s.sessions {
+		if se == e {
+			s.sessions = append(s.sessions[:i], s.sessions[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+}
+
+// enqueue appends a batch's shard tasks to the engine's queue and wakes
+// the pool. The engine's single-outstanding-batch contract means the
+// queue is empty on entry, so the backing array is reused across
+// batches and the steady state allocates nothing.
+func (s *Scheduler) enqueue(e *Engine, tasks []shardTask) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		panic("pisa: enqueue on a closed scheduler")
+	}
+	if e.qhead == len(e.queue) {
+		e.queue = e.queue[:0]
+		e.qhead = 0
+	}
+	e.queue = append(e.queue, tasks...)
+	// A session rejoining after idling inherits the pool's virtual time:
+	// its stale low pass must not buy it the whole pool.
+	if e.pass < s.vtime {
+		e.pass = s.vtime
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// pickLocked returns the queued session with the smallest virtual pass.
+func (s *Scheduler) pickLocked() *Engine {
+	var best *Engine
+	for _, e := range s.sessions {
+		if e.qhead == len(e.queue) {
+			continue
+		}
+		if best == nil || e.pass < best.pass {
+			best = e
+		}
+	}
+	return best
+}
+
+// worker is one pool goroutine: pick the fairest queued session, pop
+// one shard task, run it, account it.
+func (s *Scheduler) worker() {
+	defer s.workerWG.Done()
+	for {
+		s.mu.Lock()
+		var e *Engine
+		for {
+			if s.closed {
+				s.mu.Unlock()
+				return
+			}
+			if e = s.pickLocked(); e != nil {
+				break
+			}
+			s.cond.Wait()
+		}
+		t := e.queue[e.qhead]
+		e.queue[e.qhead] = shardTask{} // release buffer references
+		e.qhead++
+		e.pass += 1 / float64(e.weight)
+		s.vtime = e.pass
+		s.mu.Unlock()
+
+		start := time.Now()
+		if t.pkts != nil {
+			e.runPacketShard(t.shard, t.pkts, t.fired, t.class, t.outs, t.idx)
+		} else {
+			e.runShard(t.shard, t.jobs, t.res, t.outs, t.idx)
+		}
+		e.note(len(t.idx), time.Since(start))
+		e.batchWG.Done()
+		// Let the completed batch's submitter re-enqueue before the next
+		// pick: without this yield a busy worker monopolises its P and,
+		// on small GOMAXPROCS, whichever session loses the run-queue
+		// handoff race re-enqueues only on preemption ticks — runtime
+		// starvation the fair queue draining cannot see.
+		runtime.Gosched()
+	}
+}
+
+// EngineStats is one session's cumulative serving counters.
+type EngineStats struct {
+	// Name and Weight echo the session's registration.
+	Name   string
+	Weight int
+	// Tasks is the number of shard tasks served; Packets the packets
+	// (jobs or raw packets) processed across them; Fires the window
+	// inferences produced by the per-packet path.
+	Tasks   uint64
+	Packets uint64
+	Fires   uint64
+	// Busy is the cumulative worker time spent executing this session's
+	// tasks: Busy / (wall × budget) is the model's pool occupancy.
+	Busy time.Duration
+}
+
+// reduceShards returns the largest shard count ≤ limit that divides
+// every register array size of the chain (see the Engine contract).
+func reduceShards(limit int, progs []*Program) int {
+	if limit < 1 {
+		limit = 1
+	}
+	dividesAll := func(w int) bool {
+		for _, p := range progs {
+			for _, r := range p.Registers {
+				if r.Size%w != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	w := limit
+	for w > 1 && !dividesAll(w) {
+		w--
+	}
+	return w
+}

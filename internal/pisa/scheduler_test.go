@@ -1,0 +1,247 @@
+package pisa
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// sharedEngines registers n engines over fresh copies of the standard
+// test program on one scheduler.
+func sharedEngines(t *testing.T, s *Scheduler, n int, mode ExecMode) ([]*Engine, FieldID, FieldID, FieldID) {
+	t.Helper()
+	var engines []*Engine
+	var k, out, class FieldID
+	for i := 0; i < n; i++ {
+		prog, kf, of, cf := engineTestProg(t)
+		k, out, class = kf, of, cf
+		engines = append(engines, s.NewChainEngine("m", []*Program{prog}, nil,
+			[]FieldID{kf}, []FieldID{of}, cf, 1, mode))
+	}
+	return engines, k, out, class
+}
+
+// TestSchedulerSharedMatchesSolo pins the tentpole's equivalence
+// contract: an engine registered on a shared multi-model scheduler
+// classifies bit-identically to a solo engine over the same program.
+func TestSchedulerSharedMatchesSolo(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	jobs := make([]Job, 513)
+	for i := range jobs {
+		jobs[i] = Job{Hash: rng.Uint32(), In: []int32{int32(rng.Intn(256))}}
+	}
+	soloProg, k, out, class := engineTestProg(t)
+	solo := NewEngine(soloProg, []FieldID{k}, []FieldID{out}, class, 4)
+	want := solo.RunBatch(jobs)
+	solo.Close()
+
+	for _, mode := range []ExecMode{ExecCompiled, ExecInterpret} {
+		s := NewScheduler(4)
+		engines, _, _, _ := sharedEngines(t, s, 3, mode)
+		// Replay the same batch on every co-resident engine, concurrently.
+		var wg sync.WaitGroup
+		results := make([][]Result, len(engines))
+		for ei, e := range engines {
+			wg.Add(1)
+			go func(ei int, e *Engine) {
+				defer wg.Done()
+				results[ei] = e.RunBatch(jobs)
+			}(ei, e)
+		}
+		wg.Wait()
+		for ei, res := range results {
+			for i := range res {
+				if res[i].Class != want[i].Class || res[i].Outs[0] != want[i].Outs[0] {
+					t.Fatalf("mode=%v engine %d job %d: shared %+v, solo %+v", mode, ei, i, res[i], want[i])
+				}
+			}
+		}
+		for _, e := range engines {
+			e.Close()
+		}
+		s.Close()
+	}
+}
+
+// TestSchedulerStats checks the per-model serving counters: packets and
+// tasks accumulate per session, and Scheduler.Stats reports every
+// registered model.
+func TestSchedulerStats(t *testing.T) {
+	s := NewScheduler(2)
+	defer s.Close()
+	progA, k, out, class := engineTestProg(t)
+	a := s.NewChainEngine("model-a", []*Program{progA}, nil, []FieldID{k}, []FieldID{out}, class, 2, ExecCompiled)
+	defer a.Close()
+	progB, k2, out2, class2 := engineTestProg(t)
+	b := s.NewChainEngine("model-b", []*Program{progB}, nil, []FieldID{k2}, []FieldID{out2}, class2, 1, ExecCompiled)
+	defer b.Close()
+
+	jobs := make([]Job, 100)
+	for i := range jobs {
+		jobs[i] = Job{Hash: uint32(i), In: []int32{int32(i % 256)}}
+	}
+	a.RunBatch(jobs)
+	a.RunBatch(jobs)
+	b.RunBatch(jobs[:40])
+
+	as, bs := a.Stats(), b.Stats()
+	if as.Name != "model-a" || as.Weight != 2 {
+		t.Fatalf("model-a stats identity: %+v", as)
+	}
+	if as.Packets != 200 {
+		t.Fatalf("model-a served %d packets, want 200", as.Packets)
+	}
+	if bs.Packets != 40 {
+		t.Fatalf("model-b served %d packets, want 40", bs.Packets)
+	}
+	if as.Tasks == 0 || bs.Tasks == 0 {
+		t.Fatalf("tasks not counted: a=%d b=%d", as.Tasks, bs.Tasks)
+	}
+	all := s.Stats()
+	if len(all) != 2 || all[0].Name != "model-a" || all[1].Name != "model-b" {
+		t.Fatalf("scheduler stats = %+v", all)
+	}
+}
+
+// TestSchedulerFairnessNoStarvation is the starvation guard: with one
+// model replaying a 100× larger trace on the same shared budget, the
+// small model must keep making progress and finish long before the
+// large one — weighted fair draining may not let the big queue
+// monopolise the pool.
+func TestSchedulerFairnessNoStarvation(t *testing.T) {
+	s := NewScheduler(2)
+	defer s.Close()
+	progBig, k, out, class := engineTestProg(t)
+	big := s.NewChainEngine("big", []*Program{progBig}, nil, []FieldID{k}, []FieldID{out}, class, 1, ExecCompiled)
+	defer big.Close()
+	progSmall, k2, out2, class2 := engineTestProg(t)
+	small := s.NewChainEngine("small", []*Program{progSmall}, nil, []FieldID{k2}, []FieldID{out2}, class2, 1, ExecCompiled)
+	defer small.Close()
+
+	rng := rand.New(rand.NewSource(37))
+	mkJobs := func(n int) []Job {
+		jobs := make([]Job, n)
+		for i := range jobs {
+			jobs[i] = Job{Hash: rng.Uint32(), In: []int32{int32(rng.Intn(256))}}
+		}
+		return jobs
+	}
+	const iters = 50
+	bigJobs := mkJobs(20000) // 100× the small model's trace
+	smallJobs := mkJobs(200)
+
+	var bigRunning atomic.Bool
+	bigRunning.Store(true)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < iters; i++ {
+			big.RunBatch(bigJobs)
+		}
+		bigRunning.Store(false)
+	}()
+	// The small model replays its trace while the big one saturates the
+	// pool; count how many of its batches complete while the big model
+	// still has work in flight — a starving scheduler would park them
+	// all until the big replay drains.
+	interleaved := 0
+	for i := 0; i < iters; i++ {
+		small.RunBatch(smallJobs)
+		if bigRunning.Load() {
+			interleaved++
+		}
+	}
+	<-done
+
+	bs, ss := big.Stats(), small.Stats()
+	if bs.Packets != uint64(iters*len(bigJobs)) {
+		t.Fatalf("big model served %d packets, want %d", bs.Packets, iters*len(bigJobs))
+	}
+	if ss.Packets != uint64(iters*len(smallJobs)) {
+		t.Fatalf("small model served %d packets, want %d", ss.Packets, iters*len(smallJobs))
+	}
+	if interleaved < iters/10 {
+		t.Fatalf("only %d/%d small batches completed while the 100× model was replaying — starved by the shared pool",
+			interleaved, iters)
+	}
+}
+
+// TestSchedulerSharedStatefulConsistency extends the per-flow register
+// guarantee to shared pools: two stateful engines replay concurrently
+// on one scheduler, and each ends with exactly the sequential register
+// state (shard tasks of one engine never interleave within a flow).
+func TestSchedulerSharedStatefulConsistency(t *testing.T) {
+	const slots = 4
+	build := func() (*Program, *Register, FieldID, FieldID, FieldID) {
+		var l Layout
+		slot := l.MustAdd("slot", 16)
+		v := l.MustAdd("v", 32)
+		acc := l.MustAdd("acc", 32)
+		prog := NewProgram("flows", &l, Tofino2)
+		reg, err := NewRegister("state", 32, slots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ri := prog.AddRegister(reg)
+		prog.Place(0, &Table{
+			Name: "accumulate", Kind: MatchNone, DefaultData: []int32{},
+			Action: []Op{{Kind: OpRegAdd, Reg: ri, Dst: acc, A: slot, B: v}},
+		})
+		if err := prog.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		return prog, reg, slot, v, acc
+	}
+	rng := rand.New(rand.NewSource(13))
+	jobs := make([]Job, 600)
+	for i := range jobs {
+		s := uint32(rng.Intn(slots))
+		jobs[i] = Job{Hash: s, In: []int32{int32(s), int32(rng.Intn(100))}}
+	}
+
+	// Sequential reference.
+	refProg, refReg, slot, v, _ := build()
+	phv := refProg.Layout.NewPHV()
+	for _, j := range jobs {
+		phv.Reset()
+		phv.Set(slot, j.In[0])
+		phv.Set(v, j.In[1])
+		refProg.Process(phv)
+	}
+	want := make([]int32, slots)
+	for s := 0; s < slots; s++ {
+		want[s] = refReg.Get(s)
+	}
+
+	s := NewScheduler(4)
+	defer s.Close()
+	type inst struct {
+		eng *Engine
+		reg *Register
+	}
+	var insts []inst
+	for i := 0; i < 2; i++ {
+		prog, reg, slotF, vF, accF := build()
+		eng := s.NewChainEngine("stateful", []*Program{prog}, nil,
+			[]FieldID{slotF, vF}, []FieldID{accF}, accF, 1, ExecCompiled)
+		defer eng.Close()
+		insts = append(insts, inst{eng, reg})
+	}
+	var wg sync.WaitGroup
+	for _, in := range insts {
+		wg.Add(1)
+		go func(e *Engine) {
+			defer wg.Done()
+			e.RunBatch(jobs)
+		}(in.eng)
+	}
+	wg.Wait()
+	for ii, in := range insts {
+		for sl := 0; sl < slots; sl++ {
+			if got := in.reg.Get(sl); got != want[sl] {
+				t.Fatalf("engine %d slot %d: shared-pool state %d, sequential %d", ii, sl, got, want[sl])
+			}
+		}
+	}
+}

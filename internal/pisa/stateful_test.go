@@ -31,7 +31,7 @@ func randStatefulProgram(t *testing.T, rng *rand.Rand, slots int) (*Program, Pac
 			{Kind: OpSet, Dst: fire, Imm: 1},
 		}})
 
-	kinds := []OpKind{OpRegAdd, OpRegMax, OpRegMin, OpRegExch, OpRegStore, OpRegLoad}
+	kinds := []OpKind{OpRegAdd, OpRegMax, OpRegMin, OpRegExch, OpRegStore, OpRegLoad, OpRegCntRestart}
 	numRegs := 2 + rng.Intn(4)
 	stage := 1
 	for r := 0; r < numRegs; r++ {
@@ -51,11 +51,17 @@ func randStatefulProgram(t *testing.T, rng *rand.Rand, slots int) (*Program, Pac
 		for u := 0; u < users; u++ {
 			k := kinds[rng.Intn(len(kinds))]
 			dst := outs[rng.Intn(len(outs))]
+			op := Op{Kind: k, Reg: ri, Dst: dst, A: slot, B: val}
+			if k == OpRegCntRestart {
+				// B doubles as the restart predicate; vary the restart
+				// value the counter snaps back to.
+				op.Imm = int32(rng.Intn(50))
+			}
 			prog.Place(stage, &Table{
 				Name: "rmw_" + string(rune('a'+r)) + string(rune('0'+u)),
 				Kind: MatchNone, DefaultData: []int32{},
 				Gate:   &Gate{Field: sel, Op: GateEQ, Value: int32(u)},
-				Action: []Op{{Kind: k, Reg: ri, Dst: dst, A: slot, B: val}},
+				Action: []Op{op},
 			})
 			stage++
 		}

@@ -61,6 +61,14 @@ const (
 	OpRegMin                 // reg[Reg][phv[A]] = min(reg, phv[B]); dst = new value
 	OpRegAdd                 // reg[Reg][phv[A]] += phv[B]; dst = new value
 	OpRegExch                // dst = old reg[Reg][phv[A]]; reg[Reg][phv[A]] = phv[B] (last-timestamp tracker)
+	// OpRegCntRestart is a windowed counter with predicated restart:
+	// reg[Reg][phv[A]] = phv[B] != 0 ? Imm : reg[Reg][phv[A]] + 1, with
+	// dst = the new value. Tofino stateful ALUs support exactly this
+	// shape (a RegisterAction with a condition selecting between two
+	// update arms), and it is what lets idle-timeout flow eviction fold
+	// into the extraction prelude's existing counter RMW instead of
+	// needing a second register access.
+	OpRegCntRestart
 )
 
 // Op is one micro-operation of an action program.
@@ -78,7 +86,7 @@ type Op struct {
 // occupies the register's one read-modify-write slot for the packet.
 func (op *Op) regAccess() int {
 	switch op.Kind {
-	case OpRegLoad, OpRegStore, OpRegMax, OpRegMin, OpRegAdd, OpRegExch:
+	case OpRegLoad, OpRegStore, OpRegMax, OpRegMin, OpRegAdd, OpRegExch, OpRegCntRestart:
 		return op.Reg
 	}
 	return -1
@@ -369,6 +377,15 @@ func runOps(ops []Op, phv *PHV, data []int32, regs []*Register) {
 			old := r.Get(idx)
 			r.Set(idx, phv.Get(op.B))
 			phv.Set(op.Dst, old)
+		case OpRegCntRestart:
+			r := regs[op.Reg]
+			idx := int(phv.Get(op.A))
+			v := op.Imm
+			if phv.Get(op.B) == 0 {
+				v = r.Get(idx) + 1
+			}
+			r.Set(idx, v)
+			phv.Set(op.Dst, v)
 		default:
 			panic(fmt.Sprintf("pisa: unknown op kind %d", op.Kind))
 		}

@@ -64,6 +64,31 @@
 // enforces the hardware's one-RMW-per-register-per-packet rule on the
 // emitted machines.
 //
+// # Multi-model serving
+//
+// Several emitted programs can be served concurrently from one fixed
+// worker budget: a Scheduler owns the pool, and each emission registers
+// a session on it (Emitted.NewEngineOn / NewPacketEngineOn). Per-model
+// shard queues are drained with weighted fair scheduling, so one
+// model's large trace cannot starve its co-resident models, and
+// Scheduler.Stats reports per-model throughput and pool occupancy. A
+// Deployment validates the co-resident emissions against one combined
+// capacity (models sharing an extraction spec are charged one
+// extraction machine); the §7.4 scenario — an unknown-attack
+// AutoEncoder whose on-switch reconstruction-error gate screens every
+// window before a classifier labels it — ships as GatedPipeline:
+//
+//	gated, _ := pegasus.NewGatedPipeline(ae, cnnb, threshold)
+//	_ = gated.Emit(1<<16, pegasus.Tofino2.Pipes(2)) // combined budget check
+//	sched := pegasus.NewScheduler(8)
+//	defer sched.Close()
+//	results, _ := gated.Run(pegasus.Merge(test), sched, pegasus.ExecCompiled)
+//
+// Raw merged traces go in; each completed window comes back with the
+// gate verdict, the integer MAE score and — for windows the gate passed
+// — the classifier's label, bit-identical to running the two emitted
+// programs sequentially on the host.
+//
 // Compilation runs through a staged pass manager (Pipeline): named,
 // instrumented passes (lower, fuse, drop-nonlinear, build-tables,
 // refine, emit) over one CompileOptions struct, with per-pass wall-time
@@ -268,10 +293,28 @@ type (
 // emitted program over packet batches or streams, sharded by flow hash
 // so per-flow state stays consistent.
 type (
-	// Engine is the persistent flow-sharded executor pool (chains the
-	// pipes of multi-pipeline emissions; RunBatch for batches,
-	// RunStream for channels of packets; Close stops the pool).
+	// Engine is the flow-sharded execution session of one emitted
+	// program (chains the pipes of multi-pipeline emissions; RunBatch
+	// for batches, RunStream for channels of packets; Close releases
+	// the session and, for solo engines, stops the pool).
 	Engine = pisa.Engine
+	// Scheduler is the shared fixed-budget worker pool serving any
+	// number of registered engines with weighted fair draining —
+	// multi-model serving (Emitted.NewEngineOn registers sessions).
+	Scheduler = pisa.Scheduler
+	// EngineStats is one session's per-model serving counters.
+	EngineStats = pisa.EngineStats
+	// Deployment is a multi-model switch deployment validated against
+	// one combined capacity (shared extraction charged once).
+	Deployment = core.Deployment
+	// GateSpec configures the §7.4 reconstruction-error gate appended
+	// to an anomaly emission (EmitOptions.Gate).
+	GateSpec = core.GateSpec
+	// GatedPipeline is the §7.4 AutoEncoder-gated classifier: raw
+	// traces in, gated classifications out, two programs on one budget.
+	GatedPipeline = models.GatedPipeline
+	// GatedResult is one window verdict of a gated deployment.
+	GatedResult = models.GatedResult
 	// EngineJob is one packet (input values + shard hash) of a batch.
 	EngineJob = pisa.Job
 	// EngineResult is one packet's classification and outputs.
@@ -303,6 +346,22 @@ const (
 
 // CompileProgram lowers a PISA program into its execution plan.
 var CompileProgram = pisa.CompileProgram
+
+// Multi-model serving entry points.
+var (
+	// NewScheduler starts a shared worker pool of the given budget
+	// (≤ 0 selects GOMAXPROCS) for concurrent multi-model serving.
+	NewScheduler = pisa.NewScheduler
+	// NewDeployment assembles and validates a multi-model deployment
+	// against a combined capacity (e.g. Tofino2.Pipes(2)).
+	NewDeployment = core.NewDeployment
+	// NewGatedPipeline pairs a compiled AutoEncoder with a sequence
+	// classifier into the §7.4 gated deployment.
+	NewGatedPipeline = models.NewGatedPipeline
+	// CalibrateGate places the unknown-attack threshold at a quantile
+	// of benign Pegasus MAE scores.
+	CalibrateGate = models.CalibrateGate
+)
 
 // Compiler entry points.
 var (
