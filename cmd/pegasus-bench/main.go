@@ -7,31 +7,93 @@
 //	pegasus-bench -experiment table5 -flows 90 -epochs 1.5
 //	pegasus-bench -experiment engine -smoke -engine-json BENCH_engine.json
 //	pegasus-bench -experiment multimodel -smoke -engine-json BENCH_engine.json
+//	pegasus-bench -experiment scaling -engine-json BENCH_engine.json -cpuprofile cpu.pprof
 //
 // The "engine" experiment measures batched switch-replay throughput per
 // worker count; "multimodel" measures concurrent multi-model serving on
 // one shared-budget scheduler (solo vs shared per-model throughput);
-// -engine-json additionally writes (or, for multimodel, merges into)
-// the machine-readable report CI tracks. -smoke shrinks dataset,
-// training and measurement windows to a few seconds for CI.
+// "scaling" measures steady-state worker scaling under sustained
+// generated load (internal/trafficgen). -engine-json additionally
+// writes (or, for multimodel/scaling, merges into) the machine-readable
+// report CI tracks. -smoke shrinks dataset, training and measurement
+// windows to a few seconds for CI.
+//
+// The -cpuprofile, -memprofile and -mutexprofile flags write pprof
+// profiles covering the selected experiment — the intended workflow for
+// hunting scheduler contention or hot-path regressions:
+//
+//	pegasus-bench -experiment scaling -mutexprofile mutex.pprof
+//	go tool pprof mutex.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"github.com/pegasus-idp/pegasus/internal/experiments"
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "experiment to run: all, table2, table5, table6, fig7, fig8, fig9acc, fig9thr, engine, multimodel")
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pegasus-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	exp := flag.String("experiment", "all", "experiment to run: all, table2, table5, table6, fig7, fig8, fig9acc, fig9thr, engine, multimodel, scaling")
 	flows := flag.Int("flows", 60, "flows generated per traffic class")
 	epochs := flag.Float64("epochs", 1, "training budget multiplier")
 	seed := flag.Int64("seed", 1, "random seed")
 	smoke := flag.Bool("smoke", false, "CI smoke mode: tiny dataset, minimal training, short measurements")
 	engineJSON := flag.String("engine-json", "", "write the engine experiment's machine-readable report to this path")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering the experiment to this path")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken after the experiment to this path")
+	mutexProfile := flag.String("mutexprofile", "", "write a mutex-contention profile covering the experiment to this path")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *mutexProfile != "" {
+		runtime.SetMutexProfileFraction(5)
+		defer func() {
+			f, err := os.Create(*mutexProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pegasus-bench: mutex profile:", err)
+				return
+			}
+			defer f.Close()
+			if err := pprof.Lookup("mutex").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "pegasus-bench: mutex profile:", err)
+			}
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pegasus-bench: heap profile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "pegasus-bench: heap profile:", err)
+			}
+		}()
+	}
 
 	cfg := experiments.Config{
 		FlowsPerClass: *flows,
@@ -52,8 +114,5 @@ func main() {
 		cfg.MeasureMS = 50
 	}
 	suite := experiments.NewSuite(cfg)
-	if err := suite.Run(*exp, os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "pegasus-bench:", err)
-		os.Exit(1)
-	}
+	return suite.Run(*exp, os.Stdout)
 }

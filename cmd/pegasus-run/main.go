@@ -11,6 +11,7 @@
 //	pegasus-run -model cnn-b -packets           # raw-trace replay: per-packet extraction on the switch
 //	pegasus-run -model cnn-b -mode interpret    # reference interpreter baseline
 //	pegasus-run -models mlp-b,rnn-b             # multi-model serving: one shared-budget scheduler
+//	pegasus-run -model cnn-m -gen 500000        # sustained generated stream (trafficgen) through RunStream
 //
 // Two replay granularities exist. The default (and -stream, its
 // streaming variant) feeds pre-extracted feature windows to the engine
@@ -26,6 +27,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"time"
@@ -35,6 +37,7 @@ import (
 	"github.com/pegasus-idp/pegasus/internal/models"
 	"github.com/pegasus-idp/pegasus/internal/netsim"
 	"github.com/pegasus-idp/pegasus/internal/pisa"
+	"github.com/pegasus-idp/pegasus/internal/trafficgen"
 )
 
 func main() {
@@ -49,7 +52,18 @@ func main() {
 	stream := flag.Bool("stream", false, "stream PRE-EXTRACTED feature windows through RunStream instead of one batch (host-side extraction; see -packets for the raw-trace path)")
 	packets := flag.Bool("packets", false, "replay the RAW merged packet trace: the emitted program's registers extract features per packet and fire inference on window boundaries")
 	multi := flag.String("models", "", "comma-separated models (mlp-b,cnn-b,cnn-m,rnn-b) served CONCURRENTLY from one shared-budget scheduler, with per-model packets/s")
+	gen := flag.Int("gen", 0, "stream this many GENERATED feature windows (internal/trafficgen, steady-state flow churn) through RunStream instead of replaying the test trace")
+	genFlows := flag.Int("gen-flows", 1<<14, "live-flow population held by the -gen traffic generator")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering the replay to this path")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		check(err)
+		defer f.Close()
+		check(pprof.StartCPUProfile(f))
+		defer pprof.StopCPUProfile()
+	}
 
 	var execMode pisa.ExecMode
 	switch *mode {
@@ -125,6 +139,12 @@ func main() {
 	jobs := core.BatchJobsFromFloats(xs)
 	eng := em.NewEngineMode(*workers, execMode)
 	defer eng.Close()
+	if *gen > 0 {
+		runGenerated(eng, jobs, *gen, *genFlows, *seed, execMode)
+		fmt.Println()
+		fmt.Print(m.Pipeline().DiagString())
+		return
+	}
 	start := time.Now()
 	var res []pisa.Result
 	if *stream {
@@ -162,6 +182,48 @@ func main() {
 	fmt.Print(m.Pipeline().DiagString())
 	fmt.Println()
 	fmt.Print(em.Summary())
+}
+
+// runGenerated streams count generated feature windows through
+// RunStream: the input vectors are the real extracted test windows (so
+// the match-table hit profile matches trace replay) but the flow hashes
+// come from trafficgen's churning steady-state population — the stream
+// never repeats and the pool never drains, so the figure is sustained
+// streaming throughput rather than short-trace amortisation.
+func runGenerated(eng *pisa.Engine, templates []pisa.Job, count, flows int, seed int64, execMode pisa.ExecMode) {
+	tmpl := make([][]int32, len(templates))
+	for i := range templates {
+		tmpl[i] = templates[i].In
+	}
+	g := trafficgen.NewJobGen(trafficgen.Config{Seed: seed, Flows: flows}, tmpl)
+	in := make(chan pisa.Job, 1024)
+	out := make(chan pisa.Result, 1024)
+	go func() {
+		// Jobs (not Fill): streamed jobs are in flight beyond the next
+		// refill, so they cannot alias the generator's reused arena.
+		const chunk = 8192
+		for left := count; left > 0; {
+			n := chunk
+			if left < n {
+				n = left
+			}
+			for _, j := range g.Jobs(n) {
+				in <- j
+			}
+			left -= n
+		}
+		close(in)
+	}()
+	start := time.Now()
+	go eng.RunStream(in, out)
+	got := 0
+	for range out {
+		got++
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("generated stream: %d windows in %s (%.3g pkt/s, %d workers, %s, %d-flow population)\n",
+		got, elapsed.Round(time.Microsecond), float64(got)/elapsed.Seconds(),
+		eng.Workers(), execMode, flows)
 }
 
 // runPackets replays the raw merged test trace through the per-packet
@@ -323,7 +385,18 @@ func runMultiModels(names []string, k int, train, test []netsim.Flow, epochs int
 	fmt.Printf("\nmulti-model serving: %d models, %d-worker shared budget, %s wall (%s)\n",
 		len(served), sched.Budget(), wall.Round(time.Millisecond), execMode)
 	fmt.Printf("%-8s %8s %14s %10s %8s %10s\n", "model", "shards", "pkt/s", "accuracy", "occ", "batches")
-	for i, st := range sched.Stats() {
+	// Pair each stats row with its model by name rather than position —
+	// Stats() order is registration order today, but the pairing should
+	// not depend on that staying true.
+	idx := make(map[string]int, len(served))
+	for i, sm := range served {
+		idx[sm.name] = i
+	}
+	for _, st := range sched.Stats() {
+		i, ok := idx[st.Name]
+		if !ok {
+			continue
+		}
 		for j, r := range last[i] {
 			if r.Class == served[i].ys[j] {
 				hits[i]++

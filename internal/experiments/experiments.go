@@ -26,6 +26,7 @@ import (
 	"github.com/pegasus-idp/pegasus/internal/netsim"
 	"github.com/pegasus-idp/pegasus/internal/pisa"
 	"github.com/pegasus-idp/pegasus/internal/tensor"
+	"github.com/pegasus-idp/pegasus/internal/trafficgen"
 )
 
 // Config scales the experiment suite.
@@ -601,6 +602,27 @@ type EngineBenchReport struct {
 	// MultiModelBudget is the shared scheduler's worker budget behind
 	// MultiModelPoints.
 	MultiModelBudget int `json:"multimodel_budget,omitempty"`
+	// ScalingPoints measures steady-state worker scaling under
+	// sustained synthetic load (the "scaling" experiment): the traffic
+	// generator refills a fixed batch between replays, so the pool
+	// never drains and each point is a true steady-state throughput,
+	// not batch-overhead amortisation. Modes: "compiled" feature-window
+	// jobs, "packets" raw per-packet replay. Speedup is relative to
+	// each mode's own 1-worker point.
+	ScalingPoints []EngineBenchPoint `json:"scaling_points,omitempty"`
+	// ScalingMeta records the measurement conditions behind
+	// ScalingPoints; CI gates its scaling assertion on GoMaxProcs so a
+	// 1-CPU box cannot fail (or trivially pass) the multi-worker floor.
+	ScalingMeta *ScalingMeta `json:"scaling_meta,omitempty"`
+}
+
+// ScalingMeta describes how the scaling experiment measured its points.
+type ScalingMeta struct {
+	BatchSize  int `json:"batch_size"`
+	WarmupMS   int `json:"warmup_ms"`
+	MeasureMS  int `json:"measure_ms"`
+	Flows      int `json:"flows"` // live-flow population in the generator
+	GoMaxProcs int `json:"gomaxprocs"`
 }
 
 // MultiModelPoint is one model's throughput in one serving mode of the
@@ -851,10 +873,22 @@ func (s *Suite) MultiModelBench(w io.Writer) error {
 	}
 	wg.Wait()
 	wall := time.Since(start)
-	for i, st := range sched.Stats() {
+	// Key solo baselines by model name: sched.Stats() happens to list
+	// engines in registration order today, but pairing by position would
+	// silently mis-attribute shares if that ever changed (or if two
+	// models swapped registration order). Note the shared pkt/s columns
+	// for equal-weight models are expected to be near-identical — the
+	// scheduler's stride fairness serves equal-weight sessions equal
+	// packet counts over the window, so CNN-B and CNN-M reporting the
+	// same shared throughput is fair queueing working, not a pairing bug.
+	solo := make(map[string]float64, len(sv))
+	for i := range sv {
+		solo[sv[i].m.Name] = sv[i].solo
+	}
+	for _, st := range sched.Stats() {
 		pps := float64(st.Packets) / wall.Seconds()
 		p := MultiModelPoint{Model: st.Name, Mode: "shared", Workers: budget,
-			PacketsPerSec: pps, Share: pps / sv[i].solo,
+			PacketsPerSec: pps, Share: pps / solo[st.Name],
 			Occupancy: st.Busy.Seconds() / (wall.Seconds() * float64(budget))}
 		rep.MultiModelPoints = append(rep.MultiModelPoints, p)
 		fmt.Fprintf(w, "%-8s %-8s %8d %14.3g %7.2fx %7.1f%%\n",
@@ -885,8 +919,153 @@ func (s *Suite) MultiModelBench(w io.Writer) error {
 	return nil
 }
 
+// ScalingBench measures steady-state worker scaling on the compiled hot
+// path under sustained synthetic load. Unlike EngineBench, which
+// re-replays a short committed trace (measuring batch-overhead
+// amortisation), this experiment keeps the pool saturated: the traffic
+// generator refills a fixed batch between replays from a churning
+// steady-state flow population, after a warmup that settles the
+// adaptive batching and register working set. Two series: compiled
+// feature-window jobs (CNN-M) and raw per-packet replay through the
+// extraction emission. Points merge into BENCH_engine.json.
+func (s *Suite) ScalingBench(w io.Writer) error {
+	cnnm, test, err := s.engineModel()
+	if err != nil {
+		return err
+	}
+	em, err := cnnm.Emit(1 << 10)
+	if err != nil {
+		return err
+	}
+
+	// Template inputs: the real extracted feature windows, so the
+	// generated stream exercises the same match-table hit profile as
+	// trace replay while the flow hashes churn like live traffic.
+	xs, _ := models.ExtractSeq(test)
+	seed := core.BatchJobsFromFloats(xs)
+	tmpl := make([][]int32, len(seed))
+	for i := range seed {
+		tmpl[i] = seed[i].In
+	}
+
+	const batchSize = 8192
+	const flows = 1 << 14
+	window := time.Duration(s.Cfg.MeasureMS) * time.Millisecond
+	if window < 100*time.Millisecond {
+		// Steady state needs a floor: below ~100ms the warmup transient
+		// dominates and points are noise, even in CI smoke mode.
+		window = 100 * time.Millisecond
+	}
+	warmup := window / 4
+
+	limit := runtime.NumCPU()
+	if limit < 4 {
+		limit = 4
+	}
+	var counts []int
+	for c := 1; c <= limit; c *= 2 {
+		counts = append(counts, c)
+	}
+	if counts[len(counts)-1] < runtime.NumCPU() {
+		counts = append(counts, runtime.NumCPU())
+	}
+
+	rep := EngineBenchReport{ScalingMeta: &ScalingMeta{
+		BatchSize: batchSize, WarmupMS: int(warmup.Milliseconds()),
+		MeasureMS: int(window.Milliseconds()), Flows: flows,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}}
+	fmt.Fprintf(w, "Scaling bench: sustained generated load (%s, batch %d, %v warmup + %v/point, GOMAXPROCS=%d)\n",
+		cnnm.Name, batchSize, warmup, window, runtime.GOMAXPROCS(0))
+	fmt.Fprintf(w, "%12s %8s %14s %8s\n", "mode", "workers", "pkt/s", "speedup")
+
+	// sweep measures one series: mk builds the engine, fill refreshes
+	// the batch from the generator, replay runs it. Speedup is relative
+	// to the series' own 1-worker point. Worker-count clamping dedupes
+	// like EngineBench.
+	sweep := func(modeName string, perRep int,
+		mk func(c int) *pisa.Engine, run func(eng *pisa.Engine)) []EngineBenchPoint {
+		var pts []EngineBenchPoint
+		base := 0.0
+		measured := map[int]bool{}
+		for _, c := range counts {
+			eng := mk(c)
+			if measured[eng.Workers()] {
+				eng.Close()
+				continue
+			}
+			measured[eng.Workers()] = true
+			start := time.Now()
+			for time.Since(start) < warmup {
+				run(eng)
+			}
+			start = time.Now()
+			n := 0
+			for time.Since(start) < window {
+				run(eng)
+				n += perRep
+			}
+			pps := float64(n) / time.Since(start).Seconds()
+			eng.Close()
+			if base == 0 {
+				base = pps
+			}
+			p := EngineBenchPoint{Mode: modeName, Workers: eng.Workers(),
+				PacketsPerSec: pps, Speedup: pps / base}
+			pts = append(pts, p)
+			fmt.Fprintf(w, "%12s %8d %14.3g %7.2fx\n", p.Mode, p.Workers, p.PacketsPerSec, p.Speedup)
+		}
+		return pts
+	}
+
+	jobs := make([]pisa.Job, batchSize)
+	jgen := trafficgen.NewJobGen(trafficgen.Config{Seed: s.Cfg.Seed + 1, Flows: flows}, tmpl)
+	rep.ScalingPoints = sweep("compiled", batchSize,
+		func(c int) *pisa.Engine { return em.NewEngineMode(c, pisa.ExecCompiled) },
+		func(eng *pisa.Engine) {
+			jgen.Fill(jobs)
+			eng.RunBatch(jobs)
+		})
+
+	emp, err := cnnm.EmitPackets(1 << 10)
+	if err != nil {
+		return err
+	}
+	pkts := make([]pisa.PacketIn, batchSize)
+	pgen := trafficgen.NewPacketGen(trafficgen.Config{Seed: s.Cfg.Seed + 2, Flows: flows}, trafficgen.LayoutSeq, 0)
+	rep.ScalingPoints = append(rep.ScalingPoints, sweep("packets", batchSize,
+		func(c int) *pisa.Engine {
+			eng := emp.NewPacketEngine(c, pisa.ExecCompiled)
+			eng.ResetState()
+			return eng
+		},
+		func(eng *pisa.Engine) {
+			pgen.Fill(pkts)
+			eng.RunPackets(pkts)
+		})...)
+
+	if s.Cfg.EngineJSON != "" {
+		// Merge into the engine experiment's report when one exists.
+		full := EngineBenchReport{}
+		if data, err := os.ReadFile(s.Cfg.EngineJSON); err == nil {
+			_ = json.Unmarshal(data, &full)
+		}
+		full.ScalingPoints = rep.ScalingPoints
+		full.ScalingMeta = rep.ScalingMeta
+		data, err := json.MarshalIndent(&full, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(s.Cfg.EngineJSON, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", s.Cfg.EngineJSON)
+	}
+	return nil
+}
+
 // Names lists the runnable experiments.
-var Names = []string{"table2", "table5", "table6", "fig7", "fig8", "fig9acc", "fig9thr", "engine", "multimodel"}
+var Names = []string{"table2", "table5", "table6", "fig7", "fig8", "fig9acc", "fig9thr", "engine", "multimodel", "scaling"}
 
 // Run executes one experiment by name ("all" runs everything).
 func (s *Suite) Run(name string, w io.Writer) error {
@@ -909,6 +1088,8 @@ func (s *Suite) Run(name string, w io.Writer) error {
 		return s.EngineBench(w)
 	case "multimodel":
 		return s.MultiModelBench(w)
+	case "scaling":
+		return s.ScalingBench(w)
 	case "all":
 		for _, n := range Names {
 			if err := s.Run(n, w); err != nil {

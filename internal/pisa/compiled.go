@@ -31,6 +31,15 @@ import (
 //   - Everything else falls back to a generic scan with precomputed
 //     width masks.
 //
+// After specialisation, each unit is sealed into a straight-line
+// closure (the executor-plan idiom): the gate comparison, the lookup
+// and the action applier are bound into one func with every loop
+// constant (key field, mask, slot arrays) captured — Process is then
+// just a walk over the closure list, with no per-packet kind dispatch.
+// Always-run units additionally constant-fold their action data:
+// OpSetData becomes an immediate OpSet and OpAddData a saturating
+// add-immediate, so the merged op stream carries no data bus at all.
+//
 // The plan references the source program's entries, action programs and
 // registers; it adds no mutable state of its own, so one plan may be
 // shared by any number of goroutines as long as each supplies its own
@@ -39,6 +48,7 @@ type CompiledProgram struct {
 	name  string
 	units []execUnit
 	regs  []*Register
+	procs []func(*PHV)
 }
 
 type execKind uint8
@@ -122,7 +132,22 @@ func CompileProgram(p *Program) *CompiledProgram {
 			cp.addTable(t)
 		}
 	}
+	cp.seal()
 	return cp
+}
+
+// seal folds constants and lowers every specialised unit into its
+// straight-line closure. Run once, after all units are added and
+// merged.
+func (cp *CompiledProgram) seal() {
+	cp.procs = make([]func(*PHV), len(cp.units))
+	for i := range cp.units {
+		u := &cp.units[i]
+		if u.kind == execAlways {
+			foldAlwaysData(u)
+		}
+		cp.procs[i] = gateWrap(u, cp.lowerUnit(u))
+	}
 }
 
 func (cp *CompiledProgram) addTable(t *Table) {
@@ -460,121 +485,283 @@ func (cp *CompiledProgram) Name() string { return cp.name }
 // to Program.Process on the source program and performs no heap
 // allocation; the PHV supplies the scratch buffer for generic scans.
 func (cp *CompiledProgram) Process(phv *PHV) {
-	for ui := range cp.units {
-		u := &cp.units[ui]
-		if u.hasGate {
-			v := phv.Get(u.gateField)
-			pass := false
-			switch u.gateOp {
-			case GateEQ:
-				pass = v == u.gateVal
-			case GateNE:
-				pass = v != u.gateVal
-			case GateGE:
-				pass = v >= u.gateVal
-			case GateLE:
-				pass = v <= u.gateVal
-			}
-			if !pass {
-				continue
+	for _, f := range cp.procs {
+		f(phv)
+	}
+}
+
+// foldAlwaysData rewrites an always-run unit's data-bus ops into
+// immediates: the unit fires with exactly defData on every packet, so
+// OpSetData i is OpSet defData[i] and OpAddData i a saturating
+// add-immediate. After folding the op stream references no data slice.
+func foldAlwaysData(u *execUnit) {
+	folded := false
+	for i := range u.action {
+		if k := u.action[i].Kind; k == OpSetData || k == OpAddData {
+			folded = true
+			break
+		}
+	}
+	if !folded {
+		return
+	}
+	ops := append([]Op(nil), u.action...)
+	for i := range ops {
+		switch ops[i].Kind {
+		case OpSetData:
+			ops[i] = Op{Kind: OpSet, Dst: ops[i].Dst, Imm: u.defData[ops[i].DataIdx]}
+		case OpAddData:
+			ops[i] = Op{Kind: opSatAddImm, Dst: ops[i].Dst, A: ops[i].A, Imm: u.defData[ops[i].DataIdx]}
+		}
+	}
+	u.action = ops
+}
+
+// gateWrap binds a unit's gateway comparison around its body — one
+// typed closure per comparison, no per-packet op switch.
+func gateWrap(u *execUnit, body func(*PHV)) func(*PHV) {
+	if !u.hasGate {
+		return body
+	}
+	f, v := u.gateField, u.gateVal
+	switch u.gateOp {
+	case GateEQ:
+		return func(p *PHV) {
+			if p.Vals[f] == v {
+				body(p)
 			}
 		}
-		var data []int32
-		hit := false
-		switch u.kind {
-		case execAlways:
-			data, hit = u.defData, true
-		case execDirect:
-			k := uint32(phv.Get(u.keyFields[0])) & u.keyMasks[0]
-			if s := u.dense[k]; s != 0 {
-				data, hit = u.data[s-1], true
+	case GateNE:
+		return func(p *PHV) {
+			if p.Vals[f] != v {
+				body(p)
 			}
-		case execHash:
+		}
+	case GateGE:
+		return func(p *PHV) {
+			if p.Vals[f] >= v {
+				body(p)
+			}
+		}
+	case GateLE:
+		return func(p *PHV) {
+			if p.Vals[f] <= v {
+				body(p)
+			}
+		}
+	}
+	panic("pisa: unreachable gate op") // addTable validated it
+}
+
+// setPair is one folded OpSetData: destination field and data index.
+type setPair struct {
+	dst FieldID
+	idx int
+}
+
+// dataApplier returns the closure applying ops with hit-dependent
+// action data. The ubiquitous all-OpSetData shape (feature loads,
+// class/output writebacks) specialises into a bare copy loop.
+func dataApplier(ops []Op, regs []*Register) func(*PHV, []int32) {
+	allSet := len(ops) > 0
+	for i := range ops {
+		if ops[i].Kind != OpSetData {
+			allSet = false
+			break
+		}
+	}
+	if allSet {
+		pairs := make([]setPair, len(ops))
+		for i, op := range ops {
+			pairs[i] = setPair{op.Dst, op.DataIdx}
+		}
+		if len(pairs) == 1 {
+			p0 := pairs[0]
+			return func(phv *PHV, data []int32) { phv.Vals[p0.dst] = data[p0.idx] }
+		}
+		return func(phv *PHV, data []int32) {
+			for _, pr := range pairs {
+				phv.Vals[pr.dst] = data[pr.idx]
+			}
+		}
+	}
+	return func(phv *PHV, data []int32) { runOps(ops, phv, data, regs) }
+}
+
+// alwaysApplier returns the closure for a (folded) always-run op
+// stream: single-op units — the emitted shape for register RMWs and
+// scalar fixups — bind straight to a dedicated closure; longer streams
+// run through runOps with no data bus.
+func alwaysApplier(ops []Op, regs []*Register) func(*PHV) {
+	if len(ops) == 1 {
+		op := ops[0]
+		switch op.Kind {
+		case OpSet:
+			return func(p *PHV) { p.Vals[op.Dst] = op.Imm }
+		case OpMove:
+			return func(p *PHV) { p.Vals[op.Dst] = p.Vals[op.A] }
+		case OpAddImm:
+			return func(p *PHV) { p.Vals[op.Dst] = p.Vals[op.A] + op.Imm }
+		case OpAndImm:
+			return func(p *PHV) { p.Vals[op.Dst] = p.Vals[op.A] & op.Imm }
+		case OpRegAdd:
+			r := regs[op.Reg]
+			return func(p *PHV) {
+				v := r.Get(int(p.Vals[op.A])) + p.Vals[op.B]
+				r.Set(int(p.Vals[op.A]), v)
+				p.Vals[op.Dst] = v
+			}
+		case OpRegCntRestart:
+			r := regs[op.Reg]
+			return func(p *PHV) {
+				idx := int(p.Vals[op.A])
+				v := op.Imm
+				if p.Vals[op.B] == 0 {
+					v = r.Get(idx) + 1
+				}
+				r.Set(idx, v)
+				p.Vals[op.Dst] = v
+			}
+		}
+	}
+	return func(p *PHV) { runOps(ops, p, nil, regs) }
+}
+
+// lowerUnit lowers one specialised unit into its straight-line closure
+// (gate excluded; seal wraps it). Every lookup constant is captured by
+// value, so the hot path reads no execUnit fields and performs no kind
+// dispatch.
+func (cp *CompiledProgram) lowerUnit(u *execUnit) func(*PHV) {
+	switch u.kind {
+	case execAlways:
+		return alwaysApplier(u.action, cp.regs)
+	case execDirect:
+		apply := dataApplier(u.action, cp.regs)
+		miss := missApplier(u, apply)
+		kf, km := u.keyFields[0], u.keyMasks[0]
+		dense, dat := u.dense, u.data
+		return func(p *PHV) {
+			if s := dense[uint32(p.Vals[kf])&km]; s != 0 {
+				apply(p, dat[s-1])
+			} else {
+				miss(p)
+			}
+		}
+	case execHash:
+		apply := dataApplier(u.action, cp.regs)
+		miss := missApplier(u, apply)
+		kfs, kms, shifts := u.keyFields, u.keyMasks, u.shifts
+		hkeys, hslot, dat := u.hkeys, u.hslot, u.data
+		mask := uint64(len(hkeys) - 1)
+		return func(p *PHV) {
 			var pk uint64
-			for i, f := range u.keyFields {
-				pk |= uint64(uint32(phv.Get(f))&u.keyMasks[i]) << u.shifts[i]
+			for i, f := range kfs {
+				pk |= uint64(uint32(p.Vals[f])&kms[i]) << shifts[i]
 			}
-			mask := uint64(len(u.hkeys) - 1)
-			for h := mix64(pk) & mask; u.hslot[h] >= 0; h = (h + 1) & mask {
-				if u.hkeys[h] == pk {
-					data, hit = u.data[u.hslot[h]], true
-					break
+			for h := mix64(pk) & mask; hslot[h] >= 0; h = (h + 1) & mask {
+				if hkeys[h] == pk {
+					apply(p, dat[hslot[h]])
+					return
 				}
 			}
-		case execInterval:
-			k := uint32(phv.Get(u.keyFields[0])) & u.keyMasks[0]
-			if s := u.islot[intervalRow(u.lows, k)]; s >= 0 {
-				data, hit = u.data[s], true
+			miss(p)
+		}
+	case execInterval:
+		apply := dataApplier(u.action, cp.regs)
+		miss := missApplier(u, apply)
+		kf, km := u.keyFields[0], u.keyMasks[0]
+		lows, islot, dat := u.lows, u.islot, u.data
+		return func(p *PHV) {
+			if s := islot[intervalRow(lows, uint32(p.Vals[kf])&km)]; s >= 0 {
+				apply(p, dat[s])
+			} else {
+				miss(p)
 			}
-		case execBitmap:
+		}
+	case execBitmap:
+		apply := dataApplier(u.action, cp.regs)
+		miss := missApplier(u, apply)
+		kfs, kms := u.keyFields, u.keyMasks
+		dims, bsWords, dat := u.dims, u.bsWords, u.data
+		return func(p *PHV) {
 			var rows [maxBitmapDims][]uint64
-			nd := len(u.dims)
+			nd := len(dims)
 			for d := 0; d < nd; d++ {
-				dim := &u.dims[d]
-				k := uint32(phv.Get(u.keyFields[d])) & u.keyMasks[d]
+				dim := &dims[d]
+				k := uint32(p.Vals[kfs[d]]) & kms[d]
 				row := int(k)
 				if dim.lows != nil {
 					row = intervalRow(dim.lows, k)
 				}
-				rows[d] = dim.rows[row*u.bsWords : (row+1)*u.bsWords]
+				rows[d] = dim.rows[row*bsWords : (row+1)*bsWords]
 			}
 			// Lowest set bit of the intersection = first matching rule.
-		bitmap:
-			for w := 0; w < u.bsWords; w++ {
+			for w := 0; w < bsWords; w++ {
 				x := rows[0][w]
 				for d := 1; d < nd; d++ {
 					x &= rows[d][w]
 				}
 				if x != 0 {
-					data, hit = u.data[w*64+bits.TrailingZeros64(x)], true
-					break bitmap
+					apply(p, dat[w*64+bits.TrailingZeros64(x)])
+					return
 				}
 			}
-		case execScanExact:
-			key := phv.keyBuf(len(u.keyFields))
-			for i, f := range u.keyFields {
-				key[i] = uint32(phv.Get(f)) & u.keyMasks[i]
+			miss(p)
+		}
+	case execScanExact:
+		apply := dataApplier(u.action, cp.regs)
+		miss := missApplier(u, apply)
+		kfs, kms, entries := u.keyFields, u.keyMasks, u.entries
+		return func(p *PHV) {
+			key := p.keyBuf(len(kfs))
+			for i, f := range kfs {
+				key[i] = uint32(p.Vals[f]) & kms[i]
 			}
-			for ei := range u.entries {
-				e := &u.entries[ei]
-				match := true
+		scanE:
+			for ei := range entries {
+				e := &entries[ei]
 				for i := range key {
 					if e.Key[i] != key[i] {
-						match = false
-						break
+						continue scanE
 					}
 				}
-				if match {
-					data, hit = e.Data, true
-					break
-				}
+				apply(p, e.Data)
+				return
 			}
-		case execScanTernary:
-			key := phv.keyBuf(len(u.keyFields))
-			for i, f := range u.keyFields {
-				key[i] = uint32(phv.Get(f)) & u.keyMasks[i]
+			miss(p)
+		}
+	case execScanTernary:
+		apply := dataApplier(u.action, cp.regs)
+		miss := missApplier(u, apply)
+		kfs, kms, entries := u.keyFields, u.keyMasks, u.entries
+		return func(p *PHV) {
+			key := p.keyBuf(len(kfs))
+			for i, f := range kfs {
+				key[i] = uint32(p.Vals[f]) & kms[i]
 			}
-			for ei := range u.entries {
-				e := &u.entries[ei]
-				match := true
+		scanT:
+			for ei := range entries {
+				e := &entries[ei]
 				for i := range key {
 					if key[i]&e.Mask[i] != e.Key[i] {
-						match = false
-						break
+						continue scanT
 					}
 				}
-				if match {
-					data, hit = e.Data, true
-					break
-				}
+				apply(p, e.Data)
+				return
 			}
+			miss(p)
 		}
-		if !hit {
-			if !u.hasDef {
-				continue
-			}
-			data = u.defData
-		}
-		runOps(u.action, phv, data, cp.regs)
 	}
+	panic("pisa: unknown exec kind")
+}
+
+// missApplier returns the unit's miss behaviour: run the action with
+// the default data, or nothing.
+func missApplier(u *execUnit, apply func(*PHV, []int32)) func(*PHV) {
+	if !u.hasDef {
+		return func(*PHV) {}
+	}
+	def := u.defData
+	return func(p *PHV) { apply(p, def) }
 }

@@ -79,14 +79,18 @@ type Engine struct {
 	ownSched bool // solo scheduler, closed with the engine
 	weight   int
 
-	// Session state guarded by sched.mu: the per-model task queue
-	// (reused backing array, one outstanding batch ⇒ at most one task
-	// per shard queued) and the stride-scheduling virtual pass.
-	queue []shardTask
-	qhead int
-	pass  float64
+	// Scheduler session state. slots[w] is this session's single queued
+	// task at worker w (one outstanding batch ⇒ at most one task per
+	// worker) and wpass[w] its stride-scheduling pass on that worker's
+	// clock; both are guarded by that worker's lock. offset rotates the
+	// shard→worker routing so co-resident sessions spread across the
+	// pool.
+	slots  []shardTask
+	wpass  []float64
+	offset int
 
 	batchWG   sync.WaitGroup // outstanding shard tasks of one batch
+	remaining atomic.Int32   // tasks left in the batch; the worker finishing the last one yields to the submitter
 	seq       []int          // reused sequential index for 1-shard batches
 	shardIdx  [][]int        // reused per-shard job index buffers
 	tasks     []shardTask    // reused enqueue staging buffer
@@ -230,6 +234,12 @@ func (s *Scheduler) newSession(name string, weight int, progs []*Program, bridge
 	}
 	e := &Engine{name: name, progs: progs, bridges: bridges, in: in, out: out, class: class,
 		shards: shards, mode: mode, sched: s, weight: weight}
+	// One contiguous shard-banked slab per program: each worker's flow
+	// state becomes a dense private range instead of strides across
+	// per-register allocations.
+	for _, p := range progs {
+		p.CompactRegisters(shards)
+	}
 	if mode == ExecCompiled {
 		e.plans = make([]*CompiledProgram, len(progs))
 		for k, p := range progs {
@@ -330,6 +340,7 @@ func (e *Engine) dispatch(n int, hash func(int) uint32, mk func(shard int, idx [
 		e.tasks = append(e.tasks, mk(s, e.shardIdx[s]))
 	}
 	e.batchWG.Add(len(e.tasks))
+	e.remaining.Store(int32(len(e.tasks)))
 	e.sched.enqueue(e, e.tasks)
 	e.batchWG.Wait()
 }
@@ -360,16 +371,25 @@ func (e *Engine) RunBatch(jobs []Job) []Result {
 	return res
 }
 
-// streamChunk bounds the micro-batches RunStream forms from the input
-// channel: big enough to amortise sharding, small enough to keep
-// latency low when the stream trickles.
-const streamChunk = 1024
+// RunStream's adaptive micro-batching: the chunk target starts at
+// streamChunk and auto-tunes between the min and max bound. A sustained
+// producer that fills the whole target doubles it — bigger batches
+// amortise sharding and scheduler handoff, which is what worker scaling
+// needs — while a trickling producer that fills under a quarter halves
+// it, keeping latency low on sparse streams.
+const (
+	streamChunkMin = 128
+	streamChunk    = 1024
+	streamChunkMax = 16384
+)
 
-// drainStream drains in into adaptive micro-batches (up to
-// streamChunk, or whatever is immediately available) and hands each to
-// flush, stopping when in is closed. It returns the total item count.
+// drainStream drains in into adaptive micro-batches (up to the current
+// auto-tuned chunk target, or whatever is immediately available) and
+// hands each to flush, stopping when in is closed. It returns the total
+// item count.
 func drainStream[T any](in <-chan T, flush func([]T)) int {
-	buf := make([]T, 0, streamChunk)
+	chunk := streamChunk
+	buf := make([]T, 0, streamChunkMax)
 	total := 0
 	open := true
 	for open {
@@ -379,7 +399,7 @@ func drainStream[T any](in <-chan T, flush func([]T)) int {
 		}
 		buf = append(buf[:0], j)
 	fill:
-		for len(buf) < streamChunk {
+		for len(buf) < chunk {
 			select {
 			case j2, ok2 := <-in:
 				if !ok2 {
@@ -390,6 +410,12 @@ func drainStream[T any](in <-chan T, flush func([]T)) int {
 			default:
 				break fill
 			}
+		}
+		switch {
+		case len(buf) == chunk && chunk < streamChunkMax:
+			chunk *= 2
+		case len(buf) <= chunk/4 && chunk > streamChunkMin:
+			chunk /= 2
 		}
 		flush(buf)
 		total += len(buf)

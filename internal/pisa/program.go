@@ -19,6 +19,12 @@ type Program struct {
 	Stages    []*Stage
 	Registers []*Register
 	Cap       Capacity
+
+	// regArena backs every register after CompactRegisters: one
+	// contiguous slab, shard-partitioned so each engine worker's cells
+	// are a contiguous bank.
+	regArena  []int32
+	regShards int
 }
 
 // NewProgram creates an empty program against the given capacity.
@@ -121,6 +127,34 @@ func (p *Program) ResetState() {
 	for _, r := range p.Registers {
 		r.Reset()
 	}
+}
+
+// CompactRegisters repacks every register of the program into one
+// contiguous arena, banked shard-major for the given shard count (see
+// Register.rebase): the flow-state an engine worker touches becomes one
+// dense range of one slab instead of scattered strides across
+// per-register allocations. Logical contents are preserved, so it is
+// safe to call between batches; engine construction calls it with the
+// session's shard count. Idempotent for an unchanged shard count.
+func (p *Program) CompactRegisters(shards int) {
+	if len(p.Registers) == 0 {
+		return
+	}
+	if p.regArena != nil && p.regShards == shards {
+		return
+	}
+	total := 0
+	for _, r := range p.Registers {
+		total += r.Size
+	}
+	arena := make([]int32, total)
+	off := 0
+	for _, r := range p.Registers {
+		r.rebase(arena[off:off+r.Size:off+r.Size], shards)
+		off += r.Size
+	}
+	p.regArena = arena
+	p.regShards = shards
 }
 
 // Validate checks the program against its capacity: stage count, per-

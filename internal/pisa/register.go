@@ -20,6 +20,22 @@ type Register struct {
 	// after ResetState) — min-trackers initialise to a +max sentinel.
 	Init int32
 	vals []int32
+
+	// Shard-major banked layout, installed by Program.CompactRegisters:
+	// under the engine's cell ≡ Hash (mod shards) convention, logical
+	// cell idx is stored at (idx mod shards)·bank + idx/shards, so the
+	// cells owned by one shard occupy one contiguous bank of the arena
+	// instead of being strided across it — workers stop false-sharing
+	// cache lines with their neighbours. shards ≤ 1 is the natural
+	// (identity) layout.
+	shards int
+	bank   int // Size / shards
+	// Shift/mask fast path when Size and shards are both powers of two
+	// (the emitted shape: flow tables are power-of-two sized).
+	pow2       bool
+	shardMask  int
+	shardShift uint // log2(shards)
+	bankShift  uint // log2(bank)
 }
 
 // NewRegister allocates a zero-initialised register array.
@@ -45,13 +61,25 @@ func NewRegisterInit(name string, width, size int, init int32) (*Register, error
 	return r, nil
 }
 
+// pos maps a logical cell index to its arena position under the
+// current layout.
+func (r *Register) pos(idx int) int {
+	if r.shards <= 1 {
+		return idx
+	}
+	if r.pow2 {
+		return (idx&r.shardMask)<<r.bankShift | idx>>r.shardShift
+	}
+	return (idx%r.shards)*r.bank + idx/r.shards
+}
+
 // Get reads cell idx (0 when out of range, matching hardware OOB reads of
 // an unprogrammed cell).
 func (r *Register) Get(idx int) int32 {
 	if idx < 0 || idx >= r.Size {
 		return 0
 	}
-	return r.vals[idx]
+	return r.vals[r.pos(idx)]
 }
 
 // Set writes cell idx, truncating to the register width.
@@ -61,19 +89,69 @@ func (r *Register) Set(idx int, v int32) {
 	}
 	switch r.Width {
 	case 8:
-		r.vals[idx] = int32(int8(v))
+		r.vals[r.pos(idx)] = int32(int8(v))
 	case 16:
-		r.vals[idx] = int32(int16(v))
+		r.vals[r.pos(idx)] = int32(int16(v))
 	default:
-		r.vals[idx] = v
+		r.vals[r.pos(idx)] = v
 	}
 }
 
-// Fill sets every cell to v, truncating to the register width.
+// Fill sets every cell to v, truncating to the register width. The
+// banked layout is a bijection, so filling raw positions covers every
+// logical cell.
 func (r *Register) Fill(v int32) {
-	for i := range r.vals {
-		r.Set(i, v)
+	switch r.Width {
+	case 8:
+		v = int32(int8(v))
+	case 16:
+		v = int32(int16(v))
 	}
+	for i := range r.vals {
+		r.vals[i] = v
+	}
+}
+
+// rebase moves the register's contents into dst (len == Size) laid out
+// shard-major for the given shard count, and makes dst the backing
+// store. shards that do not divide Size fall back to the natural
+// layout. Logical contents are preserved: rebase decodes through the
+// old layout and re-encodes into the new one.
+func (r *Register) rebase(dst []int32, shards int) {
+	if len(dst) != r.Size {
+		panic("pisa: register rebase size mismatch")
+	}
+	if shards < 1 || r.Size%shards != 0 {
+		shards = 1
+	}
+	bank := r.Size / shards
+	if shards <= 1 {
+		for i := 0; i < r.Size; i++ {
+			dst[i] = r.vals[r.pos(i)]
+		}
+	} else {
+		for i := 0; i < r.Size; i++ {
+			dst[(i%shards)*bank+i/shards] = r.vals[r.pos(i)]
+		}
+	}
+	r.vals = dst
+	r.shards, r.bank = shards, bank
+	r.pow2 = shards&(shards-1) == 0 && r.Size&(r.Size-1) == 0
+	if r.pow2 {
+		r.shardMask = shards - 1
+		r.shardShift = uint(log2(shards))
+		r.bankShift = uint(log2(bank))
+	}
+}
+
+// log2 returns ⌊log₂ n⌋ for n ≥ 1.
+func log2(n int) int {
+	k := 0
+	for n > 1 {
+		n >>= 1
+		k++
+	}
+	return k
 }
 
 // Reset restores every cell to the register's initial value.

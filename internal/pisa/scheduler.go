@@ -10,11 +10,23 @@ import (
 // number of registered engines — the execution substrate for multi-model
 // serving. Each registered Engine (one per emitted program) shards its
 // batches by flow hash exactly as before, but instead of owning a
-// private pool it enqueues its shard tasks on its own per-model queue;
-// the scheduler's workers drain the queues with weighted fair scheduling
-// (stride scheduling: the session with the smallest virtual pass is
-// served next, and serving advances its pass by 1/weight), so a model
-// replaying a 100× larger trace cannot starve its co-resident models.
+// private pool it enqueues its shard tasks on the pool; the workers
+// drain them with weighted fair scheduling (stride scheduling: the
+// session with the smallest virtual pass is served next, and serving
+// advances its pass by packets/weight), so a model replaying a 100×
+// larger trace cannot starve its co-resident models.
+//
+// The pool is organised as per-worker run queues rather than one global
+// queue: shard s of a session is routed to worker (s + session offset)
+// mod budget, so each worker drains its own queue under its own lock and
+// a sustained batch never serialises every worker on a single mutex+cond
+// handoff. Because the shard count never exceeds the budget and an
+// engine runs one batch at a time, a session holds at most ONE queued
+// task per worker — the per-worker queue is an array of single slots,
+// one per session. Idle workers steal from their peers' queues (shards
+// are mutually disjoint, so any worker may run any task), and workers
+// park on their own condition variable when both their queue and their
+// peers' are empty — real wakeup signalling, no spin or yield loop.
 //
 // Correctness is inherited from the engine's sharding contract: one
 // batch produces at most one task per shard, an engine runs one batch at
@@ -26,16 +38,29 @@ import (
 // internally) serves exactly one session and preserves the historical
 // Engine API and behaviour.
 type Scheduler struct {
-	budget int
+	budget  int
+	workers []schedWorker
 
-	mu       sync.Mutex
-	cond     *sync.Cond
+	mu       sync.Mutex // registration state only; never held on the task path
 	sessions []*Engine
-	vtime    float64 // virtual pass of the most recently served session
-	closed   bool
+	nextOff  int // round-robin shard→worker offset for new sessions
 
 	workerWG  sync.WaitGroup
 	closeOnce sync.Once
+}
+
+// schedWorker is one pool slot: a private run queue (the sessions whose
+// slot for this worker currently holds a task), its own stride clock and
+// its own parking cond. All fields are guarded by mu; nothing on the
+// task path touches another worker's state except to steal.
+type schedWorker struct {
+	id     int
+	mu     sync.Mutex
+	cond   *sync.Cond
+	ready  []*Engine // sessions with a task queued at this worker
+	vtime  float64   // largest virtual pass served by this worker
+	parked bool
+	closed bool
 }
 
 // NewScheduler starts a shared pool of budget workers (≤ 0 selects
@@ -45,11 +70,13 @@ func NewScheduler(budget int) *Scheduler {
 	if budget <= 0 {
 		budget = runtime.GOMAXPROCS(0)
 	}
-	s := &Scheduler{budget: budget}
-	s.cond = sync.NewCond(&s.mu)
-	for i := 0; i < budget; i++ {
+	s := &Scheduler{budget: budget, workers: make([]schedWorker, budget)}
+	for i := range s.workers {
+		w := &s.workers[i]
+		w.id = i
+		w.cond = sync.NewCond(&w.mu)
 		s.workerWG.Add(1)
-		go s.worker()
+		go s.worker(w)
 	}
 	return s
 }
@@ -71,10 +98,13 @@ func (s *Scheduler) NewChainEngine(name string, progs []*Program, bridges []Brid
 // registered engines must have finished their runs; Close is idempotent.
 func (s *Scheduler) Close() {
 	s.closeOnce.Do(func() {
-		s.mu.Lock()
-		s.closed = true
-		s.mu.Unlock()
-		s.cond.Broadcast()
+		for i := range s.workers {
+			w := &s.workers[i]
+			w.mu.Lock()
+			w.closed = true
+			w.cond.Broadcast()
+			w.mu.Unlock()
+		}
 		s.workerWG.Wait()
 	})
 }
@@ -92,12 +122,17 @@ func (s *Scheduler) Stats() []EngineStats {
 	return stats
 }
 
-// register adds a session; its virtual pass starts at the pool's
-// current virtual time so a late-registered model cannot monopolise the
-// workers while it catches up.
+// register adds a session and assigns its shard→worker offset so
+// co-resident single-shard (or few-shard) sessions land on different
+// workers instead of piling onto worker 0. Its per-worker virtual
+// passes start at zero and are caught up to each worker's clock on
+// first enqueue, so a late-registered model cannot monopolise the pool.
 func (s *Scheduler) register(e *Engine) {
+	e.slots = make([]shardTask, s.budget)
+	e.wpass = make([]float64, s.budget)
 	s.mu.Lock()
-	e.pass = s.vtime
+	e.offset = s.nextOff
+	s.nextOff = (s.nextOff + 1) % s.budget
 	s.sessions = append(s.sessions, e)
 	s.mu.Unlock()
 }
@@ -113,68 +148,152 @@ func (s *Scheduler) unregister(e *Engine) {
 	s.mu.Unlock()
 }
 
-// enqueue appends a batch's shard tasks to the engine's queue and wakes
-// the pool. The engine's single-outstanding-batch contract means the
-// queue is empty on entry, so the backing array is reused across
-// batches and the steady state allocates nothing.
+// enqueue routes a batch's shard tasks to their owning workers' queues
+// and wakes them. The engine's single-outstanding-batch contract means
+// every targeted slot is empty on entry, so the queue insert is a plain
+// store plus one ready append under the owning worker's lock — no
+// global contention. When the batch does not cover every worker (fewer
+// shards than budget, or a sparse batch), idle workers are woken to
+// steal from the loaded ones.
 func (s *Scheduler) enqueue(e *Engine, tasks []shardTask) {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		panic("pisa: enqueue on a closed scheduler")
+	for i := range tasks {
+		wid := (tasks[i].shard + e.offset) % s.budget
+		w := &s.workers[wid]
+		w.mu.Lock()
+		if w.closed {
+			w.mu.Unlock()
+			panic("pisa: enqueue on a closed scheduler")
+		}
+		e.slots[wid] = tasks[i]
+		// A session rejoining after idling inherits the worker's virtual
+		// time: its stale low pass must not buy it the whole worker.
+		if e.wpass[wid] < w.vtime {
+			e.wpass[wid] = w.vtime
+		}
+		w.ready = append(w.ready, e)
+		if w.parked {
+			w.cond.Signal()
+		}
+		w.mu.Unlock()
 	}
-	if e.qhead == len(e.queue) {
-		e.queue = e.queue[:0]
-		e.qhead = 0
+	if len(tasks) < s.budget {
+		s.wakeIdle()
 	}
-	e.queue = append(e.queue, tasks...)
-	// A session rejoining after idling inherits the pool's virtual time:
-	// its stale low pass must not buy it the whole pool.
-	if e.pass < s.vtime {
-		e.pass = s.vtime
-	}
-	s.mu.Unlock()
-	s.cond.Broadcast()
 }
 
-// pickLocked returns the queued session with the smallest virtual pass.
-func (s *Scheduler) pickLocked() *Engine {
-	var best *Engine
-	for _, e := range s.sessions {
-		if e.qhead == len(e.queue) {
-			continue
+// wakeIdle signals every parked worker whose own queue is empty so it
+// can steal a task another worker has queued.
+func (s *Scheduler) wakeIdle() {
+	for i := range s.workers {
+		w := &s.workers[i]
+		w.mu.Lock()
+		if w.parked && len(w.ready) == 0 {
+			w.cond.Signal()
 		}
-		if best == nil || e.pass < best.pass {
-			best = e
-		}
+		w.mu.Unlock()
 	}
-	return best
 }
 
-// worker is one pool goroutine: pick the fairest queued session, pop
-// one shard task, run it, account it.
-func (s *Scheduler) worker() {
+// popLocked removes and returns the fairest queued session's task for
+// this worker (smallest virtual pass on this worker's clock), advancing
+// the session's pass by packets/weight — stride scheduling with
+// cost-proportional increments, so serving a 10 000-packet task costs a
+// session 100× the credit of a 100-packet one. Caller holds w.mu.
+func (w *schedWorker) popLocked() (*Engine, shardTask) {
+	if len(w.ready) == 0 {
+		return nil, shardTask{}
+	}
+	bi := 0
+	for i := 1; i < len(w.ready); i++ {
+		if w.ready[i].wpass[w.id] < w.ready[bi].wpass[w.id] {
+			bi = i
+		}
+	}
+	e := w.ready[bi]
+	last := len(w.ready) - 1
+	w.ready[bi] = w.ready[last]
+	w.ready[last] = nil
+	w.ready = w.ready[:last]
+	t := e.slots[w.id]
+	e.slots[w.id] = shardTask{} // release buffer references
+	e.wpass[w.id] += float64(len(t.idx)) / float64(e.weight)
+	if w.vtime < e.wpass[w.id] {
+		w.vtime = e.wpass[w.id]
+	}
+	return e, t
+}
+
+// steal scans the other workers' queues for a runnable task. Shards are
+// mutually disjoint (distinct PHVs, distinct register cells), so any
+// worker may run any queued task; fairness accounting stays on the
+// victim worker's clock.
+func (s *Scheduler) steal(self int) (*Engine, shardTask, bool) {
+	for k := 1; k < s.budget; k++ {
+		w := &s.workers[(self+k)%s.budget]
+		w.mu.Lock()
+		e, t := w.popLocked()
+		w.mu.Unlock()
+		if e != nil {
+			return e, t, true
+		}
+	}
+	return nil, shardTask{}, false
+}
+
+// next returns the worker's next task: its own queue first, then a
+// steal pass over its peers, then park on the worker's own cond until
+// an enqueue (or a wakeIdle broadcast) signals it. ok is false when the
+// scheduler is closed and the queue is drained.
+func (s *Scheduler) next(w *schedWorker) (e *Engine, t shardTask, ok bool) {
+	for {
+		w.mu.Lock()
+		if e, t := w.popLocked(); e != nil {
+			w.mu.Unlock()
+			return e, t, true
+		}
+		if w.closed {
+			w.mu.Unlock()
+			return nil, shardTask{}, false
+		}
+		w.mu.Unlock()
+		if e, t, ok := s.steal(w.id); ok {
+			return e, t, true
+		}
+		w.mu.Lock()
+		// Re-check under the lock: an enqueue between the steal pass and
+		// here would otherwise be missed and its signal lost.
+		if e, t := w.popLocked(); e != nil {
+			w.mu.Unlock()
+			return e, t, true
+		}
+		if w.closed {
+			w.mu.Unlock()
+			return nil, shardTask{}, false
+		}
+		w.parked = true
+		w.cond.Wait()
+		w.parked = false
+		w.mu.Unlock()
+	}
+}
+
+// worker is one pool goroutine: drain the private queue (stealing when
+// it runs dry), run each task, account it. Parking on the worker-local
+// cond when idle lets batch submitters run even at GOMAXPROCS=1 — the
+// old global-queue pool needed a runtime.Gosched after EVERY task to
+// hand the P back. The one scheduling point kept is per BATCH: the
+// worker that finishes a batch's last task yields once so the blocked
+// submitter is scheduled promptly instead of waiting out a preemption
+// tick while other sessions keep every worker busy — that is a handoff,
+// not a liveness crutch, and it costs one yield per thousands of
+// packets.
+func (s *Scheduler) worker(w *schedWorker) {
 	defer s.workerWG.Done()
 	for {
-		s.mu.Lock()
-		var e *Engine
-		for {
-			if s.closed {
-				s.mu.Unlock()
-				return
-			}
-			if e = s.pickLocked(); e != nil {
-				break
-			}
-			s.cond.Wait()
+		e, t, ok := s.next(w)
+		if !ok {
+			return
 		}
-		t := e.queue[e.qhead]
-		e.queue[e.qhead] = shardTask{} // release buffer references
-		e.qhead++
-		e.pass += 1 / float64(e.weight)
-		s.vtime = e.pass
-		s.mu.Unlock()
-
 		start := time.Now()
 		if t.pkts != nil {
 			e.runPacketShard(t.shard, t.pkts, t.fired, t.class, t.outs, t.idx)
@@ -182,13 +301,11 @@ func (s *Scheduler) worker() {
 			e.runShard(t.shard, t.jobs, t.res, t.outs, t.idx)
 		}
 		e.note(len(t.idx), time.Since(start))
+		last := e.remaining.Add(-1) == 0
 		e.batchWG.Done()
-		// Let the completed batch's submitter re-enqueue before the next
-		// pick: without this yield a busy worker monopolises its P and,
-		// on small GOMAXPROCS, whichever session loses the run-queue
-		// handoff race re-enqueues only on preemption ticks — runtime
-		// starvation the fair queue draining cannot see.
-		runtime.Gosched()
+		if last {
+			runtime.Gosched()
+		}
 	}
 }
 

@@ -167,6 +167,68 @@ func TestSchedulerFairnessNoStarvation(t *testing.T) {
 	}
 }
 
+// TestSchedulerStealsSparseShards covers the work-stealing path: a
+// session whose register sizes clamp it to fewer shards than the pool
+// budget queues tasks on only some workers, and the idle workers must
+// steal them — with results still bit-identical to a solo replay.
+func TestSchedulerStealsSparseShards(t *testing.T) {
+	const slots = 2 // register size 2 clamps shards to 2 on a budget-4 pool
+	build := func() (*Program, *Register, FieldID, FieldID) {
+		var l Layout
+		slot := l.MustAdd("slot", 16)
+		v := l.MustAdd("v", 32)
+		acc := l.MustAdd("acc", 32)
+		prog := NewProgram("sparse", &l, Tofino2)
+		reg, err := NewRegister("state", 32, slots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ri := prog.AddRegister(reg)
+		prog.Place(0, &Table{
+			Name: "accumulate", Kind: MatchNone, DefaultData: []int32{},
+			Action: []Op{{Kind: OpRegAdd, Reg: ri, Dst: acc, A: slot, B: v}},
+		})
+		if err := prog.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		_ = v
+		return prog, reg, slot, acc
+	}
+	rng := rand.New(rand.NewSource(41))
+	jobs := make([]Job, 500)
+	for i := range jobs {
+		s := uint32(rng.Intn(slots))
+		jobs[i] = Job{Hash: s, In: []int32{int32(s), int32(rng.Intn(100))}}
+	}
+
+	refProg, refReg, _, _ := build()
+	refPHV := refProg.Layout.NewPHV()
+	for _, j := range jobs {
+		refPHV.Reset()
+		refPHV.Set(FieldID(0), j.In[0])
+		refPHV.Set(FieldID(1), j.In[1])
+		refProg.Process(refPHV)
+	}
+
+	s := NewScheduler(4)
+	defer s.Close()
+	prog, reg, slotF, accF := build()
+	eng := s.NewChainEngine("sparse", []*Program{prog}, nil,
+		[]FieldID{slotF, FieldID(1)}, []FieldID{accF}, accF, 1, ExecCompiled)
+	defer eng.Close()
+	if eng.Workers() != slots {
+		t.Fatalf("shards = %d, want %d (clamped below the budget)", eng.Workers(), slots)
+	}
+	for iter := 0; iter < 20; iter++ { // repeat so stealing actually happens
+		eng.RunBatch(jobs)
+	}
+	for sl := 0; sl < slots; sl++ {
+		if got, want := reg.Get(sl), refReg.Get(sl)*20; got != want {
+			t.Fatalf("slot %d: sharded state %d, sequential %d", sl, got, want)
+		}
+	}
+}
+
 // TestSchedulerSharedStatefulConsistency extends the per-flow register
 // guarantee to shared pools: two stateful engines replay concurrently
 // on one scheduler, and each ends with exactly the sequential register

@@ -333,3 +333,48 @@ func TestRunPacketStreamConcurrent(t *testing.T) {
 		}
 	}
 }
+
+// TestRegisterBankedLayout pins the arena-compaction contract: logical
+// cell contents survive repacking to any shard count (power-of-two fast
+// path and the general divisor layout alike), and Get/Set keep
+// addressing logical indices.
+func TestRegisterBankedLayout(t *testing.T) {
+	build := func(size int) (*Program, *Register) {
+		var l Layout
+		l.MustAdd("x", 32)
+		p := NewProgram("bank", &l, Tofino2)
+		r, err := NewRegister("state", 32, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.AddRegister(r)
+		return p, r
+	}
+	check := func(r *Register, size int, tag string) {
+		t.Helper()
+		for i := 0; i < size; i++ {
+			if got := r.Get(i); got != int32(100+i) {
+				t.Fatalf("%s: cell %d = %d, want %d", tag, i, got, 100+i)
+			}
+		}
+	}
+	for _, tc := range []struct{ size, shards, reshards int }{
+		{8, 4, 2},  // pow2 fast path both ways
+		{6, 3, 2},  // general divisor layout
+		{6, 4, 1},  // 4 ∤ 6 → natural layout fallback inside rebase
+		{16, 1, 8}, // natural → banked
+	} {
+		p, r := build(tc.size)
+		for i := 0; i < tc.size; i++ {
+			r.Set(i, int32(100+i))
+		}
+		p.CompactRegisters(tc.shards)
+		check(r, tc.size, "first compaction")
+		// Writes through the banked layout must round-trip too.
+		for i := 0; i < tc.size; i++ {
+			r.Set(i, int32(100+i))
+		}
+		p.CompactRegisters(tc.reshards)
+		check(r, tc.size, "recompaction")
+	}
+}

@@ -71,6 +71,14 @@ const (
 	OpRegCntRestart
 )
 
+// opSatAddImm is a plan-internal opcode: dst = phv[A] +sat Imm. It is
+// what OpAddData folds into when CompileProgram constant-folds the
+// action data of an always-run table (the data slice is fixed, so the
+// per-packet bus fetch becomes an immediate). Builders never emit it
+// and it never reaches the P4 renderer — it exists only inside compiled
+// plans.
+const opSatAddImm OpKind = -1
+
 // Op is one micro-operation of an action program.
 type Op struct {
 	Kind    OpKind
@@ -335,6 +343,8 @@ func runOps(ops []Op, phv *PHV, data []int32, regs []*Register) {
 			phv.Set(op.Dst, data[op.DataIdx])
 		case OpAddData:
 			phv.Set(op.Dst, fixed.SatAdd32(phv.Get(op.A), data[op.DataIdx]))
+		case opSatAddImm:
+			phv.Set(op.Dst, fixed.SatAdd32(phv.Get(op.A), op.Imm))
 		case OpSelGE:
 			if phv.Get(op.A) >= phv.Get(op.B) {
 				phv.Set(op.Dst, op.Imm)

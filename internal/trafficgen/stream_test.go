@@ -1,0 +1,265 @@
+package trafficgen
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"github.com/pegasus-idp/pegasus/internal/pisa"
+)
+
+// statelessProg builds a small stateless program: out = k + 7,
+// class = k & 3. Stateless, so it shards to any worker count.
+func statelessProg(t *testing.T) (*pisa.Program, pisa.FieldID, pisa.FieldID, pisa.FieldID) {
+	t.Helper()
+	var l pisa.Layout
+	k := l.MustAdd("k", 16)
+	out := l.MustAdd("out", 32)
+	class := l.MustAdd("class", 8)
+	prog := pisa.NewProgram("stateless", &l, pisa.Tofino2)
+	prog.Place(0, &pisa.Table{
+		Name: "compute", Kind: pisa.MatchNone, DefaultData: []int32{},
+		Action: []pisa.Op{
+			{Kind: pisa.OpAddImm, Dst: out, A: k, Imm: 7},
+			{Kind: pisa.OpAndImm, Dst: class, A: k, Imm: 3},
+		},
+	})
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return prog, k, out, class
+}
+
+// counterProg builds a small stateful per-packet program: a per-flow
+// packet counter banked in a register, firing every 4th packet of a
+// flow with out = len + count. The register size is a power of two, so
+// the program shards to any worker count dividing it.
+func counterProg(t *testing.T, slots int) (*pisa.Program, pisa.PacketMeta, pisa.FieldID, pisa.FieldID) {
+	t.Helper()
+	var l pisa.Layout
+	hash := l.MustAdd("hash", 32)
+	length := l.MustAdd("len", 16)
+	ts := l.MustAdd("ts", 32)
+	slot := l.MustAdd("slot", 32)
+	cnt := l.MustAdd("cnt", 32)
+	phase := l.MustAdd("phase", 8)
+	zero := l.MustAdd("zero", 8) // never written: the counter's no-restart predicate
+	one := l.MustAdd("one", 8)
+	fire := l.MustAdd("fire", 8)
+	out := l.MustAdd("out", 32)
+	prog := pisa.NewProgram("counter", &l, pisa.Tofino2)
+	reg, err := pisa.NewRegister("pktcnt", 32, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri := prog.AddRegister(reg)
+	prog.Place(0, &pisa.Table{
+		Name: "count", Kind: pisa.MatchNone, DefaultData: []int32{},
+		Action: []pisa.Op{
+			{Kind: pisa.OpAndImm, Dst: slot, A: hash, Imm: int32(slots - 1)},
+			{Kind: pisa.OpRegCntRestart, Reg: ri, Dst: cnt, A: slot, B: zero},
+		},
+	})
+	// Second stage: derive fire from the counter and the output value.
+	prog.Place(1, &pisa.Table{
+		Name: "fire", Kind: pisa.MatchNone, DefaultData: []int32{},
+		Action: []pisa.Op{
+			{Kind: pisa.OpAndImm, Dst: phase, A: cnt, Imm: 3},
+			{Kind: pisa.OpSet, Dst: one, Imm: 1},
+			{Kind: pisa.OpSelEQI, Dst: fire, A: phase, Imm: 0, B: one},
+			{Kind: pisa.OpAdd, Dst: out, A: length, B: cnt},
+		},
+	})
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return prog, pisa.PacketMeta{Hash: hash, Fields: []pisa.FieldID{length, ts}, Fire: fire}, out, fire
+}
+
+// workerCounts returns the satellite's sweep: 1, 2, 4, NumCPU
+// (deduplicated).
+func workerCounts() []int {
+	counts := []int{1, 2, 4}
+	n := runtime.NumCPU()
+	have := false
+	for _, c := range counts {
+		if c == n {
+			have = true
+		}
+	}
+	if !have {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// TestRunStreamInOrderUnderLoad drives RunStream with a sustained
+// generator feed at 1/2/4/NumCPU workers and checks results arrive in
+// submission order with the right values.
+func TestRunStreamInOrderUnderLoad(t *testing.T) {
+	const total = 20000
+	tmpl := [][]int32{{3}, {57}, {129}, {200}}
+	for _, workers := range workerCounts() {
+		prog, k, out, class := statelessProg(t)
+		eng := pisa.NewEngine(prog, []pisa.FieldID{k}, []pisa.FieldID{out}, class, workers)
+		gen := NewJobGen(Config{Seed: int64(workers), Flows: 1 << 12}, tmpl)
+		jobs := gen.Jobs(total)
+
+		in := make(chan pisa.Job, 256)
+		outc := make(chan pisa.Result, 256)
+		go func() {
+			for _, j := range jobs {
+				in <- j
+			}
+			close(in)
+		}()
+		done := make(chan int, 1)
+		go func() { done <- eng.RunStream(in, outc) }()
+		i := 0
+		for r := range outc {
+			if i >= total {
+				t.Fatalf("workers=%d: more results than jobs", workers)
+			}
+			wantOut := jobs[i].In[0] + 7
+			wantClass := int(jobs[i].In[0] & 3)
+			if r.Outs[0] != wantOut || r.Class != wantClass {
+				t.Fatalf("workers=%d: result %d = (out %d, class %d), want (%d, %d) — out-of-order or wrong",
+					workers, i, r.Outs[0], r.Class, wantOut, wantClass)
+			}
+			i++
+		}
+		if n := <-done; n != total || i != total {
+			t.Fatalf("workers=%d: stream processed %d, emitted %d, want %d", workers, n, i, total)
+		}
+		eng.Close()
+	}
+}
+
+// TestRunPacketStreamMatchesSequential replays a sustained raw-packet
+// stream through the stateful counter program at several worker counts
+// and requires the fired inferences to be bit-identical (index, class,
+// outputs) to a sequential interpreter replay of the same stream.
+func TestRunPacketStreamMatchesSequential(t *testing.T) {
+	const slots, total = 64, 20000
+	gen := NewPacketGen(Config{Seed: 99, Flows: 256}, LayoutSeq, 0)
+	pkts := gen.Packets(total)
+
+	// Sequential interpreter reference on a fresh program.
+	refProg, refMeta, refOut, _ := counterProg(t, slots)
+	phv := refProg.Layout.NewPHV()
+	type fireRec struct {
+		pkt int
+		out int32
+	}
+	var want []fireRec
+	for i, p := range pkts {
+		phv.Reset()
+		phv.Set(refMeta.Hash, int32(p.Hash))
+		for d, f := range refMeta.Fields {
+			phv.Set(f, p.Fields[d])
+		}
+		refProg.Process(phv)
+		if phv.Get(refMeta.Fire) != 0 {
+			want = append(want, fireRec{pkt: i, out: phv.Get(refOut)})
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("reference replay fired nothing — test program broken")
+	}
+
+	for _, workers := range workerCounts() {
+		prog, meta, out, _ := counterProg(t, slots)
+		eng := pisa.NewEngine(prog, nil, []pisa.FieldID{out}, out, workers)
+		eng.ConfigurePackets(meta)
+		in := make(chan pisa.PacketIn, 256)
+		outc := make(chan pisa.PacketResult, 256)
+		go func() {
+			for _, p := range pkts {
+				in <- p
+			}
+			close(in)
+		}()
+		var packets, fires int
+		done := make(chan struct{})
+		go func() {
+			packets, fires = eng.RunPacketStream(in, outc)
+			close(done)
+		}()
+		i := 0
+		for r := range outc {
+			if i >= len(want) {
+				t.Fatalf("workers=%d: more fires than the sequential replay", workers)
+			}
+			if r.Pkt != want[i].pkt || r.Outs[0] != want[i].out {
+				t.Fatalf("workers=%d fire %d: (pkt %d, out %d), sequential (pkt %d, out %d)",
+					workers, i, r.Pkt, r.Outs[0], want[i].pkt, want[i].out)
+			}
+			i++
+		}
+		<-done
+		if packets != total || fires != len(want) || i != len(want) {
+			t.Fatalf("workers=%d: packets=%d fires=%d emitted=%d, want %d/%d/%d",
+				workers, packets, fires, i, total, len(want), len(want))
+		}
+		eng.Close()
+	}
+}
+
+// TestTwoStreamingSessionsShareScheduler runs two engine sessions
+// streaming concurrently on one shared budget-2 scheduler: both must
+// finish, stay in order, and both must actually be served (fairness:
+// neither session's stream starves).
+func TestTwoStreamingSessionsShareScheduler(t *testing.T) {
+	const total = 30000
+	s := pisa.NewScheduler(2)
+	defer s.Close()
+	tmpl := [][]int32{{5}, {90}, {177}}
+
+	type session struct {
+		eng  *pisa.Engine
+		jobs []pisa.Job
+	}
+	var sessions []session
+	for si := 0; si < 2; si++ {
+		prog, k, out, class := statelessProg(t)
+		eng := s.NewChainEngine("stream", []*pisa.Program{prog}, nil,
+			[]pisa.FieldID{k}, []pisa.FieldID{out}, class, 1, pisa.ExecCompiled)
+		defer eng.Close()
+		gen := NewJobGen(Config{Seed: int64(100 + si), Flows: 1 << 10}, tmpl)
+		sessions = append(sessions, session{eng: eng, jobs: gen.Jobs(total)})
+	}
+
+	var wg sync.WaitGroup
+	for _, ses := range sessions {
+		wg.Add(1)
+		go func(ses session) {
+			defer wg.Done()
+			in := make(chan pisa.Job, 256)
+			outc := make(chan pisa.Result, 256)
+			go func() {
+				for _, j := range ses.jobs {
+					in <- j
+				}
+				close(in)
+			}()
+			go ses.eng.RunStream(in, outc)
+			i := 0
+			for r := range outc {
+				if want := ses.jobs[i].In[0] + 7; r.Outs[0] != want {
+					t.Errorf("session result %d = %d, want %d", i, r.Outs[0], want)
+					break
+				}
+				i++
+			}
+			if i != total {
+				t.Errorf("session emitted %d results, want %d", i, total)
+			}
+		}(ses)
+	}
+	wg.Wait()
+	for _, ses := range sessions {
+		if st := ses.eng.Stats(); st.Packets != total {
+			t.Fatalf("session served %d packets, want %d", st.Packets, total)
+		}
+	}
+}

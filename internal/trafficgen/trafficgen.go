@@ -1,0 +1,381 @@
+// Package trafficgen synthesises sustained traffic for the replay
+// engine: steady-state streams of feature-window jobs (pisa.Job) or
+// raw packets (pisa.PacketIn) drawn from a churning population of
+// synthetic flows, with configurable flow-arrival and packet-rate
+// distributions.
+//
+// The committed replay traces are short (hundreds of packets) and a
+// benchmark that re-replays them measures batch-overhead amortisation,
+// not steady-state throughput — the worker pool drains the trace before
+// it ever saturates. The generator instead keeps a fixed population of
+// live flows (millions if asked): every emitted packet belongs to a
+// uniformly chosen live flow, and a flow whose packet budget is spent
+// is replaced by a fresh arrival — so flow arrivals happen at the rate
+// packets retire flows, the flow-size distribution shapes the
+// elephant/mouse mix, and the stream never ends and never repeats.
+//
+// Generation is allocation-free in steady state (Fill reuses one
+// backing arena per generator) and deterministic for a fixed Config:
+// the same seed yields bit-identical streams, so measured runs are
+// reproducible. Filling is two orders of magnitude cheaper than
+// engine processing, so generator cost does not distort throughput
+// measurements.
+package trafficgen
+
+import (
+	"math"
+
+	"github.com/pegasus-idp/pegasus/internal/pisa"
+)
+
+// Dist selects the shape of a Sample distribution.
+type Dist int
+
+const (
+	// DistFixed always draws Mean.
+	DistFixed Dist = iota
+	// DistUniform draws uniformly from [0, 2·Mean].
+	DistUniform
+	// DistExp draws exponentially with the given Mean — the classic
+	// Poisson inter-arrival model.
+	DistExp
+	// DistPareto draws a bounded Pareto with tail exponent Alpha and
+	// scale chosen so the mean is Mean — heavy-tailed flow sizes (many
+	// mice, few elephants), the canonical Internet flow-size model.
+	DistPareto
+)
+
+// Sample is one configurable distribution: packet gaps, flow sizes.
+type Sample struct {
+	Dist Dist
+	Mean float64
+	// Max clips draws (0 = no bound beyond the distribution's own).
+	Max float64
+	// Alpha is the Pareto tail exponent (DistPareto only; values ≤ 1
+	// are lifted to 1.1 so the mean exists).
+	Alpha float64
+}
+
+// draw samples the distribution.
+func (s Sample) draw(g *rng) float64 {
+	mean := s.Mean
+	if mean <= 0 {
+		mean = 1
+	}
+	var v float64
+	switch s.Dist {
+	case DistUniform:
+		v = 2 * mean * g.f64()
+	case DistExp:
+		v = -mean * math.Log(1-g.f64())
+	case DistPareto:
+		a := s.Alpha
+		if a <= 1 {
+			a = 1.1
+		}
+		// E[Pareto(xm, a)] = xm·a/(a−1) ⇒ xm matching the target mean.
+		xm := mean * (a - 1) / a
+		v = xm / math.Pow(1-g.f64(), 1/a)
+	default:
+		v = mean
+	}
+	if s.Max > 0 && v > s.Max {
+		v = s.Max
+	}
+	return v
+}
+
+// Config shapes a generator's flow population and packet process.
+type Config struct {
+	// Seed fixes the stream; equal seeds yield bit-identical streams.
+	Seed int64
+	// Flows is the live-flow population held in steady state (default
+	// 1<<16). Each finished flow is replaced by a fresh arrival, so the
+	// effective flow-arrival rate is the packet rate divided by the
+	// mean flow size.
+	Flows int
+	// FlowPackets is the packets-per-flow distribution (default
+	// bounded Pareto: Alpha 1.3, Mean 32, Max 4096).
+	FlowPackets Sample
+	// PacketGap is the aggregate inter-packet gap in microseconds,
+	// advancing the virtual clock behind emitted timestamps (default
+	// exponential, Mean 1µs — a ~1 Mpps aggregate).
+	PacketGap Sample
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Flows <= 0 {
+		c.Flows = 1 << 16
+	}
+	if c.FlowPackets.Mean <= 0 {
+		c.FlowPackets = Sample{Dist: DistPareto, Mean: 32, Max: 4096, Alpha: 1.3}
+	}
+	if c.PacketGap.Mean <= 0 {
+		c.PacketGap = Sample{Dist: DistExp, Mean: 1}
+	}
+	return c
+}
+
+// rng is a splitmix64 stream — fast, allocation free, and deterministic
+// across platforms.
+type rng struct{ s uint64 }
+
+func newRNG(seed int64) rng {
+	return rng{s: uint64(seed)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d}
+}
+
+func (g *rng) next() uint64 {
+	g.s += 0x9e3779b97f4a7c15
+	z := g.s
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// f64 returns a uniform float in [0, 1).
+func (g *rng) f64() float64 {
+	return float64(g.next()>>11) / (1 << 53)
+}
+
+// intn returns a uniform int in [0, n).
+func (g *rng) intn(n int) int {
+	return int(g.next() % uint64(n))
+}
+
+// jobFlow is one live flow of a JobGen: its five-tuple hash and how
+// many packets it has left before it retires.
+type jobFlow struct {
+	hash      uint32
+	remaining int
+	tmpl      int
+}
+
+// JobGen produces a sustained stream of feature-window jobs: each job
+// carries a live flow's hash (so sharding and register indexing behave
+// exactly as with real traffic) and an input vector drawn from the
+// given templates — typically the feature windows extracted from a real
+// trace, so the match-table hit profile matches real replay.
+type JobGen struct {
+	cfg       Config
+	g         rng
+	flows     []jobFlow
+	templates [][]int32
+	width     int
+	arena     []int32
+}
+
+// NewJobGen builds a job generator over the template input vectors
+// (all must share one width; at least one required).
+func NewJobGen(cfg Config, templates [][]int32) *JobGen {
+	if len(templates) == 0 {
+		panic("trafficgen: JobGen needs at least one template input vector")
+	}
+	w := len(templates[0])
+	for _, t := range templates[1:] {
+		if len(t) != w {
+			panic("trafficgen: template input vectors must share one width")
+		}
+	}
+	cfg = cfg.withDefaults()
+	gen := &JobGen{cfg: cfg, g: newRNG(cfg.Seed), templates: templates, width: w}
+	gen.flows = make([]jobFlow, cfg.Flows)
+	for i := range gen.flows {
+		gen.flows[i] = gen.fresh()
+	}
+	return gen
+}
+
+// fresh draws a new flow arrival.
+func (gen *JobGen) fresh() jobFlow {
+	n := int(gen.cfg.FlowPackets.draw(&gen.g))
+	if n < 1 {
+		n = 1
+	}
+	return jobFlow{
+		hash:      uint32(gen.g.next()),
+		remaining: n,
+		tmpl:      gen.g.intn(len(gen.templates)),
+	}
+}
+
+// Fill overwrites jobs with the next len(jobs) packets of the stream.
+// The Job.In slices point into one arena owned by the generator and
+// reused by the NEXT Fill call — matching the engine's one-outstanding-
+// batch contract: run the batch, then refill. Steady-state filling
+// allocates nothing.
+func (gen *JobGen) Fill(jobs []pisa.Job) {
+	need := len(jobs) * gen.width
+	if cap(gen.arena) < need {
+		gen.arena = make([]int32, need)
+	}
+	arena := gen.arena[:need]
+	for i := range jobs {
+		fi := gen.g.intn(len(gen.flows))
+		f := &gen.flows[fi]
+		in := arena[i*gen.width : (i+1)*gen.width : (i+1)*gen.width]
+		copy(in, gen.templates[f.tmpl])
+		jobs[i] = pisa.Job{Hash: f.hash, In: in}
+		if f.remaining--; f.remaining == 0 {
+			gen.flows[fi] = gen.fresh()
+		}
+	}
+}
+
+// Jobs returns the next n packets as freshly allocated jobs — for
+// feeding streams or tests where batches outlive the next Fill.
+func (gen *JobGen) Jobs(n int) []pisa.Job {
+	jobs := make([]pisa.Job, n)
+	ins := make([]int32, n*gen.width)
+	for i := range jobs {
+		fi := gen.g.intn(len(gen.flows))
+		f := &gen.flows[fi]
+		in := ins[i*gen.width : (i+1)*gen.width : (i+1)*gen.width]
+		copy(in, gen.templates[f.tmpl])
+		jobs[i] = pisa.Job{Hash: f.hash, In: in}
+		if f.remaining--; f.remaining == 0 {
+			gen.flows[fi] = gen.fresh()
+		}
+	}
+	return jobs
+}
+
+// Layout selects the per-packet field vector a PacketGen emits,
+// mirroring what models.PacketJobs marshals for each extraction kind.
+type Layout int
+
+const (
+	// LayoutStats emits [direction, length, timestamp_µs] — the
+	// statistics extraction (MLP models).
+	LayoutStats Layout = iota
+	// LayoutSeq emits [length, timestamp_µs] — the sequence extraction
+	// (CNN/RNN models).
+	LayoutSeq
+	// LayoutPayload emits the first n payload bytes.
+	LayoutPayload
+	// LayoutPayloadIPD emits n−1 payload bytes plus the timestamp.
+	LayoutPayloadIPD
+)
+
+// pktFlow is one live flow of a PacketGen: per-flow length scale and
+// direction phase in addition to the hash and budget.
+type pktFlow struct {
+	hash      uint32
+	remaining int
+	lenBase   int32 // per-flow MTU-ish scale for emitted lengths
+	dir       int32 // current direction, flipped pseudo-randomly
+}
+
+// PacketGen produces a sustained raw-packet stream for the per-packet
+// replay path: flow hashes drive sharding and register slots, lengths
+// and directions vary per flow, and timestamps advance a shared virtual
+// clock by PacketGap draws — so IPD-derived features see a plausible
+// arrival process.
+type PacketGen struct {
+	cfg    Config
+	g      rng
+	flows  []pktFlow
+	layout Layout
+	width  int
+	clock  uint32 // virtual microsecond clock (truncated like PacketJobs)
+	arena  []int32
+}
+
+// NewPacketGen builds a packet generator emitting width fields per
+// packet in the given layout. width must match the extraction
+// emission's field count (3 for LayoutStats, 2 for LayoutSeq, the
+// payload byte count otherwise).
+func NewPacketGen(cfg Config, layout Layout, width int) *PacketGen {
+	switch layout {
+	case LayoutStats:
+		width = 3
+	case LayoutSeq:
+		width = 2
+	default:
+		if width < 1 {
+			panic("trafficgen: payload layout needs a positive field width")
+		}
+	}
+	cfg = cfg.withDefaults()
+	gen := &PacketGen{cfg: cfg, g: newRNG(cfg.Seed), layout: layout, width: width}
+	gen.flows = make([]pktFlow, cfg.Flows)
+	for i := range gen.flows {
+		gen.flows[i] = gen.fresh()
+	}
+	return gen
+}
+
+// fresh draws a new flow arrival.
+func (gen *PacketGen) fresh() pktFlow {
+	n := int(gen.cfg.FlowPackets.draw(&gen.g))
+	if n < 1 {
+		n = 1
+	}
+	return pktFlow{
+		hash:      uint32(gen.g.next()),
+		remaining: n,
+		lenBase:   int32(64 + gen.g.intn(1400)),
+		dir:       int32(gen.g.intn(2)),
+	}
+}
+
+// Width returns the per-packet field count.
+func (gen *PacketGen) Width() int { return gen.width }
+
+// Fill overwrites pkts with the next len(pkts) packets of the stream.
+// Like JobGen.Fill, the Fields slices alias one reused arena: run the
+// batch before the next Fill. Steady-state filling allocates nothing.
+func (gen *PacketGen) Fill(pkts []pisa.PacketIn) {
+	need := len(pkts) * gen.width
+	if cap(gen.arena) < need {
+		gen.arena = make([]int32, need)
+	}
+	arena := gen.arena[:need]
+	for i := range pkts {
+		fi := gen.g.intn(len(gen.flows))
+		f := &gen.flows[fi]
+		gen.clock += uint32(gen.cfg.PacketGap.draw(&gen.g)) + 1
+		// Mostly-bursty direction: flip with probability 1/4.
+		if gen.g.next()&3 == 0 {
+			f.dir ^= 1
+		}
+		ln := f.lenBase - int32(gen.g.intn(64))
+		fields := arena[i*gen.width : (i+1)*gen.width : (i+1)*gen.width]
+		switch gen.layout {
+		case LayoutStats:
+			fields[0] = f.dir
+			fields[1] = ln
+			fields[2] = int32(gen.clock)
+		case LayoutSeq:
+			fields[0] = ln
+			fields[1] = int32(gen.clock)
+		case LayoutPayload:
+			for j := range fields {
+				fields[j] = int32(gen.g.next() & 0xff)
+			}
+		case LayoutPayloadIPD:
+			for j := 0; j < gen.width-1; j++ {
+				fields[j] = int32(gen.g.next() & 0xff)
+			}
+			fields[gen.width-1] = int32(gen.clock)
+		}
+		pkts[i] = pisa.PacketIn{Hash: f.hash, Fields: fields}
+		if f.remaining--; f.remaining == 0 {
+			gen.flows[fi] = gen.fresh()
+		}
+	}
+}
+
+// Packets returns the next n packets freshly allocated — for feeding
+// streams or tests where batches outlive the next Fill.
+func (gen *PacketGen) Packets(n int) []pisa.PacketIn {
+	pkts := make([]pisa.PacketIn, n)
+	saved := gen.arena
+	gen.arena = nil
+	gen.Fill(pkts)
+	gen.arena = saved
+	return pkts
+}

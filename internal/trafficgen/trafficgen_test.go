@@ -1,0 +1,173 @@
+package trafficgen
+
+import (
+	"testing"
+
+	"github.com/pegasus-idp/pegasus/internal/pisa"
+)
+
+// TestJobGenDeterministic pins reproducibility: equal seeds yield
+// bit-identical streams, different seeds diverge.
+func TestJobGenDeterministic(t *testing.T) {
+	tmpl := [][]int32{{1, 2, 3}, {4, 5, 6}}
+	cfg := Config{Seed: 7, Flows: 64}
+	a := NewJobGen(cfg, tmpl)
+	b := NewJobGen(cfg, tmpl)
+	c := NewJobGen(Config{Seed: 8, Flows: 64}, tmpl)
+	ja := make([]pisa.Job, 500)
+	jb := make([]pisa.Job, 500)
+	jc := make([]pisa.Job, 500)
+	diverged := false
+	for round := 0; round < 3; round++ {
+		a.Fill(ja)
+		b.Fill(jb)
+		c.Fill(jc)
+		for i := range ja {
+			if ja[i].Hash != jb[i].Hash {
+				t.Fatalf("round %d job %d: same seed, hashes %d vs %d", round, i, ja[i].Hash, jb[i].Hash)
+			}
+			for d := range ja[i].In {
+				if ja[i].In[d] != jb[i].In[d] {
+					t.Fatalf("round %d job %d field %d: same seed, values differ", round, i, d)
+				}
+			}
+			if ja[i].Hash != jc[i].Hash {
+				diverged = true
+			}
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds produced identical hash streams")
+	}
+}
+
+// TestJobGenFlowChurn checks the steady-state population mechanics:
+// many distinct flows appear over a long stream (arrivals replace
+// retired flows), and every job's input is one of the templates.
+func TestJobGenFlowChurn(t *testing.T) {
+	tmpl := [][]int32{{9, 8}, {7, 6}}
+	gen := NewJobGen(Config{
+		Seed:        3,
+		Flows:       32,
+		FlowPackets: Sample{Dist: DistFixed, Mean: 4},
+	}, tmpl)
+	jobs := make([]pisa.Job, 1<<12)
+	seen := map[uint32]bool{}
+	gen.Fill(jobs)
+	for _, j := range jobs {
+		seen[j.Hash] = true
+		if !((j.In[0] == 9 && j.In[1] == 8) || (j.In[0] == 7 && j.In[1] == 6)) {
+			t.Fatalf("job input %v is not a template", j.In)
+		}
+	}
+	// 4096 packets at 4 packets/flow retire ~1000 flows; far more than
+	// the 32-flow population must have appeared.
+	if len(seen) < 100 {
+		t.Fatalf("only %d distinct flows over %d packets — population not churning", len(seen), len(jobs))
+	}
+}
+
+// TestSampleMeans sanity-checks the distribution shapes: empirical
+// means land near the configured means, and bounds clip.
+func TestSampleMeans(t *testing.T) {
+	g := newRNG(11)
+	for _, tc := range []struct {
+		name string
+		s    Sample
+		tol  float64
+	}{
+		{"fixed", Sample{Dist: DistFixed, Mean: 5}, 0.001},
+		{"uniform", Sample{Dist: DistUniform, Mean: 5}, 0.3},
+		{"exp", Sample{Dist: DistExp, Mean: 5}, 0.3},
+		{"pareto", Sample{Dist: DistPareto, Mean: 32, Alpha: 1.3, Max: 1 << 20}, 8},
+	} {
+		const n = 200000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			v := tc.s.draw(&g)
+			if v < 0 {
+				t.Fatalf("%s: negative draw %f", tc.name, v)
+			}
+			sum += v
+		}
+		mean := sum / n
+		if mean < tc.s.Mean-tc.tol || mean > tc.s.Mean+tc.tol {
+			t.Errorf("%s: empirical mean %.3f, want %.1f ± %.1f", tc.name, mean, tc.s.Mean, tc.tol)
+		}
+	}
+	bounded := Sample{Dist: DistPareto, Mean: 32, Alpha: 1.3, Max: 100}
+	for i := 0; i < 10000; i++ {
+		if v := bounded.draw(&g); v > 100 {
+			t.Fatalf("bounded draw %f exceeds Max", v)
+		}
+	}
+}
+
+// TestPacketGenLayouts checks each layout's field vector shape and the
+// monotone virtual clock.
+func TestPacketGenLayouts(t *testing.T) {
+	for _, tc := range []struct {
+		layout Layout
+		width  int
+		want   int
+	}{
+		{LayoutStats, 0, 3},
+		{LayoutSeq, 0, 2},
+		{LayoutPayload, 6, 6},
+		{LayoutPayloadIPD, 6, 6},
+	} {
+		gen := NewPacketGen(Config{Seed: 5, Flows: 16}, tc.layout, tc.width)
+		if gen.Width() != tc.want {
+			t.Fatalf("layout %d width = %d, want %d", tc.layout, gen.Width(), tc.want)
+		}
+		pkts := make([]pisa.PacketIn, 256)
+		gen.Fill(pkts)
+		var lastTS int32 = -1
+		for i, p := range pkts {
+			if len(p.Fields) != tc.want {
+				t.Fatalf("layout %d packet %d: %d fields, want %d", tc.layout, i, len(p.Fields), tc.want)
+			}
+			switch tc.layout {
+			case LayoutStats:
+				if p.Fields[0] != 0 && p.Fields[0] != 1 {
+					t.Fatalf("packet %d direction %d", i, p.Fields[0])
+				}
+				if p.Fields[1] <= 0 || p.Fields[1] > 1500 {
+					t.Fatalf("packet %d length %d", i, p.Fields[1])
+				}
+				if p.Fields[2] <= lastTS {
+					t.Fatalf("packet %d timestamp %d not after %d", i, p.Fields[2], lastTS)
+				}
+				lastTS = p.Fields[2]
+			case LayoutSeq:
+				if p.Fields[1] <= lastTS {
+					t.Fatalf("packet %d timestamp %d not after %d", i, p.Fields[1], lastTS)
+				}
+				lastTS = p.Fields[1]
+			case LayoutPayload, LayoutPayloadIPD:
+				for j := 0; j < tc.want-1; j++ {
+					if p.Fields[j] < 0 || p.Fields[j] > 255 {
+						t.Fatalf("packet %d payload byte %d = %d", i, j, p.Fields[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFillAllocationFree pins the generator's steady-state cost model:
+// after the first Fill sizes the arena, refills allocate nothing.
+func TestFillAllocationFree(t *testing.T) {
+	gen := NewJobGen(Config{Seed: 1, Flows: 1 << 10}, [][]int32{{1, 2, 3, 4}})
+	jobs := make([]pisa.Job, 4096)
+	gen.Fill(jobs)
+	if n := testing.AllocsPerRun(20, func() { gen.Fill(jobs) }); n > 0 {
+		t.Fatalf("JobGen.Fill allocates %.1f times per call in steady state", n)
+	}
+	pgen := NewPacketGen(Config{Seed: 1, Flows: 1 << 10}, LayoutSeq, 0)
+	pkts := make([]pisa.PacketIn, 4096)
+	pgen.Fill(pkts)
+	if n := testing.AllocsPerRun(20, func() { pgen.Fill(pkts) }); n > 0 {
+		t.Fatalf("PacketGen.Fill allocates %.1f times per call in steady state", n)
+	}
+}

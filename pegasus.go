@@ -139,6 +139,7 @@ import (
 	"github.com/pegasus-idp/pegasus/internal/models"
 	"github.com/pegasus-idp/pegasus/internal/netsim"
 	"github.com/pegasus-idp/pegasus/internal/pisa"
+	"github.com/pegasus-idp/pegasus/internal/trafficgen"
 )
 
 // Re-exported traffic types.
@@ -389,6 +390,67 @@ var (
 	BuildTables = core.BuildTables
 	// Emit lowers compiled tables onto a PISA pipeline.
 	Emit = core.Emit
+)
+
+// Traffic-generator types: sustained synthetic load for steady-state
+// throughput measurement. The committed replay traces are short;
+// re-replaying them measures batch-overhead amortisation, not sustained
+// throughput. The generator instead holds a churning steady-state flow
+// population (finished flows are replaced by fresh arrivals drawn from
+// a heavy-tailed size distribution) and emits endless, deterministic,
+// allocation-free streams of jobs or raw packets:
+//
+//	gen := pegasus.NewTrafficJobGen(pegasus.TrafficConfig{Seed: 1}, templates)
+//	batch := make([]pegasus.EngineJob, 8192)
+//	for deadline.After(time.Now()) {
+//	    gen.Fill(batch)          // reuses one arena; no allocation
+//	    engine.RunBatch(batch)
+//	}
+type (
+	// TrafficConfig shapes a generator's flow population and packet
+	// process (seed, live-flow count, flow-size and gap distributions).
+	TrafficConfig = trafficgen.Config
+	// TrafficSample is one configurable distribution (fixed, uniform,
+	// exponential, bounded Pareto).
+	TrafficSample = trafficgen.Sample
+	// TrafficDist selects a TrafficSample's shape.
+	TrafficDist = trafficgen.Dist
+	// TrafficJobGen emits sustained feature-window jobs over template
+	// input vectors with churning flow hashes.
+	TrafficJobGen = trafficgen.JobGen
+	// TrafficPacketGen emits sustained raw packets in a per-packet
+	// extraction layout (stats, sequence, payload).
+	TrafficPacketGen = trafficgen.PacketGen
+	// TrafficLayout selects a TrafficPacketGen's field layout.
+	TrafficLayout = trafficgen.Layout
+)
+
+// Traffic-generator constructors.
+var (
+	// NewTrafficJobGen builds a job generator over template inputs.
+	NewTrafficJobGen = trafficgen.NewJobGen
+	// NewTrafficPacketGen builds a raw-packet generator for a layout.
+	NewTrafficPacketGen = trafficgen.NewPacketGen
+)
+
+// Traffic-generator distribution shapes and packet layouts.
+const (
+	// DistFixed always draws the mean.
+	DistFixed = trafficgen.DistFixed
+	// DistUniform draws uniformly on [0, 2·mean].
+	DistUniform = trafficgen.DistUniform
+	// DistExp draws exponentially (Poisson arrivals).
+	DistExp = trafficgen.DistExp
+	// DistPareto draws a bounded Pareto (heavy-tailed flow sizes).
+	DistPareto = trafficgen.DistPareto
+	// LayoutStats emits [direction, length, timestamp] packets.
+	LayoutStats = trafficgen.LayoutStats
+	// LayoutSeq emits [length, timestamp] packets.
+	LayoutSeq = trafficgen.LayoutSeq
+	// LayoutPayload emits payload-byte packets.
+	LayoutPayload = trafficgen.LayoutPayload
+	// LayoutPayloadIPD emits payload bytes plus a timestamp.
+	LayoutPayloadIPD = trafficgen.LayoutPayloadIPD
 )
 
 // Tofino2 is the capacity model of the paper's testbed switch.
