@@ -7,16 +7,20 @@
 //	pegasus-bench -experiment table5 -flows 90 -epochs 1.5
 //	pegasus-bench -experiment engine -smoke -engine-json BENCH_engine.json
 //	pegasus-bench -experiment multimodel -smoke -engine-json BENCH_engine.json
+//	pegasus-bench -experiment serving -smoke -engine-json BENCH_engine.json
 //	pegasus-bench -experiment scaling -engine-json BENCH_engine.json -cpuprofile cpu.pprof
 //
 // The "engine" experiment measures batched switch-replay throughput per
 // worker count; "multimodel" measures concurrent multi-model serving on
 // one shared-budget scheduler (solo vs shared per-model throughput);
-// "scaling" measures steady-state worker scaling under sustained
-// generated load (internal/trafficgen). -engine-json additionally
-// writes (or, for multimodel/scaling, merges into) the machine-readable
-// report CI tracks. -smoke shrinks dataset, training and measurement
-// windows to a few seconds for CI.
+// "serving" exercises the serving control plane end to end — admission
+// latency on both outcomes, live-swap downtime with the co-resident
+// throughput dip, SLO tuner convergence, and the final metrics
+// snapshot; "scaling" measures steady-state worker scaling under
+// sustained generated load (internal/trafficgen). -engine-json
+// additionally writes (or, for multimodel/serving/scaling, merges
+// into) the machine-readable report CI tracks. -smoke shrinks dataset,
+// training and measurement windows to a few seconds for CI.
 //
 // The -cpuprofile, -memprofile and -mutexprofile flags write pprof
 // profiles covering the selected experiment — the intended workflow for
@@ -44,7 +48,7 @@ func main() {
 }
 
 func run() error {
-	exp := flag.String("experiment", "all", "experiment to run: all, table2, table5, table6, fig7, fig8, fig9acc, fig9thr, engine, multimodel, scaling")
+	exp := flag.String("experiment", "all", "experiment to run: all, table2, table5, table6, fig7, fig8, fig9acc, fig9thr, engine, multimodel, serving, scaling")
 	flows := flag.Int("flows", 60, "flows generated per traffic class")
 	epochs := flag.Float64("epochs", 1, "training budget multiplier")
 	seed := flag.Int64("seed", 1, "random seed")

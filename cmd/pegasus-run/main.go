@@ -11,6 +11,7 @@
 //	pegasus-run -model cnn-b -packets           # raw-trace replay: per-packet extraction on the switch
 //	pegasus-run -model cnn-b -mode interpret    # reference interpreter baseline
 //	pegasus-run -models mlp-b,rnn-b             # multi-model serving: one shared-budget scheduler
+//	pegasus-run -models mlp-b,cnn-b -metrics-addr 127.0.0.1:9090  # + JSON metrics endpoint
 //	pegasus-run -model cnn-m -gen 500000        # sustained generated stream (trafficgen) through RunStream
 //
 // Two replay granularities exist. The default (and -stream, its
@@ -22,9 +23,13 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -37,6 +42,7 @@ import (
 	"github.com/pegasus-idp/pegasus/internal/models"
 	"github.com/pegasus-idp/pegasus/internal/netsim"
 	"github.com/pegasus-idp/pegasus/internal/pisa"
+	"github.com/pegasus-idp/pegasus/internal/serve"
 	"github.com/pegasus-idp/pegasus/internal/trafficgen"
 )
 
@@ -51,7 +57,8 @@ func main() {
 	mode := flag.String("mode", "compiled", "engine execution mode: compiled (zero-alloc plans) or interpret (reference tables)")
 	stream := flag.Bool("stream", false, "stream PRE-EXTRACTED feature windows through RunStream instead of one batch (host-side extraction; see -packets for the raw-trace path)")
 	packets := flag.Bool("packets", false, "replay the RAW merged packet trace: the emitted program's registers extract features per packet and fire inference on window boundaries")
-	multi := flag.String("models", "", "comma-separated models (mlp-b,cnn-b,cnn-m,rnn-b) served CONCURRENTLY from one shared-budget scheduler, with per-model packets/s")
+	multi := flag.String("models", "", "comma-separated models (mlp-b,cnn-b,cnn-m,rnn-b) served CONCURRENTLY through the serving control plane (admission-checked, SLO-tuned), with per-model packets/s")
+	metricsAddr := flag.String("metrics-addr", "", "with -models: serve the control plane's JSON metrics endpoint on this address (e.g. 127.0.0.1:9090, or :0 for an ephemeral port) and print a snapshot after the run")
 	gen := flag.Int("gen", 0, "stream this many GENERATED feature windows (internal/trafficgen, steady-state flow churn) through RunStream instead of replaying the test trace")
 	genFlows := flag.Int("gen-flows", 1<<14, "live-flow population held by the -gen traffic generator")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering the replay to this path")
@@ -86,8 +93,12 @@ func main() {
 
 	if *multi != "" {
 		runMultiModels(strings.Split(*multi, ","), ds.NumClasses(), train, test,
-			*epochs, *seed, *workers, execMode, rng)
+			*epochs, *seed, *workers, execMode, *metricsAddr, rng)
 		return
+	}
+	if *metricsAddr != "" {
+		fmt.Fprintln(os.Stderr, "-metrics-addr requires -models (the serving control plane)")
+		os.Exit(2)
 	}
 	var m *models.Feedforward
 	switch *model {
@@ -335,11 +346,13 @@ func buildServed(name string, k int, train, test []netsim.Flow, epochs int, seed
 }
 
 // runMultiModels is the -models path: every named model is trained,
-// compiled and emitted, all are registered on ONE shared-budget
-// scheduler, and their test sets replay concurrently — per-model
-// packets/s, accuracy and pool occupancy come from the scheduler's
-// serving stats.
-func runMultiModels(names []string, k int, train, test []netsim.Flow, epochs int, seed int64, workers int, execMode pisa.ExecMode, rng *rand.Rand) {
+// compiled and emitted, then registered through the serving control
+// plane — admission control validates each candidate against the
+// combined deployment budget (growing the pipe count until the set
+// fits), the SLO tuner balances the shared pool toward equal busy-time
+// shares during the replay window, and -metrics-addr exposes the
+// control plane's JSON metrics endpoint while the run is live.
+func runMultiModels(names []string, k int, train, test []netsim.Flow, epochs int, seed int64, workers int, execMode pisa.ExecMode, metricsAddr string, rng *rand.Rand) {
 	var served []servedModel
 	for _, raw := range names {
 		name := strings.TrimSpace(raw)
@@ -355,17 +368,60 @@ func runMultiModels(names []string, k int, train, test []netsim.Flow, epochs int
 		check(fmt.Errorf("-models selected no models"))
 	}
 
-	sched := pisa.NewScheduler(workers)
-	defer sched.Close()
-	engines := make([]*pisa.Engine, len(served))
-	for i, sm := range served {
-		engines[i] = sm.em.NewEngineOn(sched, sm.name, 1, execMode)
-		defer engines[i].Close()
+	// Admission-controlled registration: start from a single switch and
+	// double the pipe count whenever the combined budget rejects a
+	// model, reporting what the admission check said each time.
+	var srv *serve.Server
+	ms := make([]*serve.Model, 0, len(served))
+	pipes := 1
+	for ; pipes <= 16; pipes *= 2 {
+		srv = serve.NewServer(serve.Options{
+			Name: "pegasus-run", Cap: pisa.Tofino2.Pipes(pipes),
+			Budget: workers, Mode: execMode,
+		})
+		ms = ms[:0]
+		ok := true
+		for _, sm := range served {
+			m, err := srv.Register(sm.name, sm.em, 1, serve.SLO{TargetShare: 1 / float64(len(served))})
+			if err != nil {
+				var ae *serve.AdmissionError
+				if !errors.As(err, &ae) {
+					check(err)
+				}
+				fmt.Printf("admission: Tofino2.Pipes(%d) rejects %s: %v\n", pipes, sm.name, ae.Report)
+				ok = false
+				break
+			}
+			ms = append(ms, m)
+		}
+		if ok {
+			break
+		}
+		srv.Close()
+	}
+	if pipes > 16 {
+		check(fmt.Errorf("-models set does not fit 16 pipes"))
+	}
+	defer srv.Close()
+	dep := srv.Deployment()
+	stages, sram, tcam := dep.Headroom()
+	fmt.Printf("admitted %d models on Tofino2.Pipes(%d); headroom %d stages, %.1f Mb SRAM, %.1f Mb TCAM\n",
+		len(ms), pipes, stages, float64(sram)/1e6, float64(tcam)/1e6)
+
+	var lis net.Listener
+	if metricsAddr != "" {
+		var err error
+		lis, err = net.Listen("tcp", metricsAddr)
+		check(err)
+		go http.Serve(lis, srv)
+		fmt.Printf("metrics endpoint: http://%s/\n", lis.Addr())
 	}
 
 	// Replay every model's test set concurrently for a fixed wall
-	// window; the shared pool drains the per-model queues fairly.
+	// window with the SLO feedback loop running; the shared pool drains
+	// the per-model queues by tuned weight.
 	const measure = 2 * time.Second
+	srv.StartTuner(measure / 8)
 	hits := make([]int, len(served))
 	last := make([][]pisa.Result, len(served))
 	var wg sync.WaitGroup
@@ -375,38 +431,41 @@ func runMultiModels(names []string, k int, train, test []netsim.Flow, epochs int
 		go func(i int) {
 			defer wg.Done()
 			for time.Since(start) < measure {
-				last[i] = engines[i].RunBatch(served[i].jobs)
+				last[i] = ms[i].Run(served[i].jobs)
 			}
 		}(i)
 	}
 	wg.Wait()
 	wall := time.Since(start)
+	srv.StopTuner()
 
 	fmt.Printf("\nmulti-model serving: %d models, %d-worker shared budget, %s wall (%s)\n",
-		len(served), sched.Budget(), wall.Round(time.Millisecond), execMode)
-	fmt.Printf("%-8s %8s %14s %10s %8s %10s\n", "model", "shards", "pkt/s", "accuracy", "occ", "batches")
-	// Pair each stats row with its model by name rather than position —
-	// Stats() order is registration order today, but the pairing should
-	// not depend on that staying true.
-	idx := make(map[string]int, len(served))
-	for i, sm := range served {
-		idx[sm.name] = i
-	}
-	for _, st := range sched.Stats() {
-		i, ok := idx[st.Name]
-		if !ok {
-			continue
-		}
+		len(served), srv.Scheduler().Budget(), wall.Round(time.Millisecond), execMode)
+	fmt.Printf("%-8s %4s %6s %14s %10s %8s %10s\n", "model", "ver", "weight", "pkt/s", "accuracy", "occ", "batches")
+	for i, m := range ms {
+		st := m.Stats()
 		for j, r := range last[i] {
 			if r.Class == served[i].ys[j] {
 				hits[i]++
 			}
 		}
 		acc := float64(hits[i]) / float64(len(served[i].jobs))
-		occ := st.Busy.Seconds() / (wall.Seconds() * float64(sched.Budget()))
-		fmt.Printf("%-8s %8d %14.3g %10.4f %7.1f%% %10d\n",
-			st.Name, engines[i].Workers(), float64(st.Packets)/wall.Seconds(), acc,
+		occ := st.Busy.Seconds() / (wall.Seconds() * float64(srv.Scheduler().Budget()))
+		fmt.Printf("%-8s %4d %6d %14.3g %10.4f %7.1f%% %10d\n",
+			m.Name(), m.Version(), m.Weight(), float64(st.Packets)/wall.Seconds(), acc,
 			100*occ, st.Tasks)
+	}
+
+	// With a live endpoint, fetch and print one snapshot through HTTP —
+	// the same JSON a scraper would see.
+	if lis != nil {
+		resp, err := http.Get("http://" + lis.Addr().String() + "/")
+		check(err)
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		check(err)
+		fmt.Printf("\nmetrics snapshot (%s):\n%s", lis.Addr(), body)
+		lis.Close()
 	}
 }
 

@@ -67,13 +67,15 @@ func extractOverhead(em *Emitted) (stages, sram, tcam, reg int) {
 	return
 }
 
-// Resources sums the members' hardware consumption, charging each
-// distinct extraction spec once: later emissions with a spec already
-// accounted contribute their footprint minus the shared machine.
-func (d *Deployment) Resources() pisa.Resources {
-	var total pisa.Resources
+// memberResources returns each member's CHARGED resources — extraction
+// sharing applied in deployment order — plus whether the member shares
+// an already-accounted extraction machine. Summing the rows yields the
+// deployment totals (modulo the max-combined PHV/bus columns).
+func (d *Deployment) memberResources() ([]pisa.Resources, []bool) {
+	rs := make([]pisa.Resources, len(d.Models))
+	shared := make([]bool, len(d.Models))
 	seen := map[ExtractSpec]bool{}
-	for _, em := range d.Models {
+	for i, em := range d.Models {
 		r := em.Resources()
 		if em.Extract != nil {
 			if seen[em.Extract.Spec] {
@@ -82,9 +84,22 @@ func (d *Deployment) Resources() pisa.Resources {
 				r.SRAMBits -= sram + reg
 				r.TCAMBits -= tcam
 				r.RegBits -= reg
+				shared[i] = true
 			}
 			seen[em.Extract.Spec] = true
 		}
+		rs[i] = r
+	}
+	return rs, shared
+}
+
+// Resources sums the members' hardware consumption, charging each
+// distinct extraction spec once: later emissions with a spec already
+// accounted contribute their footprint minus the shared machine.
+func (d *Deployment) Resources() pisa.Resources {
+	var total pisa.Resources
+	rs, _ := d.memberResources()
+	for _, r := range rs {
 		total.Stages += r.Stages
 		total.SRAMBits += r.SRAMBits
 		total.TCAMBits += r.TCAMBits
@@ -100,29 +115,132 @@ func (d *Deployment) Resources() pisa.Resources {
 	return total
 }
 
-// Validate checks every member against its own per-pipe capacity and
-// the combined consumption against the deployment budget.
-func (d *Deployment) Validate() error {
+// ResourceDim names one budget dimension of a deployment report.
+type ResourceDim string
+
+// The deployment budget dimensions admission control reports on.
+const (
+	DimStages ResourceDim = "stages"
+	DimSRAM   ResourceDim = "sram_bits"
+	DimTCAM   ResourceDim = "tcam_bits"
+)
+
+// Contribution is one member emission's charge against a dimension.
+type Contribution struct {
+	Model  string `json:"model"`
+	Amount int    `json:"amount"`
+	// SharesExtraction marks a member charged minus an extraction
+	// machine another member already paid for.
+	SharesExtraction bool `json:"shares_extraction,omitempty"`
+}
+
+// BudgetExcess reports one exhausted dimension: the combined use, the
+// budget, and every member's contribution so the offender is visible.
+type BudgetExcess struct {
+	Dim      ResourceDim    `json:"dim"`
+	Used     int            `json:"used"`
+	Limit    int            `json:"limit"`
+	PerModel []Contribution `json:"per_model"`
+}
+
+// BudgetError is Deployment.Validate's structured failure: the
+// machine-readable resource report admission control returns to a
+// rejected registration. Excesses lists every exhausted dimension with
+// per-program contributions; MemberErrs carries members that fail
+// their own per-pipe validation.
+type BudgetError struct {
+	Deployment string         `json:"deployment"`
+	Excesses   []BudgetExcess `json:"excesses,omitempty"`
+	MemberErrs []string       `json:"member_errors,omitempty"`
+}
+
+func (e *BudgetError) Error() string {
 	var errs []string
+	for _, ex := range e.Excesses {
+		contrib := make([]string, len(ex.PerModel))
+		for i, c := range ex.PerModel {
+			shared := ""
+			if c.SharesExtraction {
+				shared = ", shares extraction"
+			}
+			contrib[i] = fmt.Sprintf("%s %d%s", c.Model, c.Amount, shared)
+		}
+		switch ex.Dim {
+		case DimStages:
+			errs = append(errs, fmt.Sprintf("combined %d stages exceed the deployment budget %d (%s)",
+				ex.Used, ex.Limit, strings.Join(contrib, "; ")))
+		case DimSRAM:
+			errs = append(errs, fmt.Sprintf("combined SRAM %d bits exceeds %d (%s)",
+				ex.Used, ex.Limit, strings.Join(contrib, "; ")))
+		case DimTCAM:
+			errs = append(errs, fmt.Sprintf("combined TCAM %d bits exceeds %d (%s)",
+				ex.Used, ex.Limit, strings.Join(contrib, "; ")))
+		}
+	}
+	errs = append(errs, e.MemberErrs...)
+	return fmt.Sprintf("core: deployment %q over budget:\n  %s", e.Deployment, strings.Join(errs, "\n  "))
+}
+
+// Validate checks every member against its own per-pipe capacity and
+// the combined consumption against the deployment budget. Failures are
+// returned as a *BudgetError naming each exhausted dimension and every
+// member's contribution to it (extraction-sharing members marked), so
+// an operator can read WHICH resource ran out and WHO is spending it.
+func (d *Deployment) Validate() error {
+	be := &BudgetError{Deployment: d.Name}
 	for _, em := range d.Models {
 		if err := em.Validate(); err != nil {
-			errs = append(errs, err.Error())
+			be.MemberErrs = append(be.MemberErrs, err.Error())
 		}
+	}
+	rs, shared := d.memberResources()
+	contrib := func(get func(pisa.Resources) int) []Contribution {
+		cs := make([]Contribution, len(d.Models))
+		for i, em := range d.Models {
+			cs[i] = Contribution{Model: em.Prog.Name, Amount: get(rs[i]), SharesExtraction: shared[i]}
+		}
+		return cs
 	}
 	res := d.Resources()
 	if res.Stages > d.Cap.Stages {
-		errs = append(errs, fmt.Sprintf("combined %d stages exceed the deployment budget %d", res.Stages, d.Cap.Stages))
+		be.Excesses = append(be.Excesses, BudgetExcess{Dim: DimStages,
+			Used: res.Stages, Limit: d.Cap.Stages,
+			PerModel: contrib(func(r pisa.Resources) int { return r.Stages })})
 	}
 	if lim := d.Cap.SRAMBitsPerStage * d.Cap.Stages; res.SRAMBits > lim {
-		errs = append(errs, fmt.Sprintf("combined SRAM %d bits exceeds %d", res.SRAMBits, lim))
+		be.Excesses = append(be.Excesses, BudgetExcess{Dim: DimSRAM,
+			Used: res.SRAMBits, Limit: lim,
+			PerModel: contrib(func(r pisa.Resources) int { return r.SRAMBits })})
 	}
 	if lim := d.Cap.TCAMBitsPerStage * d.Cap.Stages; res.TCAMBits > lim {
-		errs = append(errs, fmt.Sprintf("combined TCAM %d bits exceeds %d", res.TCAMBits, lim))
+		be.Excesses = append(be.Excesses, BudgetExcess{Dim: DimTCAM,
+			Used: res.TCAMBits, Limit: lim,
+			PerModel: contrib(func(r pisa.Resources) int { return r.TCAMBits })})
 	}
-	if len(errs) > 0 {
-		return fmt.Errorf("core: deployment %q over budget:\n  %s", d.Name, strings.Join(errs, "\n  "))
+	if len(be.Excesses) > 0 || len(be.MemberErrs) > 0 {
+		return be
 	}
 	return nil
+}
+
+// Headroom reports the budget left after the deployment's combined
+// consumption — the remaining capacity a candidate admission must fit
+// (negative values mean the deployment is already over).
+func (d *Deployment) Headroom() (stages, sramBits, tcamBits int) {
+	res := d.Resources()
+	return d.Cap.Stages - res.Stages,
+		d.Cap.SRAMBitsPerStage*d.Cap.Stages - res.SRAMBits,
+		d.Cap.TCAMBitsPerStage*d.Cap.Stages - res.TCAMBits
+}
+
+// Admit validates the deployment EXTENDED by em without mutating it —
+// the admission-control delta check: on success the caller may append
+// em to Models; on failure the returned *BudgetError names the
+// exhausted dimensions with the candidate's own contribution included.
+func (d *Deployment) Admit(em *Emitted) error {
+	cand := Deployment{Name: d.Name, Cap: d.Cap,
+		Models: append(append([]*Emitted{}, d.Models...), em)}
+	return cand.Validate()
 }
 
 // Summary renders the combined capacity report: one line per model and

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -95,9 +96,81 @@ func TestDeploymentOverBudget(t *testing.T) {
 	spec := ExtractSpec{Kind: ExtractSeq, Window: 8, Flows: 1024}
 	a := deployTestEmission(t, "model-a", spec, 15)
 	b := deployTestEmission(t, "model-b", ExtractSpec{Kind: ExtractSeq, Window: 16, Flows: 1024}, 15)
-	if _, err := NewDeployment("overfull", pisa.Tofino2, a, b); err == nil {
+	_, err := NewDeployment("overfull", pisa.Tofino2, a, b)
+	if err == nil {
 		t.Fatal("36-stage deployment accepted on a 20-stage budget")
-	} else if !strings.Contains(err.Error(), "exceed the deployment budget") {
+	}
+	if !strings.Contains(err.Error(), "exceed the deployment budget") {
 		t.Fatalf("unexpected error: %v", err)
+	}
+	// The diagnosis names the dimension and each program's contribution.
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("error is %T, want *BudgetError", err)
+	}
+	var stages *BudgetExcess
+	for i := range be.Excesses {
+		if be.Excesses[i].Dim == DimStages {
+			stages = &be.Excesses[i]
+		}
+	}
+	if stages == nil {
+		t.Fatalf("no %q excess in %+v", DimStages, be.Excesses)
+	}
+	if stages.Limit != pisa.Tofino2.Stages || stages.Used <= stages.Limit {
+		t.Fatalf("stages excess used=%d limit=%d", stages.Used, stages.Limit)
+	}
+	if len(stages.PerModel) != 2 {
+		t.Fatalf("per-model contributions: %+v", stages.PerModel)
+	}
+	sum := 0
+	for _, c := range stages.PerModel {
+		if c.Model != "model-a" && c.Model != "model-b" {
+			t.Fatalf("contribution names %q", c.Model)
+		}
+		sum += c.Amount
+	}
+	if sum != stages.Used {
+		t.Fatalf("contributions sum %d != used %d", sum, stages.Used)
+	}
+	for _, name := range []string{"model-a", "model-b"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("message does not name %s: %v", name, err)
+		}
+	}
+}
+
+// TestDeploymentAdmit checks the non-mutating delta check used by
+// admission control: Admit validates the extended deployment without
+// touching Models, and Headroom reports the remaining budget.
+func TestDeploymentAdmit(t *testing.T) {
+	spec := ExtractSpec{Kind: ExtractSeq, Window: 8, Flows: 1024}
+	a := deployTestEmission(t, "model-a", spec, 8)
+	d, err := NewDeployment("base", pisa.Tofino2, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stages, sram, tcam := d.Headroom()
+	if stages <= 0 || sram <= 0 || tcam <= 0 {
+		t.Fatalf("headroom (%d, %d, %d) not positive", stages, sram, tcam)
+	}
+	// A small second model fits; a 15-stage one does not.
+	small := deployTestEmission(t, "model-s", ExtractSpec{Kind: ExtractSeq, Window: 16, Flows: 1024}, 1)
+	if err := d.Admit(small); err != nil {
+		t.Fatalf("small model rejected: %v", err)
+	}
+	big := deployTestEmission(t, "model-g", ExtractSpec{Kind: ExtractSeq, Window: 32, Flows: 1024}, 15)
+	err = d.Admit(big)
+	if err == nil {
+		t.Fatal("over-stage candidate admitted")
+	}
+	if !strings.Contains(err.Error(), "model-g") {
+		t.Fatalf("rejection does not name the candidate: %v", err)
+	}
+	if len(d.Models) != 1 {
+		t.Fatalf("Admit mutated Models: %d", len(d.Models))
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("deployment dirtied by Admit: %v", err)
 	}
 }

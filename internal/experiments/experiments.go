@@ -614,6 +614,10 @@ type EngineBenchReport struct {
 	// ScalingPoints; CI gates its scaling assertion on GoMaxProcs so a
 	// 1-CPU box cannot fail (or trivially pass) the multi-worker floor.
 	ScalingMeta *ScalingMeta `json:"scaling_meta,omitempty"`
+	// ServingPoints measures the serving control plane (the "serving"
+	// experiment): admission latency, live-swap downtime with the
+	// co-resident throughput dip, and SLO occupancy convergence.
+	ServingPoints *ServingReport `json:"serving_points,omitempty"`
 }
 
 // ScalingMeta describes how the scaling experiment measured its points.
@@ -1065,7 +1069,7 @@ func (s *Suite) ScalingBench(w io.Writer) error {
 }
 
 // Names lists the runnable experiments.
-var Names = []string{"table2", "table5", "table6", "fig7", "fig8", "fig9acc", "fig9thr", "engine", "multimodel", "scaling"}
+var Names = []string{"table2", "table5", "table6", "fig7", "fig8", "fig9acc", "fig9thr", "engine", "multimodel", "scaling", "serving"}
 
 // Run executes one experiment by name ("all" runs everything).
 func (s *Suite) Run(name string, w io.Writer) error {
@@ -1090,6 +1094,8 @@ func (s *Suite) Run(name string, w io.Writer) error {
 		return s.MultiModelBench(w)
 	case "scaling":
 		return s.ScalingBench(w)
+	case "serving":
+		return s.ServingBench(w)
 	case "all":
 		for _, n := range Names {
 			if err := s.Run(n, w); err != nil {

@@ -1,0 +1,334 @@
+package experiments
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/pegasus-idp/pegasus/internal/core"
+	"github.com/pegasus-idp/pegasus/internal/pisa"
+	"github.com/pegasus-idp/pegasus/internal/serve"
+)
+
+// ServingReport is the "serving" experiment's section of
+// BENCH_engine.json: the serving control plane measured end to end —
+// admission latency on both outcomes, live-swap downtime with the
+// co-resident throughput dip, and the SLO tuner's occupancy
+// convergence — plus the final metrics snapshot the endpoint serves.
+type ServingReport struct {
+	Budget int `json:"budget"`
+	// Pipes is the deployment capacity multiplier that admitted the
+	// model zoo (pisa.Tofino2.Pipes(n)).
+	Pipes       int                `json:"pipes"`
+	Admissions  []AdmissionPoint   `json:"admissions"`
+	Swap        *ServingSwapPoint  `json:"swap,omitempty"`
+	Convergence []ConvergencePoint `json:"convergence,omitempty"`
+	Snapshot    *serve.Snapshot    `json:"snapshot,omitempty"`
+}
+
+// AdmissionPoint times one Register call through admission control.
+type AdmissionPoint struct {
+	Model   string  `json:"model"`
+	Outcome string  `json:"outcome"` // "admitted" or "rejected"
+	Micros  float64 `json:"micros"`
+	// Dim is the exhausted resource dimension on rejection.
+	Dim string `json:"dim,omitempty"`
+}
+
+// ServingSwapPoint measures one live version swap under sustained
+// co-resident load.
+type ServingSwapPoint struct {
+	Model             string  `json:"model"`
+	WarmMicros        float64 `json:"warm_micros"`
+	DrainWaitMicros   float64 `json:"drain_wait_micros"`
+	CutoverMicros     float64 `json:"cutover_micros"`
+	DowntimeMicros    float64 `json:"downtime_micros"`
+	MigratedRegisters int     `json:"migrated_registers"`
+	// CoResidentDip is the worst fractional throughput drop any OTHER
+	// model showed in the measurement window containing the swap,
+	// relative to its pre-swap baseline window (negative = it sped up).
+	CoResidentDip float64 `json:"co_resident_dip"`
+}
+
+// ConvergencePoint is one model's occupancy in one tuner round.
+type ConvergencePoint struct {
+	Round       int     `json:"round"`
+	Model       string  `json:"model"`
+	TargetShare float64 `json:"target_share"`
+	WindowShare float64 `json:"window_share"`
+	Weight      int     `json:"weight"`
+}
+
+// ServingBench exercises the serving control plane end to end with the
+// trained model zoo: admission (timed on both outcomes, including a
+// clone flood until the deployment budget rejects), a live swap of the
+// first model under sustained load on every model, and the SLO
+// tuner's convergence toward asymmetric occupancy targets. The report
+// lands in BENCH_engine.json as "serving_points".
+func (s *Suite) ServingBench(w io.Writer) error {
+	ms, test, err := s.multiModels()
+	if err != nil {
+		return err
+	}
+	budget := runtime.NumCPU()
+	window := time.Duration(s.Cfg.MeasureMS) * time.Millisecond
+
+	type entry struct {
+		name string
+		em   *core.Emitted
+		jobs []pisa.Job
+		slo  serve.SLO
+	}
+	emit := func(i int) (*core.Emitted, error) {
+		em, err := ms[i].Emit(1 << 10)
+		if err != nil {
+			return nil, fmt.Errorf("%s emit: %w", ms[i].Name, err)
+		}
+		return em, nil
+	}
+	entries := make([]entry, len(ms))
+	for i, m := range ms {
+		em, err := emit(i)
+		if err != nil {
+			return err
+		}
+		xs, _ := m.Extract(test)
+		// Model 0 is prioritised to half the pool's busy time (the
+		// alternation ceiling one closed-loop session can reach); the
+		// rest split the remainder evenly.
+		slo := serve.SLO{TargetShare: 0.5 / float64(len(ms)-1)}
+		if i == 0 {
+			slo.TargetShare = 0.5
+		}
+		entries[i] = entry{name: m.Name, em: em, jobs: core.BatchJobsFromFloats(xs), slo: slo}
+	}
+
+	// Grow the deployment capacity until the zoo fits: the report
+	// records which multiple of the single-switch budget admitted it.
+	rep := &ServingReport{Budget: budget}
+	var srv *serve.Server
+	models := make([]*serve.Model, len(entries))
+	for pipes := 2; ; pipes *= 2 {
+		if pipes > 16 {
+			return fmt.Errorf("serving: model zoo does not fit 16 pipes")
+		}
+		srv = serve.NewServer(serve.Options{Name: "serving", Cap: pisa.Tofino2.Pipes(pipes), Budget: budget})
+		ok := true
+		rep.Admissions = rep.Admissions[:0]
+		for i, e := range entries {
+			start := time.Now()
+			m, err := srv.Register(e.name, e.em, 1, e.slo)
+			micros := float64(time.Since(start)) / float64(time.Microsecond)
+			if err != nil {
+				var ae *serve.AdmissionError
+				if !errors.As(err, &ae) {
+					srv.Close()
+					return err
+				}
+				ok = false
+				break
+			}
+			models[i] = m
+			rep.Admissions = append(rep.Admissions, AdmissionPoint{Model: e.name, Outcome: "admitted", Micros: micros})
+		}
+		if ok {
+			rep.Pipes = pipes
+			break
+		}
+		srv.Close()
+	}
+	defer srv.Close()
+	fmt.Fprintf(w, "Serving bench: %d models admitted on Tofino2.Pipes(%d), %d-worker budget (%v windows)\n",
+		len(entries), rep.Pipes, budget, window)
+
+	// Clone flood: keep registering fresh emissions of the largest
+	// model until the remaining combined capacity rejects one — the
+	// rejected-path admission latency, with the exhausted dimension.
+	for i := 0; i < 16; i++ {
+		em, err := emit(len(ms) - 1)
+		if err != nil {
+			return err
+		}
+		name := fmt.Sprintf("clone%d", i)
+		start := time.Now()
+		_, err = srv.Register(name, em, 1, serve.SLO{})
+		micros := float64(time.Since(start)) / float64(time.Microsecond)
+		if err == nil {
+			rep.Admissions = append(rep.Admissions, AdmissionPoint{Model: name, Outcome: "admitted", Micros: micros})
+			continue
+		}
+		var ae *serve.AdmissionError
+		if !errors.As(err, &ae) {
+			return err
+		}
+		dim := ""
+		if len(ae.Report.Excesses) > 0 {
+			dim = string(ae.Report.Excesses[0].Dim)
+		}
+		rep.Admissions = append(rep.Admissions, AdmissionPoint{Model: name, Outcome: "rejected", Micros: micros, Dim: dim})
+		break
+	}
+	for _, a := range rep.Admissions {
+		fmt.Fprintf(w, "  admission %-8s %-8s %8.1fµs %s\n", a.Model, a.Outcome, a.Micros, a.Dim)
+	}
+
+	// Sustained load on every admitted model; per-model packet
+	// counters sampled to measure windows.
+	counts := make([]atomic.Uint64, len(models))
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := range models {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res := models[i].Run(entries[i].jobs)
+				counts[i].Add(uint64(len(res)))
+			}
+		}(i)
+	}
+	sample := func() []uint64 {
+		out := make([]uint64, len(counts))
+		for i := range counts {
+			out[i] = counts[i].Load()
+		}
+		return out
+	}
+
+	// Baseline window, then a window containing the swap of model 0.
+	base0 := sample()
+	time.Sleep(window)
+	base1 := sample()
+	v2, err := emit(0)
+	if err != nil {
+		close(stop)
+		wg.Wait()
+		return err
+	}
+	// The dip window opens once the new version has warmed: the warm
+	// compile shares the process CPU with the workers (inflating any
+	// window that contains it, grossly so on small hosts), while the
+	// phase co-residents actually feel is the drain+cutover.
+	warmed := make(chan struct{})
+	swapCh := make(chan *serve.SwapReport, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		r, err := models[0].Swap(v2, serve.SwapOptions{
+			MigrateState: true,
+			OnWarmed:     func() { close(warmed) },
+		})
+		errCh <- err
+		swapCh <- r
+	}()
+	<-warmed
+	during0 := sample()
+	time.Sleep(window)
+	during1 := sample()
+	if err := <-errCh; err != nil {
+		close(stop)
+		wg.Wait()
+		return err
+	}
+	sr := <-swapCh
+	worstDip := 0.0
+	for i := 1; i < len(models); i++ {
+		before := float64(base1[i] - base0[i])
+		during := float64(during1[i] - during0[i])
+		if before <= 0 {
+			continue
+		}
+		if dip := 1 - during/before; dip > worstDip {
+			worstDip = dip
+		}
+	}
+	rep.Swap = &ServingSwapPoint{
+		Model:             entries[0].name,
+		WarmMicros:        float64(sr.Warm) / float64(time.Microsecond),
+		DrainWaitMicros:   float64(sr.DrainWait) / float64(time.Microsecond),
+		CutoverMicros:     float64(sr.Cutover) / float64(time.Microsecond),
+		DowntimeMicros:    float64(sr.Downtime) / float64(time.Microsecond),
+		MigratedRegisters: sr.MigratedRegisters,
+		CoResidentDip:     worstDip,
+	}
+	fmt.Fprintf(w, "  swap %s v%d->v%d: warm %.0fµs, drain %.0fµs, cutover %.0fµs, downtime %.0fµs, co-resident dip %.1f%%\n",
+		sr.Model, sr.From, sr.To, rep.Swap.WarmMicros, rep.Swap.DrainWaitMicros,
+		rep.Swap.CutoverMicros, rep.Swap.DowntimeMicros, 100*worstDip)
+
+	// Tuner convergence: round windows of TuneOnce against the
+	// declared asymmetric targets, recording each model's window share.
+	const rounds = 8
+	roundWin := window / 2
+	if roundWin < 25*time.Millisecond {
+		roundWin = 25 * time.Millisecond
+	}
+	prevBusy := make([]time.Duration, len(models))
+	for i, m := range models {
+		prevBusy[i] = m.Stats().Busy
+	}
+	for round := 0; round < rounds; round++ {
+		time.Sleep(roundWin)
+		srv.TuneOnce()
+		var total time.Duration
+		deltas := make([]time.Duration, len(models))
+		for i, m := range models {
+			busy := m.Stats().Busy
+			deltas[i] = busy - prevBusy[i]
+			prevBusy[i] = busy
+			total += deltas[i]
+		}
+		for i, m := range models {
+			share := 0.0
+			if total > 0 {
+				share = float64(deltas[i]) / float64(total)
+			}
+			rep.Convergence = append(rep.Convergence, ConvergencePoint{
+				Round: round, Model: entries[i].name,
+				TargetShare: entries[i].slo.TargetShare,
+				WindowShare: share, Weight: m.Weight(),
+			})
+		}
+	}
+	close(stop)
+	wg.Wait()
+	for i, m := range models {
+		last := rep.Convergence[len(rep.Convergence)-len(models)+i]
+		fmt.Fprintf(w, "  slo %-8s target %.2f final share %.2f weight %d\n",
+			entries[i].name, last.TargetShare, last.WindowShare, m.Weight())
+	}
+
+	snap := srv.Snapshot()
+	rep.Snapshot = &snap
+	return s.writeServing(w, rep)
+}
+
+// writeServing merges the serving section into BENCH_engine.json.
+func (s *Suite) writeServing(w io.Writer, rep *ServingReport) error {
+	if s.Cfg.EngineJSON == "" {
+		return nil
+	}
+	full := EngineBenchReport{}
+	if data, err := os.ReadFile(s.Cfg.EngineJSON); err == nil {
+		_ = json.Unmarshal(data, &full)
+	}
+	full.ServingPoints = rep
+	data, err := json.MarshalIndent(&full, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(s.Cfg.EngineJSON, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s\n", s.Cfg.EngineJSON)
+	return nil
+}

@@ -76,8 +76,8 @@ type Engine struct {
 	phvs    [][]*PHV // [shard][pipe], reused across batches
 
 	sched    *Scheduler
-	ownSched bool // solo scheduler, closed with the engine
-	weight   int
+	ownSched bool         // solo scheduler, closed with the engine
+	weight   atomic.Int32 // fair-share weight; retunable live (SetWeight)
 
 	// Scheduler session state. slots[w] is this session's single queued
 	// task at worker w (one outstanding batch ⇒ at most one task per
@@ -97,10 +97,13 @@ type Engine struct {
 	closeOnce sync.Once
 
 	// Per-model serving stats, updated by workers.
-	stTasks   atomic.Uint64
-	stPackets atomic.Uint64
-	stFires   atomic.Uint64
-	stBusy    atomic.Int64
+	stTasks     atomic.Uint64
+	stPackets   atomic.Uint64
+	stFires     atomic.Uint64
+	stBusy      atomic.Int64
+	stWait      atomic.Int64
+	stWaitHist  [StatBuckets]atomic.Uint64
+	stQueueHist [StatBuckets]atomic.Uint64
 
 	// Per-packet replay state (ConfigurePackets).
 	meta     *PacketMeta
@@ -118,6 +121,7 @@ type shardTask struct {
 	res   []Result
 	outs  []int32
 	idx   []int
+	enq   time.Time // enqueue stamp; the worker derives the queue wait
 
 	// Per-packet replay (RunPackets): pkts is non-nil, results land in
 	// fired/class/outs instead of res.
@@ -233,7 +237,8 @@ func (s *Scheduler) newSession(name string, weight int, progs []*Program, bridge
 		weight = 1
 	}
 	e := &Engine{name: name, progs: progs, bridges: bridges, in: in, out: out, class: class,
-		shards: shards, mode: mode, sched: s, weight: weight}
+		shards: shards, mode: mode, sched: s}
+	e.weight.Store(int32(weight))
 	// One contiguous shard-banked slab per program: each worker's flow
 	// state becomes a dense private range instead of strides across
 	// per-register allocations.
@@ -284,14 +289,35 @@ func (e *Engine) Scheduler() *Scheduler { return e.sched }
 
 // Stats snapshots the session's cumulative serving counters.
 func (e *Engine) Stats() EngineStats {
-	return EngineStats{
+	st := EngineStats{
 		Name:    e.name,
-		Weight:  e.weight,
+		Weight:  int(e.weight.Load()),
 		Tasks:   e.stTasks.Load(),
 		Packets: e.stPackets.Load(),
 		Fires:   e.stFires.Load(),
 		Busy:    time.Duration(e.stBusy.Load()),
+		Wait:    time.Duration(e.stWait.Load()),
 	}
+	for i := range st.WaitHist {
+		st.WaitHist[i] = e.stWaitHist[i].Load()
+		st.QueueHist[i] = e.stQueueHist[i].Load()
+	}
+	return st
+}
+
+// Weight returns the session's current fair-share weight.
+func (e *Engine) Weight() int { return int(e.weight.Load()) }
+
+// SetWeight retunes the session's fair-share weight live (< 1 is
+// clamped to 1); it takes effect on the next scheduling decision. This
+// is the hook an SLO feedback loop drives: raising a lagging model's
+// weight shrinks the stride charged per served packet, growing its
+// share of the pool.
+func (e *Engine) SetWeight(w int) {
+	if w < 1 {
+		w = 1
+	}
+	e.weight.Store(int32(w))
 }
 
 // note accounts one executed shard task.
@@ -299,6 +325,24 @@ func (e *Engine) note(packets int, busy time.Duration) {
 	e.stTasks.Add(1)
 	e.stPackets.Add(uint64(packets))
 	e.stBusy.Add(int64(busy))
+}
+
+// noteWait accounts one served task's queue wait.
+func (e *Engine) noteWait(wait time.Duration) {
+	if wait < 0 {
+		wait = 0
+	}
+	e.stWait.Add(int64(wait))
+	e.stWaitHist[waitBucket(wait)].Add(1)
+}
+
+// noteDepth samples the queue depth one enqueued task observed (other
+// sessions already queued at its worker).
+func (e *Engine) noteDepth(depth int) {
+	if depth >= StatBuckets {
+		depth = StatBuckets - 1
+	}
+	e.stQueueHist[depth].Add(1)
 }
 
 // ResetState restores every register of every chained program to its
@@ -321,10 +365,11 @@ func (e *Engine) inline(n int) bool {
 	return e.ownSched && (e.shards == 1 || n == 1)
 }
 
-// dispatch shards the given item count by hash onto the engine's task
-// staging buffer and blocks until the scheduler has drained them. mk
-// builds the task for one shard's index list.
-func (e *Engine) dispatch(n int, hash func(int) uint32, mk func(shard int, idx []int) shardTask) {
+// dispatchAsync shards the given item count by hash onto the engine's
+// task staging buffer and enqueues the tasks on the scheduler WITHOUT
+// waiting for them. mk builds the task for one shard's index list; the
+// caller must eventually wait on batchWG (Pending.Wait / dispatch).
+func (e *Engine) dispatchAsync(n int, hash func(int) uint32, mk func(shard int, idx []int) shardTask) {
 	for s := range e.shardIdx {
 		e.shardIdx[s] = e.shardIdx[s][:0]
 	}
@@ -342,17 +387,45 @@ func (e *Engine) dispatch(n int, hash func(int) uint32, mk func(shard int, idx [
 	e.batchWG.Add(len(e.tasks))
 	e.remaining.Store(int32(len(e.tasks)))
 	e.sched.enqueue(e, e.tasks)
+}
+
+// dispatch is dispatchAsync plus the wait for the batch to drain.
+func (e *Engine) dispatch(n int, hash func(int) uint32, mk func(shard int, idx []int) shardTask) {
+	e.dispatchAsync(n, hash, mk)
 	e.batchWG.Wait()
 }
 
-// RunBatch pushes every job through the program concurrently and returns
-// the results in job order. Calls must not overlap: the engine owns one
-// PHV per shard and a second concurrent batch would race on them (one
-// engine per goroutine, or one RunBatch at a time).
-func (e *Engine) RunBatch(jobs []Job) []Result {
+// Pending is one submitted batch in flight on the scheduler: the
+// non-blocking half of a RunBatch. Wait blocks until every shard task
+// has been served and returns the results in job order; it may be
+// called once or many times, from the submitter or another goroutine.
+type Pending struct {
+	e    *Engine
+	res  []Result
+	done bool
+}
+
+// Wait blocks until the submitted batch has fully executed and returns
+// its results in job order.
+func (p *Pending) Wait() []Result {
+	if !p.done {
+		p.e.batchWG.Wait()
+		p.done = true
+	}
+	return p.res
+}
+
+// SubmitBatch enqueues a batch on the scheduler and returns without
+// waiting for it — the non-blocking submission API: one driver can keep
+// several models' queues full by submitting to each engine and then
+// collecting the Pending results. The engine's single-outstanding-batch
+// contract still applies — the caller must Wait (or Drain) before the
+// next submission on the same engine. Small batches on solo engines run
+// inline and return an already-completed Pending.
+func (e *Engine) SubmitBatch(jobs []Job) *Pending {
 	res := make([]Result, len(jobs))
 	if len(jobs) == 0 {
-		return res
+		return &Pending{e: e, res: res, done: true}
 	}
 	// One flat output buffer per batch, subsliced per packet: shards
 	// write disjoint job indices, so the backing array is race free and
@@ -362,13 +435,32 @@ func (e *Engine) RunBatch(jobs []Job) []Result {
 		start := time.Now()
 		e.runShard(0, jobs, res, outs, e.seqIdx(len(jobs)))
 		e.note(len(jobs), time.Since(start))
-		return res
+		e.noteWait(0)
+		e.noteDepth(0)
+		return &Pending{e: e, res: res, done: true}
 	}
-	e.dispatch(len(jobs), func(i int) uint32 { return jobs[i].Hash },
+	e.dispatchAsync(len(jobs), func(i int) uint32 { return jobs[i].Hash },
 		func(shard int, idx []int) shardTask {
 			return shardTask{shard: shard, jobs: jobs, res: res, outs: outs, idx: idx}
 		})
-	return res
+	return &Pending{e: e, res: res}
+}
+
+// Drain blocks until the engine's outstanding batch (if any) has fully
+// executed — the quiesce hook a control plane uses before swapping or
+// retiring a session. Drain does not prevent NEW submissions; the
+// caller must stop submitting first (the serving layer holds its
+// per-model submission lock across drain + swap).
+func (e *Engine) Drain() {
+	e.batchWG.Wait()
+}
+
+// RunBatch pushes every job through the program concurrently and returns
+// the results in job order. Calls must not overlap: the engine owns one
+// PHV per shard and a second concurrent batch would race on them (one
+// engine per goroutine, or one RunBatch at a time).
+func (e *Engine) RunBatch(jobs []Job) []Result {
+	return e.SubmitBatch(jobs).Wait()
 }
 
 // RunStream's adaptive micro-batching: the chunk target starts at
@@ -495,6 +587,8 @@ func (e *Engine) RunPackets(pkts []PacketIn) []PacketResult {
 		start := time.Now()
 		e.runPacketShard(0, pkts, fired, class, outs, e.seqIdx(len(pkts)))
 		e.note(len(pkts), time.Since(start))
+		e.noteWait(0)
+		e.noteDepth(0)
 	} else {
 		e.dispatch(len(pkts), func(i int) uint32 { return pkts[i].Hash },
 			func(shard int, idx []int) shardTask {

@@ -58,7 +58,7 @@ type schedWorker struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	ready  []*Engine // sessions with a task queued at this worker
-	vtime  float64   // largest virtual pass served by this worker
+	vtime  float64   // largest START pass dequeued by this worker (SFQ virtual time)
 	parked bool
 	closed bool
 }
@@ -155,8 +155,16 @@ func (s *Scheduler) unregister(e *Engine) {
 // global contention. When the batch does not cover every worker (fewer
 // shards than budget, or a sparse batch), idle workers are woken to
 // steal from the loaded ones.
+//
+// Each task is stamped with the enqueue time (the worker computes its
+// queue wait from it) and sampled into the session's queue-depth
+// histogram: the depth recorded is the number of OTHER sessions already
+// queued at the task's worker — the contention this session sees on the
+// shared pool, the signal the SLO tuner and the metrics endpoint read.
 func (s *Scheduler) enqueue(e *Engine, tasks []shardTask) {
+	now := time.Now()
 	for i := range tasks {
+		tasks[i].enq = now
 		wid := (tasks[i].shard + e.offset) % s.budget
 		w := &s.workers[wid]
 		w.mu.Lock()
@@ -165,16 +173,30 @@ func (s *Scheduler) enqueue(e *Engine, tasks []shardTask) {
 			panic("pisa: enqueue on a closed scheduler")
 		}
 		e.slots[wid] = tasks[i]
-		// A session rejoining after idling inherits the worker's virtual
-		// time: its stale low pass must not buy it the whole worker.
-		if e.wpass[wid] < w.vtime {
-			e.wpass[wid] = w.vtime
+		// A session rejoining after idling is floored at the worker's
+		// current fairness frontier: the minimum pass among the sessions
+		// already queued here (start-time fair queueing's virtual time),
+		// falling back to the last dequeued start tag when the queue is
+		// empty. A stale low pass must not buy the whole worker — but the
+		// floor must not erase the credit a high weight earned either,
+		// or every closed-loop submitter (which re-enqueues after each
+		// batch) degenerates to round-robin regardless of weight.
+		floor := w.vtime
+		for _, r := range w.ready {
+			if r.wpass[wid] < floor {
+				floor = r.wpass[wid]
+			}
+		}
+		if e.wpass[wid] < floor {
+			e.wpass[wid] = floor
 		}
 		w.ready = append(w.ready, e)
+		depth := len(w.ready) - 1
 		if w.parked {
 			w.cond.Signal()
 		}
 		w.mu.Unlock()
+		e.noteDepth(depth)
 	}
 	if len(tasks) < s.budget {
 		s.wakeIdle()
@@ -198,7 +220,9 @@ func (s *Scheduler) wakeIdle() {
 // this worker (smallest virtual pass on this worker's clock), advancing
 // the session's pass by packets/weight — stride scheduling with
 // cost-proportional increments, so serving a 10 000-packet task costs a
-// session 100× the credit of a 100-packet one. Caller holds w.mu.
+// session 100× the credit of a 100-packet one. A weight-w session that
+// keeps a task queued is therefore served w× for every serve of a
+// weight-1 competitor. Caller holds w.mu.
 func (w *schedWorker) popLocked() (*Engine, shardTask) {
 	if len(w.ready) == 0 {
 		return nil, shardTask{}
@@ -216,10 +240,14 @@ func (w *schedWorker) popLocked() (*Engine, shardTask) {
 	w.ready = w.ready[:last]
 	t := e.slots[w.id]
 	e.slots[w.id] = shardTask{} // release buffer references
-	e.wpass[w.id] += float64(len(t.idx)) / float64(e.weight)
+	// Advance the virtual time to this task's START tag (not its
+	// finish): flooring arrivals at a finish tag would charge them the
+	// departing session's whole stride, which round-robins closed-loop
+	// submitters no matter their weight.
 	if w.vtime < e.wpass[w.id] {
 		w.vtime = e.wpass[w.id]
 	}
+	e.wpass[w.id] += float64(len(t.idx)) / float64(e.weight.Load())
 	return e, t
 }
 
@@ -295,6 +323,7 @@ func (s *Scheduler) worker(w *schedWorker) {
 			return
 		}
 		start := time.Now()
+		e.noteWait(start.Sub(t.enq))
 		if t.pkts != nil {
 			e.runPacketShard(t.shard, t.pkts, t.fired, t.class, t.outs, t.idx)
 		} else {
@@ -309,9 +338,39 @@ func (s *Scheduler) worker(w *schedWorker) {
 	}
 }
 
+// StatBuckets is the number of histogram buckets EngineStats keeps for
+// queue waits and queue depths.
+const StatBuckets = 8
+
+// WaitBuckets are the upper bounds of the task wait-time histogram:
+// bucket i counts tasks whose queue wait was below WaitBuckets[i]
+// (the last bucket is open-ended). Chosen to straddle the latencies a
+// serving control plane cares about — sub-50µs handoffs through
+// multi-millisecond backlog.
+var WaitBuckets = [StatBuckets - 1]time.Duration{
+	50 * time.Microsecond,
+	200 * time.Microsecond,
+	time.Millisecond,
+	5 * time.Millisecond,
+	20 * time.Millisecond,
+	100 * time.Millisecond,
+	time.Second,
+}
+
+// waitBucket maps a queue wait to its histogram bucket.
+func waitBucket(d time.Duration) int {
+	for i, b := range WaitBuckets {
+		if d < b {
+			return i
+		}
+	}
+	return StatBuckets - 1
+}
+
 // EngineStats is one session's cumulative serving counters.
 type EngineStats struct {
-	// Name and Weight echo the session's registration.
+	// Name and Weight echo the session's registration (Weight reads the
+	// CURRENT fair-share weight — the SLO tuner retunes it live).
 	Name   string
 	Weight int
 	// Tasks is the number of shard tasks served; Packets the packets
@@ -323,6 +382,45 @@ type EngineStats struct {
 	// Busy is the cumulative worker time spent executing this session's
 	// tasks: Busy / (wall × budget) is the model's pool occupancy.
 	Busy time.Duration
+	// Wait is the cumulative queue wait across served tasks — the time
+	// between a task's enqueue and a worker picking it up. Wait/Tasks is
+	// the session's mean scheduling delay, the latency signal the SLO
+	// tuner feeds back into stride weights.
+	Wait time.Duration
+	// WaitHist is the task wait-time histogram: WaitHist[i] counts tasks
+	// whose wait was below WaitBuckets[i] (last bucket open-ended).
+	// Inline batches on solo engines count as zero-wait tasks, so
+	// ΣWaitHist == Tasks.
+	WaitHist [StatBuckets]uint64
+	// QueueHist is the queue-depth histogram: QueueHist[d] counts tasks
+	// that found d OTHER sessions already queued at their worker when
+	// enqueued (last bucket counts depths ≥ StatBuckets-1). Depth 0 is
+	// an uncontended pool; mass in higher buckets means co-resident
+	// models are backing up behind each other.
+	QueueHist [StatBuckets]uint64
+}
+
+// MeanWait returns the session's mean per-task queue wait.
+func (s *EngineStats) MeanWait() time.Duration {
+	if s.Tasks == 0 {
+		return 0
+	}
+	return s.Wait / time.Duration(s.Tasks)
+}
+
+// Add accumulates o's counters into s — used by the serving control
+// plane to carry a model's totals across live version swaps (each
+// engine session counts from zero).
+func (s *EngineStats) Add(o EngineStats) {
+	s.Tasks += o.Tasks
+	s.Packets += o.Packets
+	s.Fires += o.Fires
+	s.Busy += o.Busy
+	s.Wait += o.Wait
+	for i := range s.WaitHist {
+		s.WaitHist[i] += o.WaitHist[i]
+		s.QueueHist[i] += o.QueueHist[i]
+	}
 }
 
 // reduceShards returns the largest shard count ≤ limit that divides

@@ -307,3 +307,116 @@ func TestSchedulerSharedStatefulConsistency(t *testing.T) {
 		}
 	}
 }
+
+// TestSchedulerWaitDepthStats pins the serving-stats extensions: every
+// served task lands in exactly one wait bucket and one queue-depth
+// bucket (ΣWaitHist == Tasks == ΣQueueHist), the cumulative wait is
+// consistent with the histogram, and the weight column tracks live
+// SetWeight retuning.
+func TestSchedulerWaitDepthStats(t *testing.T) {
+	s := NewScheduler(2)
+	defer s.Close()
+	prog, k, out, class := engineTestProg(t)
+	e := s.NewChainEngine("m", []*Program{prog}, nil, []FieldID{k}, []FieldID{out}, class, 1, ExecCompiled)
+	defer e.Close()
+
+	jobs := make([]Job, 300)
+	for i := range jobs {
+		jobs[i] = Job{Hash: uint32(i), In: []int32{int32(i % 256)}}
+	}
+	for i := 0; i < 10; i++ {
+		e.RunBatch(jobs)
+	}
+	st := e.Stats()
+	var waits, depths uint64
+	for i := 0; i < StatBuckets; i++ {
+		waits += st.WaitHist[i]
+		depths += st.QueueHist[i]
+	}
+	if waits != st.Tasks {
+		t.Fatalf("ΣWaitHist = %d, Tasks = %d", waits, st.Tasks)
+	}
+	if depths != st.Tasks {
+		t.Fatalf("ΣQueueHist = %d, Tasks = %d", depths, st.Tasks)
+	}
+	if st.Wait < 0 {
+		t.Fatalf("negative cumulative wait %v", st.Wait)
+	}
+	if st.MeanWait() < 0 {
+		t.Fatalf("negative mean wait %v", st.MeanWait())
+	}
+
+	if e.Weight() != 1 {
+		t.Fatalf("initial weight %d, want 1", e.Weight())
+	}
+	e.SetWeight(7)
+	if got := e.Stats().Weight; got != 7 {
+		t.Fatalf("weight after SetWeight(7) = %d", got)
+	}
+	e.SetWeight(0) // clamped
+	if got := e.Weight(); got != 1 {
+		t.Fatalf("weight after SetWeight(0) = %d, want 1 (clamped)", got)
+	}
+
+	// Accumulation helper used across version swaps.
+	var acc EngineStats
+	acc.Add(st)
+	acc.Add(st)
+	if acc.Tasks != 2*st.Tasks || acc.Packets != 2*st.Packets || acc.Wait != 2*st.Wait {
+		t.Fatalf("EngineStats.Add: %+v vs base %+v", acc, st)
+	}
+}
+
+// TestSubmitBatchAsync covers the non-blocking submission API: one
+// driver saturates two sessions by submitting to both before waiting,
+// results match RunBatch, and Drain quiesces an outstanding batch.
+func TestSubmitBatchAsync(t *testing.T) {
+	s := NewScheduler(2)
+	defer s.Close()
+	progA, k, out, class := engineTestProg(t)
+	a := s.NewChainEngine("a", []*Program{progA}, nil, []FieldID{k}, []FieldID{out}, class, 1, ExecCompiled)
+	defer a.Close()
+	progB, k2, out2, class2 := engineTestProg(t)
+	b := s.NewChainEngine("b", []*Program{progB}, nil, []FieldID{k2}, []FieldID{out2}, class2, 1, ExecCompiled)
+	defer b.Close()
+
+	rng := rand.New(rand.NewSource(5))
+	jobs := make([]Job, 400)
+	for i := range jobs {
+		jobs[i] = Job{Hash: rng.Uint32(), In: []int32{int32(rng.Intn(256))}}
+	}
+	want := a.RunBatch(jobs)
+
+	for iter := 0; iter < 20; iter++ {
+		pa := a.SubmitBatch(jobs)
+		pb := b.SubmitBatch(jobs) // both queues full before either wait
+		ra, rb := pa.Wait(), pb.Wait()
+		for i := range want {
+			if ra[i].Class != want[i].Class || ra[i].Outs[0] != want[i].Outs[0] {
+				t.Fatalf("async a diverged at %d: %+v vs %+v", i, ra[i], want[i])
+			}
+			if rb[i].Class != want[i].Class || rb[i].Outs[0] != want[i].Outs[0] {
+				t.Fatalf("async b diverged at %d: %+v vs %+v", i, rb[i], want[i])
+			}
+		}
+		if again := pa.Wait(); &again[0] != &ra[0] {
+			t.Fatalf("second Wait returned a different result slice")
+		}
+	}
+
+	// Drain from a third goroutine quiesces the outstanding batch.
+	p := a.SubmitBatch(jobs)
+	done := make(chan struct{})
+	go func() {
+		a.Drain()
+		close(done)
+	}()
+	<-done
+	res := p.Wait()
+	if len(res) != len(jobs) {
+		t.Fatalf("drained batch lost results: %d/%d", len(res), len(jobs))
+	}
+	if p := a.SubmitBatch(nil); len(p.Wait()) != 0 {
+		t.Fatal("empty submit")
+	}
+}

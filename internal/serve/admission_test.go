@@ -1,0 +1,280 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/pegasus-idp/pegasus/internal/core"
+	"github.com/pegasus-idp/pegasus/internal/pisa"
+)
+
+// sramEmission inflates SRAM with one big per-flow register (regBits
+// total), spread thin enough over the member pipeline to pass the
+// per-program validation.
+func sramEmission(t *testing.T, name string, regBits int) *core.Emitted {
+	t.Helper()
+	var l pisa.Layout
+	in0 := l.MustAdd("in0", 16)
+	slot := l.MustAdd("slot", 32)
+	out0 := l.MustAdd("out0", 32)
+	prog := pisa.NewProgram(name, &l, pisa.Tofino2)
+	reg, err := pisa.NewRegister("big", 32, regBits/32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri := prog.AddRegister(reg)
+	prog.Place(0, &pisa.Table{Name: "t", Kind: pisa.MatchNone, DefaultData: []int32{},
+		Action: []pisa.Op{
+			{Kind: pisa.OpAndImm, Dst: slot, A: in0, Imm: int32(regBits/32 - 1)},
+			{Kind: pisa.OpRegAdd, Reg: ri, Dst: out0, A: slot, B: in0},
+		}})
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return &core.Emitted{Target: "test", Prog: prog,
+		InFields: []pisa.FieldID{in0}, OutFields: []pisa.FieldID{out0},
+		ClassField: out0, Stages: len(prog.Stages)}
+}
+
+// tcamEmission fills every member stage to exactly the per-stage TCAM
+// capacity with ternary tables (4×32-bit keys, 2048 entries → 524288
+// bits/stage), so each member fits alone but co-residents exhaust the
+// combined TCAM.
+func tcamEmission(t *testing.T, name string, stages int) *core.Emitted {
+	t.Helper()
+	var l pisa.Layout
+	k0 := l.MustAdd("k0", 32)
+	k1 := l.MustAdd("k1", 32)
+	k2 := l.MustAdd("k2", 32)
+	k3 := l.MustAdd("k3", 32)
+	out0 := l.MustAdd("out0", 32)
+	prog := pisa.NewProgram(name, &l, pisa.Tofino2)
+	perStage := pisa.Tofino2.TCAMBitsPerStage / (2 * 4 * 32)
+	for s := 0; s < stages; s++ {
+		entries := make([]pisa.Entry, perStage)
+		for i := range entries {
+			entries[i] = pisa.Entry{
+				Key:  []uint32{uint32(i), uint32(s), 0, 0},
+				Mask: []uint32{^uint32(0), ^uint32(0), 0, 0},
+				Data: []int32{int32(i)},
+			}
+		}
+		prog.Place(s, &pisa.Table{Name: fmt.Sprintf("t%d", s), Kind: pisa.MatchTernary,
+			KeyFields: []pisa.FieldID{k0, k1, k2, k3}, KeyWidths: []int{32, 32, 32, 32},
+			Entries: entries, DataWidthBits: 8,
+			Action: []pisa.Op{{Kind: pisa.OpSetData, Dst: out0, DataIdx: 0}}})
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return &core.Emitted{Target: "test", Prog: prog,
+		InFields: []pisa.FieldID{k0}, OutFields: []pisa.FieldID{out0},
+		ClassField: out0, Stages: len(prog.Stages)}
+}
+
+// extractEmission pairs an extraction machine (px_-prefixed register of
+// pxBits, charged once per identical spec) with a model-side register
+// of modelBits charged per member.
+func extractEmission(t *testing.T, name string, spec core.ExtractSpec, pxBits, modelBits int) *core.Emitted {
+	t.Helper()
+	var l pisa.Layout
+	hash := l.MustAdd("px_hash", 32)
+	slot := l.MustAdd("px_slot", 32)
+	fire := l.MustAdd("px_fire", 8)
+	in0 := l.MustAdd("in0", 16)
+	out0 := l.MustAdd("out0", 32)
+	prog := pisa.NewProgram(name, &l, pisa.Tofino2)
+	px, err := pisa.NewRegister("px_state", 32, pxBits/32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pxi := prog.AddRegister(px)
+	model, err := pisa.NewRegister("model_state", 32, modelBits/32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mi := prog.AddRegister(model)
+	prog.Place(0, &pisa.Table{Name: "px_prelude", Kind: pisa.MatchNone, DefaultData: []int32{},
+		Action: []pisa.Op{
+			{Kind: pisa.OpAndImm, Dst: slot, A: hash, Imm: int32(pxBits/32 - 1)},
+			{Kind: pisa.OpRegAdd, Reg: pxi, Dst: slot, A: slot, B: slot},
+		}})
+	prog.Place(spec.PreludeStages(), &pisa.Table{Name: "t_model", Kind: pisa.MatchNone,
+		DefaultData: []int32{},
+		Action: []pisa.Op{
+			{Kind: pisa.OpAndImm, Dst: out0, A: in0, Imm: int32(modelBits/32 - 1)},
+			{Kind: pisa.OpRegAdd, Reg: mi, Dst: out0, A: out0, B: in0},
+		}})
+	em := &core.Emitted{Target: "test", Prog: prog,
+		InFields: []pisa.FieldID{in0}, OutFields: []pisa.FieldID{out0},
+		ClassField: out0, Stages: len(prog.Stages)}
+	em.Extract = &core.Extraction{Spec: spec,
+		Meta: pisa.PacketMeta{Hash: hash, Fields: []pisa.FieldID{in0}, Fire: fire}}
+	return em
+}
+
+// rejectedWith registers the emission expecting an *AdmissionError on
+// the given dimension, and asserts no scheduler or ledger state
+// changed.
+func rejectedWith(t *testing.T, s *Server, name string, em *core.Emitted, dim core.ResourceDim) *core.BudgetError {
+	t.Helper()
+	sessions := len(s.Scheduler().Stats())
+	models := len(s.Models())
+	rejected := s.Snapshot().Rejected
+	_, err := s.Register(name, em, 1, SLO{})
+	if err == nil {
+		t.Fatalf("registration %q accepted, want %s rejection", name, dim)
+	}
+	var ae *AdmissionError
+	if !errors.As(err, &ae) {
+		t.Fatalf("error is %T, want *AdmissionError: %v", err, err)
+	}
+	if ae.Model != name || ae.Report == nil {
+		t.Fatalf("admission error: %+v", ae)
+	}
+	found := false
+	for _, ex := range ae.Report.Excesses {
+		if ex.Dim == dim {
+			found = true
+			if ex.Used <= ex.Limit {
+				t.Fatalf("%s excess used=%d limit=%d", dim, ex.Used, ex.Limit)
+			}
+			sum := 0
+			for _, c := range ex.PerModel {
+				sum += c.Amount
+			}
+			if sum != ex.Used {
+				t.Fatalf("%s contributions sum %d != used %d", dim, sum, ex.Used)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no %s excess in rejection: %v", dim, err)
+	}
+	// Rejection must precede any state change.
+	if got := len(s.Scheduler().Stats()); got != sessions {
+		t.Fatalf("rejection changed scheduler sessions: %d -> %d", sessions, got)
+	}
+	if got := len(s.Models()); got != models {
+		t.Fatalf("rejection changed the model ledger: %d -> %d", models, got)
+	}
+	if got := s.Snapshot().Rejected; got != rejected+1 {
+		t.Fatalf("rejected counter %d, want %d", got, rejected+1)
+	}
+	return ae.Report
+}
+
+// TestAdmissionOverStages rejects the registration that would push the
+// combined pipeline past Tofino2.Pipes(2)'s 40 stages.
+func TestAdmissionOverStages(t *testing.T) {
+	s := newTestServer(t)
+	for i := 0; i < 2; i++ {
+		name := fmt.Sprintf("m%d", i)
+		if _, err := s.Register(name, statefulEmission(t, name, 0, 15), 1, SLO{}); err != nil {
+			t.Fatalf("member %d (15 stages) rejected: %v", i, err)
+		}
+	}
+	report := rejectedWith(t, s, "m2", statefulEmission(t, "m2", 0, 15), core.DimStages)
+	for _, ex := range report.Excesses {
+		if ex.Dim == core.DimStages && (ex.Used != 45 || ex.Limit != 40) {
+			t.Fatalf("stage excess %d/%d, want 45/40", ex.Used, ex.Limit)
+		}
+	}
+}
+
+// TestAdmissionOverSRAM rejects on combined SRAM: three 160Mb members
+// each fit a member pipeline alone but blow the 2-pipe budget.
+func TestAdmissionOverSRAM(t *testing.T) {
+	const memberBits = 160 << 20
+	s := newTestServer(t)
+	for i := 0; i < 2; i++ {
+		name := fmt.Sprintf("m%d", i)
+		if _, err := s.Register(name, sramEmission(t, name, memberBits), 1, SLO{}); err != nil {
+			t.Fatalf("member %d rejected: %v", i, err)
+		}
+	}
+	rejectedWith(t, s, "m2", sramEmission(t, "m2", memberBits), core.DimSRAM)
+}
+
+// TestAdmissionOverTCAM rejects on combined TCAM (the stage dimension
+// trips alongside it — per-stage TCAM density is capped, so exhausting
+// combined TCAM on full pipes exhausts stages too; the report must
+// still name TCAM).
+func TestAdmissionOverTCAM(t *testing.T) {
+	s := newTestServer(t)
+	for i := 0; i < 2; i++ {
+		name := fmt.Sprintf("m%d", i)
+		if _, err := s.Register(name, tcamEmission(t, name, 20), 1, SLO{}); err != nil {
+			t.Fatalf("member %d rejected: %v", i, err)
+		}
+	}
+	rejectedWith(t, s, "m2", tcamEmission(t, "m2", 20), core.DimTCAM)
+}
+
+// TestAdmissionExtractionSharing pins the sharing edge cases: an
+// identical ExtractSpec is charged once (three members fit), while a
+// differing spec pays the full extraction machine and is rejected.
+func TestAdmissionExtractionSharing(t *testing.T) {
+	// px 120Mb + model 80Mb: one member uses 200Mb (fits a member
+	// pipeline), full-price members pair to 400Mb + a third model side
+	// (80Mb) clears the 419Mb budget only when the extraction is
+	// shared (120+3×80 = 360Mb) — a differing spec pays 2×120+3×80 =
+	// 480Mb and must be rejected.
+	const pxBits, modelBits = 120 << 20, 80 << 20
+	spec := core.ExtractSpec{Kind: core.ExtractSeq, Window: 8, Flows: 1024}
+
+	shared := NewServer(Options{Name: "shared", Cap: pisa.Tofino2.Pipes(2), Budget: 4})
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("m%d", i)
+		if _, err := shared.Register(name, extractEmission(t, name, spec, pxBits, modelBits), 1, SLO{}); err != nil {
+			t.Fatalf("identical-spec member %d rejected despite sharing: %v", i, err)
+		}
+	}
+	snap := shared.Snapshot()
+	if snap.Admitted != 3 {
+		t.Fatalf("admitted %d, want 3", snap.Admitted)
+	}
+	shared.Close()
+
+	differing := NewServer(Options{Name: "differing", Cap: pisa.Tofino2.Pipes(2), Budget: 4})
+	defer differing.Close()
+	for i := 0; i < 2; i++ {
+		name := fmt.Sprintf("m%d", i)
+		if _, err := differing.Register(name, extractEmission(t, name, spec, pxBits, modelBits), 1, SLO{}); err != nil {
+			t.Fatalf("member %d rejected: %v", i, err)
+		}
+	}
+	spec2 := spec
+	spec2.Window = 16
+	report := rejectedWith(t, differing, "m2",
+		extractEmission(t, "m2", spec2, pxBits, modelBits), core.DimSRAM)
+	// The report marks who shares and who pays full price.
+	for _, ex := range report.Excesses {
+		if ex.Dim != core.DimSRAM {
+			continue
+		}
+		sharing := 0
+		for _, c := range ex.PerModel {
+			if c.SharesExtraction {
+				sharing++
+			}
+		}
+		if sharing != 1 {
+			t.Fatalf("want exactly 1 sharing contribution (m1), got %d: %+v", sharing, ex.PerModel)
+		}
+	}
+}
+
+// TestAdmissionProgramAliasing rejects re-registering an emission that
+// shares live program (and thus register) storage.
+func TestAdmissionProgramAliasing(t *testing.T) {
+	s := newTestServer(t)
+	em := statefulEmission(t, "alpha", 0, 2)
+	if _, err := s.Register("alpha", em, 1, SLO{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Register("beta", em, 1, SLO{}); err == nil {
+		t.Fatal("aliased emission admitted")
+	}
+}

@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"github.com/pegasus-idp/pegasus/internal/pisa"
+)
+
+// ModelMetrics is one model's serving counters in a Snapshot.
+type ModelMetrics struct {
+	Name    string `json:"name"`
+	Version int    `json:"version"`
+	Weight  int    `json:"weight"`
+	SLO     SLO    `json:"slo"`
+	Tasks   uint64 `json:"tasks"`
+	Packets uint64 `json:"packets"`
+	Fires   uint64 `json:"fires"`
+	// BusySeconds is the cumulative worker time spent on this model;
+	// Occupancy is its share of all models' busy time (0 when idle).
+	BusySeconds float64 `json:"busy_seconds"`
+	Occupancy   float64 `json:"occupancy"`
+	// MeanWaitMicros is the average queue wait per served task.
+	MeanWaitMicros float64 `json:"mean_wait_micros"`
+	// WaitHist buckets served tasks by queue wait (bounds in
+	// WaitBucketMicros, last bucket open-ended); QueueHist buckets
+	// them by the depth of other sessions queued at their worker on
+	// enqueue.
+	WaitHist  [pisa.StatBuckets]uint64 `json:"wait_hist"`
+	QueueHist [pisa.StatBuckets]uint64 `json:"queue_hist"`
+}
+
+// Snapshot is the machine-readable metrics document: the deployment's
+// identity, its lifecycle counters, and one entry per registered model
+// in registration order.
+type Snapshot struct {
+	Deployment    string  `json:"deployment"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Budget is the scheduler's worker-pool size.
+	Budget int `json:"budget"`
+	// Admitted/Rejected count Register+Swap admission outcomes; Swaps
+	// counts completed version swaps.
+	Admitted uint64 `json:"admitted"`
+	Rejected uint64 `json:"rejected"`
+	Swaps    uint64 `json:"swaps"`
+	// WaitBucketMicros are the wait-histogram bucket upper bounds in
+	// microseconds (len StatBuckets-1; the last bucket is open).
+	WaitBucketMicros []float64      `json:"wait_bucket_micros"`
+	Models           []ModelMetrics `json:"models"`
+}
+
+// Snapshot captures the deployment's current serving metrics.
+func (s *Server) Snapshot() Snapshot {
+	s.mu.Lock()
+	models := make([]*Model, 0, len(s.order))
+	for _, n := range s.order {
+		models = append(models, s.models[n])
+	}
+	s.mu.Unlock()
+
+	snap := Snapshot{
+		Deployment:    s.name,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Budget:        s.sched.Budget(),
+		Admitted:      s.admitted.Load(),
+		Rejected:      s.rejected.Load(),
+		Swaps:         s.swaps.Load(),
+	}
+	for _, b := range pisa.WaitBuckets {
+		snap.WaitBucketMicros = append(snap.WaitBucketMicros, float64(b)/float64(time.Microsecond))
+	}
+	var totalBusy time.Duration
+	stats := make([]pisa.EngineStats, len(models))
+	for i, m := range models {
+		stats[i] = m.Stats()
+		totalBusy += stats[i].Busy
+	}
+	for i, m := range models {
+		st := stats[i]
+		mm := ModelMetrics{
+			Name:        m.name,
+			Version:     m.Version(),
+			Weight:      m.Weight(),
+			SLO:         m.SLO(),
+			Tasks:       st.Tasks,
+			Packets:     st.Packets,
+			Fires:       st.Fires,
+			BusySeconds: st.Busy.Seconds(),
+			WaitHist:    st.WaitHist,
+			QueueHist:   st.QueueHist,
+		}
+		if totalBusy > 0 {
+			mm.Occupancy = float64(st.Busy) / float64(totalBusy)
+		}
+		mm.MeanWaitMicros = float64(st.MeanWait()) / float64(time.Microsecond)
+		snap.Models = append(snap.Models, mm)
+	}
+	return snap
+}
+
+// ServeHTTP renders the metrics snapshot as JSON — mount the Server on
+// any mux (pegasus-run -models -metrics-addr serves it at /metrics and
+// /).
+func (s *Server) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.Snapshot())
+}

@@ -1,0 +1,418 @@
+// Package serve is the serving control plane over the shared-budget
+// scheduler: the host-side runtime that operates a multi-model switch
+// deployment as an inference service (Pegasus §7.4/§8 frame the
+// dataplane this way; Taurus and FENIX argue per-packet ML needs
+// exactly this admit/monitor/swap loop next to the datapath).
+//
+// A Server owns one pisa.Scheduler and a core.Deployment-shaped
+// capacity ledger. Models enter through Register, which ADMITS the
+// candidate emission against the remaining combined budget and rejects
+// over-capacity registrations with a structured resource report before
+// any scheduler state changes. Registered models are served through
+// Model.Submit/Run, swapped live through Model.Swap (drain + state
+// migration, zero dropped results), retuned by the SLO feedback loop
+// (TuneOnce/StartTuner), and observed through Snapshot — a
+// machine-readable metrics document also served over HTTP.
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/pegasus-idp/pegasus/internal/core"
+	"github.com/pegasus-idp/pegasus/internal/pisa"
+)
+
+// Options configures a serving control plane.
+type Options struct {
+	// Name labels the deployment in reports and metrics.
+	Name string
+	// Cap is the combined hardware budget every admitted model must
+	// co-fit, e.g. pisa.Tofino2.Pipes(2).
+	Cap pisa.Capacity
+	// Budget is the scheduler's worker-pool size (≤ 0 selects
+	// GOMAXPROCS via pisa.NewScheduler).
+	Budget int
+	// Mode selects the execution mode for every engine the server
+	// builds (zero value = pisa.ExecCompiled).
+	Mode pisa.ExecMode
+}
+
+// SLO declares a model's serving targets for the weight auto-tuner.
+// The zero value opts the model out of tuning.
+type SLO struct {
+	// TargetShare is the desired fraction of the pool's busy time
+	// (0 disables occupancy tuning for this model).
+	TargetShare float64 `json:"target_share,omitempty"`
+	// MaxWait is the per-task queue-wait target; sustained violation
+	// doubles the model's weight (0 disables).
+	MaxWait time.Duration `json:"max_wait_ns,omitempty"`
+}
+
+// Server is the serving control plane: one scheduler, a capacity
+// ledger, and the lifecycle of every registered model.
+type Server struct {
+	name  string
+	cap   pisa.Capacity
+	mode  pisa.ExecMode
+	sched *pisa.Scheduler
+	start time.Time
+
+	mu     sync.Mutex // guards models, order, tune bookkeeping
+	models map[string]*Model
+	order  []string // registration order, for stable metrics
+
+	admitted atomic.Uint64
+	rejected atomic.Uint64
+	swaps    atomic.Uint64
+
+	tunerStop chan struct{}
+	tunerWG   sync.WaitGroup
+	closed    bool
+}
+
+// Model is one registered model's serving handle. Submissions are
+// serialized per model (the engine's single-outstanding-batch
+// contract); Swap acquires the same lock, so a cutover automatically
+// drains the in-flight batch before flipping versions.
+type Model struct {
+	srv  *Server
+	name string
+	slo  SLO
+
+	// runMu serializes Submit/Run/RunPackets and Swap's cutover. cur
+	// only changes with runMu held.
+	runMu sync.Mutex
+	// stateMu lets lock-free readers (Stats, metrics) snapshot cur and
+	// base without contending with a long-running batch.
+	stateMu sync.RWMutex
+	cur     *version
+	// base accumulates the retired versions' counters so a model's
+	// stats survive swaps (EngineStats.Add).
+	base pisa.EngineStats
+
+	// Tuner bookkeeping: counters at the previous TuneOnce, guarded by
+	// srv.mu.
+	tuneBusy  time.Duration
+	tuneWait  time.Duration
+	tuneTasks uint64
+}
+
+// version is one emitted program generation bound to a live session.
+type version struct {
+	id  int
+	em  *core.Emitted
+	eng *pisa.Engine
+}
+
+// NewServer starts a serving control plane over a fresh shared-budget
+// scheduler. Close releases the pool.
+func NewServer(opts Options) *Server {
+	if opts.Name == "" {
+		opts.Name = "serve"
+	}
+	return &Server{
+		name:   opts.Name,
+		cap:    opts.Cap,
+		mode:   opts.Mode,
+		sched:  pisa.NewScheduler(opts.Budget),
+		start:  time.Now(),
+		models: map[string]*Model{},
+	}
+}
+
+// Name returns the deployment label.
+func (s *Server) Name() string { return s.name }
+
+// Scheduler exposes the underlying pool (stats, budget).
+func (s *Server) Scheduler() *pisa.Scheduler { return s.sched }
+
+// AdmissionError is a rejected registration or swap: the candidate
+// does not fit the remaining combined capacity. Report carries the
+// structured per-dimension, per-program breakdown.
+type AdmissionError struct {
+	Model  string
+	Op     string // "register" or "swap"
+	Report *core.BudgetError
+}
+
+func (e *AdmissionError) Error() string {
+	return fmt.Sprintf("serve: %s %q rejected: %v", e.Op, e.Model, e.Report)
+}
+
+// Unwrap exposes the core.BudgetError to errors.As.
+func (e *AdmissionError) Unwrap() error { return e.Report }
+
+// deployment snapshots the live emissions as a core.Deployment ledger
+// (caller holds s.mu).
+func (s *Server) deploymentLocked() core.Deployment {
+	d := core.Deployment{Name: s.name, Cap: s.cap}
+	for _, name := range s.order {
+		m := s.models[name]
+		m.stateMu.RLock()
+		d.Models = append(d.Models, m.cur.em)
+		m.stateMu.RUnlock()
+	}
+	return d
+}
+
+// Deployment returns the live capacity ledger (a snapshot — Summary,
+// Resources and Headroom work on it).
+func (s *Server) Deployment() core.Deployment {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.deploymentLocked()
+}
+
+// Register admits a model into the deployment and brings it live.
+//
+// Admission runs FIRST: the candidate emission is validated against
+// the remaining combined capacity (core.Deployment.Admit — extraction
+// sharing applied). An over-capacity candidate is rejected with an
+// *AdmissionError before any scheduler state changes; on success the
+// emission's session is registered on the shared pool (compiling its
+// execution plans) and the model begins serving at the given weight.
+func (s *Server) Register(name string, em *core.Emitted, weight int, slo SLO) (*Model, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("serve: server %q is closed", s.name)
+	}
+	if _, ok := s.models[name]; ok {
+		return nil, fmt.Errorf("serve: model %q already registered (use Swap to replace it)", name)
+	}
+	if err := s.admitLocked(name, em, nil); err != nil {
+		s.rejected.Add(1)
+		return nil, err
+	}
+	m := &Model{srv: s, name: name, slo: slo}
+	m.cur = &version{id: 1, em: em, eng: s.newEngine(em, name, 1, weight)}
+	s.models[name] = m
+	s.order = append(s.order, name)
+	s.admitted.Add(1)
+	return m, nil
+}
+
+// admitLocked validates the deployment with `name` bound to em —
+// replacing its live emission if the model exists, appending
+// otherwise. replace is the model being swapped (nil on Register).
+func (s *Server) admitLocked(name string, em *core.Emitted, replace *Model) error {
+	d := core.Deployment{Name: s.name, Cap: s.cap}
+	for _, n := range s.order {
+		m := s.models[n]
+		if m == replace {
+			continue
+		}
+		m.stateMu.RLock()
+		d.Models = append(d.Models, m.cur.em)
+		m.stateMu.RUnlock()
+	}
+	op := "register"
+	if replace != nil {
+		op = "swap"
+	}
+	if err := d.Admit(em); err != nil {
+		if be, ok := err.(*core.BudgetError); ok {
+			return &AdmissionError{Model: name, Op: op, Report: be}
+		}
+		return fmt.Errorf("serve: %s %q rejected: %w", op, name, err)
+	}
+	// The new emission must own its programs: sharing a *pisa.Program
+	// with a live session would alias register storage across engines.
+	owned := map[*pisa.Program]string{}
+	for _, n := range s.order {
+		m := s.models[n]
+		m.stateMu.RLock()
+		for _, p := range m.cur.em.Programs() {
+			owned[p] = n
+		}
+		m.stateMu.RUnlock()
+	}
+	for _, p := range em.Programs() {
+		if holder, ok := owned[p]; ok {
+			return fmt.Errorf("serve: %s %q rejected: emission shares program %q with live model %q (re-emit a fresh copy)",
+				op, name, p.Name, holder)
+		}
+	}
+	return nil
+}
+
+// newEngine registers the emission's session on the pool under the
+// versioned label name@vN.
+func (s *Server) newEngine(em *core.Emitted, name string, ver, weight int) *pisa.Engine {
+	label := fmt.Sprintf("%s@v%d", name, ver)
+	if em.Extract != nil {
+		return em.NewPacketEngineOn(s.sched, label, weight, s.mode)
+	}
+	return em.NewEngineOn(s.sched, label, weight, s.mode)
+}
+
+// Model looks up a registered model by name (nil if absent).
+func (s *Server) Model(name string) *Model {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.models[name]
+}
+
+// Models returns the registered models in registration order.
+func (s *Server) Models() []*Model {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ms := make([]*Model, 0, len(s.order))
+	for _, n := range s.order {
+		ms = append(ms, s.models[n])
+	}
+	return ms
+}
+
+// Unregister retires a model: waits out its in-flight batch, releases
+// its session, and frees its share of the capacity ledger.
+func (s *Server) Unregister(name string) error {
+	s.mu.Lock()
+	m, ok := s.models[name]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("serve: model %q not registered", name)
+	}
+	delete(s.models, name)
+	for i, n := range s.order {
+		if n == name {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+	m.runMu.Lock()
+	defer m.runMu.Unlock()
+	m.cur.eng.Drain()
+	m.cur.eng.Close()
+	return nil
+}
+
+// Close stops the tuner, retires every model, and releases the pool.
+func (s *Server) Close() {
+	s.StopTuner()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	models := make([]*Model, 0, len(s.order))
+	for _, n := range s.order {
+		models = append(models, s.models[n])
+	}
+	s.models = map[string]*Model{}
+	s.order = nil
+	s.mu.Unlock()
+	for _, m := range models {
+		m.runMu.Lock()
+		m.cur.eng.Drain()
+		m.cur.eng.Close()
+		m.runMu.Unlock()
+	}
+	s.sched.Close()
+}
+
+// Name returns the model's registration name.
+func (m *Model) Name() string { return m.name }
+
+// Version returns the live emission's generation (1 at registration,
+// +1 per swap).
+func (m *Model) Version() int {
+	m.stateMu.RLock()
+	defer m.stateMu.RUnlock()
+	return m.cur.id
+}
+
+// Emitted returns the live emission.
+func (m *Model) Emitted() *core.Emitted {
+	m.stateMu.RLock()
+	defer m.stateMu.RUnlock()
+	return m.cur.em
+}
+
+// SLO returns the model's declared serving targets.
+func (m *Model) SLO() SLO {
+	m.srv.mu.Lock()
+	defer m.srv.mu.Unlock()
+	return m.slo
+}
+
+// SetSLO redeclares the model's serving targets live.
+func (m *Model) SetSLO(slo SLO) {
+	m.srv.mu.Lock()
+	defer m.srv.mu.Unlock()
+	m.slo = slo
+}
+
+// Weight returns the live session's fair-share weight.
+func (m *Model) Weight() int {
+	m.stateMu.RLock()
+	defer m.stateMu.RUnlock()
+	return m.cur.eng.Weight()
+}
+
+// SetWeight retunes the live session's fair-share weight.
+func (m *Model) SetWeight(w int) {
+	m.stateMu.RLock()
+	defer m.stateMu.RUnlock()
+	m.cur.eng.SetWeight(w)
+}
+
+// Stats returns the model's cumulative serving counters across every
+// version it has run (retired generations included).
+func (m *Model) Stats() pisa.EngineStats {
+	m.stateMu.RLock()
+	defer m.stateMu.RUnlock()
+	st := m.cur.eng.Stats()
+	st.Add(m.base)
+	st.Name = m.name
+	return st
+}
+
+// Ticket is one in-flight submission: the model's submission lock is
+// held until Wait returns, preserving the single-outstanding-batch
+// contract across the version swap path.
+type Ticket struct {
+	m    *Model
+	p    *pisa.Pending
+	done bool
+}
+
+// Wait blocks until the batch has fully executed, releases the model
+// for the next submission, and returns the results in job order.
+func (t *Ticket) Wait() []pisa.Result {
+	res := t.p.Wait()
+	if !t.done {
+		t.done = true
+		t.m.runMu.Unlock()
+	}
+	return res
+}
+
+// Submit enqueues a batch on the model's live version without waiting
+// for it. The caller MUST call Wait on the returned ticket — the model
+// stays locked (blocking further submissions and swaps) until then. A
+// driver keeps several models busy by submitting to each and then
+// collecting the tickets.
+func (m *Model) Submit(jobs []pisa.Job) *Ticket {
+	m.runMu.Lock()
+	return &Ticket{m: m, p: m.cur.eng.SubmitBatch(jobs)}
+}
+
+// Run pushes a batch through the live version and waits for the
+// results.
+func (m *Model) Run(jobs []pisa.Job) []pisa.Result {
+	return m.Submit(jobs).Wait()
+}
+
+// RunPackets replays raw packets through the live version's extraction
+// machine (registration must have carried an extraction emission).
+func (m *Model) RunPackets(pkts []pisa.PacketIn) []pisa.PacketResult {
+	m.runMu.Lock()
+	defer m.runMu.Unlock()
+	return m.cur.eng.RunPackets(pkts)
+}

@@ -1,0 +1,211 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/pegasus-idp/pegasus/internal/core"
+	"github.com/pegasus-idp/pegasus/internal/pisa"
+)
+
+// statefulEmission builds a runnable synthetic emission with per-flow
+// state: out0 = (flowcnt[in0&255] += in0) + bias. Jobs driving it must
+// set Hash = uint32(In[0] & 255) so the register cell stays in the
+// submitting shard's bank (the engine's cell ≡ Hash mod shards
+// convention). bias distinguishes program generations in swap tests;
+// stages pads the pipeline for admission tests.
+func statefulEmission(t *testing.T, name string, bias int32, stages int) *core.Emitted {
+	t.Helper()
+	var l pisa.Layout
+	in0 := l.MustAdd("in0", 16)
+	slot := l.MustAdd("slot", 32)
+	acc := l.MustAdd("acc", 32)
+	out0 := l.MustAdd("out0", 32)
+	prog := pisa.NewProgram(name, &l, pisa.Tofino2)
+	reg, err := pisa.NewRegister("flowcnt", 32, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri := prog.AddRegister(reg)
+	prog.Place(0, &pisa.Table{Name: "t_acc", Kind: pisa.MatchNone, DefaultData: []int32{},
+		Action: []pisa.Op{
+			{Kind: pisa.OpAndImm, Dst: slot, A: in0, Imm: 255},
+			{Kind: pisa.OpRegAdd, Reg: ri, Dst: acc, A: slot, B: in0},
+		}})
+	prog.Place(1, &pisa.Table{Name: "t_bias", Kind: pisa.MatchNone, DefaultData: []int32{},
+		Action: []pisa.Op{{Kind: pisa.OpAddImm, Dst: out0, A: acc, Imm: bias}}})
+	for s := 2; s < stages; s++ {
+		prog.Place(s, &pisa.Table{Name: fmt.Sprintf("t_pad%d", s), Kind: pisa.MatchNone,
+			DefaultData: []int32{},
+			Action:      []pisa.Op{{Kind: pisa.OpAddImm, Dst: out0, A: out0, Imm: 0}}})
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return &core.Emitted{Target: "test", Prog: prog,
+		InFields: []pisa.FieldID{in0}, OutFields: []pisa.FieldID{out0},
+		ClassField: out0, Stages: len(prog.Stages)}
+}
+
+// statelessEmission builds out0 = in0 + bias with no per-flow state —
+// safe under arbitrary job hashes (trafficgen load).
+func statelessEmission(t *testing.T, name string, bias int32, stages int) *core.Emitted {
+	t.Helper()
+	var l pisa.Layout
+	in0 := l.MustAdd("in0", 16)
+	out0 := l.MustAdd("out0", 32)
+	prog := pisa.NewProgram(name, &l, pisa.Tofino2)
+	prog.Place(0, &pisa.Table{Name: "t_bias", Kind: pisa.MatchNone, DefaultData: []int32{},
+		Action: []pisa.Op{{Kind: pisa.OpAddImm, Dst: out0, A: in0, Imm: bias}}})
+	for s := 1; s < stages; s++ {
+		prog.Place(s, &pisa.Table{Name: fmt.Sprintf("t_pad%d", s), Kind: pisa.MatchNone,
+			DefaultData: []int32{},
+			Action:      []pisa.Op{{Kind: pisa.OpAddImm, Dst: out0, A: out0, Imm: 0}}})
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return &core.Emitted{Target: "test", Prog: prog,
+		InFields: []pisa.FieldID{in0}, OutFields: []pisa.FieldID{out0},
+		ClassField: out0, Stages: len(prog.Stages)}
+}
+
+// flowJobs builds n jobs with Hash tied to the flow slot, as the
+// stateful emission requires.
+func flowJobs(n int, seed int32) []pisa.Job {
+	jobs := make([]pisa.Job, n)
+	for i := range jobs {
+		v := (seed + int32(i)*37) % 1000
+		jobs[i] = pisa.Job{Hash: uint32(v & 255), In: []int32{v}}
+	}
+	return jobs
+}
+
+func newTestServer(t *testing.T) *Server {
+	t.Helper()
+	s := NewServer(Options{Name: "test", Cap: pisa.Tofino2.Pipes(2), Budget: 4})
+	t.Cleanup(s.Close)
+	return s
+}
+
+// TestRegisterAndRun covers the basic lifecycle: two admitted models
+// served concurrently with correct, independent results and metrics
+// that account every submission.
+func TestRegisterAndRun(t *testing.T) {
+	s := newTestServer(t)
+	a, err := s.Register("alpha", statefulEmission(t, "alpha", 1000, 2), 1, SLO{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Register("beta", statelessEmission(t, "beta", 7, 1), 1, SLO{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Register("alpha", statelessEmission(t, "alpha2", 0, 1), 1, SLO{}); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+
+	jobs := flowJobs(64, 3)
+	// alpha accumulates per-flow: expected value needs the same fold.
+	state := map[int32]int32{}
+	want := make([]int32, len(jobs))
+	for i, j := range jobs {
+		slotID := j.In[0] & 255
+		state[slotID] += j.In[0]
+		want[i] = state[slotID] + 1000
+	}
+	ta := a.Submit(jobs)
+	tb := b.Submit(flowJobs(32, 9))
+	resB := tb.Wait()
+	resA := ta.Wait()
+	for i := range resA {
+		if resA[i].Outs[0] != want[i] {
+			t.Fatalf("alpha job %d: out %d, want %d", i, resA[i].Outs[0], want[i])
+		}
+	}
+	if len(resB) != 32 {
+		t.Fatalf("beta results: %d, want 32", len(resB))
+	}
+	for i, r := range resB {
+		// beta's input sequence mirrors flowJobs(32, 9).
+		v := (9 + int32(i)*37) % 1000
+		if r.Outs[0] != v+7 {
+			t.Fatalf("beta job %d: out %d, want %d", i, r.Outs[0], v+7)
+		}
+	}
+
+	sa, sb := a.Stats(), b.Stats()
+	if sa.Packets != 64 || sb.Packets != 32 {
+		t.Fatalf("stats packets (%d, %d), want (64, 32)", sa.Packets, sb.Packets)
+	}
+	snap := s.Snapshot()
+	if snap.Admitted != 2 || snap.Rejected != 0 || len(snap.Models) != 2 {
+		t.Fatalf("snapshot admitted=%d rejected=%d models=%d", snap.Admitted, snap.Rejected, len(snap.Models))
+	}
+
+	if err := s.Unregister("beta"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Model("beta") != nil || len(s.Models()) != 1 {
+		t.Fatal("beta still registered after Unregister")
+	}
+	if got := a.Run(flowJobs(8, 3)); len(got) != 8 {
+		t.Fatalf("alpha run after unregister: %d results", len(got))
+	}
+}
+
+// TestMetricsEndpoint asserts the HTTP metrics document is valid JSON
+// naming every registered model with coherent counters.
+func TestMetricsEndpoint(t *testing.T) {
+	s := newTestServer(t)
+	names := []string{"m0", "m1", "m2"}
+	for i, n := range names {
+		m, err := s.Register(n, statelessEmission(t, n, int32(i), 1), i+1, SLO{TargetShare: 0.3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Run(flowJobs(40, int32(i)))
+	}
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("metrics endpoint: HTTP %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("metrics endpoint returned invalid JSON: %v\n%s", err, rec.Body.String())
+	}
+	if snap.Deployment != "test" || snap.Budget != 4 {
+		t.Fatalf("snapshot header: %+v", snap)
+	}
+	got := map[string]ModelMetrics{}
+	for _, mm := range snap.Models {
+		got[mm.Name] = mm
+	}
+	var occ float64
+	for i, n := range names {
+		mm, ok := got[n]
+		if !ok {
+			t.Fatalf("model %q missing from metrics: %s", n, rec.Body.String())
+		}
+		if mm.Version != 1 || mm.Weight != i+1 || mm.Packets != 40 {
+			t.Fatalf("model %q metrics: %+v", n, mm)
+		}
+		var hist uint64
+		for _, c := range mm.WaitHist {
+			hist += c
+		}
+		if hist != mm.Tasks {
+			t.Fatalf("model %q: ΣWaitHist %d != tasks %d", n, hist, mm.Tasks)
+		}
+		occ += mm.Occupancy
+	}
+	if occ < 0.99 || occ > 1.01 {
+		t.Fatalf("occupancies sum to %v, want ~1", occ)
+	}
+}

@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/pegasus-idp/pegasus/internal/core"
+	"github.com/pegasus-idp/pegasus/internal/pisa"
+)
+
+// SwapOptions tunes a live version swap.
+type SwapOptions struct {
+	// MigrateState carries the old version's per-flow register values
+	// into the new one wherever a register matches by name, width and
+	// size — in-progress feature windows survive the swap. When false
+	// the new version starts from its initial register values, exactly
+	// like a cold restart.
+	MigrateState bool
+	// OnWarmed, when set, is called once the new version's plans have
+	// compiled, immediately before the cutover blocks submissions. It
+	// lets a caller line up measurement windows (or shift traffic) with
+	// the service-interrupting phase rather than the off-path warm.
+	OnWarmed func()
+}
+
+// SwapReport measures one completed version swap.
+type SwapReport struct {
+	Model string `json:"model"`
+	// From/To are the retired and live generation ids.
+	From int `json:"from"`
+	To   int `json:"to"`
+	// Warm is the off-path preparation: admission plus compiling the
+	// new version's execution plans while v-from keeps serving.
+	Warm time.Duration `json:"warm_ns"`
+	// DrainWait is the time spent waiting for v-from's in-flight batch
+	// after submissions were redirected.
+	DrainWait time.Duration `json:"drain_wait_ns"`
+	// Cutover covers state migration plus the version flip.
+	Cutover time.Duration `json:"cutover_ns"`
+	// Downtime is the total window during which the model accepted no
+	// new submissions (DrainWait + Cutover).
+	Downtime time.Duration `json:"downtime_ns"`
+	// MigratedRegisters counts registers whose values were carried
+	// over (0 when MigrateState is false or nothing matched).
+	MigratedRegisters int `json:"migrated_registers"`
+}
+
+// Swap replaces the model's live emission with a new generation
+// without dropping other sessions' traffic.
+//
+// The protocol:
+//  1. ADMIT — the candidate is validated against the deployment with
+//     this model's live emission replaced; rejection happens before
+//     any scheduler state changes.
+//  2. WARM — the new version's session is registered on the shared
+//     pool and its execution plans compile while the old version keeps
+//     serving.
+//  3. CUTOVER — the model's submission lock is acquired (new
+//     submissions block, none are dropped), the in-flight batch
+//     drains, flow-state registers migrate (or re-init per
+//     SwapOptions), and the version pointer flips.
+//  4. RETIRE — the old session closes; its counters accumulate into
+//     the model's base so Stats survive the swap.
+//
+// Co-resident models keep running throughout: only this model's
+// submissions block, and only for DrainWait+Cutover.
+func (m *Model) Swap(em *core.Emitted, opts SwapOptions) (*SwapReport, error) {
+	s := m.srv
+	warmStart := time.Now()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("serve: server %q is closed", s.name)
+	}
+	if s.models[m.name] != m {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("serve: model %q is no longer registered", m.name)
+	}
+	if err := s.admitLocked(m.name, em, m); err != nil {
+		s.rejected.Add(1)
+		s.mu.Unlock()
+		return nil, err
+	}
+	s.mu.Unlock()
+
+	// Warm the new generation off the serving path: session
+	// registration compiles the plans; the session idles (weight
+	// inherited from the live one) until the cutover.
+	m.stateMu.RLock()
+	old := m.cur
+	m.stateMu.RUnlock()
+	next := &version{id: old.id + 1, em: em,
+		eng: s.newEngine(em, m.name, old.id+1, old.eng.Weight())}
+	warm := time.Since(warmStart)
+	if opts.OnWarmed != nil {
+		opts.OnWarmed()
+	}
+
+	// Cutover: block new submissions, drain the in-flight batch.
+	cutStart := time.Now()
+	m.runMu.Lock()
+	old.eng.Drain()
+	drained := time.Now()
+
+	migrated := 0
+	if opts.MigrateState {
+		migrated = migrateRegisters(old.em, em)
+	} else {
+		// Explicit re-init so post-swap replay is bit-identical to a
+		// fresh engine regardless of what warming touched.
+		next.eng.ResetState()
+	}
+	next.eng.SetWeight(old.eng.Weight()) // carry any tuning since warm
+	m.stateMu.Lock()
+	retired := old.eng.Stats()
+	m.base.Add(retired)
+	m.cur = next
+	m.stateMu.Unlock()
+	m.runMu.Unlock()
+	cutEnd := time.Now()
+
+	old.eng.Close()
+	s.swaps.Add(1)
+	return &SwapReport{
+		Model:             m.name,
+		From:              old.id,
+		To:                next.id,
+		Warm:              warm,
+		DrainWait:         drained.Sub(cutStart),
+		Cutover:           cutEnd.Sub(drained),
+		Downtime:          cutEnd.Sub(cutStart),
+		MigratedRegisters: migrated,
+	}, nil
+}
+
+// migrateRegisters copies per-flow state from the old emission into
+// the new one wherever a register matches by (name, width, size),
+// pipe by pipe. Both engines are quiescent: the old one is drained and
+// locked out of submissions, the new one is not yet visible. Returns
+// the number of registers carried over.
+func migrateRegisters(from, to *core.Emitted) int {
+	src := map[string]*pisa.Register{}
+	for _, p := range from.Programs() {
+		for _, r := range p.Registers {
+			src[r.Name] = r
+		}
+	}
+	migrated := 0
+	for _, p := range to.Programs() {
+		for _, r := range p.Registers {
+			o, ok := src[r.Name]
+			if !ok || o.Width != r.Width || o.Size != r.Size {
+				continue
+			}
+			for i := 0; i < r.Size; i++ {
+				r.Set(i, o.Get(i))
+			}
+			migrated++
+		}
+	}
+	return migrated
+}

@@ -1,0 +1,228 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/pegasus-idp/pegasus/internal/pisa"
+	"github.com/pegasus-idp/pegasus/internal/trafficgen"
+)
+
+// TestLiveSwapUnderLoad replaces a model's emission while a co-resident
+// model replays sustained trafficgen load: no in-flight result is
+// dropped, the swapped model's post-swap classifications are
+// bit-identical to a cold restart of the new version, and the
+// co-resident keeps making progress throughout.
+func TestLiveSwapUnderLoad(t *testing.T) {
+	s := newTestServer(t)
+	hot, err := s.Register("hot", statefulEmission(t, "hot-v1", 100, 2), 1, SLO{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	side, err := s.Register("side", statelessEmission(t, "side", 7, 1), 1, SLO{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sustained co-resident load: trafficgen jobs replayed until stop,
+	// every batch checked for completeness.
+	gen := trafficgen.NewJobGen(trafficgen.Config{Seed: 1, Flows: 1 << 10},
+		[][]int32{{3}, {11}, {40}})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var sideBatches, sideDropped int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		batch := make([]pisa.Job, 256)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			gen.Fill(batch)
+			if res := side.Run(batch); len(res) != len(batch) {
+				sideDropped++
+				return
+			}
+			sideBatches++
+		}
+	}()
+
+	// Warm-up traffic on v1 dirties its per-flow registers, so the
+	// cold-restart equivalence below fails unless the swap really
+	// re-initialises state.
+	for i := int32(0); i < 5; i++ {
+		if res := hot.Run(flowJobs(128, i)); len(res) != 128 {
+			t.Fatalf("v1 warm-up batch %d dropped results", i)
+		}
+	}
+
+	// Swap with an in-flight batch: a concurrent submission is caught
+	// mid-drain and must complete in full.
+	inflight := hot.Submit(flowJobs(512, 77))
+	repCh := make(chan *SwapReport, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		rep, err := hot.Swap(statefulEmission(t, "hot-v2", 200, 2), SwapOptions{})
+		errCh <- err
+		repCh <- rep
+	}()
+	got := inflight.Wait()
+	if len(got) != 512 {
+		t.Fatalf("in-flight batch dropped results across the swap: %d/512", len(got))
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	rep := <-repCh
+	if rep.From != 1 || rep.To != 2 || rep.Downtime < rep.DrainWait {
+		t.Fatalf("swap report: %+v", rep)
+	}
+	if hot.Version() != 2 {
+		t.Fatalf("version %d after swap, want 2", hot.Version())
+	}
+
+	// Bit-identical to a cold restart: a fresh server running only the
+	// new generation must classify the same replay identically.
+	replay := func() [][]pisa.Job {
+		var batches [][]pisa.Job
+		for i := int32(0); i < 4; i++ {
+			batches = append(batches, flowJobs(200, 1000+i*13))
+		}
+		return batches
+	}
+	var live [][]pisa.Result
+	for _, b := range replay() {
+		live = append(live, hot.Run(b))
+	}
+	cold := NewServer(Options{Name: "cold", Cap: pisa.Tofino2.Pipes(2), Budget: 4})
+	defer cold.Close()
+	ref, err := cold.Register("hot", statefulEmission(t, "hot-v2-cold", 200, 2), 1, SLO{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bi, b := range replay() {
+		want := ref.Run(b)
+		for i := range want {
+			if live[bi][i].Outs[0] != want[i].Outs[0] || live[bi][i].Class != want[i].Class {
+				t.Fatalf("batch %d job %d: post-swap out %d, cold restart %d",
+					bi, i, live[bi][i].Outs[0], want[i].Outs[0])
+			}
+		}
+	}
+
+	close(stop)
+	wg.Wait()
+	if sideDropped != 0 {
+		t.Fatal("co-resident model dropped results during the swap")
+	}
+	if sideBatches == 0 {
+		t.Fatal("co-resident model made no progress")
+	}
+	// Stats survive the swap: v1's packets remain accounted.
+	if st := hot.Stats(); st.Packets < 5*128+512 {
+		t.Fatalf("stats lost retired-version traffic: %d packets", st.Packets)
+	}
+	if s.Snapshot().Swaps != 1 {
+		t.Fatalf("swap counter %d, want 1", s.Snapshot().Swaps)
+	}
+}
+
+// TestSwapMigratesState pins SwapOptions.MigrateState: per-flow
+// register values carry into the new generation, so a replay split
+// across the swap equals an unswapped continuous replay.
+func TestSwapMigratesState(t *testing.T) {
+	j1, j2 := flowJobs(300, 5), flowJobs(300, 400)
+
+	s := newTestServer(t)
+	m, err := s.Register("m", statefulEmission(t, "m-v1", 50, 2), 1, SLO{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(j1)
+	rep, err := m.Swap(statefulEmission(t, "m-v2", 50, 2), SwapOptions{MigrateState: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MigratedRegisters != 1 {
+		t.Fatalf("migrated %d registers, want 1 (flowcnt)", rep.MigratedRegisters)
+	}
+	got := m.Run(j2)
+
+	ref := NewServer(Options{Name: "ref", Cap: pisa.Tofino2.Pipes(2), Budget: 4})
+	defer ref.Close()
+	rm, err := ref.Register("m", statefulEmission(t, "m-ref", 50, 2), 1, SLO{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm.Run(j1)
+	want := rm.Run(j2)
+	for i := range want {
+		if got[i].Outs[0] != want[i].Outs[0] {
+			t.Fatalf("job %d: migrated-swap out %d, continuous %d", i, got[i].Outs[0], want[i].Outs[0])
+		}
+	}
+}
+
+// TestSwapRejectedOverBudget verifies a swap candidate that no longer
+// fits is rejected before any state changes: the live version keeps
+// serving.
+func TestSwapRejectedOverBudget(t *testing.T) {
+	s := newTestServer(t)
+	m, err := s.Register("m", statefulEmission(t, "m-v1", 1, 2), 1, SLO{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pad := range []string{"pad1", "pad2"} {
+		if _, err := s.Register(pad, statefulEmission(t, pad, 0, 13), 1, SLO{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sessions := len(s.Scheduler().Stats())
+	if _, err := m.Swap(statefulEmission(t, "m-v2", 2, 15), SwapOptions{}); err == nil {
+		t.Fatal("over-budget swap accepted")
+	}
+	if m.Version() != 1 {
+		t.Fatalf("version %d after rejected swap, want 1", m.Version())
+	}
+	if got := len(s.Scheduler().Stats()); got != sessions {
+		t.Fatalf("rejected swap changed scheduler sessions: %d -> %d", sessions, got)
+	}
+	if res := m.Run(flowJobs(16, 2)); len(res) != 16 {
+		t.Fatal("live version stopped serving after rejected swap")
+	}
+}
+
+// TestSwapDowntimeBounded sanity-checks the report's timing fields
+// under a drain that takes real time.
+func TestSwapDowntimeBounded(t *testing.T) {
+	s := newTestServer(t)
+	m, err := s.Register("m", statefulEmission(t, "m-v1", 0, 2), 1, SLO{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(flowJobs(64, 1))
+	start := time.Now()
+	warmedAtVersion := 0
+	rep, err := m.Swap(statefulEmission(t, "m-v2", 0, 2), SwapOptions{
+		// OnWarmed fires after plan compilation but before the cutover:
+		// the old version must still be live at that point.
+		OnWarmed: func() { warmedAtVersion = m.Version() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wall := time.Since(start)
+	if warmedAtVersion != 1 {
+		t.Fatalf("OnWarmed saw version %d, want 1 (pre-cutover)", warmedAtVersion)
+	}
+	if rep.Downtime > wall {
+		t.Fatalf("downtime %v exceeds the whole swap wall time %v", rep.Downtime, wall)
+	}
+	if rep.Downtime != rep.DrainWait+rep.Cutover {
+		t.Fatalf("downtime %v != drain %v + cutover %v", rep.Downtime, rep.DrainWait, rep.Cutover)
+	}
+}

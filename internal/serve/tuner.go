@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"math"
+	"time"
+)
+
+// Tuner constants: a damped multiplicative controller. gain < 1 keeps
+// the loop stable under noisy occupancy samples; the per-step factor
+// clamp bounds how fast a weight can move; the weight cap keeps stride
+// arithmetic well-conditioned.
+const (
+	tunerGain      = 0.5
+	tunerMinFactor = 0.5
+	tunerMaxFactor = 2.0
+	tunerMaxWeight = 1024
+	// tunerDeadband is the occupancy error tolerated without
+	// adjustment, so near-target models don't dither ±1 every pass.
+	tunerDeadband = 0.02
+)
+
+// TuneDecision records one model's weight adjustment from a TuneOnce
+// pass.
+type TuneDecision struct {
+	Model         string        `json:"model"`
+	OldWeight     int           `json:"old_weight"`
+	NewWeight     int           `json:"new_weight"`
+	ObservedShare float64       `json:"observed_share"`
+	TargetShare   float64       `json:"target_share"`
+	MeanWait      time.Duration `json:"mean_wait_ns"`
+}
+
+// TuneOnce runs one pass of the SLO feedback loop: for every model
+// with a declared SLO it compares the busy-time share observed since
+// the previous pass against SLO.TargetShare and nudges the session
+// weight multiplicatively toward the target (damped by tunerGain,
+// clamped per step). A model whose mean queue wait over the window
+// exceeds SLO.MaxWait has its weight doubled regardless — latency
+// violations outrank occupancy error. Models without an SLO keep their
+// weight but still advance their window counters.
+//
+// Returns the decisions for models whose weight changed (empty when
+// the pool was idle or everything is on target).
+func (s *Server) TuneOnce() []TuneDecision {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	type window struct {
+		m     *Model
+		busy  time.Duration
+		wait  time.Duration
+		tasks uint64
+	}
+	wins := make([]window, 0, len(s.order))
+	var total time.Duration
+	for _, n := range s.order {
+		m := s.models[n]
+		st := m.Stats()
+		w := window{m: m,
+			busy:  st.Busy - m.tuneBusy,
+			wait:  st.Wait - m.tuneWait,
+			tasks: st.Tasks - m.tuneTasks,
+		}
+		m.tuneBusy, m.tuneWait, m.tuneTasks = st.Busy, st.Wait, st.Tasks
+		total += w.busy
+		wins = append(wins, w)
+	}
+	if total <= 0 {
+		return nil
+	}
+	var decisions []TuneDecision
+	for _, w := range wins {
+		slo := w.m.slo
+		if slo.TargetShare <= 0 && slo.MaxWait <= 0 {
+			continue
+		}
+		oldW := w.m.Weight()
+		newW := oldW
+		observed := float64(w.busy) / float64(total)
+		var meanWait time.Duration
+		if w.tasks > 0 {
+			meanWait = w.wait / time.Duration(w.tasks)
+		}
+		if slo.TargetShare > 0 && w.tasks > 0 && math.Abs(observed-slo.TargetShare) > tunerDeadband {
+			// A model that served tasks but captured ~no busy time is
+			// starved: push it at the max per-step factor.
+			factor := tunerMaxFactor
+			if w.busy > 0 {
+				factor = 1 + tunerGain*(slo.TargetShare/observed-1)
+			}
+			if factor < tunerMinFactor {
+				factor = tunerMinFactor
+			}
+			if factor > tunerMaxFactor {
+				factor = tunerMaxFactor
+			}
+			newW = int(float64(oldW)*factor + 0.5)
+			// Small weights quantize the factor away (1×1.3 rounds
+			// back to 1); an off-target model always moves ≥ 1 step.
+			if factor > 1 && newW <= oldW {
+				newW = oldW + 1
+			}
+			if factor < 1 && newW >= oldW {
+				newW = oldW - 1
+			}
+		}
+		if slo.MaxWait > 0 && w.tasks > 0 && meanWait > slo.MaxWait && newW < oldW*2 {
+			newW = oldW * 2
+		}
+		if newW < 1 {
+			newW = 1
+		}
+		if newW > tunerMaxWeight {
+			newW = tunerMaxWeight
+		}
+		if newW == oldW {
+			continue
+		}
+		w.m.SetWeight(newW)
+		decisions = append(decisions, TuneDecision{
+			Model:         w.m.name,
+			OldWeight:     oldW,
+			NewWeight:     newW,
+			ObservedShare: observed,
+			TargetShare:   slo.TargetShare,
+			MeanWait:      meanWait,
+		})
+	}
+	return decisions
+}
+
+// StartTuner runs TuneOnce every interval until StopTuner or Close.
+// Idempotent: a second call while running is a no-op.
+func (s *Server) StartTuner(interval time.Duration) {
+	s.mu.Lock()
+	if s.closed || s.tunerStop != nil {
+		s.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	s.tunerStop = stop
+	s.mu.Unlock()
+	s.tunerWG.Add(1)
+	go func() {
+		defer s.tunerWG.Done()
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				s.TuneOnce()
+			}
+		}
+	}()
+}
+
+// StopTuner halts the background feedback loop (no-op when idle).
+func (s *Server) StopTuner() {
+	s.mu.Lock()
+	stop := s.tunerStop
+	s.tunerStop = nil
+	s.mu.Unlock()
+	if stop != nil {
+		close(stop)
+	}
+	s.tunerWG.Wait()
+}

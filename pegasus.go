@@ -89,6 +89,32 @@
 // — the classifier's label, bit-identical to running the two emitted
 // programs sequentially on the host.
 //
+// # Serving control plane
+//
+// Above the raw Scheduler sits a serving control plane (NewServer): a
+// Server owns one scheduler plus the deployment ledger of everything
+// registered on it, and turns multi-model serving into an operated
+// system. Register admission-checks each candidate emission against
+// the REMAINING combined capacity — a rejection reports the exhausted
+// dimension and every resident model's contribution, before any
+// scheduler state changes. A served model can be live-swapped to a new
+// generation (Model.Swap): the new version warms off-path while the
+// old keeps serving, in-flight batches drain without dropping a
+// result, per-flow registers either migrate or re-initialise, and
+// co-resident models never stop. Declared SLOs (target busy-time
+// share, max queue wait) drive a feedback loop (Server.TuneOnce /
+// StartTuner) that retunes session weights from observed occupancy,
+// and Server.Snapshot — also served as JSON by Server.ServeHTTP — is
+// the metrics endpoint:
+//
+//	srv := pegasus.NewServer(pegasus.ServerOptions{
+//	    Name: "edge", Cap: pegasus.Tofino2.Pipes(2), Budget: 8})
+//	defer srv.Close()
+//	m, err := srv.Register("cnn-b", emitted, 1, pegasus.SLO{TargetShare: 0.5})
+//	// ... m.Run(jobs) from any number of goroutines ...
+//	report, err := m.Swap(emittedV2, pegasus.SwapOptions{MigrateState: true})
+//	go http.ListenAndServe(":9090", srv) // JSON metrics endpoint
+//
 // Compilation runs through a staged pass manager (Pipeline): named,
 // instrumented passes (lower, fuse, drop-nonlinear, build-tables,
 // refine, emit) over one CompileOptions struct, with per-pass wall-time
@@ -139,6 +165,7 @@ import (
 	"github.com/pegasus-idp/pegasus/internal/models"
 	"github.com/pegasus-idp/pegasus/internal/netsim"
 	"github.com/pegasus-idp/pegasus/internal/pisa"
+	"github.com/pegasus-idp/pegasus/internal/serve"
 	"github.com/pegasus-idp/pegasus/internal/trafficgen"
 )
 
@@ -362,6 +389,74 @@ var (
 	// CalibrateGate places the unknown-attack threshold at a quantile
 	// of benign Pegasus MAE scores.
 	CalibrateGate = models.CalibrateGate
+)
+
+// Serving control-plane types: the operated layer over the shared
+// scheduler — admission control against the remaining deployment
+// budget, versioned zero-drop live swaps, SLO-driven weight tuning and
+// the JSON metrics endpoint.
+type (
+	// Server is the serving control plane over one scheduler: an
+	// admission-checked deployment ledger of live models. It implements
+	// http.Handler, serving Snapshot as JSON.
+	Server = serve.Server
+	// ServerOptions configures NewServer (deployment name, combined
+	// capacity, worker budget, execution mode).
+	ServerOptions = serve.Options
+	// ServedModel is one admitted model: submissions, stats, SLO and
+	// live version swaps.
+	ServedModel = serve.Model
+	// SLO declares a model's serving objectives (target busy-time
+	// share, max mean queue wait) for the weight auto-tuner.
+	SLO = serve.SLO
+	// SwapOptions tunes a live version swap (flow-state migration, warm
+	// hook).
+	SwapOptions = serve.SwapOptions
+	// SwapReport measures one completed swap (warm, drain, cutover,
+	// downtime, migrated registers).
+	SwapReport = serve.SwapReport
+	// AdmissionError is a structured rejection: the exhausted dimension
+	// and each resident model's contribution, via the wrapped report.
+	AdmissionError = serve.AdmissionError
+	// TuneDecision records one weight adjustment by the SLO tuner.
+	TuneDecision = serve.TuneDecision
+	// ServingSnapshot is the metrics endpoint's document: server
+	// counters plus per-model serving metrics.
+	ServingSnapshot = serve.Snapshot
+	// ServedModelMetrics is one model's row in a ServingSnapshot.
+	ServedModelMetrics = serve.ModelMetrics
+	// ServingTicket is an in-flight submission (Wait for the results).
+	ServingTicket = serve.Ticket
+)
+
+// NewServer starts a serving control plane: its own shared-budget
+// scheduler plus an admission-checked deployment ledger.
+var NewServer = serve.NewServer
+
+// Structured deployment-validation types (also the payload of
+// AdmissionError reports).
+type (
+	// BudgetError reports a deployment over budget: one BudgetExcess
+	// per exhausted dimension plus any per-member validation failures.
+	BudgetError = core.BudgetError
+	// BudgetExcess is one exhausted resource dimension with every
+	// model's contribution.
+	BudgetExcess = core.BudgetExcess
+	// ResourceContribution is one model's share of an exhausted
+	// dimension.
+	ResourceContribution = core.Contribution
+	// ResourceDim names a deployment resource dimension.
+	ResourceDim = core.ResourceDim
+)
+
+// Deployment resource dimensions reported by BudgetExcess.
+const (
+	// DimStages is pipeline stages.
+	DimStages = core.DimStages
+	// DimSRAM is SRAM bits.
+	DimSRAM = core.DimSRAM
+	// DimTCAM is TCAM bits.
+	DimTCAM = core.DimTCAM
 )
 
 // Compiler entry points.
