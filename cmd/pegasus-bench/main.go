@@ -8,6 +8,7 @@
 //	pegasus-bench -experiment engine -smoke -engine-json BENCH_engine.json
 //	pegasus-bench -experiment multimodel -smoke -engine-json BENCH_engine.json
 //	pegasus-bench -experiment serving -smoke -engine-json BENCH_engine.json
+//	pegasus-bench -experiment resilience -smoke -engine-json BENCH_engine.json
 //	pegasus-bench -experiment scaling -engine-json BENCH_engine.json -cpuprofile cpu.pprof
 //
 // The "engine" experiment measures batched switch-replay throughput per
@@ -16,10 +17,14 @@
 // "serving" exercises the serving control plane end to end — admission
 // latency on both outcomes, live-swap downtime with the co-resident
 // throughput dip, SLO tuner convergence, and the final metrics
-// snapshot; "scaling" measures steady-state worker scaling under
-// sustained generated load (internal/trafficgen). -engine-json
-// additionally writes (or, for multimodel/serving/scaling, merges
-// into) the machine-readable report CI tracks. -smoke shrinks dataset,
+// snapshot; "resilience" measures overload protection and failure
+// recovery with the fault-injection harness — shed rate vs offered
+// load behind a reject-newest policy, and a poisoned canary swap's
+// auto-rollback latency with its post-rollback equivalence check;
+// "scaling" measures steady-state worker scaling under sustained
+// generated load (internal/trafficgen). -engine-json additionally
+// writes (or, for multimodel/serving/scaling/resilience, merges into)
+// the machine-readable report CI tracks. -smoke shrinks dataset,
 // training and measurement windows to a few seconds for CI.
 //
 // The -cpuprofile, -memprofile and -mutexprofile flags write pprof
@@ -48,7 +53,7 @@ func main() {
 }
 
 func run() error {
-	exp := flag.String("experiment", "all", "experiment to run: all, table2, table5, table6, fig7, fig8, fig9acc, fig9thr, engine, multimodel, serving, scaling")
+	exp := flag.String("experiment", "all", "experiment to run: all, table2, table5, table6, fig7, fig8, fig9acc, fig9thr, engine, multimodel, serving, resilience, scaling")
 	flows := flag.Int("flows", 60, "flows generated per traffic class")
 	epochs := flag.Float64("epochs", 1, "training budget multiplier")
 	seed := flag.Int64("seed", 1, "random seed")

@@ -12,6 +12,8 @@
 //	pegasus-run -model cnn-b -mode interpret    # reference interpreter baseline
 //	pegasus-run -models mlp-b,rnn-b             # multi-model serving: one shared-budget scheduler
 //	pegasus-run -models mlp-b,cnn-b -metrics-addr 127.0.0.1:9090  # + JSON metrics endpoint
+//	pegasus-run -models mlp-b,cnn-b -deadline 2ms -max-queue 4    # overload protection: shed instead of queueing
+//	pegasus-run -models mlp-b,cnn-b -canary 0.25 -canary-window 500ms  # live canary swap of the first model
 //	pegasus-run -model cnn-m -gen 500000        # sustained generated stream (trafficgen) through RunStream
 //
 // Two replay granularities exist. The default (and -stream, its
@@ -23,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -59,6 +62,10 @@ func main() {
 	packets := flag.Bool("packets", false, "replay the RAW merged packet trace: the emitted program's registers extract features per packet and fire inference on window boundaries")
 	multi := flag.String("models", "", "comma-separated models (mlp-b,cnn-b,cnn-m,rnn-b) served CONCURRENTLY through the serving control plane (admission-checked, SLO-tuned), with per-model packets/s")
 	metricsAddr := flag.String("metrics-addr", "", "with -models: serve the control plane's JSON metrics endpoint on this address (e.g. 127.0.0.1:9090, or :0 for an ephemeral port) and print a snapshot after the run")
+	deadline := flag.Duration("deadline", 0, "with -models: per-batch submission deadline; batches the recent queue wait cannot meet are shed up front (reject-newest) instead of queueing")
+	maxQueue := flag.Int("max-queue", 0, "with -models: shed a model's batch when at least this many other sessions are queued at its workers (0 = unbounded)")
+	canary := flag.Float64("canary", 0, "with -models: after the run warms up, canary-swap the FIRST model to a re-emitted version mirroring this fraction of its traffic, auto-promoting or auto-rolling-back")
+	canaryWindow := flag.Duration("canary-window", time.Second, "with -canary: decision window for the canary verdict")
 	gen := flag.Int("gen", 0, "stream this many GENERATED feature windows (internal/trafficgen, steady-state flow churn) through RunStream instead of replaying the test trace")
 	genFlows := flag.Int("gen-flows", 1<<14, "live-flow population held by the -gen traffic generator")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering the replay to this path")
@@ -93,11 +100,12 @@ func main() {
 
 	if *multi != "" {
 		runMultiModels(strings.Split(*multi, ","), ds.NumClasses(), train, test,
-			*epochs, *seed, *workers, execMode, *metricsAddr, rng)
+			*epochs, *seed, *workers, execMode, *metricsAddr,
+			*deadline, *maxQueue, *canary, *canaryWindow, rng)
 		return
 	}
-	if *metricsAddr != "" {
-		fmt.Fprintln(os.Stderr, "-metrics-addr requires -models (the serving control plane)")
+	if *metricsAddr != "" || *deadline != 0 || *maxQueue != 0 || *canary != 0 {
+		fmt.Fprintln(os.Stderr, "-metrics-addr, -deadline, -max-queue and -canary require -models (the serving control plane)")
 		os.Exit(2)
 	}
 	var m *models.Feedforward
@@ -296,12 +304,15 @@ func runPackets(m *models.Feedforward, test []netsim.Flow, workers int, execMode
 }
 
 // servedModel is one model of a multi-model run: its window-replay
-// emission, pre-extracted test jobs and ground-truth labels.
+// emission, pre-extracted test jobs and ground-truth labels. reemit
+// produces a fresh emission of the same trained model — the canary
+// swap's candidate generation.
 type servedModel struct {
-	name string
-	em   *core.Emitted
-	jobs []pisa.Job
-	ys   []int
+	name   string
+	em     *core.Emitted
+	jobs   []pisa.Job
+	ys     []int
+	reemit func() (*core.Emitted, error)
 }
 
 // buildServed trains, compiles and emits one model of the -models list.
@@ -309,6 +320,7 @@ func buildServed(name string, k int, train, test []netsim.Flow, epochs int, seed
 	var em *core.Emitted
 	var xs [][]float64
 	var ys []int
+	var reemit func() (*core.Emitted, error)
 	var err error
 	switch name {
 	case "mlp-b", "cnn-b", "cnn-m":
@@ -329,6 +341,7 @@ func buildServed(name string, k int, train, test []netsim.Flow, epochs int, seed
 			return servedModel{}, err
 		}
 		xs, ys = m.Extract(test)
+		reemit = func() (*core.Emitted, error) { return m.Emit(1 << 16) }
 	case "rnn-b":
 		m := models.NewRNNB(k, rng)
 		m.Train(train, models.TrainOpts{Epochs: epochs, LR: 0.02, Seed: seed})
@@ -339,10 +352,11 @@ func buildServed(name string, k int, train, test []netsim.Flow, epochs int, seed
 			return servedModel{}, err
 		}
 		xs, ys = models.ExtractSeq(test)
+		reemit = func() (*core.Emitted, error) { return m.Emit(1 << 16) }
 	default:
 		return servedModel{}, fmt.Errorf("unknown model %q in -models (mlp-b, cnn-b, cnn-m, rnn-b)", name)
 	}
-	return servedModel{name: name, em: em, jobs: core.BatchJobsFromFloats(xs), ys: ys}, nil
+	return servedModel{name: name, em: em, jobs: core.BatchJobsFromFloats(xs), ys: ys, reemit: reemit}, nil
 }
 
 // runMultiModels is the -models path: every named model is trained,
@@ -352,7 +366,10 @@ func buildServed(name string, k int, train, test []netsim.Flow, epochs int, seed
 // fits), the SLO tuner balances the shared pool toward equal busy-time
 // shares during the replay window, and -metrics-addr exposes the
 // control plane's JSON metrics endpoint while the run is live.
-func runMultiModels(names []string, k int, train, test []netsim.Flow, epochs int, seed int64, workers int, execMode pisa.ExecMode, metricsAddr string, rng *rand.Rand) {
+// -deadline/-max-queue arm per-model overload protection (shed batches
+// land in the "shed" column) and -canary performs a live canary swap of
+// the first model mid-run.
+func runMultiModels(names []string, k int, train, test []netsim.Flow, epochs int, seed int64, workers int, execMode pisa.ExecMode, metricsAddr string, deadline time.Duration, maxQueue int, canaryFrac float64, canaryWindow time.Duration, rng *rand.Rand) {
 	var served []servedModel
 	for _, raw := range names {
 		name := strings.TrimSpace(raw)
@@ -408,22 +425,89 @@ func runMultiModels(names []string, k int, train, test []netsim.Flow, epochs int
 	fmt.Printf("admitted %d models on Tofino2.Pipes(%d); headroom %d stages, %.1f Mb SRAM, %.1f Mb TCAM\n",
 		len(ms), pipes, stages, float64(sram)/1e6, float64(tcam)/1e6)
 
+	if maxQueue > 0 {
+		for _, m := range ms {
+			m.SetShedPolicy(pisa.ShedPolicy{MaxQueue: maxQueue})
+		}
+	}
+
+	// The metrics endpoint runs on an owned http.Server so the run can
+	// shut it down cleanly afterwards — Serve's accept loop and any
+	// in-flight handlers are gone before the process reports success,
+	// instead of leaking past the run.
 	var lis net.Listener
+	var hsrv *http.Server
 	if metricsAddr != "" {
 		var err error
 		lis, err = net.Listen("tcp", metricsAddr)
 		check(err)
-		go http.Serve(lis, srv)
+		hsrv = &http.Server{Handler: srv}
+		go func() { _ = hsrv.Serve(lis) }()
 		fmt.Printf("metrics endpoint: http://%s/\n", lis.Addr())
 	}
 
 	// Replay every model's test set concurrently for a fixed wall
 	// window with the SLO feedback loop running; the shared pool drains
-	// the per-model queues by tuned weight.
+	// the per-model queues by tuned weight. -deadline bounds every
+	// submission; shed batches are skipped (reject-newest) and counted.
 	const measure = 2 * time.Second
 	srv.StartTuner(measure / 8)
 	hits := make([]int, len(served))
 	last := make([][]pisa.Result, len(served))
+	runOnce := func(i int) {
+		if deadline <= 0 && maxQueue <= 0 {
+			last[i] = ms[i].Run(served[i].jobs)
+			return
+		}
+		ctx := context.Background()
+		cancel := context.CancelFunc(func() {})
+		if deadline > 0 {
+			ctx, cancel = context.WithTimeout(ctx, deadline)
+		}
+		res, err := ms[i].RunCtx(ctx, served[i].jobs)
+		cancel()
+		if err != nil {
+			var ov *pisa.ErrOverloaded
+			if !errors.As(err, &ov) {
+				check(err)
+			}
+			return // shed: back off to the next iteration
+		}
+		last[i] = res
+	}
+
+	// A canary swap of the first model, launched once traffic is warm:
+	// the re-emitted candidate shadows a fraction of live submissions
+	// and the verdict (promote or roll back) prints with the results.
+	canaryCh := make(chan string, 1)
+	if canaryFrac > 0 {
+		go func() {
+			time.Sleep(measure / 8)
+			em2, err := served[0].reemit()
+			if err != nil {
+				canaryCh <- fmt.Sprintf("canary %s: re-emit failed: %v", served[0].name, err)
+				return
+			}
+			rep, err := ms[0].Swap(em2, serve.SwapOptions{
+				MigrateState: true,
+				Canary: &serve.CanaryOptions{
+					Fraction: canaryFrac, MinSamples: 64, Window: canaryWindow,
+				},
+			})
+			if err != nil {
+				canaryCh <- fmt.Sprintf("canary %s: %v", served[0].name, err)
+				return
+			}
+			if rep.RolledBack {
+				canaryCh <- fmt.Sprintf("canary %s: ROLLED BACK after %d samples (%s)",
+					rep.Model, rep.CanarySamples, rep.RollbackReason)
+				return
+			}
+			canaryCh <- fmt.Sprintf("canary %s: promoted v%d -> v%d after %d samples (disagreement %.4f, downtime %s)",
+				rep.Model, rep.From, rep.To, rep.CanarySamples, rep.Disagreement, rep.Downtime.Round(time.Microsecond))
+		}()
+	}
+
 	var wg sync.WaitGroup
 	start := time.Now()
 	for i := range served {
@@ -431,7 +515,7 @@ func runMultiModels(names []string, k int, train, test []netsim.Flow, epochs int
 		go func(i int) {
 			defer wg.Done()
 			for time.Since(start) < measure {
-				last[i] = ms[i].Run(served[i].jobs)
+				runOnce(i)
 			}
 		}(i)
 	}
@@ -439,9 +523,36 @@ func runMultiModels(names []string, k int, train, test []netsim.Flow, epochs int
 	wall := time.Since(start)
 	srv.StopTuner()
 
+	// The canary verdict only advances at submission boundaries: keep
+	// the first model's traffic flowing until the decision lands (or a
+	// bounded grace period expires and Close aborts the shadow).
+	canaryMsg := ""
+	if canaryFrac > 0 {
+		grace := time.Now().Add(measure)
+	waitVerdict:
+		for {
+			select {
+			case canaryMsg = <-canaryCh:
+				break waitVerdict
+			default:
+				if time.Now().After(grace) {
+					canaryMsg = fmt.Sprintf("canary %s: no verdict within the run; shadow aborted at close", served[0].name)
+					break waitVerdict
+				}
+				runOnce(0)
+			}
+		}
+	}
+
 	fmt.Printf("\nmulti-model serving: %d models, %d-worker shared budget, %s wall (%s)\n",
 		len(served), srv.Scheduler().Budget(), wall.Round(time.Millisecond), execMode)
-	fmt.Printf("%-8s %4s %6s %14s %10s %8s %10s\n", "model", "ver", "weight", "pkt/s", "accuracy", "occ", "batches")
+	if deadline > 0 || maxQueue > 0 {
+		fmt.Printf("overload protection: deadline %v, max queue %d\n", deadline, maxQueue)
+	}
+	if canaryMsg != "" {
+		fmt.Println(canaryMsg)
+	}
+	fmt.Printf("%-8s %4s %6s %14s %10s %8s %10s %8s\n", "model", "ver", "weight", "pkt/s", "accuracy", "occ", "batches", "shed")
 	for i, m := range ms {
 		st := m.Stats()
 		for j, r := range last[i] {
@@ -451,21 +562,24 @@ func runMultiModels(names []string, k int, train, test []netsim.Flow, epochs int
 		}
 		acc := float64(hits[i]) / float64(len(served[i].jobs))
 		occ := st.Busy.Seconds() / (wall.Seconds() * float64(srv.Scheduler().Budget()))
-		fmt.Printf("%-8s %4d %6d %14.3g %10.4f %7.1f%% %10d\n",
+		fmt.Printf("%-8s %4d %6d %14.3g %10.4f %7.1f%% %10d %8d\n",
 			m.Name(), m.Version(), m.Weight(), float64(st.Packets)/wall.Seconds(), acc,
-			100*occ, st.Tasks)
+			100*occ, st.Tasks, st.Shed)
 	}
 
 	// With a live endpoint, fetch and print one snapshot through HTTP —
-	// the same JSON a scraper would see.
-	if lis != nil {
+	// the same JSON a scraper would see — then shut the server down so
+	// nothing outlives the run.
+	if hsrv != nil {
 		resp, err := http.Get("http://" + lis.Addr().String() + "/")
 		check(err)
 		body, err := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		check(err)
 		fmt.Printf("\nmetrics snapshot (%s):\n%s", lis.Addr(), body)
-		lis.Close()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		check(hsrv.Shutdown(shutdownCtx))
 	}
 }
 

@@ -618,6 +618,12 @@ type EngineBenchReport struct {
 	// experiment): admission latency, live-swap downtime with the
 	// co-resident throughput dip, and SLO occupancy convergence.
 	ServingPoints *ServingReport `json:"serving_points,omitempty"`
+	// ResiliencePoints measures overload protection and failure
+	// recovery (the "resilience" experiment): shed rate vs offered
+	// load with the admitted-work wait bound, and the poisoned-canary
+	// rollback detection latency with its post-rollback equivalence
+	// check.
+	ResiliencePoints *ResilienceReport `json:"resilience_points,omitempty"`
 }
 
 // ScalingMeta describes how the scaling experiment measured its points.
@@ -1069,7 +1075,7 @@ func (s *Suite) ScalingBench(w io.Writer) error {
 }
 
 // Names lists the runnable experiments.
-var Names = []string{"table2", "table5", "table6", "fig7", "fig8", "fig9acc", "fig9thr", "engine", "multimodel", "scaling", "serving"}
+var Names = []string{"table2", "table5", "table6", "fig7", "fig8", "fig9acc", "fig9thr", "engine", "multimodel", "scaling", "serving", "resilience"}
 
 // Run executes one experiment by name ("all" runs everything).
 func (s *Suite) Run(name string, w io.Writer) error {
@@ -1096,6 +1102,8 @@ func (s *Suite) Run(name string, w io.Writer) error {
 		return s.ScalingBench(w)
 	case "serving":
 		return s.ServingBench(w)
+	case "resilience":
+		return s.ResilienceBench(w)
 	case "all":
 		for _, n := range Names {
 			if err := s.Run(n, w); err != nil {

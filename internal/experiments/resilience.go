@@ -1,0 +1,326 @@
+package experiments
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/pegasus-idp/pegasus/internal/core"
+	"github.com/pegasus-idp/pegasus/internal/faultinject"
+	"github.com/pegasus-idp/pegasus/internal/pisa"
+	"github.com/pegasus-idp/pegasus/internal/serve"
+)
+
+// ResilienceReport is the "resilience" experiment's section of
+// BENCH_engine.json: overload protection and failure recovery measured
+// end to end with the fault-injection harness — the shed rate and the
+// admitted-work wait bound across an offered-load sweep, and a poisoned
+// canary swap's rollback detection latency with the post-rollback
+// equivalence check.
+type ResilienceReport struct {
+	Budget int `json:"budget"`
+	// ServiceMicros is the injected per-task service time that fixes the
+	// pool's capacity for the shed sweep (faultinject slow-plan latency).
+	ServiceMicros float64 `json:"service_micros"`
+	// MaxQueue is the shed policy installed on every load session.
+	MaxQueue int                    `json:"max_queue"`
+	Shed     []ShedPoint            `json:"shed"`
+	Canary   *CanaryResiliencePoint `json:"canary,omitempty"`
+}
+
+// ShedPoint measures one offered-load level of the shed sweep.
+type ShedPoint struct {
+	// OfferedX is the offered load as a multiple of the pool's sustained
+	// capacity (closed-loop sessions / worker budget).
+	OfferedX float64 `json:"offered_x"`
+	Sessions int     `json:"sessions"`
+	// Served/Shed split the offered packets; ShedRate = Shed/(Served+Shed).
+	Served   uint64  `json:"served"`
+	Shed     uint64  `json:"shed"`
+	ShedRate float64 `json:"shed_rate"`
+	// P99WaitMicros bounds the queue wait of ADMITTED work: the
+	// wait-histogram bucket upper bound covering the 99th percentile
+	// (-1 when the p99 falls in the open-ended last bucket).
+	P99WaitMicros float64 `json:"p99_wait_micros"`
+}
+
+// CanaryResiliencePoint measures a poisoned canary swap end to end.
+type CanaryResiliencePoint struct {
+	RolledBack bool   `json:"rolled_back"`
+	Reason     string `json:"reason,omitempty"`
+	// DetectionMicros is swap start to rollback verdict (warm included);
+	// DecisionWaitMicros is the shadow phase alone.
+	DetectionMicros    float64 `json:"detection_micros"`
+	DecisionWaitMicros float64 `json:"decision_wait_micros"`
+	Samples            int     `json:"samples"`
+	Disagreement       float64 `json:"disagreement"`
+	// PostRollbackEquivalent reports whether, after the rollback, the
+	// incumbent's classifications matched a control model that never
+	// swapped, batch for batch.
+	PostRollbackEquivalent bool `json:"post_rollback_equivalent"`
+}
+
+// loadEmission builds the minimal synthetic session for the shed sweep
+// (out0 = in0 + 1); the injected slow-plan latency, not the program,
+// fixes its service time.
+func loadEmission(name string) (*core.Emitted, error) {
+	var l pisa.Layout
+	in0 := l.MustAdd("in0", 16)
+	out0 := l.MustAdd("out0", 32)
+	prog := pisa.NewProgram(name, &l, pisa.Tofino2)
+	prog.Place(0, &pisa.Table{Name: "t_load", Kind: pisa.MatchNone, DefaultData: []int32{},
+		Action: []pisa.Op{{Kind: pisa.OpAddImm, Dst: out0, A: in0, Imm: 1}}})
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return &core.Emitted{Target: "resilience", Prog: prog,
+		InFields: []pisa.FieldID{in0}, OutFields: []pisa.FieldID{out0},
+		ClassField: out0, Stages: len(prog.Stages)}, nil
+}
+
+// ResilienceBench measures the serving plane's overload and failure
+// behaviour. Phase 1 sweeps offered load over a pool whose per-task
+// service time is pinned by the fault-injection harness: closed-loop
+// sessions at 0.5×, 1× and 2× the worker budget, each behind a
+// reject-newest shed policy, recording the shed rate and the p99 queue
+// wait of admitted work. Phase 2 poisons a canary swap's observed
+// classes and measures how long the mirror-and-compare loop takes to
+// auto-roll-back, then replays identical traffic against a never-swapped
+// control model to verify the incumbent was left bit-identical. The
+// report lands in BENCH_engine.json as "resilience_points".
+func (s *Suite) ResilienceBench(w io.Writer) error {
+	budget := runtime.NumCPU()
+	if budget < 2 {
+		budget = 2
+	}
+	window := time.Duration(s.Cfg.MeasureMS) * time.Millisecond
+	if window < 50*time.Millisecond {
+		window = 50 * time.Millisecond
+	}
+	const svc = 200 * time.Microsecond
+	const maxQueue = 1
+	rep := &ResilienceReport{Budget: budget,
+		ServiceMicros: float64(svc) / float64(time.Microsecond), MaxQueue: maxQueue}
+	fmt.Fprintf(w, "Resilience bench: %d-worker budget, %v service time, MaxQueue %d, %v windows\n",
+		budget, svc, maxQueue, window)
+
+	// Phase 1: shed rate vs offered load.
+	for _, x := range []float64{0.5, 1, 2} {
+		n := int(x * float64(budget))
+		if n < 1 {
+			n = 1
+		}
+		srv := serve.NewServer(serve.Options{Name: "resilience",
+			Cap: pisa.Tofino2.Pipes(16), Budget: budget})
+		sessions := make([]*serve.Model, n)
+		for i := range sessions {
+			em, err := loadEmission(fmt.Sprintf("load%d", i))
+			if err != nil {
+				srv.Close()
+				return err
+			}
+			m, err := srv.Register(fmt.Sprintf("load%d", i), em, 1, serve.SLO{})
+			if err != nil {
+				srv.Close()
+				return err
+			}
+			m.SetShedPolicy(pisa.ShedPolicy{MaxQueue: maxQueue})
+			sessions[i] = m
+		}
+		faultinject.Arm(faultinject.SlowSession, "", svc, 0) // every task costs svc
+
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for i, m := range sessions {
+			wg.Add(1)
+			go func(i int, m *serve.Model) {
+				defer wg.Done()
+				jobs := []pisa.Job{{Hash: uint32(i), In: []int32{int32(i)}}}
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if _, err := m.RunCtx(nil, jobs); err != nil {
+						var ov *pisa.ErrOverloaded
+						if !errors.As(err, &ov) {
+							return
+						}
+						// Shed: back off half a service time, as a
+						// well-behaved client would.
+						time.Sleep(svc / 2)
+					}
+				}
+			}(i, m)
+		}
+		time.Sleep(window)
+		close(stop)
+		wg.Wait()
+		faultinject.Reset()
+
+		var served, shed uint64
+		var hist [pisa.StatBuckets]uint64
+		for _, m := range sessions {
+			st := m.Stats()
+			served += st.Packets
+			shed += st.Shed
+			for b, c := range st.WaitHist {
+				hist[b] += c
+			}
+		}
+		srv.Close()
+
+		pt := ShedPoint{OfferedX: x, Sessions: n, Served: served, Shed: shed, P99WaitMicros: -1}
+		if served+shed > 0 {
+			pt.ShedRate = float64(shed) / float64(served+shed)
+		}
+		var tasks, cum uint64
+		for _, c := range hist {
+			tasks += c
+		}
+		for b, c := range hist {
+			cum += c
+			if float64(cum) >= 0.99*float64(tasks) {
+				if b < len(pisa.WaitBuckets) {
+					pt.P99WaitMicros = float64(pisa.WaitBuckets[b]) / float64(time.Microsecond)
+				}
+				break
+			}
+		}
+		rep.Shed = append(rep.Shed, pt)
+		fmt.Fprintf(w, "  offered %.1fx (%2d sessions): served %7d, shed %7d (rate %.3f), admitted p99 wait <= %.0fµs\n",
+			x, n, served, shed, pt.ShedRate, pt.P99WaitMicros)
+	}
+
+	// Phase 2: poisoned canary — rollback detection latency and
+	// post-rollback equivalence against a never-swapped control.
+	ms, test, err := s.multiModels()
+	if err != nil {
+		return err
+	}
+	emit := func() (*core.Emitted, error) { return ms[0].Emit(1 << 10) }
+	emProd, err := emit()
+	if err != nil {
+		return err
+	}
+	emCtrl, err := emit()
+	if err != nil {
+		return err
+	}
+	emNext, err := emit()
+	if err != nil {
+		return err
+	}
+	xs, _ := ms[0].Extract(test)
+	all := core.BatchJobsFromFloats(xs)
+	chunk := func(step int) []pisa.Job {
+		const bs = 64
+		if len(all) <= bs {
+			return all
+		}
+		off := (step * bs) % (len(all) - bs)
+		return all[off : off+bs]
+	}
+
+	srv := serve.NewServer(serve.Options{Name: "resilience-canary",
+		Cap: pisa.Tofino2.Pipes(16), Budget: budget})
+	defer srv.Close()
+	prod, err := srv.Register("prod", emProd, 1, serve.SLO{})
+	if err != nil {
+		return err
+	}
+	ctrl, err := srv.Register("ctrl", emCtrl, 1, serve.SLO{})
+	if err != nil {
+		return err
+	}
+
+	faultinject.Arm(faultinject.PoisonCanary, "prod", 0, 0)
+	defer faultinject.Reset()
+	type swapRes struct {
+		rep *serve.SwapReport
+		err error
+	}
+	start := time.Now()
+	ch := make(chan swapRes, 1)
+	go func() {
+		r, err := prod.Swap(emNext, serve.SwapOptions{MigrateState: true,
+			Canary: &serve.CanaryOptions{Fraction: 1, MinSamples: 64, Window: -1}})
+		ch <- swapRes{r, err}
+	}()
+
+	equivalent := true
+	compare := func(step int) {
+		jobs := chunk(step)
+		rp := prod.Run(jobs)
+		rc := ctrl.Run(jobs)
+		for i := range jobs {
+			if rp[i].Class != rc[i].Class {
+				equivalent = false
+				return
+			}
+		}
+	}
+	var verdict swapRes
+	step := 0
+drive:
+	for ; ; step++ {
+		if step > 5000 {
+			return fmt.Errorf("resilience: canary never reached a verdict")
+		}
+		compare(step)
+		select {
+		case verdict = <-ch:
+			break drive
+		default:
+		}
+	}
+	detection := time.Since(start)
+	if verdict.err != nil {
+		return fmt.Errorf("resilience: canary swap: %w", verdict.err)
+	}
+	for end := step + 10; step < end; step++ {
+		compare(step)
+	}
+	sr := verdict.rep
+	rep.Canary = &CanaryResiliencePoint{
+		RolledBack:             sr.RolledBack,
+		Reason:                 sr.RollbackReason,
+		DetectionMicros:        float64(detection) / float64(time.Microsecond),
+		DecisionWaitMicros:     float64(sr.DecisionWait) / float64(time.Microsecond),
+		Samples:                sr.CanarySamples,
+		Disagreement:           sr.Disagreement,
+		PostRollbackEquivalent: equivalent && prod.Version() == 1,
+	}
+	fmt.Fprintf(w, "  canary: rolled_back=%v in %.0fµs (decision wait %.0fµs, %d samples, disagreement %.3f), post-rollback equivalent=%v\n",
+		rep.Canary.RolledBack, rep.Canary.DetectionMicros, rep.Canary.DecisionWaitMicros,
+		rep.Canary.Samples, rep.Canary.Disagreement, rep.Canary.PostRollbackEquivalent)
+
+	return s.writeResilience(w, rep)
+}
+
+// writeResilience merges the resilience section into BENCH_engine.json.
+func (s *Suite) writeResilience(w io.Writer, rep *ResilienceReport) error {
+	if s.Cfg.EngineJSON == "" {
+		return nil
+	}
+	full := EngineBenchReport{}
+	if data, err := os.ReadFile(s.Cfg.EngineJSON); err == nil {
+		_ = json.Unmarshal(data, &full)
+	}
+	full.ResiliencePoints = rep
+	data, err := json.MarshalIndent(&full, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(s.Cfg.EngineJSON, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s\n", s.Cfg.EngineJSON)
+	return nil
+}

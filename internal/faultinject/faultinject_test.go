@@ -1,0 +1,97 @@
+package faultinject
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisarmedFastPath(t *testing.T) {
+	Reset()
+	if Enabled() {
+		t.Fatal("registry armed after Reset")
+	}
+	if d := Delay(WorkerStall, "0"); d != 0 {
+		t.Fatalf("disarmed Delay returned %v", d)
+	}
+	if Should(PanicSession, "any") {
+		t.Fatal("disarmed Should fired")
+	}
+}
+
+func TestOneShotConsumption(t *testing.T) {
+	defer Reset()
+	Arm(WorkerStall, "3", 5*time.Millisecond, 1)
+	if d := Delay(WorkerStall, "1"); d != 0 {
+		t.Fatalf("wrong worker stalled: %v", d)
+	}
+	if d := Delay(WorkerStall, "3"); d != 5*time.Millisecond {
+		t.Fatalf("armed worker got %v, want 5ms", d)
+	}
+	if d := Delay(WorkerStall, "3"); d != 0 {
+		t.Fatalf("one-shot fault fired twice: %v", d)
+	}
+	if Enabled() {
+		t.Fatal("registry still armed after the shot budget drained")
+	}
+}
+
+func TestWildcardAndUnlimited(t *testing.T) {
+	defer Reset()
+	Arm(SlowSession, "", time.Millisecond, 0)
+	for i := 0; i < 10; i++ {
+		if d := Delay(SlowSession, "anything"); d != time.Millisecond {
+			t.Fatalf("unlimited wildcard stopped firing at shot %d: %v", i, d)
+		}
+	}
+	if !Peek(SlowSession, "other") {
+		t.Fatal("Peek missed the wildcard fault")
+	}
+	Disarm(SlowSession)
+	if Enabled() || Peek(SlowSession, "anything") {
+		t.Fatal("Disarm left the point armed")
+	}
+}
+
+func TestMultiShotBudget(t *testing.T) {
+	defer Reset()
+	Arm(PoisonCanary, "m", 0, 3)
+	fired := 0
+	for i := 0; i < 5; i++ {
+		if Should(PoisonCanary, "m") {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("3-shot fault fired %d times", fired)
+	}
+}
+
+func TestConcurrentProbes(t *testing.T) {
+	defer Reset()
+	Arm(PanicSession, "s", 0, 100)
+	var wg sync.WaitGroup
+	var hits sync.Map
+	total := 0
+	var mu sync.Mutex
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			n := 0
+			for i := 0; i < 50; i++ {
+				if Should(PanicSession, "s") {
+					n++
+				}
+			}
+			hits.Store(g, n)
+			mu.Lock()
+			total += n
+			mu.Unlock()
+		}(g)
+	}
+	wg.Wait()
+	if total != 100 {
+		t.Fatalf("shot budget over/under-consumed under concurrency: %d fires", total)
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/pegasus-idp/pegasus/internal/faultinject"
 )
 
 // ExecMode selects how the engine executes each pipeline program.
@@ -96,14 +98,24 @@ type Engine struct {
 	tasks     []shardTask    // reused enqueue staging buffer
 	closeOnce sync.Once
 
+	// Overload protection (see ShedPolicy/SubmitBatchCtx): bounds are
+	// stored atomically so the serving layer can retune them live, and
+	// poisoned records the first plan panic isolated to this session.
+	shedMaxQueue atomic.Int32
+	shedMaxWait  atomic.Int64
+	stWaitEWMA   atomic.Int64 // recent mean queue wait (exponentially weighted)
+	poisoned     atomic.Pointer[poisonInfo]
+
 	// Per-model serving stats, updated by workers.
-	stTasks     atomic.Uint64
-	stPackets   atomic.Uint64
-	stFires     atomic.Uint64
-	stBusy      atomic.Int64
-	stWait      atomic.Int64
-	stWaitHist  [StatBuckets]atomic.Uint64
-	stQueueHist [StatBuckets]atomic.Uint64
+	stTasks       atomic.Uint64
+	stPackets     atomic.Uint64
+	stFires       atomic.Uint64
+	stShed        atomic.Uint64
+	stShedBatches atomic.Uint64
+	stBusy        atomic.Int64
+	stWait        atomic.Int64
+	stWaitHist    [StatBuckets]atomic.Uint64
+	stQueueHist   [StatBuckets]atomic.Uint64
 
 	// Per-packet replay state (ConfigurePackets).
 	meta     *PacketMeta
@@ -290,13 +302,15 @@ func (e *Engine) Scheduler() *Scheduler { return e.sched }
 // Stats snapshots the session's cumulative serving counters.
 func (e *Engine) Stats() EngineStats {
 	st := EngineStats{
-		Name:    e.name,
-		Weight:  int(e.weight.Load()),
-		Tasks:   e.stTasks.Load(),
-		Packets: e.stPackets.Load(),
-		Fires:   e.stFires.Load(),
-		Busy:    time.Duration(e.stBusy.Load()),
-		Wait:    time.Duration(e.stWait.Load()),
+		Name:        e.name,
+		Weight:      int(e.weight.Load()),
+		Tasks:       e.stTasks.Load(),
+		Packets:     e.stPackets.Load(),
+		Fires:       e.stFires.Load(),
+		Shed:        e.stShed.Load(),
+		ShedBatches: e.stShedBatches.Load(),
+		Busy:        time.Duration(e.stBusy.Load()),
+		Wait:        time.Duration(e.stWait.Load()),
 	}
 	for i := range st.WaitHist {
 		st.WaitHist[i] = e.stWaitHist[i].Load()
@@ -327,13 +341,24 @@ func (e *Engine) note(packets int, busy time.Duration) {
 	e.stBusy.Add(int64(busy))
 }
 
-// noteWait accounts one served task's queue wait.
+// noteWait accounts one served task's queue wait and folds it into the
+// recent-wait EWMA the shed policy's deadline check reads. The EWMA
+// update is a lossy load/store pair by design: concurrent workers may
+// drop an update, which only slows convergence of a statistic.
 func (e *Engine) noteWait(wait time.Duration) {
 	if wait < 0 {
 		wait = 0
 	}
 	e.stWait.Add(int64(wait))
 	e.stWaitHist[waitBucket(wait)].Add(1)
+	old := e.stWaitEWMA.Load()
+	e.stWaitEWMA.Store(old + (int64(wait)-old)/8)
+}
+
+// noteShed accounts one shed submission of n packets.
+func (e *Engine) noteShed(n int) {
+	e.stShed.Add(uint64(n))
+	e.stShedBatches.Add(1)
 }
 
 // noteDepth samples the queue depth one enqueued task observed (other
@@ -363,6 +388,34 @@ func (e *Engine) Mode() ExecMode { return e.mode }
 // queue, so the worker budget and the fairness policy apply.
 func (e *Engine) inline(n int) bool {
 	return e.ownSched && (e.shards == 1 || n == 1)
+}
+
+// runTask executes one shard task with panic isolation: a panicking
+// compiled plan (or interpreter table) fails the task — its result
+// entries stay zero-valued — and poisons only this session, never the
+// pool. Both the worker loop and the inline fast path run tasks
+// through here, so the isolation (and the injectable slow-plan /
+// panicking-plan faults) behave identically in solo and shared
+// serving.
+func (e *Engine) runTask(t shardTask) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.poison(r)
+		}
+	}()
+	if faultinject.Enabled() {
+		if d := faultinject.Delay(faultinject.SlowSession, e.name); d > 0 {
+			time.Sleep(d)
+		}
+		if faultinject.Should(faultinject.PanicSession, e.name) {
+			panic("faultinject: injected plan panic")
+		}
+	}
+	if t.pkts != nil {
+		e.runPacketShard(t.shard, t.pkts, t.fired, t.class, t.outs, t.idx)
+	} else {
+		e.runShard(t.shard, t.jobs, t.res, t.outs, t.idx)
+	}
 }
 
 // dispatchAsync shards the given item count by hash onto the engine's
@@ -415,6 +468,11 @@ func (p *Pending) Wait() []Result {
 	return p.res
 }
 
+// Err reports whether the session was poisoned by a plan panic: after
+// Wait, a non-nil Err means the batch's results are not trustworthy
+// (the panicked shard's entries are zero-valued).
+func (p *Pending) Err() error { return p.e.Poisoned() }
+
 // SubmitBatch enqueues a batch on the scheduler and returns without
 // waiting for it — the non-blocking submission API: one driver can keep
 // several models' queues full by submitting to each engine and then
@@ -433,10 +491,10 @@ func (e *Engine) SubmitBatch(jobs []Job) *Pending {
 	outs := make([]int32, len(jobs)*len(e.out))
 	if e.inline(len(jobs)) {
 		start := time.Now()
-		e.runShard(0, jobs, res, outs, e.seqIdx(len(jobs)))
-		e.note(len(jobs), time.Since(start))
 		e.noteWait(0)
 		e.noteDepth(0)
+		e.runTask(shardTask{jobs: jobs, res: res, outs: outs, idx: e.seqIdx(len(jobs))})
+		e.note(len(jobs), time.Since(start))
 		return &Pending{e: e, res: res, done: true}
 	}
 	e.dispatchAsync(len(jobs), func(i int) uint32 { return jobs[i].Hash },
@@ -585,10 +643,10 @@ func (e *Engine) RunPackets(pkts []PacketIn) []PacketResult {
 	}
 	if e.inline(len(pkts)) {
 		start := time.Now()
-		e.runPacketShard(0, pkts, fired, class, outs, e.seqIdx(len(pkts)))
-		e.note(len(pkts), time.Since(start))
 		e.noteWait(0)
 		e.noteDepth(0)
+		e.runTask(shardTask{pkts: pkts, fired: fired, class: class, outs: outs, idx: e.seqIdx(len(pkts))})
+		e.note(len(pkts), time.Since(start))
 	} else {
 		e.dispatch(len(pkts), func(i int) uint32 { return pkts[i].Hash },
 			func(shard int, idx []int) shardTask {
@@ -618,9 +676,25 @@ func (e *Engine) RunPackets(pkts []PacketIn) []PacketResult {
 // Outs are copies, safe to retain while later micro-batches run. It
 // blocks until in is closed and all results are emitted, then closes
 // out and returns the packet and fired-window counts.
+//
+// When a ShedPolicy is set, an over-bound micro-batch is shed whole:
+// its packets are counted in the return value and the session's Shed
+// stats but never touch the flow-state registers and fire nothing —
+// the dataplane analogue of dropping on an overflowing ingress queue.
+// A poisoned session likewise sheds the remainder of the stream
+// instead of producing untrustworthy fires.
 func (e *Engine) RunPacketStream(in <-chan PacketIn, out chan<- PacketResult) (packets, fires int) {
 	done := 0
 	packets = drainStream(in, func(buf []PacketIn) {
+		if e.Poisoned() != nil {
+			e.noteShed(len(buf))
+			done += len(buf)
+			return
+		}
+		if e.admit(nil, len(buf)) != nil {
+			done += len(buf)
+			return
+		}
 		for _, r := range e.RunPackets(buf) {
 			// The engine's output buffer is reused by the next
 			// micro-batch while the consumer still holds r; detach.

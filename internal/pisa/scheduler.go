@@ -2,8 +2,12 @@ package pisa
 
 import (
 	"runtime"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"github.com/pegasus-idp/pegasus/internal/faultinject"
 )
 
 // Scheduler is a shared worker pool with a fixed budget that serves any
@@ -47,6 +51,14 @@ type Scheduler struct {
 
 	workerWG  sync.WaitGroup
 	closeOnce sync.Once
+
+	// Watchdog state (StartWatchdog): a monitor goroutine that detects
+	// workers stuck executing one task past a threshold and wakes idle
+	// peers to steal the stalled worker's queue.
+	watchOnce sync.Once
+	watchStop chan struct{}
+	watchWG   sync.WaitGroup
+	stalls    atomic.Uint64
 }
 
 // schedWorker is one pool slot: a private run queue (the sessions whose
@@ -54,13 +66,18 @@ type Scheduler struct {
 // its own parking cond. All fields are guarded by mu; nothing on the
 // task path touches another worker's state except to steal.
 type schedWorker struct {
-	id     int
-	mu     sync.Mutex
-	cond   *sync.Cond
-	ready  []*Engine // sessions with a task queued at this worker
-	vtime  float64   // largest START pass dequeued by this worker (SFQ virtual time)
-	parked bool
-	closed bool
+	id    int
+	idKey string // decimal id, precomputed for faultinject probes
+	mu    sync.Mutex
+	cond  *sync.Cond
+	ready []*Engine // sessions with a task queued at this worker
+	vtime float64   // largest START pass dequeued by this worker (SFQ virtual time)
+	// taskStart is the UnixNano stamp of the task currently executing on
+	// this worker (0 when idle) — the watchdog's stall signal. Written
+	// only by the worker goroutine, read by the watchdog.
+	taskStart atomic.Int64
+	parked    bool
+	closed    bool
 }
 
 // NewScheduler starts a shared pool of budget workers (≤ 0 selects
@@ -74,6 +91,7 @@ func NewScheduler(budget int) *Scheduler {
 	for i := range s.workers {
 		w := &s.workers[i]
 		w.id = i
+		w.idKey = strconv.Itoa(i)
 		w.cond = sync.NewCond(&w.mu)
 		s.workerWG.Add(1)
 		go s.worker(w)
@@ -98,6 +116,10 @@ func (s *Scheduler) NewChainEngine(name string, progs []*Program, bridges []Brid
 // registered engines must have finished their runs; Close is idempotent.
 func (s *Scheduler) Close() {
 	s.closeOnce.Do(func() {
+		if s.watchStop != nil {
+			close(s.watchStop)
+			s.watchWG.Wait()
+		}
 		for i := range s.workers {
 			w := &s.workers[i]
 			w.mu.Lock()
@@ -324,11 +346,14 @@ func (s *Scheduler) worker(w *schedWorker) {
 		}
 		start := time.Now()
 		e.noteWait(start.Sub(t.enq))
-		if t.pkts != nil {
-			e.runPacketShard(t.shard, t.pkts, t.fired, t.class, t.outs, t.idx)
-		} else {
-			e.runShard(t.shard, t.jobs, t.res, t.outs, t.idx)
+		w.taskStart.Store(start.UnixNano())
+		if faultinject.Enabled() {
+			if d := faultinject.Delay(faultinject.WorkerStall, w.idKey); d > 0 {
+				time.Sleep(d)
+			}
 		}
+		e.runTask(t)
+		w.taskStart.Store(0)
 		e.note(len(t.idx), time.Since(start))
 		last := e.remaining.Add(-1) == 0
 		e.batchWG.Done()
@@ -337,6 +362,102 @@ func (s *Scheduler) worker(w *schedWorker) {
 		}
 	}
 }
+
+// queueDepth returns the maximum number of OTHER sessions queued ahead
+// of e at any of its target workers — the congestion a new submission
+// from e would encounter, read by the shed policy's MaxQueue bound.
+// Workers beyond e's shard fan-out are skipped: e never enqueues there.
+func (s *Scheduler) queueDepth(e *Engine) int {
+	n := e.shards
+	if n > s.budget {
+		n = s.budget
+	}
+	depth := 0
+	for k := 0; k < n; k++ {
+		w := &s.workers[(k+e.offset)%s.budget]
+		w.mu.Lock()
+		d := len(w.ready)
+		w.mu.Unlock()
+		if d > depth {
+			depth = d
+		}
+	}
+	return depth
+}
+
+// StartWatchdog launches the scheduler's stall monitor: a goroutine
+// that checks every worker's in-flight task age and, when one exceeds
+// threshold (≤ 0 selects the 100ms default), counts a stall and wakes
+// every idle peer so the stalled worker's queue is stolen and drained
+// around it. Detection is one count per stall episode — a worker stuck
+// on one task for ten ticks is one stall, a new task a new episode.
+// Idempotent; Close stops the monitor.
+//
+// Work stealing already reroutes most backlogs, but a steal pass races
+// with enqueue: a task queued after a peer scanned this worker but
+// before the peer parked is stranded until the next submission wakes
+// the pool. The watchdog closes that window and, more importantly,
+// bounds the damage of a genuinely wedged worker (a plan spinning
+// forever, an injected stall): co-resident sessions' tasks queued
+// behind it migrate to stealers within one threshold instead of
+// waiting out the wedge.
+func (s *Scheduler) StartWatchdog(threshold time.Duration) {
+	if threshold <= 0 {
+		threshold = 100 * time.Millisecond
+	}
+	s.watchOnce.Do(func() {
+		s.watchStop = make(chan struct{})
+		s.watchWG.Add(1)
+		go s.watchdog(threshold)
+	})
+}
+
+func (s *Scheduler) watchdog(threshold time.Duration) {
+	defer s.watchWG.Done()
+	tick := threshold / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	// flagged[i] holds the taskStart value already counted as a stall
+	// for worker i, so one wedged task is one stall no matter how many
+	// ticks it spans.
+	flagged := make([]int64, s.budget)
+	for {
+		select {
+		case <-s.watchStop:
+			return
+		case <-ticker.C:
+		}
+		now := time.Now().UnixNano()
+		stalled := false
+		for i := range s.workers {
+			ts := s.workers[i].taskStart.Load()
+			if ts == 0 {
+				flagged[i] = 0
+				continue
+			}
+			if now-ts < int64(threshold) || flagged[i] == ts {
+				continue
+			}
+			flagged[i] = ts
+			s.stalls.Add(1)
+			stalled = true
+		}
+		if stalled {
+			// The stalled workers' queues hold tasks that will not be
+			// dequeued until the wedge clears; wake parked peers to steal
+			// them. Running workers drain them through their normal steal
+			// pass.
+			s.wakeIdle()
+		}
+	}
+}
+
+// Stalls returns the number of stalled-worker episodes the watchdog has
+// detected since the scheduler started (0 when no watchdog runs).
+func (s *Scheduler) Stalls() uint64 { return s.stalls.Load() }
 
 // StatBuckets is the number of histogram buckets EngineStats keeps for
 // queue waits and queue depths.
@@ -379,6 +500,11 @@ type EngineStats struct {
 	Tasks   uint64
 	Packets uint64
 	Fires   uint64
+	// Shed is the number of packets rejected by the session's shed
+	// policy (or a missed deadline) instead of queued; ShedBatches the
+	// submissions they arrived in. Shed work never touches registers.
+	Shed        uint64
+	ShedBatches uint64
 	// Busy is the cumulative worker time spent executing this session's
 	// tasks: Busy / (wall × budget) is the model's pool occupancy.
 	Busy time.Duration
@@ -415,6 +541,8 @@ func (s *EngineStats) Add(o EngineStats) {
 	s.Tasks += o.Tasks
 	s.Packets += o.Packets
 	s.Fires += o.Fires
+	s.Shed += o.Shed
+	s.ShedBatches += o.ShedBatches
 	s.Busy += o.Busy
 	s.Wait += o.Wait
 	for i := range s.WaitHist {

@@ -1,0 +1,246 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/pegasus-idp/pegasus/internal/faultinject"
+	"github.com/pegasus-idp/pegasus/internal/pisa"
+)
+
+// CanaryOptions tunes a canary swap (SwapOptions.Canary).
+//
+// A canary runs as a SHADOW of the incumbent: the incumbent stays
+// authoritative for every submission, and a configurable fraction of
+// batches is mirrored — duplicated — to the warmed candidate session
+// running on the same pool. Mirroring (rather than splitting traffic)
+// is what makes rollback a guarantee instead of a best effort: the
+// incumbent's flow-state registers and served classifications are
+// bit-identical to never having swapped, because the candidate never
+// carried a single authoritative packet.
+//
+// Scoring is label-free, from the live metrics: the disagreement rate
+// between candidate and incumbent classes on identical mirrored inputs
+// (the accuracy-delta proxy), the candidate/incumbent queue-wait ratio
+// over the decision window, and the fire-rate delta. When the decision
+// window is met the swap auto-promotes (a normal cutover) or
+// auto-rolls-back (the shadow session is discarded), with the verdict
+// in the SwapReport.
+type CanaryOptions struct {
+	// Fraction of submitted batches mirrored to the candidate
+	// (deterministic pacing, no sampling jitter; default 0.25, clamped
+	// to (0, 1]).
+	Fraction float64
+	// MinSamples is the number of mirrored jobs that must be scored
+	// before the decision (default 256).
+	MinSamples int
+	// Window bounds the shadow phase in time: on expiry the decision is
+	// made with the samples at hand (default 2s; < 0 waits for
+	// MinSamples however long it takes).
+	Window time.Duration
+	// MaxDisagree is the rollback threshold on the disagreement rate —
+	// the fraction of mirrored jobs the candidate classifies differently
+	// from the incumbent (default 0.01).
+	MaxDisagree float64
+	// MaxWaitFactor rolls back a candidate whose mean queue wait over
+	// the shadow phase exceeds the incumbent's by this factor
+	// (0 disables the latency gate).
+	MaxWaitFactor float64
+	// MaxFireRateDelta rolls back on |candidate − incumbent| positive
+	// (class ≠ 0) rate over the mirrored jobs (0 disables).
+	MaxFireRateDelta float64
+}
+
+// withDefaults fills the zero values.
+func (o CanaryOptions) withDefaults() CanaryOptions {
+	if o.Fraction <= 0 || o.Fraction > 1 {
+		o.Fraction = 0.25
+	}
+	if o.MinSamples <= 0 {
+		o.MinSamples = 256
+	}
+	if o.Window == 0 {
+		o.Window = 2 * time.Second
+	}
+	if o.MaxDisagree <= 0 {
+		o.MaxDisagree = 0.01
+	}
+	return o
+}
+
+// canaryState is one in-flight shadow version. All fields are mutated
+// with the model's runMu held (the submission path owns the canary);
+// the Swap goroutine only blocks on done.
+type canaryState struct {
+	next    *version
+	opts    CanaryOptions
+	migrate bool // SwapOptions.MigrateState, applied on promotion
+	started time.Time
+
+	acc      float64          // mirror pacing accumulator
+	samples  int              // mirrored jobs scored
+	disagree int              // mirrored jobs classified differently
+	incFires int              // incumbent positives over mirrored jobs
+	canFires int              // candidate positives over mirrored jobs
+	incBase  pisa.EngineStats // incumbent stats at shadow start (wait baseline)
+
+	done chan canaryOutcome // buffered(1); the decision posts exactly once
+}
+
+// canaryOutcome is the decision posted back to the blocked Swap call.
+type canaryOutcome struct {
+	promoted  bool
+	reason    string // rollback (or abort) cause; empty on promotion
+	samples   int
+	disagree  float64
+	waitRatio float64
+	fireDelta float64
+	elapsed   time.Duration // shadow-phase length
+
+	// Promotion cutover measurements (zero on rollback).
+	migrated  int
+	drainWait time.Duration
+	cutover   time.Duration
+}
+
+// mirrorCanary shadow-submits the batch to the canary session when the
+// pacing accumulator elects it. Caller holds runMu.
+func (m *Model) mirrorCanary(t *Ticket, jobs []pisa.Job) {
+	cs := m.canary
+	if cs == nil || len(jobs) == 0 {
+		return
+	}
+	cs.acc += cs.opts.Fraction
+	if cs.acc < 1 {
+		return
+	}
+	cs.acc--
+	t.jobs = jobs
+	t.cp = cs.next.eng.SubmitBatch(jobs)
+}
+
+// observeCanary scores one mirrored batch: candidate classes against
+// the authoritative incumbent classes on identical inputs. The
+// PoisonCanary fault corrupts the candidate's observed classes for the
+// batch, forcing the disagreement gate. Caller holds runMu.
+func (m *Model) observeCanary(jobs []pisa.Job, inc, can []pisa.Result) {
+	cs := m.canary
+	if cs == nil {
+		return
+	}
+	poisoned := faultinject.Enabled() && faultinject.Should(faultinject.PoisonCanary, m.name)
+	for i := range inc {
+		cc := can[i].Class
+		if poisoned {
+			cc++
+		}
+		if cc != inc[i].Class {
+			cs.disagree++
+		}
+		if inc[i].Class != 0 {
+			cs.incFires++
+		}
+		if cc != 0 {
+			cs.canFires++
+		}
+	}
+	cs.samples += len(inc)
+	m.canSamples.Store(uint64(cs.samples))
+	m.canDisagree.Store(uint64(cs.disagree))
+}
+
+// decideCanary checks whether the decision window is met and, if so,
+// promotes or rolls back the shadow version. Runs on the submission
+// path with runMu held, at a point where both the incumbent and the
+// canary session are quiescent (the ticket just waited both), so the
+// cutover (or the discard) needs no extra synchronisation. Caller
+// holds runMu.
+func (m *Model) decideCanary() {
+	cs := m.canary
+	if cs == nil {
+		return
+	}
+	if cs.samples < cs.opts.MinSamples &&
+		(cs.opts.Window < 0 || time.Since(cs.started) < cs.opts.Window) {
+		return
+	}
+
+	out := canaryOutcome{samples: cs.samples, elapsed: time.Since(cs.started)}
+	if cs.samples > 0 {
+		out.disagree = float64(cs.disagree) / float64(cs.samples)
+		inc := float64(cs.incFires) / float64(cs.samples)
+		can := float64(cs.canFires) / float64(cs.samples)
+		out.fireDelta = can - inc
+		if out.fireDelta < 0 {
+			out.fireDelta = -out.fireDelta
+		}
+	}
+	canSt := cs.next.eng.Stats()
+	incSt := m.cur.eng.Stats()
+	if dt := incSt.Tasks - cs.incBase.Tasks; dt > 0 && canSt.Tasks > 0 {
+		incMean := (incSt.Wait - cs.incBase.Wait) / time.Duration(dt)
+		if incMean > 0 {
+			out.waitRatio = float64(canSt.MeanWait()) / float64(incMean)
+		}
+	}
+
+	switch {
+	case out.disagree > cs.opts.MaxDisagree:
+		out.reason = fmt.Sprintf("disagreement rate %.4f exceeds %.4f over %d mirrored jobs",
+			out.disagree, cs.opts.MaxDisagree, cs.samples)
+	case cs.opts.MaxWaitFactor > 0 && out.waitRatio > cs.opts.MaxWaitFactor:
+		out.reason = fmt.Sprintf("canary mean wait %.2fx the incumbent's exceeds %.2fx",
+			out.waitRatio, cs.opts.MaxWaitFactor)
+	case cs.opts.MaxFireRateDelta > 0 && out.fireDelta > cs.opts.MaxFireRateDelta:
+		out.reason = fmt.Sprintf("fire-rate delta %.4f exceeds %.4f", out.fireDelta, cs.opts.MaxFireRateDelta)
+	}
+
+	m.canary = nil
+	m.canVersion.Store(0)
+	if out.reason != "" {
+		// Rollback: discard the shadow. The incumbent never stopped being
+		// authoritative, so its registers and classifications are
+		// bit-identical to never having swapped.
+		cs.next.eng.Close()
+		m.srv.rollbacks.Add(1)
+		cs.done <- out
+		return
+	}
+
+	// Promote: a normal cutover, except both sessions are already
+	// quiescent so there is no drain wait to speak of.
+	drainStart := time.Now()
+	cs.next.eng.Drain()
+	drained := time.Now()
+	if cs.migrate {
+		out.migrated = migrateRegisters(m.cur.em, cs.next.em)
+	} else {
+		// The shadow phase accumulated mirrored flow state; a
+		// non-migrating swap promises cold-restart registers.
+		cs.next.eng.ResetState()
+	}
+	cs.next.eng.SetWeight(m.cur.eng.Weight())
+	m.stateMu.Lock()
+	cs.next.eng.SetShedPolicy(m.shed)
+	retired := m.cur.eng.Stats()
+	m.base.Add(retired)
+	old := m.cur
+	m.cur = cs.next
+	m.stateMu.Unlock()
+	old.eng.Close()
+	m.srv.swaps.Add(1)
+	out.promoted = true
+	out.drainWait = drained.Sub(drainStart)
+	out.cutover = time.Since(drained)
+	cs.done <- out
+}
+
+// abortCanary discards an in-flight shadow version without a verdict
+// (server/model retirement) and unblocks the waiting Swap call. Caller
+// holds runMu.
+func (m *Model) abortCanary(cs *canaryState, reason string) {
+	m.canary = nil
+	m.canVersion.Store(0)
+	cs.next.eng.Close()
+	cs.done <- canaryOutcome{reason: reason, samples: cs.samples, elapsed: time.Since(cs.started)}
+}

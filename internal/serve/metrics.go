@@ -17,6 +17,19 @@ type ModelMetrics struct {
 	Tasks   uint64 `json:"tasks"`
 	Packets uint64 `json:"packets"`
 	Fires   uint64 `json:"fires"`
+	// Shed counts packets rejected by the model's shed policy (or
+	// missed deadlines) across ShedBatches submissions; shed work never
+	// queued and never touched flow state.
+	Shed        uint64 `json:"shed,omitempty"`
+	ShedBatches uint64 `json:"shed_batches,omitempty"`
+	// Degraded marks a gated pipeline's classifier stage currently
+	// bypassed under overload; DegradedBatches counts batches served on
+	// the gate verdict alone.
+	Degraded        bool   `json:"degraded,omitempty"`
+	DegradedBatches uint64 `json:"degraded_batches,omitempty"`
+	// Canary describes an in-flight canary swap shadowing this model
+	// (nil when none).
+	Canary *CanaryMetrics `json:"canary,omitempty"`
 	// BusySeconds is the cumulative worker time spent on this model;
 	// Occupancy is its share of all models' busy time (0 when idle).
 	BusySeconds float64 `json:"busy_seconds"`
@@ -31,6 +44,16 @@ type ModelMetrics struct {
 	QueueHist [pisa.StatBuckets]uint64 `json:"queue_hist"`
 }
 
+// CanaryMetrics is the live view of a canary swap in progress.
+type CanaryMetrics struct {
+	// Version is the candidate generation shadowing the incumbent.
+	Version int `json:"version"`
+	// Samples/Disagree are the mirrored jobs scored so far and how many
+	// the candidate classified differently.
+	Samples  uint64 `json:"samples"`
+	Disagree uint64 `json:"disagree"`
+}
+
 // Snapshot is the machine-readable metrics document: the deployment's
 // identity, its lifecycle counters, and one entry per registered model
 // in registration order.
@@ -40,10 +63,15 @@ type Snapshot struct {
 	// Budget is the scheduler's worker-pool size.
 	Budget int `json:"budget"`
 	// Admitted/Rejected count Register+Swap admission outcomes; Swaps
-	// counts completed version swaps.
-	Admitted uint64 `json:"admitted"`
-	Rejected uint64 `json:"rejected"`
-	Swaps    uint64 `json:"swaps"`
+	// counts completed version swaps (canary promotions included) and
+	// Rollbacks the canary swaps that auto-rolled-back.
+	Admitted  uint64 `json:"admitted"`
+	Rejected  uint64 `json:"rejected"`
+	Swaps     uint64 `json:"swaps"`
+	Rollbacks uint64 `json:"rollbacks"`
+	// Stalls counts stalled-worker episodes the scheduler watchdog
+	// detected (0 when the watchdog is disabled).
+	Stalls uint64 `json:"stalls"`
 	// WaitBucketMicros are the wait-histogram bucket upper bounds in
 	// microseconds (len StatBuckets-1; the last bucket is open).
 	WaitBucketMicros []float64      `json:"wait_bucket_micros"`
@@ -66,29 +94,44 @@ func (s *Server) Snapshot() Snapshot {
 		Admitted:      s.admitted.Load(),
 		Rejected:      s.rejected.Load(),
 		Swaps:         s.swaps.Load(),
+		Rollbacks:     s.rollbacks.Load(),
+		Stalls:        s.sched.Stalls(),
 	}
 	for _, b := range pisa.WaitBuckets {
 		snap.WaitBucketMicros = append(snap.WaitBucketMicros, float64(b)/float64(time.Microsecond))
 	}
 	var totalBusy time.Duration
+	versions := make([]int, len(models))
+	weights := make([]int, len(models))
 	stats := make([]pisa.EngineStats, len(models))
 	for i, m := range models {
-		stats[i] = m.Stats()
+		versions[i], weights[i], stats[i] = m.view()
 		totalBusy += stats[i].Busy
 	}
 	for i, m := range models {
 		st := stats[i]
 		mm := ModelMetrics{
-			Name:        m.name,
-			Version:     m.Version(),
-			Weight:      m.Weight(),
-			SLO:         m.SLO(),
-			Tasks:       st.Tasks,
-			Packets:     st.Packets,
-			Fires:       st.Fires,
-			BusySeconds: st.Busy.Seconds(),
-			WaitHist:    st.WaitHist,
-			QueueHist:   st.QueueHist,
+			Name:            m.name,
+			Version:         versions[i],
+			Weight:          weights[i],
+			SLO:             m.SLO(),
+			Tasks:           st.Tasks,
+			Packets:         st.Packets,
+			Fires:           st.Fires,
+			Shed:            st.Shed,
+			ShedBatches:     st.ShedBatches,
+			Degraded:        m.degraded.Load(),
+			DegradedBatches: m.degradedBatches.Load(),
+			BusySeconds:     st.Busy.Seconds(),
+			WaitHist:        st.WaitHist,
+			QueueHist:       st.QueueHist,
+		}
+		if cv := m.canVersion.Load(); cv != 0 {
+			mm.Canary = &CanaryMetrics{
+				Version:  int(cv),
+				Samples:  m.canSamples.Load(),
+				Disagree: m.canDisagree.Load(),
+			}
 		}
 		if totalBusy > 0 {
 			mm.Occupancy = float64(st.Busy) / float64(totalBusy)

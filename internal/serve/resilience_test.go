@@ -1,0 +1,559 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/pegasus-idp/pegasus/internal/core"
+	"github.com/pegasus-idp/pegasus/internal/faultinject"
+	"github.com/pegasus-idp/pegasus/internal/pisa"
+)
+
+// benignGateEmission builds a gate that passes everything: out0 = 0,
+// so every window classifies benign and forwards to the classifier.
+func benignGateEmission(t *testing.T, name string) *core.Emitted {
+	t.Helper()
+	var l pisa.Layout
+	in0 := l.MustAdd("in0", 16)
+	out0 := l.MustAdd("out0", 32)
+	prog := pisa.NewProgram(name, &l, pisa.Tofino2)
+	prog.Place(0, &pisa.Table{Name: "t_gate", Kind: pisa.MatchNone, DefaultData: []int32{},
+		Action: []pisa.Op{{Kind: pisa.OpAndImm, Dst: out0, A: in0, Imm: 0}}})
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return &core.Emitted{Target: "test", Prog: prog,
+		InFields: []pisa.FieldID{in0}, OutFields: []pisa.FieldID{out0},
+		ClassField: out0, Stages: len(prog.Stages)}
+}
+
+// runStep drives the same batch through both models and asserts the
+// served classifications are identical, returning the snapshot of
+// classes (detached from the engines' reused buffers).
+func runStep(t *testing.T, step int, prod, ctrl *Model, jobs []pisa.Job) []int {
+	t.Helper()
+	rp := prod.Run(jobs)
+	rc := ctrl.Run(jobs)
+	classes := make([]int, len(jobs))
+	for i := range jobs {
+		if rp[i].Class != rc[i].Class || rp[i].Outs[0] != rc[i].Outs[0] {
+			t.Fatalf("step %d job %d: prod (class %d, out %d) diverged from control (class %d, out %d)",
+				step, i, rp[i].Class, rp[i].Outs[0], rc[i].Class, rc[i].Outs[0])
+		}
+		classes[i] = rp[i].Class
+	}
+	return classes
+}
+
+// TestCanaryRollbackBitIdentical is the acceptance test for canary
+// auto-rollback: a poisoned canary swap must roll back, and the
+// incumbent's served classifications AND flow-state registers must be
+// bit-identical to a control model that never swapped at all.
+func TestCanaryRollbackBitIdentical(t *testing.T) {
+	s := newTestServer(t)
+	emProd := statefulEmission(t, "prod", 1000, 2)
+	emCtrl := statefulEmission(t, "ctrl", 1000, 2)
+	prod, err := s.Register("prod", emProd, 1, SLO{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := s.Register("ctrl", emCtrl, 1, SLO{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pre-swap traffic establishes flow state on both.
+	for step := 0; step < 5; step++ {
+		runStep(t, step, prod, ctrl, flowJobs(16, int32(step*13+1)))
+	}
+
+	faultinject.Arm(faultinject.PoisonCanary, "prod", 0, 0) // unlimited
+	defer faultinject.Reset()
+
+	type swapRes struct {
+		rep *SwapReport
+		err error
+	}
+	ch := make(chan swapRes, 1)
+	go func() {
+		rep, err := prod.Swap(statefulEmission(t, "prodv2", 1000, 2), SwapOptions{
+			MigrateState: true,
+			Canary:       &CanaryOptions{Fraction: 1, MinSamples: 48, Window: -1},
+		})
+		ch <- swapRes{rep, err}
+	}()
+
+	// Keep traffic flowing until the canary verdict lands; every step
+	// must stay identical to the never-swapped control.
+	var res swapRes
+	step := 5
+drive:
+	for ; ; step++ {
+		if step > 2000 {
+			t.Fatal("canary never reached a verdict")
+		}
+		runStep(t, step, prod, ctrl, flowJobs(16, int32(step*13+1)))
+		select {
+		case res = <-ch:
+			break drive
+		default:
+		}
+	}
+	if res.err != nil {
+		t.Fatalf("canary swap returned error: %v", res.err)
+	}
+	rep := res.rep
+	if !rep.Canary || !rep.RolledBack {
+		t.Fatalf("poisoned canary did not roll back: %+v", rep)
+	}
+	if !strings.Contains(rep.RollbackReason, "disagreement") {
+		t.Fatalf("rollback reason %q does not name the disagreement gate", rep.RollbackReason)
+	}
+	if rep.To != 1 || prod.Version() != 1 {
+		t.Fatalf("rollback left version %d (report To=%d), want incumbent v1", prod.Version(), rep.To)
+	}
+	if rep.CanarySamples < 48 {
+		t.Fatalf("decision on %d samples, want >= MinSamples 48", rep.CanarySamples)
+	}
+
+	snap := s.Snapshot()
+	if snap.Rollbacks != 1 || snap.Swaps != 0 {
+		t.Fatalf("snapshot rollbacks=%d swaps=%d, want 1/0", snap.Rollbacks, snap.Swaps)
+	}
+	for _, mm := range snap.Models {
+		if mm.Name == "prod" && mm.Canary != nil {
+			t.Fatalf("canary still visible in metrics after rollback: %+v", mm.Canary)
+		}
+	}
+
+	// Post-rollback traffic must continue bit-identically...
+	for ; step < 2020; step++ {
+		runStep(t, step, prod, ctrl, flowJobs(16, int32(step*13+1)))
+	}
+	// ...and the incumbent's flow-state registers must equal the
+	// control's cell for cell: the shadow never carried an
+	// authoritative packet.
+	rp, rc := emProd.Prog.Registers[0], emCtrl.Prog.Registers[0]
+	for i := 0; i < rp.Size; i++ {
+		if rp.Get(i) != rc.Get(i) {
+			t.Fatalf("register cell %d: prod %d != control %d after rollback", i, rp.Get(i), rc.Get(i))
+		}
+	}
+}
+
+// TestCanaryPromote covers the healthy path: a candidate that agrees
+// with the incumbent is auto-promoted at a quiescent point and the
+// model keeps serving the same answers on the new version.
+func TestCanaryPromote(t *testing.T) {
+	s := newTestServer(t)
+	prod, err := s.Register("web", statelessEmission(t, "web", 7, 1), 1, SLO{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := s.Register("webctrl", statelessEmission(t, "webctrl", 7, 1), 1, SLO{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type swapRes struct {
+		rep *SwapReport
+		err error
+	}
+	ch := make(chan swapRes, 1)
+	go func() {
+		rep, err := prod.Swap(statelessEmission(t, "webv2", 7, 1), SwapOptions{
+			Canary: &CanaryOptions{Fraction: 1, MinSamples: 32, Window: -1},
+		})
+		ch <- swapRes{rep, err}
+	}()
+
+	var res swapRes
+	step := 0
+drive:
+	for ; ; step++ {
+		if step > 2000 {
+			t.Fatal("canary never reached a verdict")
+		}
+		runStep(t, step, prod, ctrl, flowJobs(16, int32(step*7+3)))
+		select {
+		case res = <-ch:
+			break drive
+		default:
+		}
+	}
+	if res.err != nil {
+		t.Fatalf("canary swap returned error: %v", res.err)
+	}
+	rep := res.rep
+	if !rep.Canary || rep.RolledBack {
+		t.Fatalf("healthy canary did not promote: %+v", rep)
+	}
+	if rep.To != 2 || prod.Version() != 2 {
+		t.Fatalf("promotion left version %d (report To=%d), want 2", prod.Version(), rep.To)
+	}
+	if rep.Disagreement != 0 {
+		t.Fatalf("identical programs disagreed at rate %v", rep.Disagreement)
+	}
+	if snap := s.Snapshot(); snap.Swaps != 1 || snap.Rollbacks != 0 {
+		t.Fatalf("snapshot swaps=%d rollbacks=%d, want 1/0", snap.Swaps, snap.Rollbacks)
+	}
+	// The promoted version serves the same function.
+	for ; step < 2010; step++ {
+		runStep(t, step, prod, ctrl, flowJobs(16, int32(step*7+3)))
+	}
+}
+
+// TestSwapWarmFailInjection asserts a warm-phase failure rejects the
+// swap cleanly: the incumbent keeps serving and a later swap succeeds.
+func TestSwapWarmFailInjection(t *testing.T) {
+	s := newTestServer(t)
+	m, err := s.Register("wf", statelessEmission(t, "wf", 1, 1), 1, SLO{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Arm(faultinject.SwapWarmFail, "wf", 0, 1)
+	defer faultinject.Reset()
+
+	if _, err := m.Swap(statelessEmission(t, "wfv2", 2, 1), SwapOptions{}); err == nil {
+		t.Fatal("swap succeeded despite injected warm failure")
+	} else if !strings.Contains(err.Error(), "warm failed") {
+		t.Fatalf("warm failure error %q does not name the phase", err)
+	}
+	if m.Version() != 1 {
+		t.Fatalf("failed swap left version %d, want 1", m.Version())
+	}
+	if got := m.Run(flowJobs(8, 1)); len(got) != 8 {
+		t.Fatalf("incumbent stopped serving after failed swap: %d results", len(got))
+	}
+	// The one-shot fault is consumed; the retry goes through.
+	rep, err := m.Swap(statelessEmission(t, "wfv3", 3, 1), SwapOptions{})
+	if err != nil {
+		t.Fatalf("retry swap failed: %v", err)
+	}
+	if rep.To != 2 || m.Version() != 2 {
+		t.Fatalf("retry swap landed on version %d, want 2", m.Version())
+	}
+}
+
+// TestGatedDegradeAndRecover walks the full degrade hysteresis: a
+// wedged pool seeds the classifier's wait EWMA over the shed bound, the
+// pipeline flips to gate-only service after EnterStreak sheds, bypassed
+// batches are counted, and once the classifier's recent wait decays a
+// probe restores full service.
+func TestGatedDegradeAndRecover(t *testing.T) {
+	s := NewServer(Options{Name: "degrade", Cap: pisa.Tofino2.Pipes(2), Budget: 1})
+	t.Cleanup(func() {
+		if err := s.Close(); err != nil {
+			t.Errorf("server close: %v", err)
+		}
+	})
+	g, err := s.RegisterGated("gm", benignGateEmission(t, "gmgate"), statelessEmission(t, "gmcls", 5, 1),
+		1, SLO{}, DegradePolicy{Shed: pisa.ShedPolicy{MaxWait: time.Millisecond},
+			EnterStreak: 2, ExitStreak: 1, ProbeEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hog, err := s.Register("hog", statelessEmission(t, "hog", 0, 1), 1, SLO{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls := g.Classifier()
+
+	// Seed overload: a slow hog task wedges the single worker while a
+	// classifier batch queues behind it, driving the classifier's
+	// recent-wait EWMA well over the 1ms shed bound.
+	faultinject.Arm(faultinject.SlowSession, "hog@v1", 40*time.Millisecond, 1)
+	defer faultinject.Reset()
+	ht := hog.Submit(flowJobs(1, 2))
+	time.Sleep(3 * time.Millisecond)
+	cls.Run(flowJobs(6, 3)) // queues behind the wedged hog task
+	ht.Wait()
+	if rw := clsRecentWait(cls); rw <= time.Millisecond {
+		t.Fatalf("seeded classifier recent wait %v, want > 1ms", rw)
+	}
+
+	// Two consecutive shed classifier batches flip the pipeline.
+	for i := 0; i < 2; i++ {
+		out, err := g.Run(nil, flowJobs(6, int32(10+i)))
+		if err != nil {
+			t.Fatalf("gated run %d: %v", i, err)
+		}
+		for j, v := range out {
+			if v.Anomalous || v.Class != -1 {
+				t.Fatalf("shed batch %d job %d: verdict %+v, want benign gate-only", i, j, v)
+			}
+		}
+	}
+	if !g.Degraded() {
+		t.Fatal("pipeline not degraded after EnterStreak shed batches")
+	}
+
+	// Degraded batches bypass the classifier outright (probe every 3rd).
+	for i := 0; i < 2; i++ {
+		out, err := g.Run(nil, flowJobs(6, int32(20+i)))
+		if err != nil {
+			t.Fatalf("degraded run %d: %v", i, err)
+		}
+		for j, v := range out {
+			if v.Class != -1 {
+				t.Fatalf("degraded batch %d job %d reached the classifier: %+v", i, j, v)
+			}
+		}
+	}
+	snap := s.Snapshot()
+	var cm ModelMetrics
+	for _, mm := range snap.Models {
+		if mm.Name == "gm-cls" {
+			cm = mm
+		}
+	}
+	if !cm.Degraded || cm.DegradedBatches < 2 || cm.ShedBatches < 2 || cm.Shed < 12 {
+		t.Fatalf("classifier metrics %+v: want degraded with >=2 degraded batches, >=2 shed batches, >=12 shed jobs", cm)
+	}
+
+	// Recovery: served tasks on an idle pool decay the EWMA under the
+	// bound; the next probe batch then restores full service.
+	for i := 0; i < 200 && clsRecentWait(cls) >= 500*time.Microsecond; i++ {
+		cls.Run(flowJobs(6, int32(40+i)))
+	}
+	if rw := clsRecentWait(cls); rw >= time.Millisecond {
+		t.Fatalf("classifier recent wait %v failed to decay under the bound", rw)
+	}
+	recovered := false
+	for i := 0; i < 10 && !recovered; i++ {
+		if _, err := g.Run(nil, flowJobs(6, int32(60+i))); err != nil {
+			t.Fatalf("recovery run %d: %v", i, err)
+		}
+		recovered = !g.Degraded()
+	}
+	if !recovered {
+		t.Fatal("pipeline never exited degraded mode after the classifier recovered")
+	}
+	// Full service again: every benign window reaches the classifier
+	// (out = in + 5, the classifier bias).
+	jobs := flowJobs(6, 99)
+	out, err := g.Run(nil, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, v := range out {
+		if want := int(jobs[j].In[0] + 5); v.Class != want {
+			t.Fatalf("recovered pipeline job %d: class %d, want %d", j, v.Class, want)
+		}
+	}
+}
+
+// clsRecentWait reads a model's live engine wait EWMA (test helper).
+func clsRecentWait(m *Model) time.Duration {
+	m.stateMu.RLock()
+	defer m.stateMu.RUnlock()
+	return m.cur.eng.RecentWait()
+}
+
+// TestCloseDrainTimeout asserts Close is bounded when a submitter is
+// wedged mid-batch: the stuck session is named in a *DrainError instead
+// of hanging the control plane.
+func TestCloseDrainTimeout(t *testing.T) {
+	s := NewServer(Options{Name: "drain", Cap: pisa.Tofino2.Pipes(2), Budget: 2,
+		DrainTimeout: 30 * time.Millisecond, WatchdogThreshold: -1})
+	m, err := s.Register("stuck", statelessEmission(t, "stuck", 0, 1), 1, SLO{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Arm(faultinject.SlowSession, "stuck@v1", 300*time.Millisecond, 1)
+	defer faultinject.Reset()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		m.Run(flowJobs(1, 1)) // wedged ~300ms, holding the model's runMu
+	}()
+	time.Sleep(10 * time.Millisecond)
+
+	err = s.Close()
+	var de *DrainError
+	if !errors.As(err, &de) {
+		t.Fatalf("close with wedged session returned %v, want *DrainError", err)
+	}
+	if de.Op != "close" || len(de.Sessions) != 1 || de.Sessions[0] != "stuck@v1" {
+		t.Fatalf("drain error %+v, want op=close sessions=[stuck@v1]", de)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second close not idempotent: %v", err)
+	}
+	<-done // the wedged batch completes; the engine was leaked on purpose
+}
+
+// TestSwapDrainTimeout asserts a swap cutover cannot hang behind a
+// wedged incumbent: the warmed version is discarded and the incumbent
+// keeps serving.
+func TestSwapDrainTimeout(t *testing.T) {
+	s := NewServer(Options{Name: "swapdrain", Cap: pisa.Tofino2.Pipes(2), Budget: 2,
+		DrainTimeout: 30 * time.Millisecond, WatchdogThreshold: -1})
+	t.Cleanup(func() {
+		if err := s.Close(); err != nil {
+			t.Errorf("server close: %v", err)
+		}
+	})
+	m, err := s.Register("sd", statelessEmission(t, "sd", 1, 1), 1, SLO{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Arm(faultinject.SlowSession, "sd@v1", 200*time.Millisecond, 1)
+	defer faultinject.Reset()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		m.Run(flowJobs(1, 1))
+	}()
+	time.Sleep(10 * time.Millisecond)
+
+	_, err = m.Swap(statelessEmission(t, "sdv2", 2, 1), SwapOptions{})
+	var de *DrainError
+	if !errors.As(err, &de) {
+		t.Fatalf("swap against wedged incumbent returned %v, want *DrainError", err)
+	}
+	if de.Op != "swap" || len(de.Sessions) != 1 || de.Sessions[0] != "sd@v1" {
+		t.Fatalf("drain error %+v, want op=swap sessions=[sd@v1]", de)
+	}
+	<-done
+	if m.Version() != 1 {
+		t.Fatalf("aborted swap left version %d, want 1", m.Version())
+	}
+	// The incumbent still serves (out = in + 1, the v1 bias).
+	res := m.Run(flowJobs(4, 5))
+	for i, r := range res {
+		want := (5+int32(i)*37)%1000 + 1
+		if r.Outs[0] != want {
+			t.Fatalf("post-abort job %d: out %d, want %d", i, r.Outs[0], want)
+		}
+	}
+}
+
+// TestSLOAdmissionOvercommit asserts Register rejects a candidate whose
+// declared target share overcommits the pool, with a structured reason.
+func TestSLOAdmissionOvercommit(t *testing.T) {
+	s := newTestServer(t)
+	if _, err := s.Register("a", statelessEmission(t, "a", 0, 1), 1, SLO{TargetShare: 0.6}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.Register("b", statelessEmission(t, "b", 0, 1), 1, SLO{TargetShare: 0.5})
+	var ae *AdmissionError
+	if !errors.As(err, &ae) {
+		t.Fatalf("overcommitted registration returned %v, want *AdmissionError", err)
+	}
+	if ae.Report != nil || !strings.Contains(ae.Reason, "overcommit") {
+		t.Fatalf("admission error %+v: want nil capacity report and an overcommit reason", ae)
+	}
+	if snap := s.Snapshot(); snap.Rejected != 1 {
+		t.Fatalf("snapshot rejected=%d, want 1", snap.Rejected)
+	}
+	// An exact partition admits.
+	if _, err := s.Register("b", statelessEmission(t, "b2", 0, 1), 1, SLO{TargetShare: 0.4}); err != nil {
+		t.Fatalf("feasible share rejected: %v", err)
+	}
+}
+
+// TestConcurrentMetricsScrapes hammers the metrics endpoint while
+// traffic, live swaps and the tuner mutate the deployment, asserting —
+// under the race detector — that every scrape decodes and is internally
+// consistent (no torn version/weight pairs, wait accounting never
+// behind the task count).
+func TestConcurrentMetricsScrapes(t *testing.T) {
+	s := newTestServer(t)
+	names := []string{"m0", "m1", "m2"}
+	models := make([]*Model, len(names))
+	for i, n := range names {
+		m, err := s.Register(n, statelessEmission(t, n, int32(i), 1), 1, SLO{TargetShare: 0.3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		models[i] = m
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	// Traffic on every model.
+	for i, m := range models {
+		wg.Add(1)
+		go func(i int, m *Model) {
+			defer wg.Done()
+			for k := 0; !stop.Load(); k++ {
+				m.Run(flowJobs(32, int32(i*100+k)))
+				time.Sleep(time.Millisecond)
+			}
+		}(i, m)
+	}
+	// Live swaps on m0.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for k := 2; k <= 6; k++ {
+			if _, err := models[0].Swap(statelessEmission(t, fmt.Sprintf("m0v%d", k), 0, 1), SwapOptions{}); err != nil {
+				t.Errorf("swap %d: %v", k, err)
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	// Tuner.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			s.TuneOnce()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	// Scrapers.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lastVer := map[string]int{}
+			for !stop.Load() {
+				rec := httptest.NewRecorder()
+				s.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+				var snap Snapshot
+				if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+					t.Errorf("scrape returned invalid JSON: %v", err)
+					return
+				}
+				for _, mm := range snap.Models {
+					if mm.Version < 1 || mm.Weight < 1 {
+						t.Errorf("model %q: torn version/weight (%d, %d)", mm.Name, mm.Version, mm.Weight)
+						return
+					}
+					if mm.Version < lastVer[mm.Name] {
+						t.Errorf("model %q: version went backwards %d -> %d", mm.Name, lastVer[mm.Name], mm.Version)
+						return
+					}
+					lastVer[mm.Name] = mm.Version
+					var hist uint64
+					for _, c := range mm.WaitHist {
+						hist += c
+					}
+					if hist < mm.Tasks {
+						t.Errorf("model %q: ΣWaitHist %d behind tasks %d", mm.Name, hist, mm.Tasks)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	time.Sleep(200 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	if v := models[0].Version(); v != 6 {
+		t.Fatalf("m0 ended on version %d, want 6 after 5 swaps", v)
+	}
+}

@@ -16,6 +16,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -38,6 +39,17 @@ type Options struct {
 	// Mode selects the execution mode for every engine the server
 	// builds (zero value = pisa.ExecCompiled).
 	Mode pisa.ExecMode
+	// DrainTimeout bounds every drain the control plane performs
+	// (Close, Unregister, Swap cutovers): a session that cannot drain
+	// within it is reported in a structured *DrainError instead of
+	// hanging the control plane forever (0 selects 5s, < 0 waits
+	// forever — the historical behaviour).
+	DrainTimeout time.Duration
+	// WatchdogThreshold arms the scheduler's stalled-worker watchdog:
+	// a worker stuck executing one task past the threshold is counted
+	// (Snapshot.Stalls) and its queue re-routed to stealers (0 selects
+	// 100ms, < 0 disables the watchdog).
+	WatchdogThreshold time.Duration
 }
 
 // SLO declares a model's serving targets for the weight auto-tuner.
@@ -54,19 +66,21 @@ type SLO struct {
 // Server is the serving control plane: one scheduler, a capacity
 // ledger, and the lifecycle of every registered model.
 type Server struct {
-	name  string
-	cap   pisa.Capacity
-	mode  pisa.ExecMode
-	sched *pisa.Scheduler
-	start time.Time
+	name    string
+	cap     pisa.Capacity
+	mode    pisa.ExecMode
+	sched   *pisa.Scheduler
+	start   time.Time
+	drainTO time.Duration
 
 	mu     sync.Mutex // guards models, order, tune bookkeeping
 	models map[string]*Model
 	order  []string // registration order, for stable metrics
 
-	admitted atomic.Uint64
-	rejected atomic.Uint64
-	swaps    atomic.Uint64
+	admitted  atomic.Uint64
+	rejected  atomic.Uint64
+	swaps     atomic.Uint64
+	rollbacks atomic.Uint64
 
 	tunerStop chan struct{}
 	tunerWG   sync.WaitGroup
@@ -92,6 +106,26 @@ type Model struct {
 	// base accumulates the retired versions' counters so a model's
 	// stats survive swaps (EngineStats.Add).
 	base pisa.EngineStats
+	// shed is the model's overload policy, re-applied to every engine
+	// generation (swap and canary sessions inherit it). Guarded by
+	// stateMu.
+	shed pisa.ShedPolicy
+
+	// canary is the in-flight shadow version of a canary swap, mutated
+	// only with runMu held (the submission path owns it).
+	canary *canaryState
+	// Canary observability for Snapshot readers (the canary itself is
+	// runMu-guarded): live canary version id (0 = none), mirrored
+	// samples and disagreements so far.
+	canVersion  atomic.Int32
+	canSamples  atomic.Uint64
+	canDisagree atomic.Uint64
+
+	// Degrade observability, driven by GatedModel for its classifier
+	// stage: whether the gated pipeline currently bypasses this model,
+	// and how many batches were served degraded.
+	degraded        atomic.Bool
+	degradedBatches atomic.Uint64
 
 	// Tuner bookkeeping: counters at the previous TuneOnce, guarded by
 	// srv.mu.
@@ -113,14 +147,22 @@ func NewServer(opts Options) *Server {
 	if opts.Name == "" {
 		opts.Name = "serve"
 	}
-	return &Server{
-		name:   opts.Name,
-		cap:    opts.Cap,
-		mode:   opts.Mode,
-		sched:  pisa.NewScheduler(opts.Budget),
-		start:  time.Now(),
-		models: map[string]*Model{},
+	if opts.DrainTimeout == 0 {
+		opts.DrainTimeout = 5 * time.Second
 	}
+	s := &Server{
+		name:    opts.Name,
+		cap:     opts.Cap,
+		mode:    opts.Mode,
+		sched:   pisa.NewScheduler(opts.Budget),
+		start:   time.Now(),
+		drainTO: opts.DrainTimeout,
+		models:  map[string]*Model{},
+	}
+	if opts.WatchdogThreshold >= 0 {
+		s.sched.StartWatchdog(opts.WatchdogThreshold)
+	}
+	return s
 }
 
 // Name returns the deployment label.
@@ -129,21 +171,50 @@ func (s *Server) Name() string { return s.name }
 // Scheduler exposes the underlying pool (stats, budget).
 func (s *Server) Scheduler() *pisa.Scheduler { return s.sched }
 
-// AdmissionError is a rejected registration or swap: the candidate
-// does not fit the remaining combined capacity. Report carries the
-// structured per-dimension, per-program breakdown.
+// AdmissionError is a rejected registration or swap. A capacity
+// rejection carries the structured per-dimension, per-program breakdown
+// in Report; an SLO rejection (the candidate's declared TargetShare,
+// summed with the incumbents', exceeds the whole pool) carries Report
+// nil and the overcommit arithmetic in Reason.
 type AdmissionError struct {
 	Model  string
 	Op     string // "register" or "swap"
+	Reason string // non-capacity rejection cause (SLO overcommit)
 	Report *core.BudgetError
 }
 
 func (e *AdmissionError) Error() string {
+	if e.Report == nil {
+		return fmt.Sprintf("serve: %s %q rejected: %s", e.Op, e.Model, e.Reason)
+	}
 	return fmt.Sprintf("serve: %s %q rejected: %v", e.Op, e.Model, e.Report)
 }
 
-// Unwrap exposes the core.BudgetError to errors.As.
-func (e *AdmissionError) Unwrap() error { return e.Report }
+// Unwrap exposes the core.BudgetError to errors.As (nil for SLO
+// rejections).
+func (e *AdmissionError) Unwrap() error {
+	if e.Report == nil {
+		return nil
+	}
+	return e.Report
+}
+
+// DrainError reports sessions that failed to quiesce within the drain
+// timeout during Close, Unregister or a Swap cutover. The named
+// sessions' batches are still in flight on the pool — a stalled worker
+// or a wedged plan holds them — so their resources are intentionally
+// leaked rather than freed out from under a running task.
+type DrainError struct {
+	Deployment string
+	Op         string // "close", "unregister" or "swap"
+	Timeout    time.Duration
+	Sessions   []string // session labels (name@vN) that failed to drain
+}
+
+func (e *DrainError) Error() string {
+	return fmt.Sprintf("serve: %s on %q: %d session(s) failed to drain within %v: %v",
+		e.Op, e.Deployment, len(e.Sessions), e.Timeout, e.Sessions)
+}
 
 // deployment snapshots the live emissions as a core.Deployment ledger
 // (caller holds s.mu).
@@ -170,10 +241,14 @@ func (s *Server) Deployment() core.Deployment {
 //
 // Admission runs FIRST: the candidate emission is validated against
 // the remaining combined capacity (core.Deployment.Admit — extraction
-// sharing applied). An over-capacity candidate is rejected with an
-// *AdmissionError before any scheduler state changes; on success the
-// emission's session is registered on the shared pool (compiling its
-// execution plans) and the model begins serving at the given weight.
+// sharing applied) AND against the tuner's share ledger — a candidate
+// whose declared SLO.TargetShare, summed with the incumbents', exceeds
+// the whole pool is rejected up front (the tuner could never satisfy
+// everyone; weights would just climb to the clamp ceiling). Rejection
+// is an *AdmissionError before any scheduler state changes; on success
+// the emission's session is registered on the shared pool (compiling
+// its execution plans) and the model begins serving at the given
+// weight.
 func (s *Server) Register(name string, em *core.Emitted, weight int, slo SLO) (*Model, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -182,6 +257,10 @@ func (s *Server) Register(name string, em *core.Emitted, weight int, slo SLO) (*
 	}
 	if _, ok := s.models[name]; ok {
 		return nil, fmt.Errorf("serve: model %q already registered (use Swap to replace it)", name)
+	}
+	if err := s.admitShareLocked(name, slo); err != nil {
+		s.rejected.Add(1)
+		return nil, err
 	}
 	if err := s.admitLocked(name, em, nil); err != nil {
 		s.rejected.Add(1)
@@ -193,6 +272,27 @@ func (s *Server) Register(name string, em *core.Emitted, weight int, slo SLO) (*
 	s.order = append(s.order, name)
 	s.admitted.Add(1)
 	return m, nil
+}
+
+// admitShareLocked rejects a candidate SLO whose TargetShare, summed
+// with every incumbent's, overcommits the pool (> 1.0 busy-time
+// share). Caller holds s.mu.
+func (s *Server) admitShareLocked(name string, slo SLO) error {
+	if slo.TargetShare <= 0 {
+		return nil
+	}
+	sum := slo.TargetShare
+	for _, n := range s.order {
+		sum += s.models[n].slo.TargetShare
+	}
+	// A hair of slack so exact partitions (0.5+0.5, 3×1/3) admit
+	// through float rounding.
+	if sum <= 1.0+1e-9 {
+		return nil
+	}
+	return &AdmissionError{Model: name, Op: "register",
+		Reason: fmt.Sprintf("SLO overcommit: declared target share %.3f raises the deployment total to %.3f (> 1.0 of pool busy time)",
+			slo.TargetShare, sum)}
 }
 
 // admitLocked validates the deployment with `name` bound to em —
@@ -267,8 +367,72 @@ func (s *Server) Models() []*Model {
 	return ms
 }
 
-// Unregister retires a model: waits out its in-flight batch, releases
-// its session, and frees its share of the capacity ledger.
+// lockWithTimeout acquires mu, giving up after d (d < 0 blocks
+// forever). The bounded acquisition is what protects the control plane
+// from a WEDGED SUBMITTER: a Ticket whose batch is stuck on a stalled
+// worker holds the model's runMu inside Wait, so an unbounded Lock
+// would inherit the hang no matter how short the engine drain bound
+// is. The helper queues as a real waiter (TryLock polling would starve
+// behind closed-loop submitters that re-acquire runMu back to back);
+// on timeout it is abandoned and releases the mutex itself whenever
+// the acquisition eventually completes.
+func lockWithTimeout(mu *sync.Mutex, d time.Duration) bool {
+	if d < 0 {
+		mu.Lock()
+		return true
+	}
+	acquired := make(chan struct{})
+	abandoned := make(chan struct{})
+	go func() {
+		mu.Lock()
+		select {
+		case acquired <- struct{}{}:
+		case <-abandoned:
+			mu.Unlock()
+		}
+	}()
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-acquired:
+		return true
+	case <-timer.C:
+		close(abandoned)
+		return false
+	}
+}
+
+// sessionLabel names the model's live session for drain errors.
+func (m *Model) sessionLabel() string {
+	m.stateMu.RLock()
+	defer m.stateMu.RUnlock()
+	return fmt.Sprintf("%s@v%d", m.name, m.cur.id)
+}
+
+// retire drains and closes the model's live session (and aborts any
+// in-flight canary) within the server's drain timeout. Returns the
+// labels of sessions that failed to quiesce — their engines are leaked
+// deliberately: closing an engine under a running task would free
+// buffers out from under a worker.
+func (s *Server) retire(m *Model, reason string) []string {
+	if !lockWithTimeout(&m.runMu, s.drainTO) {
+		return []string{m.sessionLabel()}
+	}
+	defer m.runMu.Unlock()
+	if cs := m.canary; cs != nil {
+		m.abortCanary(cs, reason)
+	}
+	if !m.cur.eng.DrainTimeout(s.drainTO) {
+		return []string{m.sessionLabel()}
+	}
+	m.cur.eng.Close()
+	return nil
+}
+
+// Unregister retires a model: waits out its in-flight batch (bounded
+// by Options.DrainTimeout), releases its session, and frees its share
+// of the capacity ledger. A session that cannot drain is reported in a
+// *DrainError; the model is unregistered either way.
 func (s *Server) Unregister(name string) error {
 	s.mu.Lock()
 	m, ok := s.models[name]
@@ -284,20 +448,23 @@ func (s *Server) Unregister(name string) error {
 		}
 	}
 	s.mu.Unlock()
-	m.runMu.Lock()
-	defer m.runMu.Unlock()
-	m.cur.eng.Drain()
-	m.cur.eng.Close()
+	if stuck := s.retire(m, "model unregistered"); len(stuck) > 0 {
+		return &DrainError{Deployment: s.name, Op: "unregister", Timeout: s.drainTO, Sessions: stuck}
+	}
 	return nil
 }
 
 // Close stops the tuner, retires every model, and releases the pool.
-func (s *Server) Close() {
+// Each model's drain is bounded by Options.DrainTimeout: sessions that
+// fail to quiesce are named in the returned *DrainError, and the pool
+// itself is left running in that case (its workers hold the stuck
+// batches) rather than hanging Close forever. Idempotent.
+func (s *Server) Close() error {
 	s.StopTuner()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return
+		return nil
 	}
 	s.closed = true
 	models := make([]*Model, 0, len(s.order))
@@ -307,13 +474,15 @@ func (s *Server) Close() {
 	s.models = map[string]*Model{}
 	s.order = nil
 	s.mu.Unlock()
+	var stuck []string
 	for _, m := range models {
-		m.runMu.Lock()
-		m.cur.eng.Drain()
-		m.cur.eng.Close()
-		m.runMu.Unlock()
+		stuck = append(stuck, s.retire(m, "server closed")...)
+	}
+	if len(stuck) > 0 {
+		return &DrainError{Deployment: s.name, Op: "close", Timeout: s.drainTO, Sessions: stuck}
 	}
 	s.sched.Close()
+	return nil
 }
 
 // Name returns the model's registration name.
@@ -365,12 +534,40 @@ func (m *Model) SetWeight(w int) {
 // Stats returns the model's cumulative serving counters across every
 // version it has run (retired generations included).
 func (m *Model) Stats() pisa.EngineStats {
+	_, _, st := m.view()
+	return st
+}
+
+// view snapshots version, weight and cumulative stats under ONE lock
+// acquisition, so a metrics scrape racing a swap can never observe a
+// torn (version, weight) pair — the triple is consistent with a single
+// instant of the model's lifecycle.
+func (m *Model) view() (version, weight int, st pisa.EngineStats) {
 	m.stateMu.RLock()
 	defer m.stateMu.RUnlock()
-	st := m.cur.eng.Stats()
+	st = m.cur.eng.Stats()
 	st.Add(m.base)
 	st.Name = m.name
-	return st
+	return m.cur.id, m.cur.eng.Weight(), st
+}
+
+// SetShedPolicy installs the model's overload bounds: submissions over
+// the policy are rejected up front with pisa.ErrOverloaded (SubmitCtx/
+// RunCtx) instead of queueing without limit. The policy survives swaps
+// — every later engine generation (swap targets, canary shadows)
+// inherits it.
+func (m *Model) SetShedPolicy(p pisa.ShedPolicy) {
+	m.stateMu.Lock()
+	m.shed = p
+	m.cur.eng.SetShedPolicy(p)
+	m.stateMu.Unlock()
+}
+
+// ShedPolicy returns the model's current overload bounds.
+func (m *Model) ShedPolicy() pisa.ShedPolicy {
+	m.stateMu.RLock()
+	defer m.stateMu.RUnlock()
+	return m.shed
 }
 
 // Ticket is one in-flight submission: the model's submission lock is
@@ -380,17 +577,40 @@ type Ticket struct {
 	m    *Model
 	p    *pisa.Pending
 	done bool
+
+	// Canary mirroring: the same jobs shadow-submitted to the canary
+	// session, compared against the authoritative results at Wait.
+	jobs []pisa.Job
+	cp   *pisa.Pending
 }
 
 // Wait blocks until the batch has fully executed, releases the model
-// for the next submission, and returns the results in job order.
+// for the next submission, and returns the results in job order. When
+// a canary swap is in flight, Wait also collects the mirrored shadow
+// batch, scores it against the authoritative results, and — once the
+// decision window is met — promotes or rolls back the canary before
+// releasing the lock.
 func (t *Ticket) Wait() []pisa.Result {
 	res := t.p.Wait()
 	if !t.done {
 		t.done = true
+		if t.cp != nil {
+			t.m.observeCanary(t.jobs, res, t.cp.Wait())
+		}
+		t.m.decideCanary()
 		t.m.runMu.Unlock()
 	}
 	return res
+}
+
+// Err reports whether the serving session was poisoned by a plan panic
+// during (or before) this batch — call it after Wait; a non-nil error
+// means the results are not trustworthy and the model needs a swap.
+func (t *Ticket) Err() error {
+	if t.p == nil {
+		return nil
+	}
+	return t.p.Err()
 }
 
 // Submit enqueues a batch on the model's live version without waiting
@@ -400,7 +620,26 @@ func (t *Ticket) Wait() []pisa.Result {
 // collecting the tickets.
 func (m *Model) Submit(jobs []pisa.Job) *Ticket {
 	m.runMu.Lock()
-	return &Ticket{m: m, p: m.cur.eng.SubmitBatch(jobs)}
+	t := &Ticket{m: m, p: m.cur.eng.SubmitBatch(jobs)}
+	m.mirrorCanary(t, jobs)
+	return t
+}
+
+// SubmitCtx is Submit behind the model's shed policy and the context
+// deadline: an over-bound or deadline-infeasible batch is rejected up
+// front with *pisa.ErrOverloaded (reject-newest — admitted work keeps
+// its place), a poisoned session with *pisa.ErrPoisoned. On error the
+// model is NOT left locked and no ticket exists.
+func (m *Model) SubmitCtx(ctx context.Context, jobs []pisa.Job) (*Ticket, error) {
+	m.runMu.Lock()
+	p, err := m.cur.eng.SubmitBatchCtx(ctx, jobs)
+	if err != nil {
+		m.runMu.Unlock()
+		return nil, err
+	}
+	t := &Ticket{m: m, p: p}
+	m.mirrorCanary(t, jobs)
+	return t, nil
 }
 
 // Run pushes a batch through the live version and waits for the
@@ -409,8 +648,21 @@ func (m *Model) Run(jobs []pisa.Job) []pisa.Result {
 	return m.Submit(jobs).Wait()
 }
 
+// RunCtx is Run behind the model's shed policy (see SubmitCtx).
+func (m *Model) RunCtx(ctx context.Context, jobs []pisa.Job) ([]pisa.Result, error) {
+	t, err := m.SubmitCtx(ctx, jobs)
+	if err != nil {
+		return nil, err
+	}
+	res := t.Wait()
+	return res, t.Err()
+}
+
 // RunPackets replays raw packets through the live version's extraction
 // machine (registration must have carried an extraction emission).
+// Canary swaps do not mirror the packet path: extraction state is
+// per-session and a shadow replay would fire on different window
+// boundaries — canary scoring applies to the batch path only.
 func (m *Model) RunPackets(pkts []pisa.PacketIn) []pisa.PacketResult {
 	m.runMu.Lock()
 	defer m.runMu.Unlock()

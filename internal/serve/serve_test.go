@@ -86,7 +86,11 @@ func flowJobs(n int, seed int32) []pisa.Job {
 func newTestServer(t *testing.T) *Server {
 	t.Helper()
 	s := NewServer(Options{Name: "test", Cap: pisa.Tofino2.Pipes(2), Budget: 4})
-	t.Cleanup(s.Close)
+	t.Cleanup(func() {
+		if err := s.Close(); err != nil {
+			t.Errorf("server close: %v", err)
+		}
+	})
 	return s
 }
 

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/pegasus-idp/pegasus/internal/core"
+	"github.com/pegasus-idp/pegasus/internal/faultinject"
 	"github.com/pegasus-idp/pegasus/internal/pisa"
 )
 
@@ -17,10 +18,18 @@ type SwapOptions struct {
 	// like a cold restart.
 	MigrateState bool
 	// OnWarmed, when set, is called once the new version's plans have
-	// compiled, immediately before the cutover blocks submissions. It
-	// lets a caller line up measurement windows (or shift traffic) with
-	// the service-interrupting phase rather than the off-path warm.
+	// compiled, immediately before the cutover blocks submissions (or,
+	// for a canary swap, immediately after the shadow session goes
+	// live). It lets a caller line up measurement windows (or shift
+	// traffic) with the service-interrupting phase rather than the
+	// off-path warm.
 	OnWarmed func()
+	// Canary, when set, turns the swap into a canary deployment: the
+	// warmed version shadows the incumbent on a fraction of traffic and
+	// is auto-promoted or auto-rolled-back against the thresholds (see
+	// CanaryOptions). Swap blocks until the verdict; traffic must keep
+	// flowing from other goroutines for samples to accumulate.
+	Canary *CanaryOptions
 }
 
 // SwapReport measures one completed version swap.
@@ -43,6 +52,22 @@ type SwapReport struct {
 	// MigratedRegisters counts registers whose values were carried
 	// over (0 when MigrateState is false or nothing matched).
 	MigratedRegisters int `json:"migrated_registers"`
+
+	// Canary verdict (canary swaps only). RolledBack means the
+	// candidate was discarded — the incumbent's registers and
+	// classifications are bit-identical to never having swapped — with
+	// the violated threshold in RollbackReason. CanarySamples counts
+	// the mirrored jobs scored; Disagreement, WaitFactor and
+	// FireRateDelta are the observed deltas the verdict weighed;
+	// DecisionWait is the shadow-phase length.
+	Canary         bool          `json:"canary,omitempty"`
+	RolledBack     bool          `json:"rolled_back,omitempty"`
+	RollbackReason string        `json:"rollback_reason,omitempty"`
+	CanarySamples  int           `json:"canary_samples,omitempty"`
+	Disagreement   float64       `json:"disagreement,omitempty"`
+	WaitFactor     float64       `json:"wait_factor,omitempty"`
+	FireRateDelta  float64       `json:"fire_rate_delta,omitempty"`
+	DecisionWait   time.Duration `json:"decision_wait_ns,omitempty"`
 }
 
 // Swap replaces the model's live emission with a new generation
@@ -64,6 +89,16 @@ type SwapReport struct {
 //
 // Co-resident models keep running throughout: only this model's
 // submissions block, and only for DrainWait+Cutover.
+//
+// With opts.Canary set, CUTOVER is replaced by a shadow phase: the
+// warmed version mirrors a fraction of live traffic without ever
+// becoming authoritative, and Swap blocks until the canary verdict
+// promotes it (a normal cutover at a quiescent point) or rolls it back
+// (the shadow is discarded; the incumbent keeps serving untouched).
+//
+// The drain is bounded by Options.DrainTimeout: an incumbent that
+// cannot quiesce aborts the swap with a *DrainError — the warmed
+// version is discarded and the incumbent keeps serving.
 func (m *Model) Swap(em *core.Emitted, opts SwapOptions) (*SwapReport, error) {
 	s := m.srv
 	warmStart := time.Now()
@@ -83,23 +118,52 @@ func (m *Model) Swap(em *core.Emitted, opts SwapOptions) (*SwapReport, error) {
 	}
 	s.mu.Unlock()
 
+	if faultinject.Enabled() && faultinject.Should(faultinject.SwapWarmFail, m.name) {
+		s.rejected.Add(1)
+		return nil, fmt.Errorf("serve: swap %q: warm failed: %w", m.name, errInjectedWarmFailure)
+	}
+
 	// Warm the new generation off the serving path: session
 	// registration compiles the plans; the session idles (weight
 	// inherited from the live one) until the cutover.
 	m.stateMu.RLock()
 	old := m.cur
+	shed := m.shed
 	m.stateMu.RUnlock()
 	next := &version{id: old.id + 1, em: em,
 		eng: s.newEngine(em, m.name, old.id+1, old.eng.Weight())}
+	next.eng.SetShedPolicy(shed)
 	warm := time.Since(warmStart)
+
+	if opts.Canary != nil {
+		return m.swapCanary(old, next, opts, warm)
+	}
 	if opts.OnWarmed != nil {
 		opts.OnWarmed()
 	}
 
-	// Cutover: block new submissions, drain the in-flight batch.
+	// Cutover: block new submissions, drain the in-flight batch. Both
+	// the lock acquisition (a wedged submitter holds runMu) and the
+	// drain are bounded by the server's drain timeout; on either
+	// timeout the warmed version is discarded and the incumbent keeps
+	// serving.
 	cutStart := time.Now()
-	m.runMu.Lock()
-	old.eng.Drain()
+	if !lockWithTimeout(&m.runMu, s.drainTO) {
+		next.eng.Close()
+		return nil, &DrainError{Deployment: s.name, Op: "swap", Timeout: s.drainTO,
+			Sessions: []string{fmt.Sprintf("%s@v%d", m.name, old.id)}}
+	}
+	if m.canary != nil {
+		m.runMu.Unlock()
+		next.eng.Close()
+		return nil, fmt.Errorf("serve: swap %q: a canary swap is already in flight", m.name)
+	}
+	if !old.eng.DrainTimeout(s.drainTO) {
+		m.runMu.Unlock()
+		next.eng.Close()
+		return nil, &DrainError{Deployment: s.name, Op: "swap", Timeout: s.drainTO,
+			Sessions: []string{fmt.Sprintf("%s@v%d", m.name, old.id)}}
+	}
 	drained := time.Now()
 
 	migrated := 0
@@ -131,6 +195,63 @@ func (m *Model) Swap(em *core.Emitted, opts SwapOptions) (*SwapReport, error) {
 		Downtime:          cutEnd.Sub(cutStart),
 		MigratedRegisters: migrated,
 	}, nil
+}
+
+// errInjectedWarmFailure is the sentinel for the SwapWarmFail fault.
+var errInjectedWarmFailure = fmt.Errorf("injected warm failure (faultinject)")
+
+// swapCanary installs the warmed version as a shadow and blocks until
+// the traffic-driven verdict (see canary.go). The submission path owns
+// the canary: mirroring, scoring and the final promote/rollback all
+// run at Ticket.Wait boundaries where both sessions are quiescent.
+func (m *Model) swapCanary(old, next *version, opts SwapOptions, warm time.Duration) (*SwapReport, error) {
+	cs := &canaryState{
+		next:    next,
+		opts:    opts.Canary.withDefaults(),
+		migrate: opts.MigrateState,
+		started: time.Now(),
+		done:    make(chan canaryOutcome, 1),
+	}
+	m.runMu.Lock()
+	if m.canary != nil {
+		m.runMu.Unlock()
+		next.eng.Close()
+		return nil, fmt.Errorf("serve: swap %q: a canary swap is already in flight", m.name)
+	}
+	cs.incBase = old.eng.Stats()
+	m.canary = cs
+	m.canVersion.Store(int32(next.id))
+	m.canSamples.Store(0)
+	m.canDisagree.Store(0)
+	m.runMu.Unlock()
+	if opts.OnWarmed != nil {
+		opts.OnWarmed()
+	}
+
+	out := <-cs.done
+	rep := &SwapReport{
+		Model:         m.name,
+		From:          old.id,
+		To:            old.id,
+		Warm:          warm,
+		Canary:        true,
+		CanarySamples: out.samples,
+		Disagreement:  out.disagree,
+		WaitFactor:    out.waitRatio,
+		FireRateDelta: out.fireDelta,
+		DecisionWait:  out.elapsed,
+	}
+	if !out.promoted {
+		rep.RolledBack = true
+		rep.RollbackReason = out.reason
+		return rep, nil
+	}
+	rep.To = next.id
+	rep.MigratedRegisters = out.migrated
+	rep.DrainWait = out.drainWait
+	rep.Cutover = out.cutover
+	rep.Downtime = out.drainWait + out.cutover
+	return rep, nil
 }
 
 // migrateRegisters copies per-flow state from the old emission into

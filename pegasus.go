@@ -115,6 +115,40 @@
 //	report, err := m.Swap(emittedV2, pegasus.SwapOptions{MigrateState: true})
 //	go http.ListenAndServe(":9090", srv) // JSON metrics endpoint
 //
+// # Overload protection and failure resilience
+//
+// The serving plane degrades predictably instead of collapsing. Every
+// session can carry a ShedPolicy (max queue depth, max recent wait,
+// deadline headroom): work that would violate it is rejected NEWEST
+// first with a structured *ErrOverloaded carrying the observed depth
+// and wait, before it touches any register — shed work has no
+// side effects. Context-aware submission (ServedModel.RunCtx /
+// SubmitCtx) additionally sheds batches whose context deadline cannot
+// be met by the queue's recent wait. A scheduler watchdog detects
+// stalled workers and re-routes their queues to work stealers, and a
+// panicking compiled plan fails only its own batch and poisons only
+// its own session (*ErrPoisoned) — co-resident models keep serving.
+//
+// Swaps can be canaried: SwapOptions.Canary mirrors a fraction of live
+// traffic to the warmed next version while the incumbent stays
+// authoritative for every result, compares classifications, queue
+// waits and fire rates over a decision window, and either promotes or
+// auto-rolls-back. A rollback discards the shadow, so the incumbent is
+// bit-identical to never having swapped. The §7.4 gated pipeline is
+// served with graceful degradation (Server.RegisterGated +
+// DegradePolicy): under sustained classifier overload the gate verdict
+// is served alone (Class -1) until the classifier recovers.
+//
+//	m.SetShedPolicy(pegasus.ShedPolicy{MaxQueue: 64, MaxWait: time.Millisecond})
+//	rep, err := m.Swap(next, pegasus.SwapOptions{
+//	    Canary: &pegasus.CanaryOptions{Fraction: 0.25, MaxDisagree: 0.01}})
+//	if rep.RolledBack { log.Println("rolled back:", rep.RollbackReason) }
+//
+// The fault-injection harness behind the resilience experiment is
+// exported too (FaultArm/FaultReset and the Fault* points): tests and
+// drills can stall a worker, slow or panic a session's plan, fail a
+// swap warm-up, or poison a canary's observed classes.
+//
 // Compilation runs through a staged pass manager (Pipeline): named,
 // instrumented passes (lower, fuse, drop-nonlinear, build-tables,
 // refine, emit) over one CompileOptions struct, with per-pass wall-time
@@ -161,6 +195,7 @@ import (
 	"github.com/pegasus-idp/pegasus/internal/core"
 	"github.com/pegasus-idp/pegasus/internal/datasets"
 	"github.com/pegasus-idp/pegasus/internal/experiments"
+	"github.com/pegasus-idp/pegasus/internal/faultinject"
 	"github.com/pegasus-idp/pegasus/internal/metrics"
 	"github.com/pegasus-idp/pegasus/internal/models"
 	"github.com/pegasus-idp/pegasus/internal/netsim"
@@ -432,6 +467,65 @@ type (
 // NewServer starts a serving control plane: its own shared-budget
 // scheduler plus an admission-checked deployment ledger.
 var NewServer = serve.NewServer
+
+// Overload-protection and failure-resilience types.
+type (
+	// ShedPolicy bounds a session's queue (max depth, max recent wait,
+	// deadline headroom); violating work is rejected newest-first.
+	ShedPolicy = pisa.ShedPolicy
+	// ErrOverloaded is the structured shed rejection: the reason
+	// ("queue", "wait" or "deadline") plus the observed queue depth and
+	// recent wait at the moment of rejection.
+	ErrOverloaded = pisa.ErrOverloaded
+	// ErrPoisoned reports a session disabled by a panicking plan; only
+	// that session is lost, co-resident models keep serving.
+	ErrPoisoned = pisa.ErrPoisoned
+	// DrainError reports a Close/Unregister/Swap drain that timed out,
+	// naming the sessions still holding work.
+	DrainError = serve.DrainError
+	// CanaryOptions tunes a mirrored canary swap (traffic fraction,
+	// sample floor, decision window, rollback thresholds).
+	CanaryOptions = serve.CanaryOptions
+	// CanaryMetrics is a live canary's row in the metrics snapshot.
+	CanaryMetrics = serve.CanaryMetrics
+	// DegradePolicy tunes a gated pipeline's graceful degradation
+	// (classifier shed policy plus enter/exit streak hysteresis).
+	DegradePolicy = serve.DegradePolicy
+	// GatedServedModel is a gated pipeline served with graceful
+	// degradation (Server.RegisterGated).
+	GatedServedModel = serve.GatedModel
+	// GatedServedVerdict is one window's verdict from a
+	// GatedServedModel (Class -1 when the classifier was bypassed).
+	GatedServedVerdict = serve.GatedVerdict
+)
+
+// Fault-injection harness: deterministic failure drills for tests and
+// the resilience experiment. Arm a point (optionally keyed to one
+// session label), with an optional delay payload and shot budget;
+// Reset disarms everything.
+var (
+	// FaultArm arms an injection point (key "" matches any session;
+	// shots ≤ 0 means unlimited).
+	FaultArm = faultinject.Arm
+	// FaultDisarm disarms one injection point.
+	FaultDisarm = faultinject.Disarm
+	// FaultReset disarms every injection point.
+	FaultReset = faultinject.Reset
+)
+
+// Fault-injection points.
+const (
+	// FaultWorkerStall wedges a scheduler worker (watchdog drill).
+	FaultWorkerStall = faultinject.WorkerStall
+	// FaultSlowSession adds fixed latency to a session's plan execution.
+	FaultSlowSession = faultinject.SlowSession
+	// FaultPanicSession makes a session's compiled plan panic.
+	FaultPanicSession = faultinject.PanicSession
+	// FaultSwapWarmFail fails a swap during off-path warm-up.
+	FaultSwapWarmFail = faultinject.SwapWarmFail
+	// FaultPoisonCanary flips a canary shadow's observed classes.
+	FaultPoisonCanary = faultinject.PoisonCanary
+)
 
 // Structured deployment-validation types (also the payload of
 // AdmissionError reports).
