@@ -29,10 +29,14 @@
 //
 // The -cpuprofile, -memprofile and -mutexprofile flags write pprof
 // profiles covering the selected experiment — the intended workflow for
-// hunting scheduler contention or hot-path regressions:
+// hunting scheduler contention or hot-path regressions. Scheduler
+// workers label their goroutines with pegasus_worker (worker id) and
+// pegasus_session (model name), so CPU samples attribute per session
+// and per worker out of the box:
 //
-//	pegasus-bench -experiment scaling -mutexprofile mutex.pprof
-//	go tool pprof mutex.pprof
+//	pegasus-bench -experiment scaling -cpuprofile cpu.pprof
+//	go tool pprof -tags cpu.pprof          # sample share per session/worker
+//	go tool pprof -tagfocus pegasus_session=cnn-m cpu.pprof
 package main
 
 import (

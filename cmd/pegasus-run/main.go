@@ -68,7 +68,7 @@ func main() {
 	canaryWindow := flag.Duration("canary-window", time.Second, "with -canary: decision window for the canary verdict")
 	gen := flag.Int("gen", 0, "stream this many GENERATED feature windows (internal/trafficgen, steady-state flow churn) through RunStream instead of replaying the test trace")
 	genFlows := flag.Int("gen-flows", 1<<14, "live-flow population held by the -gen traffic generator")
-	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering the replay to this path")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering the replay to this path (worker goroutines carry pegasus_worker/pegasus_session pprof labels)")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -233,6 +233,7 @@ func runGenerated(eng *pisa.Engine, templates []pisa.Job, count, flows int, seed
 		}
 		close(in)
 	}()
+	busy0 := eng.Stats().Busy
 	start := time.Now()
 	go eng.RunStream(in, out)
 	got := 0
@@ -240,9 +241,13 @@ func runGenerated(eng *pisa.Engine, templates []pisa.Job, count, flows int, seed
 		got++
 	}
 	elapsed := time.Since(start)
-	fmt.Printf("generated stream: %d windows in %s (%.3g pkt/s, %d workers, %s, %d-flow population)\n",
+	// Busy-share sum over the wall window: ~N on an N-core box means the
+	// workers really ran in parallel; ~1 means the flat worker axis is
+	// the box, not the engine.
+	parallel := (eng.Stats().Busy - busy0).Seconds() / elapsed.Seconds()
+	fmt.Printf("generated stream: %d windows in %s (%.3g pkt/s, %d workers, %.2fx achieved parallelism, %s, %d-flow population)\n",
 		got, elapsed.Round(time.Microsecond), float64(got)/elapsed.Seconds(),
-		eng.Workers(), execMode, flows)
+		eng.Workers(), parallel, execMode, flows)
 }
 
 // runPackets replays the raw merged test trace through the per-packet

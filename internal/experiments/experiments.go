@@ -633,6 +633,27 @@ type ScalingMeta struct {
 	MeasureMS  int `json:"measure_ms"`
 	Flows      int `json:"flows"` // live-flow population in the generator
 	GoMaxProcs int `json:"gomaxprocs"`
+	// Points carries per-point measurement evidence: the achieved
+	// parallelism (worker busy-share summed over the pool during the
+	// window — ~1.0 means the point ran effectively single-core no
+	// matter the worker count) and the heap allocations per replay op.
+	// A flat worker axis with parallelism pinned at ~1 is a 1-CPU box,
+	// not a scaling regression; that distinction is recorded here so
+	// committed tables are self-explaining.
+	Points []ScalingPointMeta `json:"points,omitempty"`
+}
+
+// ScalingPointMeta is the measurement evidence behind one scaling point.
+type ScalingPointMeta struct {
+	Mode    string `json:"mode"`
+	Workers int    `json:"workers"`
+	// Parallelism is Σ worker-busy time / wall time over the measure
+	// window: the cores the point actually used, bounded by GOMAXPROCS.
+	Parallelism float64 `json:"parallelism"`
+	// AllocsPerOp is heap allocations per replay op (one generated
+	// batch) during the window — the scheduler/result-path overhead
+	// that must not grow with worker count.
+	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
 // MultiModelPoint is one model's throughput in one serving mode of the
@@ -707,7 +728,7 @@ func (s *Suite) EngineBench(w io.Writer) error {
 		BatchSize: len(jobs), MeasureMS: s.Cfg.MeasureMS}
 	fmt.Fprintf(w, "Engine bench: batched replay throughput (%s, batch %d, %v/point)\n",
 		cnnb.Name, len(jobs), window)
-	fmt.Fprintf(w, "%12s %8s %14s %8s\n", "mode", "workers", "pkt/s", "speedup")
+	fmt.Fprintf(w, "%12s %8s %14s %8s %9s %10s\n", "mode", "workers", "pkt/s", "speedup", "parallel", "allocs/op")
 	// sweep measures one replay mode across the worker counts. Register
 	// -size clamping can map distinct requested counts to the same
 	// effective pool, so duplicates are skipped to keep the JSON trend
@@ -987,7 +1008,7 @@ func (s *Suite) ScalingBench(w io.Writer) error {
 	}}
 	fmt.Fprintf(w, "Scaling bench: sustained generated load (%s, batch %d, %v warmup + %v/point, GOMAXPROCS=%d)\n",
 		cnnm.Name, batchSize, warmup, window, runtime.GOMAXPROCS(0))
-	fmt.Fprintf(w, "%12s %8s %14s %8s\n", "mode", "workers", "pkt/s", "speedup")
+	fmt.Fprintf(w, "%12s %8s %14s %8s %9s %10s\n", "mode", "workers", "pkt/s", "speedup", "parallel", "allocs/op")
 
 	// sweep measures one series: mk builds the engine, fill refreshes
 	// the batch from the generator, replay runs it. Speedup is relative
@@ -1009,13 +1030,24 @@ func (s *Suite) ScalingBench(w io.Writer) error {
 			for time.Since(start) < warmup {
 				run(eng)
 			}
+			// Per-point evidence: engine busy time brackets the window
+			// (its delta over wall time is the achieved parallelism) and
+			// the runtime's allocation counter brackets it too (allocs
+			// per replay op must stay flat as workers grow).
+			busy0 := eng.Stats().Busy
+			var mem0, mem1 runtime.MemStats
+			runtime.ReadMemStats(&mem0)
 			start = time.Now()
-			n := 0
+			n, ops := 0, 0
 			for time.Since(start) < window {
 				run(eng)
 				n += perRep
+				ops++
 			}
-			pps := float64(n) / time.Since(start).Seconds()
+			elapsed := time.Since(start)
+			busy1 := eng.Stats().Busy
+			runtime.ReadMemStats(&mem1)
+			pps := float64(n) / elapsed.Seconds()
 			eng.Close()
 			if base == 0 {
 				base = pps
@@ -1023,7 +1055,12 @@ func (s *Suite) ScalingBench(w io.Writer) error {
 			p := EngineBenchPoint{Mode: modeName, Workers: eng.Workers(),
 				PacketsPerSec: pps, Speedup: pps / base}
 			pts = append(pts, p)
-			fmt.Fprintf(w, "%12s %8d %14.3g %7.2fx\n", p.Mode, p.Workers, p.PacketsPerSec, p.Speedup)
+			pm := ScalingPointMeta{Mode: modeName, Workers: eng.Workers(),
+				Parallelism: (busy1 - busy0).Seconds() / elapsed.Seconds(),
+				AllocsPerOp: float64(mem1.Mallocs-mem0.Mallocs) / float64(ops)}
+			rep.ScalingMeta.Points = append(rep.ScalingMeta.Points, pm)
+			fmt.Fprintf(w, "%12s %8d %14.3g %7.2fx %8.2fx %10.1f\n",
+				p.Mode, p.Workers, p.PacketsPerSec, p.Speedup, pm.Parallelism, pm.AllocsPerOp)
 		}
 		return pts
 	}

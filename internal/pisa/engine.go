@@ -43,14 +43,23 @@ func (m ExecMode) String() string {
 //
 // An Engine is a session handle over a Scheduler: the scheduler owns
 // the worker pool, the engine owns the program chain, the per-shard
-// PHVs and the shard queues. NewEngine/NewChainEngineMode construct a
-// private solo scheduler whose budget equals the shard count — the
-// historical one-engine-one-pool behaviour, bit for bit. Registering
-// several engines on one shared Scheduler instead serves all of them
-// from a single fixed worker budget with weighted fair draining and
-// per-model stats — concurrent multi-model serving. Close releases the
-// session (and stops the pool when the engine owns it); an engine must
-// not be used after Close.
+// PHVs and the per-worker task mailboxes. NewEngine/NewChainEngineMode
+// construct a private solo scheduler whose budget equals the shard
+// count — the historical one-engine-one-pool behaviour, bit for bit.
+// Registering several engines on one shared Scheduler instead serves
+// all of them from a single fixed worker budget with weighted fair
+// draining and per-model stats — concurrent multi-model serving. Close
+// releases the session (and stops the pool when the engine owns it);
+// an engine must not be used after Close.
+//
+// The result path is built for multi-core batches: each shard task
+// writes its classes and output vectors into a private dense region
+// (cache-line gaps between regions, so two workers never write the
+// same line), and the job-order view is produced by a parallel
+// per-shard scatter (RunBatch) or a cursor merge over the dense
+// regions (RunStream/RunPackets) — no interleaved cross-core writes on
+// the hot loop. Serving stats are likewise striped per worker and only
+// folded together when Stats is read.
 //
 // For the per-flow guarantee to extend to stateful programs, register
 // cells touched by different shards must be disjoint. Under the
@@ -81,21 +90,25 @@ type Engine struct {
 	ownSched bool         // solo scheduler, closed with the engine
 	weight   atomic.Int32 // fair-share weight; retunable live (SetWeight)
 
-	// Scheduler session state. slots[w] is this session's single queued
-	// task at worker w (one outstanding batch ⇒ at most one task per
-	// worker) and wpass[w] its stride-scheduling pass on that worker's
-	// clock; both are guarded by that worker's lock. offset rotates the
-	// shard→worker routing so co-resident sessions spread across the
-	// pool.
-	slots  []shardTask
-	wpass  []float64
-	offset int
+	// Scheduler session state. slots[w] is this session's single-task
+	// mailbox at worker w (one outstanding batch ⇒ at most one queued
+	// task per worker), claimed lock-free by owner and stealers alike;
+	// affinity[s] is the stable shard→worker route. See workerSlot.
+	slots    []workerSlot
+	affinity []int32
 
-	batchWG   sync.WaitGroup // outstanding shard tasks of one batch
-	remaining atomic.Int32   // tasks left in the batch; the worker finishing the last one yields to the submitter
-	seq       []int          // reused sequential index for 1-shard batches
-	shardIdx  [][]int        // reused per-shard job index buffers
-	tasks     []shardTask    // reused enqueue staging buffer
+	// Batch completion: remaining counts the batch's unfinished shard
+	// tasks; the worker that takes it to zero closes *batchDone — ONE
+	// submitter wake-up per batch instead of a WaitGroup broadcast per
+	// task. batchDone is swung to a fresh channel by every dispatch.
+	remaining atomic.Int32
+	batchDone atomic.Pointer[chan struct{}]
+
+	seq       []int      // reused sequential index for 1-shard batches
+	shardIdx  [][]int    // reused per-shard job index buffers
+	shardRes  []shardRes // reused per-shard dense fire staging (packet path)
+	regionOff []int      // reused per-shard dense arena offsets (job path)
+	mergeCur  []int      // reused per-shard merge cursors
 	closeOnce sync.Once
 
 	// Overload protection (see ShedPolicy/SubmitBatchCtx): bounds are
@@ -106,40 +119,54 @@ type Engine struct {
 	stWaitEWMA   atomic.Int64 // recent mean queue wait (exponentially weighted)
 	poisoned     atomic.Pointer[poisonInfo]
 
-	// Per-model serving stats, updated by workers.
-	stTasks       atomic.Uint64
-	stPackets     atomic.Uint64
-	stFires       atomic.Uint64
-	stShed        atomic.Uint64
-	stShedBatches atomic.Uint64
-	stBusy        atomic.Int64
-	stWait        atomic.Int64
-	stWaitHist    [StatBuckets]atomic.Uint64
-	stQueueHist   [StatBuckets]atomic.Uint64
+	// Per-model serving stats, striped per worker: stats[w] is worker
+	// w's private shard, stats[budget] the submitter's (inline runs,
+	// sheds, fires, depth samples). Folded together by Stats.
+	stats []statShard
 
 	// Per-packet replay state (ConfigurePackets).
 	meta     *PacketMeta
-	skipTail bool    // later pipes are stateless: skip them on non-fire packets
-	fired    []bool  // reused per-batch fire flags
-	pktOuts  []int32 // reused flat output buffer for packet batches
-	pktClass []int32 // reused per-packet class buffer
+	skipTail bool // later pipes are stateless: skip them on non-fire packets
 }
 
+// shardRes is one shard's dense fire staging for the per-packet path:
+// parallel arrays of the packet index, class and output vector of every
+// fired window, appended in packet order by the one worker running the
+// shard. Each shard appends only to its own arrays (separate heap
+// allocations, padded struct), so the hot loop never writes a cache
+// line another worker writes. The arrays are reused across batches —
+// RunPackets results alias them, exactly the documented
+// overwritten-by-the-next-call contract.
+type shardRes struct {
+	fireIdx   []int32
+	fireClass []int32
+	fireOuts  []int32 // flat, len(e.out) per fire
+	_         [56]byte
+}
+
+// densePad is the gap (in int32s) left between two shards' regions of
+// a batch's dense arena — one 64-byte cache line, so the writer of one
+// region's tail and the writer of the next region's head never share a
+// line.
+const densePad = 16
+
 // shardTask is one batch's work for one shard: the job (or raw-packet)
-// indices the shard owns plus the batch-wide result and output buffers.
+// indices the shard owns plus the buffers its results land in. dense is
+// the shard's private region of the batch arena (job path; class +
+// outs, stride len(e.out)+1 per job); res is the job-order result slice
+// a trailing per-shard scatter fills (nil for dense-only stream
+// batches). The packet path stages into the engine's shardRes instead.
 type shardTask struct {
 	shard int
 	jobs  []Job
 	res   []Result
-	outs  []int32
+	dense []int32
 	idx   []int
 	enq   time.Time // enqueue stamp; the worker derives the queue wait
 
-	// Per-packet replay (RunPackets): pkts is non-nil, results land in
-	// fired/class/outs instead of res.
-	pkts  []PacketIn
-	fired []bool
-	class []int32
+	// Per-packet replay (RunPackets): pkts is non-nil, fires land in
+	// e.shardRes[shard].
+	pkts []PacketIn
 }
 
 // Bridge carries PHV values between two chained pipeline programs: the
@@ -265,6 +292,9 @@ func (s *Scheduler) newSession(name string, weight int, progs []*Program, bridge
 	}
 	e.phvs = make([][]*PHV, shards)
 	e.shardIdx = make([][]int, shards)
+	e.shardRes = make([]shardRes, shards)
+	e.regionOff = make([]int, shards)
+	e.mergeCur = make([]int, shards)
 	for sh := range e.phvs {
 		e.phvs[sh] = make([]*PHV, len(progs))
 		for k, p := range progs {
@@ -299,22 +329,29 @@ func (e *Engine) Name() string { return e.name }
 // Scheduler returns the scheduler serving this engine.
 func (e *Engine) Scheduler() *Scheduler { return e.sched }
 
-// Stats snapshots the session's cumulative serving counters.
+// Stats snapshots the session's cumulative serving counters, folding
+// the per-worker stripes together. Counts are read in two passes —
+// Tasks/Packets first, histograms second — so a concurrent scrape
+// observes ΣWaitHist ≥ Tasks (each task's histogram bucket is bumped
+// before its task counter), never the reverse.
 func (e *Engine) Stats() EngineStats {
-	st := EngineStats{
-		Name:        e.name,
-		Weight:      int(e.weight.Load()),
-		Tasks:       e.stTasks.Load(),
-		Packets:     e.stPackets.Load(),
-		Fires:       e.stFires.Load(),
-		Shed:        e.stShed.Load(),
-		ShedBatches: e.stShedBatches.Load(),
-		Busy:        time.Duration(e.stBusy.Load()),
-		Wait:        time.Duration(e.stWait.Load()),
+	st := EngineStats{Name: e.name, Weight: int(e.weight.Load())}
+	for i := range e.stats {
+		sh := &e.stats[i]
+		st.Tasks += sh.tasks.Load()
+		st.Packets += sh.packets.Load()
+		st.Fires += sh.fires.Load()
+		st.Shed += sh.shed.Load()
+		st.ShedBatches += sh.shedBatches.Load()
+		st.Busy += time.Duration(sh.busy.Load())
+		st.Wait += time.Duration(sh.wait.Load())
 	}
-	for i := range st.WaitHist {
-		st.WaitHist[i] = e.stWaitHist[i].Load()
-		st.QueueHist[i] = e.stQueueHist[i].Load()
+	for i := range e.stats {
+		sh := &e.stats[i]
+		for b := range st.WaitHist {
+			st.WaitHist[b] += sh.waitHist[b].Load()
+			st.QueueHist[b] += sh.queueHist[b].Load()
+		}
 	}
 	return st
 }
@@ -334,31 +371,44 @@ func (e *Engine) SetWeight(w int) {
 	e.weight.Store(int32(w))
 }
 
-// note accounts one executed shard task.
-func (e *Engine) note(packets int, busy time.Duration) {
-	e.stTasks.Add(1)
-	e.stPackets.Add(uint64(packets))
-	e.stBusy.Add(int64(busy))
+// selfSlot is the stat stripe index of submitter-side accounting
+// (inline fast-path runs, sheds, fires, depth samples).
+func (e *Engine) selfSlot() int { return len(e.stats) - 1 }
+
+// note accounts one executed shard task on stat stripe slot.
+func (e *Engine) note(slot, packets int, busy time.Duration) {
+	sh := &e.stats[slot]
+	sh.tasks.Add(1)
+	sh.packets.Add(uint64(packets))
+	sh.busy.Add(int64(busy))
 }
 
-// noteWait accounts one served task's queue wait and folds it into the
-// recent-wait EWMA the shed policy's deadline check reads. The EWMA
-// update is a lossy load/store pair by design: concurrent workers may
-// drop an update, which only slows convergence of a statistic.
-func (e *Engine) noteWait(wait time.Duration) {
+// noteWait accounts one served task's queue wait on stripe slot and
+// folds it into the recent-wait EWMA the shed policy's deadline check
+// reads. The EWMA update is a lossy load/store pair by design:
+// concurrent workers may drop an update, which only slows convergence
+// of a statistic.
+func (e *Engine) noteWait(slot int, wait time.Duration) {
 	if wait < 0 {
 		wait = 0
 	}
-	e.stWait.Add(int64(wait))
-	e.stWaitHist[waitBucket(wait)].Add(1)
+	sh := &e.stats[slot]
+	sh.wait.Add(int64(wait))
+	sh.waitHist[waitBucket(wait)].Add(1)
 	old := e.stWaitEWMA.Load()
 	e.stWaitEWMA.Store(old + (int64(wait)-old)/8)
 }
 
 // noteShed accounts one shed submission of n packets.
 func (e *Engine) noteShed(n int) {
-	e.stShed.Add(uint64(n))
-	e.stShedBatches.Add(1)
+	sh := &e.stats[e.selfSlot()]
+	sh.shed.Add(uint64(n))
+	sh.shedBatches.Add(1)
+}
+
+// noteFires accounts n fired windows of one per-packet batch.
+func (e *Engine) noteFires(n int) {
+	e.stats[e.selfSlot()].fires.Add(uint64(n))
 }
 
 // noteDepth samples the queue depth one enqueued task observed (other
@@ -367,7 +417,7 @@ func (e *Engine) noteDepth(depth int) {
 	if depth >= StatBuckets {
 		depth = StatBuckets - 1
 	}
-	e.stQueueHist[depth].Add(1)
+	e.stats[e.selfSlot()].queueHist[depth].Add(1)
 }
 
 // ResetState restores every register of every chained program to its
@@ -392,11 +442,12 @@ func (e *Engine) inline(n int) bool {
 
 // runTask executes one shard task with panic isolation: a panicking
 // compiled plan (or interpreter table) fails the task — its result
-// entries stay zero-valued — and poisons only this session, never the
-// pool. Both the worker loop and the inline fast path run tasks
-// through here, so the isolation (and the injectable slow-plan /
-// panicking-plan faults) behave identically in solo and shared
-// serving.
+// entries stay zero-valued (the job path's scatter never runs over the
+// zeroed arena; the packet path's fire staging was reset at dispatch)
+// — and poisons only this session, never the pool. Both the worker
+// loop and the inline fast path run tasks through here, so the
+// isolation (and the injectable slow-plan / panicking-plan faults)
+// behave identically in solo and shared serving.
 func (e *Engine) runTask(t shardTask) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -412,40 +463,126 @@ func (e *Engine) runTask(t shardTask) {
 		}
 	}
 	if t.pkts != nil {
-		e.runPacketShard(t.shard, t.pkts, t.fired, t.class, t.outs, t.idx)
+		e.runPacketShard(t.shard, t.pkts, t.idx)
 	} else {
-		e.runShard(t.shard, t.jobs, t.res, t.outs, t.idx)
+		e.runShard(t.shard, t.jobs, t.res, t.dense, t.idx)
 	}
 }
 
-// dispatchAsync shards the given item count by hash onto the engine's
-// task staging buffer and enqueues the tasks on the scheduler WITHOUT
-// waiting for them. mk builds the task for one shard's index list; the
-// caller must eventually wait on batchWG (Pending.Wait / dispatch).
-func (e *Engine) dispatchAsync(n int, hash func(int) uint32, mk func(shard int, idx []int) shardTask) {
+// shardOf maps a flow hash to its shard.
+func (e *Engine) shardOf(hash uint32) int {
+	return int(hash % uint32(e.shards))
+}
+
+// shardIndices partitions n items by hash into the reused per-shard
+// index buffers and returns the number of non-empty shards.
+func (e *Engine) shardIndices(n int, hash func(int) uint32) int {
 	for s := range e.shardIdx {
 		e.shardIdx[s] = e.shardIdx[s][:0]
 	}
 	for i := 0; i < n; i++ {
-		s := int(hash(i) % uint32(e.shards))
+		s := e.shardOf(hash(i))
 		e.shardIdx[s] = append(e.shardIdx[s], i)
 	}
-	e.tasks = e.tasks[:0]
+	cnt := 0
+	for s := 0; s < e.shards; s++ {
+		if len(e.shardIdx[s]) > 0 {
+			cnt++
+		}
+	}
+	return cnt
+}
+
+// armBatch swings batchDone to a fresh channel and arms the remaining
+// counter for cnt shard tasks. Must happen before the first publish.
+func (e *Engine) armBatch(cnt int) {
+	done := make(chan struct{})
+	e.batchDone.Store(&done)
+	e.remaining.Store(int32(cnt))
+}
+
+// waitBatch parks the submitter until the outstanding batch's last
+// shard task closes the batch's done channel — one wake-up per batch.
+// Safe to call with no batch outstanding.
+func (e *Engine) waitBatch() {
+	if e.remaining.Load() == 0 {
+		return
+	}
+	done := e.batchDone.Load()
+	if done == nil {
+		return
+	}
+	// The batch may have completed between the two loads; re-check so a
+	// late waiter does not block on a channel already swung to (and not
+	// yet closed for) a successor batch.
+	if e.remaining.Load() == 0 {
+		return
+	}
+	<-*done
+}
+
+// submitJobs shards jobs, allocates the batch's dense arena (one
+// cache-line-padded region per non-empty shard, class + outputs
+// interleaved at stride len(e.out)+1), and publishes the shard tasks
+// WITHOUT waiting. res may be nil for dense-only batches (RunStream
+// merges straight from the arena). The arena is freshly allocated per
+// batch — results that alias it (Result.Outs) stay valid after the
+// next submission, preserving the historical retention semantics.
+func (e *Engine) submitJobs(jobs []Job, res []Result) []int32 {
+	cnt := e.shardIndices(len(jobs), func(i int) uint32 { return jobs[i].Hash })
+	stride := len(e.out) + 1
+	total := 0
+	for s := 0; s < e.shards; s++ {
+		e.regionOff[s] = total
+		if n := len(e.shardIdx[s]); n > 0 {
+			total += n*stride + densePad
+		}
+	}
+	arena := make([]int32, total)
+	e.armBatch(cnt)
+	now := time.Now()
+	for s := 0; s < e.shards; s++ {
+		idx := e.shardIdx[s]
+		if len(idx) == 0 {
+			continue
+		}
+		e.sched.publish(e, shardTask{
+			shard: s,
+			jobs:  jobs,
+			res:   res,
+			dense: arena[e.regionOff[s] : e.regionOff[s]+len(idx)*stride],
+			idx:   idx,
+			enq:   now,
+		})
+	}
+	if cnt < e.sched.budget {
+		e.sched.wakeIdle()
+	}
+	return arena
+}
+
+// submitPackets shards a raw-packet batch, resets every shard's fire
+// staging (so a panicked or shed shard contributes zero fires instead
+// of a stale batch's), and publishes the shard tasks WITHOUT waiting.
+func (e *Engine) submitPackets(pkts []PacketIn) {
+	cnt := e.shardIndices(len(pkts), func(i int) uint32 { return pkts[i].Hash })
+	for s := 0; s < e.shards; s++ {
+		sr := &e.shardRes[s]
+		sr.fireIdx = sr.fireIdx[:0]
+		sr.fireClass = sr.fireClass[:0]
+		sr.fireOuts = sr.fireOuts[:0]
+	}
+	e.armBatch(cnt)
+	now := time.Now()
 	for s := 0; s < e.shards; s++ {
 		if len(e.shardIdx[s]) == 0 {
 			continue
 		}
-		e.tasks = append(e.tasks, mk(s, e.shardIdx[s]))
+		e.sched.publish(e, shardTask{shard: s, pkts: pkts, idx: e.shardIdx[s], enq: now})
 	}
-	e.batchWG.Add(len(e.tasks))
-	e.remaining.Store(int32(len(e.tasks)))
-	e.sched.enqueue(e, e.tasks)
-}
-
-// dispatch is dispatchAsync plus the wait for the batch to drain.
-func (e *Engine) dispatch(n int, hash func(int) uint32, mk func(shard int, idx []int) shardTask) {
-	e.dispatchAsync(n, hash, mk)
-	e.batchWG.Wait()
+	if cnt < e.sched.budget {
+		e.sched.wakeIdle()
+	}
 }
 
 // Pending is one submitted batch in flight on the scheduler: the
@@ -462,7 +599,7 @@ type Pending struct {
 // its results in job order.
 func (p *Pending) Wait() []Result {
 	if !p.done {
-		p.e.batchWG.Wait()
+		p.e.waitBatch()
 		p.done = true
 	}
 	return p.res
@@ -485,22 +622,16 @@ func (e *Engine) SubmitBatch(jobs []Job) *Pending {
 	if len(jobs) == 0 {
 		return &Pending{e: e, res: res, done: true}
 	}
-	// One flat output buffer per batch, subsliced per packet: shards
-	// write disjoint job indices, so the backing array is race free and
-	// the hot loop stays allocation free.
-	outs := make([]int32, len(jobs)*len(e.out))
 	if e.inline(len(jobs)) {
+		dense := make([]int32, len(jobs)*(len(e.out)+1))
 		start := time.Now()
-		e.noteWait(0)
+		e.noteWait(e.selfSlot(), 0)
 		e.noteDepth(0)
-		e.runTask(shardTask{jobs: jobs, res: res, outs: outs, idx: e.seqIdx(len(jobs))})
-		e.note(len(jobs), time.Since(start))
+		e.runTask(shardTask{jobs: jobs, res: res, dense: dense, idx: e.seqIdx(len(jobs))})
+		e.note(e.selfSlot(), len(jobs), time.Since(start))
 		return &Pending{e: e, res: res, done: true}
 	}
-	e.dispatchAsync(len(jobs), func(i int) uint32 { return jobs[i].Hash },
-		func(shard int, idx []int) shardTask {
-			return shardTask{shard: shard, jobs: jobs, res: res, outs: outs, idx: idx}
-		})
+	e.submitJobs(jobs, res)
 	return &Pending{e: e, res: res}
 }
 
@@ -510,7 +641,7 @@ func (e *Engine) SubmitBatch(jobs []Job) *Pending {
 // caller must stop submitting first (the serving layer holds its
 // per-model submission lock across drain + swap).
 func (e *Engine) Drain() {
-	e.batchWG.Wait()
+	e.waitBatch()
 }
 
 // RunBatch pushes every job through the program concurrently and returns
@@ -575,14 +706,41 @@ func drainStream[T any](in <-chan T, flush func([]T)) int {
 
 // RunStream replays a stream of jobs: packets are drained from in into
 // adaptive micro-batches and pushed through the worker pool, with
-// results emitted on out in arrival order. RunStream blocks until in
-// is closed and all results are emitted, then closes out and returns
-// the packet count. Like RunBatch, calls must not overlap with other
-// runs on the same engine.
+// results emitted on out in arrival order. Each micro-batch runs
+// dense-only — no job-order result slice — and the in-order emission is
+// a cursor merge over the shards' dense regions (shard = hash mod
+// shards recovers each job's region), so the serial tail is just the
+// channel sends. Emitted Outs alias the batch's freshly allocated
+// arena and are safe to retain. RunStream blocks until in is closed
+// and all results are emitted, then closes out and returns the packet
+// count. Like RunBatch, calls must not overlap with other runs on the
+// same engine.
 func (e *Engine) RunStream(in <-chan Job, out chan<- Result) int {
+	stride := len(e.out) + 1
 	total := drainStream(in, func(buf []Job) {
-		for _, r := range e.RunBatch(buf) {
-			out <- r
+		if e.inline(len(buf)) {
+			dense := make([]int32, len(buf)*stride)
+			start := time.Now()
+			e.noteWait(e.selfSlot(), 0)
+			e.noteDepth(0)
+			e.runTask(shardTask{jobs: buf, dense: dense, idx: e.seqIdx(len(buf))})
+			e.note(e.selfSlot(), len(buf), time.Since(start))
+			for i := range buf {
+				off := i * stride
+				out <- Result{Class: int(dense[off]), Outs: dense[off+1 : off+stride : off+stride]}
+			}
+			return
+		}
+		arena := e.submitJobs(buf, nil)
+		e.waitBatch()
+		for s := range e.mergeCur {
+			e.mergeCur[s] = 0
+		}
+		for i := range buf {
+			s := e.shardOf(buf[i].Hash)
+			off := e.regionOff[s] + e.mergeCur[s]*stride
+			e.mergeCur[s]++
+			out <- Result{Class: int(arena[off]), Outs: arena[off+1 : off+stride : off+stride]}
 		}
 	})
 	close(out)
@@ -614,14 +772,18 @@ func (e *Engine) ConfigurePackets(meta PacketMeta) {
 // RunPackets pushes a trace of raw packets through the program chain:
 // every packet updates the flow-state registers; packets that complete
 // a feature window additionally produce an inference result. Results
-// are returned in packet order, one per fired packet. Packets are
-// sharded by flow hash exactly like RunBatch jobs, so all state of one
-// flow is touched by one worker in arrival order; state persists across
-// calls (use the programs' ResetState to start a fresh trace). Calls
-// must not overlap with other runs on the same engine, and the
-// returned Outs slices alias a per-engine buffer that the NEXT
-// RunPackets call overwrites — copy them to retain results across
-// calls. The engine must have been configured with ConfigurePackets.
+// are returned in packet order, one per fired packet: each shard
+// appends its fires to a private padded staging buffer, and the
+// packet-order view is a min-index cursor merge over the shards'
+// buffers — no shared flags or flat output buffer written across
+// cores. Packets are sharded by flow hash exactly like RunBatch jobs,
+// so all state of one flow is touched by one worker in arrival order;
+// state persists across calls (use the programs' ResetState to start a
+// fresh trace). Calls must not overlap with other runs on the same
+// engine, and the returned Outs slices alias per-engine staging that
+// the NEXT RunPackets call overwrites — copy them to retain results
+// across calls. The engine must have been configured with
+// ConfigurePackets.
 func (e *Engine) RunPackets(pkts []PacketIn) []PacketResult {
 	if e.meta == nil {
 		panic("pisa: RunPackets on an engine without ConfigurePackets")
@@ -630,41 +792,54 @@ func (e *Engine) RunPackets(pkts []PacketIn) []PacketResult {
 		return nil
 	}
 	w := len(e.out)
-	if cap(e.fired) < len(pkts) {
-		e.fired = make([]bool, len(pkts))
-		e.pktClass = make([]int32, len(pkts))
-		e.pktOuts = make([]int32, len(pkts)*w)
-	}
-	fired := e.fired[:len(pkts)]
-	class := e.pktClass[:len(pkts)]
-	outs := e.pktOuts[:len(pkts)*w]
-	for i := range fired {
-		fired[i] = false
-	}
 	if e.inline(len(pkts)) {
+		sr := &e.shardRes[0]
+		sr.fireIdx = sr.fireIdx[:0]
+		sr.fireClass = sr.fireClass[:0]
+		sr.fireOuts = sr.fireOuts[:0]
 		start := time.Now()
-		e.noteWait(0)
+		e.noteWait(e.selfSlot(), 0)
 		e.noteDepth(0)
-		e.runTask(shardTask{pkts: pkts, fired: fired, class: class, outs: outs, idx: e.seqIdx(len(pkts))})
-		e.note(len(pkts), time.Since(start))
-	} else {
-		e.dispatch(len(pkts), func(i int) uint32 { return pkts[i].Hash },
-			func(shard int, idx []int) shardTask {
-				return shardTask{shard: shard, pkts: pkts, fired: fired, class: class, outs: outs, idx: idx}
-			})
+		e.runTask(shardTask{pkts: pkts, idx: e.seqIdx(len(pkts))})
+		e.note(e.selfSlot(), len(pkts), time.Since(start))
+		// Single staging buffer: fires are already in packet order.
+		n := len(sr.fireIdx)
+		e.noteFires(n)
+		res := make([]PacketResult, 0, n)
+		for k := 0; k < n; k++ {
+			res = append(res, PacketResult{Pkt: int(sr.fireIdx[k]), Class: int(sr.fireClass[k]), Outs: sr.fireOuts[k*w : (k+1)*w : (k+1)*w]})
+		}
+		return res
 	}
+	e.submitPackets(pkts)
+	e.waitBatch()
 	n := 0
-	for i := range fired {
-		if fired[i] {
-			n++
-		}
+	for s := 0; s < e.shards; s++ {
+		n += len(e.shardRes[s].fireIdx)
 	}
-	e.stFires.Add(uint64(n))
+	e.noteFires(n)
+	// Packet-order merge: repeatedly take the shard whose next staged
+	// fire has the smallest packet index. O(shards) per fire with shards
+	// bounded by the pool budget.
 	res := make([]PacketResult, 0, n)
-	for i := range fired {
-		if fired[i] {
-			res = append(res, PacketResult{Pkt: i, Class: int(class[i]), Outs: outs[i*w : (i+1)*w : (i+1)*w]})
+	for s := range e.mergeCur {
+		e.mergeCur[s] = 0
+	}
+	for len(res) < n {
+		bs := -1
+		var bi int32
+		for s := 0; s < e.shards; s++ {
+			sr := &e.shardRes[s]
+			if e.mergeCur[s] < len(sr.fireIdx) {
+				if v := sr.fireIdx[e.mergeCur[s]]; bs < 0 || v < bi {
+					bs, bi = s, v
+				}
+			}
 		}
+		sr := &e.shardRes[bs]
+		k := e.mergeCur[bs]
+		e.mergeCur[bs]++
+		res = append(res, PacketResult{Pkt: int(bi), Class: int(sr.fireClass[k]), Outs: sr.fireOuts[k*w : (k+1)*w : (k+1)*w]})
 	}
 	return res
 }
@@ -672,10 +847,12 @@ func (e *Engine) RunPackets(pkts []PacketIn) []PacketResult {
 // RunPacketStream replays a stream of raw packets: packets are drained
 // from in into adaptive micro-batches and pushed through RunPackets,
 // with every fired inference emitted on out in arrival order
-// (PacketResult.Pkt numbers packets over the whole stream). Emitted
-// Outs are copies, safe to retain while later micro-batches run. It
-// blocks until in is closed and all results are emitted, then closes
-// out and returns the packet and fired-window counts.
+// (PacketResult.Pkt numbers packets over the whole stream). RunPackets
+// already merges each micro-batch's per-shard fire staging into packet
+// order, so emission is a straight walk. Emitted Outs are copies, safe
+// to retain while later micro-batches run. It blocks until in is
+// closed and all results are emitted, then closes out and returns the
+// packet and fired-window counts.
 //
 // When a ShedPolicy is set, an over-bound micro-batch is shed whole:
 // its packets are counted in the return value and the session's Shed
@@ -696,7 +873,7 @@ func (e *Engine) RunPacketStream(in <-chan PacketIn, out chan<- PacketResult) (p
 			return
 		}
 		for _, r := range e.RunPackets(buf) {
-			// The engine's output buffer is reused by the next
+			// The engine's staging buffers are reused by the next
 			// micro-batch while the consumer still holds r; detach.
 			r.Pkt += done
 			r.Outs = append([]int32(nil), r.Outs...)
@@ -710,11 +887,11 @@ func (e *Engine) RunPacketStream(in <-chan PacketIn, out chan<- PacketResult) (p
 }
 
 // runPacketShard replays the given packet indices in order on shard s's
-// PHVs, recording an inference result for every packet whose fire field
-// is raised by pipe 0.
-func (e *Engine) runPacketShard(s int, pkts []PacketIn, fired []bool, class []int32, outs []int32, idx []int) {
+// PHVs, appending an inference record to the shard's private fire
+// staging for every packet whose fire field is raised by pipe 0.
+func (e *Engine) runPacketShard(s int, pkts []PacketIn, idx []int) {
 	phvs := e.phvs[s]
-	w := len(e.out)
+	sr := &e.shardRes[s]
 	interp := e.mode == ExecInterpret
 	meta := e.meta
 	for _, i := range idx {
@@ -750,23 +927,26 @@ func (e *Engine) runPacketShard(s int, pkts []PacketIn, fired []bool, class []in
 		if !fire {
 			continue
 		}
-		fired[i] = true
-		class[i] = phv.Get(e.class)
-		out := outs[i*w : (i+1)*w : (i+1)*w]
-		for k, f := range e.out {
-			out[k] = phv.Get(f)
+		sr.fireIdx = append(sr.fireIdx, int32(i))
+		sr.fireClass = append(sr.fireClass, phv.Get(e.class))
+		for _, f := range e.out {
+			sr.fireOuts = append(sr.fireOuts, phv.Get(f))
 		}
 	}
 }
 
 // runShard processes the given job indices in order on shard s's PHVs,
-// chaining each packet through every program of the pipeline. outs is
-// the batch-wide flat output buffer (len(jobs) × len(e.out)).
-func (e *Engine) runShard(s int, jobs []Job, res []Result, outs []int32, idx []int) {
+// chaining each packet through every program of the pipeline. Results
+// land in the shard's private dense region (class + outputs, stride
+// len(e.out)+1 per job) — the hot loop writes no cache line another
+// worker writes. When res is non-nil the shard scatters its own jobs'
+// entries into the job-order slice afterwards: a short parallel merge,
+// each shard touching only its own indices.
+func (e *Engine) runShard(s int, jobs []Job, res []Result, dense []int32, idx []int) {
 	phvs := e.phvs[s]
-	w := len(e.out)
+	stride := len(e.out) + 1
 	interp := e.mode == ExecInterpret
-	for _, i := range idx {
+	for k, i := range idx {
 		phv := phvs[0]
 		phv.Reset()
 		for d, f := range e.in {
@@ -777,25 +957,32 @@ func (e *Engine) runShard(s int, jobs []Job, res []Result, outs []int32, idx []i
 		} else {
 			e.plans[0].Process(phv)
 		}
-		for k := 1; k < len(e.progs); k++ {
-			next := phvs[k]
+		for p := 1; p < len(e.progs); p++ {
+			next := phvs[p]
 			next.Reset()
-			br := &e.bridges[k-1]
+			br := &e.bridges[p-1]
 			for b, from := range br.From {
 				next.Set(br.To[b], phv.Get(from))
 			}
 			if interp {
-				e.progs[k].Process(next)
+				e.progs[p].Process(next)
 			} else {
-				e.plans[k].Process(next)
+				e.plans[p].Process(next)
 			}
 			phv = next
 		}
-		out := outs[i*w : (i+1)*w : (i+1)*w]
-		for k, f := range e.out {
-			out[k] = phv.Get(f)
+		rec := dense[k*stride : (k+1)*stride : (k+1)*stride]
+		rec[0] = phv.Get(e.class)
+		for d, f := range e.out {
+			rec[1+d] = phv.Get(f)
 		}
-		res[i] = Result{Class: int(phv.Get(e.class)), Outs: out}
+	}
+	if res == nil {
+		return
+	}
+	for k, i := range idx {
+		off := k * stride
+		res[i] = Result{Class: int(dense[off]), Outs: dense[off+1 : off+stride : off+stride]}
 	}
 }
 

@@ -198,15 +198,16 @@ func (e *Engine) RunPacketsCtx(ctx context.Context, pkts []PacketIn) ([]PacketRe
 // reports the session in a structured drain error instead of hanging.
 func (e *Engine) DrainTimeout(d time.Duration) bool {
 	if d <= 0 {
-		e.batchWG.Wait()
+		e.waitBatch()
 		return true
 	}
 	done := make(chan struct{})
 	go func() {
 		// The helper goroutine outlives a timeout by design: it parks
-		// on the WaitGroup until the stuck batch eventually completes
-		// (or forever, if it never does) without holding any lock.
-		e.batchWG.Wait()
+		// on the batch's done channel until the stuck batch eventually
+		// completes (or forever, if it never does) without holding any
+		// lock.
+		e.waitBatch()
 		close(done)
 	}()
 	select {

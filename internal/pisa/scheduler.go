@@ -1,7 +1,10 @@
 package pisa
 
 import (
+	"context"
+	"math"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -20,17 +23,31 @@ import (
 // advances its pass by packets/weight), so a model replaying a 100×
 // larger trace cannot starve its co-resident models.
 //
-// The pool is organised as per-worker run queues rather than one global
-// queue: shard s of a session is routed to worker (s + session offset)
-// mod budget, so each worker drains its own queue under its own lock and
-// a sustained batch never serialises every worker on a single mutex+cond
-// handoff. Because the shard count never exceeds the budget and an
-// engine runs one batch at a time, a session holds at most ONE queued
-// task per worker — the per-worker queue is an array of single slots,
-// one per session. Idle workers steal from their peers' queues (shards
-// are mutually disjoint, so any worker may run any task), and workers
-// park on their own condition variable when both their queue and their
-// peers' are empty — real wakeup signalling, no spin or yield loop.
+// The task path is lock-free. Each worker's run queue is a bounded ring
+// of single-task mailboxes, one slot per registered session (an engine
+// runs one batch at a time and routes shard s to worker
+// (s + session offset) mod budget — its affinity map — so a session can
+// hold at most ONE queued task per worker, and the slot count is exactly
+// the session count). Producers publish a task by writing the slot and
+// release-storing its state EMPTY→QUEUED; consumers claim it with a
+// single CAS QUEUED→EMPTY. Work stealing is the same CAS executed
+// against a victim worker's slots, so an idle worker never takes a lock
+// to drain a loaded peer — there are no locks to take. The stable
+// affinity map means a session's shards land on the same workers batch
+// after batch, keeping its register banks cache-hot on one core unless
+// a steal rebalances a transient.
+//
+// A FIFO ring was rejected deliberately: fair draining needs the
+// min-pass selection over the sessions queued at a worker, and a FIFO
+// pop order would silently round-robin weighted sessions. The
+// slot-per-session ring keeps claims O(sessions) — a handful of atomic
+// loads — while preserving exact stride scheduling.
+//
+// Idle workers park on a per-worker eventcount (an atomic parked flag
+// plus a 1-buffered wake channel). Publishing and parking are both
+// sequentially-consistent atomic operations, which closes the lost
+// wake-up window: a producer that misses the parked flag is guaranteed
+// the parking worker's final rescan sees the published slot.
 //
 // Correctness is inherited from the engine's sharding contract: one
 // batch produces at most one task per shard, an engine runs one batch at
@@ -45,10 +62,11 @@ type Scheduler struct {
 	budget  int
 	workers []schedWorker
 
-	mu       sync.Mutex // registration state only; never held on the task path
-	sessions []*Engine
-	nextOff  int // round-robin shard→worker offset for new sessions
+	mu       sync.Mutex                // registration writes only; never held on the task path
+	sessions atomic.Pointer[[]*Engine] // copy-on-write snapshot, read lock-free by claim scans
+	nextOff  int                       // round-robin shard→worker offset for new sessions
 
+	closed    atomic.Bool
 	workerWG  sync.WaitGroup
 	closeOnce sync.Once
 
@@ -61,23 +79,55 @@ type Scheduler struct {
 	stalls    atomic.Uint64
 }
 
-// schedWorker is one pool slot: a private run queue (the sessions whose
-// slot for this worker currently holds a task), its own stride clock and
-// its own parking cond. All fields are guarded by mu; nothing on the
-// task path touches another worker's state except to steal.
+// schedWorker is one pool slot: its own stride clock, its own stall
+// stamp and its own parking eventcount. The run queue itself lives in
+// the sessions' slot arrays (see workerSlot); the worker only scans and
+// CASes those. Padded so two workers' clocks never share a cache line.
 type schedWorker struct {
 	id    int
-	idKey string // decimal id, precomputed for faultinject probes
-	mu    sync.Mutex
-	cond  *sync.Cond
-	ready []*Engine // sessions with a task queued at this worker
-	vtime float64   // largest START pass dequeued by this worker (SFQ virtual time)
+	idKey string // decimal id, precomputed for faultinject probes and pprof labels
+	// vtime is the largest START pass dequeued on this worker's clock
+	// (start-time fair queueing's virtual time), stored as float64 bits.
+	vtime atomic.Uint64
 	// taskStart is the UnixNano stamp of the task currently executing on
 	// this worker (0 when idle) — the watchdog's stall signal. Written
 	// only by the worker goroutine, read by the watchdog.
 	taskStart atomic.Int64
-	parked    bool
-	closed    bool
+	// parked + wake form the eventcount: the worker publishes parked,
+	// rescans once, then blocks on wake; producers that observe parked
+	// drop a token in. Spurious tokens only cost one extra rescan.
+	parked atomic.Bool
+	wake   chan struct{} // buffered(1)
+	_      [64]byte      // keep neighbouring workers off this line
+}
+
+// Slot states of a session's per-worker mailbox. A claim (owner pop or
+// steal alike) is CAS(QUEUED→EMPTY); the claimed task runs outside the
+// queue, which is exactly the visibility the shed policy's queue-depth
+// probe wants (running ≠ queued).
+const (
+	slotEmpty uint32 = iota
+	slotQueued
+)
+
+// workerSlot is one cell of a worker's run ring: session × worker →
+// at most one queued task. state and pass are the contended words
+// (scanned by every claimer); they get the leading cache line, while
+// task is written once per batch by the producer and read once by the
+// claimer. The publish/claim protocol:
+//
+//	producer: write task (plain) → store pass → store state=QUEUED (release)
+//	claimer:  CAS state QUEUED→EMPTY (acquire) → read task (plain)
+//
+// The engine's single-outstanding-batch contract guarantees the
+// producer never rewrites task before the claimer's batch-completion
+// signal, so the plain accesses are ordered by the state atomics.
+type workerSlot struct {
+	state atomic.Uint32
+	_     [4]byte
+	pass  atomic.Uint64 // stride pass on the owning worker's clock (float64 bits)
+	_     [48]byte
+	task  shardTask
 }
 
 // NewScheduler starts a shared pool of budget workers (≤ 0 selects
@@ -88,11 +138,13 @@ func NewScheduler(budget int) *Scheduler {
 		budget = runtime.GOMAXPROCS(0)
 	}
 	s := &Scheduler{budget: budget, workers: make([]schedWorker, budget)}
+	empty := []*Engine{}
+	s.sessions.Store(&empty)
 	for i := range s.workers {
 		w := &s.workers[i]
 		w.id = i
 		w.idKey = strconv.Itoa(i)
-		w.cond = sync.NewCond(&w.mu)
+		w.wake = make(chan struct{}, 1)
 		s.workerWG.Add(1)
 		go s.worker(w)
 	}
@@ -120,12 +172,12 @@ func (s *Scheduler) Close() {
 			close(s.watchStop)
 			s.watchWG.Wait()
 		}
+		s.closed.Store(true)
 		for i := range s.workers {
-			w := &s.workers[i]
-			w.mu.Lock()
-			w.closed = true
-			w.cond.Broadcast()
-			w.mu.Unlock()
+			select {
+			case s.workers[i].wake <- struct{}{}:
+			default:
+			}
 		}
 		s.workerWG.Wait()
 	})
@@ -134,9 +186,7 @@ func (s *Scheduler) Close() {
 // Stats snapshots the per-model counters of every registered session,
 // in registration order.
 func (s *Scheduler) Stats() []EngineStats {
-	s.mu.Lock()
-	sessions := append([]*Engine(nil), s.sessions...)
-	s.mu.Unlock()
+	sessions := *s.sessions.Load()
 	stats := make([]EngineStats, len(sessions))
 	for i, e := range sessions {
 		stats[i] = e.Stats()
@@ -144,208 +194,263 @@ func (s *Scheduler) Stats() []EngineStats {
 	return stats
 }
 
-// register adds a session and assigns its shard→worker offset so
-// co-resident single-shard (or few-shard) sessions land on different
-// workers instead of piling onto worker 0. Its per-worker virtual
-// passes start at zero and are caught up to each worker's clock on
-// first enqueue, so a late-registered model cannot monopolise the pool.
+// register adds a session and builds its affinity map: shard s runs on
+// worker (s + offset) mod budget, with offsets handed out round-robin
+// so co-resident single-shard (or few-shard) sessions land on different
+// workers instead of piling onto worker 0. The map is stable for the
+// session's lifetime — a shard's register bank stays cache-hot on one
+// worker. Per-worker virtual passes start at zero and are caught up to
+// each worker's clock on first enqueue, so a late-registered model
+// cannot monopolise the pool.
 func (s *Scheduler) register(e *Engine) {
-	e.slots = make([]shardTask, s.budget)
-	e.wpass = make([]float64, s.budget)
+	e.slots = make([]workerSlot, s.budget)
+	e.stats = make([]statShard, s.budget+1) // +1: the submitter's slot (inline runs, sheds, depth samples)
 	s.mu.Lock()
-	e.offset = s.nextOff
+	off := s.nextOff
 	s.nextOff = (s.nextOff + 1) % s.budget
-	s.sessions = append(s.sessions, e)
+	e.affinity = make([]int32, e.shards)
+	for sh := range e.affinity {
+		e.affinity[sh] = int32((sh + off) % s.budget)
+	}
+	old := *s.sessions.Load()
+	cp := make([]*Engine, len(old)+1)
+	copy(cp, old)
+	cp[len(old)] = e
+	s.sessions.Store(&cp)
 	s.mu.Unlock()
 }
 
 func (s *Scheduler) unregister(e *Engine) {
 	s.mu.Lock()
-	for i, se := range s.sessions {
-		if se == e {
-			s.sessions = append(s.sessions[:i], s.sessions[i+1:]...)
-			break
+	old := *s.sessions.Load()
+	cp := make([]*Engine, 0, len(old))
+	for _, se := range old {
+		if se != e {
+			cp = append(cp, se)
 		}
 	}
+	s.sessions.Store(&cp)
 	s.mu.Unlock()
 }
 
-// enqueue routes a batch's shard tasks to their owning workers' queues
-// and wakes them. The engine's single-outstanding-batch contract means
-// every targeted slot is empty on entry, so the queue insert is a plain
-// store plus one ready append under the owning worker's lock — no
-// global contention. When the batch does not cover every worker (fewer
-// shards than budget, or a sparse batch), idle workers are woken to
-// steal from the loaded ones.
+// publish routes one shard task to its affinity worker's mailbox and
+// wakes that worker. The engine's single-outstanding-batch contract
+// means the slot is EMPTY on entry, so the insert is a plain task write
+// plus one release store — no lock, no contention with other sessions.
 //
-// Each task is stamped with the enqueue time (the worker computes its
-// queue wait from it) and sampled into the session's queue-depth
-// histogram: the depth recorded is the number of OTHER sessions already
-// queued at the task's worker — the contention this session sees on the
-// shared pool, the signal the SLO tuner and the metrics endpoint read.
-func (s *Scheduler) enqueue(e *Engine, tasks []shardTask) {
-	now := time.Now()
-	for i := range tasks {
-		tasks[i].enq = now
-		wid := (tasks[i].shard + e.offset) % s.budget
-		w := &s.workers[wid]
-		w.mu.Lock()
-		if w.closed {
-			w.mu.Unlock()
-			panic("pisa: enqueue on a closed scheduler")
-		}
-		e.slots[wid] = tasks[i]
-		// A session rejoining after idling is floored at the worker's
-		// current fairness frontier: the minimum pass among the sessions
-		// already queued here (start-time fair queueing's virtual time),
-		// falling back to the last dequeued start tag when the queue is
-		// empty. A stale low pass must not buy the whole worker — but the
-		// floor must not erase the credit a high weight earned either,
-		// or every closed-loop submitter (which re-enqueues after each
-		// batch) degenerates to round-robin regardless of weight.
-		floor := w.vtime
-		for _, r := range w.ready {
-			if r.wpass[wid] < floor {
-				floor = r.wpass[wid]
-			}
-		}
-		if e.wpass[wid] < floor {
-			e.wpass[wid] = floor
-		}
-		w.ready = append(w.ready, e)
-		depth := len(w.ready) - 1
-		if w.parked {
-			w.cond.Signal()
-		}
-		w.mu.Unlock()
-		e.noteDepth(depth)
+// A session rejoining after idling is floored at the worker's current
+// fairness frontier: the minimum pass among the sessions already queued
+// here, falling back to the last dequeued start tag when the queue is
+// empty. A stale low pass must not buy the whole worker — but the floor
+// must not erase the credit a high weight earned either, or every
+// closed-loop submitter (which re-enqueues after each batch) degenerates
+// to round-robin regardless of weight. The same scan samples the queue
+// depth this task observed (other sessions already queued at its
+// worker) into the session's depth histogram — the contention signal
+// the SLO tuner and the metrics endpoint read.
+func (s *Scheduler) publish(e *Engine, t shardTask) {
+	if s.closed.Load() {
+		panic("pisa: enqueue on a closed scheduler")
 	}
-	if len(tasks) < s.budget {
-		s.wakeIdle()
+	wid := int(e.affinity[t.shard])
+	w := &s.workers[wid]
+	sl := &e.slots[wid]
+	floor := math.Float64frombits(w.vtime.Load())
+	depth := 0
+	for _, r := range *s.sessions.Load() {
+		if r == e {
+			continue
+		}
+		rs := &r.slots[wid]
+		if rs.state.Load() != slotQueued {
+			continue
+		}
+		depth++
+		if p := math.Float64frombits(rs.pass.Load()); p < floor {
+			floor = p
+		}
+	}
+	if math.Float64frombits(sl.pass.Load()) < floor {
+		sl.pass.Store(math.Float64bits(floor))
+	}
+	sl.task = t
+	sl.state.Store(slotQueued)
+	s.wakeWorker(w)
+	e.noteDepth(depth)
+}
+
+// wakeWorker drops a token into a parked worker's eventcount. The
+// non-blocking send makes duplicate wakes free: a pending token means a
+// rescan is already owed.
+func (s *Scheduler) wakeWorker(w *schedWorker) {
+	if w.parked.Load() {
+		select {
+		case w.wake <- struct{}{}:
+		default:
+		}
 	}
 }
 
-// wakeIdle signals every parked worker whose own queue is empty so it
-// can steal a task another worker has queued.
+// wakeIdle wakes every parked worker so it can steal a task another
+// worker has queued (sparse batches, watchdog re-routing).
 func (s *Scheduler) wakeIdle() {
 	for i := range s.workers {
-		w := &s.workers[i]
-		w.mu.Lock()
-		if w.parked && len(w.ready) == 0 {
-			w.cond.Signal()
-		}
-		w.mu.Unlock()
+		s.wakeWorker(&s.workers[i])
 	}
 }
 
-// popLocked removes and returns the fairest queued session's task for
-// this worker (smallest virtual pass on this worker's clock), advancing
+// claimAt removes and returns the fairest queued session's task at
+// worker wid (smallest virtual pass on that worker's clock), advancing
 // the session's pass by packets/weight — stride scheduling with
 // cost-proportional increments, so serving a 10 000-packet task costs a
 // session 100× the credit of a 100-packet one. A weight-w session that
 // keeps a task queued is therefore served w× for every serve of a
-// weight-1 competitor. Caller holds w.mu.
-func (w *schedWorker) popLocked() (*Engine, shardTask) {
-	if len(w.ready) == 0 {
-		return nil, shardTask{}
-	}
-	bi := 0
-	for i := 1; i < len(w.ready); i++ {
-		if w.ready[i].wpass[w.id] < w.ready[bi].wpass[w.id] {
-			bi = i
+// weight-1 competitor.
+//
+// The claim itself is one CAS on the chosen slot; losing it (a peer
+// claimed first) just rescans. Fairness accounting stays on the slot
+// owner's clock whether the claimer is the owner or a stealer: the
+// worker's virtual time is advanced to the claimed START tag (not its
+// finish — flooring arrivals at a finish tag would charge them the
+// departing session's whole stride, which round-robins closed-loop
+// submitters no matter their weight).
+func (s *Scheduler) claimAt(wid int) (*Engine, shardTask, bool) {
+	w := &s.workers[wid]
+	for {
+		var best *Engine
+		bestPass := 0.0
+		for _, r := range *s.sessions.Load() {
+			sl := &r.slots[wid]
+			if sl.state.Load() != slotQueued {
+				continue
+			}
+			if p := math.Float64frombits(sl.pass.Load()); best == nil || p < bestPass {
+				best, bestPass = r, p
+			}
 		}
+		if best == nil {
+			return nil, shardTask{}, false
+		}
+		sl := &best.slots[wid]
+		if !sl.state.CompareAndSwap(slotQueued, slotEmpty) {
+			continue // lost the claim race; rescan
+		}
+		t := sl.task
+		sl.task = shardTask{} // release buffer references
+		// Re-read the pass after winning the claim: the scan's value may
+		// be a stale snapshot if the slot turned over under us.
+		p := math.Float64frombits(sl.pass.Load())
+		for {
+			v := w.vtime.Load()
+			if math.Float64frombits(v) >= p || w.vtime.CompareAndSwap(v, math.Float64bits(p)) {
+				break
+			}
+		}
+		sl.pass.Store(math.Float64bits(p + float64(len(t.idx))/float64(best.weight.Load())))
+		return best, t, true
 	}
-	e := w.ready[bi]
-	last := len(w.ready) - 1
-	w.ready[bi] = w.ready[last]
-	w.ready[last] = nil
-	w.ready = w.ready[:last]
-	t := e.slots[w.id]
-	e.slots[w.id] = shardTask{} // release buffer references
-	// Advance the virtual time to this task's START tag (not its
-	// finish): flooring arrivals at a finish tag would charge them the
-	// departing session's whole stride, which round-robins closed-loop
-	// submitters no matter their weight.
-	if w.vtime < e.wpass[w.id] {
-		w.vtime = e.wpass[w.id]
-	}
-	e.wpass[w.id] += float64(len(t.idx)) / float64(e.weight.Load())
-	return e, t
 }
 
-// steal scans the other workers' queues for a runnable task. Shards are
+// steal scans the other workers' rings for a runnable task. Shards are
 // mutually disjoint (distinct PHVs, distinct register cells), so any
-// worker may run any queued task; fairness accounting stays on the
-// victim worker's clock.
+// worker may run any queued task.
 func (s *Scheduler) steal(self int) (*Engine, shardTask, bool) {
 	for k := 1; k < s.budget; k++ {
-		w := &s.workers[(self+k)%s.budget]
-		w.mu.Lock()
-		e, t := w.popLocked()
-		w.mu.Unlock()
-		if e != nil {
+		if e, t, ok := s.claimAt((self + k) % s.budget); ok {
 			return e, t, true
 		}
 	}
 	return nil, shardTask{}, false
 }
 
-// next returns the worker's next task: its own queue first, then a
-// steal pass over its peers, then park on the worker's own cond until
-// an enqueue (or a wakeIdle broadcast) signals it. ok is false when the
-// scheduler is closed and the queue is drained.
-func (s *Scheduler) next(w *schedWorker) (e *Engine, t shardTask, ok bool) {
+// anyQueued reports whether any session holds a queued task anywhere in
+// the pool — the parking worker's final rescan.
+func (s *Scheduler) anyQueued() bool {
+	for _, r := range *s.sessions.Load() {
+		for i := range r.slots {
+			if r.slots[i].state.Load() == slotQueued {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// next returns the worker's next task: its own ring first (affinity),
+// then a steal pass over its peers, then park on the worker's
+// eventcount until a publish (or a wakeIdle sweep) drops a token. The
+// parked-flag store, the rescan and the producer's publish are all
+// sequentially consistent, so a publish concurrent with parking either
+// sees the flag (and sends a token) or is seen by the rescan — the
+// wake-up cannot be lost. ok is false when the scheduler is closed.
+func (s *Scheduler) next(w *schedWorker) (*Engine, shardTask, bool) {
 	for {
-		w.mu.Lock()
-		if e, t := w.popLocked(); e != nil {
-			w.mu.Unlock()
+		if e, t, ok := s.claimAt(w.id); ok {
 			return e, t, true
 		}
-		if w.closed {
-			w.mu.Unlock()
+		if s.closed.Load() {
 			return nil, shardTask{}, false
 		}
-		w.mu.Unlock()
 		if e, t, ok := s.steal(w.id); ok {
 			return e, t, true
 		}
-		w.mu.Lock()
-		// Re-check under the lock: an enqueue between the steal pass and
-		// here would otherwise be missed and its signal lost.
-		if e, t := w.popLocked(); e != nil {
-			w.mu.Unlock()
-			return e, t, true
+		w.parked.Store(true)
+		if s.anyQueued() || s.closed.Load() {
+			w.parked.Store(false)
+			continue
 		}
-		if w.closed {
-			w.mu.Unlock()
-			return nil, shardTask{}, false
-		}
-		w.parked = true
-		w.cond.Wait()
-		w.parked = false
-		w.mu.Unlock()
+		<-w.wake
+		w.parked.Store(false)
 	}
 }
 
-// worker is one pool goroutine: drain the private queue (stealing when
-// it runs dry), run each task, account it. Parking on the worker-local
-// cond when idle lets batch submitters run even at GOMAXPROCS=1 — the
-// old global-queue pool needed a runtime.Gosched after EVERY task to
-// hand the P back. The one scheduling point kept is per BATCH: the
-// worker that finishes a batch's last task yields once so the blocked
-// submitter is scheduled promptly instead of waiting out a preemption
-// tick while other sessions keep every worker busy — that is a handoff,
-// not a liveness crutch, and it costs one yield per thousands of
-// packets.
+// sessionLabel names a session in pprof goroutine labels.
+func sessionLabel(name string) string {
+	if name == "" {
+		return "solo"
+	}
+	return name
+}
+
+// worker is one pool goroutine: claim from the private ring (stealing
+// when it runs dry), run each task, account it on this worker's stat
+// shard. Parking on the worker-local eventcount when idle lets batch
+// submitters run even at GOMAXPROCS=1. The one scheduling point kept is
+// per BATCH: the worker that finishes a batch's last task closes the
+// batch's done channel (the single submitter wake-up) and yields once
+// so the blocked submitter is scheduled promptly instead of waiting out
+// a preemption tick while other sessions keep every worker busy — that
+// is a handoff, not a liveness crutch, and it costs one yield per
+// thousands of packets.
+//
+// Each worker carries pprof goroutine labels (pegasus_worker=<id>,
+// pegasus_session=<name>), refreshed when it switches sessions, so a
+// -cpuprofile attributes hot-path time per session out of the box.
 func (s *Scheduler) worker(w *schedWorker) {
 	defer s.workerWG.Done()
+	base := pprof.WithLabels(context.Background(), pprof.Labels("pegasus_worker", w.idKey))
+	pprof.SetGoroutineLabels(base)
+	labels := make(map[*Engine]context.Context)
+	var labelled *Engine
 	for {
 		e, t, ok := s.next(w)
 		if !ok {
 			return
 		}
+		if e != labelled {
+			ctx, cached := labels[e]
+			if !cached {
+				if len(labels) > 64 { // bound the cache across session churn (live swaps)
+					clear(labels)
+				}
+				ctx = pprof.WithLabels(base, pprof.Labels("pegasus_worker", w.idKey, "pegasus_session", sessionLabel(e.name)))
+				labels[e] = ctx
+			}
+			pprof.SetGoroutineLabels(ctx)
+			labelled = e
+		}
 		start := time.Now()
-		e.noteWait(start.Sub(t.enq))
+		e.noteWait(w.id, start.Sub(t.enq))
 		w.taskStart.Store(start.UnixNano())
 		if faultinject.Enabled() {
 			if d := faultinject.Delay(faultinject.WorkerStall, w.idKey); d > 0 {
@@ -354,30 +459,34 @@ func (s *Scheduler) worker(w *schedWorker) {
 		}
 		e.runTask(t)
 		w.taskStart.Store(0)
-		e.note(len(t.idx), time.Since(start))
-		last := e.remaining.Add(-1) == 0
-		e.batchWG.Done()
-		if last {
+		e.note(w.id, len(t.idx), time.Since(start))
+		// Load the done channel BEFORE the decrement: after remaining hits
+		// zero the submitter may resubmit and swing batchDone to the next
+		// batch's channel — loading late could close the wrong batch.
+		done := e.batchDone.Load()
+		if e.remaining.Add(-1) == 0 {
+			close(*done)
 			runtime.Gosched()
 		}
 	}
 }
 
 // queueDepth returns the maximum number of OTHER sessions queued ahead
-// of e at any of its target workers — the congestion a new submission
+// of e at any of its affinity workers — the congestion a new submission
 // from e would encounter, read by the shed policy's MaxQueue bound.
 // Workers beyond e's shard fan-out are skipped: e never enqueues there.
+// A claimed-but-running task is not queued; that matches the old
+// pop-from-ready visibility exactly.
 func (s *Scheduler) queueDepth(e *Engine) int {
-	n := e.shards
-	if n > s.budget {
-		n = s.budget
-	}
+	sessions := *s.sessions.Load()
 	depth := 0
-	for k := 0; k < n; k++ {
-		w := &s.workers[(k+e.offset)%s.budget]
-		w.mu.Lock()
-		d := len(w.ready)
-		w.mu.Unlock()
+	for _, wid := range e.affinity {
+		d := 0
+		for _, r := range sessions {
+			if r.slots[wid].state.Load() == slotQueued {
+				d++
+			}
+		}
 		if d > depth {
 			depth = d
 		}
@@ -388,19 +497,19 @@ func (s *Scheduler) queueDepth(e *Engine) int {
 // StartWatchdog launches the scheduler's stall monitor: a goroutine
 // that checks every worker's in-flight task age and, when one exceeds
 // threshold (≤ 0 selects the 100ms default), counts a stall and wakes
-// every idle peer so the stalled worker's queue is stolen and drained
+// every idle peer so the stalled worker's ring is stolen and drained
 // around it. Detection is one count per stall episode — a worker stuck
 // on one task for ten ticks is one stall, a new task a new episode.
 // Idempotent; Close stops the monitor.
 //
 // Work stealing already reroutes most backlogs, but a steal pass races
-// with enqueue: a task queued after a peer scanned this worker but
+// with publish: a task queued after a peer scanned this worker but
 // before the peer parked is stranded until the next submission wakes
 // the pool. The watchdog closes that window and, more importantly,
 // bounds the damage of a genuinely wedged worker (a plan spinning
 // forever, an injected stall): co-resident sessions' tasks queued
-// behind it migrate to stealers within one threshold instead of
-// waiting out the wedge.
+// behind it stay CAS-claimable in its ring and migrate to stealers
+// within one threshold instead of waiting out the wedge.
 func (s *Scheduler) StartWatchdog(threshold time.Duration) {
 	if threshold <= 0 {
 		threshold = 100 * time.Millisecond
@@ -446,10 +555,10 @@ func (s *Scheduler) watchdog(threshold time.Duration) {
 			stalled = true
 		}
 		if stalled {
-			// The stalled workers' queues hold tasks that will not be
-			// dequeued until the wedge clears; wake parked peers to steal
-			// them. Running workers drain them through their normal steal
-			// pass.
+			// The stalled workers' rings hold tasks that will not be
+			// claimed by their owner until the wedge clears; wake parked
+			// peers to steal them. Running workers drain them through
+			// their normal steal pass.
 			s.wakeIdle()
 		}
 	}
@@ -486,6 +595,26 @@ func waitBucket(d time.Duration) int {
 		}
 	}
 	return StatBuckets - 1
+}
+
+// statShard is one worker's private stripe of a session's serving
+// counters. Workers only ever touch their own stripe (index = worker
+// id; the extra stripe at index budget belongs to the submitter — inline
+// fast-path runs, shed accounting, depth samples), so the task-path
+// counter updates are uncontended atomics on worker-private cache
+// lines; Engine.Stats folds the stripes together on read. Padded to a
+// 64-byte multiple so neighbouring stripes never share a line.
+type statShard struct {
+	tasks       atomic.Uint64
+	packets     atomic.Uint64
+	fires       atomic.Uint64
+	shed        atomic.Uint64
+	shedBatches atomic.Uint64
+	busy        atomic.Int64
+	wait        atomic.Int64
+	waitHist    [StatBuckets]atomic.Uint64
+	queueHist   [StatBuckets]atomic.Uint64
+	_           [8]byte
 }
 
 // EngineStats is one session's cumulative serving counters.

@@ -1,0 +1,216 @@
+package pisa
+
+import (
+	"math/rand"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/pegasus-idp/pegasus/internal/faultinject"
+)
+
+// TestDrainStreamCloseMidFill pins the close-during-fill edge: when the
+// producer closes the channel while drainStream is topping up a
+// micro-batch, the partial buffer is still flushed exactly once and the
+// total matches what was sent.
+func TestDrainStreamCloseMidFill(t *testing.T) {
+	in := make(chan int, 10)
+	for i := 0; i < 10; i++ {
+		in <- i
+	}
+	close(in)
+
+	var flushes [][]int
+	total := drainStream(in, func(buf []int) {
+		flushes = append(flushes, append([]int(nil), buf...))
+	})
+	if total != 10 {
+		t.Fatalf("total = %d, want 10", total)
+	}
+	// All 10 items are buffered and available, so the fill loop drains
+	// them all, hits the closed channel mid-fill, and flushes once.
+	if len(flushes) != 1 || len(flushes[0]) != 10 {
+		t.Fatalf("flush sizes = %v, want one flush of 10", flushSizes(flushes))
+	}
+	for i, v := range flushes[0] {
+		if v != i {
+			t.Fatalf("flush[0][%d] = %d, want %d", i, v, i)
+		}
+	}
+}
+
+// TestDrainStreamTrickle pins single-item-trickle behavior: a producer
+// that sends one item and then waits for the flush before sending the
+// next must see one flush per item — the adaptive chunk shrinking
+// toward streamChunkMin must never make drainStream hold items back
+// waiting for a fuller batch.
+func TestDrainStreamTrickle(t *testing.T) {
+	const n = 64
+	in := make(chan int)
+	flushed := make(chan struct{})
+	go func() {
+		defer close(in)
+		for i := 0; i < n; i++ {
+			in <- i
+			<-flushed // rendezvous: next item only after the flush landed
+		}
+	}()
+
+	var sizes []int
+	seq := 0
+	total := drainStream(in, func(buf []int) {
+		sizes = append(sizes, len(buf))
+		for _, v := range buf {
+			if v != seq {
+				t.Errorf("out-of-order trickle: got %d, want %d", v, seq)
+			}
+			seq++
+		}
+		flushed <- struct{}{}
+	})
+	if total != n {
+		t.Fatalf("total = %d, want %d", total, n)
+	}
+	// The rendezvous guarantees at most one item is in flight, so every
+	// flush is exactly one item.
+	if len(sizes) != n {
+		t.Fatalf("flush count = %d, want %d (sizes %v)", len(sizes), n, sizes)
+	}
+	for i, sz := range sizes {
+		if sz != 1 {
+			t.Fatalf("flush %d carried %d items, want 1", i, sz)
+		}
+	}
+}
+
+// TestDrainStreamSustainedMaxChunk pins the growth side of the adaptive
+// chunking: a producer that always has items ready doubles the chunk
+// from streamChunk up to streamChunkMax and then plateaus there — no
+// flush ever exceeds streamChunkMax, and nothing is lost or reordered.
+// With the whole backlog pre-buffered the flush sequence is fully
+// deterministic.
+func TestDrainStreamSustainedMaxChunk(t *testing.T) {
+	const n = 60000
+	in := make(chan int, n)
+	for i := 0; i < n; i++ {
+		in <- i
+	}
+	close(in)
+
+	var sizes []int
+	seq := 0
+	total := drainStream(in, func(buf []int) {
+		sizes = append(sizes, len(buf))
+		for _, v := range buf {
+			if v != seq {
+				t.Fatalf("out-of-order emission: got %d, want %d", v, seq)
+			}
+			seq++
+		}
+	})
+	if total != n {
+		t.Fatalf("total = %d, want %d", total, n)
+	}
+	// chunk doubles on every full flush: 1024, 2048, 4096, 8192, 16384,
+	// then saturates at streamChunkMax until the backlog runs out.
+	want := []int{1024, 2048, 4096, 8192, 16384, 16384, 11872}
+	if len(sizes) != len(want) {
+		t.Fatalf("flush sizes = %v, want %v", sizes, want)
+	}
+	sawMax := false
+	for i, sz := range sizes {
+		if sz != want[i] {
+			t.Fatalf("flush sizes = %v, want %v", sizes, want)
+		}
+		if sz > streamChunkMax {
+			t.Fatalf("flush %d carried %d items, above streamChunkMax=%d", i, sz, streamChunkMax)
+		}
+		if sz == streamChunkMax {
+			sawMax = true
+		}
+	}
+	if !sawMax {
+		t.Fatal("sustained producer never reached a streamChunkMax flush")
+	}
+}
+
+func flushSizes(flushes [][]int) []int {
+	sizes := make([]int, len(flushes))
+	for i, f := range flushes {
+		sizes[i] = len(f)
+	}
+	return sizes
+}
+
+// TestStealUnderWorkerStalls hammers the lock-free claim/steal path:
+// on a budget-4 pool with three co-resident sessions, a rotating
+// faultinject stall wedges a different worker each round while all
+// sessions submit concurrently. Peers must steal the QUEUED mailbox
+// slots parked behind the wedged worker, every batch must stay
+// bit-identical to a solo replay, and the striped packet counters must
+// account for every packet exactly. Run under -race this also checks
+// the mailbox CAS protocol and the eventcount park/wake for data races.
+func TestStealUnderWorkerStalls(t *testing.T) {
+	defer faultinject.Reset()
+	rng := rand.New(rand.NewSource(97))
+	jobs := make([]Job, 257)
+	for i := range jobs {
+		jobs[i] = Job{Hash: rng.Uint32(), In: []int32{int32(rng.Intn(256))}}
+	}
+	soloProg, k, out, class := engineTestProg(t)
+	solo := NewEngine(soloProg, []FieldID{k}, []FieldID{out}, class, 4)
+	want := solo.RunBatch(jobs)
+	solo.Close()
+
+	s := NewScheduler(4)
+	defer s.Close()
+	s.StartWatchdog(5 * time.Millisecond)
+	engines, _, _, _ := sharedEngines(t, s, 3, ExecCompiled)
+	defer func() {
+		for _, e := range engines {
+			e.Close()
+		}
+	}()
+
+	const rounds = 20
+	for round := 0; round < rounds; round++ {
+		// Wedge one worker by id for this round; two shots so the stall
+		// re-fires after the first steal re-routes around it.
+		faultinject.Arm(faultinject.WorkerStall, strconv.Itoa(round%4), time.Millisecond, 2)
+		var wg sync.WaitGroup
+		results := make([][]Result, len(engines))
+		for ei, e := range engines {
+			wg.Add(1)
+			go func(ei int, e *Engine) {
+				defer wg.Done()
+				results[ei] = e.RunBatch(jobs)
+			}(ei, e)
+		}
+		wg.Wait()
+		for ei, res := range results {
+			for i := range res {
+				if res[i].Class != want[i].Class || res[i].Outs[0] != want[i].Outs[0] {
+					t.Fatalf("round %d engine %d job %d: got %+v, want %+v", round, ei, i, res[i], want[i])
+				}
+			}
+		}
+	}
+	faultinject.Reset()
+
+	// Striped stats must account for every packet of every round, and
+	// the wait histogram must cover exactly one entry per shard task.
+	for ei, e := range engines {
+		st := e.Stats()
+		if st.Packets != uint64(rounds*len(jobs)) {
+			t.Fatalf("engine %d Packets = %d, want %d", ei, st.Packets, rounds*len(jobs))
+		}
+		var hist uint64
+		for _, b := range st.WaitHist {
+			hist += b
+		}
+		if hist != st.Tasks {
+			t.Fatalf("engine %d wait histogram sums to %d, want Tasks=%d", ei, hist, st.Tasks)
+		}
+	}
+}

@@ -79,6 +79,14 @@ type Snapshot struct {
 }
 
 // Snapshot captures the deployment's current serving metrics.
+//
+// Engine counters are striped per worker on the hot path and only
+// folded together inside each Stats() call below, so scraping this
+// endpoint never contends with packet processing — a scrape reads the
+// stripes once, it does not touch anything a worker writes on every
+// task. Totals are monotone across scrapes, but a scrape concurrent
+// with live traffic may observe a wait-histogram sum momentarily ahead
+// of the task counter (histogram stripes are read after the counters).
 func (s *Server) Snapshot() Snapshot {
 	s.mu.Lock()
 	models := make([]*Model, 0, len(s.order))
