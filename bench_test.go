@@ -195,6 +195,88 @@ func BenchmarkEnginePackets(b *testing.B) {
 	}
 }
 
+// BenchmarkSharedExtraction measures physically shared extraction on
+// the raw-trace path: three co-resident copies of the CNN-M classifier
+// served either by three fused private preludes (each packet pays the
+// flow-state register RMWs three times) or by one
+// core.EmitSharedExtraction machine fanning fired windows out to three
+// register-free subscribers (RMWs exactly once per packet). Both
+// variants report fully-served pkts/s — a trace packet counts once all
+// three models have seen it — so the two numbers are directly
+// comparable. ReportAllocs keeps the compiled stateful path honest:
+// allocs/op is per whole-trace replay (result-row assembly only), so
+// per-packet allocations stay effectively zero in both variants.
+func BenchmarkSharedExtraction(b *testing.B) {
+	ds := PeerRush(DataConfig{FlowsPerClass: 40, Seed: 2})
+	train, _, test := ds.Split(3)
+	rng := rand.New(rand.NewSource(2))
+	m := NewCNNM(ds.NumClasses(), rng)
+	m.Train(train, TrainOpts{Epochs: 10, Seed: 2})
+	if err := m.Compile(train); err != nil {
+		b.Fatal(err)
+	}
+	stream := netsim.Merge(test)
+	const nModels = 3
+
+	b.Run(fmt.Sprintf("private/models=%d", nModels), func(b *testing.B) {
+		var engs []*pisa.Engine
+		var jobs []pisa.PacketIn
+		for i := 0; i < nModels; i++ {
+			em, err := m.EmitPackets(1 << 10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if jobs == nil {
+				jobs = models.PacketJobs(em, stream)
+			}
+			eng := em.NewPacketEngine(1, pisa.ExecCompiled)
+			defer eng.Close()
+			eng.ResetState()
+			eng.RunPackets(jobs) // warm the reusable buffers
+			engs = append(engs, eng)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, eng := range engs {
+				eng.RunPackets(jobs)
+			}
+		}
+		b.ReportMetric(float64(len(jobs))*float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
+	})
+
+	b.Run(fmt.Sprintf("shared/models=%d", nModels), func(b *testing.B) {
+		shared, err := core.EmitSharedExtraction("px-shared-seq", pisa.Tofino2,
+			models.SharedWindowSpec(core.ExtractSeq), 1<<10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sched := pisa.NewScheduler(nModels + 1)
+		defer sched.Close()
+		ext := shared.Em.NewPacketEngineOn(sched, "ext", 1, pisa.ExecCompiled)
+		defer ext.Close()
+		fan := pisa.NewFanout(ext)
+		for i := 0; i < nModels; i++ {
+			em, err := m.EmitShared(shared)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng := em.NewEngineOn(sched, fmt.Sprintf("cnn-m#%d", i), 1, pisa.ExecCompiled)
+			defer eng.Close()
+			fan.Subscribe(eng)
+		}
+		jobs := models.PacketJobs(shared.Em, stream)
+		ext.ResetState()
+		fan.RunPackets(jobs) // warm the reusable buffers
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fan.RunPackets(jobs)
+		}
+		b.ReportMetric(float64(len(jobs))*float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
+	})
+}
+
 // BenchmarkFullPrecisionInference measures the CPU baseline of Figure 9d
 // (one full-precision CNN-M forward).
 func BenchmarkFullPrecisionInference(b *testing.B) {

@@ -57,7 +57,7 @@ func main() {
 }
 
 func run() error {
-	exp := flag.String("experiment", "all", "experiment to run: all, table2, table5, table6, fig7, fig8, fig9acc, fig9thr, engine, multimodel, serving, resilience, scaling")
+	exp := flag.String("experiment", "all", "experiment to run: all, table2, table5, table6, fig7, fig8, fig9acc, fig9thr, engine, multimodel, sharedext, serving, resilience, scaling")
 	flows := flag.Int("flows", 60, "flows generated per traffic class")
 	epochs := flag.Float64("epochs", 1, "training budget multiplier")
 	seed := flag.Int64("seed", 1, "random seed")

@@ -11,6 +11,7 @@
 //	pegasus-run -model cnn-b -packets           # raw-trace replay: per-packet extraction on the switch
 //	pegasus-run -model cnn-b -mode interpret    # reference interpreter baseline
 //	pegasus-run -models mlp-b,rnn-b             # multi-model serving: one shared-budget scheduler
+//	pegasus-run -models cnn-b,cnn-m,rnn-b       # seq models bind ONE physical extraction machine (sharing column + measured RMW saving)
 //	pegasus-run -models mlp-b,cnn-b -metrics-addr 127.0.0.1:9090  # + JSON metrics endpoint
 //	pegasus-run -models mlp-b,cnn-b -deadline 2ms -max-queue 4    # overload protection: shed instead of queueing
 //	pegasus-run -models mlp-b,cnn-b -canary 0.25 -canary-window 500ms  # live canary swap of the first model
@@ -318,6 +319,13 @@ type servedModel struct {
 	jobs   []pisa.Job
 	ys     []int
 	reemit func() (*core.Emitted, error)
+	// kind is the model's packet-extraction spec kind; emitShared and
+	// emitPackets re-emit it as a shared-machine subscriber or with its
+	// private fused prelude (for the physical-sharing path and its
+	// measured RMW baseline).
+	kind        core.ExtractKind
+	emitShared  func(*core.SharedExtraction) (*core.Emitted, error)
+	emitPackets func(flows int) (*core.Emitted, error)
 }
 
 // buildServed trains, compiles and emits one model of the -models list.
@@ -326,6 +334,9 @@ func buildServed(name string, k int, train, test []netsim.Flow, epochs int, seed
 	var xs [][]float64
 	var ys []int
 	var reemit func() (*core.Emitted, error)
+	var kind core.ExtractKind
+	var emitShared func(*core.SharedExtraction) (*core.Emitted, error)
+	var emitPackets func(flows int) (*core.Emitted, error)
 	var err error
 	switch name {
 	case "mlp-b", "cnn-b", "cnn-m":
@@ -347,6 +358,7 @@ func buildServed(name string, k int, train, test []netsim.Flow, epochs int, seed
 		}
 		xs, ys = m.Extract(test)
 		reemit = func() (*core.Emitted, error) { return m.Emit(1 << 16) }
+		kind, emitShared, emitPackets = m.PacketExtract, m.EmitShared, m.EmitPackets
 	case "rnn-b":
 		m := models.NewRNNB(k, rng)
 		m.Train(train, models.TrainOpts{Epochs: epochs, LR: 0.02, Seed: seed})
@@ -358,10 +370,12 @@ func buildServed(name string, k int, train, test []netsim.Flow, epochs int, seed
 		}
 		xs, ys = models.ExtractSeq(test)
 		reemit = func() (*core.Emitted, error) { return m.Emit(1 << 16) }
+		kind, emitShared, emitPackets = core.ExtractSeq, m.EmitShared, m.EmitPackets
 	default:
 		return servedModel{}, fmt.Errorf("unknown model %q in -models (mlp-b, cnn-b, cnn-m, rnn-b)", name)
 	}
-	return servedModel{name: name, em: em, jobs: core.BatchJobsFromFloats(xs), ys: ys, reemit: reemit}, nil
+	return servedModel{name: name, em: em, jobs: core.BatchJobsFromFloats(xs), ys: ys, reemit: reemit,
+		kind: kind, emitShared: emitShared, emitPackets: emitPackets}, nil
 }
 
 // runMultiModels is the -models path: every named model is trained,
@@ -388,6 +402,38 @@ func runMultiModels(names []string, k int, train, test []netsim.Flow, epochs int
 	}
 	if len(served) == 0 {
 		check(fmt.Errorf("-models selected no models"))
+	}
+
+	// Physically shared extraction: models resolving the same window
+	// spec are re-emitted as register-free subscribers of ONE standalone
+	// extraction machine — registration attaches them to its fan-out, so
+	// the per-packet flow-state RMWs run once no matter how many models
+	// are co-resident. The first model stays private when a canary swap
+	// is requested (canaries are not supported on subscribers).
+	machines := map[core.ExtractKind]*core.SharedExtraction{}
+	shareFrom := 0
+	if canaryFrac > 0 {
+		shareFrom = 1
+	}
+	byKind := map[core.ExtractKind][]int{}
+	for i := shareFrom; i < len(served); i++ {
+		byKind[served[i].kind] = append(byKind[served[i].kind], i)
+	}
+	for kind, idxs := range byKind {
+		if len(idxs) < 2 {
+			continue
+		}
+		shared, err := core.EmitSharedExtraction(fmt.Sprintf("px-shared-%v", kind),
+			pisa.Tofino2, models.SharedWindowSpec(kind), 1<<16)
+		check(err)
+		for _, i := range idxs {
+			em, err := served[i].emitShared(shared)
+			check(err)
+			served[i].em = em
+			es := served[i].emitShared
+			served[i].reemit = func() (*core.Emitted, error) { return es(shared) }
+		}
+		machines[kind] = shared
 	}
 
 	// Admission-controlled registration: start from a single switch and
@@ -557,7 +603,7 @@ func runMultiModels(names []string, k int, train, test []netsim.Flow, epochs int
 	if canaryMsg != "" {
 		fmt.Println(canaryMsg)
 	}
-	fmt.Printf("%-8s %4s %6s %14s %10s %8s %10s %8s\n", "model", "ver", "weight", "pkt/s", "accuracy", "occ", "batches", "shed")
+	fmt.Printf("%-8s %4s %6s %14s %10s %8s %10s %8s %-18s\n", "model", "ver", "weight", "pkt/s", "accuracy", "occ", "batches", "shed", "sharing")
 	for i, m := range ms {
 		st := m.Stats()
 		for j, r := range last[i] {
@@ -567,9 +613,67 @@ func runMultiModels(names []string, k int, train, test []netsim.Flow, epochs int
 		}
 		acc := float64(hits[i]) / float64(len(served[i].jobs))
 		occ := st.Busy.Seconds() / (wall.Seconds() * float64(srv.Scheduler().Budget()))
-		fmt.Printf("%-8s %4d %6d %14.3g %10.4f %7.1f%% %10d %8d\n",
+		sharing := "-"
+		if spec, subs, ok := m.SharedMachine(); ok {
+			sharing = fmt.Sprintf("px-shared-%v (%d)", spec.Kind, len(subs))
+		}
+		fmt.Printf("%-8s %4d %6d %14.3g %10.4f %7.1f%% %10d %8d %-18s\n",
 			m.Name(), m.Version(), m.Weight(), float64(st.Packets)/wall.Seconds(), acc,
-			100*occ, st.Tasks, st.Shed)
+			100*occ, st.Tasks, st.Shed, sharing)
+	}
+
+	// Measured per-packet RMW saving: replay the merged raw test trace
+	// once through each shared machine's fan-out (every subscriber
+	// classifies the fired windows, the machine pays the register RMWs
+	// exactly once) and once through one member's private fused-prelude
+	// engine as the baseline.
+	if len(machines) > 0 {
+		merged := netsim.Merge(test)
+		for kind, shared := range machines {
+			var idxs []int
+			for i := range served {
+				if served[i].em.Shared == shared {
+					idxs = append(idxs, i)
+				}
+			}
+			pkts := models.PacketJobs(shared.Em, merged)
+			_ = ms[idxs[0]].RunPackets(pkts)
+			var mach *serve.MachineMetrics
+			snap := srv.Snapshot()
+			for j := range snap.Machines {
+				for _, sub := range snap.Machines[j].Subscribers {
+					if sub == served[idxs[0]].name {
+						mach = &snap.Machines[j]
+					}
+				}
+			}
+			if mach == nil || mach.Packets == 0 {
+				continue
+			}
+			sharedPer := float64(mach.RegRMWs) / float64(mach.Packets)
+			privPer := 0.0
+			for _, i := range idxs {
+				emp, err := served[i].emitPackets(1 << 16)
+				if err != nil {
+					continue // e.g. the private prelude overflows this capacity
+				}
+				eng := emp.NewPacketEngine(workers, execMode)
+				eng.ResetState()
+				eng.RunPackets(pkts)
+				st := eng.Stats()
+				eng.Close()
+				privPer = float64(st.RegRMWs) / float64(st.Packets)
+				break
+			}
+			n := len(idxs)
+			if privPer > 0 {
+				fmt.Printf("shared extraction px-shared-%v: %.1f register RMWs/pkt once for %d models; private preludes pay %.1f/model (%.1f total) — %.0f%% fewer RMWs\n",
+					kind, sharedPer, n, privPer, float64(n)*privPer, 100*(1-sharedPer/(float64(n)*privPer)))
+			} else {
+				fmt.Printf("shared extraction px-shared-%v: %.1f register RMWs/pkt once for %d models (no private baseline fits this capacity)\n",
+					kind, sharedPer, n)
+			}
+		}
 	}
 
 	// With a live endpoint, fetch and print one snapshot through HTTP —

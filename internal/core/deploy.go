@@ -67,17 +67,55 @@ func extractOverhead(em *Emitted) (stages, sram, tcam, reg int) {
 	return
 }
 
+// addResources folds b into a (summing consumption, maxing the
+// per-pipe PHV/bus columns).
+func addResources(a *pisa.Resources, b pisa.Resources) {
+	a.Stages += b.Stages
+	a.SRAMBits += b.SRAMBits
+	a.TCAMBits += b.TCAMBits
+	a.RegBits += b.RegBits
+	a.PerStage = append(a.PerStage, b.PerStage...)
+	if b.PHVBits > a.PHVBits {
+		a.PHVBits = b.PHVBits
+	}
+	if b.PeakBusBits > a.PeakBusBits {
+		a.PeakBusBits = b.PeakBusBits
+	}
+}
+
 // memberResources returns each member's CHARGED resources — extraction
 // sharing applied in deployment order — plus whether the member shares
-// an already-accounted extraction machine. Summing the rows yields the
-// deployment totals (modulo the max-combined PHV/bus columns).
-func (d *Deployment) memberResources() ([]pisa.Resources, []bool) {
+// an already-accounted extraction machine and whether that sharing is
+// PHYSICAL (one standalone program fanning windows out) rather than
+// accounted-only. Summing the rows yields the deployment totals
+// (modulo the max-combined PHV/bus columns).
+//
+// Fused members (Emitted.Extract set) share by spec: the first pays the
+// prelude, later identical specs are charged minus it — but each still
+// EXECUTES its own prelude. Subscriber members (Emitted.Shared set)
+// share by handle: the first subscriber's row additionally carries the
+// machine's own footprint (the standalone program is real silicon) and
+// later subscribers of the same handle are charged nothing for it.
+func (d *Deployment) memberResources() ([]pisa.Resources, []bool, []bool) {
 	rs := make([]pisa.Resources, len(d.Models))
 	shared := make([]bool, len(d.Models))
+	physical := make([]bool, len(d.Models))
 	seen := map[ExtractSpec]bool{}
+	seenMachine := map[*SharedExtraction]bool{}
 	for i, em := range d.Models {
 		r := em.Resources()
-		if em.Extract != nil {
+		switch {
+		case em.Shared != nil:
+			physical[i] = true
+			if seenMachine[em.Shared] {
+				shared[i] = true
+			} else {
+				// First subscriber hosts the machine: its row carries
+				// the standalone program's footprint.
+				addResources(&r, em.Shared.Em.Resources())
+				seenMachine[em.Shared] = true
+			}
+		case em.Extract != nil:
 			if seen[em.Extract.Spec] {
 				stages, sram, tcam, reg := extractOverhead(em)
 				r.Stages -= stages
@@ -90,7 +128,52 @@ func (d *Deployment) memberResources() ([]pisa.Resources, []bool) {
 		}
 		rs[i] = r
 	}
-	return rs, shared
+	return rs, shared, physical
+}
+
+// Machine describes one extraction machine of the deployment and the
+// member programs bound to it.
+type Machine struct {
+	// Spec is the machine's resolved extraction configuration.
+	Spec ExtractSpec `json:"spec"`
+	// Physical marks a machine backed by one standalone shared program
+	// (SharedExtraction): its register RMWs execute once per packet and
+	// fired windows fan out to the subscribers. False for accounted-only
+	// sharing, where each fused member still runs a private prelude.
+	Physical bool `json:"physical"`
+	// Subscribers lists the bound member programs in deployment order.
+	Subscribers []string `json:"subscribers"`
+}
+
+// Machines groups the deployment's members by extraction machine:
+// one entry per SharedExtraction handle (physical) and one per distinct
+// fused extraction spec (accounted), in order of first appearance.
+// Members without extraction do not appear.
+func (d *Deployment) Machines() []Machine {
+	var out []Machine
+	byHandle := map[*SharedExtraction]int{}
+	bySpec := map[ExtractSpec]int{}
+	for _, em := range d.Models {
+		switch {
+		case em.Shared != nil:
+			idx, ok := byHandle[em.Shared]
+			if !ok {
+				idx = len(out)
+				byHandle[em.Shared] = idx
+				out = append(out, Machine{Spec: em.Shared.Spec, Physical: true})
+			}
+			out[idx].Subscribers = append(out[idx].Subscribers, em.Prog.Name)
+		case em.Extract != nil:
+			idx, ok := bySpec[em.Extract.Spec]
+			if !ok {
+				idx = len(out)
+				bySpec[em.Extract.Spec] = idx
+				out = append(out, Machine{Spec: em.Extract.Spec})
+			}
+			out[idx].Subscribers = append(out[idx].Subscribers, em.Prog.Name)
+		}
+	}
+	return out
 }
 
 // Resources sums the members' hardware consumption, charging each
@@ -98,19 +181,9 @@ func (d *Deployment) memberResources() ([]pisa.Resources, []bool) {
 // accounted contribute their footprint minus the shared machine.
 func (d *Deployment) Resources() pisa.Resources {
 	var total pisa.Resources
-	rs, _ := d.memberResources()
+	rs, _, _ := d.memberResources()
 	for _, r := range rs {
-		total.Stages += r.Stages
-		total.SRAMBits += r.SRAMBits
-		total.TCAMBits += r.TCAMBits
-		total.RegBits += r.RegBits
-		total.PerStage = append(total.PerStage, r.PerStage...)
-		if r.PHVBits > total.PHVBits {
-			total.PHVBits = r.PHVBits
-		}
-		if r.PeakBusBits > total.PeakBusBits {
-			total.PeakBusBits = r.PeakBusBits
-		}
+		addResources(&total, r)
 	}
 	return total
 }
@@ -132,6 +205,11 @@ type Contribution struct {
 	// SharesExtraction marks a member charged minus an extraction
 	// machine another member already paid for.
 	SharesExtraction bool `json:"shares_extraction,omitempty"`
+	// PhysicalSharing marks a member bound to a physically shared
+	// extraction machine (Emitted.Shared): the machine's register RMWs
+	// execute once per packet regardless of subscriber count, not just
+	// once in the ledger.
+	PhysicalSharing bool `json:"physical_sharing,omitempty"`
 }
 
 // BudgetExcess reports one exhausted dimension: the combined use, the
@@ -193,11 +271,12 @@ func (d *Deployment) Validate() error {
 			be.MemberErrs = append(be.MemberErrs, err.Error())
 		}
 	}
-	rs, shared := d.memberResources()
+	rs, shared, physical := d.memberResources()
 	contrib := func(get func(pisa.Resources) int) []Contribution {
 		cs := make([]Contribution, len(d.Models))
 		for i, em := range d.Models {
-			cs[i] = Contribution{Model: em.Prog.Name, Amount: get(rs[i]), SharesExtraction: shared[i]}
+			cs[i] = Contribution{Model: em.Prog.Name, Amount: get(rs[i]),
+				SharesExtraction: shared[i], PhysicalSharing: physical[i]}
 		}
 		return cs
 	}
@@ -243,23 +322,45 @@ func (d *Deployment) Admit(em *Emitted) error {
 	return cand.Validate()
 }
 
-// Summary renders the combined capacity report: one line per model and
-// the deployment totals against the budget.
+// Summary renders the combined capacity report: one line per model,
+// one line per extraction machine with its subscriber list, and the
+// deployment totals against the budget. Accounted sharing ("shares
+// extraction") means a fused member is charged minus a machine another
+// member already paid for but still executes its own prelude; physical
+// sharing ("shared machine") means the member subscribes to one
+// standalone extraction program that runs the prelude once per packet.
 func (d *Deployment) Summary() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "deployment %q: %d models, budget %d stages\n", d.Name, len(d.Models), d.Cap.Stages)
 	seen := map[ExtractSpec]bool{}
+	seenMachine := map[*SharedExtraction]bool{}
 	for _, em := range d.Models {
 		r := em.Resources()
-		shared := ""
-		if em.Extract != nil {
+		note := ""
+		switch {
+		case em.Shared != nil:
+			if seenMachine[em.Shared] {
+				note = "  (shared machine)"
+			} else {
+				note = "  (hosts shared machine)"
+				addResources(&r, em.Shared.Em.Resources())
+				seenMachine[em.Shared] = true
+			}
+		case em.Extract != nil:
 			if seen[em.Extract.Spec] {
-				shared = "  (shares extraction)"
+				note = "  (shares extraction)"
 			}
 			seen[em.Extract.Spec] = true
 		}
 		fmt.Fprintf(&b, "  %-16s %2d stages  SRAM %9d  TCAM %8d  reg %9d%s\n",
-			em.Prog.Name, r.Stages, r.SRAMBits, r.TCAMBits, r.RegBits, shared)
+			em.Prog.Name, r.Stages, r.SRAMBits, r.TCAMBits, r.RegBits, note)
+	}
+	for _, mc := range d.Machines() {
+		kind := "accounted"
+		if mc.Physical {
+			kind = "physical"
+		}
+		fmt.Fprintf(&b, "  extraction [%s] %s: %s\n", mc.Spec, kind, strings.Join(mc.Subscribers, ", "))
 	}
 	res := d.Resources()
 	fmt.Fprintf(&b, "  %-16s %2d/%d stages  SRAM %.2f%%  TCAM %.2f%%  reg %d bits\n",

@@ -90,6 +90,125 @@ func TestDeploymentSharesExtraction(t *testing.T) {
 	}
 }
 
+// subscriberEmission builds a register-free window classifier bound to
+// a physically shared extraction machine: it consumes the machine's
+// fired window fields, carries no prelude and no registers, and is
+// charged by handle (first subscriber hosts the machine's footprint).
+func subscriberEmission(t *testing.T, name string, shared *SharedExtraction, modelStages int) *Emitted {
+	t.Helper()
+	layout := &pisa.Layout{}
+	in := layout.MustAdd("in0", 8)
+	out := layout.MustAdd("out0", 16)
+	prog := pisa.NewProgram(name, layout, pisa.Tofino2)
+	for s := 0; s < modelStages; s++ {
+		prog.Place(s, &pisa.Table{
+			Name: "model", Kind: pisa.MatchExact,
+			KeyFields: []pisa.FieldID{in}, KeyWidths: []int{8},
+			Entries:       []pisa.Entry{{Key: []uint32{0}, Data: []int32{1}}},
+			Action:        []pisa.Op{{Kind: pisa.OpSetData, Dst: out, DataIdx: 0}},
+			DataWidthBits: 16,
+		})
+	}
+	em := &Emitted{Target: "tofino", Prog: prog, InFields: []pisa.FieldID{in},
+		OutFields: []pisa.FieldID{out}, Stages: len(prog.Stages)}
+	em.Shared = shared
+	return em
+}
+
+// TestDeploymentPhysicalMachines pins the physical-sharing ledger and
+// Summary with three co-resident models across TWO distinct extraction
+// specs: two shared machines (not one), each charged exactly once with
+// its subscriber list intact, and the machine lines marked physical.
+func TestDeploymentPhysicalMachines(t *testing.T) {
+	seq, err := EmitSharedExtraction("px-shared-seq", pisa.Tofino2,
+		ExtractSpec{Kind: ExtractSeq, Window: 8}, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := EmitSharedExtraction("px-shared-stats", pisa.Tofino2,
+		ExtractSpec{Kind: ExtractStats, Window: 8}, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Spec == stats.Spec {
+		t.Fatal("distinct kinds resolved to one spec")
+	}
+	a := subscriberEmission(t, "model-a", seq, 2)
+	b := subscriberEmission(t, "model-b", seq, 3)
+	c := subscriberEmission(t, "model-c", stats, 2)
+
+	d, err := NewDeployment("trio", pisa.Tofino2.Pipes(2), a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	machines := d.Machines()
+	if len(machines) != 2 {
+		t.Fatalf("%d machines, want 2 (distinct specs must not merge):\n%+v", len(machines), machines)
+	}
+	for i, want := range []struct {
+		spec ExtractSpec
+		subs []string
+	}{
+		{seq.Spec, []string{"model-a", "model-b"}},
+		{stats.Spec, []string{"model-c"}},
+	} {
+		m := machines[i]
+		if m.Spec != want.spec || !m.Physical {
+			t.Fatalf("machine %d = %+v, want physical %v", i, m, want.spec)
+		}
+		if len(m.Subscribers) != len(want.subs) {
+			t.Fatalf("machine %d subscribers %v, want %v", i, m.Subscribers, want.subs)
+		}
+		for j := range want.subs {
+			if m.Subscribers[j] != want.subs[j] {
+				t.Fatalf("machine %d subscribers %v, want %v", i, m.Subscribers, want.subs)
+			}
+		}
+	}
+
+	// Each machine is charged exactly once: combined = three subscriber
+	// programs + the seq machine + the stats machine.
+	res := d.Resources()
+	want := a.Resources().Stages + b.Resources().Stages + c.Resources().Stages +
+		seq.Em.Resources().Stages + stats.Em.Resources().Stages
+	if res.Stages != want {
+		t.Fatalf("combined stages %d, want %d (each machine charged once)", res.Stages, want)
+	}
+
+	sum := d.Summary()
+	for _, frag := range []string{
+		"(hosts shared machine)",
+		"(shared machine)",
+		"physical: model-a, model-b",
+		"physical: model-c",
+	} {
+		if !strings.Contains(sum, frag) {
+			t.Fatalf("summary missing %q:\n%s", frag, sum)
+		}
+	}
+
+	// The per-model contributions mark physical sharing when the budget
+	// overflows.
+	tiny := Deployment{Name: "tiny", Cap: pisa.Capacity{Stages: 1,
+		SRAMBitsPerStage: pisa.Tofino2.SRAMBitsPerStage, TCAMBitsPerStage: pisa.Tofino2.TCAMBitsPerStage,
+		BusBits: pisa.Tofino2.BusBits, PHVBits: pisa.Tofino2.PHVBits}, Models: d.Models}
+	var be *BudgetError
+	if err := tiny.Validate(); !errors.As(err, &be) {
+		t.Fatalf("1-stage budget accepted the trio: %v", err)
+	}
+	for _, ex := range be.Excesses {
+		if ex.Dim != DimStages {
+			continue
+		}
+		for _, cb := range ex.PerModel {
+			if !cb.PhysicalSharing {
+				t.Fatalf("contribution %+v not marked PhysicalSharing", cb)
+			}
+		}
+	}
+}
+
 // TestDeploymentOverBudget checks that an overfull deployment is
 // rejected with the combined-stage diagnosis.
 func TestDeploymentOverBudget(t *testing.T) {

@@ -43,6 +43,14 @@ type Emitted struct {
 	// in pipe 0) plus the prelude fields custom window phases build on.
 	// Nil for window-replay emissions.
 	Extract *Extraction
+	// Shared, when set, binds this emission to a physically shared
+	// extraction machine: the emission itself is a pure-combinational
+	// window classifier (no extraction prelude, no registers) and its
+	// InFields consume the machine's fired feature window, delivered by
+	// a pisa.Fanout. Emissions carrying the same handle subscribe to the
+	// same physical program; the Deployment ledger charges the machine
+	// once.
+	Shared *SharedExtraction
 }
 
 // Programs returns every pipe in execution order.

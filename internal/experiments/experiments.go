@@ -624,6 +624,33 @@ type EngineBenchReport struct {
 	// rollback detection latency with its post-rollback equivalence
 	// check.
 	ResiliencePoints *ResilienceReport `json:"resilience_points,omitempty"`
+	// SharedExtractionPoints measures physically shared extraction (the
+	// "sharedext" experiment): N co-resident packet models replaying the
+	// same raw trace with private per-model preludes versus one shared
+	// extraction machine fanning fired windows out to N pure-
+	// combinational subscribers. PacketsPerSec counts trace packets
+	// served to ALL N models per second; RMWsPerPacket is the register
+	// read-modify-writes each trace packet costs across every session.
+	SharedExtractionPoints []SharedExtractionPoint `json:"shared_extraction_points,omitempty"`
+}
+
+// SharedExtractionPoint is one (co-resident model count, sharing mode)
+// cell of the shared-extraction experiment.
+type SharedExtractionPoint struct {
+	Models  int    `json:"models"`
+	Mode    string `json:"mode"` // "private" or "shared"
+	Workers int    `json:"workers"`
+	// PacketsPerSec is trace packets fully served (reaching all N
+	// models) per second — private mode divides the pool's aggregate by
+	// N, shared mode counts the machine's packets directly.
+	PacketsPerSec float64 `json:"packets_per_sec"`
+	// RMWsPerPacket is total register RMWs across all sessions divided
+	// by fully-served packets: ~N preludes' worth in private mode, ~one
+	// prelude's worth in shared mode (subscribers execute none).
+	RMWsPerPacket float64 `json:"rmws_per_packet"`
+	// Speedup is shared/private pkt/s at the same model count (set on
+	// shared points only).
+	Speedup float64 `json:"speedup,omitempty"`
 }
 
 // ScalingMeta describes how the scaling experiment measured its points.
@@ -950,6 +977,167 @@ func (s *Suite) MultiModelBench(w io.Writer) error {
 	return nil
 }
 
+// SharedExtractionBench measures physically shared extraction: N
+// co-resident packet models (cycling the zoo's sequence classifiers)
+// replay the same merged raw trace, first each with its own fused
+// private-prelude engine on one shared-budget scheduler, then as
+// pure-combinational subscribers of ONE standalone extraction machine
+// via pisa.Fanout. The machine executes each packet's register RMWs
+// exactly once regardless of N, so the shared points should show both
+// higher fully-served pkt/s and a flat ~one-prelude RMW cost where the
+// private points pay N preludes. Points merge into BENCH_engine.json.
+func (s *Suite) SharedExtractionBench(w io.Writer) error {
+	ms, test, err := s.multiModels()
+	if err != nil {
+		return err
+	}
+	// Sequence-window classifiers only: co-residents must resolve the
+	// SAME extraction spec to bind one physical machine.
+	seqs := []*models.Feedforward{}
+	for _, m := range ms {
+		if m.PacketExtract == core.ExtractSeq {
+			seqs = append(seqs, m)
+		}
+	}
+	if len(seqs) == 0 {
+		return fmt.Errorf("experiments: no sequence-window models for sharedext")
+	}
+	stream := netsim.Merge(test)
+	budget := runtime.NumCPU()
+	window := time.Duration(s.Cfg.MeasureMS) * time.Millisecond
+	const flows = 1 << 10
+
+	fmt.Fprintf(w, "Shared-extraction bench: private preludes vs one physical machine (%d packets/replay, %d-worker budget, %v/point)\n",
+		len(stream), budget, window)
+	fmt.Fprintf(w, "%7s %-8s %8s %14s %10s %8s\n", "models", "mode", "workers", "pkt/s", "rmws/pkt", "speedup")
+	var rep EngineBenchReport
+
+	for _, n := range []int{2, 3, 4} {
+		// Co-resident instance i reuses compiled model seqs[i%len] under
+		// its own session name — emissions are independent programs, so
+		// two instances of one model are two genuine co-residents.
+		names := make([]string, n)
+		for i := range names {
+			names[i] = seqs[i%len(seqs)].Name
+			if i >= len(seqs) {
+				names[i] = fmt.Sprintf("%s#%d", names[i], i/len(seqs)+1)
+			}
+		}
+
+		// Private mode: each model's fused EmitPackets engine replays the
+		// full trace concurrently; every engine pays the prelude's RMWs on
+		// every packet. A packet is fully served once all N engines have
+		// processed it, so the effective rate is the aggregate over N.
+		sched := pisa.NewScheduler(budget)
+		engines := make([]*pisa.Engine, n)
+		var pjobs []pisa.PacketIn
+		for i := 0; i < n; i++ {
+			emp, err := seqs[i%len(seqs)].EmitPackets(flows)
+			if err != nil {
+				return fmt.Errorf("%s emit: %w", names[i], err)
+			}
+			if pjobs == nil {
+				pjobs = models.PacketJobs(emp, stream)
+			}
+			engines[i] = emp.NewPacketEngineOn(sched, names[i], 1, pisa.ExecCompiled)
+			engines[i].ResetState()
+		}
+		var wg sync.WaitGroup
+		start := time.Now()
+		for i := range engines {
+			wg.Add(1)
+			go func(eng *pisa.Engine) {
+				defer wg.Done()
+				for time.Since(start) < window {
+					eng.RunPackets(pjobs)
+				}
+			}(engines[i])
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		var pkts, rmws uint64
+		for _, st := range sched.Stats() {
+			pkts += st.Packets
+			rmws += st.RegRMWs
+		}
+		for _, e := range engines {
+			e.Close()
+		}
+		sched.Close()
+		priv := SharedExtractionPoint{Models: n, Mode: "private", Workers: budget,
+			PacketsPerSec: float64(pkts) / float64(n) / wall.Seconds(),
+			RMWsPerPacket: float64(rmws) / (float64(pkts) / float64(n))}
+		rep.SharedExtractionPoints = append(rep.SharedExtractionPoints, priv)
+		fmt.Fprintf(w, "%7d %-8s %8d %14.3g %10.1f %8s\n",
+			priv.Models, priv.Mode, priv.Workers, priv.PacketsPerSec, priv.RMWsPerPacket, "-")
+
+		// Shared mode: one machine owns the flow registers; subscribers
+		// are register-free and see only fired windows. One driver
+		// replays the trace through the fan-out — every processed packet
+		// reaches all N models inside the same call.
+		shared, err := core.EmitSharedExtraction("px-shared-seq", pisa.Tofino2,
+			models.SharedWindowSpec(core.ExtractSeq), flows)
+		if err != nil {
+			return err
+		}
+		sched = pisa.NewScheduler(budget)
+		ext := shared.Em.NewPacketEngineOn(sched, "px-shared-seq", 1, pisa.ExecCompiled)
+		fan := pisa.NewFanout(ext)
+		subs := make([]*pisa.Engine, n)
+		for i := 0; i < n; i++ {
+			em, err := seqs[i%len(seqs)].EmitShared(shared)
+			if err != nil {
+				return fmt.Errorf("%s shared emit: %w", names[i], err)
+			}
+			subs[i] = em.NewEngineOn(sched, names[i], 1, pisa.ExecCompiled)
+			fan.Subscribe(subs[i])
+		}
+		spjobs := models.PacketJobs(shared.Em, stream)
+		ext.ResetState()
+		start = time.Now()
+		for time.Since(start) < window {
+			fan.RunPackets(spjobs)
+		}
+		wall = time.Since(start)
+		pkts, rmws = 0, 0
+		for _, st := range sched.Stats() {
+			pkts += st.Packets // subscriber "packets" are fired windows, not trace packets
+			rmws += st.RegRMWs
+		}
+		served := ext.Stats().Packets
+		for _, e := range subs {
+			e.Close()
+		}
+		ext.Close()
+		sched.Close()
+		shp := SharedExtractionPoint{Models: n, Mode: "shared", Workers: budget,
+			PacketsPerSec: float64(served) / wall.Seconds(),
+			RMWsPerPacket: float64(rmws) / float64(served)}
+		shp.Speedup = shp.PacketsPerSec / priv.PacketsPerSec
+		rep.SharedExtractionPoints = append(rep.SharedExtractionPoints, shp)
+		fmt.Fprintf(w, "%7d %-8s %8d %14.3g %10.1f %7.2fx\n",
+			shp.Models, shp.Mode, shp.Workers, shp.PacketsPerSec, shp.RMWsPerPacket, shp.Speedup)
+	}
+
+	if s.Cfg.EngineJSON != "" {
+		// Merge into the engine experiment's report when one exists.
+		full := EngineBenchReport{}
+		if data, err := os.ReadFile(s.Cfg.EngineJSON); err == nil {
+			_ = json.Unmarshal(data, &full)
+		}
+		full.SharedExtractionPoints = rep.SharedExtractionPoints
+		data, err := json.MarshalIndent(&full, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(s.Cfg.EngineJSON, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", s.Cfg.EngineJSON)
+	}
+	return nil
+}
+
 // ScalingBench measures steady-state worker scaling on the compiled hot
 // path under sustained synthetic load. Unlike EngineBench, which
 // re-replays a short committed trace (measuring batch-overhead
@@ -1112,7 +1300,7 @@ func (s *Suite) ScalingBench(w io.Writer) error {
 }
 
 // Names lists the runnable experiments.
-var Names = []string{"table2", "table5", "table6", "fig7", "fig8", "fig9acc", "fig9thr", "engine", "multimodel", "scaling", "serving", "resilience"}
+var Names = []string{"table2", "table5", "table6", "fig7", "fig8", "fig9acc", "fig9thr", "engine", "multimodel", "sharedext", "scaling", "serving", "resilience"}
 
 // Run executes one experiment by name ("all" runs everything).
 func (s *Suite) Run(name string, w io.Writer) error {
@@ -1135,6 +1323,8 @@ func (s *Suite) Run(name string, w io.Writer) error {
 		return s.EngineBench(w)
 	case "multimodel":
 		return s.MultiModelBench(w)
+	case "sharedext":
+		return s.SharedExtractionBench(w)
 	case "scaling":
 		return s.ScalingBench(w)
 	case "serving":

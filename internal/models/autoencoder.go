@@ -315,3 +315,25 @@ func (m *AutoEncoder) EmitGatedPackets(flows int, thr float64) (*core.Emitted, e
 	defer func() { m.pipe.Opts.Emit = saved }()
 	return m.pipe.EmitProgram(flows)
 }
+
+// EmitGatedShared emits the gated detector as a pure-combinational
+// subscriber of a physically shared seq extraction machine: the
+// reconstruction pipeline plus the anomaly gate, consuming the
+// machine's fired window instead of running a private prelude
+// ([anom, score, window...] out, no registers).
+func (m *AutoEncoder) EmitGatedShared(shared *core.SharedExtraction, thr float64) (*core.Emitted, error) {
+	if m.pipe == nil || m.compiled == nil {
+		return nil, fmt.Errorf("models: %s not compiled", m.Name)
+	}
+	if shared.Spec.Kind != core.ExtractSeq {
+		return nil, fmt.Errorf("models: %s needs a seq machine, shared machine runs %v", m.Name, shared.Spec.Kind)
+	}
+	thrInt, err := m.GateThreshold(thr)
+	if err != nil {
+		return nil, err
+	}
+	saved := m.pipe.Opts.Emit
+	m.pipe.Opts.Emit.Gate = &core.GateSpec{KeepGroup: m.embGroup, Threshold: thrInt}
+	defer func() { m.pipe.Opts.Emit = saved }()
+	return emitSharedVia(m.pipe, m.Name, shared)
+}

@@ -46,6 +46,16 @@ type GatedPipeline struct {
 	EmAEHost *core.Emitted
 	EmCls    *core.Emitted
 	Dep      *core.Deployment
+
+	// SharedExt is the physically shared extraction machine of the
+	// shared deployment form; EmAEShared/EmClsShared are its
+	// pure-combinational subscriber emissions (gate and classifier both
+	// consume the machine's fired window); DepShared is their combined
+	// ledger. All set by EmitShared.
+	SharedExt   *core.SharedExtraction
+	EmAEShared  *core.Emitted
+	EmClsShared *core.Emitted
+	DepShared   *core.Deployment
 }
 
 // GatedResult is one window verdict of the deployment: the stream index
@@ -115,6 +125,76 @@ func (g *GatedPipeline) Emit(flows int, cap pisa.Capacity) error {
 	}
 	g.EmAE, g.EmAEHost, g.EmCls, g.Dep = emAE, emAEHost, emCls, dep
 	return nil
+}
+
+// EmitShared compiles the deployment's physically shared form: ONE
+// standalone seq extraction machine plus two pure-combinational
+// subscribers (the gated detector and the classifier), validated as a
+// combined deployment against cap. Where Emit's form runs the
+// detector's private prelude on every packet and the ledger merely
+// accounts the classifier's flow-state, the shared form executes the
+// per-packet register RMWs once on the machine and fans fired windows
+// out to both programs.
+func (g *GatedPipeline) EmitShared(flows int, cap pisa.Capacity) error {
+	shared, err := core.EmitSharedExtraction("px-shared-seq", cap, SharedWindowSpec(core.ExtractSeq), flows)
+	if err != nil {
+		return fmt.Errorf("models: shared extraction emission: %w", err)
+	}
+	emAE, err := g.AE.EmitGatedShared(shared, g.Threshold)
+	if err != nil {
+		return fmt.Errorf("models: shared gated %s emission: %w", g.AE.Name, err)
+	}
+	emCls, err := g.Cls.EmitShared(shared)
+	if err != nil {
+		return fmt.Errorf("models: shared %s emission: %w", g.Cls.Name, err)
+	}
+	dep, err := core.NewDeployment(fmt.Sprintf("%s-gated-%s-shared", g.AE.Name, g.Cls.Name), cap, emAE, emCls)
+	if err != nil {
+		return err
+	}
+	g.SharedExt, g.EmAEShared, g.EmClsShared, g.DepShared = shared, emAE, emCls, dep
+	return nil
+}
+
+// RunShared replays a raw merged trace through the physically shared
+// deployment: the extraction machine executes every packet's register
+// RMWs once, and each fired window fans out to the gate and the
+// classifier as stateless jobs on the shared scheduler. Output is
+// bit-identical to Run — the classifier scores every window in this
+// form (physically, every subscriber sees every fire), but anomalous
+// windows still report Class -1, and the stateless classifier labels
+// benign windows exactly as the gated forwarding path would. A nil
+// sched runs on a private pool sized to GOMAXPROCS.
+func (g *GatedPipeline) RunShared(stream []netsim.StreamPacket, sched *pisa.Scheduler, mode pisa.ExecMode) ([]GatedResult, error) {
+	if g.SharedExt == nil || g.EmAEShared == nil || g.EmClsShared == nil {
+		return nil, fmt.Errorf("models: gated pipeline has no shared emission (call EmitShared)")
+	}
+	if sched == nil {
+		sched = pisa.NewScheduler(0)
+		defer sched.Close()
+	}
+	extEng := g.SharedExt.Em.NewPacketEngineOn(sched, "px-shared-seq", 1, mode)
+	defer extEng.Close()
+	aeEng := g.EmAEShared.NewEngineOn(sched, g.AE.Name, 1, mode)
+	defer aeEng.Close()
+	clsEng := g.EmClsShared.NewEngineOn(sched, g.Cls.Name, 1, mode)
+	defer clsEng.Close()
+
+	fan := pisa.NewFanout(extEng)
+	fan.Subscribe(aeEng)
+	fan.Subscribe(clsEng)
+	extEng.ResetState()
+	res := fan.RunPackets(PacketJobs(g.SharedExt.Em, stream))
+	aeRes, clsRes := res[0], res[1]
+	out := make([]GatedResult, len(aeRes))
+	for k, ar := range aeRes {
+		gr := GatedResult{Pkt: ar.Pkt, Anomalous: ar.Outs[0] != 0, Score: ar.Outs[1], Class: -1}
+		if !gr.Anomalous {
+			gr.Class = clsRes[k].Class
+		}
+		out[k] = gr
+	}
+	return out, nil
 }
 
 // Run replays a raw merged trace through the deployment on a shared

@@ -253,6 +253,52 @@ func emitPacketsVia(pipe *core.Pipeline, kind core.ExtractKind, flows int) (*cor
 	return pipe.EmitProgram(flows)
 }
 
+// EmitShared emits the model as a pure-combinational subscriber of the
+// physically shared extraction machine: no extraction prelude, no
+// flow-state registers — the emission's in-fields consume the machine's
+// fired feature window (delivered by a pisa.Fanout) and the program
+// classifies it exactly as the fused EmitPackets form would have.
+func (m *Feedforward) EmitShared(shared *core.SharedExtraction) (*core.Emitted, error) {
+	if m.pipe == nil || m.compiled == nil {
+		return nil, fmt.Errorf("models: %s not compiled", m.Name)
+	}
+	if shared.Spec.Kind != m.PacketExtract {
+		return nil, fmt.Errorf("models: %s extracts %v, shared machine runs %v",
+			m.Name, m.PacketExtract, shared.Spec.Kind)
+	}
+	return emitSharedVia(m.pipe, m.Name, shared)
+}
+
+// emitSharedVia runs a pipeline's emit passes stripped of extraction
+// and flow-state registers (the shared machine owns all per-flow
+// state), then binds the emission to the machine. The machine's output
+// window must match the model's input width positionally — both sides
+// derive from the same extraction ordering, so this is a shape check,
+// not a semantic one.
+func emitSharedVia(pipe *core.Pipeline, name string, shared *core.SharedExtraction) (*core.Emitted, error) {
+	saved := pipe.Opts.Emit
+	pipe.Opts.Emit.Extract = nil
+	pipe.Opts.Emit.FlowStateBits = 0
+	defer func() { pipe.Opts.Emit = saved }()
+	em, err := pipe.EmitProgram(0)
+	if err != nil {
+		return nil, err
+	}
+	if len(em.InFields) != len(shared.Em.OutFields) {
+		return nil, fmt.Errorf("models: %s consumes %d window fields, shared machine produces %d",
+			name, len(em.InFields), len(shared.Em.OutFields))
+	}
+	em.Shared = shared
+	return em, nil
+}
+
+// SharedWindowSpec is the model zoo's extraction spec for a physically
+// shared machine of the given kind: the zoo-wide window over flows
+// per-flow register slots.
+func SharedWindowSpec(kind core.ExtractKind) core.ExtractSpec {
+	return core.ExtractSpec{Kind: kind, Window: Window}
+}
+
 // ModelSizeBits reports the Table 5 model size (32-bit parameters).
 func (m *Feedforward) ModelSizeBits() int { return m.Net.SizeBits() }
 

@@ -140,3 +140,17 @@ func (m *RNNB) EmitPackets(flows int) (*core.Emitted, error) {
 	}
 	return emitPacketsVia(m.pipe, core.ExtractSeq, flows)
 }
+
+// EmitShared emits the RNN as a pure-combinational subscriber of a
+// physically shared seq extraction machine: the chained-index steps
+// consume the machine's fired len/IPD window, no private prelude, no
+// registers.
+func (m *RNNB) EmitShared(shared *core.SharedExtraction) (*core.Emitted, error) {
+	if m.pipe == nil || m.compiled == nil {
+		return nil, fmt.Errorf("models: %s not compiled", m.Name)
+	}
+	if shared.Spec.Kind != core.ExtractSeq {
+		return nil, fmt.Errorf("models: %s needs a seq machine, shared machine runs %v", m.Name, shared.Spec.Kind)
+	}
+	return emitSharedVia(m.pipe, m.Name, shared)
+}

@@ -607,6 +607,7 @@ func alwaysApplier(ops []Op, regs []*Register) func(*PHV) {
 		case OpRegAdd:
 			r := regs[op.Reg]
 			return func(p *PHV) {
+				p.RegRMWs++
 				v := r.Get(int(p.Vals[op.A])) + p.Vals[op.B]
 				r.Set(int(p.Vals[op.A]), v)
 				p.Vals[op.Dst] = v
@@ -614,6 +615,7 @@ func alwaysApplier(ops []Op, regs []*Register) func(*PHV) {
 		case OpRegCntRestart:
 			r := regs[op.Reg]
 			return func(p *PHV) {
+				p.RegRMWs++
 				idx := int(p.Vals[op.A])
 				v := op.Imm
 				if p.Vals[op.B] == 0 {

@@ -141,7 +141,14 @@ type shardRes struct {
 	fireIdx   []int32
 	fireClass []int32
 	fireOuts  []int32 // flat, len(e.out) per fire
-	_         [56]byte
+	// regRMWs accumulates the register read-modify-writes this shard's
+	// tasks have executed (delta-captured around each run by the one
+	// worker holding the shard, folded into Stats atomically). Lives here
+	// rather than in the worker stat stripes because RMWs are attributed
+	// by shard, and a stolen task must still land its count on the
+	// session that owns the registers.
+	regRMWs atomic.Uint64
+	_       [48]byte
 }
 
 // densePad is the gap (in int32s) left between two shards' regions of
@@ -352,6 +359,9 @@ func (e *Engine) Stats() EngineStats {
 			st.WaitHist[b] += sh.waitHist[b].Load()
 			st.QueueHist[b] += sh.queueHist[b].Load()
 		}
+	}
+	for i := range e.shardRes {
+		st.RegRMWs += e.shardRes[i].regRMWs.Load()
 	}
 	return st
 }
@@ -894,6 +904,7 @@ func (e *Engine) runPacketShard(s int, pkts []PacketIn, idx []int) {
 	sr := &e.shardRes[s]
 	interp := e.mode == ExecInterpret
 	meta := e.meta
+	rmw0 := phvRMWs(phvs)
 	for _, i := range idx {
 		phv := phvs[0]
 		phv.Reset()
@@ -933,6 +944,17 @@ func (e *Engine) runPacketShard(s int, pkts []PacketIn, idx []int) {
 			sr.fireOuts = append(sr.fireOuts, phv.Get(f))
 		}
 	}
+	sr.regRMWs.Add(phvRMWs(phvs) - rmw0)
+}
+
+// phvRMWs sums the monotonic per-PHV RMW counters of one shard's pipe
+// PHVs; deltas of this sum around a task attribute its register work.
+func phvRMWs(phvs []*PHV) uint64 {
+	n := uint64(0)
+	for _, p := range phvs {
+		n += p.RegRMWs
+	}
+	return n
 }
 
 // runShard processes the given job indices in order on shard s's PHVs,
@@ -946,6 +968,7 @@ func (e *Engine) runShard(s int, jobs []Job, res []Result, dense []int32, idx []
 	phvs := e.phvs[s]
 	stride := len(e.out) + 1
 	interp := e.mode == ExecInterpret
+	rmw0 := phvRMWs(phvs)
 	for k, i := range idx {
 		phv := phvs[0]
 		phv.Reset()
@@ -977,6 +1000,7 @@ func (e *Engine) runShard(s int, jobs []Job, res []Result, dense []int32, idx []
 			rec[1+d] = phv.Get(f)
 		}
 	}
+	e.shardRes[s].regRMWs.Add(phvRMWs(phvs) - rmw0)
 	if res == nil {
 		return
 	}

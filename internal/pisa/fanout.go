@@ -1,0 +1,158 @@
+package pisa
+
+import "sync"
+
+// Fanout is the physically-shared-extraction session group: ONE
+// packet-configured extraction engine owns the flow-state registers and
+// executes each packet's register RMWs exactly once, and every
+// materialised feature window is handed to each subscribed classifier
+// session as an ordinary job batch. Subscribers are pure-combinational
+// sessions — window in-fields to class/outputs, no register bank of
+// their own — so they keep their individual mailbox rings, stride
+// weights, shed policies and per-session stats on the shared scheduler,
+// while the per-packet stateful work that N private preludes would
+// duplicate is paid once.
+//
+// The fan-out is bit-identical to running each subscriber's fused
+// private-prelude engine on the same trace: the extraction program is
+// the same emitted prelude, packets shard by the same flow hash, and
+// each fired window reaches every subscriber with the same values a
+// fused pipe-0 readout would have produced in place.
+type Fanout struct {
+	ext *Engine
+
+	// mu serializes RunPackets against Subscribe/Detach/Swap; the
+	// extraction engine's single-outstanding-run contract is inherited
+	// through it.
+	mu   sync.Mutex
+	subs []*Engine
+	jobs []Job // reused window-job staging, aliasing ext's fire buffers
+}
+
+// NewFanout wraps a packet-configured extraction engine (built from a
+// standalone extraction emission via ConfigurePackets) as the shared
+// machine of a fan-out group.
+func NewFanout(ext *Engine) *Fanout {
+	if ext.meta == nil {
+		panic("pisa: NewFanout needs a packet-configured extraction engine")
+	}
+	return &Fanout{ext: ext}
+}
+
+// Extraction returns the shared extraction engine (stats, ResetState).
+func (f *Fanout) Extraction() *Engine { return f.ext }
+
+// Subscribe attaches a classifier session: every window the shared
+// machine fires from now on is also submitted to e. The subscriber must
+// consume the extraction program's output fields as its input fields
+// (core.SharedExtraction emissions guarantee this) and must be
+// stateless — a register bank on a subscriber would see only fired
+// windows, not every packet, and silently diverge from its private
+// form.
+func (f *Fanout) Subscribe(e *Engine) {
+	for _, p := range e.progs {
+		if len(p.Registers) > 0 {
+			panic("pisa: fan-out subscriber " + p.Name + " has registers; subscribers must be pure-combinational")
+		}
+	}
+	f.mu.Lock()
+	f.subs = append(f.subs, e)
+	f.mu.Unlock()
+}
+
+// Detach removes a subscriber without touching the shared flow state —
+// co-subscribers keep classifying against the registers exactly as if
+// the departed model were still attached. Only when the LAST subscriber
+// leaves is the shared bank reset (returning true), so the next tenant
+// starts from a fresh flow table instead of inheriting half-filled
+// windows. Detaching an engine that is not subscribed is a no-op.
+func (f *Fanout) Detach(e *Engine) (last bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i, s := range f.subs {
+		if s == e {
+			f.subs = append(f.subs[:i], f.subs[i+1:]...)
+			break
+		}
+	}
+	if len(f.subs) == 0 {
+		f.ext.ResetState()
+		return true
+	}
+	return false
+}
+
+// SwapSubscriber replaces old with next in place (same fan-out slot),
+// leaving the shared registers and every co-subscriber untouched — the
+// live-swap hook: a model's new version attaches exactly where its old
+// one sat. Reports whether old was subscribed.
+func (f *Fanout) SwapSubscriber(old, next *Engine) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i, s := range f.subs {
+		if s == old {
+			f.subs[i] = next
+			return true
+		}
+	}
+	return false
+}
+
+// Subscribers returns a snapshot of the attached sessions, in
+// subscription order.
+func (f *Fanout) Subscribers() []*Engine {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]*Engine(nil), f.subs...)
+}
+
+// RunPackets replays a raw-packet batch through the shared extraction
+// machine ONCE — every packet pays its register RMWs exactly once, on
+// the extraction session — and fans each fired window out to every
+// subscriber as one job batch. Results are returned per subscriber (in
+// subscription order), each in packet order with Pkt indexing into
+// pkts; a subscriber's Outs alias its batch arena and stay valid until
+// its next submission, matching RunBatch semantics. Flow state persists
+// across calls (ResetState on the extraction engine starts a fresh
+// trace); calls must not overlap.
+func (f *Fanout) RunPackets(pkts []PacketIn) [][]PacketResult {
+	_, out := f.RunPacketsAligned(pkts)
+	return out
+}
+
+// RunPacketsAligned is RunPackets plus the subscriber snapshot the
+// result rows align with, taken atomically with the run — callers that
+// race Subscribe/Detach use it to find their own session's row.
+func (f *Fanout) RunPacketsAligned(pkts []PacketIn) ([]*Engine, [][]PacketResult) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	subs := append([]*Engine(nil), f.subs...)
+	fires := f.ext.RunPackets(pkts)
+	out := make([][]PacketResult, len(f.subs))
+	if len(fires) == 0 {
+		return subs, out
+	}
+	// The shared jobs alias the extraction engine's fire staging: stable
+	// until its NEXT RunPackets, and every subscriber batch completes
+	// below, inside this call.
+	jobs := f.jobs[:0]
+	for _, r := range fires {
+		jobs = append(jobs, Job{Hash: pkts[r.Pkt].Hash, In: r.Outs})
+	}
+	f.jobs = jobs
+	// Submit to ALL subscribers before waiting on any: the scheduler
+	// serves the sessions concurrently under its stride weights.
+	pend := make([]*Pending, len(f.subs))
+	for i, sub := range f.subs {
+		pend[i] = sub.SubmitBatch(jobs)
+	}
+	for i, p := range pend {
+		res := p.Wait()
+		rs := make([]PacketResult, len(res))
+		for k := range res {
+			rs[k] = PacketResult{Pkt: fires[k].Pkt, Class: res[k].Class, Outs: res[k].Outs}
+		}
+		out[i] = rs
+	}
+	return subs, out
+}

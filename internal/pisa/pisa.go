@@ -145,7 +145,13 @@ func (l *Layout) TotalBits() int {
 // per goroutine but must not be shared between concurrent goroutines.
 type PHV struct {
 	Vals []int32
-	key  []uint32 // lookup scratch, grown on demand
+	// RegRMWs counts register read-modify-writes executed through this
+	// PHV (every OpReg* occupies a register's one RMW slot for the
+	// packet, pure loads included). Each PHV is single-goroutine, so the
+	// counter needs no atomics; engines snapshot it around a shard's run
+	// to attribute the stateful work per session.
+	RegRMWs uint64
+	key     []uint32 // lookup scratch, grown on demand
 }
 
 // keyBuf returns an n-element scratch slice for assembling a match key.

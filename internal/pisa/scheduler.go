@@ -629,6 +629,12 @@ type EngineStats struct {
 	Tasks   uint64
 	Packets uint64
 	Fires   uint64
+	// RegRMWs is the number of register read-modify-writes the session's
+	// programs executed — every OpReg* op, pure loads included, since
+	// each occupies a register's one RMW slot for its packet. Dividing by
+	// Packets gives the per-packet stateful cost; a physically shared
+	// extraction machine pays it once while its subscribers report zero.
+	RegRMWs uint64
 	// Shed is the number of packets rejected by the session's shed
 	// policy (or a missed deadline) instead of queued; ShedBatches the
 	// submissions they arrived in. Shed work never touches registers.
@@ -670,6 +676,7 @@ func (s *EngineStats) Add(o EngineStats) {
 	s.Tasks += o.Tasks
 	s.Packets += o.Packets
 	s.Fires += o.Fires
+	s.RegRMWs += o.RegRMWs
 	s.Shed += o.Shed
 	s.ShedBatches += o.ShedBatches
 	s.Busy += o.Busy

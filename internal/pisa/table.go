@@ -354,10 +354,13 @@ func runOps(ops []Op, phv *PHV, data []int32, regs []*Register) {
 				phv.Set(op.Dst, phv.Get(op.B))
 			}
 		case OpRegLoad:
+			phv.RegRMWs++
 			phv.Set(op.Dst, regs[op.Reg].Get(int(phv.Get(op.A))))
 		case OpRegStore:
+			phv.RegRMWs++
 			regs[op.Reg].Set(int(phv.Get(op.A)), phv.Get(op.B))
 		case OpRegMax:
+			phv.RegRMWs++
 			r := regs[op.Reg]
 			idx := int(phv.Get(op.A))
 			v := r.Get(idx)
@@ -367,6 +370,7 @@ func runOps(ops []Op, phv *PHV, data []int32, regs []*Register) {
 			r.Set(idx, v)
 			phv.Set(op.Dst, v)
 		case OpRegMin:
+			phv.RegRMWs++
 			r := regs[op.Reg]
 			idx := int(phv.Get(op.A))
 			v := r.Get(idx)
@@ -376,18 +380,21 @@ func runOps(ops []Op, phv *PHV, data []int32, regs []*Register) {
 			r.Set(idx, v)
 			phv.Set(op.Dst, v)
 		case OpRegAdd:
+			phv.RegRMWs++
 			r := regs[op.Reg]
 			idx := int(phv.Get(op.A))
 			v := r.Get(idx) + phv.Get(op.B)
 			r.Set(idx, v)
 			phv.Set(op.Dst, v)
 		case OpRegExch:
+			phv.RegRMWs++
 			r := regs[op.Reg]
 			idx := int(phv.Get(op.A))
 			old := r.Get(idx)
 			r.Set(idx, phv.Get(op.B))
 			phv.Set(op.Dst, old)
 		case OpRegCntRestart:
+			phv.RegRMWs++
 			r := regs[op.Reg]
 			idx := int(phv.Get(op.A))
 			v := op.Imm

@@ -17,6 +17,13 @@ type ModelMetrics struct {
 	Tasks   uint64 `json:"tasks"`
 	Packets uint64 `json:"packets"`
 	Fires   uint64 `json:"fires"`
+	// RegRMWs counts register read-modify-writes executed by this
+	// model's sessions. A shared-extraction subscriber reports 0 — the
+	// machine pays the per-packet stateful work once for all of them.
+	RegRMWs uint64 `json:"reg_rmws,omitempty"`
+	// SharedMachine names the physical extraction machine this model
+	// subscribes to (empty for private emissions).
+	SharedMachine string `json:"shared_machine,omitempty"`
 	// Shed counts packets rejected by the model's shed policy (or
 	// missed deadlines) across ShedBatches submissions; shed work never
 	// queued and never touched flow state.
@@ -76,6 +83,22 @@ type Snapshot struct {
 	// microseconds (len StatBuckets-1; the last bucket is open).
 	WaitBucketMicros []float64      `json:"wait_bucket_micros"`
 	Models           []ModelMetrics `json:"models"`
+	// Machines lists the physical shared-extraction machines, one per
+	// SharedExtraction handle with live subscribers.
+	Machines []MachineMetrics `json:"machines,omitempty"`
+}
+
+// MachineMetrics is one physical extraction machine's serving counters:
+// the per-packet stateful work its subscribers would otherwise each
+// repeat.
+type MachineMetrics struct {
+	Name        string   `json:"name"`
+	Spec        string   `json:"spec"`
+	Subscribers []string `json:"subscribers"`
+	Packets     uint64   `json:"packets"`
+	Fires       uint64   `json:"fires"`
+	RegRMWs     uint64   `json:"reg_rmws"`
+	BusySeconds float64  `json:"busy_seconds"`
 }
 
 // Snapshot captures the deployment's current serving metrics.
@@ -92,6 +115,14 @@ func (s *Server) Snapshot() Snapshot {
 	models := make([]*Model, 0, len(s.order))
 	for _, n := range s.order {
 		models = append(models, s.models[n])
+	}
+	type machView struct {
+		mach *sharedMachine
+		subs []string
+	}
+	machs := make([]machView, 0, len(s.machines))
+	for _, mach := range s.machines {
+		machs = append(machs, machView{mach, append([]string(nil), mach.subs...)})
 	}
 	s.mu.Unlock()
 
@@ -128,6 +159,7 @@ func (s *Server) Snapshot() Snapshot {
 			Fires:           st.Fires,
 			Shed:            st.Shed,
 			ShedBatches:     st.ShedBatches,
+			RegRMWs:         st.RegRMWs,
 			Degraded:        m.degraded.Load(),
 			DegradedBatches: m.degradedBatches.Load(),
 			BusySeconds:     st.Busy.Seconds(),
@@ -144,8 +176,23 @@ func (s *Server) Snapshot() Snapshot {
 		if totalBusy > 0 {
 			mm.Occupancy = float64(st.Busy) / float64(totalBusy)
 		}
+		if m.shared != nil {
+			mm.SharedMachine = m.shared.eng.Name()
+		}
 		mm.MeanWaitMicros = float64(st.MeanWait()) / float64(time.Microsecond)
 		snap.Models = append(snap.Models, mm)
+	}
+	for _, mv := range machs {
+		st := mv.mach.eng.Stats()
+		snap.Machines = append(snap.Machines, MachineMetrics{
+			Name:        mv.mach.eng.Name(),
+			Spec:        mv.mach.handle.Spec.String(),
+			Subscribers: mv.subs,
+			Packets:     st.Packets,
+			Fires:       st.Fires,
+			RegRMWs:     st.RegRMWs,
+			BusySeconds: st.Busy.Seconds(),
+		})
 	}
 	return snap
 }

@@ -73,9 +73,10 @@ type Server struct {
 	start   time.Time
 	drainTO time.Duration
 
-	mu     sync.Mutex // guards models, order, tune bookkeeping
-	models map[string]*Model
-	order  []string // registration order, for stable metrics
+	mu       sync.Mutex // guards models, order, machines, tune bookkeeping
+	models   map[string]*Model
+	order    []string // registration order, for stable metrics
+	machines map[*core.SharedExtraction]*sharedMachine
 
 	admitted  atomic.Uint64
 	rejected  atomic.Uint64
@@ -132,6 +133,11 @@ type Model struct {
 	tuneBusy  time.Duration
 	tuneWait  time.Duration
 	tuneTasks uint64
+
+	// shared is the physical extraction machine this model subscribes
+	// to (nil for private emissions). Set at Register, immutable for the
+	// model's lifetime — swaps replace the subscriber engine in place.
+	shared *sharedMachine
 }
 
 // version is one emitted program generation bound to a live session.
@@ -151,13 +157,14 @@ func NewServer(opts Options) *Server {
 		opts.DrainTimeout = 5 * time.Second
 	}
 	s := &Server{
-		name:    opts.Name,
-		cap:     opts.Cap,
-		mode:    opts.Mode,
-		sched:   pisa.NewScheduler(opts.Budget),
-		start:   time.Now(),
-		drainTO: opts.DrainTimeout,
-		models:  map[string]*Model{},
+		name:     opts.Name,
+		cap:      opts.Cap,
+		mode:     opts.Mode,
+		sched:    pisa.NewScheduler(opts.Budget),
+		start:    time.Now(),
+		drainTO:  opts.DrainTimeout,
+		models:   map[string]*Model{},
+		machines: map[*core.SharedExtraction]*sharedMachine{},
 	}
 	if opts.WatchdogThreshold >= 0 {
 		s.sched.StartWatchdog(opts.WatchdogThreshold)
@@ -267,7 +274,21 @@ func (s *Server) Register(name string, em *core.Emitted, weight int, slo SLO) (*
 		return nil, err
 	}
 	m := &Model{srv: s, name: name, slo: slo}
-	m.cur = &version{id: 1, em: em, eng: s.newEngine(em, name, 1, weight)}
+	if em.Shared != nil {
+		// Physically shared extraction: the model becomes a pure-
+		// combinational subscriber of the handle's machine (brought up
+		// on first subscription); its RunPackets route through the
+		// machine's fan-out.
+		mach, eng, err := s.attachSharedLocked(name, em, weight)
+		if err != nil {
+			s.rejected.Add(1)
+			return nil, err
+		}
+		m.shared = mach
+		m.cur = &version{id: 1, em: em, eng: eng}
+	} else {
+		m.cur = &version{id: 1, em: em, eng: s.newEngine(em, name, 1, weight)}
+	}
 	s.models[name] = m
 	s.order = append(s.order, name)
 	s.admitted.Add(1)
@@ -448,6 +469,13 @@ func (s *Server) Unregister(name string) error {
 		}
 	}
 	s.mu.Unlock()
+	if m.shared != nil {
+		// Detach from the fan-out first: co-subscribers keep the shared
+		// flow state (registers reset only when the last one leaves),
+		// and no window reaches this model's session once retire drains
+		// it.
+		s.detachShared(m)
+	}
 	if stuck := s.retire(m, "model unregistered"); len(stuck) > 0 {
 		return &DrainError{Deployment: s.name, Op: "unregister", Timeout: s.drainTO, Sessions: stuck}
 	}
@@ -471,8 +499,13 @@ func (s *Server) Close() error {
 	for _, n := range s.order {
 		models = append(models, s.models[n])
 	}
+	machines := make([]*sharedMachine, 0, len(s.machines))
+	for _, mach := range s.machines {
+		machines = append(machines, mach)
+	}
 	s.models = map[string]*Model{}
 	s.order = nil
+	s.machines = map[*core.SharedExtraction]*sharedMachine{}
 	s.mu.Unlock()
 	var stuck []string
 	for _, m := range models {
@@ -480,6 +513,10 @@ func (s *Server) Close() error {
 	}
 	if len(stuck) > 0 {
 		return &DrainError{Deployment: s.name, Op: "close", Timeout: s.drainTO, Sessions: stuck}
+	}
+	// Every subscriber is retired, so the machines are quiescent.
+	for _, mach := range machines {
+		mach.eng.Close()
 	}
 	s.sched.Close()
 	return nil
@@ -659,11 +696,18 @@ func (m *Model) RunCtx(ctx context.Context, jobs []pisa.Job) ([]pisa.Result, err
 }
 
 // RunPackets replays raw packets through the live version's extraction
-// machine (registration must have carried an extraction emission).
-// Canary swaps do not mirror the packet path: extraction state is
-// per-session and a shadow replay would fire on different window
-// boundaries — canary scoring applies to the batch path only.
+// machine (registration must have carried an extraction emission or a
+// shared-extraction binding). Models subscribed to a physically shared
+// machine route through its fan-out: the machine pays each packet's
+// register RMWs once and every co-subscriber classifies the fired
+// windows (see runSharedPackets). Canary swaps do not mirror the
+// packet path: extraction state is per-session and a shadow replay
+// would fire on different window boundaries — canary scoring applies
+// to the batch path only.
 func (m *Model) RunPackets(pkts []pisa.PacketIn) []pisa.PacketResult {
+	if m.shared != nil {
+		return m.runSharedPackets(pkts)
+	}
 	m.runMu.Lock()
 	defer m.runMu.Unlock()
 	return m.cur.eng.RunPackets(pkts)

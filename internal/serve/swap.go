@@ -118,6 +118,26 @@ func (m *Model) Swap(em *core.Emitted, opts SwapOptions) (*SwapReport, error) {
 	}
 	s.mu.Unlock()
 
+	// A shared-extraction subscriber swaps in place on its machine's
+	// fan-out: the candidate must bind the SAME machine (the shared flow
+	// state is the model's feature memory — rebinding would silently
+	// restart every window) and stay register-free. Canary swaps are not
+	// supported on subscribers: the shadow would double-classify every
+	// fired window through the fan-out.
+	if m.shared != nil {
+		if opts.Canary != nil {
+			return nil, fmt.Errorf("serve: swap %q: canary swaps are not supported for shared-extraction subscribers", m.name)
+		}
+		if em.Shared != m.shared.handle {
+			return nil, fmt.Errorf("serve: swap %q rejected: candidate does not bind the model's shared extraction machine (emit against the same handle)", m.name)
+		}
+		if err := checkSubscriber("swap", m.name, em); err != nil {
+			return nil, err
+		}
+	} else if em.Shared != nil {
+		return nil, fmt.Errorf("serve: swap %q rejected: cannot swap a private emission to a shared-extraction subscriber (unregister and re-register)", m.name)
+	}
+
 	if faultinject.Enabled() && faultinject.Should(faultinject.SwapWarmFail, m.name) {
 		s.rejected.Add(1)
 		return nil, fmt.Errorf("serve: swap %q: warm failed: %w", m.name, errInjectedWarmFailure)
@@ -180,6 +200,12 @@ func (m *Model) Swap(em *core.Emitted, opts SwapOptions) (*SwapReport, error) {
 	m.base.Add(retired)
 	m.cur = next
 	m.stateMu.Unlock()
+	if m.shared != nil {
+		// Attach the new generation exactly where the old one sat: the
+		// shared registers and every co-subscriber are untouched, so
+		// in-progress feature windows keep filling across the swap.
+		m.shared.fan.SwapSubscriber(old.eng, next.eng)
+	}
 	m.runMu.Unlock()
 	cutEnd := time.Now()
 

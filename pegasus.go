@@ -407,6 +407,18 @@ const (
 	ExecInterpret = pisa.ExecInterpret
 )
 
+// Extraction state machines (ExtractSpec.Kind).
+const (
+	// ExtractStats tracks the Table-6 per-flow statistics trackers.
+	ExtractStats = core.ExtractStats
+	// ExtractSeq banks the per-flow packet-size/IAT sequence window.
+	ExtractSeq = core.ExtractSeq
+	// ExtractPayload banks the per-flow payload-byte window.
+	ExtractPayload = core.ExtractPayload
+	// ExtractPayloadIPD banks payload bytes plus inter-packet delays.
+	ExtractPayloadIPD = core.ExtractPayloadIPD
+)
+
 // CompileProgram lowers a PISA program into its execution plan.
 var CompileProgram = pisa.CompileProgram
 
@@ -424,6 +436,39 @@ var (
 	// CalibrateGate places the unknown-attack threshold at a quantile
 	// of benign Pegasus MAE scores.
 	CalibrateGate = models.CalibrateGate
+)
+
+// Physically shared extraction: one standalone flow-state machine pays
+// the per-packet register RMWs exactly once and fans fired windows out
+// to register-free subscriber models, bit-identical to private
+// preludes.
+type (
+	// SharedExtraction is an emitted standalone extraction machine that
+	// co-resident models subscribe to (Feedforward.EmitShared,
+	// RNNB.EmitShared, AutoEncoder.EmitGatedShared).
+	SharedExtraction = core.SharedExtraction
+	// ExtractionFanout owns a shared machine's engine session and
+	// dispatches each fired window to every subscribed engine
+	// (Subscribe/Detach/SwapSubscriber manage the subscriber set).
+	ExtractionFanout = pisa.Fanout
+	// DeployedMachine is one physical extraction machine in a
+	// Deployment's report: its spec, resources and subscriber models.
+	DeployedMachine = core.Machine
+	// SharedMachineMetrics is one physical machine's row in a
+	// ServingSnapshot (packets, fires, register RMWs, subscribers).
+	SharedMachineMetrics = serve.MachineMetrics
+)
+
+var (
+	// EmitSharedExtraction emits a flow-state extraction machine as a
+	// standalone program for physical sharing.
+	EmitSharedExtraction = core.EmitSharedExtraction
+	// SharedWindowSpec is the canonical window-8 ExtractSpec the model
+	// zoo uses for a shared machine of the given kind.
+	SharedWindowSpec = models.SharedWindowSpec
+	// NewFanout wraps a shared extraction machine's packet engine for
+	// fan-out to subscriber engines on the same scheduler.
+	NewFanout = pisa.NewFanout
 )
 
 // Serving control-plane types: the operated layer over the shared
